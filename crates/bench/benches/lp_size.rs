@@ -1,0 +1,54 @@
+//! LP-size comparison (the `(l, c)` columns of Table 1 and the §10 claim that
+//! Termite's LPs are 1–2 orders of magnitude smaller than Rank's).
+//!
+//! For a family of multipath loops (t successive if-then-else statements, so
+//! 2^t paths), this bench runs Termite and the eager baseline and reports the
+//! average LP shapes, timing only the synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use termite_core::{prove_transition_system, AnalysisOptions, Engine};
+use termite_invariants::{location_invariants, InvariantOptions};
+use termite_suite::generators::multipath_loop;
+
+fn lp_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp_size");
+    group.sample_size(10);
+    println!("\n=== LP instance sizes: Termite vs eager (Rank-style) ===");
+    println!("{:>3} {:>22} {:>22}", "t", "Termite (l, c)", "Eager (l, c)");
+    for t in [1usize, 2, 3, 4, 5] {
+        let program = multipath_loop(t);
+        let ts = program.transition_system();
+        let invariants = location_invariants(&program, &InvariantOptions::default());
+        let mut shapes = Vec::new();
+        for engine in [Engine::Termite, Engine::Eager] {
+            let report = prove_transition_system(
+                &ts,
+                &invariants,
+                &AnalysisOptions::with_engine(engine),
+            );
+            shapes.push((report.stats.lp_rows_avg, report.stats.lp_cols_avg));
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), t),
+                &t,
+                |b, _| {
+                    b.iter(|| {
+                        prove_transition_system(
+                            &ts,
+                            &invariants,
+                            &AnalysisOptions::with_engine(engine),
+                        )
+                        .proved()
+                    })
+                },
+            );
+        }
+        println!(
+            "{:>3} {:>10.1},{:>10.1} {:>10.1},{:>10.1}",
+            t, shapes[0].0, shapes[0].1, shapes[1].0, shapes[1].1
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, lp_size);
+criterion_main!(benches);

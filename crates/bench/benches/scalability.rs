@@ -1,0 +1,79 @@
+//! Scalability in the number of paths (§1 / §10 of the paper): the number of
+//! paths through a loop of `t` successive tests is `2^t`, but Termite's lazy
+//! constraint generation keeps both the SMT formula and the LP small, whereas
+//! the eager baseline expands the DNF and degrades exponentially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use termite_core::{prove_transition_system, AnalysisOptions, Engine};
+use termite_invariants::{location_invariants, InvariantOptions};
+use termite_suite::generators::{multipath_loop, nested_counted_loops, phase_cascade};
+
+fn multipath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multipath_2_to_t_paths");
+    group.sample_size(10);
+    for t in [2usize, 4, 6, 8] {
+        let program = multipath_loop(t);
+        let ts = program.transition_system();
+        let invariants = location_invariants(&program, &InvariantOptions::default());
+        for engine in [Engine::Termite, Engine::Eager] {
+            // The eager baseline is only run while its DNF stays tractable.
+            if engine == Engine::Eager && t > 6 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), t),
+                &t,
+                |b, _| {
+                    b.iter(|| {
+                        prove_transition_system(
+                            &ts,
+                            &invariants,
+                            &AnalysisOptions::with_engine(engine),
+                        )
+                        .proved()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn nesting_and_dimension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nesting_depth_and_lex_dimension");
+    group.sample_size(10);
+    for depth in [1usize, 2, 3] {
+        let program = nested_counted_loops(depth);
+        let ts = program.transition_system();
+        let invariants = location_invariants(&program, &InvariantOptions::default());
+        group.bench_with_input(BenchmarkId::new("nested", depth), &depth, |b, _| {
+            b.iter(|| {
+                prove_transition_system(
+                    &ts,
+                    &invariants,
+                    &AnalysisOptions::with_engine(Engine::Termite),
+                )
+                .proved()
+            })
+        });
+    }
+    for phases in [1usize, 2, 3] {
+        let program = phase_cascade(phases);
+        let ts = program.transition_system();
+        let invariants = location_invariants(&program, &InvariantOptions::default());
+        group.bench_with_input(BenchmarkId::new("phase_cascade", phases), &phases, |b, _| {
+            b.iter(|| {
+                prove_transition_system(
+                    &ts,
+                    &invariants,
+                    &AnalysisOptions::with_engine(Engine::Termite),
+                )
+                .proved()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multipath, nesting_and_dimension);
+criterion_main!(benches);

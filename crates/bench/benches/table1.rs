@@ -1,0 +1,37 @@
+//! Table 1 of the paper: per-suite comparison of the provers.
+//!
+//! For every suite (PolyBench, Sorts, TermComp, WTC) and every engine
+//! (Termite, the eager Rank-style baseline, the Loopus-style heuristic), this
+//! bench measures the synthesis time over the whole suite — front-end and
+//! invariant generation excluded, exactly like the paper — and prints the
+//! success counts and average LP sizes once per run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use termite_bench::{format_table, prepare_suite, run_suite};
+use termite_core::Engine;
+use termite_suite::SuiteId;
+
+fn table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    let mut printed_rows = Vec::new();
+    for suite_id in SuiteId::all() {
+        let prepared = prepare_suite(suite_id);
+        for engine in [Engine::Termite, Engine::Eager, Engine::Heuristic] {
+            let row = run_suite(suite_id, &prepared, engine);
+            printed_rows.push(row);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{engine:?}"), suite_id.name()),
+                &prepared,
+                |b, prepared| {
+                    b.iter(|| run_suite(suite_id, prepared, engine).proved);
+                },
+            );
+        }
+    }
+    group.finish();
+    println!("\n=== Table 1 (reproduced) ===\n{}", format_table(&printed_rows));
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Shared harness code for the evaluation benchmarks.
+//!
+//! The paper's Table 1 reports, per suite: the number of benchmarks, the
+//! number proved terminating by each tool, the total analysis time (excluding
+//! the front-end and invariant generation for Termite/Loopus), and the average
+//! `(l, c)` size of the LP instances. [`run_suite`] computes exactly those
+//! quantities for one engine; the Criterion benches and the
+//! `examples/table1_report.rs` binary print them.
+
+use termite_core::{prove_transition_system, AnalysisOptions, Engine};
+use termite_invariants::{location_invariants, InvariantOptions};
+use termite_ir::TransitionSystem;
+use termite_polyhedra::Polyhedron;
+use termite_suite::{suite, Benchmark, SuiteId};
+
+/// A benchmark prepared for timing: transition system and invariants are
+/// precomputed, mirroring the paper's methodology of excluding the front-end
+/// and the invariant generator from the reported times.
+pub struct PreparedBenchmark {
+    /// Name of the benchmark program.
+    pub name: String,
+    /// Whether the benchmark is expected to be proved terminating.
+    pub expected_terminating: bool,
+    /// Cut-point transition system.
+    pub ts: TransitionSystem,
+    /// Invariants at the cut points.
+    pub invariants: Vec<Polyhedron>,
+}
+
+/// Prepares a benchmark (front-end + invariant generation).
+pub fn prepare(benchmark: &Benchmark) -> PreparedBenchmark {
+    let ts = benchmark.program.transition_system();
+    let invariants = location_invariants(&benchmark.program, &InvariantOptions::default());
+    PreparedBenchmark {
+        name: benchmark.program.name.clone(),
+        expected_terminating: benchmark.expected_terminating,
+        ts,
+        invariants,
+    }
+}
+
+/// Prepares every benchmark of a suite.
+pub fn prepare_suite(id: SuiteId) -> Vec<PreparedBenchmark> {
+    suite(id).iter().map(prepare).collect()
+}
+
+/// One row of Table 1 for a given engine.
+#[derive(Clone, Debug)]
+pub struct SuiteRow {
+    /// Suite name.
+    pub suite: &'static str,
+    /// Engine used.
+    pub engine: Engine,
+    /// Number of benchmarks.
+    pub total: usize,
+    /// Number proved terminating.
+    pub proved: usize,
+    /// Number of expected-terminating benchmarks (upper bound on `proved`).
+    pub expected: usize,
+    /// Total synthesis time in milliseconds (excludes front-end/invariants).
+    pub time_millis: f64,
+    /// Average LP instance rows (`l` of Table 1).
+    pub lp_rows_avg: f64,
+    /// Average LP instance columns (`c` of Table 1).
+    pub lp_cols_avg: f64,
+    /// Names of the benchmarks that could not be proved.
+    pub unproved: Vec<String>,
+}
+
+/// Runs one engine over a prepared suite and aggregates a Table 1 row.
+pub fn run_suite(id: SuiteId, prepared: &[PreparedBenchmark], engine: Engine) -> SuiteRow {
+    let options = AnalysisOptions::with_engine(engine);
+    let mut proved = 0;
+    let mut time = 0.0;
+    let mut rows = 0.0;
+    let mut cols = 0.0;
+    let mut lp_count = 0usize;
+    let mut unproved = Vec::new();
+    for b in prepared {
+        let report = prove_transition_system(&b.ts, &b.invariants, &options);
+        if report.proved() {
+            proved += 1;
+        } else {
+            unproved.push(b.name.clone());
+        }
+        time += report.stats.synthesis_millis;
+        if report.stats.lp_instances > 0 {
+            rows += report.stats.lp_rows_avg;
+            cols += report.stats.lp_cols_avg;
+            lp_count += 1;
+        }
+    }
+    SuiteRow {
+        suite: id.name(),
+        engine,
+        total: prepared.len(),
+        proved,
+        expected: prepared.iter().filter(|b| b.expected_terminating).count(),
+        time_millis: time,
+        lp_rows_avg: if lp_count > 0 { rows / lp_count as f64 } else { 0.0 },
+        lp_cols_avg: if lp_count > 0 { cols / lp_count as f64 } else { 0.0 },
+        unproved,
+    }
+}
+
+/// Formats a collection of rows as the Table 1 layout of the paper.
+pub fn format_table(rows: &[SuiteRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<22} {:>5} {:>8} {:>10} {:>8} {:>8}\n",
+        "Suite", "Engine", "#", "success", "time(ms)", "l", "c"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<10} {:<22} {:>5} {:>8} {:>10.1} {:>8.1} {:>8.1}\n",
+            r.suite,
+            format!("{:?}", r.engine),
+            r.total,
+            r.proved,
+            r.time_millis,
+            r.lp_rows_avg,
+            r.lp_cols_avg
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn termcomp_row_shape() {
+        // A smoke test over a couple of TermComp benchmarks (the full sweep is
+        // exercised by the benches and the table1_report example).
+        let prepared: Vec<PreparedBenchmark> =
+            suite(SuiteId::TermComp).iter().take(3).map(prepare).collect();
+        let row = run_suite(SuiteId::TermComp, &prepared, Engine::Termite);
+        assert_eq!(row.total, 3);
+        assert!(row.proved <= row.total);
+        assert!(row.expected >= row.proved);
+        let text = format_table(&[row]);
+        assert!(text.contains("TermComp"));
+    }
+}

@@ -1,0 +1,163 @@
+//! Top-level analysis entry points and engine selection.
+
+use crate::baselines;
+use crate::multidim::synthesize_lexicographic;
+use crate::report::{RankingFunction, SynthesisStats, TerminationReport, TerminationVerdict};
+use std::time::Instant;
+use termite_invariants::{location_invariants, InvariantOptions};
+use termite_ir::{Program, TransitionSystem};
+use termite_polyhedra::Polyhedron;
+
+/// Which termination prover to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The paper's contribution: counterexample-guided synthesis of
+    /// lexicographic linear ranking functions (Algorithms 1–3).
+    #[default]
+    Termite,
+    /// Eager baseline in the style of Rank / Alias et al. 2010: DNF-expand the
+    /// block transitions and build one large Farkas LP per dimension.
+    Eager,
+    /// Podelski–Rybalchenko-style baseline: a single (monodimensional) linear
+    /// ranking function over the DNF expansion, all transitions strict.
+    PodelskiRybalchenko,
+    /// Syntactic heuristic baseline in the spirit of Loopus: guess candidate
+    /// ranking expressions from the loop guards and verify them with single
+    /// SMT queries.
+    Heuristic,
+}
+
+/// Options of the termination analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Which prover to run.
+    pub engine: Engine,
+    /// Options of the polyhedral invariant generator.
+    pub invariants: InvariantOptions,
+    /// Bound on counterexample-guided iterations per lexicographic dimension.
+    pub max_iterations_per_dim: usize,
+    /// Bound on the number of DNF disjuncts the eager baselines may build
+    /// before giving up.
+    pub max_eager_disjuncts: usize,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            engine: Engine::Termite,
+            invariants: InvariantOptions::default(),
+            max_iterations_per_dim: 120,
+            max_eager_disjuncts: 4096,
+        }
+    }
+}
+
+impl AnalysisOptions {
+    /// Convenience constructor selecting an engine with default settings.
+    pub fn with_engine(engine: Engine) -> Self {
+        AnalysisOptions { engine, ..Default::default() }
+    }
+}
+
+/// Proves termination of a program of the mini language: front-end, invariant
+/// generation and ranking-function synthesis.
+///
+/// As in the paper's Table 1, the reported `synthesis_millis` excludes parsing
+/// and invariant generation.
+pub fn prove_termination(program: &Program, options: &AnalysisOptions) -> TerminationReport {
+    let ts = program.transition_system();
+    let invariants = location_invariants(program, &options.invariants);
+    prove_transition_system(&ts, &invariants, options)
+}
+
+/// Proves termination of a cut-point transition system with the given
+/// per-location invariants.
+pub fn prove_transition_system(
+    ts: &TransitionSystem,
+    invariants: &[Polyhedron],
+    options: &AnalysisOptions,
+) -> TerminationReport {
+    let mut stats = SynthesisStats::default();
+    let start = Instant::now();
+
+    let verdict = if ts.num_locations() == 0 {
+        // No loop: trivially terminating.
+        TerminationVerdict::Terminating(RankingFunction::new(
+            ts.num_vars(),
+            ts.var_names().to_vec(),
+            Vec::new(),
+        ))
+    } else {
+        match options.engine {
+            Engine::Termite => {
+                match synthesize_lexicographic(
+                    ts,
+                    invariants,
+                    options.max_iterations_per_dim,
+                    &mut stats,
+                ) {
+                    Some(components) => TerminationVerdict::Terminating(RankingFunction::new(
+                        ts.num_vars(),
+                        ts.var_names().to_vec(),
+                        components
+                            .into_iter()
+                            .map(|t| t.lambda.into_iter().zip(t.lambda0).collect())
+                            .collect(),
+                    )),
+                    None => TerminationVerdict::Unknown,
+                }
+            }
+            Engine::Eager => baselines::eager::prove(ts, invariants, options, &mut stats),
+            Engine::PodelskiRybalchenko => {
+                baselines::podelski_rybalchenko::prove(ts, invariants, options, &mut stats)
+            }
+            Engine::Heuristic => baselines::heuristic::prove(ts, invariants, &mut stats),
+        }
+    };
+
+    stats.synthesis_millis = start.elapsed().as_secs_f64() * 1000.0;
+    TerminationReport { program: ts.name().to_string(), verdict, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use termite_ir::parse_program;
+
+    #[test]
+    fn straight_line_program_is_trivially_terminating() {
+        let p = parse_program("var x; x = 1; x = x + 2;").unwrap();
+        let report = prove_termination(&p, &AnalysisOptions::default());
+        assert!(report.proved());
+        assert_eq!(report.ranking_function().unwrap().dimension(), 0);
+    }
+
+    #[test]
+    fn quickstart_example_terminates() {
+        let p = parse_program(
+            r#"
+            var x, y;
+            assume x == 5 && y == 10;
+            while (true) {
+                choice {
+                    assume x <= 10 && y >= 0; x = x + 1; y = y - 1;
+                } or {
+                    assume x >= 0 && y >= 0;  x = x - 1; y = y - 1;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let report = prove_termination(&p, &AnalysisOptions::default());
+        assert!(report.proved(), "Example 1 of the paper must be proved terminating");
+        assert_eq!(report.ranking_function().unwrap().dimension(), 1);
+        assert!(report.stats.synthesis_millis >= 0.0);
+    }
+
+    #[test]
+    fn non_terminating_program_is_unknown() {
+        let p = parse_program("var x; assume x >= 1; while (x > 0) { x = x + 1; }").unwrap();
+        let report = prove_termination(&p, &AnalysisOptions::default());
+        assert!(!report.proved());
+    }
+}

@@ -1,0 +1,248 @@
+//! Result types: ranking functions, verdicts, statistics.
+
+use std::fmt;
+use termite_linalg::QVector;
+use termite_num::Rational;
+
+/// A lexicographic linear ranking function over a set of cut points.
+///
+/// Component `d` at location `k` is the affine function
+/// `ρ_d(k, x) = λ[d][k]·x + λ0[d][k]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankingFunction {
+    /// Number of program variables.
+    num_vars: usize,
+    /// `components[d][k] = (λ, λ0)`.
+    components: Vec<Vec<(QVector, Rational)>>,
+    /// Variable names, for display.
+    var_names: Vec<String>,
+}
+
+impl RankingFunction {
+    /// Builds a ranking function from its components.
+    pub fn new(
+        num_vars: usize,
+        var_names: Vec<String>,
+        components: Vec<Vec<(QVector, Rational)>>,
+    ) -> Self {
+        RankingFunction { num_vars, components, var_names }
+    }
+
+    /// Number of lexicographic components.
+    pub fn dimension(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Number of cut points.
+    pub fn num_locations(&self) -> usize {
+        self.components.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// The affine component `d` at location `k`: `(λ, λ0)`.
+    pub fn component(&self, d: usize, k: usize) -> (&QVector, &Rational) {
+        let (l, l0) = &self.components[d][k];
+        (l, l0)
+    }
+
+    /// Evaluates the ranking function at a location and state, returning the
+    /// lexicographic tuple.
+    pub fn eval(&self, location: usize, state: &QVector) -> Vec<Rational> {
+        self.components
+            .iter()
+            .map(|per_loc| {
+                let (l, l0) = &per_loc[location];
+                &l.dot(state) + l0
+            })
+            .collect()
+    }
+
+    /// `true` if the tuple `a` is lexicographically greater than `b`.
+    pub fn lex_gt(a: &[Rational], b: &[Rational]) -> bool {
+        for (x, y) in a.iter().zip(b.iter()) {
+            if x > y {
+                return true;
+            }
+            if x < y {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for RankingFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (d, per_loc) in self.components.iter().enumerate() {
+            for (k, (l, l0)) in per_loc.iter().enumerate() {
+                write!(f, "ρ_{d}(loc {k}, x) = ")?;
+                let mut first = true;
+                for (i, c) in l.iter().enumerate() {
+                    if c.is_zero() {
+                        continue;
+                    }
+                    let name = self
+                        .var_names
+                        .get(i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("x{i}"));
+                    if first {
+                        write!(f, "{c}·{name}")?;
+                        first = false;
+                    } else if c.is_negative() {
+                        write!(f, " - {}·{name}", -c)?;
+                    } else {
+                        write!(f, " + {c}·{name}")?;
+                    }
+                }
+                if first {
+                    write!(f, "{l0}")?;
+                } else if !l0.is_zero() {
+                    if l0.is_negative() {
+                        write!(f, " - {}", -l0)?;
+                    } else {
+                        write!(f, " + {l0}")?;
+                    }
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The verdict of a termination analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TerminationVerdict {
+    /// Termination proved, with the synthesised lexicographic linear ranking
+    /// function as a certificate.
+    Terminating(RankingFunction),
+    /// No lexicographic linear ranking function exists **relative to the
+    /// supplied invariants** (the program may still terminate).
+    Unknown,
+}
+
+/// Statistics of a synthesis run (the quantities reported in Table 1 of the
+/// paper: number and size of LP instances, SMT activity).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SynthesisStats {
+    /// Counterexample-guided refinement iterations (SMT→LP round trips).
+    pub iterations: usize,
+    /// Number of LP instances solved.
+    pub lp_instances: usize,
+    /// Average number of rows (`l`) of the LP instances.
+    pub lp_rows_avg: f64,
+    /// Average number of columns (`c`) of the LP instances.
+    pub lp_cols_avg: f64,
+    /// Largest LP instance solved, as (rows, columns).
+    pub lp_max: (usize, usize),
+    /// Number of SMT (optimizing) queries issued.
+    pub smt_queries: usize,
+    /// Number of counterexample vectors (vertices + rays) accumulated.
+    pub counterexamples: usize,
+    /// Dimension of the synthesised function (0 when none).
+    pub dimension: usize,
+    /// Wall-clock time of the synthesis (milliseconds), excluding parsing and
+    /// invariant generation (as in the paper's Table 1).
+    pub synthesis_millis: f64,
+}
+
+impl SynthesisStats {
+    /// Records one LP solve of the given shape.
+    pub fn record_lp(&mut self, rows: usize, cols: usize) {
+        let total_rows = self.lp_rows_avg * self.lp_instances as f64 + rows as f64;
+        let total_cols = self.lp_cols_avg * self.lp_instances as f64 + cols as f64;
+        self.lp_instances += 1;
+        self.lp_rows_avg = total_rows / self.lp_instances as f64;
+        self.lp_cols_avg = total_cols / self.lp_instances as f64;
+        if rows * cols >= self.lp_max.0 * self.lp_max.1 {
+            self.lp_max = (rows, cols);
+        }
+    }
+}
+
+/// Report returned by the top-level analysis entry points.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TerminationReport {
+    /// Name of the analysed program.
+    pub program: String,
+    /// The verdict.
+    pub verdict: TerminationVerdict,
+    /// Statistics of the run.
+    pub stats: SynthesisStats,
+}
+
+impl TerminationReport {
+    /// `true` if termination was proved.
+    pub fn proved(&self) -> bool {
+        matches!(self.verdict, TerminationVerdict::Terminating(_))
+    }
+
+    /// The synthesised ranking function, if any.
+    pub fn ranking_function(&self) -> Option<&RankingFunction> {
+        match &self.verdict {
+            TerminationVerdict::Terminating(rf) => Some(rf),
+            TerminationVerdict::Unknown => None,
+        }
+    }
+}
+
+impl fmt::Display for TerminationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.verdict {
+            TerminationVerdict::Terminating(rf) => {
+                writeln!(f, "{}: TERMINATING (dimension {})", self.program, rf.dimension())?;
+                write!(f, "{rf}")
+            }
+            TerminationVerdict::Unknown => writeln!(f, "{}: UNKNOWN", self.program),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_lex_order() {
+        let rf = RankingFunction::new(
+            2,
+            vec!["x".into(), "y".into()],
+            vec![
+                vec![(QVector::from_i64(&[0, 1]), Rational::from(1))],
+                vec![(QVector::from_i64(&[1, 0]), Rational::from(0))],
+            ],
+        );
+        assert_eq!(rf.dimension(), 2);
+        assert_eq!(rf.num_locations(), 1);
+        let a = rf.eval(0, &QVector::from_i64(&[3, 7]));
+        let b = rf.eval(0, &QVector::from_i64(&[9, 6]));
+        assert_eq!(a, vec![Rational::from(8), Rational::from(3)]);
+        assert!(RankingFunction::lex_gt(&a, &b));
+        assert!(!RankingFunction::lex_gt(&b, &a));
+        assert!(!RankingFunction::lex_gt(&a, &a));
+    }
+
+    #[test]
+    fn stats_running_average() {
+        let mut s = SynthesisStats::default();
+        s.record_lp(2, 10);
+        s.record_lp(4, 20);
+        assert_eq!(s.lp_instances, 2);
+        assert!((s.lp_rows_avg - 3.0).abs() < 1e-9);
+        assert!((s.lp_cols_avg - 15.0).abs() < 1e-9);
+        assert_eq!(s.lp_max, (4, 20));
+    }
+
+    #[test]
+    fn display_mentions_variables() {
+        let rf = RankingFunction::new(
+            2,
+            vec!["i".into(), "j".into()],
+            vec![vec![(QVector::from_i64(&[-1, 2]), Rational::from(5))]],
+        );
+        let text = rf.to_string();
+        assert!(text.contains("i"), "{text}");
+        assert!(text.contains("2·j"), "{text}");
+        assert!(text.contains("+ 5"), "{text}");
+    }
+}

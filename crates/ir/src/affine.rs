@@ -1,0 +1,369 @@
+//! Affine views of expressions and conditions.
+//!
+//! The analyses only deal with *affine* integer expressions. This module
+//! converts syntactic [`Expr`]s and [`Cond`]s into:
+//!
+//! * [`AffineExpr`] — `Σ coeff_i · var_i + constant` over the program
+//!   variables;
+//! * conjunctive-normal building blocks ([`LinearConstraint`], used by the
+//!   node-level CFG and the polyhedral invariant generator);
+//! * [`termite_smt::Formula`]s (used by the large-block encoding).
+
+use crate::ast::{CmpOp, Cond, Expr};
+use termite_linalg::QVector;
+use termite_num::Rational;
+use termite_smt::{Formula, LinExpr, TermVar};
+
+/// An affine expression `coeffs · x + constant` over the program variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AffineExpr {
+    /// One coefficient per program variable.
+    pub coeffs: QVector,
+    /// Constant offset.
+    pub constant: Rational,
+}
+
+impl AffineExpr {
+    /// The constant expression `c`.
+    pub fn constant(num_vars: usize, c: i64) -> Self {
+        AffineExpr { coeffs: QVector::zeros(num_vars), constant: Rational::from(c) }
+    }
+
+    /// The expression `x_v`.
+    pub fn var(num_vars: usize, v: usize) -> Self {
+        AffineExpr { coeffs: QVector::unit(num_vars, v), constant: Rational::zero() }
+    }
+
+    /// Pointwise sum.
+    pub fn add(&self, other: &AffineExpr) -> AffineExpr {
+        AffineExpr {
+            coeffs: &self.coeffs + &other.coeffs,
+            constant: &self.constant + &other.constant,
+        }
+    }
+
+    /// Pointwise difference.
+    pub fn sub(&self, other: &AffineExpr) -> AffineExpr {
+        AffineExpr {
+            coeffs: &self.coeffs - &other.coeffs,
+            constant: &self.constant - &other.constant,
+        }
+    }
+
+    /// Scaling by a rational factor.
+    pub fn scale(&self, k: &Rational) -> AffineExpr {
+        AffineExpr { coeffs: self.coeffs.scale(k), constant: &self.constant * k }
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> AffineExpr {
+        self.scale(&-Rational::one())
+    }
+
+    /// `true` if the expression has no variable part.
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_zero()
+    }
+
+    /// Tries to view a syntactic expression as an affine expression.
+    ///
+    /// Returns `None` when the expression contains `nondet()` or a non-affine
+    /// product of two variables.
+    pub fn from_expr(e: &Expr, num_vars: usize) -> Option<AffineExpr> {
+        match e {
+            Expr::Const(c) => Some(AffineExpr::constant(num_vars, *c)),
+            Expr::Var(v) => Some(AffineExpr::var(num_vars, *v)),
+            Expr::Add(a, b) => {
+                Some(AffineExpr::from_expr(a, num_vars)?.add(&AffineExpr::from_expr(b, num_vars)?))
+            }
+            Expr::Sub(a, b) => {
+                Some(AffineExpr::from_expr(a, num_vars)?.sub(&AffineExpr::from_expr(b, num_vars)?))
+            }
+            Expr::Neg(a) => Some(AffineExpr::from_expr(a, num_vars)?.neg()),
+            Expr::Mul(a, b) => {
+                let ea = AffineExpr::from_expr(a, num_vars)?;
+                let eb = AffineExpr::from_expr(b, num_vars)?;
+                if ea.is_constant() {
+                    Some(eb.scale(&ea.constant))
+                } else if eb.is_constant() {
+                    Some(ea.scale(&eb.constant))
+                } else {
+                    None
+                }
+            }
+            Expr::Nondet => None,
+        }
+    }
+
+    /// Converts into an SMT linear expression, mapping program variable `i`
+    /// to the given theory variable.
+    pub fn to_linexpr(&self, var_of: &dyn Fn(usize) -> LinExpr) -> LinExpr {
+        let mut out = LinExpr::constant(self.constant.clone());
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if !c.is_zero() {
+                out = out + var_of(i).scale(c);
+            }
+        }
+        out
+    }
+}
+
+/// A linear constraint `coeffs · x ≥ rhs` over the program variables
+/// (the convex building block of CFG guards).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinearConstraint {
+    /// One coefficient per program variable.
+    pub coeffs: QVector,
+    /// Right-hand side.
+    pub rhs: Rational,
+}
+
+impl LinearConstraint {
+    /// The constraint `e ≥ 0` for an affine expression `e`.
+    pub fn expr_nonneg(e: &AffineExpr) -> Self {
+        LinearConstraint { coeffs: e.coeffs.clone(), rhs: -&e.constant }
+    }
+
+    /// Converts to a polyhedral constraint.
+    pub fn to_polyhedral(&self) -> termite_polyhedra::Constraint {
+        termite_polyhedra::Constraint::ge(self.coeffs.clone(), self.rhs.clone())
+    }
+
+    /// Checks the constraint at an integer point.
+    pub fn satisfied_by(&self, point: &QVector) -> bool {
+        self.coeffs.dot(point) >= self.rhs
+    }
+}
+
+/// Converts a condition into disjunctive normal form over linear constraints
+/// (used for the node-level CFG, whose edges must carry convex guards).
+///
+/// `negate` asks for the DNF of the negation. Comparisons involving
+/// `nondet()` and the non-deterministic condition are over-approximated by
+/// `true` (sound for invariant generation).
+pub fn cond_to_dnf(cond: &Cond, num_vars: usize, negate: bool) -> Vec<Vec<LinearConstraint>> {
+    match (cond, negate) {
+        (Cond::True, false) | (Cond::False, true) | (Cond::Nondet, _) => vec![Vec::new()],
+        (Cond::True, true) | (Cond::False, false) => Vec::new(),
+        (Cond::Not(inner), _) => cond_to_dnf(inner, num_vars, !negate),
+        (Cond::And(cs), false) | (Cond::Or(cs), true) => {
+            // Conjunction: cross product of the children's DNFs.
+            let mut acc: Vec<Vec<LinearConstraint>> = vec![Vec::new()];
+            for c in cs {
+                let child = cond_to_dnf(c, num_vars, negate);
+                let mut next = Vec::new();
+                for a in &acc {
+                    for b in &child {
+                        let mut merged = a.clone();
+                        merged.extend(b.iter().cloned());
+                        next.push(merged);
+                    }
+                }
+                acc = next;
+            }
+            acc
+        }
+        (Cond::And(cs), true) | (Cond::Or(cs), false) => {
+            // Disjunction: union of the children's DNFs.
+            let mut acc = Vec::new();
+            for c in cs {
+                acc.extend(cond_to_dnf(c, num_vars, negate));
+            }
+            acc
+        }
+        (Cond::Cmp(lhs, op, rhs), _) => cmp_to_dnf(lhs, *op, rhs, num_vars, negate),
+    }
+}
+
+/// Converts a comparison into the DNF of linear constraints (integer
+/// semantics: strict comparisons are tightened by one).
+fn cmp_to_dnf(
+    lhs: &Expr,
+    op: CmpOp,
+    rhs: &Expr,
+    num_vars: usize,
+    negate: bool,
+) -> Vec<Vec<LinearConstraint>> {
+    let (Some(el), Some(er)) = (AffineExpr::from_expr(lhs, num_vars), AffineExpr::from_expr(rhs, num_vars)) else {
+        // Non-affine or nondeterministic comparison: over-approximate by true.
+        return vec![Vec::new()];
+    };
+    let d = el.sub(&er); // lhs - rhs
+    let ge = |e: AffineExpr, bound: i64| -> LinearConstraint {
+        // e >= bound
+        LinearConstraint { coeffs: e.coeffs.clone(), rhs: &Rational::from(bound) - &e.constant }
+    };
+    let op = if negate {
+        match op {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Gt => CmpOp::Le,
+        }
+    } else {
+        op
+    };
+    match op {
+        CmpOp::Eq => vec![vec![ge(d.clone(), 0), ge(d.neg(), 0)]],
+        CmpOp::Ne => vec![vec![ge(d.clone(), 1)], vec![ge(d.neg(), 1)]],
+        CmpOp::Ge => vec![vec![ge(d, 0)]],
+        CmpOp::Gt => vec![vec![ge(d, 1)]],
+        CmpOp::Le => vec![vec![ge(d.neg(), 0)]],
+        CmpOp::Lt => vec![vec![ge(d.neg(), 1)]],
+    }
+}
+
+/// Converts a condition into an SMT formula, mapping program variable `i` to
+/// the linear expression `state(i)` (the current symbolic value of the
+/// variable). Non-deterministic conditions become `true` in both polarities
+/// (each evaluation is an independent coin flip).
+pub fn cond_to_formula(
+    cond: &Cond,
+    state: &dyn Fn(usize) -> LinExpr,
+    num_vars: usize,
+    negate: bool,
+) -> Formula {
+    match (cond, negate) {
+        (Cond::True, false) | (Cond::False, true) | (Cond::Nondet, _) => Formula::True,
+        (Cond::True, true) | (Cond::False, false) => Formula::False,
+        (Cond::Not(inner), _) => cond_to_formula(inner, state, num_vars, !negate),
+        (Cond::And(cs), false) | (Cond::Or(cs), true) => Formula::and(
+            cs.iter().map(|c| cond_to_formula(c, state, num_vars, negate)).collect(),
+        ),
+        (Cond::And(cs), true) | (Cond::Or(cs), false) => Formula::or(
+            cs.iter().map(|c| cond_to_formula(c, state, num_vars, negate)).collect(),
+        ),
+        (Cond::Cmp(lhs, op, rhs), _) => {
+            let (Some(el), Some(er)) =
+                (AffineExpr::from_expr(lhs, num_vars), AffineExpr::from_expr(rhs, num_vars))
+            else {
+                return Formula::True;
+            };
+            let l = el.to_linexpr(state);
+            let r = er.to_linexpr(state);
+            let op = if negate {
+                match op {
+                    CmpOp::Eq => CmpOp::Ne,
+                    CmpOp::Ne => CmpOp::Eq,
+                    CmpOp::Le => CmpOp::Gt,
+                    CmpOp::Lt => CmpOp::Ge,
+                    CmpOp::Ge => CmpOp::Lt,
+                    CmpOp::Gt => CmpOp::Le,
+                }
+            } else {
+                *op
+            };
+            match op {
+                CmpOp::Eq => Formula::eq_expr(l, r),
+                CmpOp::Ne => Formula::neq(l, r),
+                CmpOp::Le => Formula::le(l, r),
+                CmpOp::Lt => Formula::lt(l, r),
+                CmpOp::Ge => Formula::ge(l, r),
+                CmpOp::Gt => Formula::gt(l, r),
+            }
+        }
+    }
+}
+
+/// Identity mapping from program variables to theory variables `0..n`.
+pub fn identity_state(_num_vars: usize) -> impl Fn(usize) -> LinExpr {
+    |i| LinExpr::var(TermVar(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn affine_from_expr() {
+        // 2*(x - 3) + y  ==>  2x + y - 6
+        let e = Expr::Add(
+            Box::new(Expr::Mul(
+                Box::new(Expr::Const(2)),
+                Box::new(Expr::Sub(Box::new(Expr::Var(0)), Box::new(Expr::Const(3)))),
+            )),
+            Box::new(Expr::Var(1)),
+        );
+        let a = AffineExpr::from_expr(&e, 2).unwrap();
+        assert_eq!(a.coeffs, QVector::from_i64(&[2, 1]));
+        assert_eq!(a.constant, q(-6));
+    }
+
+    #[test]
+    fn nonaffine_rejected() {
+        let e = Expr::Mul(Box::new(Expr::Var(0)), Box::new(Expr::Var(1)));
+        assert!(AffineExpr::from_expr(&e, 2).is_none());
+        assert!(AffineExpr::from_expr(&Expr::Nondet, 2).is_none());
+    }
+
+    #[test]
+    fn dnf_of_comparison() {
+        // x < 5  ==>  -x >= -4
+        let c = Cond::Cmp(Expr::Var(0), CmpOp::Lt, Expr::Const(5));
+        let dnf = cond_to_dnf(&c, 1, false);
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 1);
+        assert!(dnf[0][0].satisfied_by(&QVector::from_i64(&[4])));
+        assert!(!dnf[0][0].satisfied_by(&QVector::from_i64(&[5])));
+        // negation: x >= 5
+        let neg = cond_to_dnf(&c, 1, true);
+        assert!(neg[0][0].satisfied_by(&QVector::from_i64(&[5])));
+        assert!(!neg[0][0].satisfied_by(&QVector::from_i64(&[4])));
+    }
+
+    #[test]
+    fn dnf_of_disjunction_and_negation() {
+        // !(x >= 0 && y >= 0)  ==>  x <= -1  ∨  y <= -1
+        let c = Cond::Not(Box::new(Cond::And(vec![
+            Cond::Cmp(Expr::Var(0), CmpOp::Ge, Expr::Const(0)),
+            Cond::Cmp(Expr::Var(1), CmpOp::Ge, Expr::Const(0)),
+        ])));
+        let dnf = cond_to_dnf(&c, 2, false);
+        assert_eq!(dnf.len(), 2);
+        for conj in &dnf {
+            assert_eq!(conj.len(), 1);
+        }
+    }
+
+    #[test]
+    fn dnf_of_equality() {
+        let c = Cond::Cmp(Expr::Var(0), CmpOp::Eq, Expr::Const(3));
+        let dnf = cond_to_dnf(&c, 1, false);
+        assert_eq!(dnf.len(), 1);
+        assert_eq!(dnf[0].len(), 2);
+        let ne = cond_to_dnf(&c, 1, true);
+        assert_eq!(ne.len(), 2);
+    }
+
+    #[test]
+    fn formula_of_condition() {
+        let c = Cond::Or(vec![
+            Cond::Cmp(Expr::Var(0), CmpOp::Gt, Expr::Const(0)),
+            Cond::Cmp(Expr::Var(1), CmpOp::Eq, Expr::Const(2)),
+        ]);
+        let f = cond_to_formula(&c, &identity_state(2), 2, false);
+        let assign_true = |v: TermVar| if v.0 == 0 { q(1) } else { q(0) };
+        let assign_false = |v: TermVar| if v.0 == 0 { q(0) } else { q(0) };
+        assert!(f.eval(&assign_true));
+        assert!(!f.eval(&assign_false));
+        let neg = cond_to_formula(&c, &identity_state(2), 2, true);
+        assert!(!neg.eval(&assign_true));
+        assert!(neg.eval(&assign_false));
+    }
+
+    #[test]
+    fn nondet_condition_is_true_in_both_polarities() {
+        let f = cond_to_formula(&Cond::Nondet, &identity_state(1), 1, false);
+        let g = cond_to_formula(&Cond::Nondet, &identity_state(1), 1, true);
+        assert_eq!(f, Formula::True);
+        assert_eq!(g, Formula::True);
+        assert_eq!(cond_to_dnf(&Cond::Nondet, 1, false), vec![Vec::new()]);
+        assert_eq!(cond_to_dnf(&Cond::Nondet, 1, true), vec![Vec::new()]);
+    }
+}

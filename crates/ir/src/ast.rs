@@ -1,0 +1,156 @@
+//! Abstract syntax of the mini integer language.
+
+use std::fmt;
+
+/// Index of a program variable (into [`Program::vars`]).
+pub type VarId = usize;
+
+/// Integer expressions (restricted to affine forms at analysis time).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Program variable.
+    Var(VarId),
+    /// Sum of two expressions.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference of two expressions.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Product; the analyser requires at least one factor to be constant.
+    Mul(Box<Expr>, Box<Expr>),
+    /// A non-deterministic integer (`nondet()`).
+    Nondet,
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+/// Boolean conditions over integer comparisons.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cond {
+    /// Constant truth.
+    True,
+    /// Constant falsity.
+    False,
+    /// Comparison of two expressions.
+    Cmp(Expr, CmpOp, Expr),
+    /// Conjunction.
+    And(Vec<Cond>),
+    /// Disjunction.
+    Or(Vec<Cond>),
+    /// Negation.
+    Not(Box<Cond>),
+    /// A non-deterministic Boolean (`choose()`), e.g. Listing 1 of the paper.
+    Nondet,
+}
+
+/// Statements of the mini language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `x = e;`
+    Assign(VarId, Expr),
+    /// `assume c;`
+    Assume(Cond),
+    /// `skip;`
+    Skip,
+    /// `if (c) { .. } else { .. }`
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `choice { .. } or { .. } or { .. }` — non-deterministic branching.
+    Choice(Vec<Vec<Stmt>>),
+    /// `while (c) { .. }`
+    While(Cond, Vec<Stmt>),
+}
+
+/// A whole program: variable declarations, an initial assumption and a body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Human-readable name (used by the benchmark harness).
+    pub name: String,
+    /// Declared variable names; indices are [`VarId`]s.
+    pub vars: Vec<String>,
+    /// Initial condition (`assume` at the top of the program), if any.
+    pub init: Option<Cond>,
+    /// Statement list.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// Creates a program with the given variables and body.
+    pub fn new(name: impl Into<String>, vars: Vec<String>, init: Option<Cond>, body: Vec<Stmt>) -> Self {
+        Program { name: name.into(), vars, init, body }
+    }
+
+    /// Number of integer variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Looks up a variable id by name.
+    pub fn var_id(&self, name: &str) -> Option<VarId> {
+        self.vars.iter().position(|v| v == name)
+    }
+
+    /// Number of `while` loops in the program (= number of cut points).
+    pub fn num_loops(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::While(_, body) => 1 + count(body),
+                    Stmt::If(_, a, b) => count(a) + count(b),
+                    Stmt::Choice(branches) => branches.iter().map(|b| count(b)).sum(),
+                    _ => 0,
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} (vars: {})", self.name, self.vars.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loop_counting() {
+        let p = Program::new(
+            "p",
+            vec!["x".into()],
+            None,
+            vec![Stmt::While(
+                Cond::True,
+                vec![Stmt::If(
+                    Cond::True,
+                    vec![Stmt::While(Cond::False, vec![Stmt::Skip])],
+                    vec![],
+                )],
+            )],
+        );
+        assert_eq!(p.num_loops(), 2);
+        assert_eq!(p.num_vars(), 1);
+        assert_eq!(p.var_id("x"), Some(0));
+        assert_eq!(p.var_id("y"), None);
+    }
+}

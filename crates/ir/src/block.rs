@@ -1,0 +1,732 @@
+//! Large-block encoding: the cut-point transition system.
+//!
+//! The cut-set of a structured program is the set of its loop headers
+//! (Section 2.2 of the paper; in block-structured programs loop headers cut
+//! every cycle). For every pair of cut points `k`, `k'`, this module builds a
+//! linear-arithmetic formula over the pre-state variables `x`, the post-state
+//! variables `x'` and auxiliary existential variables describing **all** paths
+//! from `k` to `k'` that do not traverse another cut point.
+//!
+//! The encoding is *structural*: statement sequences become conjunctions
+//! linked by intermediate symbolic states, and branching statements become
+//! disjunctions over fresh merge variables, so the formula size stays linear
+//! in the program size even when the number of paths is exponential (the
+//! scalability point of §1 and §10 of the paper). The formula is handed to
+//! the optimizing SMT solver as-is; it is never expanded to DNF.
+
+use crate::affine::{cond_to_formula, AffineExpr};
+use crate::ast::{Program, Stmt};
+use std::fmt;
+use termite_smt::{Formula, LinExpr, TermVar};
+
+/// Identifier of a cut point (loop header), `0..num_locations`.
+pub type LocId = usize;
+
+/// A "large block" transition between two cut points.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockTransition {
+    /// Source cut point.
+    pub from: LocId,
+    /// Target cut point.
+    pub to: LocId,
+    /// Relation between the pre-state (variables `0..n`), the post-state
+    /// (variables `n..2n`) and auxiliary variables (`≥ 2n`).
+    pub formula: Formula,
+}
+
+/// The cut-point transition system of a program.
+///
+/// Variable numbering convention (shared with `termite-core`):
+/// * `TermVar(i)` for `i < n` is the pre-state value of program variable `i`;
+/// * `TermVar(n + i)` is its post-state value;
+/// * `TermVar(j)` for `j ≥ 2n` are auxiliary (existential) variables
+///   introduced by the encoding; fresh variables may be allocated starting at
+///   [`TransitionSystem::first_free_var`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TransitionSystem {
+    var_names: Vec<String>,
+    num_locations: usize,
+    transitions: Vec<BlockTransition>,
+    next_temp: usize,
+    name: String,
+}
+
+impl TransitionSystem {
+    /// Builds a transition system directly from parts (used by benchmark
+    /// generators and tests; [`Program::transition_system`] is the usual
+    /// entry point).
+    pub fn from_parts(
+        name: impl Into<String>,
+        var_names: Vec<String>,
+        num_locations: usize,
+        transitions: Vec<BlockTransition>,
+        next_temp: usize,
+    ) -> Self {
+        let n = var_names.len();
+        TransitionSystem {
+            var_names,
+            num_locations,
+            transitions,
+            next_temp: next_temp.max(2 * n),
+            name: name.into(),
+        }
+    }
+
+    /// Name of the underlying program.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of integer program variables `n`.
+    pub fn num_vars(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// Names of the program variables.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
+    }
+
+    /// The cut points `0..num_locations`.
+    pub fn locations(&self) -> Vec<LocId> {
+        (0..self.num_locations).collect()
+    }
+
+    /// Number of cut points.
+    pub fn num_locations(&self) -> usize {
+        self.num_locations
+    }
+
+    /// The block transitions.
+    pub fn transitions(&self) -> &[BlockTransition] {
+        &self.transitions
+    }
+
+    /// Pre-state theory variable of program variable `i`.
+    pub fn pre_var(&self, i: usize) -> TermVar {
+        TermVar(i)
+    }
+
+    /// Post-state theory variable of program variable `i`.
+    pub fn post_var(&self, i: usize) -> TermVar {
+        TermVar(self.num_vars() + i)
+    }
+
+    /// First theory-variable index not used by the encoding; callers may
+    /// allocate fresh variables from this index upwards.
+    pub fn first_free_var(&self) -> usize {
+        self.next_temp
+    }
+
+    /// Total number of atoms across all block transition formulas (a size
+    /// measure reported by the benchmark harness).
+    pub fn formula_atoms(&self) -> usize {
+        self.transitions.iter().map(|t| t.formula.num_atoms()).sum()
+    }
+}
+
+impl fmt::Display for TransitionSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "transition system `{}`: {} variables, {} cut points, {} block transitions",
+            self.name,
+            self.num_vars(),
+            self.num_locations,
+            self.transitions.len()
+        )
+    }
+}
+
+/// Where control goes after the current statement list is exhausted.
+#[derive(Clone, Copy, Debug)]
+enum Tail {
+    /// Jump back to the given loop header.
+    LoopBack(LocId),
+    /// Fall off the end of the program.
+    Exit,
+}
+
+/// A continuation: statement slices still to execute, then the tail.
+#[derive(Clone, Debug)]
+struct Cont<'a> {
+    frames: Vec<&'a [Stmt]>,
+    tail: Tail,
+}
+
+impl<'a> Cont<'a> {
+    fn push_front(&self, stmts: &'a [Stmt]) -> Cont<'a> {
+        let mut frames = Vec::with_capacity(self.frames.len() + 1);
+        frames.push(stmts);
+        frames.extend(self.frames.iter().copied());
+        Cont { frames, tail: self.tail }
+    }
+}
+
+/// Symbolic state: the current value of each program variable as a linear
+/// expression over already-introduced theory variables.
+type SymState = Vec<LinExpr>;
+
+struct BlockBuilder<'p> {
+    program: &'p Program,
+    n: usize,
+    next_temp: usize,
+    transitions: Vec<BlockTransition>,
+    /// `while` statements in pre-order; index = cut point id.
+    loops: Vec<&'p Stmt>,
+}
+
+fn preorder_whiles<'a>(stmts: &'a [Stmt], out: &mut Vec<&'a Stmt>) {
+    for s in stmts {
+        match s {
+            Stmt::While(_, body) => {
+                out.push(s);
+                preorder_whiles(body, out);
+            }
+            Stmt::If(_, a, b) => {
+                preorder_whiles(a, out);
+                preorder_whiles(b, out);
+            }
+            Stmt::Choice(branches) => {
+                for b in branches {
+                    preorder_whiles(b, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn contains_while(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::While(_, _) => true,
+        Stmt::If(_, a, b) => contains_while(a) || contains_while(b),
+        Stmt::Choice(branches) => branches.iter().any(|b| contains_while(b)),
+        _ => false,
+    })
+}
+
+impl<'p> BlockBuilder<'p> {
+    fn fresh_temp(&mut self) -> TermVar {
+        let v = TermVar(self.next_temp);
+        self.next_temp += 1;
+        v
+    }
+
+    fn loop_id(&self, stmt: &Stmt) -> LocId {
+        self.loops
+            .iter()
+            .position(|w| std::ptr::eq(*w, stmt))
+            .expect("while statement must have been collected")
+    }
+
+    fn identity_state(&self) -> SymState {
+        (0..self.n).map(|i| LinExpr::var(TermVar(i))).collect()
+    }
+
+    fn state_fn(state: &SymState) -> impl Fn(usize) -> LinExpr + '_ {
+        move |i| state[i].clone()
+    }
+
+    fn emit(&mut self, from: LocId, to: LocId, path: Formula, state: &SymState) {
+        if path == Formula::False {
+            return;
+        }
+        let mut conj = vec![path];
+        for (i, value) in state.iter().enumerate() {
+            conj.push(Formula::eq_expr(LinExpr::var(TermVar(self.n + i)), value.clone()));
+        }
+        self.transitions.push(BlockTransition { from, to, formula: Formula::and(conj) });
+    }
+
+    /// Walks a statement list from cut point `source`, emitting a block
+    /// transition whenever another cut point (or `source` again) is reached.
+    fn walk(&mut self, source: LocId, state: SymState, path: Formula, stmts: &'p [Stmt], cont: Cont<'p>) {
+        if path == Formula::False {
+            return;
+        }
+        let Some((first, rest)) = stmts.split_first() else {
+            let mut frames = cont.frames.clone();
+            if frames.is_empty() {
+                match cont.tail {
+                    Tail::LoopBack(h) => self.emit(source, h, path, &state),
+                    Tail::Exit => {}
+                }
+            } else {
+                let next = frames.remove(0);
+                self.walk(source, state, path, next, Cont { frames, tail: cont.tail });
+            }
+            return;
+        };
+        match first {
+            Stmt::Skip => self.walk(source, state, path, rest, cont),
+            Stmt::Assign(v, e) => {
+                let mut state = state;
+                match AffineExpr::from_expr(e, self.n) {
+                    Some(a) => {
+                        let value = a.to_linexpr(&Self::state_fn(&state));
+                        state[*v] = value;
+                    }
+                    None => {
+                        let t = self.fresh_temp();
+                        state[*v] = LinExpr::var(t);
+                    }
+                }
+                self.walk(source, state, path, rest, cont)
+            }
+            Stmt::Assume(c) => {
+                let guard = cond_to_formula(c, &Self::state_fn(&state), self.n, false);
+                self.walk(source, state, Formula::and(vec![path, guard]), rest, cont)
+            }
+            Stmt::If(c, then_branch, else_branch) => {
+                if contains_while(then_branch) || contains_while(else_branch) {
+                    let g_then = cond_to_formula(c, &Self::state_fn(&state), self.n, false);
+                    let g_else = cond_to_formula(c, &Self::state_fn(&state), self.n, true);
+                    let cont_then = cont.push_front(rest);
+                    self.walk(
+                        source,
+                        state.clone(),
+                        Formula::and(vec![path.clone(), g_then]),
+                        then_branch,
+                        cont_then,
+                    );
+                    let cont_else = cont.push_front(rest);
+                    self.walk(
+                        source,
+                        state,
+                        Formula::and(vec![path, g_else]),
+                        else_branch,
+                        cont_else,
+                    );
+                } else {
+                    let g_then = cond_to_formula(c, &Self::state_fn(&state), self.n, false);
+                    let g_else = cond_to_formula(c, &Self::state_fn(&state), self.n, true);
+                    let branches = vec![(g_then, then_branch.as_slice()), (g_else, else_branch.as_slice())];
+                    let (merged, new_state) = self.merge_branches(&state, branches);
+                    self.walk(source, new_state, Formula::and(vec![path, merged]), rest, cont)
+                }
+            }
+            Stmt::Choice(branch_list) => {
+                if branch_list.iter().any(|b| contains_while(b)) {
+                    for branch in branch_list {
+                        let cont_b = cont.push_front(rest);
+                        self.walk(source, state.clone(), path.clone(), branch, cont_b);
+                    }
+                } else {
+                    let branches: Vec<(Formula, &[Stmt])> =
+                        branch_list.iter().map(|b| (Formula::True, b.as_slice())).collect();
+                    let (merged, new_state) = self.merge_branches(&state, branches);
+                    self.walk(source, new_state, Formula::and(vec![path, merged]), rest, cont)
+                }
+            }
+            Stmt::While(_, _) => {
+                let h = self.loop_id(first);
+                self.emit(source, h, path, &state);
+            }
+        }
+    }
+
+    /// Straight-line (loop-free) encoding of a statement list; returns the
+    /// accumulated path condition and the final symbolic state.
+    fn straight(&mut self, mut state: SymState, mut path: Formula, stmts: &[Stmt]) -> (Formula, SymState) {
+        for s in stmts {
+            match s {
+                Stmt::Skip => {}
+                Stmt::Assign(v, e) => match AffineExpr::from_expr(e, self.n) {
+                    Some(a) => {
+                        let value = a.to_linexpr(&Self::state_fn(&state));
+                        state[*v] = value;
+                    }
+                    None => {
+                        let t = self.fresh_temp();
+                        state[*v] = LinExpr::var(t);
+                    }
+                },
+                Stmt::Assume(c) => {
+                    let guard = cond_to_formula(c, &Self::state_fn(&state), self.n, false);
+                    path = Formula::and(vec![path, guard]);
+                }
+                Stmt::If(c, a, b) => {
+                    let g_then = cond_to_formula(c, &Self::state_fn(&state), self.n, false);
+                    let g_else = cond_to_formula(c, &Self::state_fn(&state), self.n, true);
+                    let branches = vec![(g_then, a.as_slice()), (g_else, b.as_slice())];
+                    let (merged, new_state) = self.merge_branches(&state, branches);
+                    path = Formula::and(vec![path, merged]);
+                    state = new_state;
+                }
+                Stmt::Choice(branch_list) => {
+                    let branches: Vec<(Formula, &[Stmt])> =
+                        branch_list.iter().map(|b| (Formula::True, b.as_slice())).collect();
+                    let (merged, new_state) = self.merge_branches(&state, branches);
+                    path = Formula::and(vec![path, merged]);
+                    state = new_state;
+                }
+                Stmt::While(_, _) => unreachable!("straight-line encoding cannot contain loops"),
+            }
+        }
+        (path, state)
+    }
+
+    /// Encodes a branching construct whose branches are loop-free: each branch
+    /// is encoded independently and the results are merged into fresh
+    /// variables, producing a disjunction of linear size.
+    fn merge_branches(
+        &mut self,
+        state: &SymState,
+        branches: Vec<(Formula, &[Stmt])>,
+    ) -> (Formula, SymState) {
+        let encoded: Vec<(Formula, SymState)> = branches
+            .into_iter()
+            .map(|(guard, stmts)| self.straight(state.clone(), guard, stmts))
+            .collect();
+        let merged_state: SymState = (0..self.n).map(|_| LinExpr::var(self.fresh_temp())).collect();
+        let disjuncts: Vec<Formula> = encoded
+            .into_iter()
+            .map(|(branch_path, branch_state)| {
+                let mut conj = vec![branch_path];
+                for i in 0..self.n {
+                    conj.push(Formula::eq_expr(merged_state[i].clone(), branch_state[i].clone()));
+                }
+                Formula::and(conj)
+            })
+            .collect();
+        (Formula::or(disjuncts), merged_state)
+    }
+
+    /// The continuation of a given `while` statement: what runs after the loop
+    /// exits.
+    fn continuation_of(&self, target: &Stmt) -> Cont<'p> {
+        fn search<'p>(
+            stmts: &'p [Stmt],
+            target: &Stmt,
+            outer: &Cont<'p>,
+            loops: &[&'p Stmt],
+        ) -> Option<Cont<'p>> {
+            for (i, s) in stmts.iter().enumerate() {
+                let rest = &stmts[i + 1..];
+                if std::ptr::eq(s, target) {
+                    return Some(outer.push_front(rest));
+                }
+                match s {
+                    Stmt::While(_, body) => {
+                        let my_id = loops
+                            .iter()
+                            .position(|w| std::ptr::eq(*w, s))
+                            .expect("collected loop");
+                        let inner = Cont { frames: Vec::new(), tail: Tail::LoopBack(my_id) };
+                        if let Some(found) = search(body, target, &inner, loops) {
+                            return Some(found);
+                        }
+                    }
+                    Stmt::If(_, a, b) => {
+                        let branch_cont = outer.push_front(rest);
+                        if let Some(found) = search(a, target, &branch_cont, loops) {
+                            return Some(found);
+                        }
+                        if let Some(found) = search(b, target, &branch_cont, loops) {
+                            return Some(found);
+                        }
+                    }
+                    Stmt::Choice(branch_list) => {
+                        let branch_cont = outer.push_front(rest);
+                        for branch in branch_list {
+                            if let Some(found) = search(branch, target, &branch_cont, loops) {
+                                return Some(found);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            None
+        }
+        let top = Cont { frames: Vec::new(), tail: Tail::Exit };
+        search(&self.program.body, target, &top, &self.loops)
+            .expect("every collected while occurs in the program body")
+    }
+}
+
+impl Program {
+    /// Builds the cut-point transition system (large-block encoding) of the
+    /// program.
+    pub fn transition_system(&self) -> TransitionSystem {
+        let mut loops = Vec::new();
+        preorder_whiles(&self.body, &mut loops);
+        let n = self.num_vars();
+        let mut builder = BlockBuilder {
+            program: self,
+            n,
+            next_temp: 2 * n,
+            transitions: Vec::new(),
+            loops: loops.clone(),
+        };
+        for (id, w) in loops.iter().enumerate() {
+            let Stmt::While(cond, body) = w else { unreachable!() };
+            let identity = builder.identity_state();
+            // (a) one more iteration: guard holds, execute the body, continue
+            //     until the next cut point (possibly this one).
+            let enter = cond_to_formula(cond, &BlockBuilder::state_fn(&identity), n, false);
+            builder.walk(
+                id,
+                identity.clone(),
+                enter,
+                body,
+                Cont { frames: Vec::new(), tail: Tail::LoopBack(id) },
+            );
+            // (b) loop exit: guard fails, continue with whatever follows the
+            //     loop until the next cut point or program exit.
+            let exit = cond_to_formula(cond, &BlockBuilder::state_fn(&identity), n, true);
+            let cont = builder.continuation_of(w);
+            builder.walk(id, identity, exit, &[], cont);
+        }
+        TransitionSystem {
+            var_names: self.vars.clone(),
+            num_locations: loops.len(),
+            transitions: builder.transitions,
+            next_temp: builder.next_temp,
+            name: self.name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use termite_num::Rational;
+
+    /// Checks that a concrete (pre, post) pair satisfies some transition
+    /// formula between the given locations, by evaluating the formula with
+    /// every combination of auxiliary values drawn from a small window around
+    /// the mentioned constants. (Only used on tiny formulas in tests.)
+    fn has_transition(
+        ts: &TransitionSystem,
+        from: usize,
+        to: usize,
+        pre: &[i64],
+        post: &[i64],
+    ) -> bool {
+        let n = ts.num_vars();
+        ts.transitions()
+            .iter()
+            .filter(|t| t.from == from && t.to == to)
+            .any(|t| {
+                // Collect auxiliary variables of the formula.
+                let aux: Vec<TermVar> =
+                    t.formula.vars().into_iter().filter(|v| v.0 >= 2 * n).collect();
+                // Candidate values for auxiliaries: all pre/post values and
+                // small constants (enough for merge variables, which always
+                // equal one of the branch results).
+                let mut candidates: Vec<i64> = pre.iter().chain(post.iter()).copied().collect();
+                candidates.extend_from_slice(&[-1, 0, 1]);
+                candidates.sort_unstable();
+                candidates.dedup();
+                fn try_all(
+                    formula: &Formula,
+                    aux: &[TermVar],
+                    idx: usize,
+                    assign: &mut std::collections::HashMap<usize, i64>,
+                    candidates: &[i64],
+                    pre: &[i64],
+                    post: &[i64],
+                    n: usize,
+                ) -> bool {
+                    if idx == aux.len() {
+                        let eval = |v: TermVar| -> Rational {
+                            if v.0 < n {
+                                Rational::from(pre[v.0])
+                            } else if v.0 < 2 * n {
+                                Rational::from(post[v.0 - n])
+                            } else {
+                                Rational::from(*assign.get(&v.0).unwrap_or(&0))
+                            }
+                        };
+                        return formula.eval(&eval);
+                    }
+                    for &c in candidates {
+                        assign.insert(aux[idx].0, c);
+                        if try_all(formula, aux, idx + 1, assign, candidates, pre, post, n) {
+                            return true;
+                        }
+                    }
+                    assign.remove(&aux[idx].0);
+                    false
+                }
+                let mut assign = std::collections::HashMap::new();
+                try_all(&t.formula, &aux, 0, &mut assign, &candidates, pre, post, n)
+            })
+    }
+
+    #[test]
+    fn example_1_single_block_with_disjunction() {
+        let p = parse_program(
+            r#"
+            var x, y;
+            while (true) {
+                choice {
+                    assume x <= 10 && y >= 0;
+                    x = x + 1;
+                    y = y - 1;
+                } or {
+                    assume x >= 0 && y >= 0;
+                    x = x - 1;
+                    y = y - 1;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        let ts = p.transition_system();
+        assert_eq!(ts.num_locations(), 1);
+        assert_eq!(ts.transitions().len(), 1);
+        // Transition t1 from (5, 10) to (6, 9) and t2 to (4, 9) are both allowed.
+        assert!(has_transition(&ts, 0, 0, &[5, 10], &[6, 9]));
+        assert!(has_transition(&ts, 0, 0, &[5, 10], &[4, 9]));
+        // But not an arbitrary jump.
+        assert!(!has_transition(&ts, 0, 0, &[5, 10], &[9, 9]));
+        // And not when the guard fails (y < 0).
+        assert!(!has_transition(&ts, 0, 0, &[5, -1], &[6, -2]));
+    }
+
+    #[test]
+    fn sequence_of_ifs_stays_single_transition() {
+        // Listing 1 of the paper: the ranking function decreases on each path,
+        // not at each step; the block encoding keeps one transition per loop.
+        let p = parse_program(
+            r#"
+            var x, c;
+            while (x >= 0) {
+                c = nondet();
+                if (c >= 1) { x = x - 1; } else { skip; }
+                if (c <= 0) { x = x - 1; } else { skip; }
+            }
+            "#,
+        )
+        .unwrap();
+        let ts = p.transition_system();
+        assert_eq!(ts.num_locations(), 1);
+        assert_eq!(ts.transitions().len(), 1);
+        // x always decreases by exactly one along the block (either branch).
+        assert!(has_transition(&ts, 0, 0, &[5, 0], &[4, 0]));
+        assert!(has_transition(&ts, 0, 0, &[5, 1], &[4, 1]));
+        assert!(!has_transition(&ts, 0, 0, &[5, 1], &[3, 1]));
+        assert!(!has_transition(&ts, 0, 0, &[5, 0], &[5, 0]));
+    }
+
+    #[test]
+    fn formula_size_is_linear_in_the_number_of_tests() {
+        // A loop with t successive if-then-else statements has 2^t paths but a
+        // linear-size block formula.
+        fn program_with_tests(t: usize) -> String {
+            let mut body = String::new();
+            for _ in 0..t {
+                body.push_str("if (nondet()) { x = x - 1; } else { x = x - 2; }\n");
+            }
+            format!("var x;\nwhile (x >= 0) {{\n{body}}}\n")
+        }
+        let small = parse_program(&program_with_tests(2)).unwrap().transition_system();
+        let large = parse_program(&program_with_tests(8)).unwrap().transition_system();
+        let per_test =
+            (large.formula_atoms() - small.formula_atoms()) as f64 / 6.0;
+        // Linear growth: the atom count per added test is a small constant.
+        assert!(per_test <= 12.0, "per-test formula growth too large: {per_test}");
+        assert_eq!(large.transitions().len(), 1);
+    }
+
+    #[test]
+    fn nested_loops_have_four_transition_groups() {
+        // Example 4 of the paper (two nested loops).
+        let p = parse_program(
+            r#"
+            var i, j;
+            while (i < 5) {
+                j = 0;
+                while (i > 2 && j <= 9) {
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+            "#,
+        )
+        .unwrap();
+        let ts = p.transition_system();
+        assert_eq!(ts.num_locations(), 2);
+        let pairs: std::collections::BTreeSet<(usize, usize)> =
+            ts.transitions().iter().map(|t| (t.from, t.to)).collect();
+        // outer -> inner (enter the inner loop), inner -> inner (iterate),
+        // inner -> outer (leave the inner loop, finish the body).
+        assert!(pairs.contains(&(0, 1)));
+        assert!(pairs.contains(&(1, 1)));
+        assert!(pairs.contains(&(1, 0)));
+        // No direct outer -> outer transition: every outer iteration passes
+        // through the inner header.
+        assert!(!pairs.contains(&(0, 0)));
+        // Concrete steps: entering the inner loop sets j to 0.
+        assert!(has_transition(&ts, 0, 1, &[3, 7], &[3, 0]));
+        // Iterating the inner loop increments j.
+        assert!(has_transition(&ts, 1, 1, &[3, 2], &[3, 3]));
+        // Leaving the inner loop increments i.
+        assert!(has_transition(&ts, 1, 0, &[3, 10], &[4, 10]));
+        assert!(!has_transition(&ts, 1, 0, &[3, 5], &[4, 5]));
+    }
+
+    #[test]
+    fn loop_exit_through_trailing_code_reaches_later_loop() {
+        let p = parse_program(
+            r#"
+            var x, y;
+            while (x > 0) { x = x - 1; }
+            y = 10;
+            while (y > 0) { y = y - 1; }
+            "#,
+        )
+        .unwrap();
+        let ts = p.transition_system();
+        assert_eq!(ts.num_locations(), 2);
+        let pairs: std::collections::BTreeSet<(usize, usize)> =
+            ts.transitions().iter().map(|t| (t.from, t.to)).collect();
+        assert!(pairs.contains(&(0, 0)));
+        assert!(pairs.contains(&(0, 1))); // exit the first loop, y := 10, reach the second
+        assert!(pairs.contains(&(1, 1)));
+        // Exiting the first loop sets y to 10 regardless of its old value.
+        assert!(has_transition(&ts, 0, 1, &[0, 3], &[0, 10]));
+        assert!(!has_transition(&ts, 0, 1, &[0, 3], &[0, 3]));
+    }
+
+    #[test]
+    fn loop_inside_if_branch() {
+        let p = parse_program(
+            r#"
+            var x, y;
+            while (x > 0) {
+                if (y > 0) {
+                    while (y > 0) { y = y - 1; }
+                } else { skip; }
+                x = x - 1;
+            }
+            "#,
+        )
+        .unwrap();
+        let ts = p.transition_system();
+        assert_eq!(ts.num_locations(), 2);
+        let pairs: std::collections::BTreeSet<(usize, usize)> =
+            ts.transitions().iter().map(|t| (t.from, t.to)).collect();
+        // Outer can loop to itself through the else branch.
+        assert!(pairs.contains(&(0, 0)));
+        // Outer reaches the inner header through the then branch.
+        assert!(pairs.contains(&(0, 1)));
+        // Inner loops and exits back to the outer header (after x = x - 1).
+        assert!(pairs.contains(&(1, 1)));
+        assert!(pairs.contains(&(1, 0)));
+        assert!(has_transition(&ts, 0, 0, &[3, 0], &[2, 0]));
+        assert!(has_transition(&ts, 1, 0, &[3, 0], &[2, 0]));
+    }
+
+    #[test]
+    fn from_parts_constructor() {
+        let ts = TransitionSystem::from_parts("manual", vec!["x".into()], 1, Vec::new(), 0);
+        assert_eq!(ts.num_vars(), 1);
+        assert_eq!(ts.first_free_var(), 2);
+        assert_eq!(ts.name(), "manual");
+    }
+}

@@ -1,0 +1,289 @@
+//! Node-level control-flow automaton.
+//!
+//! Every edge carries a single *convex* guarded command (a conjunction of
+//! linear constraints, an affine assignment, or a havoc). This fine-grained
+//! representation is consumed by the polyhedral abstract interpreter
+//! (`termite-invariants`), which plays the role of Aspic/Pagai in the paper's
+//! toolchain. The set of loop headers forms the cut-set used by the
+//! large-block encoding ([`crate::TransitionSystem`]); the `k`-th entry of
+//! [`Cfg::loop_headers`] is the CFG node of cut point `k`.
+
+use crate::affine::{cond_to_dnf, AffineExpr, LinearConstraint};
+use crate::ast::{Cond, Program, Stmt, VarId};
+use std::fmt;
+
+/// Index of a CFG node.
+pub type NodeId = usize;
+
+/// The operation carried by a CFG edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CfgOp {
+    /// A conjunction of linear constraints that must hold to take the edge.
+    Guard(Vec<LinearConstraint>),
+    /// An affine assignment `x_v := e`.
+    Assign(VarId, AffineExpr),
+    /// A non-deterministic assignment `x_v := nondet()`.
+    Havoc(VarId),
+}
+
+/// A CFG edge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CfgEdge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Guarded command on the edge.
+    pub op: CfgOp,
+}
+
+/// A control-flow automaton over the program variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cfg {
+    num_nodes: usize,
+    num_vars: usize,
+    entry: NodeId,
+    exit: NodeId,
+    edges: Vec<CfgEdge>,
+    loop_headers: Vec<NodeId>,
+}
+
+impl Cfg {
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of program variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Entry node.
+    pub fn entry(&self) -> NodeId {
+        self.entry
+    }
+
+    /// Exit node.
+    pub fn exit(&self) -> NodeId {
+        self.exit
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[CfgEdge] {
+        &self.edges
+    }
+
+    /// The loop-header nodes, in pre-order of the `while` statements; index
+    /// `k` in this slice is cut point `k` of the transition system.
+    pub fn loop_headers(&self) -> &[NodeId] {
+        &self.loop_headers
+    }
+
+    /// Edges leaving `node`.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = &CfgEdge> {
+        self.edges.iter().filter(move |e| e.from == node)
+    }
+
+    /// Edges entering `node`.
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = &CfgEdge> {
+        self.edges.iter().filter(move |e| e.to == node)
+    }
+}
+
+impl fmt::Display for Cfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cfg: {} nodes, {} edges, entry {}, exit {}, headers {:?}",
+            self.num_nodes,
+            self.edges.len(),
+            self.entry,
+            self.exit,
+            self.loop_headers
+        )
+    }
+}
+
+struct CfgBuilder {
+    num_vars: usize,
+    next_node: usize,
+    edges: Vec<CfgEdge>,
+    loop_headers: Vec<NodeId>,
+}
+
+impl CfgBuilder {
+    fn fresh_node(&mut self) -> NodeId {
+        let n = self.next_node;
+        self.next_node += 1;
+        n
+    }
+
+    fn edge(&mut self, from: NodeId, to: NodeId, op: CfgOp) {
+        self.edges.push(CfgEdge { from, to, op });
+    }
+
+    fn guard_edges(&mut self, from: NodeId, to: NodeId, cond: &Cond, negate: bool) {
+        for conj in cond_to_dnf(cond, self.num_vars, negate) {
+            self.edge(from, to, CfgOp::Guard(conj));
+        }
+    }
+
+    fn skip_edge(&mut self, from: NodeId, to: NodeId) {
+        self.edge(from, to, CfgOp::Guard(Vec::new()));
+    }
+
+    fn lower_stmts(&mut self, stmts: &[Stmt], mut cur: NodeId) -> NodeId {
+        for s in stmts {
+            cur = self.lower_stmt(s, cur);
+        }
+        cur
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, cur: NodeId) -> NodeId {
+        match stmt {
+            Stmt::Skip => cur,
+            Stmt::Assign(v, e) => {
+                let next = self.fresh_node();
+                match AffineExpr::from_expr(e, self.num_vars) {
+                    Some(a) => self.edge(cur, next, CfgOp::Assign(*v, a)),
+                    None => self.edge(cur, next, CfgOp::Havoc(*v)),
+                }
+                next
+            }
+            Stmt::Assume(c) => {
+                let next = self.fresh_node();
+                self.guard_edges(cur, next, c, false);
+                next
+            }
+            Stmt::If(c, then_branch, else_branch) => {
+                let then_entry = self.fresh_node();
+                let else_entry = self.fresh_node();
+                let join = self.fresh_node();
+                self.guard_edges(cur, then_entry, c, false);
+                self.guard_edges(cur, else_entry, c, true);
+                let then_end = self.lower_stmts(then_branch, then_entry);
+                self.skip_edge(then_end, join);
+                let else_end = self.lower_stmts(else_branch, else_entry);
+                self.skip_edge(else_end, join);
+                join
+            }
+            Stmt::Choice(branches) => {
+                let join = self.fresh_node();
+                for branch in branches {
+                    let entry = self.fresh_node();
+                    self.skip_edge(cur, entry);
+                    let end = self.lower_stmts(branch, entry);
+                    self.skip_edge(end, join);
+                }
+                join
+            }
+            Stmt::While(c, body) => {
+                let header = self.fresh_node();
+                self.loop_headers.push(header);
+                self.skip_edge(cur, header);
+                let body_entry = self.fresh_node();
+                self.guard_edges(header, body_entry, c, false);
+                let body_end = self.lower_stmts(body, body_entry);
+                self.skip_edge(body_end, header);
+                let after = self.fresh_node();
+                self.guard_edges(header, after, c, true);
+                after
+            }
+        }
+    }
+}
+
+impl Program {
+    /// Lowers the program to its node-level control-flow automaton.
+    pub fn to_cfg(&self) -> Cfg {
+        let mut b = CfgBuilder {
+            num_vars: self.num_vars(),
+            next_node: 0,
+            edges: Vec::new(),
+            loop_headers: Vec::new(),
+        };
+        let entry = b.fresh_node();
+        let mut cur = entry;
+        if let Some(init) = &self.init {
+            let next = b.fresh_node();
+            b.guard_edges(cur, next, init, false);
+            cur = next;
+        }
+        let exit = b.lower_stmts(&self.body, cur);
+        Cfg {
+            num_nodes: b.next_node,
+            num_vars: self.num_vars(),
+            entry,
+            exit,
+            edges: b.edges,
+            loop_headers: b.loop_headers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn straight_line_cfg() {
+        let p = parse_program("var x; x = 1; x = x + 1;").unwrap();
+        let cfg = p.to_cfg();
+        assert_eq!(cfg.loop_headers().len(), 0);
+        assert_eq!(cfg.edges().len(), 2);
+        assert_ne!(cfg.entry(), cfg.exit());
+    }
+
+    #[test]
+    fn single_loop_cfg() {
+        let p = parse_program("var x; while (x > 0) { x = x - 1; }").unwrap();
+        let cfg = p.to_cfg();
+        assert_eq!(cfg.loop_headers().len(), 1);
+        let header = cfg.loop_headers()[0];
+        // Header has at least two outgoing edges (enter body, exit loop).
+        assert!(cfg.successors(header).count() >= 2);
+        // And the body eventually loops back to it.
+        assert!(cfg.predecessors(header).count() >= 2);
+    }
+
+    #[test]
+    fn if_creates_two_guarded_paths() {
+        let p = parse_program("var x; if (x >= 0) { x = x - 1; } else { x = x + 1; }").unwrap();
+        let cfg = p.to_cfg();
+        let from_entry: Vec<_> = cfg.successors(cfg.entry()).collect();
+        assert_eq!(from_entry.len(), 2);
+        assert!(from_entry.iter().all(|e| matches!(e.op, CfgOp::Guard(_))));
+    }
+
+    #[test]
+    fn disjunctive_guard_splits_edges() {
+        let p = parse_program("var x, y; while (x > 0 || y > 0) { x = x - 1; }").unwrap();
+        let cfg = p.to_cfg();
+        let header = cfg.loop_headers()[0];
+        // Two entry edges (one per disjunct) plus one exit edge (conjunction of
+        // the negations stays convex).
+        let guards: Vec<_> = cfg.successors(header).collect();
+        assert_eq!(guards.len(), 3);
+    }
+
+    #[test]
+    fn nested_loops_preorder_headers() {
+        let p = parse_program(
+            "var i, j; while (i < 5) { j = 0; while (j < 10) { j = j + 1; } i = i + 1; }",
+        )
+        .unwrap();
+        let cfg = p.to_cfg();
+        assert_eq!(cfg.loop_headers().len(), 2);
+        // Pre-order: outer loop first.
+        assert!(cfg.loop_headers()[0] < cfg.loop_headers()[1]);
+    }
+
+    #[test]
+    fn havoc_assignment() {
+        let p = parse_program("var x; x = nondet();").unwrap();
+        let cfg = p.to_cfg();
+        assert!(matches!(cfg.edges()[0].op, CfgOp::Havoc(0)));
+    }
+}

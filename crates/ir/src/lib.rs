@@ -1,0 +1,59 @@
+//! Program representation for the Termite termination analyser.
+//!
+//! The original Termite consumes LLVM bitcode produced from C. This crate is
+//! the equivalent front-end substrate for the reproduction: a small structured
+//! integer language, its control-flow automaton, the cut-set of loop headers,
+//! and — crucially — the **large-block encoding** of the transition relation
+//! between cut points that the paper's algorithm consumes without ever
+//! expanding it to disjunctive normal form.
+//!
+//! * [`parse_program`] / [`Program`] — a structured `while`/`if`/`choice`
+//!   language over integer variables with affine assignments, `nondet()`
+//!   havoc and `assume` statements;
+//! * [`Cfg`] — the node-level control-flow automaton (one affine guarded
+//!   command per edge) used by the polyhedral invariant generator;
+//! * [`TransitionSystem`] — the cut-point transition system: one location per
+//!   loop header and, for every pair of cut points, a linear-arithmetic
+//!   formula (with `∧`, `∨` and auxiliary existential variables) describing
+//!   all paths between them that avoid other cut points. Its size is linear
+//!   in the program size even when the number of paths is exponential
+//!   (Listing 1 / §10 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use termite_ir::parse_program;
+//!
+//! let program = parse_program(r#"
+//!     var x, y;
+//!     assume x == 5 && y == 10;
+//!     while (true) {
+//!         choice {
+//!             assume x <= 10 && y >= 0;
+//!             x = x + 1;
+//!             y = y - 1;
+//!         } or {
+//!             assume x >= 0 && y >= 0;
+//!             x = x - 1;
+//!             y = y - 1;
+//!         }
+//!     }
+//! "#).unwrap();
+//! let ts = program.transition_system();
+//! assert_eq!(ts.locations().len(), 1);          // one loop header
+//! assert_eq!(ts.transitions().len(), 1);        // one self-loop block (with ∨ inside)
+//! let cfg = program.to_cfg();
+//! assert_eq!(cfg.loop_headers().len(), 1);
+//! ```
+
+mod affine;
+mod ast;
+mod block;
+mod cfg;
+mod parser;
+
+pub use affine::{cond_to_dnf, cond_to_formula, identity_state, AffineExpr, LinearConstraint};
+pub use ast::{CmpOp, Cond, Expr, Program, Stmt, VarId};
+pub use block::{BlockTransition, TransitionSystem};
+pub use cfg::{Cfg, CfgEdge, CfgOp, NodeId};
+pub use parser::{parse_named_program, parse_program, ParseError};

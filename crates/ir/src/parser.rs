@@ -1,0 +1,630 @@
+//! Lexer and recursive-descent parser for the mini language.
+//!
+//! ```text
+//! program := "var" ident ("," ident)* ";" stmt*
+//! stmt    := "assume" cond ";"
+//!          | "skip" ";"
+//!          | ident "=" expr ";"
+//!          | "if" "(" cond ")" block ("else" block)?
+//!          | "while" "(" cond ")" block
+//!          | "choice" block ("or" block)+
+//! block   := "{" stmt* "}"
+//! cond    := and-or combinations of comparisons, "true", "false",
+//!            "nondet()" and "!"-negation
+//! expr    := affine integer expressions with "nondet()"
+//! ```
+//!
+//! Line comments start with `//` or `#`.
+
+use crate::ast::{CmpOp, Cond, Expr, Program, Stmt};
+use std::fmt;
+
+/// Error produced when parsing fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset in the input at which the error was detected.
+    pub position: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Ident(String),
+    Num(i64),
+    KwVar,
+    KwAssume,
+    KwSkip,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwChoice,
+    KwOr,
+    KwTrue,
+    KwFalse,
+    KwNondet,
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    Semi,
+    Comma,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    EqEq,
+    Ne,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+    AndAnd,
+    OrOr,
+    Bang,
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0 }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && (self.src[self.pos] as char).is_whitespace() {
+                self.pos += 1;
+            }
+            // line comments
+            if self.pos + 1 < self.src.len() && &self.src[self.pos..self.pos + 2] == b"//" {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            if self.pos < self.src.len() && self.src[self.pos] == b'#' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+    }
+
+    fn next_token(&mut self) -> Result<(Token, usize), ParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        if self.pos >= self.src.len() {
+            return Ok((Token::Eof, start));
+        }
+        let c = self.src[self.pos] as char;
+        let two = if self.pos + 1 < self.src.len() {
+            Some(&self.src[self.pos..self.pos + 2])
+        } else {
+            None
+        };
+        let tok = match c {
+            '(' => Some(Token::LParen),
+            ')' => Some(Token::RParen),
+            '{' => Some(Token::LBrace),
+            '}' => Some(Token::RBrace),
+            ';' => Some(Token::Semi),
+            ',' => Some(Token::Comma),
+            '+' => Some(Token::Plus),
+            '-' => Some(Token::Minus),
+            '*' => Some(Token::Star),
+            _ => None,
+        };
+        if let Some(t) = tok {
+            self.pos += 1;
+            return Ok((t, start));
+        }
+        match two {
+            Some(b"==") => {
+                self.pos += 2;
+                return Ok((Token::EqEq, start));
+            }
+            Some(b"!=") => {
+                self.pos += 2;
+                return Ok((Token::Ne, start));
+            }
+            Some(b"<=") => {
+                self.pos += 2;
+                return Ok((Token::Le, start));
+            }
+            Some(b">=") => {
+                self.pos += 2;
+                return Ok((Token::Ge, start));
+            }
+            Some(b"&&") => {
+                self.pos += 2;
+                return Ok((Token::AndAnd, start));
+            }
+            Some(b"||") => {
+                self.pos += 2;
+                return Ok((Token::OrOr, start));
+            }
+            _ => {}
+        }
+        match c {
+            '<' => {
+                self.pos += 1;
+                Ok((Token::Lt, start))
+            }
+            '>' => {
+                self.pos += 1;
+                Ok((Token::Gt, start))
+            }
+            '=' => {
+                self.pos += 1;
+                Ok((Token::Assign, start))
+            }
+            '!' => {
+                self.pos += 1;
+                Ok((Token::Bang, start))
+            }
+            '0'..='9' => {
+                let mut end = self.pos;
+                while end < self.src.len() && (self.src[end] as char).is_ascii_digit() {
+                    end += 1;
+                }
+                let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap();
+                let value: i64 = text.parse().map_err(|_| ParseError {
+                    message: format!("integer literal out of range: {text}"),
+                    position: start,
+                })?;
+                self.pos = end;
+                Ok((Token::Num(value), start))
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut end = self.pos;
+                while end < self.src.len()
+                    && ((self.src[end] as char).is_ascii_alphanumeric() || self.src[end] == b'_')
+                {
+                    end += 1;
+                }
+                let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+                self.pos = end;
+                let tok = match text.as_str() {
+                    "var" | "int" => Token::KwVar,
+                    "assume" => Token::KwAssume,
+                    "skip" => Token::KwSkip,
+                    "if" => Token::KwIf,
+                    "else" => Token::KwElse,
+                    "while" => Token::KwWhile,
+                    "choice" => Token::KwChoice,
+                    "or" => Token::KwOr,
+                    "true" => Token::KwTrue,
+                    "false" => Token::KwFalse,
+                    "nondet" | "choose" | "random" => Token::KwNondet,
+                    _ => Token::Ident(text),
+                };
+                Ok((tok, start))
+            }
+            other => Err(ParseError {
+                message: format!("unexpected character {other:?}"),
+                position: start,
+            }),
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    index: usize,
+    vars: Vec<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.index].0
+    }
+
+    fn pos(&self) -> usize {
+        self.tokens[self.index].1
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.index].0.clone();
+        if self.index + 1 < self.tokens.len() {
+            self.index += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { message: message.into(), position: self.pos() }
+    }
+
+    fn expect(&mut self, expected: Token, what: &str) -> Result<(), ParseError> {
+        if *self.peek() == expected {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn var_id(&mut self, name: &str) -> Result<usize, ParseError> {
+        match self.vars.iter().position(|v| v == name) {
+            Some(i) => Ok(i),
+            None => Err(self.error(format!("undeclared variable `{name}`"))),
+        }
+    }
+
+    fn parse_program(&mut self, name: &str) -> Result<Program, ParseError> {
+        // Variable declarations: one or several `var a, b, c;` lines.
+        while *self.peek() == Token::KwVar {
+            self.advance();
+            loop {
+                match self.advance() {
+                    Token::Ident(n) => {
+                        if self.vars.contains(&n) {
+                            return Err(self.error(format!("duplicate variable `{n}`")));
+                        }
+                        self.vars.push(n);
+                    }
+                    other => {
+                        return Err(self.error(format!("expected variable name, found {other:?}")))
+                    }
+                }
+                match self.peek() {
+                    Token::Comma => {
+                        self.advance();
+                    }
+                    Token::Semi => {
+                        self.advance();
+                        break;
+                    }
+                    other => {
+                        return Err(self.error(format!("expected `,` or `;`, found {other:?}")))
+                    }
+                }
+            }
+        }
+        let mut body = Vec::new();
+        while *self.peek() != Token::Eof {
+            body.push(self.parse_stmt()?);
+        }
+        Ok(Program::new(name, self.vars.clone(), None, body))
+    }
+
+    fn parse_block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(Token::LBrace, "`{`")?;
+        let mut out = Vec::new();
+        while *self.peek() != Token::RBrace {
+            if *self.peek() == Token::Eof {
+                return Err(self.error("unexpected end of input inside block"));
+            }
+            out.push(self.parse_stmt()?);
+        }
+        self.expect(Token::RBrace, "`}`")?;
+        Ok(out)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Token::KwSkip => {
+                self.advance();
+                self.expect(Token::Semi, "`;`")?;
+                Ok(Stmt::Skip)
+            }
+            Token::KwAssume => {
+                self.advance();
+                let c = self.parse_cond()?;
+                self.expect(Token::Semi, "`;`")?;
+                Ok(Stmt::Assume(c))
+            }
+            Token::KwIf => {
+                self.advance();
+                self.expect(Token::LParen, "`(`")?;
+                let c = self.parse_cond()?;
+                self.expect(Token::RParen, "`)`")?;
+                let then_branch = self.parse_block()?;
+                let else_branch = if *self.peek() == Token::KwElse {
+                    self.advance();
+                    self.parse_block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If(c, then_branch, else_branch))
+            }
+            Token::KwWhile => {
+                self.advance();
+                self.expect(Token::LParen, "`(`")?;
+                let c = self.parse_cond()?;
+                self.expect(Token::RParen, "`)`")?;
+                let body = self.parse_block()?;
+                Ok(Stmt::While(c, body))
+            }
+            Token::KwChoice => {
+                self.advance();
+                let mut branches = vec![self.parse_block()?];
+                while *self.peek() == Token::KwOr {
+                    self.advance();
+                    branches.push(self.parse_block()?);
+                }
+                Ok(Stmt::Choice(branches))
+            }
+            Token::Ident(name) => {
+                self.advance();
+                let v = self.var_id(&name)?;
+                self.expect(Token::Assign, "`=`")?;
+                let e = self.parse_expr()?;
+                self.expect(Token::Semi, "`;`")?;
+                Ok(Stmt::Assign(v, e))
+            }
+            other => Err(self.error(format!("expected a statement, found {other:?}"))),
+        }
+    }
+
+    // conditions -----------------------------------------------------------
+
+    fn parse_cond(&mut self) -> Result<Cond, ParseError> {
+        let mut disjuncts = vec![self.parse_cond_and()?];
+        while *self.peek() == Token::OrOr {
+            self.advance();
+            disjuncts.push(self.parse_cond_and()?);
+        }
+        Ok(if disjuncts.len() == 1 { disjuncts.pop().unwrap() } else { Cond::Or(disjuncts) })
+    }
+
+    fn parse_cond_and(&mut self) -> Result<Cond, ParseError> {
+        let mut conjuncts = vec![self.parse_cond_atom()?];
+        while *self.peek() == Token::AndAnd {
+            self.advance();
+            conjuncts.push(self.parse_cond_atom()?);
+        }
+        Ok(if conjuncts.len() == 1 { conjuncts.pop().unwrap() } else { Cond::And(conjuncts) })
+    }
+
+    fn parse_cond_atom(&mut self) -> Result<Cond, ParseError> {
+        match self.peek().clone() {
+            Token::KwTrue => {
+                self.advance();
+                Ok(Cond::True)
+            }
+            Token::KwFalse => {
+                self.advance();
+                Ok(Cond::False)
+            }
+            Token::Bang => {
+                self.advance();
+                Ok(Cond::Not(Box::new(self.parse_cond_atom()?)))
+            }
+            Token::KwNondet => {
+                self.advance();
+                self.expect(Token::LParen, "`(`")?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Cond::Nondet)
+            }
+            Token::LParen => {
+                self.advance();
+                let c = self.parse_cond()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(c)
+            }
+            _ => {
+                let lhs = self.parse_expr()?;
+                let op = match self.advance() {
+                    Token::EqEq => CmpOp::Eq,
+                    Token::Ne => CmpOp::Ne,
+                    Token::Le => CmpOp::Le,
+                    Token::Lt => CmpOp::Lt,
+                    Token::Ge => CmpOp::Ge,
+                    Token::Gt => CmpOp::Gt,
+                    other => {
+                        return Err(self.error(format!("expected a comparison operator, found {other:?}")))
+                    }
+                };
+                let rhs = self.parse_expr()?;
+                Ok(Cond::Cmp(lhs, op, rhs))
+            }
+        }
+    }
+
+    // expressions ----------------------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.parse_term()?;
+        loop {
+            match self.peek() {
+                Token::Plus => {
+                    self.advance();
+                    acc = Expr::Add(Box::new(acc), Box::new(self.parse_term()?));
+                }
+                Token::Minus => {
+                    self.advance();
+                    acc = Expr::Sub(Box::new(acc), Box::new(self.parse_term()?));
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut acc = self.parse_factor()?;
+        while *self.peek() == Token::Star {
+            self.advance();
+            acc = Expr::Mul(Box::new(acc), Box::new(self.parse_factor()?));
+        }
+        Ok(acc)
+    }
+
+    fn parse_factor(&mut self) -> Result<Expr, ParseError> {
+        match self.advance() {
+            Token::Num(n) => Ok(Expr::Const(n)),
+            Token::Minus => Ok(Expr::Neg(Box::new(self.parse_factor()?))),
+            Token::Ident(name) => {
+                let v = self.var_id(&name)?;
+                Ok(Expr::Var(v))
+            }
+            Token::KwNondet => {
+                self.expect(Token::LParen, "`(`")?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(Expr::Nondet)
+            }
+            Token::LParen => {
+                let e = self.parse_expr()?;
+                self.expect(Token::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(self.error(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a program written in the mini language.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first syntax error encountered.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    parse_named_program(src, "program")
+}
+
+/// Parses a program and gives it an explicit name (used by benchmark suites).
+pub fn parse_named_program(src: &str, name: &str) -> Result<Program, ParseError> {
+    let mut lexer = Lexer::new(src);
+    let mut tokens = Vec::new();
+    loop {
+        let (t, p) = lexer.next_token()?;
+        let done = t == Token::Eof;
+        tokens.push((t, p));
+        if done {
+            break;
+        }
+    }
+    let mut parser = Parser { tokens, index: 0, vars: Vec::new() };
+    parser.parse_program(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_example_1() {
+        let p = parse_program(
+            r#"
+            var x, y;
+            assume x == 5 && y == 10;
+            while (true) {
+                choice {
+                    assume x <= 10 && y >= 0;
+                    x = x + 1;
+                    y = y - 1;
+                } or {
+                    assume x >= 0 && y >= 0;
+                    x = x - 1;
+                    y = y - 1;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.vars, vec!["x", "y"]);
+        assert_eq!(p.body.len(), 2);
+        assert_eq!(p.num_loops(), 1);
+        match &p.body[1] {
+            Stmt::While(Cond::True, body) => match &body[0] {
+                Stmt::Choice(branches) => assert_eq!(branches.len(), 2),
+                other => panic!("expected choice, got {other:?}"),
+            },
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_nested_loops_and_if_else() {
+        let p = parse_program(
+            r#"
+            var i, j;
+            while (i < 5) {
+                j = 0;
+                while (i > 2 && j <= 9) {
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+            if (i >= 5) { skip; } else { i = -i; }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.num_loops(), 2);
+        assert_eq!(p.body.len(), 2);
+    }
+
+    #[test]
+    fn parse_expressions_with_precedence() {
+        let p = parse_program("var x, y; x = 2 * y + 3 - -x;").unwrap();
+        match &p.body[0] {
+            Stmt::Assign(0, e) => {
+                // (2*y + 3) - (-x)
+                match e {
+                    Expr::Sub(lhs, rhs) => {
+                        assert!(matches!(**lhs, Expr::Add(_, _)));
+                        assert!(matches!(**rhs, Expr::Neg(_)));
+                    }
+                    other => panic!("unexpected expression {other:?}"),
+                }
+            }
+            other => panic!("unexpected statement {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_nondet_and_comments() {
+        let p = parse_program(
+            r#"
+            // a classic two-phase loop
+            var x, n;
+            n = nondet();         # havoc
+            while (x != n) {
+                if (nondet()) { x = x + 1; } else { x = x - 1; }
+            }
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.num_loops(), 1);
+        assert!(matches!(p.body[0], Stmt::Assign(1, Expr::Nondet)));
+    }
+
+    #[test]
+    fn error_on_undeclared_variable() {
+        let err = parse_program("var x; y = 3;").unwrap_err();
+        assert!(err.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        assert!(parse_program("var x; x = 3").is_err());
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse_program("var x; x = @;").is_err());
+        assert!(parse_program("while (true) {").is_err());
+    }
+
+    #[test]
+    fn keywords_alias() {
+        // `int` is accepted as an alias of `var`, `choose`/`random` as `nondet`.
+        let p = parse_program("int x; x = choose();").unwrap();
+        assert!(matches!(p.body[0], Stmt::Assign(0, Expr::Nondet)));
+    }
+}

@@ -1,0 +1,25 @@
+//! Exact linear algebra over the rationals.
+//!
+//! The synthesis algorithm of the paper manipulates vectors of rational
+//! coefficients: candidate ranking functions `λ`, counterexample differences
+//! `u = x − x'`, the *flat* subspace basis `B` used by `AvoidSpace`, and the
+//! Farkas combinations produced by the LP solver. This crate provides the
+//! supporting vector/matrix machinery:
+//!
+//! * [`QVector`] — dense rational vectors with the usual operations;
+//! * [`QMatrix`] — dense rational matrices, Gaussian elimination, rank,
+//!   system solving and null-space computation;
+//! * [`Subspace`] — an incrementally maintained row-echelon basis of a linear
+//!   subspace of Qⁿ, supporting membership tests and basis completion; this is
+//!   exactly the structure needed to implement `AvoidSpace(u, B)` and the
+//!   linear-independence checks of Algorithm 2.
+
+mod matrix;
+mod subspace;
+mod vector;
+
+pub use matrix::QMatrix;
+pub use subspace::Subspace;
+pub use vector::QVector;
+
+pub use termite_num::{Int, Rational};

@@ -1,0 +1,341 @@
+//! Dense rational matrices with Gaussian elimination.
+
+use crate::QVector;
+use std::fmt;
+use termite_num::Rational;
+
+/// A dense matrix of rationals, stored row-major.
+///
+/// ```
+/// use termite_linalg::{QMatrix, QVector};
+/// use termite_num::Rational;
+///
+/// let m = QMatrix::from_rows(vec![
+///     QVector::from_i64(&[2, 1]),
+///     QVector::from_i64(&[1, 3]),
+/// ]);
+/// let b = QVector::from_i64(&[3, 5]);
+/// let x = m.solve(&b).unwrap();
+/// assert_eq!(x, QVector::from_vec(vec![
+///     Rational::from_ints(4, 5),
+///     Rational::from_ints(7, 5),
+/// ]));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl QMatrix {
+    /// The zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        QMatrix { rows, cols, data: vec![Rational::zero(); rows * cols] }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = QMatrix::zeros(n, n);
+        for i in 0..n {
+            *m.get_mut(i, i) = Rational::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent dimensions.
+    pub fn from_rows(rows: Vec<QVector>) -> Self {
+        if rows.is_empty() {
+            return QMatrix::zeros(0, 0);
+        }
+        let cols = rows[0].dim();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in &rows {
+            assert_eq!(r.dim(), cols, "inconsistent row dimensions");
+            data.extend(r.iter().cloned());
+        }
+        QMatrix { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, r: usize, c: usize) -> &Rational {
+        &self.data[r * self.cols + c]
+    }
+
+    /// Mutable entry accessor.
+    pub fn get_mut(&mut self, r: usize, c: usize) -> &mut Rational {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Extracts row `r` as a vector.
+    pub fn row(&self, r: usize) -> QVector {
+        QVector::from_vec(self.data[r * self.cols..(r + 1) * self.cols].to_vec())
+    }
+
+    /// Extracts column `c` as a vector.
+    pub fn col(&self, c: usize) -> QVector {
+        (0..self.rows).map(|r| self.get(r, c).clone()).collect()
+    }
+
+    /// Matrix transpose.
+    pub fn transpose(&self) -> QMatrix {
+        let mut t = QMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                *t.get_mut(c, r) = self.get(r, c).clone();
+            }
+        }
+        t
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: &QVector) -> QVector {
+        assert_eq!(self.cols, v.dim(), "matrix-vector dimension mismatch");
+        (0..self.rows).map(|r| self.row(r).dot(v)).collect()
+    }
+
+    /// Matrix–matrix product.
+    pub fn mul_mat(&self, other: &QMatrix) -> QMatrix {
+        assert_eq!(self.cols, other.rows, "matrix-matrix dimension mismatch");
+        let mut out = QMatrix::zeros(self.rows, other.cols);
+        for r in 0..self.rows {
+            for c in 0..other.cols {
+                let mut acc = Rational::zero();
+                for k in 0..self.cols {
+                    let a = self.get(r, k);
+                    let b = other.get(k, c);
+                    if !a.is_zero() && !b.is_zero() {
+                        acc += a * b;
+                    }
+                }
+                *out.get_mut(r, c) = acc;
+            }
+        }
+        out
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+
+    /// Reduces the matrix in place to reduced row echelon form and returns the
+    /// pivot column of each pivot row (in order).
+    pub fn reduce_to_rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut pivot_row = 0;
+        for col in 0..self.cols {
+            if pivot_row >= self.rows {
+                break;
+            }
+            // Find a non-zero pivot in this column at or below pivot_row.
+            let Some(sel) = (pivot_row..self.rows).find(|&r| !self.get(r, col).is_zero()) else {
+                continue;
+            };
+            self.swap_rows(pivot_row, sel);
+            // Normalise the pivot row.
+            let inv = self.get(pivot_row, col).recip();
+            for c in col..self.cols {
+                let v = &*self.get(pivot_row, c) * &inv;
+                *self.get_mut(pivot_row, c) = v;
+            }
+            // Eliminate the column from every other row.
+            for r in 0..self.rows {
+                if r == pivot_row || self.get(r, col).is_zero() {
+                    continue;
+                }
+                let factor = self.get(r, col).clone();
+                for c in col..self.cols {
+                    let v = &*self.get(r, c) - &(&*self.get(pivot_row, c) * &factor);
+                    *self.get_mut(r, c) = v;
+                }
+            }
+            pivots.push(col);
+            pivot_row += 1;
+        }
+        pivots
+    }
+
+    /// Rank of the matrix.
+    pub fn rank(&self) -> usize {
+        let mut copy = self.clone();
+        copy.reduce_to_rref().len()
+    }
+
+    /// Solves `A x = b` for one solution, if the system is consistent.
+    ///
+    /// Free variables are set to zero.
+    pub fn solve(&self, b: &QVector) -> Option<QVector> {
+        assert_eq!(self.rows, b.dim(), "rhs dimension mismatch");
+        // Augment with b and reduce.
+        let mut aug = QMatrix::zeros(self.rows, self.cols + 1);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                *aug.get_mut(r, c) = self.get(r, c).clone();
+            }
+            *aug.get_mut(r, self.cols) = b[r].clone();
+        }
+        let pivots = aug.reduce_to_rref();
+        // Inconsistent if a pivot lands in the augmented column.
+        if pivots.contains(&self.cols) {
+            return None;
+        }
+        let mut x = QVector::zeros(self.cols);
+        for (row, &col) in pivots.iter().enumerate() {
+            x[col] = aug.get(row, self.cols).clone();
+        }
+        Some(x)
+    }
+
+    /// A basis of the null space `{x | A x = 0}`.
+    pub fn null_space(&self) -> Vec<QVector> {
+        let mut copy = self.clone();
+        let pivots = copy.reduce_to_rref();
+        let pivot_set: std::collections::HashSet<usize> = pivots.iter().copied().collect();
+        let mut basis = Vec::new();
+        for free in 0..self.cols {
+            if pivot_set.contains(&free) {
+                continue;
+            }
+            let mut v = QVector::zeros(self.cols);
+            v[free] = Rational::one();
+            for (row, &col) in pivots.iter().enumerate() {
+                v[col] = -copy.get(row, free);
+            }
+            basis.push(v);
+        }
+        basis
+    }
+}
+
+impl fmt::Display for QMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            writeln!(f, "{}", self.row(r))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_and_product() {
+        let id = QMatrix::identity(3);
+        let m = QMatrix::from_rows(vec![
+            QVector::from_i64(&[1, 2, 3]),
+            QVector::from_i64(&[4, 5, 6]),
+            QVector::from_i64(&[7, 8, 10]),
+        ]);
+        assert_eq!(id.mul_mat(&m), m);
+        assert_eq!(m.mul_mat(&id), m);
+        assert_eq!(m.mul_vec(&QVector::from_i64(&[1, 0, 0])), m.col(0));
+    }
+
+    #[test]
+    fn rank_and_rref() {
+        let m = QMatrix::from_rows(vec![
+            QVector::from_i64(&[1, 2, 3]),
+            QVector::from_i64(&[2, 4, 6]),
+            QVector::from_i64(&[1, 0, 1]),
+        ]);
+        assert_eq!(m.rank(), 2);
+        assert_eq!(QMatrix::identity(4).rank(), 4);
+        assert_eq!(QMatrix::zeros(3, 5).rank(), 0);
+    }
+
+    #[test]
+    fn solve_unique() {
+        let m = QMatrix::from_rows(vec![
+            QVector::from_i64(&[2, 1]),
+            QVector::from_i64(&[1, 3]),
+        ]);
+        let x = m.solve(&QVector::from_i64(&[3, 5])).unwrap();
+        assert_eq!(m.mul_vec(&x), QVector::from_i64(&[3, 5]));
+    }
+
+    #[test]
+    fn solve_inconsistent() {
+        let m = QMatrix::from_rows(vec![
+            QVector::from_i64(&[1, 1]),
+            QVector::from_i64(&[1, 1]),
+        ]);
+        assert!(m.solve(&QVector::from_i64(&[1, 2])).is_none());
+    }
+
+    #[test]
+    fn solve_underdetermined() {
+        let m = QMatrix::from_rows(vec![QVector::from_i64(&[1, 1, 1])]);
+        let b = QVector::from_i64(&[6]);
+        let x = m.solve(&b).unwrap();
+        assert_eq!(m.mul_vec(&x), b);
+    }
+
+    #[test]
+    fn null_space_correct() {
+        let m = QMatrix::from_rows(vec![
+            QVector::from_i64(&[1, 2, 3]),
+            QVector::from_i64(&[2, 4, 6]),
+        ]);
+        let ns = m.null_space();
+        assert_eq!(ns.len(), 2);
+        for v in &ns {
+            assert!(m.mul_vec(v).is_zero());
+            assert!(!v.is_zero());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_solve_produces_solution(rows in prop::collection::vec(prop::collection::vec(-5i64..5, 3), 3),
+                                        xs in prop::collection::vec(-5i64..5, 3)) {
+            let m = QMatrix::from_rows(rows.iter().map(|r| QVector::from_i64(r)).collect());
+            let x = QVector::from_i64(&xs);
+            let b = m.mul_vec(&x);
+            // The system is consistent by construction, so solve must succeed
+            // and produce some solution.
+            let sol = m.solve(&b).expect("consistent system must be solvable");
+            prop_assert_eq!(m.mul_vec(&sol), b);
+        }
+
+        #[test]
+        fn prop_rank_bounds(rows in prop::collection::vec(prop::collection::vec(-5i64..5, 4), 3)) {
+            let m = QMatrix::from_rows(rows.iter().map(|r| QVector::from_i64(r)).collect());
+            let r = m.rank();
+            prop_assert!(r <= 3);
+            prop_assert_eq!(m.transpose().rank(), r);
+        }
+
+        #[test]
+        fn prop_null_space_dimension(rows in prop::collection::vec(prop::collection::vec(-4i64..4, 4), 2)) {
+            let m = QMatrix::from_rows(rows.iter().map(|r| QVector::from_i64(r)).collect());
+            let rank = m.rank();
+            let ns = m.null_space();
+            prop_assert_eq!(ns.len(), 4 - rank);
+            for v in &ns {
+                prop_assert!(m.mul_vec(v).is_zero());
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Incrementally maintained linear subspaces of Qⁿ.
+//!
+//! Algorithm 1 of the paper maintains a linearly independent family `B` of
+//! directions on which every quasi ranking function is flat, and the SMT query
+//! is augmented with `AvoidSpace(u, B)` forcing the next counterexample out of
+//! `Span(B)`. Algorithm 2 needs to test whether a newly found `λ` is linearly
+//! independent from the components synthesized so far. [`Subspace`] supports
+//! both uses: O(n²) insertion keeping a row-echelon basis, membership tests,
+//! and completion to a full basis of Qⁿ.
+
+use crate::{QMatrix, QVector};
+
+/// A linear subspace of Qⁿ represented by a row-echelon basis.
+///
+/// ```
+/// use termite_linalg::{QVector, Subspace};
+///
+/// let mut s = Subspace::new(3);
+/// assert!(s.insert(QVector::from_i64(&[1, 1, 0])));
+/// assert!(s.insert(QVector::from_i64(&[0, 1, 1])));
+/// // (1, 2, 1) = (1,1,0) + (0,1,1) is already in the span.
+/// assert!(!s.insert(QVector::from_i64(&[1, 2, 1])));
+/// assert_eq!(s.dim(), 2);
+/// assert!(s.contains(&QVector::from_i64(&[2, 3, 1])));
+/// assert!(!s.contains(&QVector::from_i64(&[1, 0, 0])));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Subspace {
+    ambient: usize,
+    /// Echelonised basis rows: each has a leading (pivot) column strictly
+    /// greater than the previous row's, pivot normalised to 1.
+    basis: Vec<QVector>,
+    /// Original (un-echelonised) generators, in insertion order.
+    generators: Vec<QVector>,
+}
+
+impl Subspace {
+    /// The trivial subspace {0} of Qⁿ.
+    pub fn new(ambient_dim: usize) -> Self {
+        Subspace { ambient: ambient_dim, basis: Vec::new(), generators: Vec::new() }
+    }
+
+    /// Ambient dimension n.
+    pub fn ambient_dim(&self) -> usize {
+        self.ambient
+    }
+
+    /// Dimension of the subspace.
+    pub fn dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Returns `true` if the subspace is {0}.
+    pub fn is_trivial(&self) -> bool {
+        self.basis.is_empty()
+    }
+
+    /// The generators inserted so far that were linearly independent, in
+    /// insertion order (this is the family `B` of the paper).
+    pub fn generators(&self) -> &[QVector] {
+        &self.generators
+    }
+
+    /// Echelonised basis vectors.
+    pub fn echelon_basis(&self) -> &[QVector] {
+        &self.basis
+    }
+
+    /// Reduces `v` against the current basis, returning the residual.
+    fn reduce(&self, v: &QVector) -> QVector {
+        let mut v = v.clone();
+        for b in &self.basis {
+            let pivot = b.leading_index().expect("basis vectors are non-zero");
+            if !v[pivot].is_zero() {
+                let factor = -&v[pivot];
+                v = v.add_scaled(b, &factor);
+            }
+        }
+        v
+    }
+
+    /// Tests membership of `v` in the subspace.
+    pub fn contains(&self, v: &QVector) -> bool {
+        assert_eq!(v.dim(), self.ambient, "dimension mismatch");
+        self.reduce(v).is_zero()
+    }
+
+    /// Inserts `v`; returns `true` if it enlarged the subspace (i.e. `v` was
+    /// not already in the span), `false` otherwise.
+    pub fn insert(&mut self, v: QVector) -> bool {
+        assert_eq!(v.dim(), self.ambient, "dimension mismatch");
+        let residual = self.reduce(&v);
+        let Some(pivot) = residual.leading_index() else {
+            return false;
+        };
+        // Normalise pivot to 1.
+        let inv = residual[pivot].recip();
+        let new_row = residual.scale(&inv);
+        // Back-substitute into existing rows to keep reduced echelon form.
+        for b in &mut self.basis {
+            if !b[pivot].is_zero() {
+                let factor = -&b[pivot];
+                *b = b.add_scaled(&new_row, &factor);
+            }
+        }
+        // Insert keeping pivot order.
+        let pos = self
+            .basis
+            .iter()
+            .position(|b| b.leading_index().unwrap() > pivot)
+            .unwrap_or(self.basis.len());
+        self.basis.insert(pos, new_row);
+        self.generators.push(v);
+        true
+    }
+
+    /// Completes the subspace basis into a basis of the whole ambient space,
+    /// returning the added complement vectors (standard unit vectors).
+    ///
+    /// This is the `(B, B')` decomposition used by `AvoidSpace` in the paper:
+    /// `u ∈ Span(B)` iff its coordinates on the returned complement are all
+    /// zero.
+    pub fn complement_basis(&self) -> Vec<QVector> {
+        let pivot_cols: std::collections::HashSet<usize> = self
+            .basis
+            .iter()
+            .map(|b| b.leading_index().unwrap())
+            .collect();
+        (0..self.ambient)
+            .filter(|c| !pivot_cols.contains(c))
+            .map(|c| QVector::unit(self.ambient, c))
+            .collect()
+    }
+
+    /// Expresses `v` as coordinates over (echelon basis ++ complement basis),
+    /// i.e. solves for the unique decomposition of `v` in that full basis.
+    /// Returns `None` if something is inconsistent (cannot happen for a full
+    /// basis, kept for robustness).
+    pub fn coordinates_in_full_basis(&self, v: &QVector) -> Option<QVector> {
+        let mut cols: Vec<QVector> = self.basis.clone();
+        cols.extend(self.complement_basis());
+        let mat = QMatrix::from_rows(cols).transpose();
+        mat.solve(v)
+    }
+
+    /// Returns, for a vector `v`, the part of its decomposition lying on the
+    /// complement of the subspace. `v ∈ Span(B)` iff this part is zero.
+    pub fn complement_component(&self, v: &QVector) -> QVector {
+        self.reduce(v)
+    }
+}
+
+impl std::fmt::Display for Subspace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "span{{")?;
+        for (i, b) in self.basis.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "}} ⊆ Q^{}", self.ambient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insertion_and_membership() {
+        let mut s = Subspace::new(4);
+        assert!(s.insert(QVector::from_i64(&[1, 0, 2, 0])));
+        assert!(s.insert(QVector::from_i64(&[0, 1, 1, 0])));
+        assert!(!s.insert(QVector::from_i64(&[2, 3, 7, 0])));
+        assert_eq!(s.dim(), 2);
+        assert!(s.contains(&QVector::from_i64(&[1, -1, 1, 0])));
+        assert!(!s.contains(&QVector::from_i64(&[0, 0, 0, 1])));
+        assert!(s.contains(&QVector::zeros(4)));
+    }
+
+    #[test]
+    fn zero_vector_never_inserted() {
+        let mut s = Subspace::new(3);
+        assert!(!s.insert(QVector::zeros(3)));
+        assert!(s.is_trivial());
+    }
+
+    #[test]
+    fn complement_completes_basis() {
+        let mut s = Subspace::new(3);
+        s.insert(QVector::from_i64(&[1, 1, 0]));
+        let comp = s.complement_basis();
+        assert_eq!(comp.len(), 2);
+        let mut full = Subspace::new(3);
+        for b in s.echelon_basis() {
+            full.insert(b.clone());
+        }
+        for c in &comp {
+            assert!(full.insert(c.clone()));
+        }
+        assert_eq!(full.dim(), 3);
+    }
+
+    #[test]
+    fn complement_component_detects_membership() {
+        let mut s = Subspace::new(3);
+        s.insert(QVector::from_i64(&[0, 1, 0]));
+        let inside = QVector::from_i64(&[0, 5, 0]);
+        let outside = QVector::from_i64(&[1, 5, 0]);
+        assert!(s.complement_component(&inside).is_zero());
+        assert!(!s.complement_component(&outside).is_zero());
+    }
+
+    #[test]
+    fn full_basis_coordinates() {
+        let mut s = Subspace::new(2);
+        s.insert(QVector::from_i64(&[1, 1]));
+        let v = QVector::from_i64(&[3, 5]);
+        let coords = s.coordinates_in_full_basis(&v).unwrap();
+        assert_eq!(coords.dim(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dim_bounded_and_membership_consistent(
+            vecs in prop::collection::vec(prop::collection::vec(-5i64..5, 4), 1..8)
+        ) {
+            let mut s = Subspace::new(4);
+            let mut inserted = Vec::new();
+            for v in &vecs {
+                let qv = QVector::from_i64(v);
+                let grew = s.insert(qv.clone());
+                if grew {
+                    inserted.push(qv);
+                }
+            }
+            prop_assert!(s.dim() <= 4);
+            prop_assert_eq!(s.dim(), inserted.len());
+            // Every original vector must be contained in the final span.
+            for v in &vecs {
+                prop_assert!(s.contains(&QVector::from_i64(v)));
+            }
+            // The rank of the generator matrix equals the subspace dimension.
+            if !vecs.is_empty() {
+                let m = QMatrix::from_rows(vecs.iter().map(|v| QVector::from_i64(v)).collect());
+                prop_assert_eq!(m.rank(), s.dim());
+            }
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Dense rational vectors.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Neg, Sub};
+use termite_num::{Int, Rational};
+
+/// A dense vector of rationals.
+///
+/// ```
+/// use termite_linalg::QVector;
+/// use termite_num::Rational;
+///
+/// let v = QVector::from_i64(&[1, 2, 3]);
+/// let w = QVector::from_i64(&[4, 5, 6]);
+/// assert_eq!(v.dot(&w), Rational::from(32));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QVector {
+    entries: Vec<Rational>,
+}
+
+impl QVector {
+    /// The zero vector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        QVector { entries: vec![Rational::zero(); dim] }
+    }
+
+    /// Builds a vector from rational entries.
+    pub fn from_vec(entries: Vec<Rational>) -> Self {
+        QVector { entries }
+    }
+
+    /// Builds a vector from machine integers.
+    pub fn from_i64(entries: &[i64]) -> Self {
+        QVector { entries: entries.iter().map(|&v| Rational::from(v)).collect() }
+    }
+
+    /// The `i`-th standard basis vector of dimension `dim`.
+    pub fn unit(dim: usize, i: usize) -> Self {
+        let mut v = QVector::zeros(dim);
+        v.entries[i] = Rational::one();
+        v
+    }
+
+    /// Dimension of the vector.
+    pub fn dim(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if all entries are zero.
+    pub fn is_zero(&self) -> bool {
+        self.entries.iter().all(Rational::is_zero)
+    }
+
+    /// Immutable view of the entries.
+    pub fn entries(&self) -> &[Rational] {
+        &self.entries
+    }
+
+    /// Iterator over the entries.
+    pub fn iter(&self) -> std::slice::Iter<'_, Rational> {
+        self.entries.iter()
+    }
+
+    /// Dot product with another vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn dot(&self, other: &QVector) -> Rational {
+        assert_eq!(self.dim(), other.dim(), "dot product of mismatched dimensions");
+        let mut acc = Rational::zero();
+        for (a, b) in self.entries.iter().zip(other.entries.iter()) {
+            if !a.is_zero() && !b.is_zero() {
+                acc += a * b;
+            }
+        }
+        acc
+    }
+
+    /// Scales the vector by a rational factor.
+    pub fn scale(&self, factor: &Rational) -> QVector {
+        QVector { entries: self.entries.iter().map(|e| e * factor).collect() }
+    }
+
+    /// Adds `factor * other` to this vector, returning the result.
+    pub fn add_scaled(&self, other: &QVector, factor: &Rational) -> QVector {
+        assert_eq!(self.dim(), other.dim());
+        QVector {
+            entries: self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .map(|(a, b)| a + &(b * factor))
+                .collect(),
+        }
+    }
+
+    /// Concatenates two vectors.
+    pub fn concat(&self, other: &QVector) -> QVector {
+        let mut entries = self.entries.clone();
+        entries.extend(other.entries.iter().cloned());
+        QVector { entries }
+    }
+
+    /// Returns the sub-vector of entries `[start, start+len)`.
+    pub fn slice(&self, start: usize, len: usize) -> QVector {
+        QVector { entries: self.entries[start..start + len].to_vec() }
+    }
+
+    /// Index of the first non-zero entry, if any.
+    pub fn leading_index(&self) -> Option<usize> {
+        self.entries.iter().position(|e| !e.is_zero())
+    }
+
+    /// Rescales so that all entries are coprime integers (keeping direction),
+    /// returning the integer coefficients. Zero vectors stay zero.
+    ///
+    /// The sign convention makes the leading non-zero coefficient positive.
+    pub fn to_primitive_integer(&self) -> Vec<Int> {
+        if self.is_zero() {
+            return vec![Int::zero(); self.dim()];
+        }
+        // lcm of denominators
+        let mut l = Int::one();
+        for e in &self.entries {
+            l = termite_num::lcm(&l, e.denom());
+        }
+        let mut ints: Vec<Int> = self
+            .entries
+            .iter()
+            .map(|e| e.numer() * &(&l / e.denom()))
+            .collect();
+        // gcd of numerators
+        let mut g = Int::zero();
+        for v in &ints {
+            g = termite_num::gcd(&g, v);
+        }
+        if !g.is_zero() && !g.is_one() {
+            for v in &mut ints {
+                *v = &*v / &g;
+            }
+        }
+        if let Some(first) = ints.iter().find(|v| !v.is_zero()) {
+            if first.is_negative() {
+                for v in &mut ints {
+                    *v = -&*v;
+                }
+            }
+        }
+        ints
+    }
+
+    /// Returns a canonical direction representative: primitive integer
+    /// rescaling re-wrapped as rationals. Two vectors that are positive
+    /// multiples of each other map to the same representative.
+    pub fn canonical_direction(&self) -> QVector {
+        if self.is_zero() {
+            return self.clone();
+        }
+        // Keep the *original* orientation (do not flip sign): directions matter
+        // for rays and counterexamples.
+        let mut l = Int::one();
+        for e in &self.entries {
+            l = termite_num::lcm(&l, e.denom());
+        }
+        let ints: Vec<Int> = self
+            .entries
+            .iter()
+            .map(|e| e.numer() * &(&l / e.denom()))
+            .collect();
+        let mut g = Int::zero();
+        for v in &ints {
+            g = termite_num::gcd(&g, v);
+        }
+        if g.is_zero() {
+            return self.clone();
+        }
+        QVector {
+            entries: ints
+                .into_iter()
+                .map(|v| Rational::from_int(&v / &g))
+                .collect(),
+        }
+    }
+}
+
+impl Index<usize> for QVector {
+    type Output = Rational;
+    fn index(&self, i: usize) -> &Rational {
+        &self.entries[i]
+    }
+}
+
+impl IndexMut<usize> for QVector {
+    fn index_mut(&mut self, i: usize) -> &mut Rational {
+        &mut self.entries[i]
+    }
+}
+
+impl Add for &QVector {
+    type Output = QVector;
+    fn add(self, other: &QVector) -> QVector {
+        assert_eq!(self.dim(), other.dim());
+        QVector {
+            entries: self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &QVector {
+    type Output = QVector;
+    fn sub(self, other: &QVector) -> QVector {
+        assert_eq!(self.dim(), other.dim());
+        QVector {
+            entries: self
+                .entries
+                .iter()
+                .zip(other.entries.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Neg for &QVector {
+    type Output = QVector;
+    fn neg(self) -> QVector {
+        QVector { entries: self.entries.iter().map(|e| -e).collect() }
+    }
+}
+
+impl Mul<&Rational> for &QVector {
+    type Output = QVector;
+    fn mul(self, factor: &Rational) -> QVector {
+        self.scale(factor)
+    }
+}
+
+impl FromIterator<Rational> for QVector {
+    fn from_iter<I: IntoIterator<Item = Rational>>(iter: I) -> Self {
+        QVector { entries: iter.into_iter().collect() }
+    }
+}
+
+impl fmt::Display for QVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dot_and_scale() {
+        let v = QVector::from_i64(&[1, -2, 3]);
+        let w = QVector::from_i64(&[4, 5, -6]);
+        assert_eq!(v.dot(&w), Rational::from(-24));
+        assert_eq!(v.scale(&Rational::from(2)), QVector::from_i64(&[2, -4, 6]));
+        assert_eq!(&v + &w, QVector::from_i64(&[5, 3, -3]));
+        assert_eq!(&v - &w, QVector::from_i64(&[-3, -7, 9]));
+    }
+
+    #[test]
+    fn primitive_integer() {
+        let v = QVector::from_vec(vec![
+            Rational::from_ints(1, 2),
+            Rational::from_ints(-1, 3),
+            Rational::zero(),
+        ]);
+        let p = v.to_primitive_integer();
+        assert_eq!(p, vec![Int::from(3), Int::from(-2), Int::from(0)]);
+    }
+
+    #[test]
+    fn canonical_direction_keeps_orientation() {
+        let v = QVector::from_vec(vec![Rational::from_ints(-2, 4), Rational::from(1)]);
+        let c = v.canonical_direction();
+        assert_eq!(c, QVector::from_i64(&[-1, 2]));
+        // positive rescaling maps to the same representative
+        let w = v.scale(&Rational::from_ints(7, 3));
+        assert_eq!(w.canonical_direction(), c);
+    }
+
+    #[test]
+    fn unit_and_leading() {
+        let u = QVector::unit(4, 2);
+        assert_eq!(u.leading_index(), Some(2));
+        assert!(QVector::zeros(3).leading_index().is_none());
+    }
+
+    #[test]
+    fn concat_slice() {
+        let v = QVector::from_i64(&[1, 2]);
+        let w = QVector::from_i64(&[3]);
+        let c = v.concat(&w);
+        assert_eq!(c, QVector::from_i64(&[1, 2, 3]));
+        assert_eq!(c.slice(1, 2), QVector::from_i64(&[2, 3]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_dot_bilinear(a in prop::collection::vec(-50i64..50, 4), b in prop::collection::vec(-50i64..50, 4), k in -20i64..20) {
+            let va = QVector::from_i64(&a);
+            let vb = QVector::from_i64(&b);
+            let k = Rational::from(k);
+            prop_assert_eq!(va.scale(&k).dot(&vb), &va.dot(&vb) * &k);
+            prop_assert_eq!(va.dot(&vb), vb.dot(&va));
+        }
+
+        #[test]
+        fn prop_add_scaled(a in prop::collection::vec(-50i64..50, 3), b in prop::collection::vec(-50i64..50, 3), k in -20i64..20) {
+            let va = QVector::from_i64(&a);
+            let vb = QVector::from_i64(&b);
+            let k = Rational::from(k);
+            prop_assert_eq!(va.add_scaled(&vb, &k), &va + &vb.scale(&k));
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Exact linear programming by two-phase primal simplex.
+//!
+//! The synthesis algorithm of the paper (Definition 11) repeatedly solves
+//! small linear programs `LP(V, Constraints(I))` over the Farkas multipliers
+//! `γ_i ≥ 0` and the per-counterexample indicator variables `δ_j ∈ [0, 1]`,
+//! maximising `Σ_j δ_j`. The polyhedra library also uses LP for emptiness and
+//! redundancy checks, and the eager (Rank-style) baseline builds one large LP
+//! per loop. All of these need *exact* rational arithmetic: a termination
+//! certificate derived from a slightly-off floating point optimum would be
+//! unsound.
+//!
+//! This crate implements a classic two-phase primal simplex over
+//! [`termite_num::Rational`] with Bland's anti-cycling rule. Free variables
+//! are handled by the builder via the standard positive/negative split.
+//!
+//! # Example
+//!
+//! ```
+//! use termite_lp::{Constraint, LinearProgram, LpOutcome, Relation};
+//! use termite_num::Rational;
+//!
+//! // maximize x + y  s.t.  x + 2y <= 4, 3x + y <= 6, x, y >= 0
+//! let mut lp = LinearProgram::new();
+//! let x = lp.add_var("x");
+//! let y = lp.add_var("y");
+//! lp.add_constraint(Constraint::new(
+//!     vec![(x, Rational::from(1)), (y, Rational::from(2))],
+//!     Relation::Le,
+//!     Rational::from(4),
+//! ));
+//! lp.add_constraint(Constraint::new(
+//!     vec![(x, Rational::from(3)), (y, Rational::from(1))],
+//!     Relation::Le,
+//!     Rational::from(6),
+//! ));
+//! lp.maximize(vec![(x, Rational::from(1)), (y, Rational::from(1))]);
+//! let solution = lp.solve();
+//! match solution.outcome {
+//!     LpOutcome::Optimal { objective, .. } => {
+//!         assert_eq!(objective, Rational::from_ints(14, 5));
+//!     }
+//!     _ => panic!("expected an optimum"),
+//! }
+//! ```
+
+mod simplex;
+
+pub use simplex::{feasible_point, Constraint, LinearProgram, LpOutcome, LpSolution, Relation, VarId};

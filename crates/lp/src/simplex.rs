@@ -1,0 +1,736 @@
+//! Two-phase primal simplex over exact rationals.
+
+use std::collections::HashMap;
+use std::fmt;
+use termite_linalg::QVector;
+use termite_num::Rational;
+
+/// Identifier of a decision variable in a [`LinearProgram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Comparison relation of a linear constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs >= rhs`
+    Ge,
+    /// `lhs == rhs`
+    Eq,
+}
+
+/// A linear constraint `Σ coeff_i · x_i  (<=|>=|==)  rhs`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Constraint {
+    /// Sparse left-hand side.
+    pub terms: Vec<(VarId, Rational)>,
+    /// Relation between left- and right-hand side.
+    pub relation: Relation,
+    /// Right-hand side constant.
+    pub rhs: Rational,
+}
+
+impl Constraint {
+    /// Builds a constraint from a sparse list of terms.
+    pub fn new(terms: Vec<(VarId, Rational)>, relation: Relation, rhs: Rational) -> Self {
+        Constraint { terms, relation, rhs }
+    }
+}
+
+/// Direction of optimization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    Maximize,
+    Minimize,
+}
+
+/// Result status of an LP solve, with attached data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LpOutcome {
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded in the direction of optimization. The
+    /// `ray` is a recession direction of the feasible region along which the
+    /// objective improves without bound (indexed like variable ids).
+    Unbounded {
+        /// Improving recession direction over the decision variables.
+        ray: Vec<Rational>,
+    },
+    /// Finite optimum.
+    Optimal {
+        /// Optimal objective value.
+        objective: Rational,
+        /// Optimal assignment, indexed by [`VarId`] order of creation.
+        assignment: Vec<Rational>,
+    },
+}
+
+/// Outcome plus solver statistics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LpSolution {
+    /// Solve outcome.
+    pub outcome: LpOutcome,
+    /// Number of simplex pivots performed (both phases).
+    pub pivots: usize,
+    /// Number of rows of the constraint matrix.
+    pub rows: usize,
+    /// Number of decision variables (columns) declared by the user.
+    pub cols: usize,
+}
+
+impl LpSolution {
+    /// Convenience accessor: the optimal assignment if the LP was solved to
+    /// optimality.
+    pub fn assignment(&self) -> Option<&[Rational]> {
+        match &self.outcome {
+            LpOutcome::Optimal { assignment, .. } => Some(assignment),
+            _ => None,
+        }
+    }
+
+    /// Convenience accessor: the optimal objective value, if any.
+    pub fn objective(&self) -> Option<&Rational> {
+        match &self.outcome {
+            LpOutcome::Optimal { objective, .. } => Some(objective),
+            _ => None,
+        }
+    }
+}
+
+/// Bound type of a decision variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VarKind {
+    /// `x >= 0`
+    NonNegative,
+    /// unrestricted in sign (internally split into `x⁺ - x⁻`)
+    Free,
+}
+
+/// A linear program under construction.
+///
+/// Variables are non-negative by default (that is the natural domain of the
+/// Farkas multipliers `γ` and indicator variables `δ` used by the paper);
+/// [`LinearProgram::add_free_var`] declares a sign-unrestricted variable.
+#[derive(Clone, Debug)]
+pub struct LinearProgram {
+    names: Vec<String>,
+    kinds: Vec<VarKind>,
+    constraints: Vec<Constraint>,
+    objective: Vec<(VarId, Rational)>,
+    direction: Direction,
+}
+
+impl Default for LinearProgram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LinearProgram {
+    /// Creates an empty LP (maximization of 0 by default).
+    pub fn new() -> Self {
+        LinearProgram {
+            names: Vec::new(),
+            kinds: Vec::new(),
+            constraints: Vec::new(),
+            objective: Vec::new(),
+            direction: Direction::Maximize,
+        }
+    }
+
+    /// Declares a non-negative decision variable.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.kinds.push(VarKind::NonNegative);
+        VarId(self.names.len() - 1)
+    }
+
+    /// Declares a sign-unrestricted decision variable.
+    pub fn add_free_var(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.kinds.push(VarKind::Free);
+        VarId(self.names.len() - 1)
+    }
+
+    /// Number of declared decision variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints added so far.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Sets the objective to maximize.
+    pub fn maximize(&mut self, objective: Vec<(VarId, Rational)>) {
+        self.objective = objective;
+        self.direction = Direction::Maximize;
+    }
+
+    /// Sets the objective to minimize.
+    pub fn minimize(&mut self, objective: Vec<(VarId, Rational)>) {
+        self.objective = objective;
+        self.direction = Direction::Minimize;
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> LpSolution {
+        Tableau::build_and_solve(self)
+    }
+}
+
+impl fmt::Display for LinearProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dir = match self.direction {
+            Direction::Maximize => "maximize",
+            Direction::Minimize => "minimize",
+        };
+        write!(f, "{dir} ")?;
+        for (i, (v, c)) in self.objective.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{c}*{}", self.names[v.0])?;
+        }
+        writeln!(f)?;
+        for c in &self.constraints {
+            write!(f, "  s.t. ")?;
+            for (i, (v, k)) in c.terms.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " + ")?;
+                }
+                write!(f, "{k}*{}", self.names[v.0])?;
+            }
+            let rel = match c.relation {
+                Relation::Le => "<=",
+                Relation::Ge => ">=",
+                Relation::Eq => "==",
+            };
+            writeln!(f, " {rel} {}", c.rhs)?;
+        }
+        Ok(())
+    }
+}
+
+/// Internal column classification in the tableau.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ColKind {
+    /// positive part of user variable i
+    Plus(usize),
+    /// negative part of a free user variable i
+    Minus(usize),
+    /// slack / surplus
+    Slack,
+    /// phase-1 artificial
+    Artificial,
+}
+
+struct Tableau {
+    /// rows[i][j] for j < ncols are coefficients, rows[i][ncols] is the rhs.
+    rows: Vec<Vec<Rational>>,
+    /// basis[i] = column basic in row i
+    basis: Vec<usize>,
+    ncols: usize,
+    col_kinds: Vec<ColKind>,
+    pivots: usize,
+}
+
+impl Tableau {
+    fn build_and_solve(lp: &LinearProgram) -> LpSolution {
+        let user_cols = lp.num_vars();
+        let report_rows = lp.num_constraints();
+
+        // Column layout: for every user variable a Plus column, and for free
+        // variables additionally a Minus column; then slacks; then artificials.
+        let mut col_kinds: Vec<ColKind> = Vec::new();
+        let mut plus_col = vec![0usize; user_cols];
+        let mut minus_col: Vec<Option<usize>> = vec![None; user_cols];
+        for (i, kind) in lp.kinds.iter().enumerate() {
+            plus_col[i] = col_kinds.len();
+            col_kinds.push(ColKind::Plus(i));
+            if *kind == VarKind::Free {
+                minus_col[i] = Some(col_kinds.len());
+                col_kinds.push(ColKind::Minus(i));
+            }
+        }
+
+        let m = lp.constraints.len();
+        let struct_cols = col_kinds.len();
+
+        // Dense rows over structural columns, all turned into equalities with
+        // non-negative rhs; remember which need a slack and with which sign.
+        struct RowBuild {
+            coeffs: Vec<Rational>,
+            rhs: Rational,
+            slack_sign: Option<Rational>, // +1 for <=, -1 for >=
+        }
+        let mut builds: Vec<RowBuild> = Vec::with_capacity(m);
+        for c in &lp.constraints {
+            let mut coeffs = vec![Rational::zero(); struct_cols];
+            for (v, k) in &c.terms {
+                coeffs[plus_col[v.0]] += k;
+                if let Some(mc) = minus_col[v.0] {
+                    coeffs[mc] -= k;
+                }
+            }
+            let (relation, rhs) = (c.relation, c.rhs.clone());
+            let slack_sign = match relation {
+                Relation::Le => Some(Rational::one()),
+                Relation::Ge => Some(-Rational::one()),
+                Relation::Eq => None,
+            };
+            builds.push(RowBuild { coeffs, rhs, slack_sign });
+        }
+
+        // Allocate slack columns.
+        let mut slack_col_of_row: Vec<Option<usize>> = vec![None; m];
+        for (i, b) in builds.iter().enumerate() {
+            if b.slack_sign.is_some() {
+                slack_col_of_row[i] = Some(col_kinds.len());
+                col_kinds.push(ColKind::Slack);
+            }
+        }
+        // Allocate one artificial per row (some will be unnecessary but this
+        // keeps the construction uniform; they are driven out in phase 1).
+        let art_col_start = col_kinds.len();
+        for _ in 0..m {
+            col_kinds.push(ColKind::Artificial);
+        }
+        let ncols = col_kinds.len();
+
+        let mut rows: Vec<Vec<Rational>> = Vec::with_capacity(m);
+        let mut basis: Vec<usize> = Vec::with_capacity(m);
+        for (i, b) in builds.iter().enumerate() {
+            let mut row = vec![Rational::zero(); ncols + 1];
+            for (j, v) in b.coeffs.iter().enumerate() {
+                row[j] = v.clone();
+            }
+            if let (Some(sc), Some(sign)) = (slack_col_of_row[i], b.slack_sign.clone()) {
+                row[sc] = sign;
+            }
+            row[ncols] = b.rhs.clone();
+            // Normalise to non-negative rhs.
+            if row[ncols].is_negative() {
+                for v in row.iter_mut() {
+                    *v = -std::mem::replace(v, Rational::zero());
+                }
+            }
+            // Artificial basic variable for this row.
+            let ac = art_col_start + i;
+            row[ac] = Rational::one();
+            basis.push(ac);
+            rows.push(row);
+        }
+
+        let mut t = Tableau { rows, basis, ncols, col_kinds, pivots: 0 };
+
+        // ---- Phase 1: maximize -(sum of artificials) ----
+        let mut phase1_obj = vec![Rational::zero(); ncols];
+        for (j, k) in t.col_kinds.iter().enumerate() {
+            if *k == ColKind::Artificial {
+                phase1_obj[j] = -Rational::one();
+            }
+        }
+        let (value1, _unb) = t.run_simplex(&phase1_obj);
+        if value1.is_negative() {
+            return LpSolution {
+                outcome: LpOutcome::Infeasible,
+                pivots: t.pivots,
+                rows: report_rows,
+                cols: user_cols,
+            };
+        }
+        // Drive remaining artificials out of the basis (or drop redundant rows).
+        t.purge_artificials();
+
+        // ---- Phase 2 ----
+        let mut phase2_obj = vec![Rational::zero(); t.ncols];
+        let sign = match lp.direction {
+            Direction::Maximize => Rational::one(),
+            Direction::Minimize => -Rational::one(),
+        };
+        for (v, k) in &lp.objective {
+            let j = plus_col[v.0];
+            phase2_obj[j] += &(k * &sign);
+            if let Some(mc) = minus_col[v.0] {
+                phase2_obj[mc] -= &(k * &sign);
+            }
+        }
+        let (value2, unbounded_col) = t.run_simplex(&phase2_obj);
+
+        if let Some(col) = unbounded_col {
+            // Build the improving ray over user variables.
+            let mut ray = vec![Rational::zero(); user_cols];
+            let mut col_dir: HashMap<usize, Rational> = HashMap::new();
+            col_dir.insert(col, Rational::one());
+            for (i, &b) in t.basis.iter().enumerate() {
+                let delta = -&t.rows[i][col];
+                if !delta.is_zero() {
+                    col_dir.insert(b, delta);
+                }
+            }
+            for (j, k) in t.col_kinds.iter().enumerate() {
+                let Some(d) = col_dir.get(&j) else { continue };
+                match k {
+                    ColKind::Plus(i) => ray[*i] += d,
+                    ColKind::Minus(i) => ray[*i] -= d,
+                    _ => {}
+                }
+            }
+            return LpSolution {
+                outcome: LpOutcome::Unbounded { ray },
+                pivots: t.pivots,
+                rows: report_rows,
+                cols: user_cols,
+            };
+        }
+
+        // Read the solution off the basis.
+        let mut col_values = vec![Rational::zero(); t.ncols];
+        for (i, &b) in t.basis.iter().enumerate() {
+            col_values[b] = t.rows[i][t.ncols].clone();
+        }
+        let mut assignment = vec![Rational::zero(); user_cols];
+        for (j, k) in t.col_kinds.iter().enumerate() {
+            match k {
+                ColKind::Plus(i) => assignment[*i] += &col_values[j],
+                ColKind::Minus(i) => assignment[*i] -= &col_values[j],
+                _ => {}
+            }
+        }
+        let objective = match lp.direction {
+            Direction::Maximize => value2,
+            Direction::Minimize => -value2,
+        };
+        LpSolution {
+            outcome: LpOutcome::Optimal { objective, assignment },
+            pivots: t.pivots,
+            rows: report_rows,
+            cols: user_cols,
+        }
+    }
+
+    /// Runs the simplex method maximizing `obj` (given over original columns).
+    /// Returns the optimal value and, if unbounded, the entering column that
+    /// witnessed unboundedness.
+    fn run_simplex(&mut self, obj: &[Rational]) -> (Rational, Option<usize>) {
+        // Reduced cost row: start from obj and eliminate basic columns.
+        let ncols = self.ncols;
+        let mut z = vec![Rational::zero(); ncols + 1];
+        z[..ncols].clone_from_slice(&obj[..ncols]);
+        for (i, &b) in self.basis.iter().enumerate() {
+            if z[b].is_zero() {
+                continue;
+            }
+            let factor = z[b].clone();
+            for j in 0..=ncols {
+                let delta = &self.rows[i][j] * &factor;
+                z[j] -= &delta;
+            }
+        }
+        loop {
+            // Bland's rule: smallest-index column with positive reduced cost.
+            let entering = (0..ncols).find(|&j| z[j].is_positive());
+            let Some(col) = entering else {
+                // optimum: objective value = -z[rhs]
+                return (-z[ncols].clone(), None);
+            };
+            // Ratio test.
+            let mut best: Option<(Rational, usize, usize)> = None; // (ratio, basic var, row)
+            for (i, row) in self.rows.iter().enumerate() {
+                if row[col].is_positive() {
+                    let ratio = &row[ncols] / &row[col];
+                    let candidate = (ratio, self.basis[i], i);
+                    best = match best {
+                        None => Some(candidate),
+                        Some(cur) => {
+                            if candidate.0 < cur.0 || (candidate.0 == cur.0 && candidate.1 < cur.1)
+                            {
+                                Some(candidate)
+                            } else {
+                                Some(cur)
+                            }
+                        }
+                    };
+                }
+            }
+            let Some((_, _, pivot_row)) = best else {
+                return (Rational::zero(), Some(col));
+            };
+            self.pivot(pivot_row, col, &mut z);
+        }
+    }
+
+    fn pivot(&mut self, r: usize, c: usize, z: &mut [Rational]) {
+        self.pivots += 1;
+        let ncols = self.ncols;
+        let pivot = self.rows[r][c].clone();
+        let inv = pivot.recip();
+        for j in 0..=ncols {
+            let v = &self.rows[r][j] * &inv;
+            self.rows[r][j] = v;
+        }
+        for i in 0..self.rows.len() {
+            if i == r || self.rows[i][c].is_zero() {
+                continue;
+            }
+            let factor = self.rows[i][c].clone();
+            for j in 0..=ncols {
+                let delta = &self.rows[r][j] * &factor;
+                self.rows[i][j] -= &delta;
+            }
+        }
+        if !z[c].is_zero() {
+            let factor = z[c].clone();
+            for j in 0..=ncols {
+                let delta = &self.rows[r][j] * &factor;
+                z[j] -= &delta;
+            }
+        }
+        self.basis[r] = c;
+    }
+
+    /// After phase 1, pivot artificial variables out of the basis where
+    /// possible and drop rows that became identically zero.
+    fn purge_artificials(&mut self) {
+        let ncols = self.ncols;
+        let mut dummy = vec![Rational::zero(); ncols + 1];
+        let mut i = 0;
+        while i < self.rows.len() {
+            if self.col_kinds[self.basis[i]] == ColKind::Artificial {
+                // Try to pivot on any non-artificial column with a non-zero entry.
+                let cand = (0..ncols).find(|&j| {
+                    self.col_kinds[j] != ColKind::Artificial && !self.rows[i][j].is_zero()
+                });
+                match cand {
+                    Some(c) => {
+                        self.pivot(i, c, &mut dummy);
+                        i += 1;
+                    }
+                    None => {
+                        // Redundant row (all structural coefficients zero).
+                        self.rows.remove(i);
+                        self.basis.remove(i);
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+        // Forbid artificial columns from ever entering again by zeroing them.
+        for row in &mut self.rows {
+            for (j, k) in self.col_kinds.iter().enumerate() {
+                if *k == ColKind::Artificial {
+                    row[j] = Rational::zero();
+                }
+            }
+        }
+    }
+}
+
+/// Convenience helper: checks whether the system `A x <= b` (rows given as
+/// `(coeffs, rhs)` over `dim` free variables) has a rational solution, and if
+/// so returns one.
+pub fn feasible_point(rows: &[(QVector, Rational)], dim: usize) -> Option<QVector> {
+    let mut lp = LinearProgram::new();
+    let vars: Vec<VarId> = (0..dim).map(|i| lp.add_free_var(format!("x{i}"))).collect();
+    for (coeffs, rhs) in rows {
+        let terms: Vec<(VarId, Rational)> = coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.is_zero())
+            .map(|(i, c)| (vars[i], c.clone()))
+            .collect();
+        lp.add_constraint(Constraint::new(terms, Relation::Le, rhs.clone()));
+    }
+    lp.maximize(vec![]);
+    match lp.solve().outcome {
+        LpOutcome::Optimal { assignment, .. } => Some(QVector::from_vec(assignment)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn q(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn simple_maximization() {
+        // maximize 3x + 2y s.t. x + y <= 4, x + 3y <= 6, x,y >= 0 => (4,0), obj 12
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(1))], Relation::Le, q(4)));
+        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(3))], Relation::Le, q(6)));
+        lp.maximize(vec![(x, q(3)), (y, q(2))]);
+        let sol = lp.solve();
+        assert_eq!(sol.objective(), Some(&q(12)));
+        assert_eq!(sol.assignment().unwrap()[0], q(4));
+        assert_eq!(sol.assignment().unwrap()[1], q(0));
+    }
+
+    #[test]
+    fn fractional_optimum() {
+        // maximize x + y s.t. x + 2y <= 4, 3x + y <= 6 => x=8/5, y=6/5, obj 14/5
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(2))], Relation::Le, q(4)));
+        lp.add_constraint(Constraint::new(vec![(x, q(3)), (y, q(1))], Relation::Le, q(6)));
+        lp.maximize(vec![(x, q(1)), (y, q(1))]);
+        let sol = lp.solve();
+        assert_eq!(sol.objective(), Some(&Rational::from_ints(14, 5)));
+    }
+
+    #[test]
+    fn infeasible_system() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x");
+        lp.add_constraint(Constraint::new(vec![(x, q(1))], Relation::Le, q(1)));
+        lp.add_constraint(Constraint::new(vec![(x, q(1))], Relation::Ge, q(2)));
+        lp.maximize(vec![(x, q(1))]);
+        assert_eq!(lp.solve().outcome, LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_program() {
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(-1))], Relation::Le, q(1)));
+        lp.maximize(vec![(x, q(1))]);
+        match lp.solve().outcome {
+            LpOutcome::Unbounded { ray } => {
+                // Along the ray the objective strictly increases and the
+                // constraint x - y <= 1 keeps holding.
+                assert!(ray[0].is_positive());
+                assert!(&ray[0] - &ray[1] <= Rational::zero());
+            }
+            other => panic!("expected unbounded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // maximize x s.t. x + y == 3, y >= 1 => x = 2
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(1))], Relation::Eq, q(3)));
+        lp.add_constraint(Constraint::new(vec![(y, q(1))], Relation::Ge, q(1)));
+        lp.maximize(vec![(x, q(1))]);
+        let sol = lp.solve();
+        assert_eq!(sol.objective(), Some(&q(2)));
+    }
+
+    #[test]
+    fn free_variables_and_minimization() {
+        // minimize x s.t. x >= -5 with x free => -5
+        let mut lp = LinearProgram::new();
+        let x = lp.add_free_var("x");
+        lp.add_constraint(Constraint::new(vec![(x, q(1))], Relation::Ge, q(-5)));
+        lp.minimize(vec![(x, q(1))]);
+        let sol = lp.solve();
+        assert_eq!(sol.objective(), Some(&q(-5)));
+        assert_eq!(sol.assignment().unwrap()[0], q(-5));
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classic degenerate instance; Bland's rule must terminate.
+        let mut lp = LinearProgram::new();
+        let x1 = lp.add_var("x1");
+        let x2 = lp.add_var("x2");
+        let x3 = lp.add_var("x3");
+        let x4 = lp.add_var("x4");
+        lp.add_constraint(Constraint::new(
+            vec![(x1, Rational::from_ints(1, 4)), (x2, q(-8)), (x3, q(-1)), (x4, q(9))],
+            Relation::Le,
+            q(0),
+        ));
+        lp.add_constraint(Constraint::new(
+            vec![(x1, Rational::from_ints(1, 2)), (x2, q(-12)), (x3, Rational::from_ints(-1, 2)), (x4, q(3))],
+            Relation::Le,
+            q(0),
+        ));
+        lp.add_constraint(Constraint::new(vec![(x3, q(1))], Relation::Le, q(1)));
+        lp.maximize(vec![
+            (x1, Rational::from_ints(3, 4)),
+            (x2, q(-20)),
+            (x3, Rational::from_ints(1, 2)),
+            (x4, q(-6)),
+        ]);
+        let sol = lp.solve();
+        assert_eq!(sol.objective(), Some(&Rational::from_ints(5, 4)));
+    }
+
+    #[test]
+    fn feasible_point_helper() {
+        // x <= 3, -x <= -1  (i.e. 1 <= x <= 3)
+        let rows = vec![
+            (QVector::from_i64(&[1]), q(3)),
+            (QVector::from_i64(&[-1]), q(-1)),
+        ];
+        let p = feasible_point(&rows, 1).unwrap();
+        assert!(p[0] >= q(1) && p[0] <= q(3));
+        let rows_empty = vec![
+            (QVector::from_i64(&[1]), q(1)),
+            (QVector::from_i64(&[-1]), q(-2)),
+        ];
+        assert!(feasible_point(&rows_empty, 1).is_none());
+    }
+
+    proptest! {
+        /// Solutions returned by the solver must satisfy every constraint, and
+        /// the reported objective must match the assignment.
+        #[test]
+        fn prop_solution_feasible(
+            coeffs in prop::collection::vec(prop::collection::vec(-5i64..=5, 3), 1..5),
+            rhs in prop::collection::vec(0i64..=20, 5),
+            obj in prop::collection::vec(-3i64..=3, 3),
+        ) {
+            let mut lp = LinearProgram::new();
+            let vars: Vec<VarId> = (0..3).map(|i| lp.add_var(format!("x{i}"))).collect();
+            for (i, row) in coeffs.iter().enumerate() {
+                let terms = row.iter().enumerate().map(|(j, &c)| (vars[j], q(c))).collect();
+                lp.add_constraint(Constraint::new(terms, Relation::Le, q(rhs[i])));
+            }
+            lp.maximize(obj.iter().enumerate().map(|(j, &c)| (vars[j], q(c))).collect());
+            let sol = lp.solve();
+            match sol.outcome {
+                LpOutcome::Infeasible => {
+                    // rhs >= 0 and x = 0 is always feasible for <= constraints: impossible.
+                    prop_assert!(false, "origin is feasible, solver said infeasible");
+                }
+                LpOutcome::Unbounded { .. } => {}
+                LpOutcome::Optimal { objective, assignment } => {
+                    for (i, row) in coeffs.iter().enumerate() {
+                        let lhs: Rational = row.iter().enumerate()
+                            .map(|(j, &c)| &q(c) * &assignment[j])
+                            .sum();
+                        prop_assert!(lhs <= q(rhs[i]));
+                    }
+                    let recomputed: Rational = obj.iter().enumerate()
+                        .map(|(j, &c)| &q(c) * &assignment[j])
+                        .sum();
+                    prop_assert_eq!(recomputed, objective);
+                    for v in &assignment {
+                        prop_assert!(!v.is_negative());
+                    }
+                }
+            }
+        }
+    }
+}

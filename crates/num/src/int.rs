@@ -1,0 +1,769 @@
+//! Arbitrary-precision signed integers.
+//!
+//! Representation: sign (-1, 0, +1) plus a little-endian vector of 64-bit
+//! limbs, kept normalised (no trailing zero limbs; empty magnitude iff the
+//! number is zero). Algorithms are deliberately simple (schoolbook
+//! multiplication, bitwise shift–subtract division): coefficient growth in
+//! termination analysis stays modest, and simplicity buys confidence.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Rem, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision signed integer.
+///
+/// ```
+/// use termite_num::Int;
+/// let a: Int = "123456789012345678901234567890".parse().unwrap();
+/// let b = Int::from(10_i64).pow(29);
+/// assert!(a > b);
+/// assert_eq!((&a - &a), Int::zero());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Int {
+    /// -1, 0 or +1. Zero iff `mag` is empty.
+    sign: i8,
+    /// Little-endian 64-bit limbs, no trailing zeros.
+    mag: Vec<u64>,
+}
+
+impl Int {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        Int { sign: 0, mag: Vec::new() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        Int::from(1i64)
+    }
+
+    /// The integer -1.
+    pub fn minus_one() -> Self {
+        Int::from(-1i64)
+    }
+
+    /// Returns `true` if this integer is zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == 0
+    }
+
+    /// Returns `true` if this integer is one.
+    pub fn is_one(&self) -> bool {
+        self.sign == 1 && self.mag.len() == 1 && self.mag[0] == 1
+    }
+
+    /// Returns `true` if this integer is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.sign > 0
+    }
+
+    /// Returns `true` if this integer is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign < 0
+    }
+
+    /// Sign of the integer: -1, 0 or +1.
+    pub fn signum(&self) -> i32 {
+        self.sign as i32
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Int {
+        Int { sign: if self.sign == 0 { 0 } else { 1 }, mag: self.mag.clone() }
+    }
+
+    fn from_mag(sign: i8, mag: Vec<u64>) -> Int {
+        let mut v = Int { sign, mag };
+        v.normalize();
+        v
+    }
+
+    fn normalize(&mut self) {
+        while let Some(&0) = self.mag.last() {
+            self.mag.pop();
+        }
+        if self.mag.is_empty() {
+            self.sign = 0;
+        } else if self.sign == 0 {
+            self.sign = 1;
+        }
+    }
+
+    /// Number of bits in the magnitude (0 for zero).
+    pub fn bit_length(&self) -> usize {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn mag_bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        limb < self.mag.len() && (self.mag[limb] >> off) & 1 == 1
+    }
+
+    fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+        if a.len() != b.len() {
+            return a.len().cmp(&b.len());
+        }
+        for i in (0..a.len()).rev() {
+            if a[i] != b[i] {
+                return a[i].cmp(&b[i]);
+            }
+        }
+        Ordering::Equal
+    }
+
+    fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+        let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+        let mut out = Vec::with_capacity(long.len() + 1);
+        let mut carry = 0u128;
+        for i in 0..long.len() {
+            let mut s = carry + long[i] as u128;
+            if i < short.len() {
+                s += short[i] as u128;
+            }
+            out.push(s as u64);
+            carry = s >> 64;
+        }
+        if carry > 0 {
+            out.push(carry as u64);
+        }
+        out
+    }
+
+    /// Requires |a| >= |b|.
+    fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+        debug_assert!(Int::mag_cmp(a, b) != Ordering::Less);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i128;
+        for i in 0..a.len() {
+            let mut d = a[i] as i128 - borrow;
+            if i < b.len() {
+                d -= b[i] as i128;
+            }
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        out
+    }
+
+    fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+        if a.is_empty() || b.is_empty() {
+            return Vec::new();
+        }
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &ai) in a.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &bj) in b.iter().enumerate() {
+                let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + b.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        out
+    }
+
+    fn mag_shl_bits(a: &[u64], bits: usize) -> Vec<u64> {
+        if a.is_empty() {
+            return Vec::new();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; a.len() + limb_shift + 1];
+        for (i, &x) in a.iter().enumerate() {
+            out[i + limb_shift] |= x << bit_shift;
+            if bit_shift != 0 {
+                out[i + limb_shift + 1] |= x >> (64 - bit_shift);
+            }
+        }
+        while let Some(&0) = out.last() {
+            out.pop();
+        }
+        out
+    }
+
+    /// Magnitude division: returns (quotient, remainder) with remainder < divisor.
+    /// Shift–subtract (restoring) division, bit by bit from the top.
+    fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+        assert!(!b.is_empty(), "division by zero");
+        if Int::mag_cmp(a, b) == Ordering::Less {
+            return (Vec::new(), a.to_vec());
+        }
+        // Fast path: single-limb divisor.
+        if b.len() == 1 {
+            let d = b[0] as u128;
+            let mut q = vec![0u64; a.len()];
+            let mut rem: u128 = 0;
+            for i in (0..a.len()).rev() {
+                let cur = (rem << 64) | a[i] as u128;
+                q[i] = (cur / d) as u64;
+                rem = cur % d;
+            }
+            while let Some(&0) = q.last() {
+                q.pop();
+            }
+            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            return (q, r);
+        }
+        let n_bits = {
+            let tmp = Int { sign: 1, mag: a.to_vec() };
+            tmp.bit_length()
+        };
+        let mut quotient = vec![0u64; a.len()];
+        let mut rem: Vec<u64> = Vec::new();
+        let a_int = Int { sign: 1, mag: a.to_vec() };
+        for i in (0..n_bits).rev() {
+            // rem = rem * 2 + bit_i(a)
+            rem = Int::mag_shl_bits(&rem, 1);
+            if a_int.mag_bit(i) {
+                if rem.is_empty() {
+                    rem.push(1);
+                } else {
+                    rem[0] |= 1;
+                }
+            }
+            if Int::mag_cmp(&rem, b) != Ordering::Less {
+                rem = Int::mag_sub(&rem, b);
+                quotient[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        while let Some(&0) = quotient.last() {
+            quotient.pop();
+        }
+        while let Some(&0) = rem.last() {
+            rem.pop();
+        }
+        (quotient, rem)
+    }
+
+    /// Truncated division together with the remainder (`self = q*other + r`,
+    /// `|r| < |other|`, `r` has the sign of `self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` is zero.
+    pub fn div_rem(&self, other: &Int) -> (Int, Int) {
+        assert!(!other.is_zero(), "division by zero");
+        if self.is_zero() {
+            return (Int::zero(), Int::zero());
+        }
+        let (qm, rm) = Int::mag_divrem(&self.mag, &other.mag);
+        let q_sign = if qm.is_empty() { 0 } else { self.sign * other.sign };
+        let r_sign = if rm.is_empty() { 0 } else { self.sign };
+        (Int::from_mag(q_sign, qm), Int::from_mag(r_sign, rm))
+    }
+
+    /// Euclidean division: quotient rounded towards negative infinity.
+    ///
+    /// ```
+    /// use termite_num::Int;
+    /// assert_eq!(Int::from(-7).div_floor(&Int::from(2)), Int::from(-4));
+    /// assert_eq!(Int::from(7).div_floor(&Int::from(2)), Int::from(3));
+    /// ```
+    pub fn div_floor(&self, other: &Int) -> Int {
+        let (q, r) = self.div_rem(other);
+        if !r.is_zero() && (r.is_negative() != other.is_negative()) {
+            q - Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Euclidean division: quotient rounded towards positive infinity.
+    pub fn div_ceil(&self, other: &Int) -> Int {
+        let (q, r) = self.div_rem(other);
+        if !r.is_zero() && (r.is_negative() == other.is_negative()) {
+            q + Int::one()
+        } else {
+            q
+        }
+    }
+
+    /// Raise to a small non-negative power.
+    pub fn pow(&self, mut e: u32) -> Int {
+        let mut base = self.clone();
+        let mut acc = Int::one();
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Convert to `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.mag.len() > 1 {
+            return None;
+        }
+        if self.mag.is_empty() {
+            return Some(0);
+        }
+        let m = self.mag[0];
+        if self.sign > 0 {
+            if m <= i64::MAX as u64 {
+                Some(m as i64)
+            } else {
+                None
+            }
+        } else if m <= i64::MAX as u64 + 1 {
+            Some((m as i128 * -1) as i64)
+        } else {
+            None
+        }
+    }
+
+    /// Convert to `i128` if it fits.
+    pub fn to_i128(&self) -> Option<i128> {
+        if self.mag.len() > 2 {
+            return None;
+        }
+        let mut m: u128 = 0;
+        for (i, &limb) in self.mag.iter().enumerate() {
+            m |= (limb as u128) << (64 * i);
+        }
+        if self.sign >= 0 {
+            if m <= i128::MAX as u128 {
+                Some(m as i128)
+            } else {
+                None
+            }
+        } else if m <= i128::MAX as u128 + 1 {
+            Some((m as i128).wrapping_neg())
+        } else {
+            None
+        }
+    }
+
+    /// Approximate conversion to `f64` (used only for reporting, never for
+    /// decisions).
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            acc = acc * 2f64.powi(64) + limb as f64;
+        }
+        if self.sign < 0 {
+            -acc
+        } else {
+            acc
+        }
+    }
+}
+
+impl Default for Int {
+    fn default() -> Self {
+        Int::zero()
+    }
+}
+
+impl From<i64> for Int {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Int::zero(),
+            Ordering::Greater => Int { sign: 1, mag: vec![v as u64] },
+            Ordering::Less => Int { sign: -1, mag: vec![(v as i128).unsigned_abs() as u64] },
+        }
+    }
+}
+
+impl From<i32> for Int {
+    fn from(v: i32) -> Self {
+        Int::from(v as i64)
+    }
+}
+
+impl From<u64> for Int {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            Int::zero()
+        } else {
+            Int { sign: 1, mag: vec![v] }
+        }
+    }
+}
+
+impl From<usize> for Int {
+    fn from(v: usize) -> Self {
+        Int::from(v as u64)
+    }
+}
+
+impl From<i128> for Int {
+    fn from(v: i128) -> Self {
+        if v == 0 {
+            return Int::zero();
+        }
+        let sign: i8 = if v > 0 { 1 } else { -1 };
+        let m = v.unsigned_abs();
+        let lo = m as u64;
+        let hi = (m >> 64) as u64;
+        let mag = if hi == 0 { vec![lo] } else { vec![lo, hi] };
+        Int { sign, mag }
+    }
+}
+
+impl PartialEq for Int {
+    fn eq(&self, other: &Self) -> bool {
+        self.sign == other.sign && self.mag == other.mag
+    }
+}
+impl Eq for Int {}
+
+impl Hash for Int {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.sign.hash(state);
+        self.mag.hash(state);
+    }
+}
+
+impl PartialOrd for Int {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Int {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.sign.cmp(&other.sign) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+        let mag_ord = Int::mag_cmp(&self.mag, &other.mag);
+        if self.sign < 0 {
+            mag_ord.reverse()
+        } else {
+            mag_ord
+        }
+    }
+}
+
+impl Neg for Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag }
+    }
+}
+
+impl Neg for &Int {
+    type Output = Int;
+    fn neg(self) -> Int {
+        Int { sign: -self.sign, mag: self.mag.clone() }
+    }
+}
+
+impl Add for &Int {
+    type Output = Int;
+    fn add(self, other: &Int) -> Int {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        if self.sign == other.sign {
+            Int::from_mag(self.sign, Int::mag_add(&self.mag, &other.mag))
+        } else {
+            match Int::mag_cmp(&self.mag, &other.mag) {
+                Ordering::Equal => Int::zero(),
+                Ordering::Greater => Int::from_mag(self.sign, Int::mag_sub(&self.mag, &other.mag)),
+                Ordering::Less => Int::from_mag(other.sign, Int::mag_sub(&other.mag, &self.mag)),
+            }
+        }
+    }
+}
+
+impl Sub for &Int {
+    type Output = Int;
+    fn sub(self, other: &Int) -> Int {
+        self + &(-other)
+    }
+}
+
+impl Mul for &Int {
+    type Output = Int;
+    fn mul(self, other: &Int) -> Int {
+        if self.is_zero() || other.is_zero() {
+            return Int::zero();
+        }
+        Int::from_mag(self.sign * other.sign, Int::mag_mul(&self.mag, &other.mag))
+    }
+}
+
+impl Div for &Int {
+    type Output = Int;
+    fn div(self, other: &Int) -> Int {
+        self.div_rem(other).0
+    }
+}
+
+impl Rem for &Int {
+    type Output = Int;
+    fn rem(self, other: &Int) -> Int {
+        self.div_rem(other).1
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Int {
+            type Output = Int;
+            fn $method(self, other: Int) -> Int {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Int> for Int {
+            type Output = Int;
+            fn $method(self, other: &Int) -> Int {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Int> for &Int {
+            type Output = Int;
+            fn $method(self, other: Int) -> Int {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+forward_owned_binop!(Rem, rem);
+
+impl AddAssign<&Int> for Int {
+    fn add_assign(&mut self, other: &Int) {
+        *self = &*self + other;
+    }
+}
+impl AddAssign for Int {
+    fn add_assign(&mut self, other: Int) {
+        *self = &*self + &other;
+    }
+}
+impl SubAssign<&Int> for Int {
+    fn sub_assign(&mut self, other: &Int) {
+        *self = &*self - other;
+    }
+}
+impl SubAssign for Int {
+    fn sub_assign(&mut self, other: Int) {
+        *self = &*self - &other;
+    }
+}
+impl MulAssign<&Int> for Int {
+    fn mul_assign(&mut self, other: &Int) {
+        *self = &*self * other;
+    }
+}
+impl MulAssign for Int {
+    fn mul_assign(&mut self, other: Int) {
+        *self = &*self * &other;
+    }
+}
+
+impl fmt::Display for Int {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut digits = Vec::new();
+        let ten = Int::from(10i64);
+        let mut cur = self.abs();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem(&ten);
+            digits.push(std::char::from_digit(r.to_i64().unwrap() as u32, 10).unwrap());
+            cur = q;
+        }
+        if self.sign < 0 {
+            write!(f, "-")?;
+        }
+        for d in digits.iter().rev() {
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error returned when parsing an [`Int`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntError {
+    message: String,
+}
+
+impl fmt::Display for ParseIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseIntError {}
+
+impl FromStr for Int {
+    type Err = ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() {
+            return Err(ParseIntError { message: "empty string".into() });
+        }
+        let ten = Int::from(10i64);
+        let mut acc = Int::zero();
+        for c in digits.chars() {
+            let d = c
+                .to_digit(10)
+                .ok_or_else(|| ParseIntError { message: format!("unexpected character {c:?}") })?;
+            acc = &(&acc * &ten) + &Int::from(d as i64);
+        }
+        Ok(if neg { -acc } else { acc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basics() {
+        assert!(Int::zero().is_zero());
+        assert!(Int::one().is_one());
+        assert_eq!(Int::from(5) + Int::from(-5), Int::zero());
+        assert_eq!(Int::from(-3) * Int::from(-4), Int::from(12));
+        assert_eq!(Int::from(-3) * Int::from(4), Int::from(-12));
+        assert_eq!(Int::from(17) / Int::from(5), Int::from(3));
+        assert_eq!(Int::from(17) % Int::from(5), Int::from(2));
+        assert_eq!(Int::from(-17) / Int::from(5), Int::from(-3));
+        assert_eq!(Int::from(-17) % Int::from(5), Int::from(-2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Int::from(-10) < Int::from(-2));
+        assert!(Int::from(-2) < Int::from(0));
+        assert!(Int::from(0) < Int::from(3));
+        assert!(Int::from(1) < Int::from(i64::MAX) * Int::from(i64::MAX));
+    }
+
+    #[test]
+    fn large_multiplication() {
+        let a: Int = "123456789012345678901234567890".parse().unwrap();
+        let b: Int = "987654321098765432109876543210".parse().unwrap();
+        let p = &a * &b;
+        assert_eq!(
+            p.to_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+    }
+
+    #[test]
+    fn large_division() {
+        let a: Int = "121932631137021795226185032733622923332237463801111263526900"
+            .parse()
+            .unwrap();
+        let b: Int = "987654321098765432109876543210".parse().unwrap();
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q.to_string(), "123456789012345678901234567890");
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["0", "1", "-1", "18446744073709551616", "-340282366920938463463374607431768211456"] {
+            let v: Int = s.parse().unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn floor_ceil_division() {
+        assert_eq!(Int::from(7).div_floor(&Int::from(2)), Int::from(3));
+        assert_eq!(Int::from(-7).div_floor(&Int::from(2)), Int::from(-4));
+        assert_eq!(Int::from(7).div_ceil(&Int::from(2)), Int::from(4));
+        assert_eq!(Int::from(-7).div_ceil(&Int::from(2)), Int::from(-3));
+        assert_eq!(Int::from(7).div_floor(&Int::from(-2)), Int::from(-4));
+        assert_eq!(Int::from(-7).div_floor(&Int::from(-2)), Int::from(3));
+    }
+
+    #[test]
+    fn pow() {
+        assert_eq!(Int::from(2).pow(10), Int::from(1024));
+        assert_eq!(Int::from(-3).pow(3), Int::from(-27));
+        assert_eq!(Int::from(5).pow(0), Int::one());
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Int::from(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(Int::from(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!((Int::from(i64::MAX) + Int::one()).to_i64(), None);
+        assert_eq!(Int::from(i128::MAX).to_i128(), Some(i128::MAX));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_add_commutative(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(Int::from(a) + Int::from(b), Int::from(b) + Int::from(a));
+        }
+
+        #[test]
+        fn prop_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+            let (ia, ib) = (Int::from(a), Int::from(b));
+            prop_assert_eq!(&ia + &ib, Int::from(a as i128 + b as i128));
+            prop_assert_eq!(&ia - &ib, Int::from(a as i128 - b as i128));
+            prop_assert_eq!(&ia * &ib, Int::from(a as i128 * b as i128));
+        }
+
+        #[test]
+        fn prop_divrem_invariant(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+            let (ia, ib) = (Int::from(a), Int::from(b));
+            let (q, r) = ia.div_rem(&ib);
+            prop_assert_eq!(&(&q * &ib) + &r, ia.clone());
+            prop_assert!(r.abs() < ib.abs());
+        }
+
+        #[test]
+        fn prop_mul_div_roundtrip(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+            let (ia, ib) = (Int::from(a), Int::from(b));
+            let p = &ia * &ib;
+            prop_assert_eq!(&p / &ib, ia);
+        }
+
+        #[test]
+        fn prop_parse_display_roundtrip(a in any::<i128>()) {
+            let v = Int::from(a);
+            let s = v.to_string();
+            prop_assert_eq!(s.parse::<Int>().unwrap(), v);
+        }
+
+        #[test]
+        fn prop_ordering_matches(a in any::<i64>(), b in any::<i64>()) {
+            prop_assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Exact arithmetic substrate for Termite-rs.
+//!
+//! The ranking-function synthesis algorithm, the exact simplex solvers and the
+//! polyhedra library all require *exact* rational arithmetic: a single rounding
+//! error in a Farkas certificate would invalidate a termination proof. This
+//! crate provides:
+//!
+//! * [`Int`] — an arbitrary-precision signed integer (sign + magnitude,
+//!   64-bit limbs), with schoolbook multiplication and shift–subtract
+//!   division, sufficient for the coefficient sizes arising in termination
+//!   analysis;
+//! * [`Rational`] — an always-normalised exact rational built on [`Int`].
+//!
+//! Both types implement the usual operator traits, ordering, hashing,
+//! parsing and formatting, so they can be used as drop-in numeric types by
+//! the higher layers.
+//!
+//! # Examples
+//!
+//! ```
+//! use termite_num::{Int, Rational};
+//!
+//! let a = Int::from(1234567890123456789_i64);
+//! let b = Int::from(987654321_i64);
+//! assert_eq!((&a * &b) % &b, Int::zero());
+//!
+//! let q = Rational::new(Int::from(6), Int::from(-4));
+//! assert_eq!(q.to_string(), "-3/2");
+//! ```
+
+mod int;
+mod rational;
+
+pub use int::Int;
+pub use rational::Rational;
+
+/// Greatest common divisor of two integers (always non-negative).
+///
+/// ```
+/// use termite_num::{gcd, Int};
+/// assert_eq!(gcd(&Int::from(12), &Int::from(-18)), Int::from(6));
+/// assert_eq!(gcd(&Int::zero(), &Int::zero()), Int::zero());
+/// ```
+pub fn gcd(a: &Int, b: &Int) -> Int {
+    let mut a = a.abs();
+    let mut b = b.abs();
+    while !b.is_zero() {
+        let r = &a % &b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple of two integers (always non-negative).
+///
+/// Returns zero when either argument is zero.
+///
+/// ```
+/// use termite_num::{lcm, Int};
+/// assert_eq!(lcm(&Int::from(4), &Int::from(6)), Int::from(12));
+/// ```
+pub fn lcm(a: &Int, b: &Int) -> Int {
+    if a.is_zero() || b.is_zero() {
+        return Int::zero();
+    }
+    let g = gcd(a, b);
+    (&a.abs() / &g) * b.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(gcd(&Int::from(48), &Int::from(36)), Int::from(12));
+        assert_eq!(gcd(&Int::from(7), &Int::from(0)), Int::from(7));
+        assert_eq!(gcd(&Int::from(0), &Int::from(7)), Int::from(7));
+        assert_eq!(gcd(&Int::from(-48), &Int::from(36)), Int::from(12));
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(lcm(&Int::from(3), &Int::from(5)), Int::from(15));
+        assert_eq!(lcm(&Int::from(0), &Int::from(5)), Int::from(0));
+        assert_eq!(lcm(&Int::from(-4), &Int::from(6)), Int::from(12));
+    }
+}

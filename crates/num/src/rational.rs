@@ -1,0 +1,490 @@
+//! Exact rationals built on [`Int`].
+
+use crate::{gcd, Int};
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number, always kept in lowest terms with a positive
+/// denominator.
+///
+/// ```
+/// use termite_num::Rational;
+/// let a = Rational::from_ints(1, 3);
+/// let b = Rational::from_ints(1, 6);
+/// assert_eq!((a + b).to_string(), "1/2");
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rational {
+    num: Int,
+    den: Int,
+}
+
+impl Rational {
+    /// The rational 0.
+    pub fn zero() -> Self {
+        Rational { num: Int::zero(), den: Int::one() }
+    }
+
+    /// The rational 1.
+    pub fn one() -> Self {
+        Rational { num: Int::one(), den: Int::one() }
+    }
+
+    /// Builds `num / den` in lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: Int, den: Int) -> Self {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let mut r = Rational { num, den };
+        r.normalize();
+        r
+    }
+
+    /// Builds `num / den` from machine integers.
+    pub fn from_ints(num: i64, den: i64) -> Self {
+        Rational::new(Int::from(num), Int::from(den))
+    }
+
+    /// Builds the rational `n/1`.
+    pub fn from_int(n: Int) -> Self {
+        Rational { num: n, den: Int::one() }
+    }
+
+    fn normalize(&mut self) {
+        if self.den.is_negative() {
+            self.num = -std::mem::take(&mut self.num);
+            self.den = -std::mem::take(&mut self.den);
+        }
+        if self.num.is_zero() {
+            self.den = Int::one();
+            return;
+        }
+        let g = gcd(&self.num, &self.den);
+        if !g.is_one() {
+            self.num = &self.num / &g;
+            self.den = &self.den / &g;
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &Int {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &Int {
+        &self.den
+    }
+
+    /// Returns `true` if this rational is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if this rational is one.
+    pub fn is_one(&self) -> bool {
+        self.num.is_one() && self.den.is_one()
+    }
+
+    /// Returns `true` if strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// Sign: -1, 0 or +1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rational is zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer not greater than this rational.
+    pub fn floor(&self) -> Int {
+        self.num.div_floor(&self.den)
+    }
+
+    /// Smallest integer not smaller than this rational.
+    pub fn ceil(&self) -> Int {
+        self.num.div_ceil(&self.den)
+    }
+
+    /// Approximate `f64` value (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Minimum of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<Int> for Rational {
+    fn from(n: Int) -> Self {
+        Rational::from_int(n)
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(n: i64) -> Self {
+        Rational::from_int(Int::from(n))
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(n: i32) -> Self {
+        Rational::from_int(Int::from(n))
+    }
+}
+
+impl PartialEq for Rational {
+    fn eq(&self, other: &Self) -> bool {
+        self.num == other.num && self.den == other.den
+    }
+}
+impl Eq for Rational {}
+
+impl Hash for Rational {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.num.hash(state);
+        self.den.hash(state);
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b <=> c/d  iff  a*d <=> c*b  (b, d > 0)
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -self.num, den: self.den }
+    }
+}
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -(&self.num), den: self.den.clone() }
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, other: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &other.den) + &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, other: &Rational) -> Rational {
+        Rational::new(
+            &(&self.num * &other.den) - &(&other.num * &self.den),
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, other: &Rational) -> Rational {
+        Rational::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "division by zero rational");
+        Rational::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+macro_rules! forward_owned_binop_q {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, other: Rational) -> Rational {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, other: &Rational) -> Rational {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, other: Rational) -> Rational {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_owned_binop_q!(Add, add);
+forward_owned_binop_q!(Sub, sub);
+forward_owned_binop_q!(Mul, mul);
+forward_owned_binop_q!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, other: &Rational) {
+        *self = &*self + other;
+    }
+}
+impl AddAssign for Rational {
+    fn add_assign(&mut self, other: Rational) {
+        *self = &*self + &other;
+    }
+}
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, other: &Rational) {
+        *self = &*self - other;
+    }
+}
+impl SubAssign for Rational {
+    fn sub_assign(&mut self, other: Rational) {
+        *self = &*self - &other;
+    }
+}
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, other: &Rational) {
+        *self = &*self * other;
+    }
+}
+impl MulAssign for Rational {
+    fn mul_assign(&mut self, other: Rational) {
+        *self = &*self * &other;
+    }
+}
+impl DivAssign<&Rational> for Rational {
+    fn div_assign(&mut self, other: &Rational) {
+        *self = &*self / other;
+    }
+}
+impl DivAssign for Rational {
+    fn div_assign(&mut self, other: Rational) {
+        *self = &*self / &other;
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |a, b| a + b)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Rational> for Rational {
+    fn sum<I: Iterator<Item = &'a Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::zero(), |a, b| &a + b)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error returned when parsing a [`Rational`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    message: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        let mk_err = |m: &str| ParseRationalError { message: m.to_string() };
+        match s.split_once('/') {
+            None => {
+                let n: Int = s.parse().map_err(|_| mk_err(s))?;
+                Ok(Rational::from_int(n))
+            }
+            Some((n, d)) => {
+                let n: Int = n.trim().parse().map_err(|_| mk_err(s))?;
+                let d: Int = d.trim().parse().map_err(|_| mk_err(s))?;
+                if d.is_zero() {
+                    return Err(mk_err("zero denominator"));
+                }
+                Ok(Rational::new(n, d))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn q(n: i64, d: i64) -> Rational {
+        Rational::from_ints(n, d)
+    }
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(q(6, -4).to_string(), "-3/2");
+        assert_eq!(q(0, -7), Rational::zero());
+        assert_eq!(q(4, 2), Rational::from(2));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(q(1, 3) + q(1, 6), q(1, 2));
+        assert_eq!(q(1, 3) - q(1, 3), Rational::zero());
+        assert_eq!(q(2, 3) * q(3, 4), q(1, 2));
+        assert_eq!(q(2, 3) / q(4, 3), q(1, 2));
+        assert_eq!(-q(1, 2), q(-1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(q(1, 3) < q(1, 2));
+        assert!(q(-1, 2) < q(-1, 3));
+        assert!(q(7, 1) > q(13, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(q(7, 2).floor(), Int::from(3));
+        assert_eq!(q(7, 2).ceil(), Int::from(4));
+        assert_eq!(q(-7, 2).floor(), Int::from(-4));
+        assert_eq!(q(-7, 2).ceil(), Int::from(-3));
+        assert_eq!(q(4, 2).floor(), Int::from(2));
+        assert_eq!(q(4, 2).ceil(), Int::from(2));
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3/4".parse::<Rational>().unwrap(), q(3, 4));
+        assert_eq!("-5".parse::<Rational>().unwrap(), Rational::from(-5));
+        assert_eq!(" 6 / -8 ".parse::<Rational>().unwrap(), q(-3, 4));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("abc".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(q(3, 4).recip(), q(4, 3));
+        assert_eq!(q(-3, 4).recip(), q(-4, 3));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rational = (1..=4).map(|i| q(1, i)).sum();
+        assert_eq!(total, q(25, 12));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_field_axioms(a in -1000i64..1000, b in 1i64..100, c in -1000i64..1000, d in 1i64..100) {
+            let x = q(a, b);
+            let y = q(c, d);
+            prop_assert_eq!(&x + &y, &y + &x);
+            prop_assert_eq!(&x * &y, &y * &x);
+            prop_assert_eq!(&(&x + &y) - &y, x.clone());
+            if !y.is_zero() {
+                prop_assert_eq!(&(&x * &y) / &y, x.clone());
+            }
+        }
+
+        #[test]
+        fn prop_distributivity(a in -100i64..100, b in 1i64..50, c in -100i64..100, d in 1i64..50, e in -100i64..100, f in 1i64..50) {
+            let x = q(a, b);
+            let y = q(c, d);
+            let z = q(e, f);
+            prop_assert_eq!(&x * &(&y + &z), &(&x * &y) + &(&x * &z));
+        }
+
+        #[test]
+        fn prop_floor_le_value(a in -10000i64..10000, b in 1i64..200) {
+            let x = q(a, b);
+            let fl = Rational::from_int(x.floor());
+            let ce = Rational::from_int(x.ceil());
+            prop_assert!(fl <= x);
+            prop_assert!(x <= ce);
+            prop_assert!(&ce - &fl <= Rational::one());
+        }
+
+        #[test]
+        fn prop_parse_display_roundtrip(a in -10000i64..10000, b in 1i64..300) {
+            let x = q(a, b);
+            prop_assert_eq!(x.to_string().parse::<Rational>().unwrap(), x);
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Generator (vertex / ray) representation of polyhedra.
+
+use std::fmt;
+use termite_linalg::QVector;
+
+/// A generator of a closed convex polyhedron (Definition 3 of the paper):
+/// every point of the polyhedron is a convex combination of vertices plus a
+/// non-negative combination of rays.
+///
+/// Lines (bidirectional rays) are represented as two opposite [`Generator::Ray`]s.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Generator {
+    /// An extreme (or at least supporting) point of the polyhedron.
+    Vertex(QVector),
+    /// A recession direction of the polyhedron.
+    Ray(QVector),
+}
+
+impl Generator {
+    /// The underlying coordinate vector.
+    pub fn vector(&self) -> &QVector {
+        match self {
+            Generator::Vertex(v) | Generator::Ray(v) => v,
+        }
+    }
+
+    /// True for [`Generator::Vertex`].
+    pub fn is_vertex(&self) -> bool {
+        matches!(self, Generator::Vertex(_))
+    }
+
+    /// True for [`Generator::Ray`].
+    pub fn is_ray(&self) -> bool {
+        matches!(self, Generator::Ray(_))
+    }
+}
+
+impl fmt::Display for Generator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Generator::Vertex(v) => write!(f, "vertex {v}"),
+            Generator::Ray(r) => write!(f, "ray {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let v = Generator::Vertex(QVector::from_i64(&[1, 2]));
+        let r = Generator::Ray(QVector::from_i64(&[0, 1]));
+        assert!(v.is_vertex() && !v.is_ray());
+        assert!(r.is_ray() && !r.is_vertex());
+        assert_eq!(v.vector(), &QVector::from_i64(&[1, 2]));
+        assert_eq!(format!("{r}"), "ray (0, 1)");
+    }
+}

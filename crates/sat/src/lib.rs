@@ -1,0 +1,38 @@
+//! A conflict-driven clause-learning (CDCL) SAT solver.
+//!
+//! The optimizing SMT queries at the heart of the paper's synthesis loop
+//! (`Sat(I ∧ τ ∧ AvoidSpace(u, B))` with minimisation of `λ·u`) are decided by
+//! a lazy DPLL(T) architecture in `termite-smt`: the Boolean structure of the
+//! large-block-encoded transition relation is abstracted to propositional
+//! variables and handed to this SAT solver, while conjunctions of linear-
+//! arithmetic atoms are checked by an exact simplex theory solver. The SAT
+//! solver therefore needs to support incremental clause addition (blocking
+//! clauses and theory conflict clauses are added between `solve` calls).
+//!
+//! The implementation is a classic CDCL solver: two-literal watching, first
+//! unique-implication-point (1UIP) conflict analysis, non-chronological
+//! backjumping, activity-based (VSIDS-style) decision heuristic with decay,
+//! and Luby-style restarts.
+//!
+//! # Example
+//!
+//! ```
+//! use termite_sat::{Lit, SatResult, Solver};
+//!
+//! let mut solver = Solver::new();
+//! let a = solver.new_var();
+//! let b = solver.new_var();
+//! solver.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+//! solver.add_clause(&[Lit::neg(a)]);
+//! match solver.solve() {
+//!     SatResult::Sat(model) => {
+//!         assert!(!model[a.index()]);
+//!         assert!(model[b.index()]);
+//!     }
+//!     SatResult::Unsat => panic!("satisfiable formula reported unsat"),
+//! }
+//! ```
+
+mod solver;
+
+pub use solver::{Lit, SatResult, Solver, Var};

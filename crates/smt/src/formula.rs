@@ -1,0 +1,360 @@
+//! Quantifier-free formulas of linear integer arithmetic.
+
+use crate::{LinExpr, TermVar};
+use std::collections::BTreeSet;
+use std::fmt;
+use termite_num::Rational;
+
+/// A quantifier-free formula over linear integer arithmetic atoms.
+///
+/// The paper's transition relations are built from `∧`, `∨` and non-strict
+/// linear constraints; negation is additionally supported (it shows up when
+/// encoding `AvoidSpace`, negated guards of `if`/`while` statements and the
+/// strictness check) and is eliminated during solving using the integrality
+/// of the variables.
+///
+/// ```
+/// use termite_smt::{Formula, LinExpr, TermVar};
+///
+/// let x = TermVar(0);
+/// let f = Formula::and(vec![
+///     Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+///     Formula::lt(LinExpr::var(x), LinExpr::constant(10)),
+/// ]);
+/// assert!(f.eval(&|_| 3.into()));
+/// assert!(!f.eval(&|_| 11.into()));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Formula {
+    /// The true formula.
+    True,
+    /// The false formula.
+    False,
+    /// The atom `lhs ≥ rhs`.
+    Ge(LinExpr, LinExpr),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction, flattening nested conjunctions and constant-folding.
+    pub fn and(children: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for c in children {
+            match c {
+                Formula::True => {}
+                Formula::False => return Formula::False,
+                Formula::And(grand) => out.extend(grand),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::True,
+            1 => out.pop().unwrap(),
+            _ => Formula::And(out),
+        }
+    }
+
+    /// Disjunction, flattening nested disjunctions and constant-folding.
+    pub fn or(children: Vec<Formula>) -> Formula {
+        let mut out = Vec::new();
+        for c in children {
+            match c {
+                Formula::False => {}
+                Formula::True => return Formula::True,
+                Formula::Or(grand) => out.extend(grand),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Formula::False,
+            1 => out.pop().unwrap(),
+            _ => Formula::Or(out),
+        }
+    }
+
+    /// Negation (with constant folding and double-negation elimination).
+    pub fn not(f: Formula) -> Formula {
+        match f {
+            Formula::True => Formula::False,
+            Formula::False => Formula::True,
+            Formula::Not(inner) => *inner,
+            other => Formula::Not(Box::new(other)),
+        }
+    }
+
+    /// Implication `a ⇒ b`.
+    pub fn implies(a: Formula, b: Formula) -> Formula {
+        Formula::or(vec![Formula::not(a), b])
+    }
+
+    /// The atom `lhs ≥ rhs`.
+    pub fn ge(lhs: LinExpr, rhs: LinExpr) -> Formula {
+        Formula::Ge(lhs, rhs)
+    }
+
+    /// The atom `lhs ≤ rhs`.
+    pub fn le(lhs: LinExpr, rhs: LinExpr) -> Formula {
+        Formula::Ge(rhs, lhs)
+    }
+
+    /// The atom `lhs > rhs` (i.e. `lhs ≥ rhs + 1` over the integers).
+    pub fn gt(lhs: LinExpr, rhs: LinExpr) -> Formula {
+        Formula::Ge(lhs, rhs + LinExpr::constant(1))
+    }
+
+    /// The atom `lhs < rhs` (i.e. `rhs ≥ lhs + 1` over the integers).
+    pub fn lt(lhs: LinExpr, rhs: LinExpr) -> Formula {
+        Formula::Ge(rhs, lhs + LinExpr::constant(1))
+    }
+
+    /// The equality `lhs = rhs` (two inequalities).
+    pub fn eq_expr(lhs: LinExpr, rhs: LinExpr) -> Formula {
+        Formula::and(vec![
+            Formula::ge(lhs.clone(), rhs.clone()),
+            Formula::ge(rhs, lhs),
+        ])
+    }
+
+    /// The disequality `lhs ≠ rhs` (strictly above or strictly below, using
+    /// integrality).
+    pub fn neq(lhs: LinExpr, rhs: LinExpr) -> Formula {
+        Formula::or(vec![
+            Formula::gt(lhs.clone(), rhs.clone()),
+            Formula::lt(lhs, rhs),
+        ])
+    }
+
+    /// Evaluates the formula under an integer (or rational) assignment.
+    pub fn eval(&self, assignment: &dyn Fn(TermVar) -> Rational) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Ge(l, r) => l.eval(assignment) >= r.eval(assignment),
+            Formula::And(cs) => cs.iter().all(|c| c.eval(assignment)),
+            Formula::Or(cs) => cs.iter().any(|c| c.eval(assignment)),
+            Formula::Not(f) => !f.eval(assignment),
+        }
+    }
+
+    /// All variables occurring in the formula.
+    pub fn vars(&self) -> BTreeSet<TermVar> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<TermVar>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Ge(l, r) => {
+                out.extend(l.vars());
+                out.extend(r.vars());
+            }
+            Formula::And(cs) | Formula::Or(cs) => {
+                for c in cs {
+                    c.collect_vars(out);
+                }
+            }
+            Formula::Not(f) => f.collect_vars(out),
+        }
+    }
+
+    /// Substitutes variables by linear expressions throughout the formula.
+    pub fn substitute(&self, subst: &dyn Fn(TermVar) -> Option<LinExpr>) -> Formula {
+        match self {
+            Formula::True => Formula::True,
+            Formula::False => Formula::False,
+            Formula::Ge(l, r) => Formula::Ge(l.substitute(subst), r.substitute(subst)),
+            Formula::And(cs) => Formula::and(cs.iter().map(|c| c.substitute(subst)).collect()),
+            Formula::Or(cs) => Formula::or(cs.iter().map(|c| c.substitute(subst)).collect()),
+            Formula::Not(f) => Formula::not(f.substitute(subst)),
+        }
+    }
+
+    /// Negation normal form: pushes negations down to the atoms (where they
+    /// are absorbed using integrality: `¬(l ≥ r)` becomes `r ≥ l + 1`).
+    pub fn to_nnf(&self) -> Formula {
+        self.nnf_rec(false)
+    }
+
+    fn nnf_rec(&self, negate: bool) -> Formula {
+        match (self, negate) {
+            (Formula::True, false) | (Formula::False, true) => Formula::True,
+            (Formula::True, true) | (Formula::False, false) => Formula::False,
+            (Formula::Ge(l, r), false) => Formula::Ge(l.clone(), r.clone()),
+            (Formula::Ge(l, r), true) => {
+                // ¬(l >= r)  ≡  l < r  ≡  r >= l + 1
+                Formula::Ge(r.clone(), l.clone() + LinExpr::constant(1))
+            }
+            (Formula::And(cs), false) => Formula::and(cs.iter().map(|c| c.nnf_rec(false)).collect()),
+            (Formula::And(cs), true) => Formula::or(cs.iter().map(|c| c.nnf_rec(true)).collect()),
+            (Formula::Or(cs), false) => Formula::or(cs.iter().map(|c| c.nnf_rec(false)).collect()),
+            (Formula::Or(cs), true) => Formula::and(cs.iter().map(|c| c.nnf_rec(true)).collect()),
+            (Formula::Not(f), _) => f.nnf_rec(!negate),
+        }
+    }
+
+    /// Number of atom occurrences (a rough size measure used in statistics).
+    pub fn num_atoms(&self) -> usize {
+        match self {
+            Formula::True | Formula::False => 0,
+            Formula::Ge(_, _) => 1,
+            Formula::And(cs) | Formula::Or(cs) => cs.iter().map(Formula::num_atoms).sum(),
+            Formula::Not(f) => f.num_atoms(),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Ge(l, r) => write!(f, "({l} >= {r})"),
+            Formula::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Formula::Not(inner) => write!(f, "¬{inner}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn q(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn constructors_fold_constants() {
+        assert_eq!(Formula::and(vec![Formula::True, Formula::True]), Formula::True);
+        assert_eq!(Formula::and(vec![Formula::True, Formula::False]), Formula::False);
+        assert_eq!(Formula::or(vec![Formula::False, Formula::False]), Formula::False);
+        assert_eq!(Formula::or(vec![Formula::True, Formula::False]), Formula::True);
+        assert_eq!(Formula::not(Formula::not(Formula::True)), Formula::True);
+    }
+
+    #[test]
+    fn flattening() {
+        let x = TermVar(0);
+        let a = Formula::ge(LinExpr::var(x), LinExpr::constant(0));
+        let f = Formula::and(vec![a.clone(), Formula::and(vec![a.clone(), a.clone()])]);
+        match f {
+            Formula::And(cs) => assert_eq!(cs.len(), 3),
+            other => panic!("expected flattened And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparisons_over_integers() {
+        let x = TermVar(0);
+        let lt5 = Formula::lt(LinExpr::var(x), LinExpr::constant(5));
+        assert!(lt5.eval(&|_| q(4)));
+        assert!(!lt5.eval(&|_| q(5)));
+        let ne = Formula::neq(LinExpr::var(x), LinExpr::constant(3));
+        assert!(ne.eval(&|_| q(2)));
+        assert!(ne.eval(&|_| q(4)));
+        assert!(!ne.eval(&|_| q(3)));
+        let eq = Formula::eq_expr(LinExpr::var(x), LinExpr::constant(3));
+        assert!(eq.eval(&|_| q(3)));
+        assert!(!eq.eval(&|_| q(4)));
+    }
+
+    #[test]
+    fn nnf_eliminates_negation() {
+        let x = TermVar(0);
+        let y = TermVar(1);
+        let f = Formula::not(Formula::and(vec![
+            Formula::ge(LinExpr::var(x), LinExpr::constant(0)),
+            Formula::or(vec![
+                Formula::lt(LinExpr::var(y), LinExpr::constant(3)),
+                Formula::not(Formula::ge(LinExpr::var(x), LinExpr::var(y))),
+            ]),
+        ]));
+        let nnf = f.to_nnf();
+        fn has_not(f: &Formula) -> bool {
+            match f {
+                Formula::Not(_) => true,
+                Formula::And(cs) | Formula::Or(cs) => cs.iter().any(has_not),
+                _ => false,
+            }
+        }
+        assert!(!has_not(&nnf));
+    }
+
+    #[test]
+    fn substitution() {
+        let x = TermVar(0);
+        let y = TermVar(1);
+        let f = Formula::ge(LinExpr::var(x), LinExpr::var(y));
+        let g = f.substitute(&|v| {
+            if v == x {
+                Some(LinExpr::var(y) + LinExpr::constant(1))
+            } else {
+                None
+            }
+        });
+        // y + 1 >= y is always true at evaluation time.
+        assert!(g.eval(&|_| q(17)));
+    }
+
+    proptest! {
+        /// NNF preserves the semantics of the formula on integer points.
+        #[test]
+        fn prop_nnf_preserves_semantics(
+            vx in -10i64..10, vy in -10i64..10,
+            c1 in -5i64..5, c2 in -5i64..5, c3 in -5i64..5,
+        ) {
+            let x = TermVar(0);
+            let y = TermVar(1);
+            let f = Formula::not(Formula::or(vec![
+                Formula::and(vec![
+                    Formula::ge(LinExpr::var(x), LinExpr::constant(c1)),
+                    Formula::not(Formula::lt(LinExpr::var(y), LinExpr::constant(c2))),
+                ]),
+                Formula::neq(LinExpr::var(x) + LinExpr::var(y), LinExpr::constant(c3)),
+            ]));
+            let assign = |v: TermVar| if v == x { q(vx) } else { q(vy) };
+            prop_assert_eq!(f.eval(&assign), f.to_nnf().eval(&assign));
+        }
+
+        /// `vars` returns every variable mentioned.
+        #[test]
+        fn prop_vars_complete(c in -5i64..5) {
+            let x = TermVar(0);
+            let y = TermVar(7);
+            let f = Formula::or(vec![
+                Formula::ge(LinExpr::var(x), LinExpr::constant(c)),
+                Formula::lt(LinExpr::var(y), LinExpr::constant(c)),
+            ]);
+            let vs = f.vars();
+            prop_assert!(vs.contains(&x) && vs.contains(&y));
+            prop_assert_eq!(vs.len(), 2);
+        }
+    }
+}

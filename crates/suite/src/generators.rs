@@ -1,0 +1,104 @@
+//! Parametric workload generators for the scalability experiments.
+
+use termite_ir::{parse_named_program, Program};
+
+/// A loop whose body is `t` successive if-then-else statements: it has `2^t`
+/// paths but a linear-size large-block encoding. This is the workload behind
+//  the scalability discussion of §1/§10 of the paper (and the comparison with
+/// the eager DNF-based baselines).
+pub fn multipath_loop(tests: usize) -> Program {
+    let mut body = String::new();
+    for _ in 0..tests {
+        body.push_str("if (nondet()) { x = x - 1; } else { x = x - 2; }\n");
+    }
+    let src = format!("var x;\nassume x >= 0;\nwhile (x >= 0) {{\n{body}}}\n");
+    parse_named_program(&src, &format!("multipath_{tests}")).expect("generated program parses")
+}
+
+/// A chain of `depth` nested counted loops (PolyBench-style scaling in the
+/// nesting depth).
+pub fn nested_counted_loops(depth: usize) -> Program {
+    assert!(depth >= 1);
+    let mut src = String::from("var n");
+    for d in 0..depth {
+        src.push_str(&format!(", i{d}"));
+    }
+    src.push_str(";\nassume n >= 0;\n");
+    let mut open = String::new();
+    let mut close = String::new();
+    for d in 0..depth {
+        open.push_str(&format!("i{d} = 0;\nwhile (i{d} < n) {{\n"));
+        close = format!("i{d} = i{d} + 1;\n}}\n{close}");
+    }
+    src.push_str(&open);
+    src.push_str(&close);
+    parse_named_program(&src, &format!("nested_{depth}")).expect("generated program parses")
+}
+
+/// A lexicographic cascade with `phases` counters: counter `p` only decreases
+/// when all earlier counters are zero, and resets every later counter
+/// non-deterministically. Needs a `phases`-dimensional ranking function.
+pub fn phase_cascade(phases: usize) -> Program {
+    assert!(phases >= 1);
+    let decls: Vec<String> = (0..phases).map(|p| format!("c{p}")).collect();
+    let mut src = format!("var {};\n", decls.join(", "));
+    let assumes: Vec<String> = (0..phases).map(|p| format!("c{p} >= 0")).collect();
+    src.push_str(&format!("assume {};\n", assumes.join(" && ")));
+    let guards: Vec<String> = (0..phases).map(|p| format!("c{p} > 0")).collect();
+    src.push_str(&format!("while ({}) {{\nchoice {{\n", guards.join(" || ")));
+    let mut branches: Vec<String> = Vec::new();
+    for p in 0..phases {
+        let mut branch = String::new();
+        let zeros: Vec<String> = (0..p).map(|q| format!("c{q} <= 0")).collect();
+        if zeros.is_empty() {
+            branch.push_str(&format!("assume c{p} > 0;\nc{p} = c{p} - 1;\n"));
+        } else {
+            branch.push_str(&format!("assume {} && c{p} > 0;\nc{p} = c{p} - 1;\n", zeros.join(" && ")));
+        }
+        for q in (p + 1)..phases {
+            branch.push_str(&format!("c{q} = nondet();\nassume c{q} >= 0;\n"));
+        }
+        branches.push(branch);
+    }
+    src.push_str(&branches.join("} or {\n"));
+    src.push_str("}\n}\n");
+    parse_named_program(&src, &format!("phase_cascade_{phases}")).expect("generated program parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multipath_scales_linearly_in_encoding() {
+        let small = multipath_loop(2).transition_system();
+        let large = multipath_loop(10).transition_system();
+        assert_eq!(small.num_locations(), 1);
+        assert_eq!(large.num_locations(), 1);
+        // 2^10 paths, but the formula grows linearly: going from 2 to 10 tests
+        // multiplies the number of paths by 256 while the atom count grows by
+        // a small constant factor.
+        let growth = large.formula_atoms() as f64 / small.formula_atoms() as f64;
+        assert!(growth < 12.0, "block encoding must not blow up: growth {growth}");
+    }
+
+    #[test]
+    fn nested_loops_have_expected_cut_points() {
+        for depth in 1..=4 {
+            let p = nested_counted_loops(depth);
+            assert_eq!(p.num_loops(), depth);
+            let ts = p.transition_system();
+            assert_eq!(ts.num_locations(), depth);
+        }
+    }
+
+    #[test]
+    fn phase_cascade_has_single_header_with_many_paths() {
+        for phases in 1..=4 {
+            let p = phase_cascade(phases);
+            let ts = p.transition_system();
+            assert_eq!(ts.num_locations(), 1);
+            assert_eq!(p.num_vars(), phases);
+        }
+    }
+}

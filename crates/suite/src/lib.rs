@@ -1,0 +1,512 @@
+//! Benchmark suites for the Termite evaluation (Table 1 of the paper).
+//!
+//! The paper evaluates Termite against Loopus, AProVE and Ultimate on four
+//! suites: **PolyBench** (affine nested loops from linear-algebra kernels),
+//! **Sorts** (sorting routines), **TermComp** (small integer programs from the
+//! termination competition) and **WTC** (the "worst-case termination
+//! challenge" collection of multipath/phase loops). The original C files are
+//! not redistributable here and the original front-end (LLVM + Pagai) is not
+//! part of this reproduction, so each suite is modelled by a set of
+//! semantically representative programs written in the `termite-ir`
+//! mini-language: same loop structures, guards and update patterns, at the
+//! same scale (number of variables, nesting depth, number of paths).
+//!
+//! In addition, [`generators`] provides parametric workload generators used by
+//! the scalability experiments (e.g. loops made of `t` successive
+//! if-then-else statements, which have `2^t` paths — the motivating example
+//! for the lazy constraint generation of the paper).
+
+use termite_ir::{parse_named_program, Program};
+
+pub mod generators;
+
+/// A named benchmark: a program plus the ground truth of whether a
+/// lexicographic linear ranking function is expected to exist.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// The program.
+    pub program: Program,
+    /// Which suite the benchmark belongs to.
+    pub suite: SuiteId,
+    /// Whether the benchmark is expected to be proved terminating by a
+    /// lexicographic-linear-ranking-function prover with polyhedral
+    /// invariants.
+    pub expected_terminating: bool,
+}
+
+/// Identifier of a benchmark suite (the rows of Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SuiteId {
+    /// Affine nested loops (PolyBench-style kernels).
+    PolyBench,
+    /// Sorting-routine loop structures.
+    Sorts,
+    /// Termination-competition style integer loops.
+    TermComp,
+    /// WTC-style multipath / phase loops.
+    Wtc,
+}
+
+impl SuiteId {
+    /// Human-readable suite name as used in the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteId::PolyBench => "PolyBench",
+            SuiteId::Sorts => "Sorts",
+            SuiteId::TermComp => "TermComp",
+            SuiteId::Wtc => "WTC",
+        }
+    }
+
+    /// All suites, in the order of Table 1.
+    pub fn all() -> [SuiteId; 4] {
+        [SuiteId::PolyBench, SuiteId::Sorts, SuiteId::TermComp, SuiteId::Wtc]
+    }
+}
+
+fn bench(suite: SuiteId, name: &str, expected_terminating: bool, src: &str) -> Benchmark {
+    let program = parse_named_program(src, name)
+        .unwrap_or_else(|e| panic!("benchmark `{name}` does not parse: {e}"));
+    Benchmark { program, suite, expected_terminating }
+}
+
+/// The PolyBench-style suite: counted, possibly nested affine loops as found
+/// in linear-algebra kernels (the paper proves 22 of 30; misses come from
+/// invariant-generator weaknesses, not the synthesis itself).
+pub fn polybench() -> Vec<Benchmark> {
+    use SuiteId::PolyBench as S;
+    vec![
+        bench(S, "vector_scale", true, r#"
+            var i, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) { i = i + 1; }
+        "#),
+        bench(S, "dot_product", true, r#"
+            var i, n, acc;
+            assume n >= 0;
+            i = 0; acc = 0;
+            while (i < n) { acc = acc + 2; i = i + 1; }
+        "#),
+        bench(S, "matvec", true, r#"
+            var i, j, n, m;
+            assume n >= 0 && m >= 0;
+            i = 0;
+            while (i < n) {
+                j = 0;
+                while (j < m) { j = j + 1; }
+                i = i + 1;
+            }
+        "#),
+        bench(S, "matmul", true, r#"
+            var i, j, k, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) {
+                j = 0;
+                while (j < n) {
+                    k = 0;
+                    while (k < n) { k = k + 1; }
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+        "#),
+        bench(S, "triangular", true, r#"
+            var i, j, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) {
+                j = i;
+                while (j < n) { j = j + 1; }
+                i = i + 1;
+            }
+        "#),
+        bench(S, "jacobi_sweep", true, r#"
+            var t, i, steps, n;
+            assume steps >= 0 && n >= 0;
+            t = 0;
+            while (t < steps) {
+                i = 1;
+                while (i < n) { i = i + 1; }
+                t = t + 1;
+            }
+        "#),
+        bench(S, "stencil_shift", true, r#"
+            var i, n;
+            assume n >= 2;
+            i = n;
+            while (i > 1) { i = i - 1; }
+        "#),
+        bench(S, "strided_loop", true, r#"
+            var i, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) { i = i + 3; }
+        "#),
+        bench(S, "two_phase_sweep", true, r#"
+            var i, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) { i = i + 1; }
+            while (i > 0) { i = i - 1; }
+        "#),
+        bench(S, "offdiagonal", true, r#"
+            var i, j, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) {
+                j = 0;
+                while (j < n) {
+                    if (j == i) { j = j + 1; } else { j = j + 1; }
+                }
+                i = i + 1;
+            }
+        "#),
+    ]
+}
+
+/// The Sorts suite: loop skeletons of classic sorting algorithms (the paper
+/// proves 5 of 6).
+pub fn sorts() -> Vec<Benchmark> {
+    use SuiteId::Sorts as S;
+    vec![
+        bench(S, "bubble_sort", true, r#"
+            var i, j, n;
+            assume n >= 0;
+            i = n;
+            while (i > 0) {
+                j = 0;
+                while (j < i - 1) { j = j + 1; }
+                i = i - 1;
+            }
+        "#),
+        bench(S, "insertion_sort", true, r#"
+            var i, j, n;
+            assume n >= 1;
+            i = 1;
+            while (i < n) {
+                j = i;
+                while (j > 0) {
+                    if (nondet()) { j = j - 1; } else { j = 0; }
+                }
+                i = i + 1;
+            }
+        "#),
+        bench(S, "selection_sort", true, r#"
+            var i, j, min, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) {
+                min = i;
+                j = i + 1;
+                while (j < n) {
+                    if (nondet()) { min = j; } else { skip; }
+                    j = j + 1;
+                }
+                i = i + 1;
+            }
+        "#),
+        bench(S, "gnome_sort", true, r#"
+            var pos, n, moves;
+            assume n >= 0 && moves >= 0 && pos >= 0;
+            while (pos < n) {
+                choice {
+                    assume pos >= 1 && moves > 0;
+                    pos = pos - 1;
+                    moves = moves - 1;
+                } or {
+                    pos = pos + 1;
+                }
+            }
+        "#),
+        bench(S, "cocktail_sort", true, r#"
+            var lo, hi;
+            assume lo <= hi;
+            while (lo < hi) {
+                choice {
+                    assume nondet(); hi = hi - 1;
+                } or {
+                    lo = lo + 1;
+                }
+            }
+        "#),
+        bench(S, "merge_walk", true, r#"
+            var i, j, n, m;
+            assume n >= 0 && m >= 0;
+            i = 0; j = 0;
+            while (i < n || j < m) {
+                choice {
+                    assume i < n; i = i + 1;
+                } or {
+                    assume j < m; j = j + 1;
+                }
+            }
+        "#),
+    ]
+}
+
+/// TermComp-style benchmarks: small integer loops from the termination
+/// competition, including a few non-terminating ones (the paper proves
+/// 119 of 129).
+pub fn termcomp() -> Vec<Benchmark> {
+    use SuiteId::TermComp as S;
+    vec![
+        bench(S, "simple_countdown", true, r#"
+            var x;
+            while (x > 0) { x = x - 1; }
+        "#),
+        bench(S, "countdown_by_two", true, r#"
+            var x;
+            while (x > 0) { x = x - 2; }
+        "#),
+        bench(S, "two_variable_race", true, r#"
+            var x, y;
+            while (x > 0 && y > 0) {
+                choice { x = x - 1; } or { y = y - 1; }
+            }
+        "#),
+        bench(S, "bounded_increase", true, r#"
+            var x, n;
+            while (x < n) { x = x + 1; }
+        "#),
+        bench(S, "alternating_updates", true, r#"
+            var x, y;
+            while (x >= 0 && y >= 0) {
+                choice {
+                    assume x >= 1; x = x - 1; y = y + 1;
+                } or {
+                    assume x == 0; x = x - 1;
+                } or {
+                    assume y >= 1 && x >= 1; y = y - 1;
+                }
+            }
+        "#),
+        bench(S, "gcd_like", true, r#"
+            var a, b;
+            assume a >= 1 && b >= 1;
+            while (a != b) {
+                if (a > b) { a = a - b; } else { b = b - a; }
+            }
+        "#),
+        bench(S, "nested_dependent", true, r#"
+            var i, j, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) {
+                j = n;
+                while (j > i) { j = j - 1; }
+                i = i + 1;
+            }
+        "#),
+        bench(S, "reset_loop", true, r#"
+            var i, j, bound;
+            assume i >= 0 && j >= 0 && bound >= 0;
+            while (i > 0) {
+                choice {
+                    assume j > 0; j = j - 1;
+                } or {
+                    assume j <= 0; i = i - 1; j = bound;
+                }
+            }
+        "#),
+        bench(S, "diverging_counter", false, r#"
+            var x;
+            assume x >= 1;
+            while (x > 0) { x = x + 1; }
+        "#),
+        bench(S, "oscillator_nonterm", false, r#"
+            var x;
+            assume x == 1;
+            while (x != 0) { x = 0 - x; }
+        "#),
+        bench(S, "stalling_loop_nonterm", false, r#"
+            var x, y;
+            assume x >= 1;
+            while (x > 0) { y = y + 1; }
+        "#),
+        bench(S, "three_phase", true, r#"
+            var x, y, z;
+            assume x >= 0 && y >= 0 && z >= 0;
+            while (x > 0 || y > 0 || z > 0) {
+                choice {
+                    assume x > 0; x = x - 1;
+                } or {
+                    assume x <= 0 && y > 0; y = y - 1;
+                } or {
+                    assume x <= 0 && y <= 0 && z > 0; z = z - 1;
+                }
+            }
+        "#),
+        bench(S, "difference_bound", true, r#"
+            var x, y;
+            while (x - y > 0) { y = y + 1; }
+        "#),
+        bench(S, "widening_needed", true, r#"
+            var x, n;
+            assume n >= 0;
+            x = 0;
+            while (x < n) {
+                if (nondet()) { x = x + 1; } else { x = x + 2; }
+            }
+        "#),
+    ]
+}
+
+/// WTC-style benchmarks: multipath loops, loops whose ranking function
+/// decreases per path rather than per step, and nested phase loops (the paper
+/// proves 46 of 58).
+pub fn wtc() -> Vec<Benchmark> {
+    use SuiteId::Wtc as S;
+    vec![
+        bench(S, "paper_example_1", true, r#"
+            var x, y;
+            assume x == 5 && y == 10;
+            while (true) {
+                choice {
+                    assume x <= 10 && y >= 0; x = x + 1; y = y - 1;
+                } or {
+                    assume x >= 0 && y >= 0;  x = x - 1; y = y - 1;
+                }
+            }
+        "#),
+        bench(S, "paper_listing_1", true, r#"
+            var x, c;
+            while (x >= 0) {
+                c = nondet();
+                if (c >= 1) { x = x - 1; } else { skip; }
+                if (c <= 0) { x = x - 1; } else { skip; }
+            }
+        "#),
+        bench(S, "paper_example_4_nested", true, r#"
+            var i, j;
+            i = 0;
+            while (i < 5) {
+                j = 0;
+                while (i > 2 && j <= 9) { j = j + 1; }
+                i = i + 1;
+            }
+        "#),
+        bench(S, "wtc_easy1", true, r#"
+            var x, y;
+            while (x > 0) {
+                x = x + y;
+                y = y - 1;
+                assume y <= 0;
+            }
+        "#),
+        bench(S, "wtc_swap", true, r#"
+            var x, y, t;
+            assume x >= 0 && y >= 0;
+            while (x > 0 && y > 0) {
+                t = x;
+                x = y - 1;
+                y = t - 1;
+            }
+        "#),
+        bench(S, "wtc_multipath_decrease", true, r#"
+            var x, y;
+            assume x >= 0 && y >= 0;
+            while (x + y > 0) {
+                if (x > 0) { x = x - 1; } else { y = y - 1; }
+            }
+        "#),
+        bench(S, "wtc_phase_change", true, r#"
+            var x, d, n;
+            assume n >= 0 && x >= 0 && x <= n && d == 1;
+            while (x < n) {
+                choice {
+                    assume d == 1; x = x + 1;
+                } or {
+                    assume d == 1 && x == n; d = 0 - 1;
+                }
+            }
+        "#),
+        bench(S, "wtc_unbounded_reset", true, r#"
+            var i, j, n;
+            assume i >= 0 && j >= 0 && n >= 0;
+            while (i > 0) {
+                choice {
+                    assume j > 0; j = j - 1;
+                } or {
+                    assume j <= 0; i = i - 1; j = n;
+                }
+            }
+        "#),
+        bench(S, "wtc_nonterm_drift", false, r#"
+            var x, y;
+            assume x >= 1 && y >= 1;
+            while (x > 0) { x = x + y; }
+        "#),
+        bench(S, "wtc_branching_budget", true, r#"
+            var budget, step;
+            assume budget >= 0;
+            while (budget > 0) {
+                step = nondet();
+                assume step >= 1;
+                if (step > budget) { budget = 0; } else { budget = budget - step; }
+            }
+        "#),
+    ]
+}
+
+/// All benchmarks of a suite.
+pub fn suite(id: SuiteId) -> Vec<Benchmark> {
+    match id {
+        SuiteId::PolyBench => polybench(),
+        SuiteId::Sorts => sorts(),
+        SuiteId::TermComp => termcomp(),
+        SuiteId::Wtc => wtc(),
+    }
+}
+
+/// Every benchmark of every suite.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    SuiteId::all().into_iter().flat_map(suite).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_parse_and_have_loops() {
+        let all = all_benchmarks();
+        assert!(all.len() >= 40, "expected a reasonably sized benchmark collection");
+        for b in &all {
+            assert!(b.program.num_loops() >= 1, "{} has no loop", b.program.name);
+            assert!(b.program.num_vars() >= 1);
+            // The large-block encoding must produce at least one transition.
+            let ts = b.program.transition_system();
+            assert!(
+                !ts.transitions().is_empty(),
+                "{} has an empty transition system",
+                b.program.name
+            );
+        }
+    }
+
+    #[test]
+    fn suites_are_disjoint_and_named() {
+        for id in SuiteId::all() {
+            let benches = suite(id);
+            assert!(!benches.is_empty());
+            for b in &benches {
+                assert_eq!(b.suite, id);
+            }
+        }
+        let names: Vec<String> =
+            all_benchmarks().iter().map(|b| b.program.name.clone()).collect();
+        let mut deduped = names.clone();
+        deduped.sort();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len(), "benchmark names must be unique");
+    }
+
+    #[test]
+    fn nonterminating_benchmarks_are_marked() {
+        let all = all_benchmarks();
+        let nonterm = all.iter().filter(|b| !b.expected_terminating).count();
+        assert!(nonterm >= 3, "the suites include non-terminating programs");
+    }
+}

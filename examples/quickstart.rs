@@ -1,0 +1,36 @@
+//! Quickstart: prove termination of Example 1 of the paper and print the
+//! synthesised ranking function (expected: ρ(x, y) = y + 1, dimension 1).
+//!
+//! Run with `cargo run --example quickstart`.
+
+use termite::prelude::*;
+
+fn main() {
+    let source = r#"
+        var x, y;
+        assume x == 5 && y == 10;
+        while (true) {
+            choice {
+                assume x <= 10 && y >= 0;
+                x = x + 1;
+                y = y - 1;
+            } or {
+                assume x >= 0 && y >= 0;
+                x = x - 1;
+                y = y - 1;
+            }
+        }
+    "#;
+    let program = parse_program(source).expect("the quickstart program parses");
+    let report = prove_termination(&program, &AnalysisOptions::default());
+    println!("{report}");
+    println!(
+        "synthesis: {:.2} ms, {} SMT queries, {} LP instances of average size ({:.1}, {:.1})",
+        report.stats.synthesis_millis,
+        report.stats.smt_queries,
+        report.stats.lp_instances,
+        report.stats.lp_rows_avg,
+        report.stats.lp_cols_avg,
+    );
+    assert!(report.proved(), "Example 1 of the paper must be proved terminating");
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 1 of the paper: for every benchmark suite and every
+//! engine, the number of programs proved terminating, the total synthesis
+//! time (front-end and invariant generation excluded) and the average LP
+//! instance size.
+//!
+//! Run with `cargo run --example table1_report` (add `--release` for timings
+//! comparable to the paper's).
+
+use termite::core::Engine;
+use termite::suite::SuiteId;
+use termite_bench::{format_table, prepare_suite, run_suite};
+
+fn main() {
+    let mut rows = Vec::new();
+    for suite_id in SuiteId::all() {
+        eprintln!("preparing {} ...", suite_id.name());
+        let prepared = prepare_suite(suite_id);
+        for engine in [Engine::Termite, Engine::Eager, Engine::Heuristic] {
+            eprintln!("  running {engine:?} ...");
+            let row = run_suite(suite_id, &prepared, engine);
+            if !row.unproved.is_empty() {
+                eprintln!("    not proved: {}", row.unproved.join(", "));
+            }
+            rows.push(row);
+        }
+    }
+    println!("\n=== Table 1 (reproduced) ===\n");
+    println!("{}", format_table(&rows));
+}

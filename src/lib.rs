@@ -1,0 +1,52 @@
+//! # Termite-rs
+//!
+//! A Rust reproduction of *“Synthesis of ranking functions using extremal
+//! counterexamples”* (Gonnord, Monniaux, Radanne — PLDI 2015), i.e. the
+//! **Termite** termination analyser, together with every substrate it relies
+//! on (exact arithmetic, LP, SAT, SMT with optimization, polyhedra, a small
+//! imperative front-end and a polyhedral invariant generator).
+//!
+//! This facade crate re-exports the individual workspace crates under stable
+//! module names so that downstream users can depend on a single crate.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use termite::prelude::*;
+//!
+//! // Example 1 of the paper: two transitions decreasing y.
+//! let src = r#"
+//!     var x, y;
+//!     assume x == 5 && y == 10;
+//!     while (true) {
+//!         choice {
+//!             assume x <= 10 && y >= 0; x = x + 1; y = y - 1;
+//!         } or {
+//!             assume x >= 0 && y >= 0; x = x - 1; y = y - 1;
+//!         }
+//!     }
+//! "#;
+//! let program = parse_program(src).expect("parse");
+//! let report = prove_termination(&program, &AnalysisOptions::default());
+//! assert!(report.proved());
+//! ```
+pub use termite_core as core;
+pub use termite_invariants as invariants;
+pub use termite_ir as ir;
+pub use termite_linalg as linalg;
+pub use termite_lp as lp;
+pub use termite_num as num;
+pub use termite_polyhedra as polyhedra;
+pub use termite_sat as sat;
+pub use termite_smt as smt;
+pub use termite_suite as suite;
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use termite_core::{
+        prove_termination, AnalysisOptions, Engine, RankingFunction, TerminationReport,
+        TerminationVerdict,
+    };
+    pub use termite_ir::{parse_program, Program};
+    pub use termite_num::{Int, Rational};
+}
