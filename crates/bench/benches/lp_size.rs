@@ -21,26 +21,15 @@ fn lp_size(c: &mut Criterion) {
         let invariants = location_invariants(&program, &InvariantOptions::default());
         let mut shapes = Vec::new();
         for engine in [Engine::Termite, Engine::Eager] {
-            let report = prove_transition_system(
-                &ts,
-                &invariants,
-                &AnalysisOptions::with_engine(engine),
-            );
+            let report =
+                prove_transition_system(&ts, &invariants, &AnalysisOptions::with_engine(engine));
             shapes.push((report.stats.lp_rows_avg, report.stats.lp_cols_avg));
-            group.bench_with_input(
-                BenchmarkId::new(format!("{engine:?}"), t),
-                &t,
-                |b, _| {
-                    b.iter(|| {
-                        prove_transition_system(
-                            &ts,
-                            &invariants,
-                            &AnalysisOptions::with_engine(engine),
-                        )
+            group.bench_with_input(BenchmarkId::new(format!("{engine:?}"), t), &t, |b, _| {
+                b.iter(|| {
+                    prove_transition_system(&ts, &invariants, &AnalysisOptions::with_engine(engine))
                         .proved()
-                    })
-                },
-            );
+                })
+            });
         }
         println!(
             "{:>3} {:>10.1},{:>10.1} {:>10.1},{:>10.1}",

@@ -20,20 +20,12 @@ fn multipath(c: &mut Criterion) {
             if engine == Engine::Eager && t > 6 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(format!("{engine:?}"), t),
-                &t,
-                |b, _| {
-                    b.iter(|| {
-                        prove_transition_system(
-                            &ts,
-                            &invariants,
-                            &AnalysisOptions::with_engine(engine),
-                        )
+            group.bench_with_input(BenchmarkId::new(format!("{engine:?}"), t), &t, |b, _| {
+                b.iter(|| {
+                    prove_transition_system(&ts, &invariants, &AnalysisOptions::with_engine(engine))
                         .proved()
-                    })
-                },
-            );
+                })
+            });
         }
     }
     group.finish();
@@ -61,16 +53,20 @@ fn nesting_and_dimension(c: &mut Criterion) {
         let program = phase_cascade(phases);
         let ts = program.transition_system();
         let invariants = location_invariants(&program, &InvariantOptions::default());
-        group.bench_with_input(BenchmarkId::new("phase_cascade", phases), &phases, |b, _| {
-            b.iter(|| {
-                prove_transition_system(
-                    &ts,
-                    &invariants,
-                    &AnalysisOptions::with_engine(Engine::Termite),
-                )
-                .proved()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("phase_cascade", phases),
+            &phases,
+            |b, _| {
+                b.iter(|| {
+                    prove_transition_system(
+                        &ts,
+                        &invariants,
+                        &AnalysisOptions::with_engine(Engine::Termite),
+                    )
+                    .proved()
+                })
+            },
+        );
     }
     group.finish();
 }

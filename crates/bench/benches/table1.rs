@@ -30,7 +30,10 @@ fn table1(c: &mut Criterion) {
         }
     }
     group.finish();
-    println!("\n=== Table 1 (reproduced) ===\n{}", format_table(&printed_rows));
+    println!(
+        "\n=== Table 1 (reproduced) ===\n{}",
+        format_table(&printed_rows)
+    );
 }
 
 criterion_group!(benches, table1);

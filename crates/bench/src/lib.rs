@@ -97,8 +97,16 @@ pub fn run_suite(id: SuiteId, prepared: &[PreparedBenchmark], engine: Engine) ->
         proved,
         expected: prepared.iter().filter(|b| b.expected_terminating).count(),
         time_millis: time,
-        lp_rows_avg: if lp_count > 0 { rows / lp_count as f64 } else { 0.0 },
-        lp_cols_avg: if lp_count > 0 { cols / lp_count as f64 } else { 0.0 },
+        lp_rows_avg: if lp_count > 0 {
+            rows / lp_count as f64
+        } else {
+            0.0
+        },
+        lp_cols_avg: if lp_count > 0 {
+            cols / lp_count as f64
+        } else {
+            0.0
+        },
         unproved,
     }
 }
@@ -133,8 +141,11 @@ mod tests {
     fn termcomp_row_shape() {
         // A smoke test over a couple of TermComp benchmarks (the full sweep is
         // exercised by the benches and the table1_report example).
-        let prepared: Vec<PreparedBenchmark> =
-            suite(SuiteId::TermComp).iter().take(3).map(prepare).collect();
+        let prepared: Vec<PreparedBenchmark> = suite(SuiteId::TermComp)
+            .iter()
+            .take(3)
+            .map(prepare)
+            .collect();
         let row = run_suite(SuiteId::TermComp, &prepared, Engine::Termite);
         assert_eq!(row.total, 3);
         assert!(row.proved <= row.total);

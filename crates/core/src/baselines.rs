@@ -109,7 +109,11 @@ pub fn expand_paths(
             ) {
                 continue;
             }
-            out.push(PathTransition { from: t.from, to: t.to, atoms });
+            out.push(PathTransition {
+                from: t.from,
+                to: t.to,
+                atoms,
+            });
         }
         if out.len() > limit {
             return None;
@@ -144,10 +148,15 @@ pub mod eager {
 
         // λ_{k,i} and λ0_k are free.
         let lambda_ids: Vec<Vec<VarId>> = (0..num_locs)
-            .map(|k| (0..n).map(|i| lp.add_free_var(format!("lambda_{k}_{i}"))).collect())
+            .map(|k| {
+                (0..n)
+                    .map(|i| lp.add_free_var(format!("lambda_{k}_{i}")))
+                    .collect()
+            })
             .collect();
-        let lambda0_ids: Vec<VarId> =
-            (0..num_locs).map(|k| lp.add_free_var(format!("lambda0_{k}"))).collect();
+        let lambda0_ids: Vec<VarId> = (0..num_locs)
+            .map(|k| lp.add_free_var(format!("lambda0_{k}")))
+            .collect();
 
         // Non-negativity on every location invariant via Farkas multipliers ν ≥ 0:
         //   λ_k = Σ_c ν_{k,c} a_c   and   λ0_k + Σ_c ν_{k,c} b_c >= 0.
@@ -166,8 +175,9 @@ pub mod eager {
                     }
                 }
             }
-            let nu_ids: Vec<VarId> =
-                (0..rows.len()).map(|c| lp.add_var(format!("nu_{k}_{c}"))).collect();
+            let nu_ids: Vec<VarId> = (0..rows.len())
+                .map(|c| lp.add_var(format!("nu_{k}_{c}")))
+                .collect();
             for i in 0..n {
                 let mut terms: Vec<(VarId, Rational)> = rows
                     .iter()
@@ -189,8 +199,9 @@ pub mod eager {
         }
 
         // One δ_j per alive path and Farkas multipliers μ per path face.
-        let delta_ids: Vec<VarId> =
-            (0..alive.len()).map(|j| lp.add_var(format!("delta_{j}"))).collect();
+        let delta_ids: Vec<VarId> = (0..alive.len())
+            .map(|j| lp.add_var(format!("delta_{j}")))
+            .collect();
         for &d in &delta_ids {
             lp.add_constraint(LpConstraint::new(
                 vec![(d, Rational::one())],
@@ -199,8 +210,9 @@ pub mod eager {
             ));
         }
         for (j, path) in alive.iter().enumerate() {
-            let mu_ids: Vec<VarId> =
-                (0..path.atoms.len()).map(|r| lp.add_var(format!("mu_{j}_{r}"))).collect();
+            let mu_ids: Vec<VarId> = (0..path.atoms.len())
+                .map(|r| lp.add_var(format!("mu_{j}_{r}")))
+                .collect();
             // Variable set: every variable of the path atoms plus all pre/post
             // variables of the involved locations.
             let mut vars: std::collections::BTreeSet<TermVar> = std::collections::BTreeSet::new();
@@ -218,7 +230,9 @@ pub mod eager {
                     .iter()
                     .enumerate()
                     .filter_map(|(r, a)| {
-                        a.coeffs.get(&v).map(|c| (mu_ids[r], Rational::from_int(c.clone())))
+                        a.coeffs
+                            .get(&v)
+                            .map(|c| (mu_ids[r], Rational::from_int(c.clone())))
                     })
                     .collect();
                 // c_v: λ_{from,i} for pre variables, -λ_{to,i} for post
@@ -252,15 +266,18 @@ pub mod eager {
             LpOutcome::Optimal { assignment, .. } => assignment,
             _ => return None,
         };
-        let strict: Vec<bool> =
-            delta_ids.iter().map(|d| assignment[d.0] == Rational::one()).collect();
+        let strict: Vec<bool> = delta_ids
+            .iter()
+            .map(|d| assignment[d.0] == Rational::one())
+            .collect();
         if !strict.iter().any(|s| *s) {
             return None;
         }
         let component: Vec<(QVector, Rational)> = (0..num_locs)
             .map(|k| {
-                let lambda: QVector =
-                    (0..n).map(|i| assignment[lambda_ids[k][i].0].clone()).collect();
+                let lambda: QVector = (0..n)
+                    .map(|i| assignment[lambda_ids[k][i].0].clone())
+                    .collect();
                 (lambda, assignment[lambda0_ids[k].0].clone())
             })
             .collect();
@@ -277,11 +294,19 @@ pub mod eager {
         let Some(paths) = expand_paths(ts, invariants, options.max_eager_disjuncts) else {
             return TerminationVerdict::Unknown;
         };
+        // The DNF expansion can be the bulk of the work on multipath loops;
+        // re-check for cancellation before committing to the (large) LP.
+        if options.cancel.is_cancelled() {
+            return TerminationVerdict::Unknown;
+        }
         stats.counterexamples = paths.len();
         let mut alive: Vec<&PathTransition> = paths.iter().collect();
         let mut components: Vec<Vec<(QVector, Rational)>> = Vec::new();
         let max_dims = ts.num_locations() * ts.num_vars() + 1;
         while !alive.is_empty() && components.len() < max_dims {
+            if options.cancel.is_cancelled() {
+                return TerminationVerdict::Unknown;
+            }
             stats.iterations += 1;
             match solve_level(ts, invariants, &alive, stats) {
                 None => return TerminationVerdict::Unknown,
@@ -340,6 +365,7 @@ pub mod podelski_rybalchenko {
 /// The syntactic, Loopus-style heuristic baseline.
 pub mod heuristic {
     use super::*;
+    use crate::cancel::CancelToken;
     use termite_smt::{SmtContext, TermVar};
 
     /// Collects candidate ranking expressions for a location from the atoms of
@@ -427,10 +453,8 @@ pub mod heuristic {
                 // Otherwise this component must at least be non-increasing for
                 // the lexicographic argument to continue.
                 stats.smt_queries += 1;
-                let increases = Formula::and(vec![
-                    base.clone(),
-                    Formula::gt(post.clone(), pre.clone()),
-                ]);
+                let increases =
+                    Formula::and(vec![base.clone(), Formula::gt(post.clone(), pre.clone())]);
                 if ctx.solve(&increases).is_sat() {
                     return false;
                 }
@@ -448,6 +472,7 @@ pub mod heuristic {
     pub fn prove(
         ts: &TransitionSystem,
         invariants: &[Polyhedron],
+        cancel: &CancelToken,
         stats: &mut SynthesisStats,
     ) -> TerminationVerdict {
         let n = ts.num_vars();
@@ -480,6 +505,9 @@ pub mod heuristic {
             }
         }
         for assembly in assemblies {
+            if cancel.is_cancelled() {
+                return TerminationVerdict::Unknown;
+            }
             stats.iterations += 1;
             if verify_tuple(ts, invariants, &assembly, &mut ctx, stats) {
                 stats.dimension = assembly.len();
@@ -520,7 +548,9 @@ mod tests {
     }
 
     fn countdown() -> (TransitionSystem, Vec<Polyhedron>) {
-        let ts = parse_program("var x; while (x > 0) { x = x - 1; }").unwrap().transition_system();
+        let ts = parse_program("var x; while (x > 0) { x = x - 1; }")
+            .unwrap()
+            .transition_system();
         let invs = vec![Polyhedron::from_constraints(
             1,
             vec![Constraint::ge(QVector::from_i64(&[1]), q(0))],
@@ -625,7 +655,7 @@ mod tests {
     fn heuristic_proves_guard_bounded_countdown() {
         let (ts, invs) = countdown();
         let mut stats = SynthesisStats::default();
-        match heuristic::prove(&ts, &invs, &mut stats) {
+        match heuristic::prove(&ts, &invs, &crate::CancelToken::new(), &mut stats) {
             TerminationVerdict::Terminating(rf) => {
                 assert_eq!(rf.dimension(), 1);
                 assert!(stats.smt_queries > 0);
@@ -636,14 +666,16 @@ mod tests {
 
     #[test]
     fn heuristic_gives_up_on_nonterminating() {
-        let ts = parse_program("var x; while (x > 0) { x = x + 1; }").unwrap().transition_system();
+        let ts = parse_program("var x; while (x > 0) { x = x + 1; }")
+            .unwrap()
+            .transition_system();
         let invs = vec![Polyhedron::from_constraints(
             1,
             vec![Constraint::ge(QVector::from_i64(&[1]), q(0))],
         )];
         let mut stats = SynthesisStats::default();
         assert!(matches!(
-            heuristic::prove(&ts, &invs, &mut stats),
+            heuristic::prove(&ts, &invs, &crate::CancelToken::new(), &mut stats),
             TerminationVerdict::Unknown
         ));
     }
@@ -652,8 +684,7 @@ mod tests {
     fn engines_agree_on_example_1() {
         let (ts, invs) = example1();
         for engine in [Engine::Termite, Engine::Eager, Engine::Heuristic] {
-            let report =
-                prove_transition_system(&ts, &invs, &AnalysisOptions::with_engine(engine));
+            let report = prove_transition_system(&ts, &invs, &AnalysisOptions::with_engine(engine));
             assert!(report.proved(), "engine {engine:?} must prove Example 1");
         }
     }

@@ -1,6 +1,7 @@
 //! Top-level analysis entry points and engine selection.
 
 use crate::baselines;
+use crate::cancel::CancelToken;
 use crate::multidim::synthesize_lexicographic;
 use crate::report::{RankingFunction, SynthesisStats, TerminationReport, TerminationVerdict};
 use std::time::Instant;
@@ -39,6 +40,12 @@ pub struct AnalysisOptions {
     /// Bound on the number of DNF disjuncts the eager baselines may build
     /// before giving up.
     pub max_eager_disjuncts: usize,
+    /// Cooperative cancellation: the provers poll this token at every
+    /// iteration / lexicographic level and report
+    /// [`TerminationVerdict::Unknown`] once it fires. Portfolio drivers share
+    /// one token between racing engines; deadlines are tokens too
+    /// ([`CancelToken::with_deadline`]).
+    pub cancel: CancelToken,
 }
 
 impl Default for AnalysisOptions {
@@ -48,6 +55,7 @@ impl Default for AnalysisOptions {
             invariants: InvariantOptions::default(),
             max_iterations_per_dim: 120,
             max_eager_disjuncts: 4096,
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -55,7 +63,16 @@ impl Default for AnalysisOptions {
 impl AnalysisOptions {
     /// Convenience constructor selecting an engine with default settings.
     pub fn with_engine(engine: Engine) -> Self {
-        AnalysisOptions { engine, ..Default::default() }
+        AnalysisOptions {
+            engine,
+            ..Default::default()
+        }
+    }
+
+    /// The same options with the given cancellation token installed.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 }
 
@@ -94,6 +111,7 @@ pub fn prove_transition_system(
                     ts,
                     invariants,
                     options.max_iterations_per_dim,
+                    &options.cancel,
                     &mut stats,
                 ) {
                     Some(components) => TerminationVerdict::Terminating(RankingFunction::new(
@@ -111,12 +129,18 @@ pub fn prove_transition_system(
             Engine::PodelskiRybalchenko => {
                 baselines::podelski_rybalchenko::prove(ts, invariants, options, &mut stats)
             }
-            Engine::Heuristic => baselines::heuristic::prove(ts, invariants, &mut stats),
+            Engine::Heuristic => {
+                baselines::heuristic::prove(ts, invariants, &options.cancel, &mut stats)
+            }
         }
     };
 
     stats.synthesis_millis = start.elapsed().as_secs_f64() * 1000.0;
-    TerminationReport { program: ts.name().to_string(), verdict, stats }
+    TerminationReport {
+        program: ts.name().to_string(),
+        verdict,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -149,7 +173,10 @@ mod tests {
         )
         .unwrap();
         let report = prove_termination(&p, &AnalysisOptions::default());
-        assert!(report.proved(), "Example 1 of the paper must be proved terminating");
+        assert!(
+            report.proved(),
+            "Example 1 of the paper must be proved terminating"
+        );
         assert_eq!(report.ranking_function().unwrap().dimension(), 1);
         assert!(report.stats.synthesis_millis >= 0.0);
     }

@@ -62,6 +62,7 @@
 //! ```
 
 mod baselines;
+mod cancel;
 mod engine;
 mod lp_instance;
 mod monodim;
@@ -69,8 +70,9 @@ mod multidim;
 mod report;
 
 pub use baselines::{eager, heuristic, podelski_rybalchenko};
+pub use cancel::CancelToken;
 pub use engine::{prove_termination, prove_transition_system, AnalysisOptions, Engine};
-pub use lp_instance::{LpInstanceStats, RankingTemplate, StackedConstraints};
+pub use lp_instance::{LpInstanceSolution, LpInstanceStats, RankingTemplate, StackedConstraints};
 pub use monodim::{MonodimInput, MonodimResult};
 pub use multidim::synthesize_lexicographic;
 pub use report::{RankingFunction, SynthesisStats, TerminationReport, TerminationVerdict};

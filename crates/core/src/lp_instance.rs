@@ -43,7 +43,10 @@ impl StackedConstraints {
                 rows
             })
             .collect();
-        StackedConstraints { num_vars, per_location }
+        StackedConstraints {
+            num_vars,
+            per_location,
+        }
     }
 
     /// Number of program variables `n`.
@@ -162,12 +165,12 @@ pub fn solve_lp_instance(
     // Σ_{k,i} γ_{k,i} (u_j · e_k(a_i)) − δ_j >= 0
     for (j, u) in counterexamples.iter().enumerate() {
         let mut terms: Vec<(VarId, Rational)> = Vec::new();
-        for k in 0..num_locs {
+        for (k, gamma_k) in gamma_ids.iter().enumerate() {
             let block = u.slice(k * n, n);
             for (i, (a, _b)) in constraints.location(k).iter().enumerate() {
                 let coeff = block.dot(a);
                 if !coeff.is_zero() {
-                    terms.push((gamma_ids[k][i], coeff));
+                    terms.push((gamma_k[i], coeff));
                 }
             }
         }
@@ -206,7 +209,12 @@ pub fn solve_lp_instance(
         }
     }
     let delta = delta_ids.iter().map(|d| assignment[d.0].clone()).collect();
-    LpInstanceSolution { template, delta, gamma_is_zero, shape }
+    LpInstanceSolution {
+        template,
+        delta,
+        gamma_is_zero,
+        shape,
+    }
 }
 
 #[cfg(test)]
@@ -223,11 +231,11 @@ mod tests {
         Polyhedron::from_constraints(
             2,
             vec![
-                Constraint::ge(QVector::from_i64(&[1, 0]), q(-1)),  // x >= -1
-                Constraint::le(QVector::from_i64(&[1, 0]), q(11)),  // x <= 11
-                Constraint::ge(QVector::from_i64(&[0, 1]), q(-1)),  // y >= -1
-                Constraint::le(QVector::from_i64(&[-1, 1]), q(5)),  // y - x <= 5
-                Constraint::le(QVector::from_i64(&[1, 1]), q(15)),  // x + y <= 15
+                Constraint::ge(QVector::from_i64(&[1, 0]), q(-1)), // x >= -1
+                Constraint::le(QVector::from_i64(&[1, 0]), q(11)), // x <= 11
+                Constraint::ge(QVector::from_i64(&[0, 1]), q(-1)), // y >= -1
+                Constraint::le(QVector::from_i64(&[-1, 1]), q(5)), // y - x <= 5
+                Constraint::le(QVector::from_i64(&[1, 1]), q(15)), // x + y <= 15
             ],
         )
     }

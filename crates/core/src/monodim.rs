@@ -1,6 +1,7 @@
 //! Algorithm 1 / Algorithm 3: monodimensional synthesis by extremal
 //! counterexamples, for one or several control points.
 
+use crate::cancel::CancelToken;
 use crate::lp_instance::{solve_lp_instance, RankingTemplate, StackedConstraints};
 use crate::report::SynthesisStats;
 use termite_ir::TransitionSystem;
@@ -23,6 +24,8 @@ pub struct MonodimInput<'a> {
     pub previous: &'a [RankingTemplate],
     /// Bound on the number of counterexample-guided iterations.
     pub max_iterations: usize,
+    /// Cooperative cancellation, polled between iterations.
+    pub cancel: &'a CancelToken,
 }
 
 /// Result of the monodimensional procedure.
@@ -35,6 +38,10 @@ pub struct MonodimResult {
     pub strict: bool,
     /// Number of counterexample-guided iterations performed.
     pub iterations: usize,
+    /// `true` when the run was interrupted by the cancellation token; the
+    /// template is then a partial artefact, not a maximal-power quasi ranking
+    /// function.
+    pub cancelled: bool,
 }
 
 /// A preprocessed block transition: source/target locations and the formula
@@ -66,7 +73,12 @@ pub(crate) fn invariant_formula(inv: &Polyhedron) -> Formula {
 }
 
 /// The linear expression `λ_k·x − λ_{k'}·x'` (i.e. `λ·u`) for one transition.
-fn objective_for(ts: &TransitionSystem, template: &RankingTemplate, from: usize, to: usize) -> LinExpr {
+fn objective_for(
+    ts: &TransitionSystem,
+    template: &RankingTemplate,
+    from: usize,
+    to: usize,
+) -> LinExpr {
     let n = ts.num_vars();
     let mut obj = LinExpr::zero();
     for i in 0..n {
@@ -95,7 +107,13 @@ fn symbolic_u(ts: &TransitionSystem, num_locations: usize, from: usize, to: usiz
 }
 
 /// The concrete stacked difference vector for a model of one transition.
-fn concrete_u(ts: &TransitionSystem, num_locations: usize, from: usize, to: usize, model: &Model) -> QVector {
+fn concrete_u(
+    ts: &TransitionSystem,
+    num_locations: usize,
+    from: usize,
+    to: usize,
+    model: &Model,
+) -> QVector {
     let n = ts.num_vars();
     let mut u = vec![Rational::zero(); num_locations * n];
     for i in 0..n {
@@ -189,7 +207,11 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
                 t.formula.clone(),
                 previous_constant(ts, input.previous, t.from, t.to),
             ]);
-            Some(PreparedTransition { from: t.from, to: t.to, formula })
+            Some(PreparedTransition {
+                from: t.from,
+                to: t.to,
+                formula,
+            })
         })
         .collect();
 
@@ -201,6 +223,14 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
     let mut iterations = 0usize;
 
     while iterations < input.max_iterations {
+        if input.cancel.is_cancelled() {
+            return MonodimResult {
+                template,
+                strict: false,
+                iterations,
+                cancelled: true,
+            };
+        }
         iterations += 1;
         stats.iterations += 1;
 
@@ -278,8 +308,14 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
 
     // Strictness: all δ are 1 and no transition allows a null step u = 0
     // (final check of Algorithm 1).
-    let strict = all_delta_one && !zero_step_possible(ts, num_locations, &prepared, &mut ctx, stats);
-    MonodimResult { template, strict, iterations }
+    let strict =
+        all_delta_one && !zero_step_possible(ts, num_locations, &prepared, &mut ctx, stats);
+    MonodimResult {
+        template,
+        strict,
+        iterations,
+        cancelled: false,
+    }
 }
 
 /// Checks whether some transition admits `u = e_k(x) − e_{k'}(x') = 0`.
@@ -360,10 +396,14 @@ mod tests {
                 constraints: &constraints,
                 previous: &[],
                 max_iterations: 50,
+                cancel: &CancelToken::new(),
             },
             &mut stats,
         );
-        assert!(result.strict, "Example 1 has the strict ranking function y + 1");
+        assert!(
+            result.strict,
+            "Example 1 has the strict ranking function y + 1"
+        );
         // The synthesised λ must decrease on both one-step differences
         // (-1, 1) and (1, 1): only the y direction achieves that.
         let lambda = &result.template.lambda[0];
@@ -371,9 +411,8 @@ mod tests {
         assert!(lambda[1].is_positive());
         // Non-negativity on the invariant: λ·x + λ0 >= 0 for the extreme
         // points of I (e.g. y = -1).
-        let rho_at = |x: i64, y: i64| {
-            &lambda.dot(&QVector::from_i64(&[x, y])) + &result.template.lambda0[0]
-        };
+        let rho_at =
+            |x: i64, y: i64| &lambda.dot(&QVector::from_i64(&[x, y])) + &result.template.lambda0[0];
         assert!(rho_at(5, -1) >= Rational::zero());
         assert!(rho_at(11, -1) >= Rational::zero());
         assert!(stats.lp_instances >= 1);
@@ -414,19 +453,28 @@ mod tests {
                 constraints: &constraints,
                 previous: &[],
                 max_iterations: 60,
+                cancel: &CancelToken::new(),
             },
             &mut stats,
         );
         // Termination of the synthesis itself is the point of this test; it
         // must not exhaust the iteration budget.
-        assert!(result.iterations < 60, "monodim must terminate via AvoidSpace / rays");
-        assert!(!result.strict, "no monodimensional strict ranking function exists");
+        assert!(
+            result.iterations < 60,
+            "monodim must terminate via AvoidSpace / rays"
+        );
+        assert!(
+            !result.strict,
+            "no monodimensional strict ranking function exists"
+        );
     }
 
     #[test]
     fn infinite_self_loop_is_not_strict() {
         // while(true) { x = x; } admits the null step u = 0: no strict r.f.
-        let ts = parse_program("var x; while (true) { x = x; }").unwrap().transition_system();
+        let ts = parse_program("var x; while (true) { x = x; }")
+            .unwrap()
+            .transition_system();
         let invariants = vec![Polyhedron::universe(1)];
         let constraints = StackedConstraints::from_invariants(&invariants);
         let mut stats = SynthesisStats::default();
@@ -437,6 +485,7 @@ mod tests {
                 constraints: &constraints,
                 previous: &[],
                 max_iterations: 20,
+                cancel: &CancelToken::new(),
             },
             &mut stats,
         );
@@ -445,7 +494,9 @@ mod tests {
 
     #[test]
     fn simple_countdown_is_strict() {
-        let ts = parse_program("var x; while (x > 0) { x = x - 1; }").unwrap().transition_system();
+        let ts = parse_program("var x; while (x > 0) { x = x - 1; }")
+            .unwrap()
+            .transition_system();
         let invariants = vec![Polyhedron::from_constraints(
             1,
             vec![Constraint::ge(QVector::from_i64(&[1]), q(0))],
@@ -459,6 +510,7 @@ mod tests {
                 constraints: &constraints,
                 previous: &[],
                 max_iterations: 20,
+                cancel: &CancelToken::new(),
             },
             &mut stats,
         );

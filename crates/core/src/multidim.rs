@@ -1,5 +1,6 @@
 //! Algorithm 2: lexicographic (multidimensional) synthesis.
 
+use crate::cancel::CancelToken;
 use crate::lp_instance::{RankingTemplate, StackedConstraints};
 use crate::monodim::{monodim, MonodimInput};
 use crate::report::SynthesisStats;
@@ -14,10 +15,15 @@ use termite_polyhedra::Polyhedron;
 /// Returns the list of components (most significant first) if a strict
 /// lexicographic ranking function exists relative to the invariants, `None`
 /// otherwise. The returned function has minimal dimension (Theorem 1).
+///
+/// The synthesis polls `cancel` before every lexicographic level and between
+/// counterexample-guided iterations; once the token fires it returns `None`
+/// (cancellation is never mistaken for a proof).
 pub fn synthesize_lexicographic(
     ts: &TransitionSystem,
     invariants: &[Polyhedron],
     max_iterations_per_dim: usize,
+    cancel: &CancelToken,
     stats: &mut SynthesisStats,
 ) -> Option<Vec<RankingTemplate>> {
     let constraints = StackedConstraints::from_invariants(invariants);
@@ -28,6 +34,10 @@ pub fn synthesize_lexicographic(
 
     // At most |W|·n dimensions (Corollary 1: the λ's are linearly independent).
     for _dim in 0..=stacked_dim {
+        if cancel.is_cancelled() {
+            stats.dimension = 0;
+            return None;
+        }
         let result = monodim(
             &MonodimInput {
                 ts,
@@ -35,9 +45,14 @@ pub fn synthesize_lexicographic(
                 constraints: &constraints,
                 previous: &components,
                 max_iterations: max_iterations_per_dim,
+                cancel,
             },
             stats,
         );
+        if result.cancelled {
+            stats.dimension = 0;
+            return None;
+        }
         if result.strict {
             components.push(result.template);
             stats.dimension = components.len();
@@ -100,9 +115,13 @@ mod tests {
             ],
         )];
         let mut stats = SynthesisStats::default();
-        let result = synthesize_lexicographic(&ts, &invariants, 60, &mut stats);
+        let result =
+            synthesize_lexicographic(&ts, &invariants, 60, &CancelToken::new(), &mut stats);
         let components = result.expect("a lexicographic ranking function exists");
-        assert!(components.len() >= 2, "the reset loop needs at least two dimensions");
+        assert!(
+            components.len() >= 2,
+            "the reset loop needs at least two dimensions"
+        );
         assert_eq!(stats.dimension, components.len());
         // The leading component must involve i (the outer counter).
         assert!(!components[0].lambda[0][0].is_zero());
@@ -128,7 +147,8 @@ mod tests {
         let ts = program.transition_system();
         let invariants = location_invariants(&program, &InvariantOptions::default());
         let mut stats = SynthesisStats::default();
-        let result = synthesize_lexicographic(&ts, &invariants, 80, &mut stats);
+        let result =
+            synthesize_lexicographic(&ts, &invariants, 80, &CancelToken::new(), &mut stats);
         // The synthesis must terminate and stay sound. With the current
         // stacked-vector encoding (no homogeneous constant coordinate),
         // decreases across different cut points that rely on constant offsets
@@ -150,7 +170,8 @@ mod tests {
             vec![Constraint::ge(QVector::from_i64(&[1]), q(0))],
         )];
         let mut stats = SynthesisStats::default();
-        let result = synthesize_lexicographic(&ts, &invariants, 40, &mut stats);
+        let result =
+            synthesize_lexicographic(&ts, &invariants, 40, &CancelToken::new(), &mut stats);
         assert!(result.is_none());
     }
 }

@@ -25,12 +25,26 @@ impl RankingFunction {
         var_names: Vec<String>,
         components: Vec<Vec<(QVector, Rational)>>,
     ) -> Self {
-        RankingFunction { num_vars, components, var_names }
+        RankingFunction {
+            num_vars,
+            components,
+            var_names,
+        }
     }
 
     /// Number of lexicographic components.
     pub fn dimension(&self) -> usize {
         self.components.len()
+    }
+
+    /// Number of program variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Names of the program variables.
+    pub fn var_names(&self) -> &[String] {
+        &self.var_names
     }
 
     /// Number of cut points.
@@ -190,7 +204,12 @@ impl fmt::Display for TerminationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.verdict {
             TerminationVerdict::Terminating(rf) => {
-                writeln!(f, "{}: TERMINATING (dimension {})", self.program, rf.dimension())?;
+                writeln!(
+                    f,
+                    "{}: TERMINATING (dimension {})",
+                    self.program,
+                    rf.dimension()
+                )?;
                 write!(f, "{rf}")
             }
             TerminationVerdict::Unknown => writeln!(f, "{}: UNKNOWN", self.program),

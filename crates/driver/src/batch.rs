@@ -1,0 +1,326 @@
+//! Batch execution: a worker pool draining a shared job queue.
+//!
+//! Topology: `queue → workers → portfolio → cache`. Jobs go into one shared
+//! FIFO; `workers` OS threads pull from it (work-stealing style: an idle
+//! worker always takes the oldest unclaimed job, so imbalanced job costs
+//! never idle the pool), run the engine selection — possibly an internal
+//! portfolio race — and publish results back in submission order. A shared
+//! [`ResultCache`] short-circuits jobs whose content-addressed key already
+//! has a report.
+
+use crate::cache::{cache_key, ResultCache};
+use crate::job::AnalysisJob;
+use crate::portfolio::{run_selection, EngineSelection, PortfolioOutcome};
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use termite_core::{
+    AnalysisOptions, Engine, SynthesisStats, TerminationReport, TerminationVerdict,
+};
+
+/// Configuration of one batch run.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Number of worker threads (clamped to at least 1 and at most the
+    /// number of jobs).
+    pub workers: usize,
+    /// Engine selection applied to every job.
+    pub selection: EngineSelection,
+    /// Base analysis options; `options.cancel` acts as the batch-wide
+    /// cancellation token (deadlines included).
+    pub options: AnalysisOptions,
+    /// Optional per-job wall-clock budget, enforced through a child
+    /// cancellation token.
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: 1,
+            selection: EngineSelection::Single(Engine::Termite),
+            options: AnalysisOptions::default(),
+            job_timeout: None,
+        }
+    }
+}
+
+/// Result of one job within a batch.
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Name of the analysed program.
+    pub name: String,
+    /// Ground truth from the benchmark suite, when known.
+    pub expected_terminating: Option<bool>,
+    /// The analysis report (possibly served from the cache).
+    pub report: TerminationReport,
+    /// The engine that proved termination, when one did (`None` also for
+    /// cache hits, which do not re-run any engine).
+    pub winner: Option<Engine>,
+    /// Whether the report came out of the result cache.
+    pub from_cache: bool,
+    /// Wall-clock time this job took inside the driver, in milliseconds
+    /// (near zero for cache hits).
+    pub wall_millis: f64,
+}
+
+impl BatchResult {
+    /// `true` if termination was proved.
+    pub fn proved(&self) -> bool {
+        self.report.proved()
+    }
+}
+
+/// Runs every job through the worker pool; exactly one result per job comes
+/// back, in submission order regardless of completion order. Jobs the pool
+/// never started because the batch token fired report `Unknown` with zeroed
+/// stats (cancellation is indistinguishable from "gave up", never from a
+/// proof).
+///
+/// When `cache` is given, each job is first looked up by content-addressed
+/// key; fresh results are stored back unless their run was cancelled (a
+/// timeout's `Unknown` must not poison later, un-budgeted runs).
+pub fn run_batch(
+    jobs: Vec<AnalysisJob>,
+    config: &BatchConfig,
+    cache: Option<&ResultCache>,
+) -> Vec<BatchResult> {
+    let total = jobs.len();
+    let workers = config.workers.clamp(1, total.max(1));
+    let queue: Mutex<VecDeque<(usize, AnalysisJob)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let results: Mutex<Vec<Option<BatchResult>>> = Mutex::new((0..total).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if config.options.cancel.is_cancelled() {
+                    return;
+                }
+                let Some((index, job)) = queue.lock().unwrap().pop_front() else {
+                    return;
+                };
+                let result = run_one(&job, config, cache);
+                results.lock().unwrap()[index] = Some(result);
+            });
+        }
+    });
+
+    // Jobs still queued were never started (batch-level cancellation): give
+    // them explicit `Unknown` results so the output stays positionally
+    // aligned with the submitted jobs.
+    let mut slots = results.into_inner().unwrap();
+    for (index, job) in queue.into_inner().unwrap() {
+        slots[index] = Some(cancelled_result(job));
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every started job publishes its result"))
+        .collect()
+}
+
+fn cancelled_result(job: AnalysisJob) -> BatchResult {
+    BatchResult {
+        report: TerminationReport {
+            program: job.name.clone(),
+            verdict: TerminationVerdict::Unknown,
+            stats: SynthesisStats::default(),
+        },
+        name: job.name,
+        expected_terminating: job.expected_terminating,
+        winner: None,
+        from_cache: false,
+        wall_millis: 0.0,
+    }
+}
+
+fn run_one(job: &AnalysisJob, config: &BatchConfig, cache: Option<&ResultCache>) -> BatchResult {
+    let start = Instant::now();
+    let key = cache.map(|_| cache_key(job, &config.selection, &config.options));
+
+    if let (Some(cache), Some(key)) = (cache, &key) {
+        if let Some(mut report) = cache.lookup(key) {
+            // The key is content-addressed (it ignores program names), so the
+            // stored report may carry the first submitter's name; re-label it
+            // for this job.
+            report.program = job.name.clone();
+            return BatchResult {
+                name: job.name.clone(),
+                expected_terminating: job.expected_terminating,
+                report,
+                winner: None,
+                from_cache: true,
+                wall_millis: start.elapsed().as_secs_f64() * 1000.0,
+            };
+        }
+    }
+
+    let job_token = match config.job_timeout {
+        Some(budget) => config.options.cancel.child_with_deadline(budget),
+        None => config.options.cancel.child(),
+    };
+    let options = config.options.clone().with_cancel(job_token.clone());
+    let PortfolioOutcome { report, winner, .. } = run_selection(job, &config.selection, &options);
+
+    // A cancelled run's `Unknown` is an artefact of the budget, not a fact
+    // about the program; never persist it.
+    let genuine = report.proved() || !job_token.is_cancelled();
+    if let (Some(cache), Some(key), true) = (cache, key, genuine) {
+        cache.store(key, report.clone());
+    }
+
+    BatchResult {
+        name: job.name.clone(),
+        expected_terminating: job.expected_terminating,
+        report,
+        winner,
+        from_cache: false,
+        wall_millis: start.elapsed().as_secs_f64() * 1000.0,
+    }
+}
+
+/// Aggregate counts over a batch, for the CLI's totals line.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BatchTotals {
+    /// Number of jobs.
+    pub total: usize,
+    /// Number proved terminating.
+    pub proved: usize,
+    /// Number expected terminating (when ground truth is known).
+    pub expected: usize,
+    /// Results served from the cache.
+    pub cache_hits: usize,
+    /// Sum of the per-job driver wall-clock times (milliseconds).
+    pub wall_millis: f64,
+    /// Sum of the per-job synthesis times (milliseconds).
+    pub synthesis_millis: f64,
+}
+
+impl BatchTotals {
+    /// Aggregates a result list.
+    pub fn of(results: &[BatchResult]) -> BatchTotals {
+        let mut totals = BatchTotals {
+            total: results.len(),
+            ..BatchTotals::default()
+        };
+        for r in results {
+            if r.proved() {
+                totals.proved += 1;
+            }
+            if r.expected_terminating == Some(true) {
+                totals.expected += 1;
+            }
+            if r.from_cache {
+                totals.cache_hits += 1;
+            }
+            totals.wall_millis += r.wall_millis;
+            totals.synthesis_millis += r.report.stats.synthesis_millis;
+        }
+        totals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use termite_core::CancelToken;
+    use termite_suite::SuiteId;
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let results = run_batch(Vec::new(), &BatchConfig::default(), None);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        let jobs = AnalysisJob::from_suite(SuiteId::Sorts);
+        let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
+        let config = BatchConfig {
+            workers: 3,
+            ..BatchConfig::default()
+        };
+        let results = run_batch(jobs, &config, None);
+        assert_eq!(
+            results.iter().map(|r| r.name.clone()).collect::<Vec<_>>(),
+            names
+        );
+    }
+
+    #[test]
+    fn cancelled_batch_stops_early() {
+        let jobs = AnalysisJob::from_all_suites();
+        let names: Vec<String> = jobs.iter().map(|j| j.name.clone()).collect();
+        let token = CancelToken::new();
+        token.cancel();
+        let config = BatchConfig {
+            workers: 2,
+            options: AnalysisOptions::default().with_cancel(token),
+            ..BatchConfig::default()
+        };
+        let results = run_batch(jobs, &config, None);
+        assert_eq!(
+            results.len(),
+            names.len(),
+            "every job reports a result even when cancelled"
+        );
+        for (result, name) in results.iter().zip(&names) {
+            assert_eq!(&result.name, name, "results stay in submission order");
+            assert!(!result.proved(), "a cancelled job never reports a proof");
+            assert_eq!(
+                result.report.stats.iterations, 0,
+                "a pre-cancelled batch must not run jobs"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_hit_is_relabelled_with_the_jobs_own_name() {
+        use crate::cache::ResultCache;
+        use termite_invariants::InvariantOptions;
+        use termite_ir::parse_named_program;
+
+        let src = "var x; assume x >= 0; while (x > 0) { x = x - 1; }";
+        let jobs: Vec<AnalysisJob> = ["alpha", "beta"]
+            .iter()
+            .map(|name| {
+                AnalysisJob::from_program(
+                    &parse_named_program(src, name).unwrap(),
+                    &InvariantOptions::default(),
+                )
+            })
+            .collect();
+        let cache = ResultCache::new();
+        let results = run_batch(jobs, &BatchConfig::default(), Some(&cache));
+        assert!(
+            results[1].from_cache,
+            "identical content must hit the cache"
+        );
+        assert_eq!(
+            results[1].report.program, "beta",
+            "a cache hit reports the requesting job's name, not the first submitter's"
+        );
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let jobs = AnalysisJob::from_suite(SuiteId::Sorts);
+        let expected: usize = jobs
+            .iter()
+            .filter(|j| j.expected_terminating == Some(true))
+            .count();
+        let results = run_batch(
+            jobs,
+            &BatchConfig {
+                workers: 2,
+                ..Default::default()
+            },
+            None,
+        );
+        let totals = BatchTotals::of(&results);
+        assert_eq!(totals.total, results.len());
+        assert_eq!(totals.expected, expected);
+        assert!(totals.proved <= totals.total);
+        assert_eq!(totals.cache_hits, 0);
+    }
+}

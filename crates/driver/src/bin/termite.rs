@@ -1,0 +1,335 @@
+//! The `termite` command-line interface.
+//!
+//! ```text
+//! termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
+//! termite suite <name|all> [--engine E | --portfolio] [--jobs N]
+//!                          [--json FILE] [--cache FILE] [--timeout-ms N]
+//! termite table1
+//! ```
+//!
+//! `analyze` proves one program of the mini-language; `suite` batch-analyses
+//! a benchmark suite over the worker pool (optionally racing the engine
+//! portfolio per benchmark, optionally against a persistent result cache);
+//! `table1` reproduces the paper's Table 1 report.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+use termite_bench::{format_table, prepare_suite, run_suite};
+use termite_core::{AnalysisOptions, CancelToken, Engine};
+use termite_driver::json::Json;
+use termite_driver::{
+    report_to_json, run_batch, AnalysisJob, BatchConfig, BatchResult, BatchTotals, EngineSelection,
+    ResultCache,
+};
+use termite_invariants::InvariantOptions;
+use termite_ir::parse_named_program;
+use termite_suite::SuiteId;
+
+const USAGE: &str = "usage:
+  termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
+  termite suite <polybench|sorts|termcomp|wtc|all> [--engine E | --portfolio]
+                [--jobs N] [--json FILE] [--cache FILE] [--timeout-ms N]
+  termite table1
+
+engines: termite (default), eager, pr, heuristic";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("termite: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed command-line flags shared by `analyze` and `suite`.
+struct Flags {
+    selection: EngineSelection,
+    jobs: usize,
+    json_path: Option<PathBuf>,
+    cache_path: Option<PathBuf>,
+    timeout: Option<Duration>,
+}
+
+fn parse_engine(name: &str) -> Result<Engine, String> {
+    match name {
+        "termite" => Ok(Engine::Termite),
+        "eager" => Ok(Engine::Eager),
+        "pr" | "podelski-rybalchenko" => Ok(Engine::PodelskiRybalchenko),
+        "heuristic" => Ok(Engine::Heuristic),
+        other => Err(format!("unknown engine `{other}`")),
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        selection: EngineSelection::single(Engine::Termite),
+        jobs: 1,
+        json_path: None,
+        cache_path: None,
+        timeout: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--engine" => {
+                flags.selection = EngineSelection::single(parse_engine(&value("--engine")?)?)
+            }
+            "--portfolio" => flags.selection = EngineSelection::full_portfolio(),
+            "--jobs" => {
+                flags.jobs = value("--jobs")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--jobs needs a positive integer")?
+            }
+            "--json" => flags.json_path = Some(PathBuf::from(value("--json")?)),
+            "--cache" => flags.cache_path = Some(PathBuf::from(value("--cache")?)),
+            "--timeout-ms" => {
+                let ms = value("--timeout-ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "--timeout-ms needs an integer")?;
+                flags.timeout = Some(Duration::from_millis(ms));
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(flags)
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("analyze") => {
+            let file = args.get(1).ok_or("analyze needs a file argument")?;
+            let flags = parse_flags(&args[2..])?;
+            if flags.json_path.is_some() {
+                return Err("analyze does not support --json (use `suite --json`)".to_string());
+            }
+            if flags.jobs != 1 {
+                return Err("analyze does not support --jobs (it runs one program)".to_string());
+            }
+            analyze(file, flags)
+        }
+        Some("suite") => {
+            let name = args.get(1).ok_or("suite needs a suite name")?;
+            suite_command(name, parse_flags(&args[2..])?)
+        }
+        Some("table1") => {
+            if let Some(flag) = args.get(1) {
+                return Err(format!("table1 takes no flags (got `{flag}`)"));
+            }
+            table1();
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        None => Err("missing subcommand".to_string()),
+    }
+}
+
+fn analyze(file: &str, flags: Flags) -> Result<ExitCode, String> {
+    let source = std::fs::read_to_string(file).map_err(|e| format!("read {file}: {e}"))?;
+    let name = PathBuf::from(file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| file.to_string());
+    let program = parse_named_program(&source, &name).map_err(|e| format!("parse {file}: {e}"))?;
+    let job = AnalysisJob::from_program(&program, &InvariantOptions::default());
+
+    let results = run_jobs(vec![job], &flags)?;
+    let result = &results[0];
+    print!("{}", result.report);
+    if let Some(engine) = result.winner {
+        println!("proved by: {engine:?}");
+    }
+    if result.from_cache {
+        println!("(served from cache)");
+    }
+    Ok(if result.proved() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn parse_suites(name: &str) -> Result<Vec<SuiteId>, String> {
+    match name {
+        "polybench" => Ok(vec![SuiteId::PolyBench]),
+        "sorts" => Ok(vec![SuiteId::Sorts]),
+        "termcomp" => Ok(vec![SuiteId::TermComp]),
+        "wtc" => Ok(vec![SuiteId::Wtc]),
+        "all" => Ok(SuiteId::all().to_vec()),
+        other => Err(format!("unknown suite `{other}`")),
+    }
+}
+
+fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
+    let suites = parse_suites(name)?;
+    eprintln!(
+        "preparing {} suite(s) (front-end + invariants, untimed) ...",
+        suites.len()
+    );
+    let mut jobs = Vec::new();
+    let mut suite_of: Vec<&'static str> = Vec::new();
+    for s in &suites {
+        let suite_jobs = AnalysisJob::from_suite(*s);
+        suite_of.extend(std::iter::repeat_n(s.name(), suite_jobs.len()));
+        jobs.extend(suite_jobs);
+    }
+
+    let start = Instant::now();
+    let results = run_jobs(jobs, &flags)?;
+    let wall = start.elapsed().as_secs_f64() * 1000.0;
+
+    println!(
+        "{:<26} {:<10} {:>12} {:>5} {:>6} {:>10} {:>7}",
+        "benchmark", "suite", "verdict", "dim", "iters", "time(ms)", "cache"
+    );
+    for (result, suite) in results.iter().zip(&suite_of) {
+        let verdict = if result.proved() {
+            "TERMINATING"
+        } else {
+            "unknown"
+        };
+        println!(
+            "{:<26} {:<10} {:>12} {:>5} {:>6} {:>10.2} {:>7}",
+            result.name,
+            suite,
+            verdict,
+            result.report.stats.dimension,
+            result.report.stats.iterations,
+            result.report.stats.synthesis_millis,
+            if result.from_cache { "hit" } else { "miss" },
+        );
+    }
+    let totals = BatchTotals::of(&results);
+    println!(
+        "\ntotals: {}/{} proved ({} expected), {} cache hits ({:.0}%), \
+         synthesis {:.1} ms, batch wall {:.1} ms ({} workers)",
+        totals.proved,
+        totals.total,
+        totals.expected,
+        totals.cache_hits,
+        100.0 * totals.cache_hits as f64 / totals.total.max(1) as f64,
+        totals.synthesis_millis,
+        wall,
+        flags.jobs,
+    );
+
+    if let Some(path) = &flags.json_path {
+        let doc = results_to_json(&results, &suite_of, &totals);
+        std::fs::write(path, doc.to_string()).map_err(|e| format!("write {path:?}: {e}"))?;
+        eprintln!("wrote per-benchmark JSON report to {}", path.display());
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Runs jobs through the batch driver, wiring up the optional persistent
+/// cache.
+fn run_jobs(jobs: Vec<AnalysisJob>, flags: &Flags) -> Result<Vec<BatchResult>, String> {
+    let cache = match &flags.cache_path {
+        Some(path) => Some(ResultCache::load(path)?),
+        None => None,
+    };
+    let config = BatchConfig {
+        workers: flags.jobs,
+        selection: flags.selection.clone(),
+        options: AnalysisOptions::default().with_cancel(CancelToken::new()),
+        job_timeout: flags.timeout,
+    };
+    let results = run_batch(jobs, &config, cache.as_ref());
+    if let (Some(cache), Some(path)) = (&cache, &flags.cache_path) {
+        cache.save(path)?;
+        let stats = cache.stats();
+        eprintln!(
+            "cache: {} hits, {} misses, {} entries persisted to {}",
+            stats.hits,
+            stats.misses,
+            cache.len(),
+            path.display()
+        );
+    }
+    Ok(results)
+}
+
+/// The machine-readable `--json` report: one record per benchmark plus
+/// aggregate totals (the shape future `BENCH_*.json` trajectories read).
+fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &BatchTotals) -> Json {
+    let benchmarks: Vec<Json> = results
+        .iter()
+        .zip(suites)
+        .map(|(r, suite)| {
+            Json::object([
+                ("name", Json::String(r.name.clone())),
+                ("suite", Json::String(suite.to_string())),
+                ("terminating", Json::Bool(r.proved())),
+                (
+                    "expected_terminating",
+                    match r.expected_terminating {
+                        Some(b) => Json::Bool(b),
+                        None => Json::Null,
+                    },
+                ),
+                ("dimension", Json::Number(r.report.stats.dimension as f64)),
+                ("iterations", Json::Number(r.report.stats.iterations as f64)),
+                (
+                    "smt_queries",
+                    Json::Number(r.report.stats.smt_queries as f64),
+                ),
+                (
+                    "lp_instances",
+                    Json::Number(r.report.stats.lp_instances as f64),
+                ),
+                (
+                    "synthesis_millis",
+                    Json::Number(r.report.stats.synthesis_millis),
+                ),
+                ("wall_millis", Json::Number(r.wall_millis)),
+                ("from_cache", Json::Bool(r.from_cache)),
+                (
+                    "winner",
+                    match r.winner {
+                        Some(e) => Json::String(format!("{e:?}")),
+                        None => Json::Null,
+                    },
+                ),
+                ("report", report_to_json(&r.report)),
+            ])
+        })
+        .collect();
+    Json::object([
+        ("benchmarks", Json::Array(benchmarks)),
+        (
+            "totals",
+            Json::object([
+                ("total", Json::Number(totals.total as f64)),
+                ("proved", Json::Number(totals.proved as f64)),
+                ("expected", Json::Number(totals.expected as f64)),
+                ("cache_hits", Json::Number(totals.cache_hits as f64)),
+                ("synthesis_millis", Json::Number(totals.synthesis_millis)),
+                ("wall_millis", Json::Number(totals.wall_millis)),
+            ]),
+        ),
+    ])
+}
+
+fn table1() {
+    let mut rows = Vec::new();
+    for suite_id in SuiteId::all() {
+        eprintln!("preparing {} ...", suite_id.name());
+        let prepared = prepare_suite(suite_id);
+        for engine in [Engine::Termite, Engine::Eager, Engine::Heuristic] {
+            eprintln!("  running {engine:?} ...");
+            rows.push(run_suite(suite_id, &prepared, engine));
+        }
+    }
+    println!("\n=== Table 1 (reproduced) ===\n{}", format_table(&rows));
+}

@@ -1,0 +1,439 @@
+//! Content-addressed result cache.
+//!
+//! A cache key is a 64-bit FNV-1a hash of the *normalized analysis input*:
+//! the transition-system content (variable names, cut points, per-transition
+//! formulas — not the program name), the invariants, the engine configuration
+//! and every option that can change the verdict. Two benchmarks with the same
+//! loop structure therefore share one entry even across suites, and repeated
+//! batch runs are near-free.
+//!
+//! The store is an in-memory map behind a mutex, optionally persisted to a
+//! JSON file ([`ResultCache::load`] / [`ResultCache::save`]) so cache state
+//! survives across `termite` CLI invocations.
+
+use crate::job::AnalysisJob;
+use crate::json::Json;
+use crate::portfolio::EngineSelection;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use termite_core::{
+    AnalysisOptions, RankingFunction, SynthesisStats, TerminationReport, TerminationVerdict,
+};
+use termite_linalg::QVector;
+use termite_num::Rational;
+
+/// Version stamp of the on-disk format (and of the key derivation: bump it
+/// whenever either changes, so stale files are ignored rather than
+/// misinterpreted).
+const FORMAT_VERSION: f64 = 1.0;
+
+/// 64-bit FNV-1a.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The content-addressed key of one (job, engine configuration) pair.
+///
+/// Hashes the transition-system *content* — deliberately not the program
+/// name, so identical programs submitted under different names share a cache
+/// entry.
+pub fn cache_key(
+    job: &AnalysisJob,
+    engines: &EngineSelection,
+    options: &AnalysisOptions,
+) -> String {
+    let mut text = String::new();
+    let ts = &job.ts;
+    let _ = write!(
+        text,
+        "vars:{:?};locs:{};",
+        ts.var_names(),
+        ts.num_locations()
+    );
+    for t in ts.transitions() {
+        let _ = write!(text, "t:{}->{}:{};", t.from, t.to, t.formula);
+    }
+    for inv in &job.invariants {
+        let _ = write!(text, "inv:{inv};");
+    }
+    let _ = write!(text, "engines:{engines};");
+    let _ = write!(
+        text,
+        "opts:iters={},disjuncts={},inv={:?};",
+        options.max_iterations_per_dim, options.max_eager_disjuncts, options.invariants
+    );
+    format!("{:016x}", fnv1a(text.as_bytes()))
+}
+
+/// Hit/miss counters of one cache (monotonic, shared across threads).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that returned a stored report.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Reports inserted.
+    pub stores: usize,
+}
+
+/// Thread-safe content-addressed store of [`TerminationReport`]s.
+#[derive(Default)]
+pub struct ResultCache {
+    entries: Mutex<HashMap<String, TerminationReport>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    stores: AtomicUsize,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    /// Looks up a key, counting a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<TerminationReport> {
+        let found = self.entries.lock().unwrap().get(key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores a report under a key.
+    pub fn store(&self, key: String, report: TerminationReport) {
+        self.entries.lock().unwrap().insert(key, report);
+        self.stores.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// `true` when no entry is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current hit/miss/store counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Loads a cache previously written by [`save`](Self::save). A missing
+    /// file yields an empty cache; a malformed or version-mismatched file is
+    /// an error (rather than silently serving wrong verdicts).
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(ResultCache::new());
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("parse {path:?}: {e}"))?;
+        if doc.get("version").and_then(Json::as_f64) != Some(FORMAT_VERSION) {
+            return Err(format!("{path:?}: unsupported cache format version"));
+        }
+        let cache = ResultCache::new();
+        let Some(Json::Object(entries)) = doc.get("entries") else {
+            return Err(format!("{path:?}: missing `entries` object"));
+        };
+        let mut map = cache.entries.lock().unwrap();
+        for (key, value) in entries {
+            map.insert(key.clone(), report_from_json(value)?);
+        }
+        drop(map);
+        Ok(cache)
+    }
+
+    /// Persists every entry as JSON (atomically: write-then-rename).
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        let entries = self.entries.lock().unwrap();
+        let doc = Json::Object(
+            [
+                ("version".to_string(), Json::Number(FORMAT_VERSION)),
+                (
+                    "entries".to_string(),
+                    Json::Object(
+                        entries
+                            .iter()
+                            .map(|(k, v)| (k.clone(), report_to_json(v)))
+                            .collect(),
+                    ),
+                ),
+            ]
+            .into_iter()
+            .collect(),
+        );
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, doc.to_string()).map_err(|e| format!("write {tmp:?}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {path:?}: {e}"))
+    }
+}
+
+/// Serializes a report (verdict, ranking function, statistics).
+pub fn report_to_json(report: &TerminationReport) -> Json {
+    let ranking = match report.ranking_function() {
+        None => Json::Null,
+        Some(rf) => {
+            let components: Vec<Json> = (0..rf.dimension())
+                .map(|d| {
+                    Json::Array(
+                        (0..rf.num_locations())
+                            .map(|k| {
+                                let (lambda, lambda0) = rf.component(d, k);
+                                Json::object([
+                                    (
+                                        "lambda",
+                                        Json::Array(
+                                            lambda
+                                                .iter()
+                                                .map(|c| Json::String(c.to_string()))
+                                                .collect(),
+                                        ),
+                                    ),
+                                    ("lambda0", Json::String(lambda0.to_string())),
+                                ])
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Json::object([
+                ("num_vars", Json::Number(rf.num_vars() as f64)),
+                (
+                    "var_names",
+                    Json::Array(
+                        rf.var_names()
+                            .iter()
+                            .map(|n| Json::String(n.clone()))
+                            .collect(),
+                    ),
+                ),
+                ("components", Json::Array(components)),
+            ])
+        }
+    };
+    let s = &report.stats;
+    Json::object([
+        ("program", Json::String(report.program.clone())),
+        ("terminating", Json::Bool(report.proved())),
+        ("ranking", ranking),
+        (
+            "stats",
+            Json::object([
+                ("iterations", Json::Number(s.iterations as f64)),
+                ("lp_instances", Json::Number(s.lp_instances as f64)),
+                ("lp_rows_avg", Json::Number(s.lp_rows_avg)),
+                ("lp_cols_avg", Json::Number(s.lp_cols_avg)),
+                ("lp_max_rows", Json::Number(s.lp_max.0 as f64)),
+                ("lp_max_cols", Json::Number(s.lp_max.1 as f64)),
+                ("smt_queries", Json::Number(s.smt_queries as f64)),
+                ("counterexamples", Json::Number(s.counterexamples as f64)),
+                ("dimension", Json::Number(s.dimension as f64)),
+                ("synthesis_millis", Json::Number(s.synthesis_millis)),
+            ]),
+        ),
+    ])
+}
+
+fn rational(json: &Json) -> Result<Rational, String> {
+    json.as_str()
+        .ok_or_else(|| "expected a rational string".to_string())?
+        .parse::<Rational>()
+        .map_err(|e| format!("bad rational: {e:?}"))
+}
+
+/// Deserializes a report written by [`report_to_json`].
+pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
+    let program = json
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or("missing `program`")?
+        .to_string();
+    let verdict = match json.get("ranking") {
+        None | Some(Json::Null) => TerminationVerdict::Unknown,
+        Some(rf) => {
+            let num_vars = rf
+                .get("num_vars")
+                .and_then(Json::as_usize)
+                .ok_or("missing num_vars")?;
+            let var_names = rf
+                .get("var_names")
+                .and_then(Json::as_array)
+                .ok_or("missing var_names")?
+                .iter()
+                .map(|n| n.as_str().map(String::from).ok_or("bad var name"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let components = rf
+                .get("components")
+                .and_then(Json::as_array)
+                .ok_or("missing components")?
+                .iter()
+                .map(|per_loc| {
+                    per_loc
+                        .as_array()
+                        .ok_or_else(|| "bad component".to_string())?
+                        .iter()
+                        .map(|c| {
+                            let lambda = c
+                                .get("lambda")
+                                .and_then(Json::as_array)
+                                .ok_or("missing lambda")?
+                                .iter()
+                                .map(rational)
+                                .collect::<Result<Vec<_>, _>>()?;
+                            let lambda0 = rational(c.get("lambda0").ok_or("missing lambda0")?)?;
+                            Ok::<_, String>((QVector::from_vec(lambda), lambda0))
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            TerminationVerdict::Terminating(RankingFunction::new(num_vars, var_names, components))
+        }
+    };
+    let stats_json = json.get("stats").ok_or("missing `stats`")?;
+    let field = |name: &str| -> Result<f64, String> {
+        stats_json
+            .get(name)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing stats field `{name}`"))
+    };
+    let stats = SynthesisStats {
+        iterations: field("iterations")? as usize,
+        lp_instances: field("lp_instances")? as usize,
+        lp_rows_avg: field("lp_rows_avg")?,
+        lp_cols_avg: field("lp_cols_avg")?,
+        lp_max: (
+            field("lp_max_rows")? as usize,
+            field("lp_max_cols")? as usize,
+        ),
+        smt_queries: field("smt_queries")? as usize,
+        counterexamples: field("counterexamples")? as usize,
+        dimension: field("dimension")? as usize,
+        synthesis_millis: field("synthesis_millis")?,
+    };
+    Ok(TerminationReport {
+        program,
+        verdict,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use termite_core::{prove_transition_system, Engine};
+    use termite_invariants::InvariantOptions;
+    use termite_ir::{parse_named_program, parse_program};
+
+    fn job(src: &str) -> AnalysisJob {
+        let p = parse_program(src).unwrap();
+        AnalysisJob::from_program(&p, &InvariantOptions::default())
+    }
+
+    #[test]
+    fn key_ignores_program_name_but_not_content() {
+        let opts = AnalysisOptions::default();
+        let sel = EngineSelection::single(Engine::Termite);
+        let a = AnalysisJob::from_program(
+            &parse_named_program("var x; while (x > 0) { x = x - 1; }", "alpha").unwrap(),
+            &InvariantOptions::default(),
+        );
+        let b = AnalysisJob::from_program(
+            &parse_named_program("var x; while (x > 0) { x = x - 1; }", "beta").unwrap(),
+            &InvariantOptions::default(),
+        );
+        let c = job("var x; while (x > 0) { x = x - 2; }");
+        assert_eq!(cache_key(&a, &sel, &opts), cache_key(&b, &sel, &opts));
+        assert_ne!(cache_key(&a, &sel, &opts), cache_key(&c, &sel, &opts));
+        // Different engine configuration → different key.
+        let other = EngineSelection::single(Engine::Eager);
+        assert_ne!(cache_key(&a, &sel, &opts), cache_key(&a, &other, &opts));
+    }
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = ResultCache::new();
+        let j = job("var x; assume x >= 0; while (x > 0) { x = x - 1; }");
+        let report = prove_transition_system(&j.ts, &j.invariants, &AnalysisOptions::default());
+        let key = cache_key(
+            &j,
+            &EngineSelection::single(Engine::Termite),
+            &AnalysisOptions::default(),
+        );
+        assert!(cache.lookup(&key).is_none());
+        cache.store(key.clone(), report.clone());
+        assert_eq!(cache.lookup(&key), Some(report));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                stores: 1
+            }
+        );
+    }
+
+    #[test]
+    fn report_roundtrips_through_json_identically() {
+        for src in [
+            "var x; while (x > 0) { x = x - 1; }",
+            "var x; assume x >= 1; while (x > 0) { x = x + 1; }",
+        ] {
+            let j = job(src);
+            let report = prove_transition_system(&j.ts, &j.invariants, &AnalysisOptions::default());
+            let json = report_to_json(&report);
+            let text = json.to_string();
+            let back = report_from_json(&Json::parse(&text).unwrap()).unwrap();
+            assert_eq!(back, report, "JSON roundtrip must be lossless for {src}");
+        }
+    }
+
+    #[test]
+    fn cache_persists_to_disk_and_back() {
+        let dir = std::env::temp_dir().join("termite-driver-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let _ = std::fs::remove_file(&path);
+
+        let cache = ResultCache::new();
+        let j = job("var x, y; assume x >= 0 && y >= 0; while (x > 0 && y > 0) { choice { x = x - 1; } or { y = y - 1; } }");
+        let report = prove_transition_system(&j.ts, &j.invariants, &AnalysisOptions::default());
+        let key = cache_key(
+            &j,
+            &EngineSelection::single(Engine::Termite),
+            &AnalysisOptions::default(),
+        );
+        cache.store(key.clone(), report.clone());
+        cache.save(&path).unwrap();
+
+        let reloaded = ResultCache::load(&path).unwrap();
+        assert_eq!(reloaded.lookup(&key), Some(report));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_loads_empty_and_garbage_errors() {
+        let missing = std::env::temp_dir().join("termite-driver-no-such-cache.json");
+        let _ = std::fs::remove_file(&missing);
+        assert!(ResultCache::load(&missing).unwrap().is_empty());
+
+        let garbage = std::env::temp_dir().join("termite-driver-garbage-cache.json");
+        std::fs::write(&garbage, "{\"version\": 99}").unwrap();
+        assert!(ResultCache::load(&garbage).is_err());
+        let _ = std::fs::remove_file(&garbage);
+    }
+}

@@ -1,0 +1,88 @@
+//! Analysis jobs: the unit of work of the batch driver.
+
+use termite_bench::{prepare, PreparedBenchmark};
+use termite_invariants::{location_invariants, InvariantOptions};
+use termite_ir::{Program, TransitionSystem};
+use termite_polyhedra::Polyhedron;
+use termite_suite::{suite, SuiteId};
+
+/// One unit of work: a prepared transition system plus its invariants.
+///
+/// Front-end and invariant generation happen at job-construction time (as in
+/// the paper's methodology, which excludes both from the reported times), so
+/// workers spend their time in ranking-function synthesis only, and one job
+/// can be raced across several engines without re-preparing anything.
+#[derive(Clone, Debug)]
+pub struct AnalysisJob {
+    /// Name of the analysed program.
+    pub name: String,
+    /// Cut-point transition system.
+    pub ts: TransitionSystem,
+    /// Invariant of each cut point.
+    pub invariants: Vec<Polyhedron>,
+    /// Ground truth, when known (benchmark suites record whether a
+    /// lexicographic linear ranking function is expected to exist).
+    pub expected_terminating: Option<bool>,
+}
+
+impl AnalysisJob {
+    /// Prepares a job from a parsed program (runs the polyhedral invariant
+    /// generator with the given options).
+    pub fn from_program(program: &Program, invariant_options: &InvariantOptions) -> Self {
+        AnalysisJob {
+            name: program.name.clone(),
+            ts: program.transition_system(),
+            invariants: location_invariants(program, invariant_options),
+            expected_terminating: None,
+        }
+    }
+
+    /// Wraps an already-prepared benchmark.
+    pub fn from_prepared(prepared: PreparedBenchmark) -> Self {
+        AnalysisJob {
+            name: prepared.name,
+            ts: prepared.ts,
+            invariants: prepared.invariants,
+            expected_terminating: Some(prepared.expected_terminating),
+        }
+    }
+
+    /// Prepares every benchmark of a suite.
+    pub fn from_suite(id: SuiteId) -> Vec<AnalysisJob> {
+        suite(id)
+            .iter()
+            .map(|b| AnalysisJob::from_prepared(prepare(b)))
+            .collect()
+    }
+
+    /// Prepares every benchmark of every suite.
+    pub fn from_all_suites() -> Vec<AnalysisJob> {
+        SuiteId::all()
+            .into_iter()
+            .flat_map(AnalysisJob::from_suite)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use termite_ir::parse_program;
+
+    #[test]
+    fn job_from_program_prepares_everything() {
+        let p = parse_program("var x; while (x > 0) { x = x - 1; }").unwrap();
+        let job = AnalysisJob::from_program(&p, &InvariantOptions::default());
+        assert_eq!(job.ts.num_locations(), 1);
+        assert_eq!(job.invariants.len(), job.ts.num_locations());
+        assert_eq!(job.expected_terminating, None);
+    }
+
+    #[test]
+    fn suite_jobs_carry_ground_truth() {
+        let jobs = AnalysisJob::from_suite(SuiteId::TermComp);
+        assert!(jobs.len() >= 10);
+        assert!(jobs.iter().all(|j| j.expected_terminating.is_some()));
+        assert!(jobs.iter().any(|j| j.expected_terminating == Some(false)));
+    }
+}

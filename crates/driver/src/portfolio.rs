@@ -1,0 +1,276 @@
+//! Engine portfolios: race several provers on one job, first proof wins.
+//!
+//! The paper's evaluation (Table 1) compares four provers on the same
+//! programs; related CEGIS-based termination tools run complementary
+//! strategies concurrently. This module does the same within one job: every
+//! selected engine runs in its own thread on a *child* cancellation token of
+//! the job token, and the first engine to return a proof cancels its
+//! siblings. Losers exit at their next cooperative cancellation check (one
+//! SMT→LP round trip), so a portfolio costs barely more wall-clock time than
+//! its fastest member.
+
+use crate::job::AnalysisJob;
+use std::fmt;
+use std::sync::Mutex;
+use termite_core::{prove_transition_system, AnalysisOptions, Engine, TerminationReport};
+
+/// Which engines a job runs: one, or a racing portfolio.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineSelection {
+    /// Run exactly one engine.
+    Single(Engine),
+    /// Race the given engines; first proof wins and cancels the rest.
+    Portfolio(Vec<Engine>),
+}
+
+impl EngineSelection {
+    /// A single-engine selection.
+    pub fn single(engine: Engine) -> Self {
+        EngineSelection::Single(engine)
+    }
+
+    /// A portfolio of the given engines (must be non-empty).
+    pub fn portfolio(engines: Vec<Engine>) -> Self {
+        assert!(!engines.is_empty(), "a portfolio needs at least one engine");
+        EngineSelection::Portfolio(engines)
+    }
+
+    /// The full four-engine portfolio of the paper's evaluation.
+    pub fn full_portfolio() -> Self {
+        EngineSelection::Portfolio(vec![
+            Engine::Termite,
+            Engine::Eager,
+            Engine::PodelskiRybalchenko,
+            Engine::Heuristic,
+        ])
+    }
+
+    /// The engines, in preference order.
+    pub fn engines(&self) -> Vec<Engine> {
+        match self {
+            EngineSelection::Single(e) => vec![*e],
+            EngineSelection::Portfolio(es) => es.clone(),
+        }
+    }
+}
+
+/// Stable textual form, used by the cache key derivation.
+impl fmt::Display for EngineSelection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineSelection::Single(e) => write!(f, "single:{e:?}"),
+            EngineSelection::Portfolio(es) => {
+                write!(f, "portfolio:")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "+")?;
+                    }
+                    write!(f, "{e:?}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Result of running a job through an engine selection.
+#[derive(Clone, Debug)]
+pub struct PortfolioOutcome {
+    /// The report returned to the caller: the winner's on a proof, the
+    /// preferred (first-listed) engine's otherwise.
+    pub report: TerminationReport,
+    /// The engine that proved termination first, when one did.
+    pub winner: Option<Engine>,
+    /// Raced engines that ended without a proof once a winner existed —
+    /// typically because the winner cancelled them, though an engine that
+    /// finished `Unknown` on its own just before the win counts too (a
+    /// report does not record whether its run was cut short).
+    pub unproved_losers: usize,
+}
+
+/// Runs one job under an engine selection.
+///
+/// The job token in `options.cancel` stays under the caller's control: the
+/// race uses child tokens internally, so a batch deadline still cancels the
+/// whole race, while the race's own first-proof-wins cancellation never
+/// leaks upwards.
+///
+/// # Panics
+///
+/// Panics if the selection is an empty `Portfolio` (the variant is public,
+/// so a caller can bypass the [`EngineSelection::portfolio`] constructor).
+pub fn run_selection(
+    job: &AnalysisJob,
+    selection: &EngineSelection,
+    options: &AnalysisOptions,
+) -> PortfolioOutcome {
+    if let EngineSelection::Portfolio(engines) = selection {
+        assert!(!engines.is_empty(), "a portfolio needs at least one engine");
+    }
+    match selection {
+        EngineSelection::Single(engine) => {
+            let opts = AnalysisOptions {
+                engine: *engine,
+                ..options.clone()
+            };
+            let report = prove_transition_system(&job.ts, &job.invariants, &opts);
+            let winner = report.proved().then_some(*engine);
+            PortfolioOutcome {
+                report,
+                winner,
+                unproved_losers: 0,
+            }
+        }
+        EngineSelection::Portfolio(engines) => race(job, engines, options),
+    }
+}
+
+fn race(job: &AnalysisJob, engines: &[Engine], options: &AnalysisOptions) -> PortfolioOutcome {
+    // One shared child token: the first proof cancels every sibling, the
+    // caller's token still cancels everyone.
+    let race_token = options.cancel.child();
+    let winner: Mutex<Option<(Engine, TerminationReport)>> = Mutex::new(None);
+    let mut per_engine: Vec<TerminationReport> = Vec::new();
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(engines.len());
+        for &engine in engines {
+            let opts = AnalysisOptions {
+                engine,
+                ..options.clone()
+            }
+            .with_cancel(race_token.clone());
+            let race_token = &race_token;
+            let winner = &winner;
+            handles.push(scope.spawn(move || {
+                let report = prove_transition_system(&job.ts, &job.invariants, &opts);
+                if report.proved() {
+                    let mut slot = winner.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some((engine, report.clone()));
+                        // First proof: stop the siblings.
+                        race_token.cancel();
+                    }
+                }
+                report
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(report) => per_engine.push(report),
+                // A prover panic is a bug, not a race outcome: surface it
+                // even when a sibling engine returned cleanly.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let first_proof = winner.into_inner().unwrap();
+    let unproved_losers = per_engine
+        .iter()
+        .zip(engines)
+        .filter(|(report, e)| match &first_proof {
+            Some((winning_engine, _)) => !report.proved() && *e != winning_engine,
+            None => false,
+        })
+        .count();
+    match first_proof {
+        Some((engine, report)) => PortfolioOutcome {
+            report,
+            winner: Some(engine),
+            unproved_losers,
+        },
+        None => {
+            // No engine proved: return the preferred engine's full report
+            // (deterministic regardless of completion order).
+            let report = per_engine
+                .into_iter()
+                .next()
+                .expect("a portfolio has at least one engine");
+            PortfolioOutcome {
+                report,
+                winner: None,
+                unproved_losers: 0,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use termite_invariants::InvariantOptions;
+    use termite_ir::parse_program;
+
+    fn job(src: &str) -> AnalysisJob {
+        let p = parse_program(src).unwrap();
+        AnalysisJob::from_program(&p, &InvariantOptions::default())
+    }
+
+    #[test]
+    #[should_panic(expected = "a portfolio needs at least one engine")]
+    fn empty_portfolio_is_rejected_at_the_boundary() {
+        let j = job("var x; assume x >= 0; while (x > 0) { x = x - 1; }");
+        run_selection(
+            &j,
+            &EngineSelection::Portfolio(Vec::new()),
+            &AnalysisOptions::default(),
+        );
+    }
+
+    #[test]
+    fn selection_display_is_stable() {
+        assert_eq!(
+            EngineSelection::single(Engine::Termite).to_string(),
+            "single:Termite"
+        );
+        assert_eq!(
+            EngineSelection::full_portfolio().to_string(),
+            "portfolio:Termite+Eager+PodelskiRybalchenko+Heuristic"
+        );
+    }
+
+    #[test]
+    fn single_engine_reports_winner_only_on_proof() {
+        let j = job("var x; assume x >= 0; while (x > 0) { x = x - 1; }");
+        let out = run_selection(
+            &j,
+            &EngineSelection::single(Engine::Termite),
+            &AnalysisOptions::default(),
+        );
+        assert_eq!(out.winner, Some(Engine::Termite));
+        assert!(out.report.proved());
+
+        let diverging = job("var x; assume x >= 1; while (x > 0) { x = x + 1; }");
+        let out = run_selection(
+            &diverging,
+            &EngineSelection::single(Engine::Termite),
+            &AnalysisOptions::default(),
+        );
+        assert_eq!(out.winner, None);
+        assert!(!out.report.proved());
+    }
+
+    #[test]
+    fn portfolio_finds_a_proof_and_no_proof_is_deterministic() {
+        let j = job("var x, y; assume x >= 0 && y >= 0; while (x > 0 && y > 0) { choice { x = x - 1; } or { y = y - 1; } }");
+        let out = run_selection(
+            &j,
+            &EngineSelection::full_portfolio(),
+            &AnalysisOptions::default(),
+        );
+        assert!(out.report.proved());
+        assert!(out.winner.is_some());
+
+        let diverging = job("var x; assume x >= 1; while (x > 0) { x = x + 1; }");
+        let out = run_selection(
+            &diverging,
+            &EngineSelection::full_portfolio(),
+            &AnalysisOptions::default(),
+        );
+        assert_eq!(out.winner, None);
+        assert!(!out.report.proved());
+        // Deterministic fallback: the preferred engine's report.
+        assert_eq!(out.report.program, diverging.name);
+    }
+}

@@ -210,7 +210,10 @@ pub fn analyze_cfg(cfg: &Cfg, options: &InvariantOptions) -> InvariantMap {
 pub fn location_invariants(program: &Program, options: &InvariantOptions) -> Vec<Polyhedron> {
     let cfg = program.to_cfg();
     let map = analyze_cfg(&cfg, options);
-    cfg.loop_headers().iter().map(|&h| map.at_node(h).clone()).collect()
+    cfg.loop_headers()
+        .iter()
+        .map(|&h| map.at_node(h).clone())
+        .collect()
 }
 
 #[cfg(test)]
@@ -232,7 +235,10 @@ mod tests {
         assert_eq!(invs.len(), 1);
         let inv = &invs[0];
         for v in 0..=10 {
-            assert!(inv.contains_point(&pt(&[v])), "missing reachable state x={v}");
+            assert!(
+                inv.contains_point(&pt(&[v])),
+                "missing reachable state x={v}"
+            );
         }
         assert!(!inv.contains_point(&pt(&[-1])));
         assert!(!inv.contains_point(&pt(&[11])));
@@ -268,7 +274,10 @@ mod tests {
         // (y >= -1) which is what supports the paper's ranking function y + 1.
         // (The slanted bounds x <= 11 and x + y <= 15 of the paper's Aspic
         // invariant need the exact hull join; see `InvariantOptions::exact_join`.)
-        assert!(inv.entails(&Constraint::ge(QVector::from_i64(&[0, 1]), Rational::from(-1))));
+        assert!(inv.entails(&Constraint::ge(
+            QVector::from_i64(&[0, 1]),
+            Rational::from(-1)
+        )));
     }
 
     #[test]

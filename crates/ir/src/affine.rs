@@ -26,12 +26,18 @@ pub struct AffineExpr {
 impl AffineExpr {
     /// The constant expression `c`.
     pub fn constant(num_vars: usize, c: i64) -> Self {
-        AffineExpr { coeffs: QVector::zeros(num_vars), constant: Rational::from(c) }
+        AffineExpr {
+            coeffs: QVector::zeros(num_vars),
+            constant: Rational::from(c),
+        }
     }
 
     /// The expression `x_v`.
     pub fn var(num_vars: usize, v: usize) -> Self {
-        AffineExpr { coeffs: QVector::unit(num_vars, v), constant: Rational::zero() }
+        AffineExpr {
+            coeffs: QVector::unit(num_vars, v),
+            constant: Rational::zero(),
+        }
     }
 
     /// Pointwise sum.
@@ -52,7 +58,10 @@ impl AffineExpr {
 
     /// Scaling by a rational factor.
     pub fn scale(&self, k: &Rational) -> AffineExpr {
-        AffineExpr { coeffs: self.coeffs.scale(k), constant: &self.constant * k }
+        AffineExpr {
+            coeffs: self.coeffs.scale(k),
+            constant: &self.constant * k,
+        }
     }
 
     /// Negation.
@@ -121,7 +130,10 @@ pub struct LinearConstraint {
 impl LinearConstraint {
     /// The constraint `e ≥ 0` for an affine expression `e`.
     pub fn expr_nonneg(e: &AffineExpr) -> Self {
-        LinearConstraint { coeffs: e.coeffs.clone(), rhs: -&e.constant }
+        LinearConstraint {
+            coeffs: e.coeffs.clone(),
+            rhs: -&e.constant,
+        }
     }
 
     /// Converts to a polyhedral constraint.
@@ -184,14 +196,20 @@ fn cmp_to_dnf(
     num_vars: usize,
     negate: bool,
 ) -> Vec<Vec<LinearConstraint>> {
-    let (Some(el), Some(er)) = (AffineExpr::from_expr(lhs, num_vars), AffineExpr::from_expr(rhs, num_vars)) else {
+    let (Some(el), Some(er)) = (
+        AffineExpr::from_expr(lhs, num_vars),
+        AffineExpr::from_expr(rhs, num_vars),
+    ) else {
         // Non-affine or nondeterministic comparison: over-approximate by true.
         return vec![Vec::new()];
     };
     let d = el.sub(&er); // lhs - rhs
     let ge = |e: AffineExpr, bound: i64| -> LinearConstraint {
         // e >= bound
-        LinearConstraint { coeffs: e.coeffs.clone(), rhs: &Rational::from(bound) - &e.constant }
+        LinearConstraint {
+            coeffs: e.coeffs.clone(),
+            rhs: &Rational::from(bound) - &e.constant,
+        }
     };
     let op = if negate {
         match op {
@@ -230,15 +248,20 @@ pub fn cond_to_formula(
         (Cond::True, true) | (Cond::False, false) => Formula::False,
         (Cond::Not(inner), _) => cond_to_formula(inner, state, num_vars, !negate),
         (Cond::And(cs), false) | (Cond::Or(cs), true) => Formula::and(
-            cs.iter().map(|c| cond_to_formula(c, state, num_vars, negate)).collect(),
+            cs.iter()
+                .map(|c| cond_to_formula(c, state, num_vars, negate))
+                .collect(),
         ),
         (Cond::And(cs), true) | (Cond::Or(cs), false) => Formula::or(
-            cs.iter().map(|c| cond_to_formula(c, state, num_vars, negate)).collect(),
+            cs.iter()
+                .map(|c| cond_to_formula(c, state, num_vars, negate))
+                .collect(),
         ),
         (Cond::Cmp(lhs, op, rhs), _) => {
-            let (Some(el), Some(er)) =
-                (AffineExpr::from_expr(lhs, num_vars), AffineExpr::from_expr(rhs, num_vars))
-            else {
+            let (Some(el), Some(er)) = (
+                AffineExpr::from_expr(lhs, num_vars),
+                AffineExpr::from_expr(rhs, num_vars),
+            ) else {
                 return Formula::True;
             };
             let l = el.to_linexpr(state);
@@ -349,7 +372,7 @@ mod tests {
         ]);
         let f = cond_to_formula(&c, &identity_state(2), 2, false);
         let assign_true = |v: TermVar| if v.0 == 0 { q(1) } else { q(0) };
-        let assign_false = |v: TermVar| if v.0 == 0 { q(0) } else { q(0) };
+        let assign_false = |_v: TermVar| q(0);
         assert!(f.eval(&assign_true));
         assert!(!f.eval(&assign_false));
         let neg = cond_to_formula(&c, &identity_state(2), 2, true);

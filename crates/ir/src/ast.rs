@@ -92,8 +92,18 @@ pub struct Program {
 
 impl Program {
     /// Creates a program with the given variables and body.
-    pub fn new(name: impl Into<String>, vars: Vec<String>, init: Option<Cond>, body: Vec<Stmt>) -> Self {
-        Program { name: name.into(), vars, init, body }
+    pub fn new(
+        name: impl Into<String>,
+        vars: Vec<String>,
+        init: Option<Cond>,
+        body: Vec<Stmt>,
+    ) -> Self {
+        Program {
+            name: name.into(),
+            vars,
+            init,
+            body,
+        }
     }
 
     /// Number of integer variables.

@@ -159,7 +159,10 @@ impl<'a> Cont<'a> {
         let mut frames = Vec::with_capacity(self.frames.len() + 1);
         frames.push(stmts);
         frames.extend(self.frames.iter().copied());
-        Cont { frames, tail: self.tail }
+        Cont {
+            frames,
+            tail: self.tail,
+        }
     }
 }
 
@@ -234,14 +237,28 @@ impl<'p> BlockBuilder<'p> {
         }
         let mut conj = vec![path];
         for (i, value) in state.iter().enumerate() {
-            conj.push(Formula::eq_expr(LinExpr::var(TermVar(self.n + i)), value.clone()));
+            conj.push(Formula::eq_expr(
+                LinExpr::var(TermVar(self.n + i)),
+                value.clone(),
+            ));
         }
-        self.transitions.push(BlockTransition { from, to, formula: Formula::and(conj) });
+        self.transitions.push(BlockTransition {
+            from,
+            to,
+            formula: Formula::and(conj),
+        });
     }
 
     /// Walks a statement list from cut point `source`, emitting a block
     /// transition whenever another cut point (or `source` again) is reached.
-    fn walk(&mut self, source: LocId, state: SymState, path: Formula, stmts: &'p [Stmt], cont: Cont<'p>) {
+    fn walk(
+        &mut self,
+        source: LocId,
+        state: SymState,
+        path: Formula,
+        stmts: &'p [Stmt],
+        cont: Cont<'p>,
+    ) {
         if path == Formula::False {
             return;
         }
@@ -254,7 +271,16 @@ impl<'p> BlockBuilder<'p> {
                 }
             } else {
                 let next = frames.remove(0);
-                self.walk(source, state, path, next, Cont { frames, tail: cont.tail });
+                self.walk(
+                    source,
+                    state,
+                    path,
+                    next,
+                    Cont {
+                        frames,
+                        tail: cont.tail,
+                    },
+                );
             }
             return;
         };
@@ -301,9 +327,18 @@ impl<'p> BlockBuilder<'p> {
                 } else {
                     let g_then = cond_to_formula(c, &Self::state_fn(&state), self.n, false);
                     let g_else = cond_to_formula(c, &Self::state_fn(&state), self.n, true);
-                    let branches = vec![(g_then, then_branch.as_slice()), (g_else, else_branch.as_slice())];
+                    let branches = vec![
+                        (g_then, then_branch.as_slice()),
+                        (g_else, else_branch.as_slice()),
+                    ];
                     let (merged, new_state) = self.merge_branches(&state, branches);
-                    self.walk(source, new_state, Formula::and(vec![path, merged]), rest, cont)
+                    self.walk(
+                        source,
+                        new_state,
+                        Formula::and(vec![path, merged]),
+                        rest,
+                        cont,
+                    )
                 }
             }
             Stmt::Choice(branch_list) => {
@@ -313,10 +348,18 @@ impl<'p> BlockBuilder<'p> {
                         self.walk(source, state.clone(), path.clone(), branch, cont_b);
                     }
                 } else {
-                    let branches: Vec<(Formula, &[Stmt])> =
-                        branch_list.iter().map(|b| (Formula::True, b.as_slice())).collect();
+                    let branches: Vec<(Formula, &[Stmt])> = branch_list
+                        .iter()
+                        .map(|b| (Formula::True, b.as_slice()))
+                        .collect();
                     let (merged, new_state) = self.merge_branches(&state, branches);
-                    self.walk(source, new_state, Formula::and(vec![path, merged]), rest, cont)
+                    self.walk(
+                        source,
+                        new_state,
+                        Formula::and(vec![path, merged]),
+                        rest,
+                        cont,
+                    )
                 }
             }
             Stmt::While(_, _) => {
@@ -328,7 +371,12 @@ impl<'p> BlockBuilder<'p> {
 
     /// Straight-line (loop-free) encoding of a statement list; returns the
     /// accumulated path condition and the final symbolic state.
-    fn straight(&mut self, mut state: SymState, mut path: Formula, stmts: &[Stmt]) -> (Formula, SymState) {
+    fn straight(
+        &mut self,
+        mut state: SymState,
+        mut path: Formula,
+        stmts: &[Stmt],
+    ) -> (Formula, SymState) {
         for s in stmts {
             match s {
                 Stmt::Skip => {}
@@ -355,8 +403,10 @@ impl<'p> BlockBuilder<'p> {
                     state = new_state;
                 }
                 Stmt::Choice(branch_list) => {
-                    let branches: Vec<(Formula, &[Stmt])> =
-                        branch_list.iter().map(|b| (Formula::True, b.as_slice())).collect();
+                    let branches: Vec<(Formula, &[Stmt])> = branch_list
+                        .iter()
+                        .map(|b| (Formula::True, b.as_slice()))
+                        .collect();
                     let (merged, new_state) = self.merge_branches(&state, branches);
                     path = Formula::and(vec![path, merged]);
                     state = new_state;
@@ -379,13 +429,18 @@ impl<'p> BlockBuilder<'p> {
             .into_iter()
             .map(|(guard, stmts)| self.straight(state.clone(), guard, stmts))
             .collect();
-        let merged_state: SymState = (0..self.n).map(|_| LinExpr::var(self.fresh_temp())).collect();
+        let merged_state: SymState = (0..self.n)
+            .map(|_| LinExpr::var(self.fresh_temp()))
+            .collect();
         let disjuncts: Vec<Formula> = encoded
             .into_iter()
             .map(|(branch_path, branch_state)| {
                 let mut conj = vec![branch_path];
                 for i in 0..self.n {
-                    conj.push(Formula::eq_expr(merged_state[i].clone(), branch_state[i].clone()));
+                    conj.push(Formula::eq_expr(
+                        merged_state[i].clone(),
+                        branch_state[i].clone(),
+                    ));
                 }
                 Formula::and(conj)
             })
@@ -413,7 +468,10 @@ impl<'p> BlockBuilder<'p> {
                             .iter()
                             .position(|w| std::ptr::eq(*w, s))
                             .expect("collected loop");
-                        let inner = Cont { frames: Vec::new(), tail: Tail::LoopBack(my_id) };
+                        let inner = Cont {
+                            frames: Vec::new(),
+                            tail: Tail::LoopBack(my_id),
+                        };
                         if let Some(found) = search(body, target, &inner, loops) {
                             return Some(found);
                         }
@@ -440,7 +498,10 @@ impl<'p> BlockBuilder<'p> {
             }
             None
         }
-        let top = Cont { frames: Vec::new(), tail: Tail::Exit };
+        let top = Cont {
+            frames: Vec::new(),
+            tail: Tail::Exit,
+        };
         search(&self.program.body, target, &top, &self.loops)
             .expect("every collected while occurs in the program body")
     }
@@ -461,7 +522,9 @@ impl Program {
             loops: loops.clone(),
         };
         for (id, w) in loops.iter().enumerate() {
-            let Stmt::While(cond, body) = w else { unreachable!() };
+            let Stmt::While(cond, body) = w else {
+                unreachable!()
+            };
             let identity = builder.identity_state();
             // (a) one more iteration: guard holds, execute the body, continue
             //     until the next cut point (possibly this one).
@@ -471,7 +534,10 @@ impl Program {
                 identity.clone(),
                 enter,
                 body,
-                Cont { frames: Vec::new(), tail: Tail::LoopBack(id) },
+                Cont {
+                    frames: Vec::new(),
+                    tail: Tail::LoopBack(id),
+                },
             );
             // (b) loop exit: guard fails, continue with whatever follows the
             //     loop until the next cut point or program exit.
@@ -512,8 +578,12 @@ mod tests {
             .filter(|t| t.from == from && t.to == to)
             .any(|t| {
                 // Collect auxiliary variables of the formula.
-                let aux: Vec<TermVar> =
-                    t.formula.vars().into_iter().filter(|v| v.0 >= 2 * n).collect();
+                let aux: Vec<TermVar> = t
+                    .formula
+                    .vars()
+                    .into_iter()
+                    .filter(|v| v.0 >= 2 * n)
+                    .collect();
                 // Candidate values for auxiliaries: all pre/post values and
                 // small constants (enough for merge variables, which always
                 // equal one of the branch results).
@@ -521,6 +591,7 @@ mod tests {
                 candidates.extend_from_slice(&[-1, 0, 1]);
                 candidates.sort_unstable();
                 candidates.dedup();
+                #[allow(clippy::too_many_arguments)]
                 fn try_all(
                     formula: &Formula,
                     aux: &[TermVar],
@@ -624,12 +695,18 @@ mod tests {
             }
             format!("var x;\nwhile (x >= 0) {{\n{body}}}\n")
         }
-        let small = parse_program(&program_with_tests(2)).unwrap().transition_system();
-        let large = parse_program(&program_with_tests(8)).unwrap().transition_system();
-        let per_test =
-            (large.formula_atoms() - small.formula_atoms()) as f64 / 6.0;
+        let small = parse_program(&program_with_tests(2))
+            .unwrap()
+            .transition_system();
+        let large = parse_program(&program_with_tests(8))
+            .unwrap()
+            .transition_system();
+        let per_test = (large.formula_atoms() - small.formula_atoms()) as f64 / 6.0;
         // Linear growth: the atom count per added test is a small constant.
-        assert!(per_test <= 12.0, "per-test formula growth too large: {per_test}");
+        assert!(
+            per_test <= 12.0,
+            "per-test formula growth too large: {per_test}"
+        );
         assert_eq!(large.transitions().len(), 1);
     }
 

@@ -80,7 +80,10 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -197,7 +200,9 @@ impl<'a> Lexer<'a> {
                 {
                     end += 1;
                 }
-                let text = std::str::from_utf8(&self.src[self.pos..end]).unwrap().to_string();
+                let text = std::str::from_utf8(&self.src[self.pos..end])
+                    .unwrap()
+                    .to_string();
                 self.pos = end;
                 let tok = match text.as_str() {
                     "var" | "int" => Token::KwVar,
@@ -247,7 +252,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into(), position: self.pos() }
+        ParseError {
+            message: message.into(),
+            position: self.pos(),
+        }
     }
 
     fn expect(&mut self, expected: Token, what: &str) -> Result<(), ParseError> {
@@ -380,7 +388,11 @@ impl Parser {
             self.advance();
             disjuncts.push(self.parse_cond_and()?);
         }
-        Ok(if disjuncts.len() == 1 { disjuncts.pop().unwrap() } else { Cond::Or(disjuncts) })
+        Ok(if disjuncts.len() == 1 {
+            disjuncts.pop().unwrap()
+        } else {
+            Cond::Or(disjuncts)
+        })
     }
 
     fn parse_cond_and(&mut self) -> Result<Cond, ParseError> {
@@ -389,7 +401,11 @@ impl Parser {
             self.advance();
             conjuncts.push(self.parse_cond_atom()?);
         }
-        Ok(if conjuncts.len() == 1 { conjuncts.pop().unwrap() } else { Cond::And(conjuncts) })
+        Ok(if conjuncts.len() == 1 {
+            conjuncts.pop().unwrap()
+        } else {
+            Cond::And(conjuncts)
+        })
     }
 
     fn parse_cond_atom(&mut self) -> Result<Cond, ParseError> {
@@ -428,7 +444,9 @@ impl Parser {
                     Token::Ge => CmpOp::Ge,
                     Token::Gt => CmpOp::Gt,
                     other => {
-                        return Err(self.error(format!("expected a comparison operator, found {other:?}")))
+                        return Err(
+                            self.error(format!("expected a comparison operator, found {other:?}"))
+                        )
                     }
                 };
                 let rhs = self.parse_expr()?;
@@ -509,7 +527,11 @@ pub fn parse_named_program(src: &str, name: &str) -> Result<Program, ParseError>
             break;
         }
     }
-    let mut parser = Parser { tokens, index: 0, vars: Vec::new() };
+    let mut parser = Parser {
+        tokens,
+        index: 0,
+        vars: Vec::new(),
+    };
     parser.parse_program(name)
 }
 

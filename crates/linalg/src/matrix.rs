@@ -31,7 +31,11 @@ pub struct QMatrix {
 impl QMatrix {
     /// The zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        QMatrix { rows, cols, data: vec![Rational::zero(); rows * cols] }
+        QMatrix {
+            rows,
+            cols,
+            data: vec![Rational::zero(); rows * cols],
+        }
     }
 
     /// The identity matrix of size `n`.
@@ -58,7 +62,11 @@ impl QMatrix {
             assert_eq!(r.dim(), cols, "inconsistent row dimensions");
             data.extend(r.iter().cloned());
         }
-        QMatrix { rows: rows.len(), cols, data }
+        QMatrix {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -154,7 +162,7 @@ impl QMatrix {
             // Normalise the pivot row.
             let inv = self.get(pivot_row, col).recip();
             for c in col..self.cols {
-                let v = &*self.get(pivot_row, c) * &inv;
+                let v = self.get(pivot_row, c) * &inv;
                 *self.get_mut(pivot_row, c) = v;
             }
             // Eliminate the column from every other row.
@@ -164,7 +172,7 @@ impl QMatrix {
                 }
                 let factor = self.get(r, col).clone();
                 for c in col..self.cols {
-                    let v = &*self.get(r, c) - &(&*self.get(pivot_row, c) * &factor);
+                    let v = self.get(r, c) - &(self.get(pivot_row, c) * &factor);
                     *self.get_mut(r, c) = v;
                 }
             }
@@ -267,20 +275,14 @@ mod tests {
 
     #[test]
     fn solve_unique() {
-        let m = QMatrix::from_rows(vec![
-            QVector::from_i64(&[2, 1]),
-            QVector::from_i64(&[1, 3]),
-        ]);
+        let m = QMatrix::from_rows(vec![QVector::from_i64(&[2, 1]), QVector::from_i64(&[1, 3])]);
         let x = m.solve(&QVector::from_i64(&[3, 5])).unwrap();
         assert_eq!(m.mul_vec(&x), QVector::from_i64(&[3, 5]));
     }
 
     #[test]
     fn solve_inconsistent() {
-        let m = QMatrix::from_rows(vec![
-            QVector::from_i64(&[1, 1]),
-            QVector::from_i64(&[1, 1]),
-        ]);
+        let m = QMatrix::from_rows(vec![QVector::from_i64(&[1, 1]), QVector::from_i64(&[1, 1])]);
         assert!(m.solve(&QVector::from_i64(&[1, 2])).is_none());
     }
 

@@ -37,7 +37,11 @@ pub struct Subspace {
 impl Subspace {
     /// The trivial subspace {0} of Qⁿ.
     pub fn new(ambient_dim: usize) -> Self {
-        Subspace { ambient: ambient_dim, basis: Vec::new(), generators: Vec::new() }
+        Subspace {
+            ambient: ambient_dim,
+            basis: Vec::new(),
+            generators: Vec::new(),
+        }
     }
 
     /// Ambient dimension n.

@@ -22,7 +22,9 @@ pub struct QVector {
 impl QVector {
     /// The zero vector of dimension `dim`.
     pub fn zeros(dim: usize) -> Self {
-        QVector { entries: vec![Rational::zero(); dim] }
+        QVector {
+            entries: vec![Rational::zero(); dim],
+        }
     }
 
     /// Builds a vector from rational entries.
@@ -32,7 +34,9 @@ impl QVector {
 
     /// Builds a vector from machine integers.
     pub fn from_i64(entries: &[i64]) -> Self {
-        QVector { entries: entries.iter().map(|&v| Rational::from(v)).collect() }
+        QVector {
+            entries: entries.iter().map(|&v| Rational::from(v)).collect(),
+        }
     }
 
     /// The `i`-th standard basis vector of dimension `dim`.
@@ -68,7 +72,11 @@ impl QVector {
     ///
     /// Panics if the dimensions differ.
     pub fn dot(&self, other: &QVector) -> Rational {
-        assert_eq!(self.dim(), other.dim(), "dot product of mismatched dimensions");
+        assert_eq!(
+            self.dim(),
+            other.dim(),
+            "dot product of mismatched dimensions"
+        );
         let mut acc = Rational::zero();
         for (a, b) in self.entries.iter().zip(other.entries.iter()) {
             if !a.is_zero() && !b.is_zero() {
@@ -80,7 +88,9 @@ impl QVector {
 
     /// Scales the vector by a rational factor.
     pub fn scale(&self, factor: &Rational) -> QVector {
-        QVector { entries: self.entries.iter().map(|e| e * factor).collect() }
+        QVector {
+            entries: self.entries.iter().map(|e| e * factor).collect(),
+        }
     }
 
     /// Adds `factor * other` to this vector, returning the result.
@@ -105,7 +115,9 @@ impl QVector {
 
     /// Returns the sub-vector of entries `[start, start+len)`.
     pub fn slice(&self, start: usize, len: usize) -> QVector {
-        QVector { entries: self.entries[start..start + len].to_vec() }
+        QVector {
+            entries: self.entries[start..start + len].to_vec(),
+        }
     }
 
     /// Index of the first non-zero entry, if any.
@@ -231,7 +243,9 @@ impl Sub for &QVector {
 impl Neg for &QVector {
     type Output = QVector;
     fn neg(self) -> QVector {
-        QVector { entries: self.entries.iter().map(|e| -e).collect() }
+        QVector {
+            entries: self.entries.iter().map(|e| -e).collect(),
+        }
     }
 }
 
@@ -244,7 +258,9 @@ impl Mul<&Rational> for &QVector {
 
 impl FromIterator<Rational> for QVector {
     fn from_iter<I: IntoIterator<Item = Rational>>(iter: I) -> Self {
-        QVector { entries: iter.into_iter().collect() }
+        QVector {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 

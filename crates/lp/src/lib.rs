@@ -45,4 +45,6 @@
 
 mod simplex;
 
-pub use simplex::{feasible_point, Constraint, LinearProgram, LpOutcome, LpSolution, Relation, VarId};
+pub use simplex::{
+    feasible_point, Constraint, LinearProgram, LpOutcome, LpSolution, Relation, VarId,
+};

@@ -34,7 +34,11 @@ pub struct Constraint {
 impl Constraint {
     /// Builds a constraint from a sparse list of terms.
     pub fn new(terms: Vec<(VarId, Rational)>, relation: Relation, rhs: Rational) -> Self {
-        Constraint { terms, relation, rhs }
+        Constraint {
+            terms,
+            relation,
+            rhs,
+        }
     }
 }
 
@@ -286,7 +290,11 @@ impl Tableau {
                 Relation::Ge => Some(-Rational::one()),
                 Relation::Eq => None,
             };
-            builds.push(RowBuild { coeffs, rhs, slack_sign });
+            builds.push(RowBuild {
+                coeffs,
+                rhs,
+                slack_sign,
+            });
         }
 
         // Allocate slack columns.
@@ -329,7 +337,13 @@ impl Tableau {
             rows.push(row);
         }
 
-        let mut t = Tableau { rows, basis, ncols, col_kinds, pivots: 0 };
+        let mut t = Tableau {
+            rows,
+            basis,
+            ncols,
+            col_kinds,
+            pivots: 0,
+        };
 
         // ---- Phase 1: maximize -(sum of artificials) ----
         let mut phase1_obj = vec![Rational::zero(); ncols];
@@ -410,7 +424,10 @@ impl Tableau {
             Direction::Minimize => -value2,
         };
         LpSolution {
-            outcome: LpOutcome::Optimal { objective, assignment },
+            outcome: LpOutcome::Optimal {
+                objective,
+                assignment,
+            },
             pivots: t.pivots,
             rows: report_rows,
             cols: user_cols,
@@ -430,9 +447,9 @@ impl Tableau {
                 continue;
             }
             let factor = z[b].clone();
-            for j in 0..=ncols {
-                let delta = &self.rows[i][j] * &factor;
-                z[j] -= &delta;
+            for (zj, cell) in z.iter_mut().zip(self.rows[i].iter()) {
+                let delta = cell * &factor;
+                *zj -= &delta;
             }
         }
         loop {
@@ -489,9 +506,9 @@ impl Tableau {
         }
         if !z[c].is_zero() {
             let factor = z[c].clone();
-            for j in 0..=ncols {
-                let delta = &self.rows[r][j] * &factor;
-                z[j] -= &delta;
+            for (zj, cell) in z.iter_mut().zip(self.rows[r].iter()) {
+                let delta = cell * &factor;
+                *zj -= &delta;
             }
         }
         self.basis[r] = c;
@@ -572,8 +589,16 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_var("x");
         let y = lp.add_var("y");
-        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(1))], Relation::Le, q(4)));
-        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(3))], Relation::Le, q(6)));
+        lp.add_constraint(Constraint::new(
+            vec![(x, q(1)), (y, q(1))],
+            Relation::Le,
+            q(4),
+        ));
+        lp.add_constraint(Constraint::new(
+            vec![(x, q(1)), (y, q(3))],
+            Relation::Le,
+            q(6),
+        ));
         lp.maximize(vec![(x, q(3)), (y, q(2))]);
         let sol = lp.solve();
         assert_eq!(sol.objective(), Some(&q(12)));
@@ -587,8 +612,16 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_var("x");
         let y = lp.add_var("y");
-        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(2))], Relation::Le, q(4)));
-        lp.add_constraint(Constraint::new(vec![(x, q(3)), (y, q(1))], Relation::Le, q(6)));
+        lp.add_constraint(Constraint::new(
+            vec![(x, q(1)), (y, q(2))],
+            Relation::Le,
+            q(4),
+        ));
+        lp.add_constraint(Constraint::new(
+            vec![(x, q(3)), (y, q(1))],
+            Relation::Le,
+            q(6),
+        ));
         lp.maximize(vec![(x, q(1)), (y, q(1))]);
         let sol = lp.solve();
         assert_eq!(sol.objective(), Some(&Rational::from_ints(14, 5)));
@@ -609,7 +642,11 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_var("x");
         let y = lp.add_var("y");
-        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(-1))], Relation::Le, q(1)));
+        lp.add_constraint(Constraint::new(
+            vec![(x, q(1)), (y, q(-1))],
+            Relation::Le,
+            q(1),
+        ));
         lp.maximize(vec![(x, q(1))]);
         match lp.solve().outcome {
             LpOutcome::Unbounded { ray } => {
@@ -628,7 +665,11 @@ mod tests {
         let mut lp = LinearProgram::new();
         let x = lp.add_var("x");
         let y = lp.add_var("y");
-        lp.add_constraint(Constraint::new(vec![(x, q(1)), (y, q(1))], Relation::Eq, q(3)));
+        lp.add_constraint(Constraint::new(
+            vec![(x, q(1)), (y, q(1))],
+            Relation::Eq,
+            q(3),
+        ));
         lp.add_constraint(Constraint::new(vec![(y, q(1))], Relation::Ge, q(1)));
         lp.maximize(vec![(x, q(1))]);
         let sol = lp.solve();
@@ -656,12 +697,22 @@ mod tests {
         let x3 = lp.add_var("x3");
         let x4 = lp.add_var("x4");
         lp.add_constraint(Constraint::new(
-            vec![(x1, Rational::from_ints(1, 4)), (x2, q(-8)), (x3, q(-1)), (x4, q(9))],
+            vec![
+                (x1, Rational::from_ints(1, 4)),
+                (x2, q(-8)),
+                (x3, q(-1)),
+                (x4, q(9)),
+            ],
             Relation::Le,
             q(0),
         ));
         lp.add_constraint(Constraint::new(
-            vec![(x1, Rational::from_ints(1, 2)), (x2, q(-12)), (x3, Rational::from_ints(-1, 2)), (x4, q(3))],
+            vec![
+                (x1, Rational::from_ints(1, 2)),
+                (x2, q(-12)),
+                (x3, Rational::from_ints(-1, 2)),
+                (x4, q(3)),
+            ],
             Relation::Le,
             q(0),
         ));

@@ -32,7 +32,10 @@ pub struct Int {
 impl Int {
     /// The integer 0.
     pub fn zero() -> Self {
-        Int { sign: 0, mag: Vec::new() }
+        Int {
+            sign: 0,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer 1.
@@ -72,7 +75,10 @@ impl Int {
 
     /// Absolute value.
     pub fn abs(&self) -> Int {
-        Int { sign: if self.sign == 0 { 0 } else { 1 }, mag: self.mag.clone() }
+        Int {
+            sign: if self.sign == 0 { 0 } else { 1 },
+            mag: self.mag.clone(),
+        }
     }
 
     fn from_mag(sign: i8, mag: Vec<u64>) -> Int {
@@ -220,16 +226,26 @@ impl Int {
             while let Some(&0) = q.last() {
                 q.pop();
             }
-            let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+            let r = if rem == 0 {
+                Vec::new()
+            } else {
+                vec![rem as u64]
+            };
             return (q, r);
         }
         let n_bits = {
-            let tmp = Int { sign: 1, mag: a.to_vec() };
+            let tmp = Int {
+                sign: 1,
+                mag: a.to_vec(),
+            };
             tmp.bit_length()
         };
         let mut quotient = vec![0u64; a.len()];
         let mut rem: Vec<u64> = Vec::new();
-        let a_int = Int { sign: 1, mag: a.to_vec() };
+        let a_int = Int {
+            sign: 1,
+            mag: a.to_vec(),
+        };
         for i in (0..n_bits).rev() {
             // rem = rem * 2 + bit_i(a)
             rem = Int::mag_shl_bits(&rem, 1);
@@ -266,7 +282,11 @@ impl Int {
             return (Int::zero(), Int::zero());
         }
         let (qm, rm) = Int::mag_divrem(&self.mag, &other.mag);
-        let q_sign = if qm.is_empty() { 0 } else { self.sign * other.sign };
+        let q_sign = if qm.is_empty() {
+            0
+        } else {
+            self.sign * other.sign
+        };
         let r_sign = if rm.is_empty() { 0 } else { self.sign };
         (Int::from_mag(q_sign, qm), Int::from_mag(r_sign, rm))
     }
@@ -327,7 +347,7 @@ impl Int {
                 None
             }
         } else if m <= i64::MAX as u64 + 1 {
-            Some((m as i128 * -1) as i64)
+            Some(-(m as i128) as i64)
         } else {
             None
         }
@@ -380,8 +400,14 @@ impl From<i64> for Int {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => Int::zero(),
-            Ordering::Greater => Int { sign: 1, mag: vec![v as u64] },
-            Ordering::Less => Int { sign: -1, mag: vec![(v as i128).unsigned_abs() as u64] },
+            Ordering::Greater => Int {
+                sign: 1,
+                mag: vec![v as u64],
+            },
+            Ordering::Less => Int {
+                sign: -1,
+                mag: vec![(v as i128).unsigned_abs() as u64],
+            },
         }
     }
 }
@@ -397,7 +423,10 @@ impl From<u64> for Int {
         if v == 0 {
             Int::zero()
         } else {
-            Int { sign: 1, mag: vec![v] }
+            Int {
+                sign: 1,
+                mag: vec![v],
+            }
         }
     }
 }
@@ -460,14 +489,20 @@ impl Ord for Int {
 impl Neg for Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int { sign: -self.sign, mag: self.mag }
+        Int {
+            sign: -self.sign,
+            mag: self.mag,
+        }
     }
 }
 
 impl Neg for &Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int { sign: -self.sign, mag: self.mag.clone() }
+        Int {
+            sign: -self.sign,
+            mag: self.mag.clone(),
+        }
     }
 }
 
@@ -630,14 +665,16 @@ impl FromStr for Int {
             None => (false, s.strip_prefix('+').unwrap_or(s)),
         };
         if digits.is_empty() {
-            return Err(ParseIntError { message: "empty string".into() });
+            return Err(ParseIntError {
+                message: "empty string".into(),
+            });
         }
         let ten = Int::from(10i64);
         let mut acc = Int::zero();
         for c in digits.chars() {
-            let d = c
-                .to_digit(10)
-                .ok_or_else(|| ParseIntError { message: format!("unexpected character {c:?}") })?;
+            let d = c.to_digit(10).ok_or_else(|| ParseIntError {
+                message: format!("unexpected character {c:?}"),
+            })?;
             acc = &(&acc * &ten) + &Int::from(d as i64);
         }
         Ok(if neg { -acc } else { acc })
@@ -694,7 +731,13 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        for s in ["0", "1", "-1", "18446744073709551616", "-340282366920938463463374607431768211456"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551616",
+            "-340282366920938463463374607431768211456",
+        ] {
             let v: Int = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -25,12 +25,18 @@ pub struct Rational {
 impl Rational {
     /// The rational 0.
     pub fn zero() -> Self {
-        Rational { num: Int::zero(), den: Int::one() }
+        Rational {
+            num: Int::zero(),
+            den: Int::one(),
+        }
     }
 
     /// The rational 1.
     pub fn one() -> Self {
-        Rational { num: Int::one(), den: Int::one() }
+        Rational {
+            num: Int::one(),
+            den: Int::one(),
+        }
     }
 
     /// Builds `num / den` in lowest terms.
@@ -52,7 +58,10 @@ impl Rational {
 
     /// Builds the rational `n/1`.
     pub fn from_int(n: Int) -> Self {
-        Rational { num: n, den: Int::one() }
+        Rational {
+            num: n,
+            den: Int::one(),
+        }
     }
 
     fn normalize(&mut self) {
@@ -113,7 +122,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse.
@@ -214,13 +226,19 @@ impl Ord for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -self.num, den: self.den }
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
     }
 }
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -(&self.num), den: self.den.clone() }
+        Rational {
+            num: -(&self.num),
+            den: self.den.clone(),
+        }
     }
 }
 
@@ -369,7 +387,9 @@ impl FromStr for Rational {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
-        let mk_err = |m: &str| ParseRationalError { message: m.to_string() };
+        let mk_err = |m: &str| ParseRationalError {
+            message: m.to_string(),
+        };
         match s.split_once('/') {
             None => {
                 let n: Int = s.parse().map_err(|_| mk_err(s))?;

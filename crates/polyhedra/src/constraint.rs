@@ -43,17 +43,29 @@ pub struct Constraint {
 impl Constraint {
     /// Builds the inequality `coeffs · x ≥ rhs`.
     pub fn ge(coeffs: QVector, rhs: Rational) -> Self {
-        Constraint { coeffs, rhs, kind: ConstraintKind::GreaterEq }
+        Constraint {
+            coeffs,
+            rhs,
+            kind: ConstraintKind::GreaterEq,
+        }
     }
 
     /// Builds the inequality `coeffs · x ≤ rhs` (stored as `−coeffs·x ≥ −rhs`).
     pub fn le(coeffs: QVector, rhs: Rational) -> Self {
-        Constraint { coeffs: -&coeffs, rhs: -rhs, kind: ConstraintKind::GreaterEq }
+        Constraint {
+            coeffs: -&coeffs,
+            rhs: -rhs,
+            kind: ConstraintKind::GreaterEq,
+        }
     }
 
     /// Builds the equality `coeffs · x = rhs`.
     pub fn eq(coeffs: QVector, rhs: Rational) -> Self {
-        Constraint { coeffs, rhs, kind: ConstraintKind::Equality }
+        Constraint {
+            coeffs,
+            rhs,
+            kind: ConstraintKind::Equality,
+        }
     }
 
     /// Dimension (number of variables) of the constraint.
@@ -81,7 +93,11 @@ impl Constraint {
         assert!(new_dim >= self.dim());
         let mut coeffs = self.coeffs.entries().to_vec();
         coeffs.resize(new_dim, Rational::zero());
-        Constraint { coeffs: QVector::from_vec(coeffs), rhs: self.rhs.clone(), kind: self.kind }
+        Constraint {
+            coeffs: QVector::from_vec(coeffs),
+            rhs: self.rhs.clone(),
+            kind: self.kind,
+        }
     }
 
     /// Splits an equality into the two opposite inequalities; an inequality is
@@ -104,7 +120,9 @@ impl Constraint {
         }
         // Scale so that the coefficient vector becomes primitive integer,
         // preserving orientation for inequalities.
-        let with_rhs = self.coeffs.concat(&QVector::from_vec(vec![self.rhs.clone()]));
+        let with_rhs = self
+            .coeffs
+            .concat(&QVector::from_vec(vec![self.rhs.clone()]));
         let canon = with_rhs.canonical_direction();
         let dim = self.coeffs.dim();
         Constraint {

@@ -33,7 +33,10 @@ pub struct Polyhedron {
 impl Polyhedron {
     /// The full space Qⁿ.
     pub fn universe(dim: usize) -> Self {
-        Polyhedron { dim, constraints: Vec::new() }
+        Polyhedron {
+            dim,
+            constraints: Vec::new(),
+        }
     }
 
     /// The empty polyhedron (represented by the unsatisfiable constraint `0 ≥ 1`).
@@ -82,7 +85,10 @@ impl Polyhedron {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
         let mut constraints = self.constraints.clone();
         constraints.extend(other.constraints.iter().cloned());
-        Polyhedron { dim: self.dim, constraints }
+        Polyhedron {
+            dim: self.dim,
+            constraints,
+        }
     }
 
     /// Membership test.
@@ -123,10 +129,7 @@ impl Polyhedron {
     /// Whether every point of the polyhedron satisfies `c`.
     pub fn entails(&self, c: &Constraint) -> bool {
         match c.kind {
-            ConstraintKind::Equality => c
-                .as_inequalities()
-                .iter()
-                .all(|ineq| self.entails(ineq)),
+            ConstraintKind::Equality => c.as_inequalities().iter().all(|ineq| self.entails(ineq)),
             ConstraintKind::GreaterEq => {
                 // minimize a·x over the polyhedron; entailed iff min >= b
                 // (or the polyhedron is empty).
@@ -211,7 +214,10 @@ impl Polyhedron {
             }
         }
         equalities.extend(best);
-        Polyhedron { dim: self.dim, constraints: equalities }
+        Polyhedron {
+            dim: self.dim,
+            constraints: equalities,
+        }
     }
 
     /// Removes syntactically duplicate and LP-redundant constraints.
@@ -246,7 +252,10 @@ impl Polyhedron {
             }
             i += 1;
         }
-        Polyhedron { dim: self.dim, constraints: keep }
+        Polyhedron {
+            dim: self.dim,
+            constraints: keep,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -290,10 +299,17 @@ impl Polyhedron {
                     let factor = -&(&c.coeffs[var] / &pivot);
                     let coeffs = c.coeffs.add_scaled(&eq.coeffs, &factor);
                     let rhs = &c.rhs + &(&eq.rhs * &factor);
-                    out.push(Constraint { coeffs: drop_var(&coeffs), rhs, kind: c.kind });
+                    out.push(Constraint {
+                        coeffs: drop_var(&coeffs),
+                        rhs,
+                        kind: c.kind,
+                    });
                 }
             }
-            return Polyhedron { dim: self.dim - 1, constraints: out };
+            return Polyhedron {
+                dim: self.dim - 1,
+                constraints: out,
+            };
         }
 
         // Otherwise classic Fourier–Motzkin on inequalities.
@@ -345,7 +361,10 @@ impl Polyhedron {
                 }
             }
         }
-        Polyhedron { dim: self.dim - 1, constraints: out }
+        Polyhedron {
+            dim: self.dim - 1,
+            constraints: out,
+        }
     }
 
     /// Eliminates several dimensions (indices into the *current* space).
@@ -380,7 +399,10 @@ impl Polyhedron {
                 kind: c.kind,
             })
             .collect();
-        Polyhedron { dim: self.dim, constraints }
+        Polyhedron {
+            dim: self.dim,
+            constraints,
+        }
     }
 
     /// Extends the ambient space with `extra` fresh unconstrained dimensions
@@ -391,7 +413,10 @@ impl Polyhedron {
             .iter()
             .map(|c| c.extend_dim(self.dim + extra))
             .collect();
-        Polyhedron { dim: self.dim + extra, constraints }
+        Polyhedron {
+            dim: self.dim + extra,
+            constraints,
+        }
     }
 
     /// Image of the polyhedron under the affine assignment
@@ -404,7 +429,10 @@ impl Polyhedron {
         let mut ext = self.extend_dims(1);
         let mut eq_coeffs = coeffs.entries().to_vec();
         eq_coeffs.push(-Rational::one()); // coeffs·x - t = -constant
-        ext.add_constraint(Constraint::eq(QVector::from_vec(eq_coeffs), -constant.clone()));
+        ext.add_constraint(Constraint::eq(
+            QVector::from_vec(eq_coeffs),
+            -constant.clone(),
+        ));
         let eliminated = ext.eliminate_dim(var);
         // Current order: 0..var-1, var+1..dim-1, t. Move t (last) to `var`.
         let n = eliminated.dim();
@@ -439,13 +467,20 @@ impl Polyhedron {
                         coeffs.push(it.next().expect("dimension bookkeeping"));
                     }
                 }
-                Constraint { coeffs: QVector::from_vec(coeffs), rhs: c.rhs.clone(), kind: c.kind }
+                Constraint {
+                    coeffs: QVector::from_vec(coeffs),
+                    rhs: c.rhs.clone(),
+                    kind: c.kind,
+                }
             })
             .collect();
         if eliminated.constraints.is_empty() {
             constraints = Vec::new();
         }
-        Polyhedron { dim: n, constraints }
+        Polyhedron {
+            dim: n,
+            constraints,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -643,7 +678,10 @@ impl Polyhedron {
         {
             let mut vl = vec![Rational::zero(); total];
             vl[2 * d] = Rational::one();
-            constraints.push(Constraint::ge(QVector::from_vec(vl.clone()), Rational::zero()));
+            constraints.push(Constraint::ge(
+                QVector::from_vec(vl.clone()),
+                Rational::zero(),
+            ));
             constraints.push(Constraint::le(QVector::from_vec(vl), Rational::one()));
         }
         let big = Polyhedron::from_constraints(total, constraints);
@@ -676,7 +714,11 @@ impl Polyhedron {
                 kept.push(c);
             }
         }
-        Polyhedron { dim: self.dim, constraints: kept }.light_reduce()
+        Polyhedron {
+            dim: self.dim,
+            constraints: kept,
+        }
+        .light_reduce()
     }
 
     /// Standard (Cousot–Halbwachs) widening: keeps the constraints of `self`
@@ -693,7 +735,10 @@ impl Polyhedron {
             .filter(|c| other.entails(c))
             .cloned()
             .collect();
-        Polyhedron { dim: self.dim, constraints: kept }
+        Polyhedron {
+            dim: self.dim,
+            constraints: kept,
+        }
     }
 }
 
@@ -882,14 +927,10 @@ mod tests {
 
     #[test]
     fn convex_hull_of_two_points() {
-        let a = Polyhedron::from_constraints(
-            1,
-            vec![Constraint::eq(QVector::from_i64(&[1]), q(0))],
-        );
-        let b = Polyhedron::from_constraints(
-            1,
-            vec![Constraint::eq(QVector::from_i64(&[1]), q(4))],
-        );
+        let a =
+            Polyhedron::from_constraints(1, vec![Constraint::eq(QVector::from_i64(&[1]), q(0))]);
+        let b =
+            Polyhedron::from_constraints(1, vec![Constraint::eq(QVector::from_i64(&[1]), q(4))]);
         let hull = a.convex_hull(&b);
         assert!(hull.contains_point(&QVector::from_i64(&[0])));
         assert!(hull.contains_point(&QVector::from_i64(&[2])));

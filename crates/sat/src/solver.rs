@@ -135,7 +135,11 @@ pub struct Solver {
 impl Solver {
     /// Creates a solver with no variables and no clauses.
     pub fn new() -> Self {
-        Solver { ok: true, var_inc: 1.0, ..Default::default() }
+        Solver {
+            ok: true,
+            var_inc: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Number of variables created so far.

@@ -43,14 +43,20 @@ impl LinExpr {
 
     /// The constant expression `c`.
     pub fn constant(c: impl Into<Rational>) -> Self {
-        LinExpr { coeffs: BTreeMap::new(), constant: c.into() }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: c.into(),
+        }
     }
 
     /// The expression `1·v`.
     pub fn var(v: TermVar) -> Self {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(v, Rational::one());
-        LinExpr { coeffs, constant: Rational::zero() }
+        LinExpr {
+            coeffs,
+            constant: Rational::zero(),
+        }
     }
 
     /// The expression `c·v`.
@@ -60,12 +66,21 @@ impl LinExpr {
         if !c.is_zero() {
             coeffs.insert(v, c);
         }
-        LinExpr { coeffs, constant: Rational::zero() }
+        LinExpr {
+            coeffs,
+            constant: Rational::zero(),
+        }
     }
 
     /// Builds an expression from sparse terms and a constant.
-    pub fn from_terms(terms: impl IntoIterator<Item = (TermVar, Rational)>, constant: Rational) -> Self {
-        let mut e = LinExpr { coeffs: BTreeMap::new(), constant };
+    pub fn from_terms(
+        terms: impl IntoIterator<Item = (TermVar, Rational)>,
+        constant: Rational,
+    ) -> Self {
+        let mut e = LinExpr {
+            coeffs: BTreeMap::new(),
+            constant,
+        };
         for (v, c) in terms {
             e.add_term(v, c);
         }
@@ -350,11 +365,7 @@ mod tests {
     fn atom_negation_roundtrip() {
         let x = TermVar(0);
         let y = TermVar(1);
-        let a = Atom::from_ge(
-            &(LinExpr::var(x) - LinExpr::var(y)),
-            &LinExpr::constant(3),
-        )
-        .unwrap();
+        let a = Atom::from_ge(&(LinExpr::var(x) - LinExpr::var(y)), &LinExpr::constant(3)).unwrap();
         let n = a.negate();
         // a: x - y >= 3 ; n: y - x >= -2
         assert_eq!(n.coeffs[&x], Int::from(-1));
@@ -369,8 +380,14 @@ mod tests {
 
     #[test]
     fn constant_atoms_fold() {
-        assert_eq!(Atom::from_ge(&LinExpr::constant(3), &LinExpr::constant(2)), Err(true));
-        assert_eq!(Atom::from_ge(&LinExpr::constant(1), &LinExpr::constant(2)), Err(false));
+        assert_eq!(
+            Atom::from_ge(&LinExpr::constant(3), &LinExpr::constant(2)),
+            Err(true)
+        );
+        assert_eq!(
+            Atom::from_ge(&LinExpr::constant(1), &LinExpr::constant(2)),
+            Err(false)
+        );
     }
 
     #[test]

@@ -78,6 +78,10 @@ impl Formula {
     }
 
     /// Negation (with constant folding and double-negation elimination).
+    ///
+    /// An associated constructor like [`Formula::and`] / [`Formula::or`], not
+    /// an `ops::Not` impl (it consumes its argument by value).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(f: Formula) -> Formula {
         match f {
             Formula::True => Formula::False,
@@ -191,7 +195,9 @@ impl Formula {
                 // ¬(l >= r)  ≡  l < r  ≡  r >= l + 1
                 Formula::Ge(r.clone(), l.clone() + LinExpr::constant(1))
             }
-            (Formula::And(cs), false) => Formula::and(cs.iter().map(|c| c.nnf_rec(false)).collect()),
+            (Formula::And(cs), false) => {
+                Formula::and(cs.iter().map(|c| c.nnf_rec(false)).collect())
+            }
             (Formula::And(cs), true) => Formula::or(cs.iter().map(|c| c.nnf_rec(true)).collect()),
             (Formula::Or(cs), false) => Formula::or(cs.iter().map(|c| c.nnf_rec(false)).collect()),
             (Formula::Or(cs), true) => Formula::and(cs.iter().map(|c| c.nnf_rec(true)).collect()),
@@ -252,10 +258,22 @@ mod tests {
 
     #[test]
     fn constructors_fold_constants() {
-        assert_eq!(Formula::and(vec![Formula::True, Formula::True]), Formula::True);
-        assert_eq!(Formula::and(vec![Formula::True, Formula::False]), Formula::False);
-        assert_eq!(Formula::or(vec![Formula::False, Formula::False]), Formula::False);
-        assert_eq!(Formula::or(vec![Formula::True, Formula::False]), Formula::True);
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::True]),
+            Formula::True
+        );
+        assert_eq!(
+            Formula::and(vec![Formula::True, Formula::False]),
+            Formula::False
+        );
+        assert_eq!(
+            Formula::or(vec![Formula::False, Formula::False]),
+            Formula::False
+        );
+        assert_eq!(
+            Formula::or(vec![Formula::True, Formula::False]),
+            Formula::True
+        );
         assert_eq!(Formula::not(Formula::not(Formula::True)), Formula::True);
     }
 

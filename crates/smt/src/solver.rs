@@ -212,8 +212,10 @@ impl SmtContext {
                     match theory.check(&asserted) {
                         TheoryOutcome::Inconsistent { conflict } => {
                             self.stats.blocking_clauses += 1;
-                            let clause: Vec<Lit> =
-                                conflict.iter().map(|&i| asserted_lits[i].negate()).collect();
+                            let clause: Vec<Lit> = conflict
+                                .iter()
+                                .map(|&i| asserted_lits[i].negate())
+                                .collect();
                             if !enc.sat.add_clause(&clause) {
                                 return RunResult::Unsat;
                             }
@@ -226,25 +228,37 @@ impl SmtContext {
                                 None => None,
                                 Some(obj) => match theory.minimize(&asserted, obj) {
                                     MinimizeOutcome::Inconsistent { .. } => {
-                                        unreachable!("consistent conjunction cannot be inconsistent")
+                                        unreachable!(
+                                            "consistent conjunction cannot be inconsistent"
+                                        )
                                     }
                                     MinimizeOutcome::Unbounded { ray, .. } => {
                                         Some(OptOutcome::Unbounded { ray })
                                     }
-                                    MinimizeOutcome::Optimal { model: m, value, integral: int2 } => {
+                                    MinimizeOutcome::Optimal {
+                                        model: m,
+                                        value,
+                                        integral: int2,
+                                    } => {
                                         if !int2 {
                                             self.stats.non_integral_models += 1;
                                         }
                                         // Prefer the minimising model.
                                         return RunResult::Sat {
-                                            model: Model { values: m, integral: int2 },
+                                            model: Model {
+                                                values: m,
+                                                integral: int2,
+                                            },
                                             outcome: Some(OptOutcome::Minimum(value)),
                                         };
                                     }
                                 },
                             };
                             return RunResult::Sat {
-                                model: Model { values: model, integral },
+                                model: Model {
+                                    values: model,
+                                    integral,
+                                },
                                 outcome,
                             };
                         }
@@ -257,7 +271,10 @@ impl SmtContext {
 
 enum RunResult {
     Unsat,
-    Sat { model: Model, outcome: Option<OptOutcome> },
+    Sat {
+        model: Model,
+        outcome: Option<OptOutcome>,
+    },
 }
 
 /// Tseitin encoder: maps the NNF formula to CNF over a CDCL solver, keeping
@@ -271,7 +288,12 @@ struct Encoder {
 
 impl Encoder {
     fn new() -> Self {
-        Encoder { sat: SatSolver::new(), atom_vars: Vec::new(), atom_index: HashMap::new(), true_lit: None }
+        Encoder {
+            sat: SatSolver::new(),
+            atom_vars: Vec::new(),
+            atom_index: HashMap::new(),
+            true_lit: None,
+        }
     }
 
     fn constant(&mut self, value: bool) -> Lit {
@@ -495,8 +517,13 @@ mod tests {
             Formula::ge(LinExpr::var(y), LinExpr::constant(0)),
         ]);
         match ctx.minimize(&f, &(LinExpr::var(x) + LinExpr::var(y))) {
-            OptResult::Sat { outcome: OptOutcome::Unbounded { ray }, .. } => {
-                assert!(ray[&x].is_negative() || ray.get(&y).map(|r| r.is_negative()).unwrap_or(false));
+            OptResult::Sat {
+                outcome: OptOutcome::Unbounded { ray },
+                ..
+            } => {
+                assert!(
+                    ray[&x].is_negative() || ray.get(&y).map(|r| r.is_negative()).unwrap_or(false)
+                );
             }
             other => panic!("expected unbounded, got {other:?}"),
         }
@@ -559,10 +586,7 @@ mod tests {
         }
         // y' - y decreases on every transition: y - y' >= 1 must be entailed,
         // i.e. its negation conjoined with the relation is unsat.
-        let not_decreasing = Formula::le(
-            LinExpr::var(y) - LinExpr::var(yp),
-            LinExpr::constant(0),
-        );
+        let not_decreasing = Formula::le(LinExpr::var(y) - LinExpr::var(yp), LinExpr::constant(0));
         let g = Formula::and(vec![
             Formula::and(vec![
                 Formula::ge(LinExpr::var(x), LinExpr::constant(-1)),

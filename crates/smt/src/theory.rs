@@ -112,7 +112,11 @@ impl TheorySolver {
             ));
         }
         for (v, rel, bound) in extra {
-            lp.add_constraint(LpConstraint::new(vec![(ids[v], Rational::one())], *rel, bound.clone()));
+            lp.add_constraint(LpConstraint::new(
+                vec![(ids[v], Rational::one())],
+                *rel,
+                bound.clone(),
+            ));
         }
         match objective {
             Some(obj) => {
@@ -133,7 +137,9 @@ impl TheorySolver {
         ids: &BTreeMap<TermVar, VarId>,
         assignment: &[Rational],
     ) -> HashMap<TermVar, Rational> {
-        vars.iter().map(|v| (*v, assignment[ids[v].0].clone())).collect()
+        vars.iter()
+            .map(|v| (*v, assignment[ids[v].0].clone()))
+            .collect()
     }
 
     fn first_fractional(model: &HashMap<TermVar, Rational>) -> Option<(TermVar, Rational)> {
@@ -155,7 +161,10 @@ impl TheorySolver {
         if vars.is_empty() {
             // Only trivially true/false atoms would have no variables; atoms
             // are normalised, so an empty conjunction is consistent.
-            return TheoryOutcome::Consistent { model: HashMap::new(), integral: true };
+            return TheoryOutcome::Consistent {
+                model: HashMap::new(),
+                integral: true,
+            };
         }
         let (lp, ids) = Self::build_lp(&refs, &[], None, &vars);
         match lp.solve().outcome {
@@ -166,7 +175,10 @@ impl TheorySolver {
             LpOutcome::Optimal { assignment, .. } => {
                 let model = Self::model_from_assignment(&vars, &ids, &assignment);
                 match Self::first_fractional(&model) {
-                    None => TheoryOutcome::Consistent { model, integral: true },
+                    None => TheoryOutcome::Consistent {
+                        model,
+                        integral: true,
+                    },
                     Some(_) => self.branch_and_bound_feasible(&refs, &vars, model),
                 }
             }
@@ -209,7 +221,10 @@ impl TheorySolver {
         while let Some(extra) = stack.pop() {
             nodes += 1;
             if nodes > BB_NODE_LIMIT {
-                return TheoryOutcome::Consistent { model: fallback, integral: false };
+                return TheoryOutcome::Consistent {
+                    model: fallback,
+                    integral: false,
+                };
             }
             let (lp, ids) = Self::build_lp(atoms, &extra, None, vars);
             match lp.solve().outcome {
@@ -218,7 +233,12 @@ impl TheorySolver {
                 LpOutcome::Optimal { assignment, .. } => {
                     let model = Self::model_from_assignment(vars, &ids, &assignment);
                     match Self::first_fractional(&model) {
-                        None => return TheoryOutcome::Consistent { model, integral: true },
+                        None => {
+                            return TheoryOutcome::Consistent {
+                                model,
+                                integral: true,
+                            }
+                        }
                         Some((v, val)) => {
                             fallback = model;
                             let floor = Rational::from_int(val.floor());
@@ -235,7 +255,9 @@ impl TheorySolver {
             }
         }
         // No integer point exists.
-        TheoryOutcome::Inconsistent { conflict: (0..atoms.len()).collect() }
+        TheoryOutcome::Inconsistent {
+            conflict: (0..atoms.len()).collect(),
+        }
     }
 
     /// Minimises `objective` over the conjunction of atoms (integer
@@ -272,18 +294,28 @@ impl TheorySolver {
                     }
                     _ => HashMap::new(),
                 };
-                let ray_map: HashMap<TermVar, Rational> = vars
-                    .iter()
-                    .map(|v| (*v, ray[ids[v].0].clone()))
-                    .collect();
-                MinimizeOutcome::Unbounded { model, ray: ray_map }
+                let ray_map: HashMap<TermVar, Rational> =
+                    vars.iter().map(|v| (*v, ray[ids[v].0].clone())).collect();
+                MinimizeOutcome::Unbounded {
+                    model,
+                    ray: ray_map,
+                }
             }
-            LpOutcome::Optimal { objective: value, assignment } => {
+            LpOutcome::Optimal {
+                objective: value,
+                assignment,
+            } => {
                 let model = Self::model_from_assignment(&vars, &ids, &assignment);
                 let value = &value + objective.constant_term();
                 match Self::first_fractional(&model) {
-                    None => MinimizeOutcome::Optimal { model, value, integral: true },
-                    Some(_) => self.branch_and_bound_minimize(&refs, &vars, objective, model, value),
+                    None => MinimizeOutcome::Optimal {
+                        model,
+                        value,
+                        integral: true,
+                    },
+                    Some(_) => {
+                        self.branch_and_bound_minimize(&refs, &vars, objective, model, value)
+                    }
                 }
             }
         }
@@ -314,9 +346,15 @@ impl TheorySolver {
                 LpOutcome::Unbounded { ray } => {
                     let ray_map: HashMap<TermVar, Rational> =
                         vars.iter().map(|v| (*v, ray[ids[v].0].clone())).collect();
-                    return MinimizeOutcome::Unbounded { model: relaxation_model, ray: ray_map };
+                    return MinimizeOutcome::Unbounded {
+                        model: relaxation_model,
+                        ray: ray_map,
+                    };
                 }
-                LpOutcome::Optimal { objective: bound, assignment } => {
+                LpOutcome::Optimal {
+                    objective: bound,
+                    assignment,
+                } => {
                     let bound = &bound + objective.constant_term();
                     if let Some((_, ref best_val)) = best {
                         if &bound >= best_val {
@@ -343,7 +381,11 @@ impl TheorySolver {
             }
         }
         match best {
-            Some((model, value)) => MinimizeOutcome::Optimal { model, value, integral: true },
+            Some((model, value)) => MinimizeOutcome::Optimal {
+                model,
+                value,
+                integral: true,
+            },
             None => {
                 if budget_exhausted {
                     MinimizeOutcome::Optimal {
@@ -353,7 +395,9 @@ impl TheorySolver {
                     }
                 } else {
                     // No integer point at all.
-                    MinimizeOutcome::Inconsistent { conflict: (0..atoms.len()).collect() }
+                    MinimizeOutcome::Inconsistent {
+                        conflict: (0..atoms.len()).collect(),
+                    }
                 }
             }
         }
@@ -410,7 +454,10 @@ mod tests {
             TheoryOutcome::Inconsistent { conflict } => {
                 assert!(conflict.contains(&1));
                 assert!(conflict.contains(&2));
-                assert!(!conflict.contains(&0), "irrelevant atom should be dropped from the core");
+                assert!(
+                    !conflict.contains(&0),
+                    "irrelevant atom should be dropped from the core"
+                );
             }
             other => panic!("expected inconsistent, got {other:?}"),
         }
@@ -441,7 +488,11 @@ mod tests {
         let atoms = vec![atom(&[(0, 1)], 3), atom(&[(0, -1)], -10)];
         let obj = LinExpr::var(TermVar(0));
         match TheorySolver::new().minimize(&atoms, &obj) {
-            MinimizeOutcome::Optimal { value, model, integral } => {
+            MinimizeOutcome::Optimal {
+                value,
+                model,
+                integral,
+            } => {
                 assert_eq!(value, q(3));
                 assert_eq!(model[&TermVar(0)], q(3));
                 assert!(integral);
@@ -469,7 +520,9 @@ mod tests {
         let atoms = vec![atom(&[(0, 2)], 3)];
         let obj = LinExpr::var(TermVar(0));
         match TheorySolver::new().minimize(&atoms, &obj) {
-            MinimizeOutcome::Optimal { value, integral, .. } => {
+            MinimizeOutcome::Optimal {
+                value, integral, ..
+            } => {
                 assert!(integral);
                 assert_eq!(value, q(2));
             }

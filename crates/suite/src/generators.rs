@@ -53,7 +53,10 @@ pub fn phase_cascade(phases: usize) -> Program {
         if zeros.is_empty() {
             branch.push_str(&format!("assume c{p} > 0;\nc{p} = c{p} - 1;\n"));
         } else {
-            branch.push_str(&format!("assume {} && c{p} > 0;\nc{p} = c{p} - 1;\n", zeros.join(" && ")));
+            branch.push_str(&format!(
+                "assume {} && c{p} > 0;\nc{p} = c{p} - 1;\n",
+                zeros.join(" && ")
+            ));
         }
         for q in (p + 1)..phases {
             branch.push_str(&format!("c{q} = nondet();\nassume c{q} >= 0;\n"));
@@ -79,7 +82,10 @@ mod tests {
         // multiplies the number of paths by 256 while the atom count grows by
         // a small constant factor.
         let growth = large.formula_atoms() as f64 / small.formula_atoms() as f64;
-        assert!(growth < 12.0, "block encoding must not blow up: growth {growth}");
+        assert!(
+            growth < 12.0,
+            "block encoding must not blow up: growth {growth}"
+        );
     }
 
     #[test]

@@ -60,14 +60,23 @@ impl SuiteId {
 
     /// All suites, in the order of Table 1.
     pub fn all() -> [SuiteId; 4] {
-        [SuiteId::PolyBench, SuiteId::Sorts, SuiteId::TermComp, SuiteId::Wtc]
+        [
+            SuiteId::PolyBench,
+            SuiteId::Sorts,
+            SuiteId::TermComp,
+            SuiteId::Wtc,
+        ]
     }
 }
 
 fn bench(suite: SuiteId, name: &str, expected_terminating: bool, src: &str) -> Benchmark {
     let program = parse_named_program(src, name)
         .unwrap_or_else(|e| panic!("benchmark `{name}` does not parse: {e}"));
-    Benchmark { program, suite, expected_terminating }
+    Benchmark {
+        program,
+        suite,
+        expected_terminating,
+    }
 }
 
 /// The PolyBench-style suite: counted, possibly nested affine loops as found
@@ -76,19 +85,33 @@ fn bench(suite: SuiteId, name: &str, expected_terminating: bool, src: &str) -> B
 pub fn polybench() -> Vec<Benchmark> {
     use SuiteId::PolyBench as S;
     vec![
-        bench(S, "vector_scale", true, r#"
+        bench(
+            S,
+            "vector_scale",
+            true,
+            r#"
             var i, n;
             assume n >= 0;
             i = 0;
             while (i < n) { i = i + 1; }
-        "#),
-        bench(S, "dot_product", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "dot_product",
+            true,
+            r#"
             var i, n, acc;
             assume n >= 0;
             i = 0; acc = 0;
             while (i < n) { acc = acc + 2; i = i + 1; }
-        "#),
-        bench(S, "matvec", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "matvec",
+            true,
+            r#"
             var i, j, n, m;
             assume n >= 0 && m >= 0;
             i = 0;
@@ -97,8 +120,13 @@ pub fn polybench() -> Vec<Benchmark> {
                 while (j < m) { j = j + 1; }
                 i = i + 1;
             }
-        "#),
-        bench(S, "matmul", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "matmul",
+            true,
+            r#"
             var i, j, k, n;
             assume n >= 0;
             i = 0;
@@ -111,8 +139,13 @@ pub fn polybench() -> Vec<Benchmark> {
                 }
                 i = i + 1;
             }
-        "#),
-        bench(S, "triangular", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "triangular",
+            true,
+            r#"
             var i, j, n;
             assume n >= 0;
             i = 0;
@@ -121,8 +154,13 @@ pub fn polybench() -> Vec<Benchmark> {
                 while (j < n) { j = j + 1; }
                 i = i + 1;
             }
-        "#),
-        bench(S, "jacobi_sweep", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "jacobi_sweep",
+            true,
+            r#"
             var t, i, steps, n;
             assume steps >= 0 && n >= 0;
             t = 0;
@@ -131,27 +169,47 @@ pub fn polybench() -> Vec<Benchmark> {
                 while (i < n) { i = i + 1; }
                 t = t + 1;
             }
-        "#),
-        bench(S, "stencil_shift", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "stencil_shift",
+            true,
+            r#"
             var i, n;
             assume n >= 2;
             i = n;
             while (i > 1) { i = i - 1; }
-        "#),
-        bench(S, "strided_loop", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "strided_loop",
+            true,
+            r#"
             var i, n;
             assume n >= 0;
             i = 0;
             while (i < n) { i = i + 3; }
-        "#),
-        bench(S, "two_phase_sweep", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "two_phase_sweep",
+            true,
+            r#"
             var i, n;
             assume n >= 0;
             i = 0;
             while (i < n) { i = i + 1; }
             while (i > 0) { i = i - 1; }
-        "#),
-        bench(S, "offdiagonal", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "offdiagonal",
+            true,
+            r#"
             var i, j, n;
             assume n >= 0;
             i = 0;
@@ -162,7 +220,8 @@ pub fn polybench() -> Vec<Benchmark> {
                 }
                 i = i + 1;
             }
-        "#),
+        "#,
+        ),
     ]
 }
 
@@ -171,7 +230,11 @@ pub fn polybench() -> Vec<Benchmark> {
 pub fn sorts() -> Vec<Benchmark> {
     use SuiteId::Sorts as S;
     vec![
-        bench(S, "bubble_sort", true, r#"
+        bench(
+            S,
+            "bubble_sort",
+            true,
+            r#"
             var i, j, n;
             assume n >= 0;
             i = n;
@@ -180,8 +243,13 @@ pub fn sorts() -> Vec<Benchmark> {
                 while (j < i - 1) { j = j + 1; }
                 i = i - 1;
             }
-        "#),
-        bench(S, "insertion_sort", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "insertion_sort",
+            true,
+            r#"
             var i, j, n;
             assume n >= 1;
             i = 1;
@@ -192,8 +260,13 @@ pub fn sorts() -> Vec<Benchmark> {
                 }
                 i = i + 1;
             }
-        "#),
-        bench(S, "selection_sort", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "selection_sort",
+            true,
+            r#"
             var i, j, min, n;
             assume n >= 0;
             i = 0;
@@ -206,8 +279,13 @@ pub fn sorts() -> Vec<Benchmark> {
                 }
                 i = i + 1;
             }
-        "#),
-        bench(S, "gnome_sort", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "gnome_sort",
+            true,
+            r#"
             var pos, n, moves;
             assume n >= 0 && moves >= 0 && pos >= 0;
             while (pos < n) {
@@ -219,8 +297,13 @@ pub fn sorts() -> Vec<Benchmark> {
                     pos = pos + 1;
                 }
             }
-        "#),
-        bench(S, "cocktail_sort", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "cocktail_sort",
+            true,
+            r#"
             var lo, hi;
             assume lo <= hi;
             while (lo < hi) {
@@ -230,8 +313,13 @@ pub fn sorts() -> Vec<Benchmark> {
                     lo = lo + 1;
                 }
             }
-        "#),
-        bench(S, "merge_walk", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "merge_walk",
+            true,
+            r#"
             var i, j, n, m;
             assume n >= 0 && m >= 0;
             i = 0; j = 0;
@@ -242,7 +330,8 @@ pub fn sorts() -> Vec<Benchmark> {
                     assume j < m; j = j + 1;
                 }
             }
-        "#),
+        "#,
+        ),
     ]
 }
 
@@ -252,25 +341,49 @@ pub fn sorts() -> Vec<Benchmark> {
 pub fn termcomp() -> Vec<Benchmark> {
     use SuiteId::TermComp as S;
     vec![
-        bench(S, "simple_countdown", true, r#"
+        bench(
+            S,
+            "simple_countdown",
+            true,
+            r#"
             var x;
             while (x > 0) { x = x - 1; }
-        "#),
-        bench(S, "countdown_by_two", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "countdown_by_two",
+            true,
+            r#"
             var x;
             while (x > 0) { x = x - 2; }
-        "#),
-        bench(S, "two_variable_race", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "two_variable_race",
+            true,
+            r#"
             var x, y;
             while (x > 0 && y > 0) {
                 choice { x = x - 1; } or { y = y - 1; }
             }
-        "#),
-        bench(S, "bounded_increase", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "bounded_increase",
+            true,
+            r#"
             var x, n;
             while (x < n) { x = x + 1; }
-        "#),
-        bench(S, "alternating_updates", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "alternating_updates",
+            true,
+            r#"
             var x, y;
             while (x >= 0 && y >= 0) {
                 choice {
@@ -281,15 +394,25 @@ pub fn termcomp() -> Vec<Benchmark> {
                     assume y >= 1 && x >= 1; y = y - 1;
                 }
             }
-        "#),
-        bench(S, "gcd_like", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "gcd_like",
+            true,
+            r#"
             var a, b;
             assume a >= 1 && b >= 1;
             while (a != b) {
                 if (a > b) { a = a - b; } else { b = b - a; }
             }
-        "#),
-        bench(S, "nested_dependent", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "nested_dependent",
+            true,
+            r#"
             var i, j, n;
             assume n >= 0;
             i = 0;
@@ -298,8 +421,13 @@ pub fn termcomp() -> Vec<Benchmark> {
                 while (j > i) { j = j - 1; }
                 i = i + 1;
             }
-        "#),
-        bench(S, "reset_loop", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "reset_loop",
+            true,
+            r#"
             var i, j, bound;
             assume i >= 0 && j >= 0 && bound >= 0;
             while (i > 0) {
@@ -309,23 +437,43 @@ pub fn termcomp() -> Vec<Benchmark> {
                     assume j <= 0; i = i - 1; j = bound;
                 }
             }
-        "#),
-        bench(S, "diverging_counter", false, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "diverging_counter",
+            false,
+            r#"
             var x;
             assume x >= 1;
             while (x > 0) { x = x + 1; }
-        "#),
-        bench(S, "oscillator_nonterm", false, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "oscillator_nonterm",
+            false,
+            r#"
             var x;
             assume x == 1;
             while (x != 0) { x = 0 - x; }
-        "#),
-        bench(S, "stalling_loop_nonterm", false, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "stalling_loop_nonterm",
+            false,
+            r#"
             var x, y;
             assume x >= 1;
             while (x > 0) { y = y + 1; }
-        "#),
-        bench(S, "three_phase", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "three_phase",
+            true,
+            r#"
             var x, y, z;
             assume x >= 0 && y >= 0 && z >= 0;
             while (x > 0 || y > 0 || z > 0) {
@@ -337,19 +485,30 @@ pub fn termcomp() -> Vec<Benchmark> {
                     assume x <= 0 && y <= 0 && z > 0; z = z - 1;
                 }
             }
-        "#),
-        bench(S, "difference_bound", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "difference_bound",
+            true,
+            r#"
             var x, y;
             while (x - y > 0) { y = y + 1; }
-        "#),
-        bench(S, "widening_needed", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "widening_needed",
+            true,
+            r#"
             var x, n;
             assume n >= 0;
             x = 0;
             while (x < n) {
                 if (nondet()) { x = x + 1; } else { x = x + 2; }
             }
-        "#),
+        "#,
+        ),
     ]
 }
 
@@ -359,7 +518,11 @@ pub fn termcomp() -> Vec<Benchmark> {
 pub fn wtc() -> Vec<Benchmark> {
     use SuiteId::Wtc as S;
     vec![
-        bench(S, "paper_example_1", true, r#"
+        bench(
+            S,
+            "paper_example_1",
+            true,
+            r#"
             var x, y;
             assume x == 5 && y == 10;
             while (true) {
@@ -369,16 +532,26 @@ pub fn wtc() -> Vec<Benchmark> {
                     assume x >= 0 && y >= 0;  x = x - 1; y = y - 1;
                 }
             }
-        "#),
-        bench(S, "paper_listing_1", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "paper_listing_1",
+            true,
+            r#"
             var x, c;
             while (x >= 0) {
                 c = nondet();
                 if (c >= 1) { x = x - 1; } else { skip; }
                 if (c <= 0) { x = x - 1; } else { skip; }
             }
-        "#),
-        bench(S, "paper_example_4_nested", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "paper_example_4_nested",
+            true,
+            r#"
             var i, j;
             i = 0;
             while (i < 5) {
@@ -386,16 +559,26 @@ pub fn wtc() -> Vec<Benchmark> {
                 while (i > 2 && j <= 9) { j = j + 1; }
                 i = i + 1;
             }
-        "#),
-        bench(S, "wtc_easy1", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "wtc_easy1",
+            true,
+            r#"
             var x, y;
             while (x > 0) {
                 x = x + y;
                 y = y - 1;
                 assume y <= 0;
             }
-        "#),
-        bench(S, "wtc_swap", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "wtc_swap",
+            true,
+            r#"
             var x, y, t;
             assume x >= 0 && y >= 0;
             while (x > 0 && y > 0) {
@@ -403,15 +586,25 @@ pub fn wtc() -> Vec<Benchmark> {
                 x = y - 1;
                 y = t - 1;
             }
-        "#),
-        bench(S, "wtc_multipath_decrease", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "wtc_multipath_decrease",
+            true,
+            r#"
             var x, y;
             assume x >= 0 && y >= 0;
             while (x + y > 0) {
                 if (x > 0) { x = x - 1; } else { y = y - 1; }
             }
-        "#),
-        bench(S, "wtc_phase_change", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "wtc_phase_change",
+            true,
+            r#"
             var x, d, n;
             assume n >= 0 && x >= 0 && x <= n && d == 1;
             while (x < n) {
@@ -421,8 +614,13 @@ pub fn wtc() -> Vec<Benchmark> {
                     assume d == 1 && x == n; d = 0 - 1;
                 }
             }
-        "#),
-        bench(S, "wtc_unbounded_reset", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "wtc_unbounded_reset",
+            true,
+            r#"
             var i, j, n;
             assume i >= 0 && j >= 0 && n >= 0;
             while (i > 0) {
@@ -432,13 +630,23 @@ pub fn wtc() -> Vec<Benchmark> {
                     assume j <= 0; i = i - 1; j = n;
                 }
             }
-        "#),
-        bench(S, "wtc_nonterm_drift", false, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "wtc_nonterm_drift",
+            false,
+            r#"
             var x, y;
             assume x >= 1 && y >= 1;
             while (x > 0) { x = x + y; }
-        "#),
-        bench(S, "wtc_branching_budget", true, r#"
+        "#,
+        ),
+        bench(
+            S,
+            "wtc_branching_budget",
+            true,
+            r#"
             var budget, step;
             assume budget >= 0;
             while (budget > 0) {
@@ -446,7 +654,8 @@ pub fn wtc() -> Vec<Benchmark> {
                 assume step >= 1;
                 if (step > budget) { budget = 0; } else { budget = budget - step; }
             }
-        "#),
+        "#,
+        ),
     ]
 }
 
@@ -472,7 +681,10 @@ mod tests {
     #[test]
     fn all_benchmarks_parse_and_have_loops() {
         let all = all_benchmarks();
-        assert!(all.len() >= 40, "expected a reasonably sized benchmark collection");
+        assert!(
+            all.len() >= 40,
+            "expected a reasonably sized benchmark collection"
+        );
         for b in &all {
             assert!(b.program.num_loops() >= 1, "{} has no loop", b.program.name);
             assert!(b.program.num_vars() >= 1);
@@ -495,8 +707,10 @@ mod tests {
                 assert_eq!(b.suite, id);
             }
         }
-        let names: Vec<String> =
-            all_benchmarks().iter().map(|b| b.program.name.clone()).collect();
+        let names: Vec<String> = all_benchmarks()
+            .iter()
+            .map(|b| b.program.name.clone())
+            .collect();
         let mut deduped = names.clone();
         deduped.sort();
         deduped.dedup();

@@ -22,7 +22,10 @@ fn main() {
         for engine in [Engine::Termite, Engine::Eager] {
             let report =
                 prove_transition_system(&ts, &invariants, &AnalysisOptions::with_engine(engine));
-            assert!(report.proved(), "multipath loops are terminating ({engine:?}, t = {t})");
+            assert!(
+                report.proved(),
+                "multipath loops are terminating ({engine:?}, t = {t})"
+            );
             cells.push(format!(
                 "{:>6.1} {:>6.1} {:>7.1}",
                 report.stats.lp_rows_avg, report.stats.lp_cols_avg, report.stats.synthesis_millis

@@ -37,13 +37,19 @@ fn main() {
         println!(
             "[{engine:?}] proved: {} | dimension: {} | avg LP size: ({:.1}, {:.1})",
             report.proved(),
-            report.ranking_function().map(|r| r.dimension()).unwrap_or(0),
+            report
+                .ranking_function()
+                .map(|r| r.dimension())
+                .unwrap_or(0),
             report.stats.lp_rows_avg,
             report.stats.lp_cols_avg,
         );
         if let Some(rf) = report.ranking_function() {
             println!("{rf}");
         }
-        assert!(report.proved(), "nested counted loops must be proved terminating");
+        assert!(
+            report.proved(),
+            "nested counted loops must be proved terminating"
+        );
     }
 }

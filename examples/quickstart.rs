@@ -32,5 +32,8 @@ fn main() {
         report.stats.lp_rows_avg,
         report.stats.lp_cols_avg,
     );
-    assert!(report.proved(), "Example 1 of the paper must be proved terminating");
+    assert!(
+        report.proved(),
+        "Example 1 of the paper must be proved terminating"
+    );
 }

@@ -92,7 +92,10 @@ fn non_terminating_programs_are_not_proved() {
     ] {
         let program = parse_program(src).unwrap();
         let report = prove_termination(&program, &default_options());
-        assert!(!report.proved(), "non-terminating program wrongly proved: {src}");
+        assert!(
+            !report.proved(),
+            "non-terminating program wrongly proved: {src}"
+        );
     }
 }
 
@@ -103,7 +106,10 @@ fn generated_multipath_loops_scale_and_terminate() {
         let ts = program.transition_system();
         let invariants = location_invariants(&program, &InvariantOptions::default());
         let report = prove_transition_system(&ts, &invariants, &default_options());
-        assert!(report.proved(), "multipath loop with {t} tests must be proved");
+        assert!(
+            report.proved(),
+            "multipath loop with {t} tests must be proved"
+        );
         // The lazily built LP stays small even though the loop has 2^t paths.
         assert!(
             report.stats.lp_rows_avg <= 16.0,
@@ -120,7 +126,10 @@ fn phase_cascade_needs_lexicographic_dimensions() {
         let ts = program.transition_system();
         let invariants = location_invariants(&program, &InvariantOptions::default());
         let report = prove_transition_system(&ts, &invariants, &default_options());
-        assert!(report.proved(), "phase cascade with {phases} phases must be proved");
+        assert!(
+            report.proved(),
+            "phase cascade with {phases} phases must be proved"
+        );
         assert!(
             report.ranking_function().unwrap().dimension() >= 2,
             "expected a genuinely lexicographic certificate"
@@ -136,8 +145,11 @@ fn termite_never_proves_less_than_the_heuristic_on_termcomp_samples() {
     for b in benches.iter().take(6) {
         let ts = b.program.transition_system();
         let invariants = location_invariants(&b.program, &InvariantOptions::default());
-        let termite =
-            prove_transition_system(&ts, &invariants, &AnalysisOptions::with_engine(Engine::Termite));
+        let termite = prove_transition_system(
+            &ts,
+            &invariants,
+            &AnalysisOptions::with_engine(Engine::Termite),
+        );
         let heuristic = prove_transition_system(
             &ts,
             &invariants,
@@ -165,10 +177,16 @@ fn eager_and_lazy_engines_agree_on_small_programs() {
         let program = parse_program(src).unwrap();
         let ts = program.transition_system();
         let invariants = location_invariants(&program, &InvariantOptions::default());
-        let lazy =
-            prove_transition_system(&ts, &invariants, &AnalysisOptions::with_engine(Engine::Termite));
-        let eager =
-            prove_transition_system(&ts, &invariants, &AnalysisOptions::with_engine(Engine::Eager));
+        let lazy = prove_transition_system(
+            &ts,
+            &invariants,
+            &AnalysisOptions::with_engine(Engine::Termite),
+        );
+        let eager = prove_transition_system(
+            &ts,
+            &invariants,
+            &AnalysisOptions::with_engine(Engine::Eager),
+        );
         assert_eq!(lazy.proved(), eager.proved(), "engines disagree on: {src}");
     }
 }
