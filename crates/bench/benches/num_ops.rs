@@ -1,0 +1,137 @@
+//! Micro-benchmarks for the exact-arithmetic hot path: the small-value
+//! (inline `i64`) fast path of `termite_num::Int`/`Rational` and the
+//! in-place `QVector` row operations the simplex pivot is built from.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use termite_linalg::QVector;
+use termite_num::{Int, Rational};
+
+/// Small-int arithmetic: every operand fits the inline representation, so no
+/// heap allocation should happen at all.
+fn int_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("int_small");
+    group.sample_size(30);
+    group.bench_function("add_mul_chain", |b| {
+        b.iter(|| {
+            let mut acc = Int::zero();
+            for i in 1..1000i64 {
+                let x = Int::from(i);
+                let y = Int::from(1000 - i);
+                acc += &(&x * &y);
+                acc -= &(&x + &y);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("divrem_chain", |b| {
+        b.iter(|| {
+            let mut acc = Int::from(0);
+            for i in 1..1000i64 {
+                let (q, r) = Int::from(i * 7919).div_rem(&Int::from(i));
+                acc += &q;
+                acc += &r;
+            }
+            black_box(acc)
+        })
+    });
+    // Contrast: the same chain forced through the spill-over representation.
+    group.bench_function("add_mul_chain_big", |b| {
+        let shift = Int::from(2).pow(192);
+        b.iter(|| {
+            let mut acc = Int::zero();
+            for i in 1..200i64 {
+                let x = &Int::from(i) * &shift;
+                let y = &Int::from(1000 - i) * &shift;
+                acc += &(&x + &y);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// Rational arithmetic on small values: the i128 cross-multiplication path.
+fn rational_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rational_small");
+    group.sample_size(30);
+    group.bench_function("add_mul_cmp_chain", |b| {
+        // Bounded denominators (lcm of 1..=7): the chain stays on the small
+        // path instead of measuring coefficient blowup.
+        b.iter(|| {
+            let mut acc = Rational::zero();
+            for i in 1..500i64 {
+                let x = Rational::from_ints(i % 13 - 6, i % 7 + 1);
+                let y = Rational::from_ints(i % 11 - 5, i % 5 + 1);
+                acc += &(&x * &y);
+                if acc > Rational::from(100) {
+                    acc -= &Rational::from(100);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("integer_den_skips_gcd", |b| {
+        b.iter(|| {
+            let mut acc = Rational::zero();
+            for i in 1..1000i64 {
+                acc += &Rational::from(i);
+                acc = &acc * &Rational::from(-1);
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+/// The simplex pivot's row operations, at tableau-row sizes.
+fn qvector_row_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qvector_rows");
+    group.sample_size(30);
+    for dim in [32usize, 256] {
+        let row: QVector = (0..dim as i64)
+            .map(|i| Rational::from_ints(i % 7 - 3, i % 5 + 1))
+            .collect();
+        let other: QVector = (0..dim as i64)
+            .map(|i| Rational::from_ints(i % 11 - 5, i % 3 + 1))
+            .collect();
+        let factor = Rational::from_ints(3, 7);
+        // Each in-place op is paired with its inverse so entries stay
+        // bounded across samples (otherwise the bench measures coefficient
+        // growth, not the row operation).
+        group.bench_with_input(
+            BenchmarkId::new("sub_scaled_in_place_x2", dim),
+            &dim,
+            |b, _| {
+                let mut target = row.clone();
+                b.iter(|| {
+                    target.sub_scaled_in_place(&other, &factor);
+                    target.add_scaled_in_place(&other, &factor);
+                    black_box(target.dim())
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("add_scaled_allocating_x2", dim),
+            &dim,
+            |b, _| {
+                b.iter(|| {
+                    let once = row.add_scaled(&other, &factor);
+                    black_box(once.add_scaled(&other, &(-&factor)))
+                })
+            },
+        );
+        let inverse = factor.recip();
+        group.bench_with_input(BenchmarkId::new("scale_in_place_x2", dim), &dim, |b, _| {
+            let mut target = row.clone();
+            b.iter(|| {
+                target.scale_in_place(&factor);
+                target.scale_in_place(&inverse);
+                black_box(target.dim())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, int_ops, rational_ops, qvector_row_ops);
+criterion_main!(benches);

@@ -134,12 +134,14 @@ pub mod eager {
     /// One lexicographic level of the eager synthesis: a single Farkas LP over
     /// all still-alive path transitions. Returns the component and the set of
     /// path indices that now decrease strictly, or `None` if no non-trivial
-    /// component exists.
+    /// component exists (or the solve was cancelled mid-pivot — the eager LP
+    /// is the one huge solve the ROADMAP wanted interruptible).
     #[allow(clippy::type_complexity)]
     fn solve_level(
         ts: &TransitionSystem,
         invariants: &[Polyhedron],
         alive: &[&PathTransition],
+        interrupt: &termite_lp::Interrupt,
         stats: &mut SynthesisStats,
     ) -> Option<(Vec<(QVector, Rational)>, Vec<bool>)> {
         let n = ts.num_vars();
@@ -261,7 +263,8 @@ pub mod eager {
         lp.maximize(delta_ids.iter().map(|&d| (d, Rational::one())).collect());
 
         stats.record_lp(lp.num_constraints(), lp.num_vars());
-        let solution = lp.solve();
+        let solution = lp.solve_interruptible(interrupt)?;
+        stats.lp_pivots += solution.pivots;
         let assignment = match solution.outcome {
             LpOutcome::Optimal { assignment, .. } => assignment,
             _ => return None,
@@ -300,6 +303,8 @@ pub mod eager {
             return TerminationVerdict::Unknown;
         }
         stats.counterexamples = paths.len();
+        let cancel_in_lp = options.cancel.clone();
+        let interrupt = termite_lp::Interrupt::new(move || cancel_in_lp.is_cancelled());
         let mut alive: Vec<&PathTransition> = paths.iter().collect();
         let mut components: Vec<Vec<(QVector, Rational)>> = Vec::new();
         let max_dims = ts.num_locations() * ts.num_vars() + 1;
@@ -308,7 +313,7 @@ pub mod eager {
                 return TerminationVerdict::Unknown;
             }
             stats.iterations += 1;
-            match solve_level(ts, invariants, &alive, stats) {
+            match solve_level(ts, invariants, &alive, &interrupt, stats) {
                 None => return TerminationVerdict::Unknown,
                 Some((component, strict)) => {
                     alive = alive

@@ -72,7 +72,10 @@ mod report;
 pub use baselines::{eager, heuristic, podelski_rybalchenko};
 pub use cancel::CancelToken;
 pub use engine::{prove_termination, prove_transition_system, AnalysisOptions, Engine};
-pub use lp_instance::{LpInstanceSolution, LpInstanceStats, RankingTemplate, StackedConstraints};
+pub use lp_instance::{
+    solve_lp_instance, LpInstanceSession, LpInstanceSolution, LpInstanceStats, RankingTemplate,
+    StackedConstraints,
+};
 pub use monodim::{MonodimInput, MonodimResult};
 pub use multidim::synthesize_lexicographic;
 pub use report::{RankingFunction, SynthesisStats, TerminationReport, TerminationVerdict};

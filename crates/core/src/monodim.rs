@@ -2,7 +2,7 @@
 //! counterexamples, for one or several control points.
 
 use crate::cancel::CancelToken;
-use crate::lp_instance::{solve_lp_instance, RankingTemplate, StackedConstraints};
+use crate::lp_instance::{LpInstanceSession, RankingTemplate, StackedConstraints};
 use crate::report::SynthesisStats;
 use termite_ir::TransitionSystem;
 use termite_linalg::{QVector, Subspace};
@@ -222,6 +222,16 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
     let mut all_delta_one = true;
     let mut iterations = 0usize;
 
+    // One warm LP session per synthesis level: each iteration adds its new
+    // counterexample rows and re-optimizes from the previous basis. The
+    // cancel token reaches into the pivot loop, so cancellation latency is
+    // a few pivots, not a whole LP solve.
+    let cancel_in_lp = input.cancel.clone();
+    let mut session = LpInstanceSession::new(
+        input.constraints,
+        termite_lp::Interrupt::new(move || cancel_in_lp.is_cancelled()),
+    );
+
     while iterations < input.max_iterations {
         if input.cancel.is_cancelled() {
             return MonodimResult {
@@ -281,14 +291,24 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
         };
 
         counterexamples.push(u.clone());
+        session.push_counterexample(&u);
         let mut ray_added = false;
         if let Some(r) = ray {
+            session.push_counterexample(&r);
             counterexamples.push(r);
             ray_added = true;
         }
         stats.counterexamples = counterexamples.len();
 
-        let solution = solve_lp_instance(input.constraints, &counterexamples, stats);
+        let Some(solution) = session.solve(stats) else {
+            // Interrupted mid-pivot: report the cancellation, not an answer.
+            return MonodimResult {
+                template,
+                strict: false,
+                iterations,
+                cancelled: true,
+            };
+        };
         all_delta_one = solution.delta.iter().all(|d| *d == Rational::one());
         if solution.gamma_is_zero {
             template = solution.template;

@@ -143,6 +143,9 @@ pub struct SynthesisStats {
     pub iterations: usize,
     /// Number of LP instances solved.
     pub lp_instances: usize,
+    /// Total simplex pivots performed across all LP solves (both phases,
+    /// including warm-started re-optimizations).
+    pub lp_pivots: usize,
     /// Average number of rows (`l`) of the LP instances.
     pub lp_rows_avg: f64,
     /// Average number of columns (`c`) of the LP instances.

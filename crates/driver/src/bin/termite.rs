@@ -4,13 +4,16 @@
 //! termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
 //! termite suite <name|all> [--engine E | --portfolio] [--jobs N]
 //!                          [--json FILE] [--cache FILE] [--timeout-ms N]
+//! termite bench-diff <old.json> <new.json> [--max-ratio R] [--min-millis M]
 //! termite table1
 //! ```
 //!
 //! `analyze` proves one program of the mini-language; `suite` batch-analyses
 //! a benchmark suite over the worker pool (optionally racing the engine
 //! portfolio per benchmark, optionally against a persistent result cache);
-//! `table1` reproduces the paper's Table 1 report.
+//! `bench-diff` compares two `suite --json` reports (`BENCH_<seq>.json`
+//! trend files) and fails on verdict changes or per-benchmark time
+//! regressions; `table1` reproduces the paper's Table 1 report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +33,7 @@ const USAGE: &str = "usage:
   termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
   termite suite <polybench|sorts|termcomp|wtc|all> [--engine E | --portfolio]
                 [--jobs N] [--json FILE] [--cache FILE] [--timeout-ms N]
+  termite bench-diff <old.json> <new.json> [--max-ratio R] [--min-millis M]
   termite table1
 
 engines: termite (default), eager, pr, heuristic";
@@ -123,6 +127,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let name = args.get(1).ok_or("suite needs a suite name")?;
             suite_command(name, parse_flags(&args[2..])?)
         }
+        Some("bench-diff") => bench_diff(&args[1..]),
         Some("table1") => {
             if let Some(flag) = args.get(1) {
                 return Err(format!("table1 takes no flags (got `{flag}`)"));
@@ -288,6 +293,7 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
                     "lp_instances",
                     Json::Number(r.report.stats.lp_instances as f64),
                 ),
+                ("lp_pivots", Json::Number(r.report.stats.lp_pivots as f64)),
                 (
                     "synthesis_millis",
                     Json::Number(r.report.stats.synthesis_millis),
@@ -319,6 +325,108 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
             ]),
         ),
     ])
+}
+
+/// Compares two `suite --json` trend files (`BENCH_<seq>.json`): every
+/// benchmark of the old report must keep its verdict in the new one, and may
+/// not get slower than `--max-ratio` (default 2x), ignoring benchmarks faster
+/// than `--min-millis` (default 5 ms) in both runs, where timer noise
+/// dominates.
+fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
+    let old_path = args.first().ok_or("bench-diff needs two JSON files")?;
+    let new_path = args.get(1).ok_or("bench-diff needs two JSON files")?;
+    let mut max_ratio = 2.0f64;
+    let mut min_millis = 5.0f64;
+    let mut it = args[2..].iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--max-ratio" => {
+                max_ratio = value("--max-ratio")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| *r > 1.0)
+                    .ok_or("--max-ratio needs a number > 1")?
+            }
+            "--min-millis" => {
+                min_millis = value("--min-millis")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|m| *m >= 0.0)
+                    .ok_or("--min-millis needs a non-negative number")?
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+
+    let load = |path: &str| -> Result<Vec<(String, bool, f64, f64)>, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        let benchmarks = doc
+            .get("benchmarks")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{path}: missing `benchmarks` array"))?;
+        benchmarks
+            .iter()
+            .map(|b| {
+                let name = b
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{path}: benchmark without `name`"))?;
+                let terminating = b
+                    .get("terminating")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| format!("{path}: `{name}` without `terminating`"))?;
+                let millis = b
+                    .get("synthesis_millis")
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{path}: `{name}` without `synthesis_millis`"))?;
+                let pivots = b.get("lp_pivots").and_then(Json::as_f64).unwrap_or(0.0);
+                Ok((name.to_string(), terminating, millis, pivots))
+            })
+            .collect()
+    };
+    let old = load(old_path)?;
+    let new = load(new_path)?;
+    let new_by_name: std::collections::BTreeMap<&str, &(String, bool, f64, f64)> =
+        new.iter().map(|b| (b.0.as_str(), b)).collect();
+
+    println!(
+        "{:<26} {:>12} {:>12} {:>7} {:>10} {:>10}  status",
+        "benchmark", "old(ms)", "new(ms)", "ratio", "old piv", "new piv"
+    );
+    let mut failures = 0usize;
+    for (name, old_verdict, old_ms, old_piv) in &old {
+        let Some((_, new_verdict, new_ms, new_piv)) = new_by_name.get(name.as_str()) else {
+            println!("{name:<26} {:>64}", "MISSING from new report");
+            failures += 1;
+            continue;
+        };
+        let ratio = if *old_ms > 0.0 { new_ms / old_ms } else { 1.0 };
+        let status = if old_verdict != new_verdict {
+            failures += 1;
+            "VERDICT CHANGED"
+        } else if ratio > max_ratio && (*new_ms > min_millis || *old_ms > min_millis) {
+            failures += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{name:<26} {old_ms:>12.2} {new_ms:>12.2} {ratio:>6.2}x {old_piv:>10} {new_piv:>10}  {status}"
+        );
+    }
+    if failures > 0 {
+        eprintln!("bench-diff: {failures} benchmark(s) regressed or changed verdict");
+        Ok(ExitCode::from(1))
+    } else {
+        println!("bench-diff: no regressions ({} benchmarks)", old.len());
+        Ok(ExitCode::SUCCESS)
+    }
 }
 
 fn table1() {

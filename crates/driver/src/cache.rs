@@ -236,6 +236,7 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
             Json::object([
                 ("iterations", Json::Number(s.iterations as f64)),
                 ("lp_instances", Json::Number(s.lp_instances as f64)),
+                ("lp_pivots", Json::Number(s.lp_pivots as f64)),
                 ("lp_rows_avg", Json::Number(s.lp_rows_avg)),
                 ("lp_cols_avg", Json::Number(s.lp_cols_avg)),
                 ("lp_max_rows", Json::Number(s.lp_max.0 as f64)),
@@ -314,6 +315,8 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
     let stats = SynthesisStats {
         iterations: field("iterations")? as usize,
         lp_instances: field("lp_instances")? as usize,
+        // Absent in cache files written before the pivot counter existed.
+        lp_pivots: field("lp_pivots").unwrap_or(0.0) as usize,
         lp_rows_avg: field("lp_rows_avg")?,
         lp_cols_avg: field("lp_cols_avg")?,
         lp_max: (

@@ -14,7 +14,7 @@ use termite_num::{Int, Rational};
 /// let w = QVector::from_i64(&[4, 5, 6]);
 /// assert_eq!(v.dot(&w), Rational::from(32));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct QVector {
     entries: Vec<Rational>,
 }
@@ -104,6 +104,59 @@ impl QVector {
                 .map(|(a, b)| a + &(b * factor))
                 .collect(),
         }
+    }
+
+    /// Multiplies every entry by `factor`, in place (no row allocation —
+    /// the simplex pivot normalisation).
+    pub fn scale_in_place(&mut self, factor: &Rational) {
+        if factor.is_one() {
+            return;
+        }
+        for e in &mut self.entries {
+            if !e.is_zero() {
+                *e = &*e * factor;
+            }
+        }
+    }
+
+    /// Adds `factor * other` to this vector, in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn add_scaled_in_place(&mut self, other: &QVector, factor: &Rational) {
+        assert_eq!(self.dim(), other.dim());
+        if factor.is_zero() {
+            return;
+        }
+        for (a, b) in self.entries.iter_mut().zip(other.entries.iter()) {
+            if !b.is_zero() {
+                *a += &(b * factor);
+            }
+        }
+    }
+
+    /// Subtracts `factor * other` from this vector, in place (the simplex
+    /// row-elimination step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn sub_scaled_in_place(&mut self, other: &QVector, factor: &Rational) {
+        assert_eq!(self.dim(), other.dim());
+        if factor.is_zero() {
+            return;
+        }
+        for (a, b) in self.entries.iter_mut().zip(other.entries.iter()) {
+            if !b.is_zero() {
+                *a -= &(b * factor);
+            }
+        }
+    }
+
+    /// Appends an entry (tableau column growth in the incremental LP).
+    pub fn push(&mut self, value: Rational) {
+        self.entries.push(value);
     }
 
     /// Concatenates two vectors.
@@ -345,6 +398,24 @@ mod tests {
             let vb = QVector::from_i64(&b);
             let k = Rational::from(k);
             prop_assert_eq!(va.add_scaled(&vb, &k), &va + &vb.scale(&k));
+        }
+
+        /// The in-place row operations must agree with their allocating
+        /// counterparts entry for entry.
+        #[test]
+        fn prop_in_place_matches_allocating(a in prop::collection::vec(-50i64..50, 4), b in prop::collection::vec(-50i64..50, 4), k in -20i64..20, d in 1i64..10) {
+            let va = QVector::from_i64(&a);
+            let vb = QVector::from_i64(&b);
+            let k = Rational::from_ints(k, d);
+            let mut scaled = va.clone();
+            scaled.scale_in_place(&k);
+            prop_assert_eq!(&scaled, &va.scale(&k));
+            let mut added = va.clone();
+            added.add_scaled_in_place(&vb, &k);
+            prop_assert_eq!(&added, &va.add_scaled(&vb, &k));
+            let mut subbed = va.clone();
+            subbed.sub_scaled_in_place(&vb, &k);
+            prop_assert_eq!(&subbed, &va.add_scaled(&vb, &(-&k)));
         }
     }
 }

@@ -43,8 +43,10 @@
 //! }
 //! ```
 
+mod incremental;
 mod simplex;
 
+pub use incremental::IncrementalLp;
 pub use simplex::{
-    feasible_point, Constraint, LinearProgram, LpOutcome, LpSolution, Relation, VarId,
+    feasible_point, Constraint, Interrupt, LinearProgram, LpOutcome, LpSolution, Relation, VarId,
 };

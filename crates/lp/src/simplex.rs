@@ -2,8 +2,54 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 use termite_linalg::QVector;
 use termite_num::Rational;
+
+/// How often the pivot loop polls the [`Interrupt`]: every
+/// `INTERRUPT_POLL_PERIOD` pivots. Polling is an atomic load behind an `Arc`
+/// call, so the period only has to amortise the indirect call, not the check.
+pub(crate) const INTERRUPT_POLL_PERIOD: usize = 64;
+
+/// A cooperative interruption source polled inside the simplex pivot loop.
+///
+/// `termite-lp` sits below the crate that owns the cancellation tokens, so
+/// the coupling is a plain closure: the caller wraps whatever flag it wants
+/// observed (a portfolio cancel token, a deadline, a test hook) and the
+/// solver polls it every [`INTERRUPT_POLL_PERIOD`] pivots. An interrupted
+/// solve returns `None` — never a wrong answer.
+#[derive(Clone, Default)]
+pub struct Interrupt(Option<Arc<dyn Fn() -> bool + Send + Sync>>);
+
+impl Interrupt {
+    /// An interrupt that never fires (the default).
+    pub fn never() -> Self {
+        Interrupt(None)
+    }
+
+    /// Wraps a polling closure; the solver stops soon after it first returns
+    /// `true`.
+    pub fn new(poll: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        Interrupt(Some(Arc::new(poll)))
+    }
+
+    /// `true` once the underlying source requests interruption.
+    pub fn is_raised(&self) -> bool {
+        self.0.as_ref().is_some_and(|poll| poll())
+    }
+}
+
+impl fmt::Debug for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interrupt")
+            .field("armed", &self.0.is_some())
+            .finish()
+    }
+}
+
+/// Marker error: the solve was interrupted mid-pivot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Interrupted;
 
 /// Identifier of a decision variable in a [`LinearProgram`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -44,7 +90,7 @@ impl Constraint {
 
 /// Direction of optimization.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Direction {
+pub(crate) enum Direction {
     Maximize,
     Minimize,
 }
@@ -104,7 +150,7 @@ impl LpSolution {
 
 /// Bound type of a decision variable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum VarKind {
+pub(crate) enum VarKind {
     /// `x >= 0`
     NonNegative,
     /// unrestricted in sign (internally split into `x⁺ - x⁻`)
@@ -118,11 +164,11 @@ enum VarKind {
 /// [`LinearProgram::add_free_var`] declares a sign-unrestricted variable.
 #[derive(Clone, Debug)]
 pub struct LinearProgram {
-    names: Vec<String>,
-    kinds: Vec<VarKind>,
-    constraints: Vec<Constraint>,
-    objective: Vec<(VarId, Rational)>,
-    direction: Direction,
+    pub(crate) names: Vec<String>,
+    pub(crate) kinds: Vec<VarKind>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: Vec<(VarId, Rational)>,
+    pub(crate) direction: Direction,
 }
 
 impl Default for LinearProgram {
@@ -186,7 +232,16 @@ impl LinearProgram {
 
     /// Solves the program.
     pub fn solve(&self) -> LpSolution {
-        Tableau::build_and_solve(self)
+        self.solve_interruptible(&Interrupt::never())
+            .expect("an unarmed interrupt never fires")
+    }
+
+    /// Solves the program, polling `interrupt` every few pivots. Returns
+    /// `None` when the solve was interrupted (the partial tableau is
+    /// discarded: an interrupted solve never produces an answer).
+    pub fn solve_interruptible(&self, interrupt: &Interrupt) -> Option<LpSolution> {
+        let (mut t, plus_col, minus_col) = Tableau::build(self);
+        t.first_solve(self, &plus_col, &minus_col, interrupt).ok()
     }
 }
 
@@ -225,7 +280,7 @@ impl fmt::Display for LinearProgram {
 
 /// Internal column classification in the tableau.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ColKind {
+pub(crate) enum ColKind {
     /// positive part of user variable i
     Plus(usize),
     /// negative part of a free user variable i
@@ -236,20 +291,30 @@ enum ColKind {
     Artificial,
 }
 
-struct Tableau {
-    /// rows[i][j] for j < ncols are coefficients, rows[i][ncols] is the rhs.
-    rows: Vec<Vec<Rational>>,
+/// The simplex tableau in canonical form: every basic column is a unit
+/// column. Rows hold only the coefficient part; the right-hand sides live in
+/// a parallel vector so appending a column (incremental variable growth) is
+/// one push per row instead of an insert.
+pub(crate) struct Tableau {
+    /// Coefficient rows, `ncols` entries each.
+    pub(crate) rows: Vec<QVector>,
+    /// Right-hand side of each row.
+    pub(crate) rhs: Vec<Rational>,
     /// basis[i] = column basic in row i
-    basis: Vec<usize>,
-    ncols: usize,
-    col_kinds: Vec<ColKind>,
-    pivots: usize,
+    pub(crate) basis: Vec<usize>,
+    pub(crate) ncols: usize,
+    pub(crate) col_kinds: Vec<ColKind>,
+    /// Cumulative pivot count over the tableau's lifetime (a warm session
+    /// spans several solves; per-solve counts are deltas of this).
+    pub(crate) pivots: usize,
 }
 
 impl Tableau {
-    fn build_and_solve(lp: &LinearProgram) -> LpSolution {
+    /// Builds the initial tableau (artificial basis, nothing solved yet).
+    /// Also returns the user-variable → column maps needed to state
+    /// objectives and read assignments.
+    pub(crate) fn build(lp: &LinearProgram) -> (Tableau, Vec<usize>, Vec<Option<usize>>) {
         let user_cols = lp.num_vars();
-        let report_rows = lp.num_constraints();
 
         // Column layout: for every user variable a Plus column, and for free
         // variables additionally a Minus column; then slacks; then artificials.
@@ -284,15 +349,14 @@ impl Tableau {
                     coeffs[mc] -= k;
                 }
             }
-            let (relation, rhs) = (c.relation, c.rhs.clone());
-            let slack_sign = match relation {
+            let slack_sign = match c.relation {
                 Relation::Le => Some(Rational::one()),
                 Relation::Ge => Some(-Rational::one()),
                 Relation::Eq => None,
             };
             builds.push(RowBuild {
                 coeffs,
-                rhs,
+                rhs: c.rhs.clone(),
                 slack_sign,
             });
         }
@@ -313,59 +377,89 @@ impl Tableau {
         }
         let ncols = col_kinds.len();
 
-        let mut rows: Vec<Vec<Rational>> = Vec::with_capacity(m);
+        let mut rows: Vec<QVector> = Vec::with_capacity(m);
+        let mut rhs: Vec<Rational> = Vec::with_capacity(m);
         let mut basis: Vec<usize> = Vec::with_capacity(m);
         for (i, b) in builds.iter().enumerate() {
-            let mut row = vec![Rational::zero(); ncols + 1];
+            let mut row = vec![Rational::zero(); ncols];
             for (j, v) in b.coeffs.iter().enumerate() {
                 row[j] = v.clone();
             }
             if let (Some(sc), Some(sign)) = (slack_col_of_row[i], b.slack_sign.clone()) {
                 row[sc] = sign;
             }
-            row[ncols] = b.rhs.clone();
+            let mut r = b.rhs.clone();
             // Normalise to non-negative rhs.
-            if row[ncols].is_negative() {
+            if r.is_negative() {
                 for v in row.iter_mut() {
                     *v = -std::mem::replace(v, Rational::zero());
                 }
+                r = -r;
             }
             // Artificial basic variable for this row.
             let ac = art_col_start + i;
             row[ac] = Rational::one();
             basis.push(ac);
-            rows.push(row);
+            rows.push(QVector::from_vec(row));
+            rhs.push(r);
         }
 
-        let mut t = Tableau {
+        let t = Tableau {
             rows,
+            rhs,
             basis,
             ncols,
             col_kinds,
             pivots: 0,
         };
+        (t, plus_col, minus_col)
+    }
+
+    /// Two-phase solve from the freshly built artificial basis.
+    pub(crate) fn first_solve(
+        &mut self,
+        lp: &LinearProgram,
+        plus_col: &[usize],
+        minus_col: &[Option<usize>],
+        interrupt: &Interrupt,
+    ) -> Result<LpSolution, Interrupted> {
+        let pivots_before = self.pivots;
 
         // ---- Phase 1: maximize -(sum of artificials) ----
-        let mut phase1_obj = vec![Rational::zero(); ncols];
-        for (j, k) in t.col_kinds.iter().enumerate() {
+        let mut phase1_obj = vec![Rational::zero(); self.ncols];
+        for (j, k) in self.col_kinds.iter().enumerate() {
             if *k == ColKind::Artificial {
                 phase1_obj[j] = -Rational::one();
             }
         }
-        let (value1, _unb) = t.run_simplex(&phase1_obj);
+        let (value1, _unb) = self.run_simplex(&phase1_obj, interrupt)?;
         if value1.is_negative() {
-            return LpSolution {
+            return Ok(LpSolution {
                 outcome: LpOutcome::Infeasible,
-                pivots: t.pivots,
-                rows: report_rows,
-                cols: user_cols,
-            };
+                pivots: self.pivots - pivots_before,
+                rows: lp.num_constraints(),
+                cols: lp.num_vars(),
+            });
         }
         // Drive remaining artificials out of the basis (or drop redundant rows).
-        t.purge_artificials();
+        self.purge_artificials();
 
         // ---- Phase 2 ----
-        let mut phase2_obj = vec![Rational::zero(); t.ncols];
+        self.optimize(lp, plus_col, minus_col, interrupt, pivots_before)
+    }
+
+    /// Runs phase 2 (the real objective) from a primal-feasible basis and
+    /// extracts the solution. Shared by the one-shot and warm-started paths.
+    pub(crate) fn optimize(
+        &mut self,
+        lp: &LinearProgram,
+        plus_col: &[usize],
+        minus_col: &[Option<usize>],
+        interrupt: &Interrupt,
+        pivots_before: usize,
+    ) -> Result<LpSolution, Interrupted> {
+        let user_cols = lp.num_vars();
+        let mut phase2_obj = vec![Rational::zero(); self.ncols];
         let sign = match lp.direction {
             Direction::Maximize => Rational::one(),
             Direction::Minimize => -Rational::one(),
@@ -377,20 +471,20 @@ impl Tableau {
                 phase2_obj[mc] -= &(k * &sign);
             }
         }
-        let (value2, unbounded_col) = t.run_simplex(&phase2_obj);
+        let (value2, unbounded_col) = self.run_simplex(&phase2_obj, interrupt)?;
 
         if let Some(col) = unbounded_col {
             // Build the improving ray over user variables.
             let mut ray = vec![Rational::zero(); user_cols];
             let mut col_dir: HashMap<usize, Rational> = HashMap::new();
             col_dir.insert(col, Rational::one());
-            for (i, &b) in t.basis.iter().enumerate() {
-                let delta = -&t.rows[i][col];
+            for (i, &b) in self.basis.iter().enumerate() {
+                let delta = -&self.rows[i][col];
                 if !delta.is_zero() {
                     col_dir.insert(b, delta);
                 }
             }
-            for (j, k) in t.col_kinds.iter().enumerate() {
+            for (j, k) in self.col_kinds.iter().enumerate() {
                 let Some(d) = col_dir.get(&j) else { continue };
                 match k {
                     ColKind::Plus(i) => ray[*i] += d,
@@ -398,21 +492,21 @@ impl Tableau {
                     _ => {}
                 }
             }
-            return LpSolution {
+            return Ok(LpSolution {
                 outcome: LpOutcome::Unbounded { ray },
-                pivots: t.pivots,
-                rows: report_rows,
+                pivots: self.pivots - pivots_before,
+                rows: lp.num_constraints(),
                 cols: user_cols,
-            };
+            });
         }
 
         // Read the solution off the basis.
-        let mut col_values = vec![Rational::zero(); t.ncols];
-        for (i, &b) in t.basis.iter().enumerate() {
-            col_values[b] = t.rows[i][t.ncols].clone();
+        let mut col_values = vec![Rational::zero(); self.ncols];
+        for (i, &b) in self.basis.iter().enumerate() {
+            col_values[b] = self.rhs[i].clone();
         }
         let mut assignment = vec![Rational::zero(); user_cols];
-        for (j, k) in t.col_kinds.iter().enumerate() {
+        for (j, k) in self.col_kinds.iter().enumerate() {
             match k {
                 ColKind::Plus(i) => assignment[*i] += &col_values[j],
                 ColKind::Minus(i) => assignment[*i] -= &col_values[j],
@@ -423,47 +517,52 @@ impl Tableau {
             Direction::Maximize => value2,
             Direction::Minimize => -value2,
         };
-        LpSolution {
+        Ok(LpSolution {
             outcome: LpOutcome::Optimal {
                 objective,
                 assignment,
             },
-            pivots: t.pivots,
-            rows: report_rows,
+            pivots: self.pivots - pivots_before,
+            rows: lp.num_constraints(),
             cols: user_cols,
-        }
+        })
     }
 
     /// Runs the simplex method maximizing `obj` (given over original columns).
     /// Returns the optimal value and, if unbounded, the entering column that
     /// witnessed unboundedness.
-    fn run_simplex(&mut self, obj: &[Rational]) -> (Rational, Option<usize>) {
+    fn run_simplex(
+        &mut self,
+        obj: &[Rational],
+        interrupt: &Interrupt,
+    ) -> Result<(Rational, Option<usize>), Interrupted> {
         // Reduced cost row: start from obj and eliminate basic columns.
         let ncols = self.ncols;
-        let mut z = vec![Rational::zero(); ncols + 1];
-        z[..ncols].clone_from_slice(&obj[..ncols]);
+        let mut z = QVector::from_vec(obj.to_vec());
+        let mut z_rhs = Rational::zero();
         for (i, &b) in self.basis.iter().enumerate() {
-            if z[b].is_zero() {
+            let factor = z[b].clone();
+            if factor.is_zero() {
                 continue;
             }
-            let factor = z[b].clone();
-            for (zj, cell) in z.iter_mut().zip(self.rows[i].iter()) {
-                let delta = cell * &factor;
-                *zj -= &delta;
-            }
+            z.sub_scaled_in_place(&self.rows[i], &factor);
+            z_rhs -= &(&self.rhs[i] * &factor);
         }
         loop {
+            if self.pivots.is_multiple_of(INTERRUPT_POLL_PERIOD) && interrupt.is_raised() {
+                return Err(Interrupted);
+            }
             // Bland's rule: smallest-index column with positive reduced cost.
             let entering = (0..ncols).find(|&j| z[j].is_positive());
             let Some(col) = entering else {
-                // optimum: objective value = -z[rhs]
-                return (-z[ncols].clone(), None);
+                // optimum: objective value = -z_rhs
+                return Ok((-z_rhs, None));
             };
             // Ratio test.
             let mut best: Option<(Rational, usize, usize)> = None; // (ratio, basic var, row)
             for (i, row) in self.rows.iter().enumerate() {
                 if row[col].is_positive() {
-                    let ratio = &row[ncols] / &row[col];
+                    let ratio = &self.rhs[i] / &row[col];
                     let candidate = (ratio, self.basis[i], i);
                     best = match best {
                         None => Some(candidate),
@@ -479,38 +578,85 @@ impl Tableau {
                 }
             }
             let Some((_, _, pivot_row)) = best else {
-                return (Rational::zero(), Some(col));
+                return Ok((Rational::zero(), Some(col)));
             };
-            self.pivot(pivot_row, col, &mut z);
+            self.pivot(pivot_row, col, &mut z, &mut z_rhs);
         }
     }
 
-    fn pivot(&mut self, r: usize, c: usize, z: &mut [Rational]) {
-        self.pivots += 1;
-        let ncols = self.ncols;
-        let pivot = self.rows[r][c].clone();
-        let inv = pivot.recip();
-        for j in 0..=ncols {
-            let v = &self.rows[r][j] * &inv;
-            self.rows[r][j] = v;
+    /// Restores primal feasibility after rows with negative basic values were
+    /// appended (the warm-started re-optimization step): dual-simplex pivots
+    /// with a zero cost row, which every pivot trivially keeps dual-feasible,
+    /// with least-index (Bland-style) tie-breaking. Returns `false` when some
+    /// row is infeasible with no eligible pivot (the LP is infeasible).
+    ///
+    /// `max_pivots` bounds the work; exceeding it reports
+    /// [`FeasibilityOutcome::GaveUp`] so the caller can rebuild from scratch
+    /// (a belt-and-braces guard — least-index pivoting does not cycle).
+    pub(crate) fn restore_feasibility(
+        &mut self,
+        interrupt: &Interrupt,
+        max_pivots: usize,
+    ) -> Result<FeasibilityOutcome, Interrupted> {
+        let start = self.pivots;
+        let mut zero_z = QVector::zeros(self.ncols);
+        let mut zero_rhs = Rational::zero();
+        loop {
+            if self.pivots.is_multiple_of(INTERRUPT_POLL_PERIOD) && interrupt.is_raised() {
+                return Err(Interrupted);
+            }
+            if self.pivots - start > max_pivots {
+                return Ok(FeasibilityOutcome::GaveUp);
+            }
+            // Leaving row: smallest basic-variable index among infeasible rows.
+            let leaving = self
+                .rhs
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| r.is_negative())
+                .map(|(i, _)| (self.basis[i], i))
+                .min();
+            let Some((_, row)) = leaving else {
+                return Ok(FeasibilityOutcome::Feasible);
+            };
+            // Entering column: smallest index with a negative coefficient in
+            // the leaving row (zero cost row makes every such ratio equal).
+            let entering = (0..self.ncols).find(|&j| self.rows[row][j].is_negative());
+            let Some(col) = entering else {
+                return Ok(FeasibilityOutcome::Infeasible);
+            };
+            self.pivot(row, col, &mut zero_z, &mut zero_rhs);
         }
-        for i in 0..self.rows.len() {
-            if i == r || self.rows[i][c].is_zero() {
+    }
+
+    /// One pivot: normalise row `r` so column `c` becomes 1, eliminate `c`
+    /// from every other row and from the reduced-cost row — all in place, no
+    /// row allocation.
+    pub(crate) fn pivot(&mut self, r: usize, c: usize, z: &mut QVector, z_rhs: &mut Rational) {
+        self.pivots += 1;
+        let inv = self.rows[r][c].recip();
+        let mut prow = std::mem::take(&mut self.rows[r]);
+        let mut prhs = std::mem::take(&mut self.rhs[r]);
+        prow.scale_in_place(&inv);
+        prhs = &prhs * &inv;
+        for (row, rhs) in self.rows.iter_mut().zip(self.rhs.iter_mut()) {
+            if row.dim() == 0 {
+                continue; // the taken-out pivot row itself
+            }
+            let factor = row[c].clone();
+            if factor.is_zero() {
                 continue;
             }
-            let factor = self.rows[i][c].clone();
-            for j in 0..=ncols {
-                let delta = &self.rows[r][j] * &factor;
-                self.rows[i][j] -= &delta;
-            }
+            row.sub_scaled_in_place(&prow, &factor);
+            *rhs -= &(&prhs * &factor);
         }
-        if !z[c].is_zero() {
-            let factor = z[c].clone();
-            for (zj, cell) in z.iter_mut().zip(self.rows[r].iter()) {
-                let delta = cell * &factor;
-                *zj -= &delta;
-            }
+        let zf = z[c].clone();
+        if !zf.is_zero() {
+            z.sub_scaled_in_place(&prow, &zf);
+            *z_rhs -= &(&prhs * &zf);
         }
+        self.rows[r] = prow;
+        self.rhs[r] = prhs;
         self.basis[r] = c;
     }
 
@@ -518,7 +664,8 @@ impl Tableau {
     /// possible and drop rows that became identically zero.
     fn purge_artificials(&mut self) {
         let ncols = self.ncols;
-        let mut dummy = vec![Rational::zero(); ncols + 1];
+        let mut dummy = QVector::zeros(ncols);
+        let mut dummy_rhs = Rational::zero();
         let mut i = 0;
         while i < self.rows.len() {
             if self.col_kinds[self.basis[i]] == ColKind::Artificial {
@@ -528,12 +675,13 @@ impl Tableau {
                 });
                 match cand {
                     Some(c) => {
-                        self.pivot(i, c, &mut dummy);
+                        self.pivot(i, c, &mut dummy, &mut dummy_rhs);
                         i += 1;
                     }
                     None => {
                         // Redundant row (all structural coefficients zero).
                         self.rows.remove(i);
+                        self.rhs.remove(i);
                         self.basis.remove(i);
                     }
                 }
@@ -544,12 +692,23 @@ impl Tableau {
         // Forbid artificial columns from ever entering again by zeroing them.
         for row in &mut self.rows {
             for (j, k) in self.col_kinds.iter().enumerate() {
-                if *k == ColKind::Artificial {
+                if *k == ColKind::Artificial && !row[j].is_zero() {
                     row[j] = Rational::zero();
                 }
             }
         }
     }
+}
+
+/// Result of [`Tableau::restore_feasibility`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum FeasibilityOutcome {
+    /// All right-hand sides are non-negative again.
+    Feasible,
+    /// Some row cannot be made feasible: the LP is infeasible.
+    Infeasible,
+    /// Pivot budget exhausted; rebuild from scratch.
+    GaveUp,
 }
 
 /// Convenience helper: checks whether the system `A x <= b` (rows given as
@@ -578,6 +737,7 @@ pub fn feasible_point(rows: &[(QVector, Rational)], dim: usize) -> Option<QVecto
 mod tests {
     use super::*;
     use proptest::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn q(n: i64) -> Rational {
         Rational::from(n)
@@ -741,6 +901,38 @@ mod tests {
             (QVector::from_i64(&[-1]), q(-2)),
         ];
         assert!(feasible_point(&rows_empty, 1).is_none());
+    }
+
+    #[test]
+    fn raised_interrupt_stops_the_solve() {
+        let mut lp = LinearProgram::new();
+        let vars: Vec<VarId> = (0..6).map(|i| lp.add_var(format!("x{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            lp.add_constraint(Constraint::new(vec![(v, q(1))], Relation::Le, q(i as i64)));
+        }
+        lp.maximize(vars.iter().map(|&v| (v, q(1))).collect());
+        // Already-raised interrupt: polled before the first pivot.
+        assert!(lp.solve_interruptible(&Interrupt::new(|| true)).is_none());
+        // Unarmed interrupt: solves normally.
+        let sol = lp.solve_interruptible(&Interrupt::never()).unwrap();
+        assert_eq!(sol.objective(), Some(&q(15)));
+    }
+
+    #[test]
+    fn interrupt_polls_the_closure() {
+        let polls = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen = polls.clone();
+        let interrupt = Interrupt::new(move || {
+            seen.fetch_add(1, Ordering::Relaxed);
+            false
+        });
+        let mut lp = LinearProgram::new();
+        let x = lp.add_var("x");
+        lp.add_constraint(Constraint::new(vec![(x, q(1))], Relation::Le, q(7)));
+        lp.maximize(vec![(x, q(1))]);
+        let sol = lp.solve_interruptible(&interrupt).unwrap();
+        assert_eq!(sol.objective(), Some(&q(7)));
+        assert!(polls.load(Ordering::Relaxed) > 0, "closure must be polled");
     }
 
     proptest! {

@@ -1,10 +1,17 @@
-//! Arbitrary-precision signed integers.
+//! Arbitrary-precision signed integers with an inline small-value fast path.
 //!
-//! Representation: sign (-1, 0, +1) plus a little-endian vector of 64-bit
-//! limbs, kept normalised (no trailing zero limbs; empty magnitude iff the
-//! number is zero). Algorithms are deliberately simple (schoolbook
-//! multiplication, bitwise shift–subtract division): coefficient growth in
-//! termination analysis stays modest, and simplicity buys confidence.
+//! Representation: a tagged enum. Values fitting an `i64` live inline as
+//! [`Repr::Small`] — no heap allocation, machine arithmetic with
+//! overflow-checked promotion. Everything else spills over to [`Repr::Big`]:
+//! sign (-1, 0, +1) plus a little-endian vector of 64-bit limbs, kept
+//! normalised (no trailing zero limbs). The representation is canonical:
+//! a value is `Big` **iff** it does not fit an `i64`, so derived equality and
+//! hashing stay structural.
+//!
+//! Big-number algorithms are deliberately simple (schoolbook multiplication,
+//! bitwise shift–subtract division): coefficient growth in termination
+//! analysis stays modest, and almost all arithmetic takes the small path
+//! anyway — simplicity buys confidence where it costs nothing.
 
 use std::cmp::Ordering;
 use std::fmt;
@@ -23,93 +30,187 @@ use std::str::FromStr;
 /// ```
 #[derive(Clone, Debug)]
 pub struct Int {
-    /// -1, 0 or +1. Zero iff `mag` is empty.
-    sign: i8,
-    /// Little-endian 64-bit limbs, no trailing zeros.
-    mag: Vec<u64>,
+    repr: Repr,
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
+    /// Inline value; used for every integer in `[i64::MIN, i64::MAX]`.
+    Small(i64),
+    /// Spill-over representation, only for values outside the `i64` range.
+    Big {
+        /// -1 or +1 (zero is always `Small(0)`).
+        sign: i8,
+        /// Little-endian 64-bit limbs, no trailing zeros.
+        mag: Vec<u64>,
+    },
 }
 
 impl Int {
     /// The integer 0.
-    pub fn zero() -> Self {
+    pub const fn zero() -> Self {
         Int {
-            sign: 0,
-            mag: Vec::new(),
+            repr: Repr::Small(0),
         }
     }
 
     /// The integer 1.
-    pub fn one() -> Self {
-        Int::from(1i64)
+    pub const fn one() -> Self {
+        Int {
+            repr: Repr::Small(1),
+        }
     }
 
     /// The integer -1.
-    pub fn minus_one() -> Self {
-        Int::from(-1i64)
+    pub const fn minus_one() -> Self {
+        Int {
+            repr: Repr::Small(-1),
+        }
     }
 
     /// Returns `true` if this integer is zero.
     pub fn is_zero(&self) -> bool {
-        self.sign == 0
+        matches!(self.repr, Repr::Small(0))
     }
 
     /// Returns `true` if this integer is one.
     pub fn is_one(&self) -> bool {
-        self.sign == 1 && self.mag.len() == 1 && self.mag[0] == 1
+        matches!(self.repr, Repr::Small(1))
     }
 
     /// Returns `true` if this integer is strictly positive.
     pub fn is_positive(&self) -> bool {
-        self.sign > 0
+        match &self.repr {
+            Repr::Small(v) => *v > 0,
+            Repr::Big { sign, .. } => *sign > 0,
+        }
     }
 
     /// Returns `true` if this integer is strictly negative.
     pub fn is_negative(&self) -> bool {
-        self.sign < 0
+        match &self.repr {
+            Repr::Small(v) => *v < 0,
+            Repr::Big { sign, .. } => *sign < 0,
+        }
     }
 
     /// Sign of the integer: -1, 0 or +1.
     pub fn signum(&self) -> i32 {
-        self.sign as i32
+        match &self.repr {
+            Repr::Small(v) => v.signum() as i32,
+            Repr::Big { sign, .. } => *sign as i32,
+        }
+    }
+
+    /// `true` when the value is stored inline (fits an `i64`), `false` when
+    /// it spilled over to the heap representation. Representation
+    /// introspection for tests and benches; the two forms are otherwise
+    /// indistinguishable.
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Small(_))
     }
 
     /// Absolute value.
     pub fn abs(&self) -> Int {
+        match &self.repr {
+            Repr::Small(v) => Int::from_i128_value((*v as i128).abs()),
+            Repr::Big { mag, .. } => Int {
+                repr: Repr::Big {
+                    sign: 1,
+                    mag: mag.clone(),
+                },
+            },
+        }
+    }
+
+    /// Canonicalising constructor: trims trailing zero limbs and demotes to
+    /// the inline representation whenever the value fits an `i64`.
+    fn from_mag(sign: i8, mut mag: Vec<u64>) -> Int {
+        while let Some(&0) = mag.last() {
+            mag.pop();
+        }
+        match mag.len() {
+            0 => Int::zero(),
+            1 => {
+                let m = mag[0];
+                if sign >= 0 {
+                    if m <= i64::MAX as u64 {
+                        return Int {
+                            repr: Repr::Small(m as i64),
+                        };
+                    }
+                } else if m <= i64::MAX as u64 + 1 {
+                    return Int {
+                        repr: Repr::Small((m as i128).wrapping_neg() as i64),
+                    };
+                }
+                Int {
+                    repr: Repr::Big {
+                        sign: if sign >= 0 { 1 } else { -1 },
+                        mag,
+                    },
+                }
+            }
+            _ => Int {
+                repr: Repr::Big {
+                    sign: if sign >= 0 { 1 } else { -1 },
+                    mag,
+                },
+            },
+        }
+    }
+
+    /// Constructor from an `i128` intermediate (the overflow-checked
+    /// promotion path of small×small arithmetic).
+    fn from_i128_value(v: i128) -> Int {
+        if let Ok(small) = i64::try_from(v) {
+            return Int {
+                repr: Repr::Small(small),
+            };
+        }
+        let sign: i8 = if v > 0 { 1 } else { -1 };
+        let m = v.unsigned_abs();
+        let lo = m as u64;
+        let hi = (m >> 64) as u64;
+        let mag = if hi == 0 { vec![lo] } else { vec![lo, hi] };
         Int {
-            sign: if self.sign == 0 { 0 } else { 1 },
-            mag: self.mag.clone(),
+            repr: Repr::Big { sign, mag },
         }
     }
 
-    fn from_mag(sign: i8, mag: Vec<u64>) -> Int {
-        let mut v = Int { sign, mag };
-        v.normalize();
-        v
-    }
-
-    fn normalize(&mut self) {
-        while let Some(&0) = self.mag.last() {
-            self.mag.pop();
-        }
-        if self.mag.is_empty() {
-            self.sign = 0;
-        } else if self.sign == 0 {
-            self.sign = 1;
+    /// Sign and magnitude limbs, using `buf` as scratch for inline values.
+    /// The returned slice is empty iff the value is zero.
+    fn sign_mag<'a>(&'a self, buf: &'a mut [u64; 1]) -> (i8, &'a [u64]) {
+        match &self.repr {
+            Repr::Small(0) => (0, &[]),
+            Repr::Small(v) => {
+                buf[0] = v.unsigned_abs();
+                (if *v > 0 { 1 } else { -1 }, &buf[..])
+            }
+            Repr::Big { sign, mag } => (*sign, mag),
         }
     }
 
     /// Number of bits in the magnitude (0 for zero).
     pub fn bit_length(&self) -> usize {
-        match self.mag.last() {
-            None => 0,
-            Some(&top) => (self.mag.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        match &self.repr {
+            Repr::Small(0) => 0,
+            Repr::Small(v) => 64 - v.unsigned_abs().leading_zeros() as usize,
+            Repr::Big { mag, .. } => Int::mag_bits(mag),
         }
     }
 
-    fn mag_bit(&self, i: usize) -> bool {
+    fn mag_bit(mag: &[u64], i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        limb < self.mag.len() && (self.mag[limb] >> off) & 1 == 1
+        limb < mag.len() && (mag[limb] >> off) & 1 == 1
+    }
+
+    fn mag_bits(mag: &[u64]) -> usize {
+        match mag.last() {
+            None => 0,
+            Some(&top) => (mag.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
     }
 
     fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
@@ -233,23 +334,13 @@ impl Int {
             };
             return (q, r);
         }
-        let n_bits = {
-            let tmp = Int {
-                sign: 1,
-                mag: a.to_vec(),
-            };
-            tmp.bit_length()
-        };
+        let n_bits = Int::mag_bits(a);
         let mut quotient = vec![0u64; a.len()];
         let mut rem: Vec<u64> = Vec::new();
-        let a_int = Int {
-            sign: 1,
-            mag: a.to_vec(),
-        };
         for i in (0..n_bits).rev() {
             // rem = rem * 2 + bit_i(a)
             rem = Int::mag_shl_bits(&rem, 1);
-            if a_int.mag_bit(i) {
+            if Int::mag_bit(a, i) {
                 if rem.is_empty() {
                     rem.push(1);
                 } else {
@@ -278,17 +369,23 @@ impl Int {
     /// Panics if `other` is zero.
     pub fn div_rem(&self, other: &Int) -> (Int, Int) {
         assert!(!other.is_zero(), "division by zero");
+        // Small / small: machine division; the only overflow, i64::MIN / -1,
+        // is absorbed by the i128 intermediate.
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            let (a, b) = (*a as i128, *b as i128);
+            return (Int::from_i128_value(a / b), Int::from_i128_value(a % b));
+        }
         if self.is_zero() {
             return (Int::zero(), Int::zero());
         }
-        let (qm, rm) = Int::mag_divrem(&self.mag, &other.mag);
-        let q_sign = if qm.is_empty() {
-            0
-        } else {
-            self.sign * other.sign
-        };
-        let r_sign = if rm.is_empty() { 0 } else { self.sign };
-        (Int::from_mag(q_sign, qm), Int::from_mag(r_sign, rm))
+        let (mut abuf, mut bbuf) = ([0u64; 1], [0u64; 1]);
+        let (a_sign, a_mag) = self.sign_mag(&mut abuf);
+        let (b_sign, b_mag) = other.sign_mag(&mut bbuf);
+        let (qm, rm) = Int::mag_divrem(a_mag, b_mag);
+        (
+            Int::from_mag(a_sign * b_sign, qm),
+            Int::from_mag(a_sign, rm),
+        )
     }
 
     /// Euclidean division: quotient rounded towards negative infinity.
@@ -331,61 +428,58 @@ impl Int {
         acc
     }
 
-    /// Convert to `i64` if it fits.
+    /// Convert to `i64` if it fits. O(1): inline values *are* `i64`s, and the
+    /// heap representation never holds a value that fits.
     pub fn to_i64(&self) -> Option<i64> {
-        if self.mag.len() > 1 {
-            return None;
-        }
-        if self.mag.is_empty() {
-            return Some(0);
-        }
-        let m = self.mag[0];
-        if self.sign > 0 {
-            if m <= i64::MAX as u64 {
-                Some(m as i64)
-            } else {
-                None
-            }
-        } else if m <= i64::MAX as u64 + 1 {
-            Some(-(m as i128) as i64)
-        } else {
-            None
+        match &self.repr {
+            Repr::Small(v) => Some(*v),
+            Repr::Big { .. } => None,
         }
     }
 
     /// Convert to `i128` if it fits.
     pub fn to_i128(&self) -> Option<i128> {
-        if self.mag.len() > 2 {
-            return None;
-        }
-        let mut m: u128 = 0;
-        for (i, &limb) in self.mag.iter().enumerate() {
-            m |= (limb as u128) << (64 * i);
-        }
-        if self.sign >= 0 {
-            if m <= i128::MAX as u128 {
-                Some(m as i128)
-            } else {
-                None
+        match &self.repr {
+            Repr::Small(v) => Some(*v as i128),
+            Repr::Big { sign, mag } => {
+                if mag.len() > 2 {
+                    return None;
+                }
+                let mut m: u128 = 0;
+                for (i, &limb) in mag.iter().enumerate() {
+                    m |= (limb as u128) << (64 * i);
+                }
+                if *sign >= 0 {
+                    if m <= i128::MAX as u128 {
+                        Some(m as i128)
+                    } else {
+                        None
+                    }
+                } else if m <= i128::MAX as u128 + 1 {
+                    Some((m as i128).wrapping_neg())
+                } else {
+                    None
+                }
             }
-        } else if m <= i128::MAX as u128 + 1 {
-            Some((m as i128).wrapping_neg())
-        } else {
-            None
         }
     }
 
     /// Approximate conversion to `f64` (used only for reporting, never for
     /// decisions).
     pub fn to_f64(&self) -> f64 {
-        let mut acc = 0.0f64;
-        for &limb in self.mag.iter().rev() {
-            acc = acc * 2f64.powi(64) + limb as f64;
-        }
-        if self.sign < 0 {
-            -acc
-        } else {
-            acc
+        match &self.repr {
+            Repr::Small(v) => *v as f64,
+            Repr::Big { sign, mag } => {
+                let mut acc = 0.0f64;
+                for &limb in mag.iter().rev() {
+                    acc = acc * 2f64.powi(64) + limb as f64;
+                }
+                if *sign < 0 {
+                    -acc
+                } else {
+                    acc
+                }
+            }
         }
     }
 }
@@ -398,16 +492,8 @@ impl Default for Int {
 
 impl From<i64> for Int {
     fn from(v: i64) -> Self {
-        match v.cmp(&0) {
-            Ordering::Equal => Int::zero(),
-            Ordering::Greater => Int {
-                sign: 1,
-                mag: vec![v as u64],
-            },
-            Ordering::Less => Int {
-                sign: -1,
-                mag: vec![(v as i128).unsigned_abs() as u64],
-            },
+        Int {
+            repr: Repr::Small(v),
         }
     }
 }
@@ -420,14 +506,7 @@ impl From<i32> for Int {
 
 impl From<u64> for Int {
     fn from(v: u64) -> Self {
-        if v == 0 {
-            Int::zero()
-        } else {
-            Int {
-                sign: 1,
-                mag: vec![v],
-            }
-        }
+        Int::from_i128_value(v as i128)
     }
 }
 
@@ -439,29 +518,35 @@ impl From<usize> for Int {
 
 impl From<i128> for Int {
     fn from(v: i128) -> Self {
-        if v == 0 {
-            return Int::zero();
-        }
-        let sign: i8 = if v > 0 { 1 } else { -1 };
-        let m = v.unsigned_abs();
-        let lo = m as u64;
-        let hi = (m >> 64) as u64;
-        let mag = if hi == 0 { vec![lo] } else { vec![lo, hi] };
-        Int { sign, mag }
+        Int::from_i128_value(v)
     }
 }
 
+/// Canonical representation makes structural equality correct: a value is
+/// heap-allocated iff it does not fit inline, so equal values always share a
+/// representation shape.
 impl PartialEq for Int {
     fn eq(&self, other: &Self) -> bool {
-        self.sign == other.sign && self.mag == other.mag
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a == b,
+            (Repr::Big { sign: s1, mag: m1 }, Repr::Big { sign: s2, mag: m2 }) => {
+                s1 == s2 && m1 == m2
+            }
+            _ => false,
+        }
     }
 }
 impl Eq for Int {}
 
 impl Hash for Int {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        self.sign.hash(state);
-        self.mag.hash(state);
+        // Hash sign + magnitude limbs identically for both representations
+        // (inline values never coexist with an equal heap value, but keeping
+        // the scheme uniform is free and removes a class of mistakes).
+        let mut buf = [0u64; 1];
+        let (sign, mag) = self.sign_mag(&mut buf);
+        sign.hash(state);
+        mag.hash(state);
     }
 }
 
@@ -473,15 +558,36 @@ impl PartialOrd for Int {
 
 impl Ord for Int {
     fn cmp(&self, other: &Self) -> Ordering {
-        match self.sign.cmp(&other.sign) {
-            Ordering::Equal => {}
-            ord => return ord,
-        }
-        let mag_ord = Int::mag_cmp(&self.mag, &other.mag);
-        if self.sign < 0 {
-            mag_ord.reverse()
-        } else {
-            mag_ord
+        match (&self.repr, &other.repr) {
+            (Repr::Small(a), Repr::Small(b)) => a.cmp(b),
+            // A heap value is outside the i64 range by the canonical-form
+            // invariant, so its sign alone decides against any inline value.
+            (Repr::Big { sign, .. }, Repr::Small(_)) => {
+                if *sign > 0 {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                }
+            }
+            (Repr::Small(_), Repr::Big { sign, .. }) => {
+                if *sign > 0 {
+                    Ordering::Less
+                } else {
+                    Ordering::Greater
+                }
+            }
+            (Repr::Big { sign: s1, mag: m1 }, Repr::Big { sign: s2, mag: m2 }) => {
+                match s1.cmp(s2) {
+                    Ordering::Equal => {}
+                    ord => return ord,
+                }
+                let mag_ord = Int::mag_cmp(m1, m2);
+                if *s1 < 0 {
+                    mag_ord.reverse()
+                } else {
+                    mag_ord
+                }
+            }
         }
     }
 }
@@ -489,9 +595,9 @@ impl Ord for Int {
 impl Neg for Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int {
-            sign: -self.sign,
-            mag: self.mag,
+        match self.repr {
+            Repr::Small(v) => Int::from_i128_value(-(v as i128)),
+            Repr::Big { sign, mag } => Int::from_mag(-sign, mag),
         }
     }
 }
@@ -499,29 +605,33 @@ impl Neg for Int {
 impl Neg for &Int {
     type Output = Int;
     fn neg(self) -> Int {
-        Int {
-            sign: -self.sign,
-            mag: self.mag.clone(),
-        }
+        self.clone().neg()
     }
 }
 
 impl Add for &Int {
     type Output = Int;
     fn add(self, other: &Int) -> Int {
-        if self.is_zero() {
+        // Small + small never overflows the i128 intermediate.
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return Int::from_i128_value(*a as i128 + *b as i128);
+        }
+        let (mut abuf, mut bbuf) = ([0u64; 1], [0u64; 1]);
+        let (a_sign, a_mag) = self.sign_mag(&mut abuf);
+        let (b_sign, b_mag) = other.sign_mag(&mut bbuf);
+        if a_sign == 0 {
             return other.clone();
         }
-        if other.is_zero() {
+        if b_sign == 0 {
             return self.clone();
         }
-        if self.sign == other.sign {
-            Int::from_mag(self.sign, Int::mag_add(&self.mag, &other.mag))
+        if a_sign == b_sign {
+            Int::from_mag(a_sign, Int::mag_add(a_mag, b_mag))
         } else {
-            match Int::mag_cmp(&self.mag, &other.mag) {
+            match Int::mag_cmp(a_mag, b_mag) {
                 Ordering::Equal => Int::zero(),
-                Ordering::Greater => Int::from_mag(self.sign, Int::mag_sub(&self.mag, &other.mag)),
-                Ordering::Less => Int::from_mag(other.sign, Int::mag_sub(&other.mag, &self.mag)),
+                Ordering::Greater => Int::from_mag(a_sign, Int::mag_sub(a_mag, b_mag)),
+                Ordering::Less => Int::from_mag(b_sign, Int::mag_sub(b_mag, a_mag)),
             }
         }
     }
@@ -530,6 +640,9 @@ impl Add for &Int {
 impl Sub for &Int {
     type Output = Int;
     fn sub(self, other: &Int) -> Int {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return Int::from_i128_value(*a as i128 - *b as i128);
+        }
         self + &(-other)
     }
 }
@@ -537,10 +650,17 @@ impl Sub for &Int {
 impl Mul for &Int {
     type Output = Int;
     fn mul(self, other: &Int) -> Int {
+        // Small × small always fits the i128 intermediate.
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            return Int::from_i128_value(*a as i128 * *b as i128);
+        }
         if self.is_zero() || other.is_zero() {
             return Int::zero();
         }
-        Int::from_mag(self.sign * other.sign, Int::mag_mul(&self.mag, &other.mag))
+        let (mut abuf, mut bbuf) = ([0u64; 1], [0u64; 1]);
+        let (a_sign, a_mag) = self.sign_mag(&mut abuf);
+        let (b_sign, b_mag) = other.sign_mag(&mut bbuf);
+        Int::from_mag(a_sign * b_sign, Int::mag_mul(a_mag, b_mag))
     }
 }
 
@@ -589,55 +709,75 @@ forward_owned_binop!(Rem, rem);
 
 impl AddAssign<&Int> for Int {
     fn add_assign(&mut self, other: &Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(s) = a.checked_add(*b) {
+                self.repr = Repr::Small(s);
+                return;
+            }
+        }
         *self = &*self + other;
     }
 }
 impl AddAssign for Int {
     fn add_assign(&mut self, other: Int) {
-        *self = &*self + &other;
+        *self += &other;
     }
 }
 impl SubAssign<&Int> for Int {
     fn sub_assign(&mut self, other: &Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(d) = a.checked_sub(*b) {
+                self.repr = Repr::Small(d);
+                return;
+            }
+        }
         *self = &*self - other;
     }
 }
 impl SubAssign for Int {
     fn sub_assign(&mut self, other: Int) {
-        *self = &*self - &other;
+        *self -= &other;
     }
 }
 impl MulAssign<&Int> for Int {
     fn mul_assign(&mut self, other: &Int) {
+        if let (Repr::Small(a), Repr::Small(b)) = (&self.repr, &other.repr) {
+            if let Some(p) = a.checked_mul(*b) {
+                self.repr = Repr::Small(p);
+                return;
+            }
+        }
         *self = &*self * other;
     }
 }
 impl MulAssign for Int {
     fn mul_assign(&mut self, other: Int) {
-        *self = &*self * &other;
+        *self *= &other;
     }
 }
 
 impl fmt::Display for Int {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_zero() {
-            return write!(f, "0");
+        match &self.repr {
+            Repr::Small(v) => write!(f, "{v}"),
+            Repr::Big { .. } => {
+                let mut digits = Vec::new();
+                let ten = Int::from(10i64);
+                let mut cur = self.abs();
+                while !cur.is_zero() {
+                    let (q, r) = cur.div_rem(&ten);
+                    digits.push(std::char::from_digit(r.to_i64().unwrap() as u32, 10).unwrap());
+                    cur = q;
+                }
+                if self.is_negative() {
+                    write!(f, "-")?;
+                }
+                for d in digits.iter().rev() {
+                    write!(f, "{d}")?;
+                }
+                Ok(())
+            }
         }
-        let mut digits = Vec::new();
-        let ten = Int::from(10i64);
-        let mut cur = self.abs();
-        while !cur.is_zero() {
-            let (q, r) = cur.div_rem(&ten);
-            digits.push(std::char::from_digit(r.to_i64().unwrap() as u32, 10).unwrap());
-            cur = q;
-        }
-        if self.sign < 0 {
-            write!(f, "-")?;
-        }
-        for d in digits.iter().rev() {
-            write!(f, "{d}")?;
-        }
-        Ok(())
     }
 }
 
@@ -768,6 +908,56 @@ mod tests {
         assert_eq!(Int::from(i128::MAX).to_i128(), Some(i128::MAX));
     }
 
+    #[test]
+    fn representation_is_canonical_at_the_i64_boundary() {
+        // Everything inside [i64::MIN, i64::MAX] is inline...
+        assert!(Int::from(0).is_inline());
+        assert!(Int::from(i64::MAX).is_inline());
+        assert!(Int::from(i64::MIN).is_inline());
+        // ... the first value past either end spills over ...
+        let past_max = Int::from(i64::MAX) + Int::one();
+        let past_min = Int::from(i64::MIN) - Int::one();
+        assert!(!past_max.is_inline());
+        assert!(!past_min.is_inline());
+        // ... and arithmetic that comes back in range demotes again.
+        assert!((&past_max - &Int::one()).is_inline());
+        assert!((&past_min + &Int::one()).is_inline());
+        assert_eq!(&past_max - &Int::one(), Int::from(i64::MAX));
+        assert_eq!(&past_min + &Int::one(), Int::from(i64::MIN));
+        // Negation promotes/demotes across the asymmetric boundary.
+        let neg_min = -Int::from(i64::MIN);
+        assert!(!neg_min.is_inline());
+        assert_eq!(-neg_min, Int::from(i64::MIN));
+        // u64 values above i64::MAX spill over.
+        assert!(!Int::from(u64::MAX).is_inline());
+        assert_eq!(Int::from(u64::MAX).to_string(), u64::MAX.to_string());
+    }
+
+    #[test]
+    fn inline_and_spilled_values_mix_in_arithmetic() {
+        let big: Int = "340282366920938463463374607431768211456".parse().unwrap(); // 2^128
+        let small = Int::from(7);
+        assert_eq!(&(&big + &small) - &big, small);
+        assert_eq!(&(&big * &small) / &big, small);
+        assert_eq!(&(&big * &small) % &big, Int::zero());
+        assert_eq!((&big - &big), Int::zero());
+        assert!((&big / &small).to_i64().is_none());
+        assert!(!(&big + &small).is_inline());
+        assert!((&small + &small).is_inline());
+    }
+
+    #[test]
+    fn hash_matches_equality_across_boundary_roundtrip() {
+        use std::collections::HashSet;
+        // x promoted to Big and demoted back must hash like the inline value.
+        let huge = Int::from(i64::MAX) * Int::from(i64::MAX);
+        let roundtrip = &(&Int::from(42) + &huge) - &huge;
+        assert!(roundtrip.is_inline());
+        let mut set = HashSet::new();
+        set.insert(Int::from(42));
+        assert!(set.contains(&roundtrip));
+    }
+
     proptest! {
         #[test]
         fn prop_add_commutative(a in any::<i64>(), b in any::<i64>()) {
@@ -807,6 +997,50 @@ mod tests {
         #[test]
         fn prop_ordering_matches(a in any::<i64>(), b in any::<i64>()) {
             prop_assert_eq!(Int::from(a).cmp(&Int::from(b)), a.cmp(&b));
+        }
+
+        /// Small/big representation equivalence: the same arithmetic done on
+        /// inline values and on the same values forced through the spill-over
+        /// representation must agree for every operator.
+        #[test]
+        fn prop_small_big_equivalence(a in any::<i64>(), b in any::<i64>().prop_filter("nonzero", |v| *v != 0)) {
+            // Scaling by 2^192 pushes any non-zero i64 into the Big
+            // representation; every operator must then agree with the small
+            // path on the unscaled operands (exact-scaling identities).
+            let shift: Int = Int::from(2).pow(192);
+            let (ia, ib) = (Int::from(a), Int::from(b));
+            let (ba, bb) = (&ia * &shift, &ib * &shift);
+            prop_assert_eq!(ba.is_inline(), a == 0);
+            prop_assert!(!bb.is_inline());
+            prop_assert_eq!(&ba + &bb, &(&ia + &ib) * &shift);
+            prop_assert_eq!(&ba - &bb, &(&ia - &ib) * &shift);
+            prop_assert_eq!(&ba * &ib, &(&ia * &ib) * &shift);
+            prop_assert_eq!(&ba / &bb, &ia / &ib);
+            prop_assert_eq!(&ba % &bb, &(&ia % &ib) * &shift);
+            prop_assert_eq!(ba.cmp(&bb), ia.cmp(&ib));
+            // The demotion round trip: promoted values come back inline.
+            prop_assert_eq!(&ba / &shift, ia);
+            prop_assert!((&ba / &shift).is_inline());
+        }
+
+        /// Promotion boundary: ops crossing i64::MAX/i64::MIN spill over with
+        /// the exact mathematical value (checked against i128 arithmetic).
+        #[test]
+        fn prop_promotion_at_i64_boundary(delta in 0i64..1000, sub in any::<bool>()) {
+            let base = if sub { i64::MIN } else { i64::MAX };
+            let expected = if sub {
+                base as i128 - delta as i128
+            } else {
+                base as i128 + delta as i128
+            };
+            let got = if sub {
+                &Int::from(base) - &Int::from(delta)
+            } else {
+                &Int::from(base) + &Int::from(delta)
+            };
+            prop_assert_eq!(&got, &Int::from(expected));
+            prop_assert_eq!(got.is_inline(), delta == 0);
+            prop_assert_eq!(got.to_i128(), Some(expected));
         }
     }
 }

@@ -46,6 +46,9 @@ impl Rational {
     /// Panics if `den` is zero.
     pub fn new(num: Int, den: Int) -> Self {
         assert!(!den.is_zero(), "rational with zero denominator");
+        if let (Some(n), Some(d)) = (num.to_i64(), den.to_i64()) {
+            return Rational::from_i128_frac(n as i128, d as i128);
+        }
         let mut r = Rational { num, den };
         r.normalize();
         r
@@ -73,10 +76,47 @@ impl Rational {
             self.den = Int::one();
             return;
         }
+        // A denominator of 1 is already in lowest terms, and a numerator of
+        // ±1 is coprime to everything: skip the gcd entirely.
+        if self.den.is_one() || self.num.is_one() || self.num == Int::minus_one() {
+            return;
+        }
         let g = gcd(&self.num, &self.den);
         if !g.is_one() {
             self.num = &self.num / &g;
             self.den = &self.den / &g;
+        }
+    }
+
+    /// Numerator and denominator as machine integers, when both fit. The
+    /// gateway to the small-value fast paths: cross-multiplied `i128`
+    /// arithmetic instead of heap-allocating [`Int`] operations.
+    #[inline]
+    fn small_parts(&self) -> Option<(i64, i64)> {
+        Some((self.num.to_i64()?, self.den.to_i64()?))
+    }
+
+    /// Builds `num / den` from an `i128` cross-multiplication intermediate,
+    /// reducing with machine gcd. `den` must be non-zero.
+    fn from_i128_frac(mut num: i128, mut den: i128) -> Rational {
+        debug_assert!(den != 0, "rational with zero denominator");
+        if den < 0 {
+            num = -num;
+            den = -den;
+        }
+        if num == 0 {
+            return Rational::zero();
+        }
+        if den != 1 && num != 1 && num != -1 {
+            let g = gcd_u128(num.unsigned_abs(), den as u128) as i128;
+            if g > 1 {
+                num /= g;
+                den /= g;
+            }
+        }
+        Rational {
+            num: Int::from(num),
+            den: Int::from(den),
         }
     }
 
@@ -113,6 +153,15 @@ impl Rational {
     /// Returns `true` if the denominator is 1.
     pub fn is_integer(&self) -> bool {
         self.den.is_one()
+    }
+
+    /// The value as an `i64`, when it is an integer that fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        if self.den.is_one() {
+            self.num.to_i64()
+        } else {
+            None
+        }
     }
 
     /// Sign: -1, 0 or +1.
@@ -219,6 +268,9 @@ impl PartialOrd for Rational {
 impl Ord for Rational {
     fn cmp(&self, other: &Self) -> Ordering {
         // a/b <=> c/d  iff  a*d <=> c*b  (b, d > 0)
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            return (a as i128 * d as i128).cmp(&(c as i128 * b as i128));
+        }
         (&self.num * &other.den).cmp(&(&other.num * &self.den))
     }
 }
@@ -245,6 +297,19 @@ impl Neg for &Rational {
 impl Add for &Rational {
     type Output = Rational;
     fn add(self, other: &Rational) -> Rational {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            // i64 operands cannot overflow the i128 cross-multiplication.
+            return Rational::from_i128_frac(
+                a as i128 * d as i128 + c as i128 * b as i128,
+                b as i128 * d as i128,
+            );
+        }
         Rational::new(
             &(&self.num * &other.den) + &(&other.num * &self.den),
             &self.den * &other.den,
@@ -255,6 +320,15 @@ impl Add for &Rational {
 impl Sub for &Rational {
     type Output = Rational;
     fn sub(self, other: &Rational) -> Rational {
+        if other.is_zero() {
+            return self.clone();
+        }
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            return Rational::from_i128_frac(
+                a as i128 * d as i128 - c as i128 * b as i128,
+                b as i128 * d as i128,
+            );
+        }
         Rational::new(
             &(&self.num * &other.den) - &(&other.num * &self.den),
             &self.den * &other.den,
@@ -265,6 +339,19 @@ impl Sub for &Rational {
 impl Mul for &Rational {
     type Output = Rational;
     fn mul(self, other: &Rational) -> Rational {
+        // ±1 and 0 factors are ubiquitous in simplex tableaux.
+        if self.is_zero() || other.is_zero() {
+            return Rational::zero();
+        }
+        if self.is_one() {
+            return other.clone();
+        }
+        if other.is_one() {
+            return self.clone();
+        }
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            return Rational::from_i128_frac(a as i128 * c as i128, b as i128 * d as i128);
+        }
         Rational::new(&self.num * &other.num, &self.den * &other.den)
     }
 }
@@ -273,6 +360,15 @@ impl Div for &Rational {
     type Output = Rational;
     fn div(self, other: &Rational) -> Rational {
         assert!(!other.is_zero(), "division by zero rational");
+        if self.is_zero() {
+            return Rational::zero();
+        }
+        if other.is_one() {
+            return self.clone();
+        }
+        if let (Some((a, b)), Some((c, d))) = (self.small_parts(), other.small_parts()) {
+            return Rational::from_i128_frac(a as i128 * d as i128, b as i128 * c as i128);
+        }
         Rational::new(&self.num * &other.den, &self.den * &other.num)
     }
 }
@@ -344,6 +440,16 @@ impl DivAssign for Rational {
     fn div_assign(&mut self, other: Rational) {
         *self = &*self / &other;
     }
+}
+
+/// Euclidean gcd on machine words (the small-path reduction).
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
 }
 
 impl std::iter::Sum for Rational {
@@ -462,6 +568,56 @@ mod tests {
     fn recip() {
         assert_eq!(q(3, 4).recip(), q(4, 3));
         assert_eq!(q(-3, 4).recip(), q(-4, 3));
+    }
+
+    #[test]
+    fn to_i64_accessor() {
+        assert_eq!(q(42, 1).to_i64(), Some(42));
+        assert_eq!(q(84, 2).to_i64(), Some(42));
+        assert_eq!(q(1, 2).to_i64(), None);
+        assert_eq!(Rational::zero().to_i64(), Some(0));
+        assert!(q(42, 1).is_integer());
+        assert!(!q(1, 2).is_integer());
+    }
+
+    #[test]
+    fn small_path_handles_extreme_i64_operands() {
+        // Cross-multiplication at the edge of the i64 range must not wrap.
+        let a = Rational::new(Int::from(i64::MAX), Int::from(i64::MAX - 2));
+        let b = Rational::new(Int::from(i64::MIN), Int::from(i64::MAX));
+        let sum = &a + &b;
+        // Reference computation through the big-int path.
+        let expected = Rational::new(
+            &(&Int::from(i64::MAX) * &Int::from(i64::MAX))
+                + &(&Int::from(i64::MIN) * &Int::from(i64::MAX - 2)),
+            &Int::from(i64::MAX - 2) * &Int::from(i64::MAX),
+        );
+        assert_eq!(sum, expected);
+        assert_eq!(
+            (&a * &b),
+            Rational::new(
+                &Int::from(i64::MAX) * &Int::from(i64::MIN),
+                &Int::from(i64::MAX - 2) * &Int::from(i64::MAX),
+            )
+        );
+        assert!((&a - &a).is_zero());
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Greater);
+    }
+
+    #[test]
+    fn mixed_small_big_operands_fall_back_correctly() {
+        // One operand outside the i64 range forces the big-int path; results
+        // must agree with hand-scaled identities.
+        let huge = Int::from(i64::MAX) * Int::from(4); // > i64::MAX
+        let big = Rational::new(huge.clone(), Int::from(3));
+        let small = q(1, 3);
+        assert_eq!(
+            &big - &small,
+            Rational::new(&huge - &Int::one(), Int::from(3))
+        );
+        assert_eq!(&big * &q(3, 1), Rational::from_int(huge.clone()));
+        assert_eq!((&big / &big), Rational::one());
+        assert!(big > small);
     }
 
     #[test]
