@@ -7,20 +7,24 @@
 //! quantities for one engine; the Criterion benches and the
 //! `examples/table1_report.rs` binary print them.
 
-use termite_core::{prove_transition_system, AnalysisOptions, Engine};
+use termite_core::{prove_termination, AnalysisOptions, Engine};
 use termite_invariants::{location_invariants, InvariantOptions};
-use termite_ir::TransitionSystem;
+use termite_ir::{Program, TransitionSystem};
 use termite_polyhedra::Polyhedron;
 use termite_suite::{suite, Benchmark, SuiteId};
 
 /// A benchmark prepared for timing: transition system and invariants are
 /// precomputed, mirroring the paper's methodology of excluding the front-end
-/// and the invariant generator from the reported times.
+/// and the invariant generator from the reported times. The program source
+/// rides along so the conditional-termination pipeline can re-run the
+/// invariant stages under an inferred precondition.
 pub struct PreparedBenchmark {
     /// Name of the benchmark program.
     pub name: String,
     /// Whether the benchmark is expected to be proved terminating.
     pub expected_terminating: bool,
+    /// The program itself (for the refinement pipeline).
+    pub program: Program,
     /// Cut-point transition system.
     pub ts: TransitionSystem,
     /// Invariants at the cut points.
@@ -34,6 +38,7 @@ pub fn prepare(benchmark: &Benchmark) -> PreparedBenchmark {
     PreparedBenchmark {
         name: benchmark.program.name.clone(),
         expected_terminating: benchmark.expected_terminating,
+        program: benchmark.program.clone(),
         ts,
         invariants,
     }
@@ -53,8 +58,10 @@ pub struct SuiteRow {
     pub engine: Engine,
     /// Number of benchmarks.
     pub total: usize,
-    /// Number proved terminating.
+    /// Number proved terminating (unconditionally or conditionally).
     pub proved: usize,
+    /// Of `proved`, how many are conditional (`TerminatesIf`).
+    pub conditional: usize,
     /// Number of expected-terminating benchmarks (upper bound on `proved`).
     pub expected: usize,
     /// Total synthesis time in milliseconds (excludes front-end/invariants).
@@ -71,15 +78,19 @@ pub struct SuiteRow {
 pub fn run_suite(id: SuiteId, prepared: &[PreparedBenchmark], engine: Engine) -> SuiteRow {
     let options = AnalysisOptions::with_engine(engine);
     let mut proved = 0;
+    let mut conditional = 0;
     let mut time = 0.0;
     let mut rows = 0.0;
     let mut cols = 0.0;
     let mut lp_count = 0usize;
     let mut unproved = Vec::new();
     for b in prepared {
-        let report = prove_transition_system(&b.ts, &b.invariants, &options);
+        let report = prove_termination(&b.program, &options);
         if report.proved() {
             proved += 1;
+            if !report.proved_unconditionally() {
+                conditional += 1;
+            }
         } else {
             unproved.push(b.name.clone());
         }
@@ -95,6 +106,7 @@ pub fn run_suite(id: SuiteId, prepared: &[PreparedBenchmark], engine: Engine) ->
         engine,
         total: prepared.len(),
         proved,
+        conditional,
         expected: prepared.iter().filter(|b| b.expected_terminating).count(),
         time_millis: time,
         lp_rows_avg: if lp_count > 0 {
@@ -115,16 +127,17 @@ pub fn run_suite(id: SuiteId, prepared: &[PreparedBenchmark], engine: Engine) ->
 pub fn format_table(rows: &[SuiteRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} {:<22} {:>5} {:>8} {:>10} {:>8} {:>8}\n",
-        "Suite", "Engine", "#", "success", "time(ms)", "l", "c"
+        "{:<10} {:<22} {:>5} {:>8} {:>6} {:>10} {:>8} {:>8}\n",
+        "Suite", "Engine", "#", "success", "cond", "time(ms)", "l", "c"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:<22} {:>5} {:>8} {:>10.1} {:>8.1} {:>8.1}\n",
+            "{:<10} {:<22} {:>5} {:>8} {:>6} {:>10.1} {:>8.1} {:>8.1}\n",
             r.suite,
             format!("{:?}", r.engine),
             r.total,
             r.proved,
+            r.conditional,
             r.time_millis,
             r.lp_rows_avg,
             r.lp_cols_avg

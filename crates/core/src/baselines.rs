@@ -17,7 +17,7 @@
 //!   fewer programs.
 
 use crate::engine::AnalysisOptions;
-use crate::report::{RankingFunction, SynthesisStats, TerminationVerdict};
+use crate::report::{RankingFunction, SynthesisStats, UnknownReason, Verdict};
 use termite_ir::TransitionSystem;
 use termite_polyhedra::Polyhedron;
 use termite_smt::{Atom, Formula, LinExpr};
@@ -293,14 +293,14 @@ pub mod eager {
         invariants: &[Polyhedron],
         options: &AnalysisOptions,
         stats: &mut SynthesisStats,
-    ) -> TerminationVerdict {
+    ) -> Verdict {
         let Some(paths) = expand_paths(ts, invariants, options.max_eager_disjuncts) else {
-            return TerminationVerdict::Unknown;
+            return Verdict::unknown(UnknownReason::ResourceBudget);
         };
         // The DNF expansion can be the bulk of the work on multipath loops;
         // re-check for cancellation before committing to the (large) LP.
         if options.cancel.is_cancelled() {
-            return TerminationVerdict::Unknown;
+            return Verdict::unknown(UnknownReason::Cancelled);
         }
         stats.counterexamples = paths.len();
         let cancel_in_lp = options.cancel.clone();
@@ -310,11 +310,21 @@ pub mod eager {
         let max_dims = ts.num_locations() * ts.num_vars() + 1;
         while !alive.is_empty() && components.len() < max_dims {
             if options.cancel.is_cancelled() {
-                return TerminationVerdict::Unknown;
+                return Verdict::unknown(UnknownReason::Cancelled);
             }
             stats.iterations += 1;
             match solve_level(ts, invariants, &alive, &interrupt, stats) {
-                None => return TerminationVerdict::Unknown,
+                None => {
+                    // `solve_level` gives `None` both for "no non-trivial
+                    // component" and for an interrupted pivot loop: only the
+                    // former is a completed answer.
+                    let reason = if options.cancel.is_cancelled() {
+                        UnknownReason::Cancelled
+                    } else {
+                        UnknownReason::NoRankingFunction
+                    };
+                    return Verdict::unknown(reason);
+                }
                 Some((component, strict)) => {
                     alive = alive
                         .iter()
@@ -327,10 +337,10 @@ pub mod eager {
             }
         }
         if !alive.is_empty() {
-            return TerminationVerdict::Unknown;
+            return Verdict::unknown(UnknownReason::NoRankingFunction);
         }
         stats.dimension = components.len();
-        TerminationVerdict::Terminating(RankingFunction::new(
+        Verdict::Terminates(RankingFunction::new(
             ts.num_vars(),
             ts.var_names().to_vec(),
             components,
@@ -349,9 +359,9 @@ pub mod podelski_rybalchenko {
         invariants: &[Polyhedron],
         options: &AnalysisOptions,
         stats: &mut SynthesisStats,
-    ) -> TerminationVerdict {
+    ) -> Verdict {
         let Some(paths) = expand_paths(ts, invariants, options.max_eager_disjuncts) else {
-            return TerminationVerdict::Unknown;
+            return Verdict::unknown(UnknownReason::ResourceBudget);
         };
         stats.counterexamples = paths.len();
         // One level; every path must become strict.
@@ -359,10 +369,9 @@ pub mod podelski_rybalchenko {
         one_level_options.max_eager_disjuncts = options.max_eager_disjuncts;
         let verdict = eager::prove(ts, invariants, &one_level_options, stats);
         match verdict {
-            TerminationVerdict::Terminating(rf) if rf.dimension() <= 1 => {
-                TerminationVerdict::Terminating(rf)
-            }
-            _ => TerminationVerdict::Unknown,
+            Verdict::Terminates(rf) if rf.dimension() <= 1 => Verdict::Terminates(rf),
+            Verdict::Unknown { reason } => Verdict::unknown(reason),
+            _ => Verdict::unknown(UnknownReason::NoRankingFunction),
         }
     }
 }
@@ -439,7 +448,9 @@ pub mod heuristic {
             for e in tuple {
                 let pre = e.clone();
                 let post = to_post(ts, e);
-                // Strict decrease on this transition?
+                // Strict decrease on this transition? Only completed `Unsat`
+                // answers justify anything: an interrupted query must not
+                // smuggle in a proof.
                 stats.smt_queries += 2;
                 let not_strict = Formula::and(vec![
                     base.clone(),
@@ -451,7 +462,7 @@ pub mod heuristic {
                     prefix_nonincreasing.clone(),
                     Formula::le(pre.clone(), LinExpr::constant(-1)),
                 ]);
-                if !ctx.solve(&not_strict).is_sat() && !ctx.solve(&unbounded).is_sat() {
+                if ctx.solve(&not_strict).is_unsat() && ctx.solve(&unbounded).is_unsat() {
                     justified = true;
                     break;
                 }
@@ -460,7 +471,7 @@ pub mod heuristic {
                 stats.smt_queries += 1;
                 let increases =
                     Formula::and(vec![base.clone(), Formula::gt(post.clone(), pre.clone())]);
-                if ctx.solve(&increases).is_sat() {
+                if !ctx.solve(&increases).is_unsat() {
                     return false;
                 }
                 prefix_nonincreasing =
@@ -479,9 +490,13 @@ pub mod heuristic {
         invariants: &[Polyhedron],
         cancel: &CancelToken,
         stats: &mut SynthesisStats,
-    ) -> TerminationVerdict {
+    ) -> Verdict {
         let n = ts.num_vars();
         let mut ctx = SmtContext::new();
+        let cancel_in_smt = cancel.clone();
+        ctx.set_interrupt(termite_lp::Interrupt::new(move || {
+            cancel_in_smt.is_cancelled()
+        }));
         // Assemble one candidate per location, in location order (outer loops
         // first thanks to the pre-order numbering of cut points).
         let mut per_location: Vec<Vec<LinExpr>> = (0..ts.num_locations())
@@ -511,7 +526,7 @@ pub mod heuristic {
         }
         for assembly in assemblies {
             if cancel.is_cancelled() {
-                return TerminationVerdict::Unknown;
+                return Verdict::unknown(UnknownReason::Cancelled);
             }
             stats.iterations += 1;
             if verify_tuple(ts, invariants, &assembly, &mut ctx, stats) {
@@ -528,14 +543,19 @@ pub mod heuristic {
                             .collect()
                     })
                     .collect();
-                return TerminationVerdict::Terminating(RankingFunction::new(
+                return Verdict::Terminates(RankingFunction::new(
                     n,
                     ts.var_names().to_vec(),
                     components,
                 ));
             }
         }
-        TerminationVerdict::Unknown
+        let reason = if cancel.is_cancelled() {
+            UnknownReason::Cancelled
+        } else {
+            UnknownReason::NoRankingFunction
+        };
+        Verdict::unknown(reason)
     }
 }
 
@@ -607,8 +627,8 @@ mod tests {
         let options = AnalysisOptions::with_engine(Engine::Eager);
         let verdict = eager::prove(&ts, &invs, &options, &mut stats);
         match verdict {
-            TerminationVerdict::Terminating(rf) => assert_eq!(rf.dimension(), 1),
-            TerminationVerdict::Unknown => panic!("eager baseline must prove Example 1"),
+            Verdict::Terminates(rf) => assert_eq!(rf.dimension(), 1),
+            other => panic!("eager baseline must prove Example 1, got {other:?}"),
         }
         // The eager LP is much larger than Termite's: it has Farkas
         // multipliers for every face of every path.
@@ -622,7 +642,7 @@ mod tests {
         let options = AnalysisOptions::with_engine(Engine::PodelskiRybalchenko);
         assert!(matches!(
             podelski_rybalchenko::prove(&ts, &invs, &options, &mut stats),
-            TerminationVerdict::Terminating(_)
+            Verdict::Terminates(_)
         ));
         // A two-phase loop with an unbounded reset needs a lexicographic
         // argument: the one-dimensional baseline must give up.
@@ -652,7 +672,7 @@ mod tests {
         let mut stats2 = SynthesisStats::default();
         assert!(matches!(
             podelski_rybalchenko::prove(&ts2, &invs2, &options, &mut stats2),
-            TerminationVerdict::Unknown
+            Verdict::Unknown { .. }
         ));
     }
 
@@ -661,11 +681,11 @@ mod tests {
         let (ts, invs) = countdown();
         let mut stats = SynthesisStats::default();
         match heuristic::prove(&ts, &invs, &crate::CancelToken::new(), &mut stats) {
-            TerminationVerdict::Terminating(rf) => {
+            Verdict::Terminates(rf) => {
                 assert_eq!(rf.dimension(), 1);
                 assert!(stats.smt_queries > 0);
             }
-            TerminationVerdict::Unknown => panic!("heuristic must prove the simple countdown"),
+            other => panic!("heuristic must prove the simple countdown, got {other:?}"),
         }
     }
 
@@ -681,7 +701,7 @@ mod tests {
         let mut stats = SynthesisStats::default();
         assert!(matches!(
             heuristic::prove(&ts, &invs, &crate::CancelToken::new(), &mut stats),
-            TerminationVerdict::Unknown
+            Verdict::Unknown { .. }
         ));
     }
 

@@ -67,15 +67,19 @@ mod engine;
 mod lp_instance;
 mod monodim;
 mod multidim;
+mod regions;
 mod report;
 
 pub use baselines::{eager, heuristic, podelski_rybalchenko};
 pub use cancel::CancelToken;
-pub use engine::{prove_termination, prove_transition_system, AnalysisOptions, Engine};
+pub use engine::{
+    prove_termination, prove_transition_system, prove_with_pipeline, AnalysisOptions, Engine,
+};
 pub use lp_instance::{
     solve_lp_instance, LpInstanceSession, LpInstanceSolution, LpInstanceStats, RankingTemplate,
     StackedConstraints,
 };
 pub use monodim::{MonodimInput, MonodimResult};
-pub use multidim::synthesize_lexicographic;
-pub use report::{RankingFunction, SynthesisStats, TerminationReport, TerminationVerdict};
+pub use multidim::{synthesize_lexicographic, LexOutcome};
+pub use regions::{active_source_invariants, enabled_invariants, source_region_approx};
+pub use report::{RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict};

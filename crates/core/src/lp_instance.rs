@@ -15,8 +15,19 @@ use termite_lp::{
 use termite_num::Rational;
 use termite_polyhedra::{ConstraintKind, Polyhedron};
 
-/// The invariant constraints of every cut point, in the stacked space
-/// `Q^(|W|·n)` of the multi-control-point algorithm (Definitions 12–14).
+/// The invariant constraints of every cut point, in the **homogenised**
+/// stacked space `Q^(|W|·(n+1))` of the multi-control-point algorithm
+/// (Definitions 12–14, extended with one constant coordinate per location).
+///
+/// Block `k` occupies coordinates `[k·(n+1), (k+1)·(n+1))`; the first `n`
+/// are the program variables and the last is the homogeneous `1`. A
+/// constraint `a·x ≥ b` embeds as the cone normal `(a, −b)`, so the Farkas
+/// combination automatically carries the constant offsets `λ_{k,0}` across
+/// cut points — this is what lets a phase counter like `ρ_0 = 1, ρ_1 = 0`
+/// certify the hand-off between two sequential loops, which the plain
+/// `|W|·n` stacking of the paper cannot express. Every location additionally
+/// carries the trivially valid row `0·x ≥ −1`, so a positive constant is
+/// itself a Farkas combination.
 #[derive(Clone, Debug)]
 pub struct StackedConstraints {
     num_vars: usize,
@@ -26,7 +37,8 @@ pub struct StackedConstraints {
 
 impl StackedConstraints {
     /// Extracts the constraints from the per-location invariants (equalities
-    /// are split into two inequalities).
+    /// are split into two inequalities), appending the trivial `0·x ≥ −1`
+    /// row to each location.
     pub fn from_invariants(invariants: &[Polyhedron]) -> Self {
         let num_vars = invariants.first().map(|p| p.dim()).unwrap_or(0);
         let per_location = invariants
@@ -42,6 +54,7 @@ impl StackedConstraints {
                         }
                     }
                 }
+                rows.push((QVector::zeros(num_vars), -Rational::one()));
                 rows
             })
             .collect();
@@ -61,9 +74,9 @@ impl StackedConstraints {
         self.per_location.len()
     }
 
-    /// Dimension of the stacked space `|W|·n`.
+    /// Dimension of the homogenised stacked space `|W|·(n+1)`.
     pub fn stacked_dim(&self) -> usize {
-        self.num_vars * self.per_location.len()
+        (self.num_vars + 1) * self.per_location.len()
     }
 
     /// The `(a_i, b_i)` rows of location `k`.
@@ -74,6 +87,16 @@ impl StackedConstraints {
     /// Total number of invariant constraint rows across locations.
     pub fn total_rows(&self) -> usize {
         self.per_location.iter().map(Vec::len).sum()
+    }
+
+    /// The coefficient of the Farkas multiplier `γ_{k,i}` in the δ-row of a
+    /// stacked counterexample `u`: `u_k · (a_i, −b_i)`, where `u_k` is the
+    /// `(n+1)`-wide block of `u` at location `k`.
+    fn gamma_coefficient(&self, u: &QVector, k: usize, a: &QVector, b: &Rational) -> Rational {
+        let n = self.num_vars;
+        let block = u.slice(k * (n + 1), n);
+        let hom = &u[k * (n + 1) + n];
+        &block.dot(a) - &(hom * b)
     }
 }
 
@@ -100,11 +123,14 @@ impl RankingTemplate {
         self.lambda.iter().all(QVector::is_zero)
     }
 
-    /// The stacked `|W|·n` vector `(λ_1, …, λ_{|W|})` (Definition 13).
+    /// The homogenised stacked `|W|·(n+1)` vector
+    /// `(λ_1, λ_{1,0}, …, λ_{|W|}, λ_{|W|,0})` (Definition 13, extended with
+    /// the constant coordinate of each block).
     pub fn stacked(&self) -> QVector {
         let mut entries = Vec::new();
-        for l in &self.lambda {
+        for (l, l0) in self.lambda.iter().zip(&self.lambda0) {
             entries.extend(l.iter().cloned());
+            entries.push(l0.clone());
         }
         QVector::from_vec(entries)
     }
@@ -175,10 +201,11 @@ impl<'a> LpInstanceSession<'a> {
         self.delta_ids.len()
     }
 
-    /// Adds a counterexample vector `u` (a stacked vertex or ray): one fresh
-    /// `δ_j ∈ [0, 1]` and the row `Σ_{k,i} γ_{k,i} (u · e_k(a_i)) − δ_j ≥ 0`.
+    /// Adds a counterexample vector `u` (a stacked vertex or ray in the
+    /// homogenised space): one fresh `δ_j ∈ [0, 1]` and the row
+    /// `Σ_{k,i} γ_{k,i} (u · e_k(a_i, −b_i)) − δ_j ≥ 0`.
     pub fn push_counterexample(&mut self, u: &QVector) {
-        let n = self.constraints.num_vars();
+        debug_assert_eq!(u.dim(), self.constraints.stacked_dim());
         let j = self.delta_ids.len();
         let d = self.inc.add_var(format!("delta_{j}"));
         self.delta_ids.push(d);
@@ -189,9 +216,8 @@ impl<'a> LpInstanceSession<'a> {
         ));
         let mut terms: Vec<(VarId, Rational)> = Vec::new();
         for (k, gamma_k) in self.gamma_ids.iter().enumerate() {
-            let block = u.slice(k * n, n);
-            for (i, (a, _b)) in self.constraints.location(k).iter().enumerate() {
-                let coeff = block.dot(a);
+            for (i, (a, b)) in self.constraints.location(k).iter().enumerate() {
+                let coeff = self.constraints.gamma_coefficient(u, k, a, b);
                 if !coeff.is_zero() {
                     terms.push((gamma_k[i], coeff));
                 }
@@ -280,7 +306,6 @@ pub fn solve_lp_instance(
     counterexamples: &[QVector],
     stats: &mut SynthesisStats,
 ) -> LpInstanceSolution {
-    let n = constraints.num_vars();
     let num_locs = constraints.num_locations();
     let mut lp = LinearProgram::new();
 
@@ -303,13 +328,12 @@ pub fn solve_lp_instance(
             Rational::one(),
         ));
     }
-    // Σ_{k,i} γ_{k,i} (u_j · e_k(a_i)) − δ_j >= 0
+    // Σ_{k,i} γ_{k,i} (u_j · e_k(a_i, −b_i)) − δ_j >= 0
     for (j, u) in counterexamples.iter().enumerate() {
         let mut terms: Vec<(VarId, Rational)> = Vec::new();
         for (k, gamma_k) in gamma_ids.iter().enumerate() {
-            let block = u.slice(k * n, n);
-            for (i, (a, _b)) in constraints.location(k).iter().enumerate() {
-                let coeff = block.dot(a);
+            for (i, (a, b)) in constraints.location(k).iter().enumerate() {
+                let coeff = constraints.gamma_coefficient(u, k, a, b);
                 if !coeff.is_zero() {
                     terms.push((gamma_k[i], coeff));
                 }
@@ -359,14 +383,23 @@ mod tests {
         )
     }
 
+    /// A same-location counterexample step: the homogeneous coordinate is 0.
+    fn step(entries: &[i64]) -> QVector {
+        let mut v = entries.to_vec();
+        v.push(0);
+        QVector::from_i64(&v)
+    }
+
     #[test]
     fn stacked_constraints_shape() {
         let inv = example1_invariant();
         let sc = StackedConstraints::from_invariants(&[inv.clone(), inv]);
         assert_eq!(sc.num_vars(), 2);
         assert_eq!(sc.num_locations(), 2);
-        assert_eq!(sc.stacked_dim(), 4);
-        assert_eq!(sc.total_rows(), 10);
+        // Homogenised: one constant coordinate per block.
+        assert_eq!(sc.stacked_dim(), 6);
+        // 5 invariant rows + the trivial `0 ≥ −1` row, per location.
+        assert_eq!(sc.total_rows(), 12);
     }
 
     /// Replays the worked example of Section 3.3 (Example 2 of the paper): the
@@ -378,7 +411,7 @@ mod tests {
         let mut stats = SynthesisStats::default();
 
         // First iteration: C = {(-1, 1)} (the model of transition t1).
-        let c1 = vec![QVector::from_i64(&[-1, 1])];
+        let c1 = vec![step(&[-1, 1])];
         let sol1 = solve_lp_instance(&sc, &c1, &mut stats);
         assert!(!sol1.gamma_is_zero);
         assert_eq!(sol1.delta, vec![q(1)]);
@@ -386,7 +419,7 @@ mod tests {
         assert!(sol1.template.lambda[0].dot(&QVector::from_i64(&[-1, 1])) >= q(1));
 
         // Second iteration: C = {(-1,1), (1,1)}.
-        let c2 = vec![QVector::from_i64(&[-1, 1]), QVector::from_i64(&[1, 1])];
+        let c2 = vec![step(&[-1, 1]), step(&[1, 1])];
         let sol2 = solve_lp_instance(&sc, &c2, &mut stats);
         assert_eq!(sol2.delta, vec![q(1), q(1)]);
         let lambda = &sol2.template.lambda[0];
@@ -415,14 +448,10 @@ mod tests {
         );
         let sc = StackedConstraints::from_invariants(&[inv]);
         let mut stats = SynthesisStats::default();
-        let sol = solve_lp_instance(&sc, &[QVector::from_i64(&[0])], &mut stats);
+        let sol = solve_lp_instance(&sc, &[step(&[0])], &mut stats);
         assert_eq!(sol.delta, vec![q(0)]);
         // Opposite directions: u and -u can both be nonnegative only with λ·u = 0.
-        let sol2 = solve_lp_instance(
-            &sc,
-            &[QVector::from_i64(&[1]), QVector::from_i64(&[-1])],
-            &mut stats,
-        );
+        let sol2 = solve_lp_instance(&sc, &[step(&[1]), step(&[-1])], &mut stats);
         // At most one of the two can strictly decrease... in fact neither can
         // while keeping the other nonincreasing, except by picking λ = 0 for
         // one side; the optimum makes exactly one of them 1.
@@ -436,12 +465,7 @@ mod tests {
     #[test]
     fn session_matches_scratch_on_growing_counterexample_set() {
         let sc = StackedConstraints::from_invariants(&[example1_invariant()]);
-        let cexs = [
-            QVector::from_i64(&[-1, 1]),
-            QVector::from_i64(&[1, 1]),
-            QVector::from_i64(&[1, 0]),
-            QVector::from_i64(&[0, -1]),
-        ];
+        let cexs = [step(&[-1, 1]), step(&[1, 1]), step(&[1, 0]), step(&[0, -1])];
         let mut session_stats = SynthesisStats::default();
         let mut session = LpInstanceSession::new(&sc, termite_lp::Interrupt::never());
         let mut so_far: Vec<QVector> = Vec::new();
@@ -477,7 +501,7 @@ mod tests {
         let sc = StackedConstraints::from_invariants(&[example1_invariant()]);
         let mut stats = SynthesisStats::default();
         let mut session = LpInstanceSession::new(&sc, termite_lp::Interrupt::new(|| true));
-        session.push_counterexample(&QVector::from_i64(&[-1, 1]));
+        session.push_counterexample(&step(&[-1, 1]));
         assert!(session.solve(&mut stats).is_none());
     }
 
@@ -496,7 +520,9 @@ mod tests {
         let mut t = RankingTemplate::zero(2, 2);
         assert!(t.is_zero());
         t.lambda[1] = QVector::from_i64(&[3, -1]);
+        t.lambda0[1] = Rational::from(7);
         assert!(!t.is_zero());
-        assert_eq!(t.stacked(), QVector::from_i64(&[0, 0, 3, -1]));
+        // Homogenised layout: (λ_k, λ_{k,0}) per block.
+        assert_eq!(t.stacked(), QVector::from_i64(&[0, 0, 0, 3, -1, 7]));
     }
 }

@@ -7,7 +7,7 @@ use crate::report::SynthesisStats;
 use termite_ir::TransitionSystem;
 use termite_linalg::{QVector, Subspace};
 use termite_num::Rational;
-use termite_polyhedra::{ConstraintKind, Polyhedron};
+use termite_polyhedra::Polyhedron;
 use termite_smt::{Formula, LinExpr, Model, OptOutcome, OptResult, SmtContext, TermVar};
 
 /// Inputs of the monodimensional procedure.
@@ -42,6 +42,14 @@ pub struct MonodimResult {
     /// template is then a partial artefact, not a maximal-power quasi ranking
     /// function.
     pub cancelled: bool,
+    /// `true` when the iteration budget ran out before the counterexample
+    /// loop converged — the template is then *not* a maximal-power quasi
+    /// ranking function, and the lexicographic driver must not build on it.
+    pub exhausted: bool,
+    /// The concrete pre-state `(location, x)` of the last extremal
+    /// counterexample, for the precondition-refinement pipeline: when the
+    /// synthesis fails, this is the state it failed on.
+    pub witness: Option<(usize, QVector)>,
 }
 
 /// A preprocessed block transition: source/target locations and the formula
@@ -55,24 +63,11 @@ struct PreparedTransition {
 /// Converts a polyhedral invariant over the program variables into a formula
 /// over the pre-state theory variables.
 pub(crate) fn invariant_formula(inv: &Polyhedron) -> Formula {
-    let mut conj = Vec::new();
-    for c in inv.constraints() {
-        let mut lhs = LinExpr::zero();
-        for (i, coeff) in c.coeffs.iter().enumerate() {
-            if !coeff.is_zero() {
-                lhs = lhs + LinExpr::term(coeff.clone(), TermVar(i));
-            }
-        }
-        let rhs = LinExpr::constant(c.rhs.clone());
-        match c.kind {
-            ConstraintKind::GreaterEq => conj.push(Formula::ge(lhs, rhs)),
-            ConstraintKind::Equality => conj.push(Formula::eq_expr(lhs, rhs)),
-        }
-    }
-    Formula::and(conj)
+    termite_ir::polyhedron_to_formula(inv, &|i| LinExpr::var(TermVar(i)))
 }
 
-/// The linear expression `λ_k·x − λ_{k'}·x'` (i.e. `λ·u`) for one transition.
+/// The linear expression `ρ_k(x) − ρ_{k'}(x')` (i.e. `λ·u` in the
+/// homogenised stacked space, constant offsets included) for one transition.
 fn objective_for(
     ts: &TransitionSystem,
     template: &RankingTemplate,
@@ -80,7 +75,7 @@ fn objective_for(
     to: usize,
 ) -> LinExpr {
     let n = ts.num_vars();
-    let mut obj = LinExpr::zero();
+    let mut obj = LinExpr::constant(&template.lambda0[from] - &template.lambda0[to]);
     for i in 0..n {
         let c = &template.lambda[from][i];
         if !c.is_zero() {
@@ -95,14 +90,18 @@ fn objective_for(
 }
 
 /// The symbolic stacked difference vector `u = e_k(x) − e_{k'}(x')` of one
-/// transition, as one linear expression per stacked coordinate.
+/// transition, as one linear expression per homogenised stacked coordinate
+/// (block width `n + 1`; the last coordinate of each block is the constant).
 fn symbolic_u(ts: &TransitionSystem, num_locations: usize, from: usize, to: usize) -> Vec<LinExpr> {
     let n = ts.num_vars();
-    let mut u = vec![LinExpr::zero(); num_locations * n];
+    let width = n + 1;
+    let mut u = vec![LinExpr::zero(); num_locations * width];
     for i in 0..n {
-        u[from * n + i] = u[from * n + i].clone() + LinExpr::var(ts.pre_var(i));
-        u[to * n + i] = u[to * n + i].clone() - LinExpr::var(ts.post_var(i));
+        u[from * width + i] = u[from * width + i].clone() + LinExpr::var(ts.pre_var(i));
+        u[to * width + i] = u[to * width + i].clone() - LinExpr::var(ts.post_var(i));
     }
+    u[from * width + n] = u[from * width + n].clone() + LinExpr::constant(1);
+    u[to * width + n] = u[to * width + n].clone() - LinExpr::constant(1);
     u
 }
 
@@ -115,15 +114,19 @@ fn concrete_u(
     model: &Model,
 ) -> QVector {
     let n = ts.num_vars();
-    let mut u = vec![Rational::zero(); num_locations * n];
+    let width = n + 1;
+    let mut u = vec![Rational::zero(); num_locations * width];
     for i in 0..n {
-        u[from * n + i] += &model.value_or_zero(ts.pre_var(i));
-        u[to * n + i] -= &model.value_or_zero(ts.post_var(i));
+        u[from * width + i] += &model.value_or_zero(ts.pre_var(i));
+        u[to * width + i] -= &model.value_or_zero(ts.post_var(i));
     }
+    u[from * width + n] += &Rational::one();
+    u[to * width + n] -= &Rational::one();
     QVector::from_vec(u)
 }
 
 /// The stacked ray vector for an unbounded direction of one transition.
+/// Rays are directions, so their homogeneous coordinates are zero.
 fn concrete_ray(
     ts: &TransitionSystem,
     num_locations: usize,
@@ -132,13 +135,14 @@ fn concrete_ray(
     ray: &std::collections::HashMap<TermVar, Rational>,
 ) -> QVector {
     let n = ts.num_vars();
-    let mut u = vec![Rational::zero(); num_locations * n];
+    let width = n + 1;
+    let mut u = vec![Rational::zero(); num_locations * width];
     for i in 0..n {
         if let Some(r) = ray.get(&ts.pre_var(i)) {
-            u[from * n + i] += r;
+            u[from * width + i] += r;
         }
         if let Some(r) = ray.get(&ts.post_var(i)) {
-            u[to * n + i] -= r;
+            u[to * width + i] -= r;
         }
     }
     QVector::from_vec(u)
@@ -170,7 +174,7 @@ fn avoid_space(u: &[LinExpr], basis: &Subspace) -> Formula {
 
 /// Restriction formula of Algorithm 2: every previously synthesised component
 /// must stay constant along the transition (`λ_{d'}·u = 0`).
-fn previous_constant(
+pub(crate) fn previous_constant(
     ts: &TransitionSystem,
     previous: &[RankingTemplate],
     from: usize,
@@ -190,7 +194,7 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
     let ts = input.ts;
     let num_locations = ts.num_locations().max(1);
     let n = ts.num_vars();
-    let stacked_dim = num_locations * n;
+    let stacked_dim = num_locations * (n + 1);
 
     // Prepare the per-transition formulas (invariant ∧ relation ∧ restriction).
     let prepared: Vec<PreparedTransition> = ts
@@ -216,11 +220,17 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
         .collect();
 
     let mut ctx = SmtContext::new();
+    let cancel_in_smt = input.cancel.clone();
+    ctx.set_interrupt(termite_lp::Interrupt::new(move || {
+        cancel_in_smt.is_cancelled()
+    }));
     let mut counterexamples: Vec<QVector> = Vec::new();
     let mut basis = Subspace::new(stacked_dim);
     let mut template = RankingTemplate::zero(num_locations, n);
     let mut all_delta_one = true;
     let mut iterations = 0usize;
+    let mut witness: Option<(usize, QVector)> = None;
+    let mut converged = false;
 
     // One warm LP session per synthesis level: each iteration adds its new
     // counterexample rows and re-optimizes from the previous basis. The
@@ -239,6 +249,8 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
                 strict: false,
                 iterations,
                 cancelled: true,
+                exhausted: false,
+                witness,
             };
         }
         iterations += 1;
@@ -246,7 +258,8 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
 
         // Search every transition for the most extremal counterexample: a
         // model minimising λ·u among those with λ·u ≤ 0 (or an unbounded ray).
-        let mut best: Option<(Option<Rational>, QVector, Option<QVector>)> = None;
+        type BestCex = (Option<Rational>, QVector, Option<QVector>, (usize, QVector));
+        let mut best: Option<BestCex> = None;
         for t in &prepared {
             let objective = objective_for(ts, &template, t.from, t.to);
             let u_sym = symbolic_u(ts, num_locations, t.from, t.to);
@@ -258,37 +271,53 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
             stats.smt_queries += 1;
             match ctx.minimize(&query, &objective) {
                 OptResult::Unsat => continue,
+                OptResult::Interrupted => {
+                    return MonodimResult {
+                        template,
+                        strict: false,
+                        iterations,
+                        cancelled: true,
+                        exhausted: false,
+                        witness,
+                    };
+                }
                 OptResult::Sat { model, outcome } => {
                     let u = concrete_u(ts, num_locations, t.from, t.to, &model);
+                    let pre_state: QVector =
+                        (0..n).map(|i| model.value_or_zero(ts.pre_var(i))).collect();
+                    let seen_at = (t.from, pre_state);
                     match outcome {
                         OptOutcome::Unbounded { ray } => {
                             let r = concrete_ray(ts, num_locations, t.from, t.to, &ray);
-                            let candidate = (None, u, if r.is_zero() { None } else { Some(r) });
+                            let candidate =
+                                (None, u, if r.is_zero() { None } else { Some(r) }, seen_at);
                             best = Some(candidate);
                         }
                         OptOutcome::Minimum(value) => {
                             let better = match &best {
                                 None => true,
-                                Some((None, _, _)) => false, // an unbounded witness wins
-                                Some((Some(best_val), _, _)) => value < *best_val,
+                                Some((None, _, _, _)) => false, // an unbounded witness wins
+                                Some((Some(best_val), _, _, _)) => value < *best_val,
                             };
                             if better {
-                                best = Some((Some(value), u, None));
+                                best = Some((Some(value), u, None, seen_at));
                             }
                         }
                     }
-                    if matches!(best, Some((None, _, _))) {
+                    if matches!(best, Some((None, _, _, _))) {
                         break; // unbounded: no need to look further this round
                     }
                 }
             }
         }
 
-        let Some((_, u, ray)) = best else {
+        let Some((_, u, ray, seen_at)) = best else {
             // No counterexample left: the current candidate strictly decreases
             // on every remaining transition.
+            converged = true;
             break;
         };
+        witness = Some(seen_at);
 
         counterexamples.push(u.clone());
         session.push_counterexample(&u);
@@ -307,11 +336,14 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
                 strict: false,
                 iterations,
                 cancelled: true,
+                exhausted: false,
+                witness,
             };
         };
         all_delta_one = solution.delta.iter().all(|d| *d == Rational::one());
         if solution.gamma_is_zero {
             template = solution.template;
+            converged = true;
             break;
         }
         template = solution.template;
@@ -326,15 +358,20 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
         }
     }
 
+    let exhausted = !converged;
     // Strictness: all δ are 1 and no transition allows a null step u = 0
-    // (final check of Algorithm 1).
-    let strict =
-        all_delta_one && !zero_step_possible(ts, num_locations, &prepared, &mut ctx, stats);
+    // (final check of Algorithm 1). An exhausted run has no maximal-power
+    // guarantee, so it is never strict.
+    let strict = !exhausted
+        && all_delta_one
+        && !zero_step_possible(ts, num_locations, &prepared, &mut ctx, stats);
     MonodimResult {
         template,
         strict,
         iterations,
         cancelled: false,
+        exhausted,
+        witness,
     }
 }
 
@@ -356,7 +393,10 @@ fn zero_step_possible(
         );
         let query = Formula::and(vec![t.formula.clone(), all_zero]);
         stats.smt_queries += 1;
-        if ctx.solve(&query).is_sat() {
+        // Only a completed `Unsat` rules the null step out; an interrupted
+        // query conservatively counts as "possible" (so the result is never
+        // reported strict on the strength of an unfinished check).
+        if !ctx.solve(&query).is_unsat() {
             return true;
         }
     }

@@ -1,47 +1,131 @@
-//! Algorithm 2: lexicographic (multidimensional) synthesis.
+//! Algorithm 2: lexicographic (multidimensional) synthesis, with per-level
+//! enabled-region strengthening (see `crate::regions` and DESIGN.md).
 
 use crate::cancel::CancelToken;
 use crate::lp_instance::{RankingTemplate, StackedConstraints};
-use crate::monodim::{monodim, MonodimInput};
+use crate::monodim::{invariant_formula, monodim, previous_constant, MonodimInput};
+use crate::regions::active_source_invariants;
 use crate::report::SynthesisStats;
 use termite_ir::TransitionSystem;
-use termite_linalg::Subspace;
+use termite_linalg::{QVector, Subspace};
 use termite_polyhedra::Polyhedron;
+use termite_smt::{Formula, SmtContext};
+
+/// Outcome of the lexicographic synthesis.
+#[derive(Clone, Debug)]
+pub struct LexOutcome {
+    /// The components (most significant first) of a strict lexicographic
+    /// ranking function, when one exists relative to the invariants.
+    pub components: Option<Vec<RankingTemplate>>,
+    /// On failure: the concrete pre-state `(location, x)` of the last
+    /// spurious extremal counterexample, handed to the invariant pipeline as
+    /// the refinement witness.
+    pub witness: Option<(usize, QVector)>,
+    /// `true` when the run was cut short by the cancellation token (never
+    /// mistaken for "no ranking function exists").
+    pub cancelled: bool,
+    /// `true` when a level exhausted its counterexample-iteration budget, so
+    /// the search was abandoned without an exhaustiveness guarantee.
+    pub exhausted: bool,
+}
+
+impl LexOutcome {
+    fn failure(witness: Option<(usize, QVector)>, cancelled: bool, exhausted: bool) -> Self {
+        LexOutcome {
+            components: None,
+            witness,
+            cancelled,
+            exhausted,
+        }
+    }
+}
 
 /// Synthesises a lexicographic linear ranking function by iterating the
 /// monodimensional procedure, restricting at every level to the transitions
 /// left constant by the previous components (Algorithm 2 of the paper).
 ///
-/// Returns the list of components (most significant first) if a strict
-/// lexicographic ranking function exists relative to the invariants, `None`
-/// otherwise. The returned function has minimal dimension (Theorem 1).
+/// Two extensions over the paper (DESIGN.md):
+///
+/// * the stacked space is homogenised, so constant offsets between cut
+///   points participate in the decrease (`crate::lp_instance`);
+/// * at every level, the non-negativity side of the LP uses the invariants
+///   strengthened to the sources of the transitions still *active* at that
+///   level (bounded-from-below relaxation, `crate::regions`): a transition
+///   whose restricted relation is unsatisfiable can never fire in the tail
+///   of an infinite run, so its sources need no lower bound.
 ///
 /// The synthesis polls `cancel` before every lexicographic level and between
-/// counterexample-guided iterations; once the token fires it returns `None`
-/// (cancellation is never mistaken for a proof).
+/// counterexample-guided iterations; once the token fires the outcome has
+/// `cancelled: true` (cancellation is never mistaken for a proof).
 pub fn synthesize_lexicographic(
     ts: &TransitionSystem,
     invariants: &[Polyhedron],
     max_iterations_per_dim: usize,
     cancel: &CancelToken,
     stats: &mut SynthesisStats,
-) -> Option<Vec<RankingTemplate>> {
-    let constraints = StackedConstraints::from_invariants(invariants);
+) -> LexOutcome {
     let num_locations = ts.num_locations().max(1);
-    let stacked_dim = num_locations * ts.num_vars();
+    let stacked_dim = num_locations * (ts.num_vars() + 1);
     let mut components: Vec<RankingTemplate> = Vec::new();
     let mut span = Subspace::new(stacked_dim);
+    let mut ctx = SmtContext::new();
+    let cancel_in_smt = cancel.clone();
+    ctx.set_interrupt(termite_lp::Interrupt::new(move || {
+        cancel_in_smt.is_cancelled()
+    }));
+    let mut witness: Option<(usize, QVector)> = None;
 
-    // At most |W|·n dimensions (Corollary 1: the λ's are linearly independent).
+    // At most |W|·(n+1) dimensions (Corollary 1: the stacked λ's are
+    // linearly independent).
     for _dim in 0..=stacked_dim {
         if cancel.is_cancelled() {
             stats.dimension = 0;
-            return None;
+            return LexOutcome::failure(witness, true, false);
         }
+        // Which transitions are still active: the restricted relation
+        // (invariant ∧ transition ∧ previous components constant) must be
+        // satisfiable.
+        let mut active: Vec<bool> = Vec::with_capacity(ts.transitions().len());
+        for t in ts.transitions() {
+            if invariants[t.from].is_empty() {
+                active.push(false);
+                continue;
+            }
+            let query = Formula::and(vec![
+                invariant_formula(&invariants[t.from]),
+                t.formula.clone(),
+                previous_constant(ts, &components, t.from, t.to),
+            ]);
+            stats.smt_queries += 1;
+            match ctx.solve(&query) {
+                termite_smt::SmtResult::Sat(_) => active.push(true),
+                termite_smt::SmtResult::Unsat => active.push(false),
+                // An interrupted liveness check must not masquerade as
+                // "dead": that path concludes a proof.
+                termite_smt::SmtResult::Interrupted => {
+                    stats.dimension = 0;
+                    return LexOutcome::failure(witness, true, false);
+                }
+            }
+        }
+        if active.iter().all(|a| !a) {
+            // Every transition is dead: each of its steps strictly decreases
+            // some previous component under a flat prefix, so the components
+            // found so far already form the certificate.
+            stats.dimension = components.len();
+            return LexOutcome {
+                components: Some(components),
+                witness: None,
+                cancelled: false,
+                exhausted: false,
+            };
+        }
+        let level_invariants = active_source_invariants(ts, invariants, &active);
+        let constraints = StackedConstraints::from_invariants(&level_invariants);
         let result = monodim(
             &MonodimInput {
                 ts,
-                invariants,
+                invariants: &level_invariants,
                 constraints: &constraints,
                 previous: &components,
                 max_iterations: max_iterations_per_dim,
@@ -49,26 +133,41 @@ pub fn synthesize_lexicographic(
             },
             stats,
         );
+        if result.witness.is_some() {
+            witness = result.witness.clone();
+        }
         if result.cancelled {
             stats.dimension = 0;
-            return None;
+            return LexOutcome::failure(witness, true, false);
+        }
+        if result.exhausted {
+            // The level has no maximal-power guarantee: building further
+            // levels on it would be unsound, and so would "no ranking
+            // function exists".
+            stats.dimension = 0;
+            return LexOutcome::failure(witness, false, true);
         }
         if result.strict {
             components.push(result.template);
             stats.dimension = components.len();
-            return Some(components);
+            return LexOutcome {
+                components: Some(components),
+                witness: None,
+                cancelled: false,
+                exhausted: false,
+            };
         }
         // Not strict: the new component must bring a new direction, otherwise
         // no lexicographic linear ranking function exists (Lemma 4).
         let stacked = result.template.stacked();
         if stacked.is_zero() || !span.insert(stacked) {
             stats.dimension = 0;
-            return None;
+            return LexOutcome::failure(witness, false, false);
         }
         components.push(result.template);
     }
     stats.dimension = 0;
-    None
+    LexOutcome::failure(witness, false, false)
 }
 
 #[cfg(test)]
@@ -117,7 +216,9 @@ mod tests {
         let mut stats = SynthesisStats::default();
         let result =
             synthesize_lexicographic(&ts, &invariants, 60, &CancelToken::new(), &mut stats);
-        let components = result.expect("a lexicographic ranking function exists");
+        let components = result
+            .components
+            .expect("a lexicographic ranking function exists");
         assert!(
             components.len() >= 2,
             "the reset loop needs at least two dimensions"
@@ -154,7 +255,7 @@ mod tests {
         // decreases across different cut points that rely on constant offsets
         // are not captured, so the result may be None here; when it is Some,
         // it must be a genuine multi-location certificate.
-        if let Some(components) = result {
+        if let Some(components) = result.components {
             assert!(!components.is_empty());
             assert_eq!(components[0].lambda.len(), 2);
         }
@@ -172,6 +273,7 @@ mod tests {
         let mut stats = SynthesisStats::default();
         let result =
             synthesize_lexicographic(&ts, &invariants, 40, &CancelToken::new(), &mut stats);
-        assert!(result.is_none());
+        assert!(result.components.is_none());
+        assert!(!result.cancelled);
     }
 }

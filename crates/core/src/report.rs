@@ -3,6 +3,7 @@
 use std::fmt;
 use termite_linalg::QVector;
 use termite_num::Rational;
+use termite_polyhedra::Polyhedron;
 
 /// A lexicographic linear ranking function over a set of cut points.
 ///
@@ -124,15 +125,76 @@ impl fmt::Display for RankingFunction {
     }
 }
 
-/// The verdict of a termination analysis.
+/// Why an analysis ended without a proof.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnknownReason {
+    /// The search completed: no lexicographic linear ranking function exists
+    /// relative to the supplied invariants (the program may still terminate).
+    NoRankingFunction,
+    /// The run was cancelled (portfolio loser, deadline, Ctrl-C) before an
+    /// answer was established.
+    Cancelled,
+    /// A resource budget (counterexample iterations, DNF disjuncts) was
+    /// exhausted before the search completed.
+    ResourceBudget,
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::NoRankingFunction => write!(f, "no ranking function"),
+            UnknownReason::Cancelled => write!(f, "cancelled"),
+            UnknownReason::ResourceBudget => write!(f, "resource budget exhausted"),
+        }
+    }
+}
+
+/// The verdict of a termination analysis — a three-point lattice
+/// `Terminates ⊒ TerminatesIf ⊒ Unknown` (see DESIGN.md).
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub enum TerminationVerdict {
-    /// Termination proved, with the synthesised lexicographic linear ranking
-    /// function as a certificate.
-    Terminating(RankingFunction),
-    /// No lexicographic linear ranking function exists **relative to the
-    /// supplied invariants** (the program may still terminate).
-    Unknown,
+pub enum Verdict {
+    /// Termination proved from **every** initial state, with the synthesised
+    /// lexicographic linear ranking function as the certificate.
+    Terminates(RankingFunction),
+    /// Conditional termination: every execution whose initial state satisfies
+    /// `precondition` terminates, certified by `ranking` (synthesised under
+    /// the invariants of the precondition-seeded forward analysis).
+    TerminatesIf {
+        /// Inferred entry-state precondition.
+        precondition: Polyhedron,
+        /// The certificate valid under the precondition.
+        ranking: RankingFunction,
+    },
+    /// No proof; `reason` says why the search stopped.
+    Unknown {
+        /// Why the analysis gave up.
+        reason: UnknownReason,
+    },
+}
+
+impl Verdict {
+    /// Shorthand for an unknown verdict with the given reason.
+    pub fn unknown(reason: UnknownReason) -> Verdict {
+        Verdict::Unknown { reason }
+    }
+
+    /// `true` for any proof (unconditional or conditional).
+    pub fn is_proof(&self) -> bool {
+        !matches!(self, Verdict::Unknown { .. })
+    }
+
+    /// Position in the verdict lattice: `Terminates` (2) above
+    /// `TerminatesIf` (1) above `Unknown` (0). The driver's string-side
+    /// `verdict_rank` (what `bench-diff` and the CI verdict gate compare
+    /// JSON reports with) must order verdict names identically; a test in
+    /// `termite-driver` pins the two against drift.
+    pub fn rank(&self) -> u8 {
+        match self {
+            Verdict::Terminates(_) => 2,
+            Verdict::TerminatesIf { .. } => 1,
+            Verdict::Unknown { .. } => 0,
+        }
+    }
 }
 
 /// Statistics of a synthesis run (the quantities reported in Table 1 of the
@@ -158,6 +220,9 @@ pub struct SynthesisStats {
     pub counterexamples: usize,
     /// Dimension of the synthesised function (0 when none).
     pub dimension: usize,
+    /// Invariant-refinement rounds taken by the conditional-termination
+    /// pipeline (0 when the first synthesis run already decided).
+    pub refinements: usize,
     /// Wall-clock time of the synthesis (milliseconds), excluding parsing and
     /// invariant generation (as in the paper's Table 1).
     pub synthesis_millis: f64,
@@ -183,30 +248,88 @@ pub struct TerminationReport {
     /// Name of the analysed program.
     pub program: String,
     /// The verdict.
-    pub verdict: TerminationVerdict,
+    pub verdict: Verdict,
     /// Statistics of the run.
     pub stats: SynthesisStats,
 }
 
 impl TerminationReport {
-    /// `true` if termination was proved.
+    /// `true` if termination was proved, unconditionally or under an
+    /// inferred precondition.
     pub fn proved(&self) -> bool {
-        matches!(self.verdict, TerminationVerdict::Terminating(_))
+        self.verdict.is_proof()
     }
 
-    /// The synthesised ranking function, if any.
+    /// `true` only for an unconditional proof.
+    pub fn proved_unconditionally(&self) -> bool {
+        matches!(self.verdict, Verdict::Terminates(_))
+    }
+
+    /// The synthesised ranking function, if any (present for both
+    /// unconditional and conditional proofs).
     pub fn ranking_function(&self) -> Option<&RankingFunction> {
         match &self.verdict {
-            TerminationVerdict::Terminating(rf) => Some(rf),
-            TerminationVerdict::Unknown => None,
+            Verdict::Terminates(rf) => Some(rf),
+            Verdict::TerminatesIf { ranking, .. } => Some(ranking),
+            Verdict::Unknown { .. } => None,
         }
     }
+
+    /// The inferred precondition, for conditional proofs.
+    pub fn precondition(&self) -> Option<&Polyhedron> {
+        match &self.verdict {
+            Verdict::TerminatesIf { precondition, .. } => Some(precondition),
+            _ => None,
+        }
+    }
+}
+
+/// Renders a precondition with the program's variable names (`Polyhedron`'s
+/// own `Display` only knows positional `x0, x1, …`).
+fn write_precondition(
+    f: &mut fmt::Formatter<'_>,
+    precondition: &Polyhedron,
+    var_names: &[String],
+) -> fmt::Result {
+    if precondition.constraints().is_empty() {
+        return write!(f, "true");
+    }
+    write!(f, "{{ ")?;
+    for (j, c) in precondition.constraints().iter().enumerate() {
+        if j > 0 {
+            write!(f, " ∧ ")?;
+        }
+        let mut first = true;
+        for (i, coeff) in c.coeffs.iter().enumerate() {
+            if coeff.is_zero() {
+                continue;
+            }
+            let name = var_names.get(i).cloned().unwrap_or_else(|| format!("x{i}"));
+            if first {
+                write!(f, "{coeff}·{name}")?;
+                first = false;
+            } else if coeff.is_negative() {
+                write!(f, " - {}·{name}", -coeff)?;
+            } else {
+                write!(f, " + {coeff}·{name}")?;
+            }
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        let op = match c.kind {
+            termite_polyhedra::ConstraintKind::GreaterEq => ">=",
+            termite_polyhedra::ConstraintKind::Equality => "=",
+        };
+        write!(f, " {op} {}", c.rhs)?;
+    }
+    write!(f, " }}")
 }
 
 impl fmt::Display for TerminationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.verdict {
-            TerminationVerdict::Terminating(rf) => {
+            Verdict::Terminates(rf) => {
                 writeln!(
                     f,
                     "{}: TERMINATING (dimension {})",
@@ -215,7 +338,16 @@ impl fmt::Display for TerminationReport {
                 )?;
                 write!(f, "{rf}")
             }
-            TerminationVerdict::Unknown => writeln!(f, "{}: UNKNOWN", self.program),
+            Verdict::TerminatesIf {
+                precondition,
+                ranking,
+            } => {
+                write!(f, "{}: TERMINATES IF ", self.program)?;
+                write_precondition(f, precondition, ranking.var_names())?;
+                writeln!(f, " (dimension {})", ranking.dimension())?;
+                write!(f, "{ranking}")
+            }
+            Verdict::Unknown { reason } => writeln!(f, "{}: UNKNOWN ({reason})", self.program),
         }
     }
 }
@@ -253,6 +385,52 @@ mod tests {
         assert!((s.lp_rows_avg - 3.0).abs() < 1e-9);
         assert!((s.lp_cols_avg - 15.0).abs() < 1e-9);
         assert_eq!(s.lp_max, (4, 20));
+    }
+
+    #[test]
+    fn verdict_lattice_ranks() {
+        let rf = RankingFunction::new(1, vec!["x".into()], Vec::new());
+        let terminates = Verdict::Terminates(rf.clone());
+        let conditional = Verdict::TerminatesIf {
+            precondition: Polyhedron::universe(1),
+            ranking: rf,
+        };
+        let unknown = Verdict::unknown(UnknownReason::NoRankingFunction);
+        assert!(terminates.rank() > conditional.rank());
+        assert!(conditional.rank() > unknown.rank());
+        assert!(terminates.is_proof() && conditional.is_proof());
+        assert!(!unknown.is_proof());
+    }
+
+    #[test]
+    fn report_accessors_cover_all_verdicts() {
+        let rf = RankingFunction::new(
+            1,
+            vec!["x".into()],
+            vec![vec![(QVector::from_i64(&[1]), Rational::from(0))]],
+        );
+        let mut report = TerminationReport {
+            program: "p".into(),
+            verdict: Verdict::Terminates(rf.clone()),
+            stats: SynthesisStats::default(),
+        };
+        assert!(report.proved() && report.proved_unconditionally());
+        assert!(report.ranking_function().is_some());
+        assert!(report.precondition().is_none());
+
+        report.verdict = Verdict::TerminatesIf {
+            precondition: Polyhedron::universe(1),
+            ranking: rf,
+        };
+        assert!(report.proved() && !report.proved_unconditionally());
+        assert!(report.ranking_function().is_some());
+        assert!(report.precondition().is_some());
+        assert!(report.to_string().contains("TERMINATES IF"));
+
+        report.verdict = Verdict::unknown(UnknownReason::Cancelled);
+        assert!(!report.proved());
+        assert!(report.ranking_function().is_none());
+        assert!(report.to_string().contains("cancelled"));
     }
 
     #[test]

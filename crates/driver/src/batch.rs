@@ -15,7 +15,7 @@ use std::collections::VecDeque;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use termite_core::{
-    AnalysisOptions, Engine, SynthesisStats, TerminationReport, TerminationVerdict,
+    AnalysisOptions, Engine, SynthesisStats, TerminationReport, UnknownReason, Verdict,
 };
 
 /// Configuration of one batch run.
@@ -123,7 +123,7 @@ fn cancelled_result(job: AnalysisJob) -> BatchResult {
     BatchResult {
         report: TerminationReport {
             program: job.name.clone(),
-            verdict: TerminationVerdict::Unknown,
+            verdict: Verdict::unknown(UnknownReason::Cancelled),
             stats: SynthesisStats::default(),
         },
         name: job.name,
@@ -184,8 +184,11 @@ fn run_one(job: &AnalysisJob, config: &BatchConfig, cache: Option<&ResultCache>)
 pub struct BatchTotals {
     /// Number of jobs.
     pub total: usize,
-    /// Number proved terminating.
+    /// Number proved terminating (unconditionally or conditionally).
     pub proved: usize,
+    /// Of `proved`, how many carry an inferred precondition
+    /// (`Verdict::TerminatesIf`).
+    pub conditional: usize,
     /// Number expected terminating (when ground truth is known).
     pub expected: usize,
     /// Results served from the cache.
@@ -206,6 +209,9 @@ impl BatchTotals {
         for r in results {
             if r.proved() {
                 totals.proved += 1;
+                if !r.report.proved_unconditionally() {
+                    totals.conditional += 1;
+                }
             }
             if r.expected_terminating == Some(true) {
                 totals.expected += 1;

@@ -2,18 +2,26 @@
 //!
 //! ```text
 //! termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
-//! termite suite <name|all> [--engine E | --portfolio] [--jobs N]
+//! termite suite <name|all> [--engine E | --portfolio] [--jobs N] [--shard k/n]
 //!                          [--json FILE] [--cache FILE] [--timeout-ms N]
+//! termite merge-reports <out.json> <in1.json> <in2.json> [...]
 //! termite bench-diff <old.json> <new.json> [--max-ratio R] [--min-millis M]
+//! termite check-verdicts <expected.json> <actual.json>
 //! termite table1
 //! ```
 //!
 //! `analyze` proves one program of the mini-language; `suite` batch-analyses
 //! a benchmark suite over the worker pool (optionally racing the engine
-//! portfolio per benchmark, optionally against a persistent result cache);
-//! `bench-diff` compares two `suite --json` reports (`BENCH_<seq>.json`
-//! trend files) and fails on verdict changes or per-benchmark time
-//! regressions; `table1` reproduces the paper's Table 1 report.
+//! portfolio per benchmark, optionally against a persistent result cache,
+//! optionally taking only every `n`-th benchmark by cache-key hash so a
+//! fleet of invocations can split a suite); `merge-reports` unions the
+//! `--json` reports of such shards back into one; `bench-diff` compares two
+//! `suite --json` reports (`BENCH_<seq>.json` trend files) and fails on
+//! verdict *regressions* (a proof becoming weaker on the
+//! `terminates ⊒ conditional ⊒ unknown` lattice) or per-benchmark time
+//! regressions — improvements are reported as notes; `check-verdicts` diffs
+//! a run against a committed expectation file (the CI suite-score gate);
+//! `table1` reproduces the paper's Table 1 report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,8 +30,8 @@ use termite_bench::{format_table, prepare_suite, run_suite};
 use termite_core::{AnalysisOptions, CancelToken, Engine};
 use termite_driver::json::Json;
 use termite_driver::{
-    report_to_json, run_batch, AnalysisJob, BatchConfig, BatchResult, BatchTotals, EngineSelection,
-    ResultCache,
+    cache_key, report_to_json, run_batch, verdict_name, verdict_rank, AnalysisJob, BatchConfig,
+    BatchResult, BatchTotals, EngineSelection, ResultCache,
 };
 use termite_invariants::InvariantOptions;
 use termite_ir::parse_named_program;
@@ -32,8 +40,10 @@ use termite_suite::SuiteId;
 const USAGE: &str = "usage:
   termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
   termite suite <polybench|sorts|termcomp|wtc|all> [--engine E | --portfolio]
-                [--jobs N] [--json FILE] [--cache FILE] [--timeout-ms N]
+                [--jobs N] [--shard k/n] [--json FILE] [--cache FILE] [--timeout-ms N]
+  termite merge-reports <out.json> <in1.json> <in2.json> [...]
   termite bench-diff <old.json> <new.json> [--max-ratio R] [--min-millis M]
+  termite check-verdicts <expected.json> <actual.json>
   termite table1
 
 engines: termite (default), eager, pr, heuristic";
@@ -57,6 +67,9 @@ struct Flags {
     json_path: Option<PathBuf>,
     cache_path: Option<PathBuf>,
     timeout: Option<Duration>,
+    /// `--shard k/n` (1-based `k`): keep only the benchmarks whose
+    /// cache-key hash lands in shard `k` of `n`.
+    shard: Option<(u64, u64)>,
 }
 
 fn parse_engine(name: &str) -> Result<Engine, String> {
@@ -76,6 +89,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         json_path: None,
         cache_path: None,
         timeout: None,
+        shard: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -97,6 +111,22 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .ok_or("--jobs needs a positive integer")?
             }
             "--json" => flags.json_path = Some(PathBuf::from(value("--json")?)),
+            "--shard" => {
+                let spec = value("--shard")?;
+                let (k, n) = spec
+                    .split_once('/')
+                    .ok_or("--shard needs the form k/n (e.g. 1/4)")?;
+                let k = k
+                    .parse::<u64>()
+                    .map_err(|_| "--shard k must be an integer")?;
+                let n = n
+                    .parse::<u64>()
+                    .map_err(|_| "--shard n must be an integer")?;
+                if n == 0 || k == 0 || k > n {
+                    return Err(format!("--shard {spec}: need 1 <= k <= n"));
+                }
+                flags.shard = Some((k, n));
+            }
             "--cache" => flags.cache_path = Some(PathBuf::from(value("--cache")?)),
             "--timeout-ms" => {
                 let ms = value("--timeout-ms")?
@@ -121,13 +151,18 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if flags.jobs != 1 {
                 return Err("analyze does not support --jobs (it runs one program)".to_string());
             }
+            if flags.shard.is_some() {
+                return Err("analyze does not support --shard (it runs one program)".to_string());
+            }
             analyze(file, flags)
         }
         Some("suite") => {
             let name = args.get(1).ok_or("suite needs a suite name")?;
             suite_command(name, parse_flags(&args[2..])?)
         }
+        Some("merge-reports") => merge_reports(&args[1..]),
         Some("bench-diff") => bench_diff(&args[1..]),
+        Some("check-verdicts") => check_verdicts(&args[1..]),
         Some("table1") => {
             if let Some(flag) = args.get(1) {
                 return Err(format!("table1 takes no flags (got `{flag}`)"));
@@ -190,6 +225,26 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         jobs.extend(suite_jobs);
     }
 
+    if let Some((k, n)) = flags.shard {
+        // Deterministic split on the content-addressed cache key, so every
+        // shard of a fleet sees the same partition regardless of suite
+        // ordering, and re-sharding with a different n re-balances cleanly.
+        let options = AnalysisOptions::default();
+        let before = jobs.len();
+        let paired: Vec<(AnalysisJob, &'static str)> = jobs
+            .into_iter()
+            .zip(suite_of)
+            .filter(|(job, _)| {
+                let key = cache_key(job, &flags.selection, &options);
+                let hash = u64::from_str_radix(&key, 16).unwrap_or(0);
+                hash % n == k - 1
+            })
+            .collect();
+        jobs = paired.iter().map(|(j, _)| j.clone()).collect();
+        suite_of = paired.into_iter().map(|(_, s)| s).collect();
+        eprintln!("shard {k}/{n}: {} of {before} benchmarks", jobs.len());
+    }
+
     let start = Instant::now();
     let results = run_jobs(jobs, &flags)?;
     let wall = start.elapsed().as_secs_f64() * 1000.0;
@@ -199,10 +254,9 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         "benchmark", "suite", "verdict", "dim", "iters", "time(ms)", "cache"
     );
     for (result, suite) in results.iter().zip(&suite_of) {
-        let verdict = if result.proved() {
-            "TERMINATING"
-        } else {
-            "unknown"
+        let verdict = match verdict_name(&result.report.verdict) {
+            "terminates" => "TERMINATING",
+            other => other,
         };
         println!(
             "{:<26} {:<10} {:>12} {:>5} {:>6} {:>10.2} {:>7}",
@@ -217,10 +271,11 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
     }
     let totals = BatchTotals::of(&results);
     println!(
-        "\ntotals: {}/{} proved ({} expected), {} cache hits ({:.0}%), \
+        "\ntotals: {}/{} proved ({} conditional, {} expected), {} cache hits ({:.0}%), \
          synthesis {:.1} ms, batch wall {:.1} ms ({} workers)",
         totals.proved,
         totals.total,
+        totals.conditional,
         totals.expected,
         totals.cache_hits,
         100.0 * totals.cache_hits as f64 / totals.total.max(1) as f64,
@@ -275,6 +330,10 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
             Json::object([
                 ("name", Json::String(r.name.clone())),
                 ("suite", Json::String(suite.to_string())),
+                (
+                    "verdict",
+                    Json::String(verdict_name(&r.report.verdict).to_string()),
+                ),
                 ("terminating", Json::Bool(r.proved())),
                 (
                     "expected_terminating",
@@ -318,6 +377,7 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
             Json::object([
                 ("total", Json::Number(totals.total as f64)),
                 ("proved", Json::Number(totals.proved as f64)),
+                ("conditional", Json::Number(totals.conditional as f64)),
                 ("expected", Json::Number(totals.expected as f64)),
                 ("cache_hits", Json::Number(totals.cache_hits as f64)),
                 ("synthesis_millis", Json::Number(totals.synthesis_millis)),
@@ -327,11 +387,51 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
     ])
 }
 
-/// Compares two `suite --json` trend files (`BENCH_<seq>.json`): every
-/// benchmark of the old report must keep its verdict in the new one, and may
-/// not get slower than `--max-ratio` (default 2x), ignoring benchmarks faster
-/// than `--min-millis` (default 5 ms) in both runs, where timer noise
-/// dominates.
+/// Reads the `(name, verdict, synthesis_millis, lp_pivots)` records of a
+/// `suite --json` report. Pre-verdict (v1) reports carry only the
+/// `terminating` boolean, which maps onto the lattice endpoints.
+fn load_report(path: &str) -> Result<Vec<(String, String, f64, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+    let benchmarks = doc
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: missing `benchmarks` array"))?;
+    benchmarks
+        .iter()
+        .map(|b| {
+            let name = b
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{path}: benchmark without `name`"))?;
+            let verdict = match b.get("verdict").and_then(Json::as_str) {
+                Some(v) => v.to_string(),
+                None => {
+                    let terminating = b
+                        .get("terminating")
+                        .and_then(Json::as_bool)
+                        .ok_or_else(|| format!("{path}: `{name}` without a verdict"))?;
+                    if terminating { "terminates" } else { "unknown" }.to_string()
+                }
+            };
+            let millis = b
+                .get("synthesis_millis")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("{path}: `{name}` without `synthesis_millis`"))?;
+            let pivots = b.get("lp_pivots").and_then(Json::as_f64).unwrap_or(0.0);
+            Ok((name.to_string(), verdict, millis, pivots))
+        })
+        .collect()
+}
+
+/// Compares two `suite --json` trend files (`BENCH_<seq>.json`). Failures
+/// are *regressions only*: a verdict dropping on the
+/// `terminates ⊒ conditional ⊒ unknown` lattice, a benchmark missing from
+/// the new report, or a slowdown beyond `--max-ratio` (default 2x, ignoring
+/// benchmarks faster than `--min-millis`, default 5 ms, in both runs, where
+/// timer noise dominates). Verdict *improvements* are reported as notes —
+/// without this asymmetry, the conditional-termination pipeline's own
+/// improvements would break the trend gate.
 fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
     let old_path = args.first().ok_or("bench-diff needs two JSON files")?;
     let new_path = args.get(1).ok_or("bench-diff needs two JSON files")?;
@@ -363,36 +463,9 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let load = |path: &str| -> Result<Vec<(String, bool, f64, f64)>, String> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-        let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
-        let benchmarks = doc
-            .get("benchmarks")
-            .and_then(Json::as_array)
-            .ok_or_else(|| format!("{path}: missing `benchmarks` array"))?;
-        benchmarks
-            .iter()
-            .map(|b| {
-                let name = b
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| format!("{path}: benchmark without `name`"))?;
-                let terminating = b
-                    .get("terminating")
-                    .and_then(Json::as_bool)
-                    .ok_or_else(|| format!("{path}: `{name}` without `terminating`"))?;
-                let millis = b
-                    .get("synthesis_millis")
-                    .and_then(Json::as_f64)
-                    .ok_or_else(|| format!("{path}: `{name}` without `synthesis_millis`"))?;
-                let pivots = b.get("lp_pivots").and_then(Json::as_f64).unwrap_or(0.0);
-                Ok((name.to_string(), terminating, millis, pivots))
-            })
-            .collect()
-    };
-    let old = load(old_path)?;
-    let new = load(new_path)?;
-    let new_by_name: std::collections::BTreeMap<&str, &(String, bool, f64, f64)> =
+    let old = load_report(old_path)?;
+    let new = load_report(new_path)?;
+    let new_by_name: std::collections::BTreeMap<&str, &(String, String, f64, f64)> =
         new.iter().map(|b| (b.0.as_str(), b)).collect();
 
     println!(
@@ -400,6 +473,7 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
         "benchmark", "old(ms)", "new(ms)", "ratio", "old piv", "new piv"
     );
     let mut failures = 0usize;
+    let mut improvements = 0usize;
     for (name, old_verdict, old_ms, old_piv) in &old {
         let Some((_, new_verdict, new_ms, new_piv)) = new_by_name.get(name.as_str()) else {
             println!("{name:<26} {:>64}", "MISSING from new report");
@@ -407,9 +481,13 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
             continue;
         };
         let ratio = if *old_ms > 0.0 { new_ms / old_ms } else { 1.0 };
-        let status = if old_verdict != new_verdict {
+        let (old_rank, new_rank) = (verdict_rank(old_verdict), verdict_rank(new_verdict));
+        let status = if new_rank < old_rank {
             failures += 1;
-            "VERDICT CHANGED"
+            "VERDICT REGRESSED"
+        } else if new_rank > old_rank {
+            improvements += 1;
+            "improved"
         } else if ratio > max_ratio && (*new_ms > min_millis || *old_ms > min_millis) {
             failures += 1;
             "REGRESSION"
@@ -420,11 +498,172 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
             "{name:<26} {old_ms:>12.2} {new_ms:>12.2} {ratio:>6.2}x {old_piv:>10} {new_piv:>10}  {status}"
         );
     }
+    if improvements > 0 {
+        println!("bench-diff: note: {improvements} verdict improvement(s) (not failures)");
+    }
     if failures > 0 {
-        eprintln!("bench-diff: {failures} benchmark(s) regressed or changed verdict");
+        eprintln!("bench-diff: {failures} benchmark(s) regressed");
         Ok(ExitCode::from(1))
     } else {
         println!("bench-diff: no regressions ({} benchmarks)", old.len());
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+/// Unions several shard `--json` reports into one: concatenates the
+/// benchmark records and recomputes the totals, so a fleet of
+/// `suite --shard k/n --json` runs merges back into the report an unsharded
+/// run would have produced (ordering aside; `totals.wall_millis` is the
+/// slowest shard's batch wall clock, since fleet shards run concurrently).
+fn merge_reports(args: &[String]) -> Result<ExitCode, String> {
+    if args.len() < 3 {
+        return Err("merge-reports needs an output file and at least two inputs".to_string());
+    }
+    let out_path = &args[0];
+    let mut benchmarks: Vec<Json> = Vec::new();
+    let mut slowest_shard_wall = 0.0f64;
+    for path in &args[1..] {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
+        let shard = doc
+            .get("benchmarks")
+            .and_then(Json::as_array)
+            .ok_or_else(|| format!("{path}: missing `benchmarks` array"))?;
+        // Shards of a fleet run concurrently, so the union's batch wall
+        // clock is the slowest shard's — not the sum (and not the sum of
+        // per-benchmark walls, which double-counts multi-worker overlap).
+        let shard_wall = doc
+            .get("totals")
+            .and_then(|t| t.get("wall_millis"))
+            .and_then(Json::as_f64)
+            .unwrap_or_else(|| {
+                shard
+                    .iter()
+                    .filter_map(|b| b.get("wall_millis").and_then(Json::as_f64))
+                    .sum()
+            });
+        slowest_shard_wall = slowest_shard_wall.max(shard_wall);
+        benchmarks.extend(shard.iter().cloned());
+    }
+    // Deterministic order regardless of shard assignment.
+    benchmarks.sort_by(|a, b| {
+        let name = |j: &Json| {
+            j.get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string()
+        };
+        name(a).cmp(&name(b))
+    });
+    {
+        let mut seen = std::collections::BTreeSet::new();
+        for b in &benchmarks {
+            let name = b.get("name").and_then(Json::as_str).unwrap_or("");
+            if !seen.insert(name.to_string()) {
+                return Err(format!(
+                    "merge-reports: benchmark `{name}` appears in more than one shard"
+                ));
+            }
+        }
+    }
+    let count_where = |pred: &dyn Fn(&Json) -> bool| benchmarks.iter().filter(|b| pred(b)).count();
+    let sum_of = |field: &str| -> f64 {
+        benchmarks
+            .iter()
+            .filter_map(|b| b.get(field).and_then(Json::as_f64))
+            .sum()
+    };
+    let totals = Json::object([
+        ("total", Json::Number(benchmarks.len() as f64)),
+        (
+            "proved",
+            Json::Number(count_where(&|b| {
+                b.get("terminating").and_then(Json::as_bool) == Some(true)
+            }) as f64),
+        ),
+        (
+            "conditional",
+            Json::Number(count_where(&|b| {
+                b.get("verdict").and_then(Json::as_str) == Some("conditional")
+            }) as f64),
+        ),
+        (
+            "expected",
+            Json::Number(count_where(&|b| {
+                b.get("expected_terminating").and_then(Json::as_bool) == Some(true)
+            }) as f64),
+        ),
+        (
+            "cache_hits",
+            Json::Number(
+                count_where(&|b| b.get("from_cache").and_then(Json::as_bool) == Some(true)) as f64,
+            ),
+        ),
+        ("synthesis_millis", Json::Number(sum_of("synthesis_millis"))),
+        ("wall_millis", Json::Number(slowest_shard_wall)),
+    ]);
+    let doc = Json::object([("benchmarks", Json::Array(benchmarks)), ("totals", totals)]);
+    std::fs::write(out_path, doc.to_string()).map_err(|e| format!("write {out_path}: {e}"))?;
+    eprintln!("merged {} shard report(s) into {out_path}", args.len() - 1);
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The CI suite-score gate: every benchmark of the committed expectation
+/// file must reach at least its expected verdict on the
+/// `terminates ⊒ conditional ⊒ unknown` lattice in the actual `--json` run.
+/// Verdicts *above* expectation are notes inviting a bump of the file, so
+/// prover-power regressions fail CI even when bench timings do not.
+fn check_verdicts(args: &[String]) -> Result<ExitCode, String> {
+    let expected_path = args.first().ok_or("check-verdicts needs two JSON files")?;
+    let actual_path = args.get(1).ok_or("check-verdicts needs two JSON files")?;
+    if let Some(extra) = args.get(2) {
+        return Err(format!("check-verdicts takes two files (got `{extra}`)"));
+    }
+    let text =
+        std::fs::read_to_string(expected_path).map_err(|e| format!("read {expected_path}: {e}"))?;
+    let expected = Json::parse(&text).map_err(|e| format!("parse {expected_path}: {e}"))?;
+    let Json::Object(expected) = expected else {
+        return Err(format!("{expected_path}: expected a name → verdict object"));
+    };
+    let actual = load_report(actual_path)?;
+    let actual_by_name: std::collections::BTreeMap<&str, &str> = actual
+        .iter()
+        .map(|(name, verdict, _, _)| (name.as_str(), verdict.as_str()))
+        .collect();
+
+    let mut failures = 0usize;
+    let mut better = 0usize;
+    for (name, expected_verdict) in &expected {
+        let expected_verdict = expected_verdict
+            .as_str()
+            .ok_or_else(|| format!("{expected_path}: `{name}` verdict must be a string"))?;
+        match actual_by_name.get(name.as_str()) {
+            None => {
+                println!("{name:<26} MISSING from {actual_path}");
+                failures += 1;
+            }
+            Some(actual_verdict) => {
+                let (want, got) = (verdict_rank(expected_verdict), verdict_rank(actual_verdict));
+                if got < want {
+                    println!("{name:<26} expected {expected_verdict}, got {actual_verdict}");
+                    failures += 1;
+                } else if got > want {
+                    better += 1;
+                }
+            }
+        }
+    }
+    if better > 0 {
+        println!(
+            "check-verdicts: note: {better} benchmark(s) beat their expected verdict — \
+             consider updating {expected_path}"
+        );
+    }
+    if failures > 0 {
+        eprintln!("check-verdicts: {failures} verdict(s) below expectation");
+        Ok(ExitCode::from(1))
+    } else {
+        println!("check-verdicts: all {} expectations met", expected.len());
         Ok(ExitCode::SUCCESS)
     }
 }

@@ -2,10 +2,13 @@
 //!
 //! A cache key is a 64-bit FNV-1a hash of the *normalized analysis input*:
 //! the transition-system content (variable names, cut points, per-transition
-//! formulas — not the program name), the invariants, the engine configuration
-//! and every option that can change the verdict. Two benchmarks with the same
-//! loop structure therefore share one entry even across suites, and repeated
-//! batch runs are near-free.
+//! formulas — not the program name), the invariants, the engine
+//! configuration, every option that can change the verdict, and — for jobs
+//! that carry their program and hence can earn a conditional verdict — the
+//! program content itself (the refinement pipeline sees the whole CFG, not
+//! just the cut-point transition system). Two benchmarks with the same
+//! analysis input therefore share one entry even across suites, and
+//! repeated batch runs are near-free.
 //!
 //! The store is an in-memory map behind a mutex, optionally persisted to a
 //! JSON file ([`ResultCache::load`] / [`ResultCache::save`]) so cache state
@@ -20,15 +23,22 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use termite_core::{
-    AnalysisOptions, RankingFunction, SynthesisStats, TerminationReport, TerminationVerdict,
+    AnalysisOptions, RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict,
 };
 use termite_linalg::QVector;
 use termite_num::Rational;
+use termite_polyhedra::{Constraint, ConstraintKind, Polyhedron};
 
-/// Version stamp of the on-disk format (and of the key derivation: bump it
-/// whenever either changes, so stale files are ignored rather than
-/// misinterpreted).
-const FORMAT_VERSION: f64 = 1.0;
+/// Version stamp of the on-disk format: bump it whenever the schema changes.
+/// Version 2 added the structured verdict (`terminates` / `conditional` /
+/// `unknown` with a reason, plus the inferred precondition); version-1 files
+/// are still accepted and migrated entry-by-entry on read (a v1 `ranking`
+/// becomes an unconditional proof, a v1 `null` an
+/// `Unknown(NoRankingFunction)`).
+const FORMAT_VERSION: f64 = 2.0;
+
+/// Oldest on-disk version [`ResultCache::load`] can migrate.
+const OLDEST_READABLE_VERSION: f64 = 1.0;
 
 /// 64-bit FNV-1a.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -70,6 +80,26 @@ pub fn cache_key(
         "opts:iters={},disjuncts={},inv={:?};",
         options.max_iterations_per_dim, options.max_eager_disjuncts, options.invariants
     );
+    // Conditional termination changes what a verdict can be: the refinement
+    // pipeline re-derives everything from the program CFG, so two different
+    // programs can share a cut-point transition system and one-shot
+    // invariants (e.g. an entry havoc is invisible to both) yet earn
+    // different preconditions. Program-carrying jobs therefore key on the
+    // program itself, never just on its transition system.
+    match &job.program {
+        // Everything except the name (cache hits are re-labelled with the
+        // requesting job's name, so the key must stay name-independent).
+        Some(program) => {
+            let _ = write!(
+                text,
+                "refine:vars={:?},init={:?},body={:?},budget={};",
+                program.vars, program.init, program.body, options.max_refinements
+            );
+        }
+        None => {
+            let _ = write!(text, "refine:none,budget={};", options.max_refinements);
+        }
+    }
     format!("{:016x}", fnv1a(text.as_bytes()))
 }
 
@@ -143,8 +173,14 @@ impl ResultCache {
         }
         let text = std::fs::read_to_string(path).map_err(|e| format!("read {path:?}: {e}"))?;
         let doc = Json::parse(&text).map_err(|e| format!("parse {path:?}: {e}"))?;
-        if doc.get("version").and_then(Json::as_f64) != Some(FORMAT_VERSION) {
-            return Err(format!("{path:?}: unsupported cache format version"));
+        let version = doc
+            .get("version")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("{path:?}: missing cache format version"))?;
+        if !(OLDEST_READABLE_VERSION..=FORMAT_VERSION).contains(&version) {
+            return Err(format!(
+                "{path:?}: unsupported cache format version {version}"
+            ));
         }
         let cache = ResultCache::new();
         let Some(Json::Object(entries)) = doc.get("entries") else {
@@ -183,7 +219,98 @@ impl ResultCache {
     }
 }
 
-/// Serializes a report (verdict, ranking function, statistics).
+/// Serializes a polyhedron as its constraint list.
+pub fn polyhedron_to_json(p: &Polyhedron) -> Json {
+    Json::object([
+        ("dim", Json::Number(p.dim() as f64)),
+        (
+            "constraints",
+            Json::Array(
+                p.constraints()
+                    .iter()
+                    .map(|c| {
+                        Json::object([
+                            (
+                                "coeffs",
+                                Json::Array(
+                                    c.coeffs
+                                        .iter()
+                                        .map(|v| Json::String(v.to_string()))
+                                        .collect(),
+                                ),
+                            ),
+                            ("rhs", Json::String(c.rhs.to_string())),
+                            (
+                                "kind",
+                                Json::String(
+                                    match c.kind {
+                                        ConstraintKind::GreaterEq => "ge",
+                                        ConstraintKind::Equality => "eq",
+                                    }
+                                    .to_string(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Deserializes a polyhedron written by [`polyhedron_to_json`].
+pub fn polyhedron_from_json(json: &Json) -> Result<Polyhedron, String> {
+    let dim = json
+        .get("dim")
+        .and_then(Json::as_usize)
+        .ok_or("precondition without `dim`")?;
+    let constraints = json
+        .get("constraints")
+        .and_then(Json::as_array)
+        .ok_or("precondition without `constraints`")?
+        .iter()
+        .map(|c| {
+            let coeffs = c
+                .get("coeffs")
+                .and_then(Json::as_array)
+                .ok_or("constraint without coeffs")?
+                .iter()
+                .map(rational)
+                .collect::<Result<Vec<_>, _>>()?;
+            let rhs = rational(c.get("rhs").ok_or("constraint without rhs")?)?;
+            let coeffs = QVector::from_vec(coeffs);
+            match c.get("kind").and_then(Json::as_str) {
+                Some("ge") => Ok(Constraint::ge(coeffs, rhs)),
+                Some("eq") => Ok(Constraint::eq(coeffs, rhs)),
+                other => Err(format!("unknown constraint kind {other:?}")),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Polyhedron::from_constraints(dim, constraints))
+}
+
+/// The canonical short name of a verdict, shared by the cache schema, the
+/// `suite --json` reports, `bench-diff` and the CI verdict gate.
+pub fn verdict_name(verdict: &Verdict) -> &'static str {
+    match verdict {
+        Verdict::Terminates(_) => "terminates",
+        Verdict::TerminatesIf { .. } => "conditional",
+        Verdict::Unknown { .. } => "unknown",
+    }
+}
+
+/// Orders verdict names on the `Terminates ⊒ TerminatesIf ⊒ Unknown`
+/// lattice; unknown strings rank lowest (conservative).
+pub fn verdict_rank(name: &str) -> u8 {
+    match name {
+        "terminates" => 2,
+        "conditional" => 1,
+        _ => 0,
+    }
+}
+
+/// Serializes a report (verdict, ranking function, precondition,
+/// statistics).
 pub fn report_to_json(report: &TerminationReport) -> Json {
     let ranking = match report.ranking_function() {
         None => Json::Null,
@@ -227,9 +354,32 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
         }
     };
     let s = &report.stats;
+    let unknown_reason = match &report.verdict {
+        Verdict::Unknown { reason } => Json::String(
+            match reason {
+                UnknownReason::NoRankingFunction => "no-ranking-function",
+                UnknownReason::Cancelled => "cancelled",
+                UnknownReason::ResourceBudget => "resource-budget",
+            }
+            .to_string(),
+        ),
+        _ => Json::Null,
+    };
     Json::object([
         ("program", Json::String(report.program.clone())),
+        (
+            "verdict",
+            Json::String(verdict_name(&report.verdict).to_string()),
+        ),
         ("terminating", Json::Bool(report.proved())),
+        ("unknown_reason", unknown_reason),
+        (
+            "precondition",
+            match report.precondition() {
+                Some(p) => polyhedron_to_json(p),
+                None => Json::Null,
+            },
+        ),
         ("ranking", ranking),
         (
             "stats",
@@ -244,6 +394,7 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
                 ("smt_queries", Json::Number(s.smt_queries as f64)),
                 ("counterexamples", Json::Number(s.counterexamples as f64)),
                 ("dimension", Json::Number(s.dimension as f64)),
+                ("refinements", Json::Number(s.refinements as f64)),
                 ("synthesis_millis", Json::Number(s.synthesis_millis)),
             ]),
         ),
@@ -257,15 +408,16 @@ fn rational(json: &Json) -> Result<Rational, String> {
         .map_err(|e| format!("bad rational: {e:?}"))
 }
 
-/// Deserializes a report written by [`report_to_json`].
+/// Deserializes a report written by [`report_to_json`], migrating
+/// version-1 records (which had no `verdict` field) on the fly.
 pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
     let program = json
         .get("program")
         .and_then(Json::as_str)
         .ok_or("missing `program`")?
         .to_string();
-    let verdict = match json.get("ranking") {
-        None | Some(Json::Null) => TerminationVerdict::Unknown,
+    let ranking = match json.get("ranking") {
+        None | Some(Json::Null) => None,
         Some(rf) => {
             let num_vars = rf
                 .get("num_vars")
@@ -302,8 +454,36 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
                         .collect::<Result<Vec<_>, _>>()
                 })
                 .collect::<Result<Vec<_>, String>>()?;
-            TerminationVerdict::Terminating(RankingFunction::new(num_vars, var_names, components))
+            Some(RankingFunction::new(num_vars, var_names, components))
         }
+    };
+    let unknown_reason = || match json.get("unknown_reason").and_then(Json::as_str) {
+        Some("cancelled") => UnknownReason::Cancelled,
+        Some("resource-budget") => UnknownReason::ResourceBudget,
+        // v1 records (and v2 "no-ranking-function") land here.
+        _ => UnknownReason::NoRankingFunction,
+    };
+    let verdict = match json.get("verdict").and_then(Json::as_str) {
+        // v2 record: the verdict field is authoritative.
+        Some("terminates") => {
+            Verdict::Terminates(ranking.ok_or("`terminates` verdict without `ranking`")?)
+        }
+        Some("conditional") => Verdict::TerminatesIf {
+            precondition: polyhedron_from_json(
+                json.get("precondition")
+                    .ok_or("`conditional` verdict without `precondition`")?,
+            )?,
+            ranking: ranking.ok_or("`conditional` verdict without `ranking`")?,
+        },
+        Some("unknown") => Verdict::Unknown {
+            reason: unknown_reason(),
+        },
+        Some(other) => return Err(format!("unknown verdict `{other}`")),
+        // v1 migration: the presence of a ranking function was the verdict.
+        None => match ranking {
+            Some(rf) => Verdict::Terminates(rf),
+            None => Verdict::unknown(UnknownReason::NoRankingFunction),
+        },
     };
     let stats_json = json.get("stats").ok_or("missing `stats`")?;
     let field = |name: &str| -> Result<f64, String> {
@@ -326,6 +506,8 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
         smt_queries: field("smt_queries")? as usize,
         counterexamples: field("counterexamples")? as usize,
         dimension: field("dimension")? as usize,
+        // Absent in v1 cache files (no refinement pipeline yet).
+        refinements: field("refinements").unwrap_or(0.0) as usize,
         synthesis_millis: field("synthesis_millis")?,
     };
     Ok(TerminationReport {
@@ -365,6 +547,48 @@ mod tests {
         // Different engine configuration → different key.
         let other = EngineSelection::single(Engine::Eager);
         assert_ne!(cache_key(&a, &sel, &opts), cache_key(&a, &other, &opts));
+    }
+
+    #[test]
+    fn key_separates_programs_sharing_a_transition_system() {
+        // An entry havoc is invisible to the cut-point transition system and
+        // (from the unconstrained entry) to the forward invariants, but the
+        // refinement pipeline treats the two programs very differently: the
+        // demonic havoc co-transfer blocks any precondition on `y`. The keys
+        // must not collide, or the havocked program would be served the
+        // other's conditional verdict.
+        let opts = AnalysisOptions::default();
+        let sel = EngineSelection::single(Engine::Termite);
+        let plain = job("var x, y; while (x > 0) { x = x + y; }");
+        let havocked = job("var x, y; y = nondet(); while (x > 0) { x = x + y; }");
+        assert_eq!(
+            plain.ts.transitions().len(),
+            havocked.ts.transitions().len()
+        );
+        assert_ne!(
+            cache_key(&plain, &sel, &opts),
+            cache_key(&havocked, &sel, &opts)
+        );
+    }
+
+    #[test]
+    fn string_rank_agrees_with_core_verdict_rank() {
+        // `bench-diff` and the CI verdict gate order verdict *names* with
+        // `verdict_rank`; `termite_core::Verdict::rank` orders the values.
+        // The two lattices must never drift apart.
+        use termite_core::{RankingFunction, UnknownReason, Verdict};
+        let ranking = RankingFunction::new(1, vec!["x".into()], Vec::new());
+        let verdicts = [
+            Verdict::Terminates(ranking.clone()),
+            Verdict::TerminatesIf {
+                precondition: termite_polyhedra::Polyhedron::universe(1),
+                ranking,
+            },
+            Verdict::unknown(UnknownReason::NoRankingFunction),
+        ];
+        for v in &verdicts {
+            assert_eq!(verdict_rank(verdict_name(v)), v.rank(), "{v:?}");
+        }
     }
 
     #[test]
@@ -426,6 +650,90 @@ mod tests {
         let reloaded = ResultCache::load(&path).unwrap();
         assert_eq!(reloaded.lookup(&key), Some(report));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn conditional_report_roundtrips_with_precondition() {
+        let p = parse_program("var x, y; while (x > 0) { x = x + y; }").unwrap();
+        let report = termite_core::prove_termination(&p, &AnalysisOptions::default());
+        assert!(
+            report.precondition().is_some(),
+            "x += y must get a conditional verdict"
+        );
+        let back =
+            report_from_json(&Json::parse(&report_to_json(&report).to_string()).unwrap()).unwrap();
+        assert_eq!(back, report, "conditional verdicts must round-trip");
+    }
+
+    #[test]
+    fn version_1_cache_files_are_migrated_on_read() {
+        // A hand-written v1 file: no `verdict` field, the presence of
+        // `ranking` is the verdict; stats lack `refinements`.
+        let v1 = r#"{
+          "version": 1,
+          "entries": {
+            "00000000000000aa": {
+              "program": "old_proof",
+              "terminating": true,
+              "ranking": {
+                "num_vars": 1,
+                "var_names": ["x"],
+                "components": [[{"lambda": ["1"], "lambda0": "0"}]]
+              },
+              "stats": {
+                "iterations": 2, "lp_instances": 2, "lp_rows_avg": 1.0,
+                "lp_cols_avg": 2.0, "lp_max_rows": 1, "lp_max_cols": 2,
+                "smt_queries": 3, "counterexamples": 1, "dimension": 1,
+                "synthesis_millis": 0.5
+              }
+            },
+            "00000000000000bb": {
+              "program": "old_unknown",
+              "terminating": false,
+              "ranking": null,
+              "stats": {
+                "iterations": 1, "lp_instances": 0, "lp_rows_avg": 0.0,
+                "lp_cols_avg": 0.0, "lp_max_rows": 0, "lp_max_cols": 0,
+                "smt_queries": 1, "counterexamples": 0, "dimension": 0,
+                "synthesis_millis": 0.1
+              }
+            }
+          }
+        }"#;
+        let path = std::env::temp_dir().join("termite-driver-v1-cache.json");
+        std::fs::write(&path, v1).unwrap();
+        let cache = ResultCache::load(&path).unwrap();
+        assert_eq!(cache.len(), 2);
+        let proof = cache.lookup("00000000000000aa").unwrap();
+        assert!(matches!(proof.verdict, Verdict::Terminates(_)));
+        assert_eq!(proof.stats.refinements, 0);
+        let unknown = cache.lookup("00000000000000bb").unwrap();
+        assert!(matches!(
+            unknown.verdict,
+            Verdict::Unknown {
+                reason: UnknownReason::NoRankingFunction
+            }
+        ));
+        // Re-persisting writes the current (v2) schema, which reloads too.
+        cache.save(&path).unwrap();
+        let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(doc.get("version").and_then(Json::as_f64), Some(2.0));
+        assert!(ResultCache::load(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn refinement_aware_jobs_get_distinct_keys() {
+        let opts = AnalysisOptions::default();
+        let sel = EngineSelection::single(Engine::Termite);
+        let with_program = job("var x; while (x > 0) { x = x - 1; }");
+        let mut one_shot = with_program.clone();
+        one_shot.program = None;
+        assert_ne!(
+            cache_key(&with_program, &sel, &opts),
+            cache_key(&one_shot, &sel, &opts),
+            "pipeline-enabled jobs must not share entries with one-shot jobs"
+        );
     }
 
     #[test]

@@ -11,7 +11,10 @@ use termite_suite::{suite, SuiteId};
 /// Front-end and invariant generation happen at job-construction time (as in
 /// the paper's methodology, which excludes both from the reported times), so
 /// workers spend their time in ranking-function synthesis only, and one job
-/// can be raced across several engines without re-preparing anything.
+/// can be raced across several engines without re-preparing anything. When
+/// the `program` source is available, workers run the full refinement
+/// pipeline (conditional termination); without it, the engines fall back to
+/// the one-shot invariants.
 #[derive(Clone, Debug)]
 pub struct AnalysisJob {
     /// Name of the analysed program.
@@ -23,6 +26,9 @@ pub struct AnalysisJob {
     /// Ground truth, when known (benchmark suites record whether a
     /// lexicographic linear ranking function is expected to exist).
     pub expected_terminating: Option<bool>,
+    /// The program source, when available: enables precondition refinement
+    /// (`Verdict::TerminatesIf`) inside the workers.
+    pub program: Option<Program>,
 }
 
 impl AnalysisJob {
@@ -34,6 +40,7 @@ impl AnalysisJob {
             ts: program.transition_system(),
             invariants: location_invariants(program, invariant_options),
             expected_terminating: None,
+            program: Some(program.clone()),
         }
     }
 
@@ -44,6 +51,7 @@ impl AnalysisJob {
             ts: prepared.ts,
             invariants: prepared.invariants,
             expected_terminating: Some(prepared.expected_terminating),
+            program: Some(prepared.program),
         }
     }
 

@@ -66,6 +66,9 @@ pub mod json;
 mod portfolio;
 
 pub use batch::{run_batch, BatchConfig, BatchResult, BatchTotals};
-pub use cache::{cache_key, report_from_json, report_to_json, CacheStats, ResultCache};
+pub use cache::{
+    cache_key, polyhedron_from_json, polyhedron_to_json, report_from_json, report_to_json,
+    verdict_name, verdict_rank, CacheStats, ResultCache,
+};
 pub use job::AnalysisJob;
 pub use portfolio::{run_selection, EngineSelection, PortfolioOutcome};

@@ -12,7 +12,29 @@
 use crate::job::AnalysisJob;
 use std::fmt;
 use std::sync::Mutex;
-use termite_core::{prove_transition_system, AnalysisOptions, Engine, TerminationReport};
+use termite_core::{
+    prove_termination, prove_transition_system, AnalysisOptions, Engine, TerminationReport,
+};
+
+/// Runs one engine on a job: through the full refinement pipeline when the
+/// program source is available (conditional termination), through the
+/// one-shot prepared invariants otherwise.
+///
+/// Program-carrying jobs deliberately ignore the prepared `job.ts` /
+/// `job.invariants`: each racing engine owns a private, *mutable*
+/// `FixpointPipeline` (refinement narrows its entry set mid-run), so the
+/// forward fixpoint + Houdini stages are recomputed per engine rather than
+/// shared behind a lock. That redundancy is bounded by the invariant
+/// generator's cost (milliseconds per job) and buys lock-free racing; the
+/// prepared fields still serve transition-system-only jobs.
+fn prove_job(job: &AnalysisJob, options: &AnalysisOptions) -> TerminationReport {
+    let mut report = match &job.program {
+        Some(program) => prove_termination(program, options),
+        None => prove_transition_system(&job.ts, &job.invariants, options),
+    };
+    report.program = job.name.clone();
+    report
+}
 
 /// Which engines a job runs: one, or a racing portfolio.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,7 +135,7 @@ pub fn run_selection(
                 engine: *engine,
                 ..options.clone()
             };
-            let report = prove_transition_system(&job.ts, &job.invariants, &opts);
+            let report = prove_job(job, &opts);
             let winner = report.proved().then_some(*engine);
             PortfolioOutcome {
                 report,
@@ -143,7 +165,7 @@ fn race(job: &AnalysisJob, engines: &[Engine], options: &AnalysisOptions) -> Por
             let race_token = &race_token;
             let winner = &winner;
             handles.push(scope.spawn(move || {
-                let report = prove_transition_system(&job.ts, &job.invariants, &opts);
+                let report = prove_job(job, &opts);
                 if report.proved() {
                     let mut slot = winner.lock().unwrap();
                     if slot.is_none() {

@@ -3,7 +3,7 @@
 //! a 64-job batch.
 
 use std::time::{Duration, Instant};
-use termite_core::{AnalysisOptions, CancelToken, Engine, TerminationVerdict};
+use termite_core::{AnalysisOptions, CancelToken, Engine, Verdict};
 use termite_driver::{
     run_batch, run_selection, AnalysisJob, BatchConfig, EngineSelection, ResultCache,
 };
@@ -108,6 +108,9 @@ fn portfolio_race_loser_never_wins() {
         ts: program.transition_system(),
         invariants,
         expected_terminating: Some(true),
+        // One-shot job: the hand-written invariants stay authoritative (no
+        // refinement pipeline re-deriving them).
+        program: None,
     };
     let selection = EngineSelection::portfolio(vec![Engine::Termite, Engine::PodelskiRybalchenko]);
     let out = run_selection(&j, &selection, &AnalysisOptions::default());
@@ -214,10 +217,16 @@ fn parallel_64_job_batch_matches_sequential() {
             s.name
         );
         match (&s.report.verdict, &p.report.verdict) {
-            (TerminationVerdict::Terminating(a), TerminationVerdict::Terminating(b)) => {
+            (Verdict::Terminates(a), Verdict::Terminates(b)) => {
                 assert_eq!(a, b, "{}: certificates must match", s.name)
             }
-            (TerminationVerdict::Unknown, TerminationVerdict::Unknown) => {}
+            (
+                Verdict::TerminatesIf { ranking: a, .. },
+                Verdict::TerminatesIf { ranking: b, .. },
+            ) => {
+                assert_eq!(a, b, "{}: certificates must match", s.name)
+            }
+            (Verdict::Unknown { .. }, Verdict::Unknown { .. }) => {}
             _ => unreachable!("verdicts already compared equal"),
         }
     }

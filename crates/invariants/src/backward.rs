@@ -1,0 +1,154 @@
+//! Backward precondition propagation along the loop-free entry region.
+//!
+//! Given a *seed* polyhedron `S` at a loop header — a set of header states
+//! from which the synthesis believes the program terminates — this module
+//! computes an entry-variable polyhedron `P` such that every execution from
+//! an initial state in `P` arrives at that header (if it arrives at all)
+//! inside `S`. The propagation is a weakest-precondition walk over the
+//! acyclic part of the CFG between the program entry and the loop headers,
+//! using the backward transfer functions of `termite-polyhedra`:
+//!
+//! * assignment: exact [`Polyhedron::affine_preimage`];
+//! * havoc: the demonic [`Polyhedron::havoc_preimage`] (`∀` co-transfer) —
+//!   every choice of the havocked value must stay inside the target;
+//! * guard: the target itself (a convex under-approximation of `¬g ∨ W`, the
+//!   true weakest precondition of a guarded edge);
+//! * branching: intersection over the successors (all paths must land well).
+//!
+//! Every step under-approximates, so `P` is *sufficient*, never complete.
+//! The caller (`FixpointPipeline`) additionally re-verifies any candidate by
+//! re-running the forward analysis and the synthesis from `P`, so a sound
+//! final verdict never rests on this module alone.
+
+use std::collections::HashMap;
+use termite_ir::{Cfg, CfgOp, NodeId};
+use termite_polyhedra::Polyhedron;
+
+/// Propagates `seed` (a polyhedron at `target_header`, a loop-header node of
+/// `cfg`) backward to the program entry. Headers other than the target
+/// contribute no requirement (`⊤`): reaching another loop first means the
+/// claim for the target header is discharged by the re-verification run, not
+/// by this propagation.
+pub fn entry_precondition(cfg: &Cfg, target_header: NodeId, seed: &Polyhedron) -> Polyhedron {
+    let n = cfg.num_vars();
+    assert_eq!(seed.dim(), n, "seed dimension mismatch");
+    let mut memo: HashMap<NodeId, Polyhedron> = HashMap::new();
+    let result = weakest(cfg, cfg.entry(), target_header, seed, &mut memo, 0);
+    result.minimize()
+}
+
+fn weakest(
+    cfg: &Cfg,
+    node: NodeId,
+    target: NodeId,
+    seed: &Polyhedron,
+    memo: &mut HashMap<NodeId, Polyhedron>,
+    depth: usize,
+) -> Polyhedron {
+    let n = cfg.num_vars();
+    if node == target {
+        return seed.clone();
+    }
+    if cfg.loop_headers().contains(&node) {
+        // A different loop: no requirement from here (see module docs).
+        return Polyhedron::universe(n);
+    }
+    if let Some(hit) = memo.get(&node) {
+        return hit.clone();
+    }
+    // The entry region of a structured program is acyclic, but guard against
+    // pathological inputs rather than recurse forever.
+    if depth > cfg.num_nodes() {
+        return Polyhedron::universe(n);
+    }
+    let mut out = Polyhedron::universe(n);
+    for edge in cfg.successors(node) {
+        let w_succ = weakest(cfg, edge.to, target, seed, memo, depth + 1);
+        let wp = match &edge.op {
+            CfgOp::Guard(_) => w_succ,
+            CfgOp::Assign(v, e) => w_succ.affine_preimage(*v, &e.coeffs, &e.constant),
+            CfgOp::Havoc(v) => w_succ.havoc_preimage(*v),
+        };
+        out = out.intersection(&wp).light_reduce();
+        if out.is_empty() {
+            break;
+        }
+    }
+    memo.insert(node, out.clone());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use termite_ir::parse_program;
+    use termite_linalg::QVector;
+    use termite_num::Rational;
+    use termite_polyhedra::Constraint;
+
+    fn q(v: i64) -> Rational {
+        Rational::from(v)
+    }
+
+    #[test]
+    fn identity_entry_path() {
+        // The loop is the first statement: the precondition is the seed.
+        let p = parse_program("var x, y; while (x > 0) { x = x + y; }").unwrap();
+        let cfg = p.to_cfg();
+        let seed = Polyhedron::from_constraints(
+            2,
+            vec![Constraint::le(QVector::from_i64(&[0, 1]), q(-1))],
+        );
+        let pre = entry_precondition(&cfg, cfg.loop_headers()[0], &seed);
+        assert!(pre.contains_point(&QVector::from_i64(&[7, -1])));
+        assert!(!pre.contains_point(&QVector::from_i64(&[7, 0])));
+    }
+
+    #[test]
+    fn assignment_is_inverted() {
+        // x is doubled-ish before the loop: x := x + x, seed x <= 10 at the
+        // header requires x <= 5 at entry.
+        let p = parse_program("var x; x = x + x; while (x > 0) { x = x - 1; }").unwrap();
+        let cfg = p.to_cfg();
+        let seed =
+            Polyhedron::from_constraints(1, vec![Constraint::le(QVector::from_i64(&[1]), q(10))]);
+        let pre = entry_precondition(&cfg, cfg.loop_headers()[0], &seed);
+        assert!(pre.contains_point(&QVector::from_i64(&[5])));
+        assert!(!pre.contains_point(&QVector::from_i64(&[6])));
+    }
+
+    #[test]
+    fn havoc_before_the_loop_blocks_seed_on_that_variable() {
+        // y is havocked on the way to the header: no entry constraint can
+        // force y <= 0 there, so the demonic preimage must be empty.
+        let p = parse_program("var x, y; y = nondet(); while (x > 0) { x = x + y; }").unwrap();
+        let cfg = p.to_cfg();
+        let seed =
+            Polyhedron::from_constraints(2, vec![Constraint::le(QVector::from_i64(&[0, 1]), q(0))]);
+        let pre = entry_precondition(&cfg, cfg.loop_headers()[0], &seed);
+        assert!(pre.is_empty());
+        // A seed on the un-havocked variable passes through untouched.
+        let seed_x =
+            Polyhedron::from_constraints(2, vec![Constraint::le(QVector::from_i64(&[1, 0]), q(3))]);
+        let pre_x = entry_precondition(&cfg, cfg.loop_headers()[0], &seed_x);
+        assert!(pre_x.contains_point(&QVector::from_i64(&[3, 99])));
+        assert!(!pre_x.contains_point(&QVector::from_i64(&[4, 0])));
+    }
+
+    #[test]
+    fn branches_intersect() {
+        // Both if-branches must land in the seed: x := x+1 or x := x+3, seed
+        // x <= 10 gives x <= 7 at entry.
+        let p = parse_program(
+            "var x; if (nondet()) { x = x + 1; } else { x = x + 3; } \
+             while (x > 0) { x = x - 1; }",
+        )
+        .unwrap();
+        let cfg = p.to_cfg();
+        let seed =
+            Polyhedron::from_constraints(1, vec![Constraint::le(QVector::from_i64(&[1]), q(10))]);
+        let pre = entry_precondition(&cfg, cfg.loop_headers()[0], &seed);
+        assert!(pre.contains_point(&QVector::from_i64(&[7])));
+        assert!(!pre.contains_point(&QVector::from_i64(&[8])));
+    }
+}

@@ -39,6 +39,14 @@
 use termite_ir::{Cfg, CfgOp, Program};
 use termite_polyhedra::Polyhedron;
 
+mod backward;
+mod houdini;
+mod pipeline;
+
+pub use backward::entry_precondition;
+pub use houdini::{guard_candidates, strengthen_inductive};
+pub use pipeline::{FixpointPipeline, InvariantPipeline, RefinementWitness};
+
 /// Options controlling the fixpoint iteration.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InvariantOptions {
@@ -100,8 +108,22 @@ fn transfer(state: &Polyhedron, op: &CfgOp) -> Polyhedron {
 }
 
 /// Runs the polyhedral analysis on a CFG, returning one invariant per node.
+/// The entry node starts at `⊤` (all states possible).
 pub fn analyze_cfg(cfg: &Cfg, options: &InvariantOptions) -> InvariantMap {
+    analyze_cfg_from(cfg, &Polyhedron::universe(cfg.num_vars()), options)
+}
+
+/// Runs the polyhedral analysis on a CFG with the given polyhedron as the set
+/// of initial states — the entry point used by the conditional-termination
+/// pipeline, which re-runs the forward analysis seeded with an inferred
+/// precondition instead of `⊤`.
+pub fn analyze_cfg_from(
+    cfg: &Cfg,
+    entry_state: &Polyhedron,
+    options: &InvariantOptions,
+) -> InvariantMap {
     let n = cfg.num_vars();
+    assert_eq!(entry_state.dim(), n, "entry state dimension mismatch");
     let num_nodes = cfg.num_nodes();
     let join = |a: &Polyhedron, b: &Polyhedron| -> Polyhedron {
         if options.exact_join {
@@ -111,7 +133,7 @@ pub fn analyze_cfg(cfg: &Cfg, options: &InvariantOptions) -> InvariantMap {
         }
     };
     let mut state: Vec<Polyhedron> = (0..num_nodes).map(|_| Polyhedron::empty(n)).collect();
-    state[cfg.entry()] = Polyhedron::universe(n);
+    state[cfg.entry()] = entry_state.clone();
     let widening_points: std::collections::HashSet<usize> =
         cfg.loop_headers().iter().copied().collect();
     let mut join_count = vec![0usize; num_nodes];
@@ -141,9 +163,9 @@ pub fn analyze_cfg(cfg: &Cfg, options: &InvariantOptions) -> InvariantMap {
         let mut changed = false;
         for node in 0..num_nodes {
             // New value: join of the incoming edge posts (entry keeps its
-            // initial universe value as a lower bound).
+            // initial value as a lower bound).
             let mut incoming = if node == cfg.entry() {
-                Polyhedron::universe(n)
+                entry_state.clone()
             } else {
                 Polyhedron::empty(n)
             };
@@ -204,12 +226,79 @@ pub fn analyze_cfg(cfg: &Cfg, options: &InvariantOptions) -> InvariantMap {
     InvariantMap { per_node: state }
 }
 
+/// Forward propagation that ignores loop back edges: the value at each node
+/// is (an over-approximation of) the states that reach it *from outside the
+/// loops it heads*. Used to initialise the Houdini-style inductive
+/// strengthening: a candidate invariant must hold on every loop entry before
+/// it can be assumed inductively.
+///
+/// A back edge is an edge into a loop header from a node created after it
+/// (structured lowering numbers nodes in program order, so body nodes always
+/// follow their header).
+pub fn entry_reach(
+    cfg: &Cfg,
+    entry_state: &Polyhedron,
+    options: &InvariantOptions,
+) -> InvariantMap {
+    let n = cfg.num_vars();
+    let num_nodes = cfg.num_nodes();
+    let headers: std::collections::HashSet<usize> = cfg.loop_headers().iter().copied().collect();
+    let join = |a: &Polyhedron, b: &Polyhedron| -> Polyhedron {
+        if options.exact_join {
+            a.convex_hull(b)
+        } else {
+            a.weak_join(b)
+        }
+    };
+    let mut state: Vec<Polyhedron> = (0..num_nodes).map(|_| Polyhedron::empty(n)).collect();
+    state[cfg.entry()] = entry_state.clone();
+    // The filtered graph is acyclic, so a plain round-robin fixpoint
+    // stabilises after at most `num_nodes` sweeps; no widening is needed.
+    for _ in 0..num_nodes {
+        let mut changed = false;
+        for node in 0..num_nodes {
+            let mut incoming = if node == cfg.entry() {
+                entry_state.clone()
+            } else {
+                Polyhedron::empty(n)
+            };
+            for edge in cfg.predecessors(node) {
+                if headers.contains(&node) && edge.from > node {
+                    continue; // back edge
+                }
+                let post = transfer(&state[edge.from], &edge.op);
+                if !post.is_empty() {
+                    incoming = join(&incoming, &post);
+                }
+            }
+            if !incoming.is_subset_of(&state[node]) {
+                state[node] = join(&state[node], &incoming).light_reduce();
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    InvariantMap { per_node: state }
+}
+
 /// Convenience entry point: invariants at the cut points (loop headers) of a
 /// program, indexed like the locations of its
 /// [`termite_ir::TransitionSystem`].
 pub fn location_invariants(program: &Program, options: &InvariantOptions) -> Vec<Polyhedron> {
     let cfg = program.to_cfg();
-    let map = analyze_cfg(&cfg, options);
+    location_invariants_from(&cfg, &Polyhedron::universe(cfg.num_vars()), options)
+}
+
+/// Invariants at the cut points for a given set of initial states (the
+/// precondition-seeded variant used by [`FixpointPipeline`]).
+pub fn location_invariants_from(
+    cfg: &Cfg,
+    entry_state: &Polyhedron,
+    options: &InvariantOptions,
+) -> Vec<Polyhedron> {
+    let map = analyze_cfg_from(cfg, entry_state, options);
     cfg.loop_headers()
         .iter()
         .map(|&h| map.at_node(h).clone())

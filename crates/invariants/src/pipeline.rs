@@ -1,0 +1,254 @@
+//! The invariant pipeline: forward analysis, inductive strengthening, and
+//! counterexample-guided precondition refinement behind one interface.
+//!
+//! PR 3 turns the analysis from a closed-world prover (one-shot
+//! `InvariantMap` consumed by the synthesis) into a refinement pipeline: the
+//! synthesis engines hold an [`InvariantPipeline`] and, when a run fails on a
+//! spurious extremal counterexample, hand the witness state back via
+//! [`InvariantPipeline::refine`] instead of giving up. The default
+//! [`FixpointPipeline`] reacts by inferring a candidate *precondition*: a
+//! half-space excluding the witness is propagated backward to the program
+//! entry ([`crate::entry_precondition`]), the forward analysis is re-run
+//! seeded with it, and the synthesis retries with the stronger invariants.
+//! A proof found under a non-trivial precondition becomes the conditional
+//! verdict `TerminatesIf(P)` in `termite-core`.
+
+use crate::{
+    analyze_cfg_from, entry_precondition, entry_reach, guard_candidates, houdini, InvariantOptions,
+};
+use termite_ir::{polyhedron_to_formula, Cfg, Program, TransitionSystem};
+use termite_linalg::QVector;
+use termite_num::Rational;
+use termite_polyhedra::{Constraint, Polyhedron};
+use termite_smt::{Formula, LinExpr, SmtContext};
+
+/// A concrete header state extracted from the model of a spurious extremal
+/// counterexample: the synthesis could not make progress because of this
+/// state, so excluding it (and verifying the exclusion) is the natural
+/// refinement move.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefinementWitness {
+    /// Cut point (loop-header index) the witness lives at.
+    pub location: usize,
+    /// Pre-state values of the program variables.
+    pub state: QVector,
+}
+
+/// The interface the synthesis engines program against: current invariants,
+/// the precondition in effect, and a refinement request.
+pub trait InvariantPipeline {
+    /// Invariant of each cut point, indexed like the transition-system
+    /// locations.
+    fn invariants(&self) -> &[Polyhedron];
+
+    /// The entry precondition in effect, if the pipeline has narrowed the
+    /// initial states (`None` means the unrestricted `⊤`).
+    fn precondition(&self) -> Option<&Polyhedron>;
+
+    /// Reacts to a failed synthesis run with a concrete witness; returns
+    /// `true` when the invariants changed (the caller should retry) and
+    /// `false` when the pipeline is out of ideas.
+    fn refine(&mut self, witness: &RefinementWitness) -> bool;
+}
+
+/// The default pipeline: Cousot–Halbwachs forward fixpoint, Houdini-style
+/// SMT-inductive strengthening, and backward precondition inference.
+pub struct FixpointPipeline<'ts> {
+    cfg: Cfg,
+    ts: &'ts TransitionSystem,
+    options: InvariantOptions,
+    candidates: Vec<Constraint>,
+    entry: Polyhedron,
+    invariants: Vec<Polyhedron>,
+    precondition: Option<Polyhedron>,
+    refinements_left: usize,
+    tried: Vec<Polyhedron>,
+}
+
+impl<'ts> FixpointPipeline<'ts> {
+    /// Builds the pipeline and runs the initial forward + strengthening
+    /// stages from the unconstrained entry.
+    pub fn new(
+        program: &Program,
+        ts: &'ts TransitionSystem,
+        options: &InvariantOptions,
+        max_refinements: usize,
+    ) -> Self {
+        let cfg = program.to_cfg();
+        let candidates = guard_candidates(&cfg);
+        let entry = Polyhedron::universe(program.num_vars());
+        let mut pipeline = FixpointPipeline {
+            cfg,
+            ts,
+            options: options.clone(),
+            candidates,
+            entry: entry.clone(),
+            invariants: Vec::new(),
+            precondition: None,
+            refinements_left: max_refinements,
+            tried: Vec::new(),
+        };
+        pipeline.invariants = pipeline.run_stages(&entry);
+        pipeline
+    }
+
+    /// Forward fixpoint from `entry`, then Houdini strengthening.
+    fn run_stages(&self, entry: &Polyhedron) -> Vec<Polyhedron> {
+        let map = analyze_cfg_from(&self.cfg, entry, &self.options);
+        let mut invs: Vec<Polyhedron> = self
+            .cfg
+            .loop_headers()
+            .iter()
+            .map(|&h| map.at_node(h).clone())
+            .collect();
+        let reach = entry_reach(&self.cfg, entry, &self.options);
+        let reach_at_headers: Vec<Polyhedron> = self
+            .cfg
+            .loop_headers()
+            .iter()
+            .map(|&h| reach.at_node(h).clone())
+            .collect();
+        houdini::strengthen_inductive(self.ts, &reach_at_headers, &mut invs, &self.candidates);
+        invs
+    }
+
+    /// `true` when at least one block transition can still fire under the
+    /// given invariants — the guard against *vacuous* preconditions that
+    /// merely make every loop unreachable (sound, but not worth reporting
+    /// as conditional termination).
+    fn some_transition_feasible(&self, invs: &[Polyhedron]) -> bool {
+        let mut ctx = SmtContext::new();
+        self.ts.transitions().iter().any(|t| {
+            let inv = &invs[t.from];
+            if inv.is_empty() {
+                return false;
+            }
+            let query = Formula::and(vec![
+                polyhedron_to_formula(inv, &|i| LinExpr::var(self.ts.pre_var(i))),
+                t.formula.clone(),
+            ]);
+            ctx.solve(&query).is_sat()
+        })
+    }
+
+    /// Half-space candidates that exclude the witness state: for every
+    /// variable with an integral value `v`, the separating bounds
+    /// `x_i ≤ v − 1` and `x_i ≥ v + 1`.
+    fn separating_half_spaces(&self, witness: &RefinementWitness) -> Vec<Constraint> {
+        let n = self.cfg.num_vars();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let v = &witness.state[i];
+            let unit = QVector::unit(n, i);
+            let floor = Rational::from_int(v.floor());
+            out.push(Constraint::le(unit.clone(), &floor - &Rational::one()));
+            let ceil = Rational::from_int(v.ceil());
+            out.push(Constraint::ge(unit, &ceil + &Rational::one()));
+        }
+        out
+    }
+}
+
+impl InvariantPipeline for FixpointPipeline<'_> {
+    fn invariants(&self) -> &[Polyhedron] {
+        &self.invariants
+    }
+
+    fn precondition(&self) -> Option<&Polyhedron> {
+        self.precondition.as_ref()
+    }
+
+    fn refine(&mut self, witness: &RefinementWitness) -> bool {
+        if self.refinements_left == 0 || witness.location >= self.cfg.loop_headers().len() {
+            return false;
+        }
+        let header = self.cfg.loop_headers()[witness.location];
+        for half_space in self.separating_half_spaces(witness) {
+            // Seed: the part of the header invariant on the other side of
+            // the separating half-space.
+            let mut seed = self.invariants[witness.location].clone();
+            seed.add_constraint(half_space);
+            if seed.is_empty() {
+                continue;
+            }
+            let candidate = entry_precondition(&self.cfg, header, &seed);
+            if candidate.is_empty() {
+                continue;
+            }
+            let new_entry = self.entry.intersection(&candidate).minimize();
+            if new_entry.is_empty() || self.tried.iter().any(|t| t.equal(&new_entry)) {
+                continue;
+            }
+            self.tried.push(new_entry.clone());
+            let new_invs = self.run_stages(&new_entry);
+            // A precondition under which no transition can fire proves
+            // nothing worth reporting (the loops would simply be
+            // unreachable), and one that leaves the invariants unchanged
+            // cannot help the retry.
+            if !self.some_transition_feasible(&new_invs) {
+                continue;
+            }
+            if new_invs
+                .iter()
+                .zip(&self.invariants)
+                .all(|(a, b)| a.equal(b))
+            {
+                continue;
+            }
+            self.entry = new_entry.clone();
+            self.invariants = new_invs;
+            self.precondition = Some(new_entry);
+            self.refinements_left -= 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use termite_ir::parse_program;
+
+    #[test]
+    fn initial_stages_match_location_invariants_plus_strengthening() {
+        let p = parse_program("var x; x = 0; while (x < 10) { x = x + 1; }").unwrap();
+        let ts = p.transition_system();
+        let pipeline = FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 2);
+        assert_eq!(pipeline.invariants().len(), 1);
+        assert!(pipeline.precondition().is_none());
+        assert!(pipeline.invariants()[0].contains_point(&QVector::from_i64(&[5])));
+        assert!(!pipeline.invariants()[0].contains_point(&QVector::from_i64(&[-1])));
+    }
+
+    #[test]
+    fn refinement_excludes_the_witness_and_records_a_precondition() {
+        // while (x > 0) { x = x + y; } terminates from y <= -1; the witness
+        // y = 0 should drive the pipeline to that precondition.
+        let p = parse_program("var x, y; while (x > 0) { x = x + y; }").unwrap();
+        let ts = p.transition_system();
+        let mut pipeline = FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 2);
+        let witness = RefinementWitness {
+            location: 0,
+            state: QVector::from_i64(&[1, 0]),
+        };
+        assert!(pipeline.refine(&witness));
+        let pre = pipeline.precondition().expect("a precondition was adopted");
+        // The adopted precondition must exclude the witness state.
+        assert!(!pre.contains_point(&QVector::from_i64(&[1, 0])));
+        // And the header invariant must now constrain y away from 0.
+        assert!(!pipeline.invariants()[0].contains_point(&QVector::from_i64(&[1, 0])));
+    }
+
+    #[test]
+    fn refinement_budget_is_respected() {
+        let p = parse_program("var x, y; while (x > 0) { x = x + y; }").unwrap();
+        let ts = p.transition_system();
+        let mut pipeline = FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 0);
+        let witness = RefinementWitness {
+            location: 0,
+            state: QVector::from_i64(&[1, 0]),
+        };
+        assert!(!pipeline.refine(&witness));
+    }
+}

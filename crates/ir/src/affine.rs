@@ -295,6 +295,31 @@ pub fn identity_state(_num_vars: usize) -> impl Fn(usize) -> LinExpr {
     |i| LinExpr::var(TermVar(i))
 }
 
+/// Converts a polyhedron over the program variables into an SMT formula,
+/// mapping program variable `i` to `var_of(i)` (the pre- or post-state theory
+/// variable, depending on the caller).
+pub fn polyhedron_to_formula(
+    p: &termite_polyhedra::Polyhedron,
+    var_of: &dyn Fn(usize) -> LinExpr,
+) -> Formula {
+    use termite_polyhedra::ConstraintKind;
+    let mut conj = Vec::new();
+    for c in p.constraints() {
+        let mut lhs = LinExpr::zero();
+        for (i, coeff) in c.coeffs.iter().enumerate() {
+            if !coeff.is_zero() {
+                lhs = lhs + var_of(i).scale(coeff);
+            }
+        }
+        let rhs = LinExpr::constant(c.rhs.clone());
+        match c.kind {
+            ConstraintKind::GreaterEq => conj.push(Formula::ge(lhs, rhs)),
+            ConstraintKind::Equality => conj.push(Formula::eq_expr(lhs, rhs)),
+        }
+    }
+    Formula::and(conj)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,7 +52,10 @@ mod block;
 mod cfg;
 mod parser;
 
-pub use affine::{cond_to_dnf, cond_to_formula, identity_state, AffineExpr, LinearConstraint};
+pub use affine::{
+    cond_to_dnf, cond_to_formula, identity_state, polyhedron_to_formula, AffineExpr,
+    LinearConstraint,
+};
 pub use ast::{CmpOp, Cond, Expr, Program, Stmt, VarId};
 pub use block::{BlockTransition, TransitionSystem};
 pub use cfg::{Cfg, CfgEdge, CfgOp, NodeId};

@@ -484,6 +484,68 @@ impl Polyhedron {
     }
 
     // ------------------------------------------------------------------
+    // Backward transfer functions (pre-images)
+    // ------------------------------------------------------------------
+
+    /// Exact pre-image of the polyhedron under the affine assignment
+    /// `x_var := coeffs·x + constant`: the set
+    /// `{x | x[var := coeffs·x + constant] ∈ self}`.
+    ///
+    /// Computed by substituting the assigned expression into every
+    /// constraint — no projection is needed, so this is much cheaper than the
+    /// forward [`Polyhedron::affine_assign`].
+    pub fn affine_preimage(&self, var: usize, coeffs: &QVector, constant: &Rational) -> Polyhedron {
+        assert!(var < self.dim);
+        assert_eq!(coeffs.dim(), self.dim);
+        let constraints = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let a_var = c.coeffs[var].clone();
+                if a_var.is_zero() {
+                    return c.clone();
+                }
+                // a·y ≥ b with y_var = coeffs·x + constant and y_i = x_i
+                // elsewhere becomes (a − a_var·e_var + a_var·coeffs)·x
+                // ≥ b − a_var·constant.
+                let mut out = c.coeffs.add_scaled(coeffs, &a_var);
+                out = out.add_scaled(&QVector::unit(self.dim, var), &-&a_var);
+                Constraint {
+                    coeffs: out,
+                    rhs: &c.rhs - &(&a_var * constant),
+                    kind: c.kind,
+                }
+            })
+            .collect();
+        Polyhedron {
+            dim: self.dim,
+            constraints,
+        }
+    }
+
+    /// Pre-image of the polyhedron under `x_var := nondet()` for *demonic*
+    /// non-determinism: the states whose **every** havoc successor lies in
+    /// `self` (`{x | ∀v. x[var := v] ∈ self}`).
+    ///
+    /// A (non-redundant) constraint mentioning `var` can be violated by
+    /// choosing `v` large or small enough, so the result is empty as soon as
+    /// the minimised representation constrains `var`; otherwise the
+    /// polyhedron is unchanged. This is the `∀`-dual of the forward
+    /// [`Polyhedron::forget_dim`] (`∃`-projection) and the co-transfer used
+    /// by the backward precondition analysis of `termite-invariants`.
+    pub fn havoc_preimage(&self, var: usize) -> Polyhedron {
+        assert!(var < self.dim);
+        if self.is_empty() {
+            return Polyhedron::empty(self.dim);
+        }
+        let reduced = self.minimize();
+        if reduced.constraints.iter().any(|c| !c.coeffs[var].is_zero()) {
+            return Polyhedron::empty(self.dim);
+        }
+        reduced
+    }
+
+    // ------------------------------------------------------------------
     // Generators (double description)
     // ------------------------------------------------------------------
 
@@ -918,6 +980,46 @@ mod tests {
     }
 
     #[test]
+    fn affine_preimage_inverts_assignment() {
+        // Box 0<=x<=2, 0<=y<=3; preimage of x := x + y is the set of states
+        // whose post-assignment image lands in the box.
+        let p = boxed(2, 3);
+        let pre = p.affine_preimage(0, &QVector::from_i64(&[1, 1]), &q(0));
+        // (1, 1) maps to (2, 1) ∈ box; (2, 1) maps to (3, 1) ∉ box.
+        assert!(pre.contains_point(&QVector::from_i64(&[1, 1])));
+        assert!(!pre.contains_point(&QVector::from_i64(&[2, 1])));
+        // (-3, 3) maps to (0, 3) ∈ box.
+        assert!(pre.contains_point(&QVector::from_i64(&[-3, 3])));
+    }
+
+    #[test]
+    fn havoc_preimage_is_universal_quantification() {
+        // ∀v. (v, y) ∈ box is impossible (x is bounded): empty.
+        let p = boxed(2, 3);
+        assert!(p.havoc_preimage(0).is_empty());
+        // A polyhedron that does not constrain x survives unchanged.
+        let only_y = Polyhedron::from_constraints(
+            2,
+            vec![
+                Constraint::ge(QVector::from_i64(&[0, 1]), q(0)),
+                Constraint::le(QVector::from_i64(&[0, 1]), q(3)),
+            ],
+        );
+        let pre = only_y.havoc_preimage(0);
+        assert!(pre.contains_point(&QVector::from_i64(&[100, 2])));
+        assert!(!pre.contains_point(&QVector::from_i64(&[0, 4])));
+        // A redundant x-mentioning constraint must not flip the verdict.
+        let mut redundant = only_y.clone();
+        redundant.add_constraint(Constraint::ge(QVector::from_i64(&[1, 1]), q(-1000000)));
+        // x + y >= -1000000 is not entailed by 0 <= y <= 3 alone, so the
+        // minimised form keeps an x constraint and the preimage is empty —
+        // the sound answer (pick v very negative).
+        assert!(redundant.havoc_preimage(0).is_empty());
+        assert!(Polyhedron::empty(2).havoc_preimage(1).is_empty());
+        assert!(!Polyhedron::universe(2).havoc_preimage(0).is_empty());
+    }
+
+    #[test]
     fn forget_dimension() {
         let p = boxed(2, 3);
         let f = p.forget_dim(1);
@@ -1044,6 +1146,56 @@ mod tests {
             // Hull of intervals is the enclosing interval.
             prop_assert!(hull.contains_point(&QVector::from_i64(&[(lo1 + hi2) / 2])) ||
                          hull.contains_point(&QVector::from_i64(&[(lo2 + hi1) / 2])));
+        }
+
+        /// `p ∈ affine_preimage(Q)` iff the assigned image of `p` is in `Q`
+        /// (exactness of the backward transfer function).
+        #[test]
+        fn prop_affine_preimage_exact(
+            bounds in prop::collection::vec(-5i64..5, 4),
+            coeffs in prop::collection::vec(-3i64..3, 2),
+            constant in -4i64..4,
+            sample in prop::collection::vec(-6i64..6, 2),
+        ) {
+            let (lo_x, hi_x) = (bounds[0].min(bounds[1]), bounds[0].max(bounds[1]));
+            let (lo_y, hi_y) = (bounds[2].min(bounds[3]), bounds[2].max(bounds[3]));
+            let p = Polyhedron::from_constraints(2, vec![
+                Constraint::ge(QVector::from_i64(&[1, 0]), q(lo_x)),
+                Constraint::le(QVector::from_i64(&[1, 0]), q(hi_x)),
+                Constraint::ge(QVector::from_i64(&[0, 1]), q(lo_y)),
+                Constraint::le(QVector::from_i64(&[0, 1]), q(hi_y)),
+            ]);
+            let cv = QVector::from_i64(&coeffs);
+            let k = q(constant);
+            let pre = p.affine_preimage(0, &cv, &k);
+            let point = QVector::from_i64(&sample);
+            // Image of `point` under x := coeffs·point + constant.
+            let image = QVector::from_vec(vec![
+                &cv.dot(&point) + &k,
+                point[1].clone(),
+            ]);
+            prop_assert_eq!(pre.contains_point(&point), p.contains_point(&image));
+        }
+
+        /// The havoc preimage is contained in the polyhedron for every choice
+        /// of the havocked variable (soundness of the ∀ co-transfer).
+        #[test]
+        fn prop_havoc_preimage_sound(
+            bounds in prop::collection::vec(-5i64..5, 2),
+            sample in prop::collection::vec(-6i64..6, 2),
+            v in -20i64..20,
+        ) {
+            let (lo, hi) = (bounds[0].min(bounds[1]), bounds[0].max(bounds[1]));
+            let p = Polyhedron::from_constraints(2, vec![
+                Constraint::ge(QVector::from_i64(&[0, 1]), q(lo)),
+                Constraint::le(QVector::from_i64(&[0, 1]), q(hi)),
+            ]);
+            let pre = p.havoc_preimage(0);
+            let point = QVector::from_i64(&sample);
+            if pre.contains_point(&point) {
+                let havocked = QVector::from_i64(&[v, sample[1]]);
+                prop_assert!(p.contains_point(&havocked));
+            }
         }
 
         /// Vertices returned by the double description all belong to the

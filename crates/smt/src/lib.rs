@@ -55,7 +55,7 @@
 //!         let vy = model.value(y).unwrap();
 //!         assert!(vx.numer() >= &5.into() || vy.numer() >= &5.into());
 //!     }
-//!     SmtResult::Unsat => panic!("formula is satisfiable"),
+//!     other => panic!("formula is satisfiable, got {other:?}"),
 //! }
 //! ```
 

@@ -4,6 +4,7 @@ use crate::theory::MinimizeOutcome;
 use crate::{Atom, Formula, LinExpr, TermVar, TheoryOutcome, TheorySolver};
 use std::collections::HashMap;
 use std::fmt;
+use termite_lp::Interrupt;
 use termite_num::Rational;
 use termite_sat::{Lit, SatResult, Solver as SatSolver, Var as SatVar};
 
@@ -66,12 +67,22 @@ pub enum SmtResult {
     Sat(Model),
     /// The formula is unsatisfiable.
     Unsat,
+    /// The query was interrupted before an answer was established. Callers
+    /// must treat this as "no answer", never as unsat: a proof built on an
+    /// interrupted query would be unsound.
+    Interrupted,
 }
 
 impl SmtResult {
     /// `true` for [`SmtResult::Sat`].
     pub fn is_sat(&self) -> bool {
         matches!(self, SmtResult::Sat(_))
+    }
+
+    /// `true` for [`SmtResult::Unsat`] — the only answer that licenses an
+    /// "impossible" conclusion (an interrupted query licenses nothing).
+    pub fn is_unsat(&self) -> bool {
+        matches!(self, SmtResult::Unsat)
     }
 }
 
@@ -102,6 +113,8 @@ pub enum OptResult {
     },
     /// The formula is unsatisfiable.
     Unsat,
+    /// The query was interrupted before an answer was established.
+    Interrupted,
 }
 
 impl OptResult {
@@ -133,12 +146,20 @@ pub struct SolverStats {
 pub struct SmtContext {
     var_names: Vec<String>,
     stats: SolverStats,
+    interrupt: Interrupt,
 }
 
 impl SmtContext {
     /// Creates an empty context.
     pub fn new() -> Self {
         SmtContext::default()
+    }
+
+    /// Installs an interruption source: the DPLL(T) loop polls it between
+    /// theory checks and the theory solver's simplex polls it every few
+    /// pivots, so cancellation lands mid-pivot inside the SMT search.
+    pub fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = interrupt;
     }
 
     /// Declares a fresh integer variable.
@@ -168,6 +189,7 @@ impl SmtContext {
         match self.run(formula, None) {
             RunResult::Unsat => SmtResult::Unsat,
             RunResult::Sat { model, .. } => SmtResult::Sat(model),
+            RunResult::Interrupted => SmtResult::Interrupted,
         }
     }
 
@@ -182,6 +204,7 @@ impl SmtContext {
                 model,
                 outcome: outcome.expect("optimization run always produces an outcome"),
             },
+            RunResult::Interrupted => OptResult::Interrupted,
         }
     }
 
@@ -190,9 +213,12 @@ impl SmtContext {
         let mut enc = Encoder::new();
         let root = enc.encode(&nnf);
         enc.sat.add_clause(&[root]);
-        let theory = TheorySolver::new();
+        let theory = TheorySolver::with_interrupt(self.interrupt.clone());
 
         loop {
+            if self.interrupt.is_raised() {
+                return RunResult::Interrupted;
+            }
             match enc.sat.solve() {
                 SatResult::Unsat => return RunResult::Unsat,
                 SatResult::Sat(bool_model) => {
@@ -210,6 +236,7 @@ impl SmtContext {
                         }
                     }
                     match theory.check(&asserted) {
+                        TheoryOutcome::Interrupted => return RunResult::Interrupted,
                         TheoryOutcome::Inconsistent { conflict } => {
                             self.stats.blocking_clauses += 1;
                             let clause: Vec<Lit> = conflict
@@ -227,6 +254,7 @@ impl SmtContext {
                             let outcome = match objective {
                                 None => None,
                                 Some(obj) => match theory.minimize(&asserted, obj) {
+                                    MinimizeOutcome::Interrupted => return RunResult::Interrupted,
                                     MinimizeOutcome::Inconsistent { .. } => {
                                         unreachable!(
                                             "consistent conjunction cannot be inconsistent"
@@ -275,6 +303,7 @@ enum RunResult {
         model: Model,
         outcome: Option<OptOutcome>,
     },
+    Interrupted,
 }
 
 /// Tseitin encoder: maps the NNF formula to CNF over a CDCL solver, keeping
@@ -394,6 +423,7 @@ mod tests {
                 assert!(f.eval(&|tv| m.value_or_zero(tv)));
             }
             SmtResult::Unsat => panic!("satisfiable"),
+            SmtResult::Interrupted => panic!("uninterrupted context cannot interrupt"),
         }
     }
 
@@ -424,6 +454,7 @@ mod tests {
         match ctx.solve(&f) {
             SmtResult::Sat(m) => assert_eq!(m.value_or_zero(y), q(42)),
             SmtResult::Unsat => panic!("satisfiable"),
+            SmtResult::Interrupted => panic!("uninterrupted context cannot interrupt"),
         }
     }
 
@@ -442,6 +473,7 @@ mod tests {
                 assert!(v < q(0) && v > q(-10));
             }
             SmtResult::Unsat => panic!("satisfiable"),
+            SmtResult::Interrupted => panic!("uninterrupted context cannot interrupt"),
         }
     }
 
@@ -457,6 +489,7 @@ mod tests {
         match ctx.solve(&g) {
             SmtResult::Sat(m) => assert_eq!(m.value_or_zero(x), q(2)),
             SmtResult::Unsat => panic!("satisfiable"),
+            SmtResult::Interrupted => panic!("uninterrupted context cannot interrupt"),
         }
     }
 
@@ -472,6 +505,7 @@ mod tests {
         match ctx.solve(&f) {
             SmtResult::Sat(m) => assert_eq!(m.value_or_zero(x), q(1)),
             SmtResult::Unsat => panic!("satisfiable"),
+            SmtResult::Interrupted => panic!("uninterrupted context cannot interrupt"),
         }
     }
 
@@ -503,6 +537,7 @@ mod tests {
                 }
             }
             OptResult::Unsat => panic!("satisfiable"),
+            OptResult::Interrupted => panic!("uninterrupted context cannot interrupt"),
         }
     }
 
@@ -549,6 +584,18 @@ mod tests {
     }
 
     #[test]
+    fn pre_raised_interrupt_stops_queries_without_an_answer() {
+        let mut ctx = SmtContext::new();
+        ctx.set_interrupt(termite_lp::Interrupt::new(|| true));
+        let x = ctx.int_var("x");
+        let f = Formula::ge(LinExpr::var(x), LinExpr::constant(0));
+        assert_eq!(ctx.solve(&f), SmtResult::Interrupted);
+        assert!(!ctx.solve(&f).is_sat());
+        assert!(!ctx.solve(&f).is_unsat());
+        assert_eq!(ctx.minimize(&f, &LinExpr::var(x)), OptResult::Interrupted);
+    }
+
+    #[test]
     fn models_satisfy_formula_on_paper_example_1_transition() {
         // The transition relation of Example 1 of the paper (both transitions),
         // conjoined with the invariant; ask for any model and check it.
@@ -583,6 +630,7 @@ mod tests {
                 assert!(m.is_integral());
             }
             SmtResult::Unsat => panic!("the transition relation is satisfiable"),
+            SmtResult::Interrupted => panic!("uninterrupted context cannot interrupt"),
         }
         // y' - y decreases on every transition: y - y' >= 1 must be entailed,
         // i.e. its negation conjoined with the relation is unsat.

@@ -16,7 +16,9 @@
 
 use crate::{Atom, LinExpr, TermVar};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use termite_lp::{Constraint as LpConstraint, LinearProgram, LpOutcome, Relation, VarId};
+use termite_lp::{
+    Constraint as LpConstraint, Interrupt, LinearProgram, LpOutcome, LpSolution, Relation, VarId,
+};
 use termite_num::Rational;
 
 /// Result of a theory consistency check.
@@ -36,6 +38,9 @@ pub enum TheoryOutcome {
         /// Indices (into the input slice) of a conflicting subset.
         conflict: Vec<usize>,
     },
+    /// The check was interrupted mid-pivot (see [`TheorySolver::with_interrupt`]);
+    /// no answer was established.
+    Interrupted,
 }
 
 /// Result of minimising an objective over a conjunction of atoms.
@@ -54,6 +59,9 @@ pub enum MinimizeOutcome {
         /// Recession direction witnessing unboundedness.
         ray: HashMap<TermVar, Rational>,
     },
+    /// The minimisation was interrupted mid-pivot; no answer was
+    /// established.
+    Interrupted,
     /// A finite minimum was found.
     Optimal {
         /// The minimising assignment.
@@ -68,14 +76,29 @@ pub enum MinimizeOutcome {
 /// Branch-and-bound node budget (per theory call).
 const BB_NODE_LIMIT: usize = 400;
 
-/// The LIA theory solver (stateless; all methods take the atom set).
-#[derive(Debug, Default, Clone, Copy)]
-pub struct TheorySolver;
+/// The LIA theory solver (stateless apart from the interrupt source; all
+/// methods take the atom set).
+#[derive(Debug, Default, Clone)]
+pub struct TheorySolver {
+    interrupt: Interrupt,
+}
 
 impl TheorySolver {
-    /// Creates a theory solver.
+    /// Creates a theory solver that runs to completion.
     pub fn new() -> Self {
-        TheorySolver
+        TheorySolver::default()
+    }
+
+    /// Creates a theory solver whose internal simplex solves poll
+    /// `interrupt` every few pivots, so cancellation lands mid-pivot even
+    /// inside the SMT search (ROADMAP "interruptible solvers", SMT side).
+    pub fn with_interrupt(interrupt: Interrupt) -> Self {
+        TheorySolver { interrupt }
+    }
+
+    /// Runs one LP through the interruptible simplex.
+    fn solve_lp(&self, lp: &LinearProgram) -> Option<LpSolution> {
+        lp.solve_interruptible(&self.interrupt)
     }
 
     fn collect_vars(atoms: &[&Atom]) -> Vec<TermVar> {
@@ -167,7 +190,10 @@ impl TheorySolver {
             };
         }
         let (lp, ids) = Self::build_lp(&refs, &[], None, &vars);
-        match lp.solve().outcome {
+        let Some(solution) = self.solve_lp(&lp) else {
+            return TheoryOutcome::Interrupted;
+        };
+        match solution.outcome {
             LpOutcome::Infeasible => TheoryOutcome::Inconsistent {
                 conflict: self.minimize_conflict(atoms, &vars),
             },
@@ -198,7 +224,13 @@ impl TheorySolver {
             candidate.remove(i);
             let subset: Vec<&Atom> = candidate.iter().map(|&j| &atoms[j]).collect();
             let (lp, _) = Self::build_lp(&subset, &[], None, vars);
-            if matches!(lp.solve().outcome, LpOutcome::Infeasible) {
+            // An interrupted probe ends the minimisation early: the current
+            // `active` set is already known to be infeasible, so it is still
+            // a valid (just less minimal) conflict.
+            let Some(solution) = self.solve_lp(&lp) else {
+                break;
+            };
+            if matches!(solution.outcome, LpOutcome::Infeasible) {
                 active = candidate;
             } else {
                 i += 1;
@@ -227,7 +259,10 @@ impl TheorySolver {
                 };
             }
             let (lp, ids) = Self::build_lp(atoms, &extra, None, vars);
-            match lp.solve().outcome {
+            let Some(solution) = self.solve_lp(&lp) else {
+                return TheoryOutcome::Interrupted;
+            };
+            match solution.outcome {
                 LpOutcome::Infeasible => continue,
                 LpOutcome::Unbounded { .. } => unreachable!("feasibility LP cannot be unbounded"),
                 LpOutcome::Optimal { assignment, .. } => {
@@ -281,15 +316,18 @@ impl TheorySolver {
             };
         }
         let (lp, ids) = Self::build_lp(&refs, &[], Some(objective), &vars);
-        match lp.solve().outcome {
+        let Some(solution) = self.solve_lp(&lp) else {
+            return MinimizeOutcome::Interrupted;
+        };
+        match solution.outcome {
             LpOutcome::Infeasible => MinimizeOutcome::Inconsistent {
                 conflict: self.minimize_conflict(atoms, &vars),
             },
             LpOutcome::Unbounded { ray } => {
                 // Recover some feasible point for the model part.
                 let (flp, fids) = Self::build_lp(&refs, &[], None, &vars);
-                let model = match flp.solve().outcome {
-                    LpOutcome::Optimal { assignment, .. } => {
+                let model = match self.solve_lp(&flp).map(|s| s.outcome) {
+                    Some(LpOutcome::Optimal { assignment, .. }) => {
                         Self::model_from_assignment(&vars, &fids, &assignment)
                     }
                     _ => HashMap::new(),
@@ -341,7 +379,10 @@ impl TheorySolver {
                 break;
             }
             let (lp, ids) = Self::build_lp(atoms, &extra, Some(objective), vars);
-            match lp.solve().outcome {
+            let Some(solution) = self.solve_lp(&lp) else {
+                return MinimizeOutcome::Interrupted;
+            };
+            match solution.outcome {
                 LpOutcome::Infeasible => continue,
                 LpOutcome::Unbounded { ray } => {
                     let ray_map: HashMap<TermVar, Rational> =

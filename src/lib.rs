@@ -45,7 +45,7 @@ pub use termite_suite as suite;
 pub mod prelude {
     pub use termite_core::{
         prove_termination, AnalysisOptions, Engine, RankingFunction, TerminationReport,
-        TerminationVerdict,
+        UnknownReason, Verdict,
     };
     pub use termite_ir::{parse_program, Program};
     pub use termite_num::{Int, Rational};

@@ -73,14 +73,12 @@ fn nested_loops_multi_control_point() {
     )
     .unwrap();
     let report = prove_termination(&program, &default_options());
-    // Multi-control-point synthesis: with the current (non-homogenised)
-    // stacked-vector encoding, decreases that rely on the *constant* offsets
-    // across different cut points are not yet captured, so this program may
-    // report Unknown (see DESIGN.md §"Known deviations"). The analysis must
-    // stay sound and terminate either way.
-    if let Some(rf) = report.ranking_function() {
-        assert_eq!(rf.num_locations(), 2);
-    }
+    // Multi-control-point synthesis: the homogenised stacked-vector encoding
+    // lets constant offsets between cut points participate in the decrease
+    // (DESIGN.md §"Extensions over the paper"), so this program is provable.
+    assert!(report.proved());
+    let rf = report.ranking_function().unwrap();
+    assert_eq!(rf.num_locations(), 2);
     assert!(report.stats.smt_queries > 0);
 }
 
