@@ -61,6 +61,8 @@
 //! assert_eq!(rf.dimension(), 1);   // ρ(x, y) = y + 1 suffices (Example 1)
 //! ```
 
+#![deny(missing_docs)]
+
 mod baselines;
 mod cancel;
 mod engine;

@@ -1,22 +1,18 @@
-//! Batch execution: a worker pool draining a shared job queue.
+//! Batch execution: the blocking client of the streaming scheduler.
 //!
-//! Topology: `queue → workers → portfolio → cache`. Jobs go into one shared
-//! FIFO; `workers` OS threads pull from it (work-stealing style: an idle
-//! worker always takes the oldest unclaimed job, so imbalanced job costs
-//! never idle the pool), run the engine selection — possibly an internal
-//! portfolio race — and publish results back in submission order. A shared
-//! [`ResultCache`] short-circuits jobs whose content-addressed key already
-//! has a report.
+//! Since the service refactor there is exactly one execution path —
+//! [`with_scheduler`](crate::with_scheduler)'s worker pool (queue → workers
+//! → portfolio → cache). `run_batch` is a thin client of it: submit every
+//! job, collect the out-of-order completions from a channel, and put them
+//! back into submission order. `termite suite` and `termite serve` therefore
+//! run byte-identical analyses; only the intake/ordering shell differs.
 
-use crate::cache::{cache_key, ResultCache};
+use crate::cache::ResultCache;
 use crate::job::AnalysisJob;
-use crate::portfolio::{run_selection, EngineSelection, PortfolioOutcome};
-use std::collections::VecDeque;
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
-use termite_core::{
-    AnalysisOptions, Engine, SynthesisStats, TerminationReport, UnknownReason, Verdict,
-};
+use crate::portfolio::EngineSelection;
+use crate::service::{with_scheduler, SchedulerConfig, TaskSpec};
+use std::time::Duration;
+use termite_core::{AnalysisOptions, Engine, TerminationReport};
 
 /// Configuration of one batch run.
 #[derive(Clone, Debug)]
@@ -86,97 +82,43 @@ pub fn run_batch(
     cache: Option<&ResultCache>,
 ) -> Vec<BatchResult> {
     let total = jobs.len();
-    let workers = config.workers.clamp(1, total.max(1));
-    let queue: Mutex<VecDeque<(usize, AnalysisJob)>> =
-        Mutex::new(jobs.into_iter().enumerate().collect());
-    let results: Mutex<Vec<Option<BatchResult>>> = Mutex::new((0..total).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                if config.options.cancel.is_cancelled() {
-                    return;
-                }
-                let Some((index, job)) = queue.lock().unwrap().pop_front() else {
-                    return;
-                };
-                let result = run_one(&job, config, cache);
-                results.lock().unwrap()[index] = Some(result);
-            });
+    let scheduler_config = SchedulerConfig {
+        workers: config.workers.clamp(1, total.max(1)),
+        selection: config.selection.clone(),
+        options: config.options.clone(),
+        job_timeout: config.job_timeout,
+    };
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, BatchResult)>();
+    let mut slots: Vec<Option<BatchResult>> = (0..total).map(|_| None).collect();
+    with_scheduler(&scheduler_config, cache, |scheduler| {
+        for (index, job) in jobs.into_iter().enumerate() {
+            let tx = tx.clone();
+            let token = scheduler.child_token();
+            scheduler.submit(
+                TaskSpec {
+                    id: index.to_string(),
+                    job,
+                    selection: None,
+                    timeout: None,
+                },
+                token,
+                move |outcome| {
+                    let _ = tx.send((index, outcome.result));
+                },
+            );
+        }
+        drop(tx);
+        // The barrier lives here, in the client — the scheduler itself
+        // streams. Completions arrive out of order; the slots restore
+        // submission order.
+        for (index, result) in rx {
+            slots[index] = Some(result);
         }
     });
-
-    // Jobs still queued were never started (batch-level cancellation): give
-    // them explicit `Unknown` results so the output stays positionally
-    // aligned with the submitted jobs.
-    let mut slots = results.into_inner().unwrap();
-    for (index, job) in queue.into_inner().unwrap() {
-        slots[index] = Some(cancelled_result(job));
-    }
     slots
         .into_iter()
-        .map(|slot| slot.expect("every started job publishes its result"))
+        .map(|slot| slot.expect("every task answers exactly once"))
         .collect()
-}
-
-fn cancelled_result(job: AnalysisJob) -> BatchResult {
-    BatchResult {
-        report: TerminationReport {
-            program: job.name.clone(),
-            verdict: Verdict::unknown(UnknownReason::Cancelled),
-            stats: SynthesisStats::default(),
-        },
-        name: job.name,
-        expected_terminating: job.expected_terminating,
-        winner: None,
-        from_cache: false,
-        wall_millis: 0.0,
-    }
-}
-
-fn run_one(job: &AnalysisJob, config: &BatchConfig, cache: Option<&ResultCache>) -> BatchResult {
-    let start = Instant::now();
-    let key = cache.map(|_| cache_key(job, &config.selection, &config.options));
-
-    if let (Some(cache), Some(key)) = (cache, &key) {
-        if let Some(mut report) = cache.lookup(key) {
-            // The key is content-addressed (it ignores program names), so the
-            // stored report may carry the first submitter's name; re-label it
-            // for this job.
-            report.program = job.name.clone();
-            return BatchResult {
-                name: job.name.clone(),
-                expected_terminating: job.expected_terminating,
-                report,
-                winner: None,
-                from_cache: true,
-                wall_millis: start.elapsed().as_secs_f64() * 1000.0,
-            };
-        }
-    }
-
-    let job_token = match config.job_timeout {
-        Some(budget) => config.options.cancel.child_with_deadline(budget),
-        None => config.options.cancel.child(),
-    };
-    let options = config.options.clone().with_cancel(job_token.clone());
-    let PortfolioOutcome { report, winner, .. } = run_selection(job, &config.selection, &options);
-
-    // A cancelled run's `Unknown` is an artefact of the budget, not a fact
-    // about the program; never persist it.
-    let genuine = report.proved() || !job_token.is_cancelled();
-    if let (Some(cache), Some(key), true) = (cache, key, genuine) {
-        cache.store(key, report.clone());
-    }
-
-    BatchResult {
-        name: job.name.clone(),
-        expected_terminating: job.expected_terminating,
-        report,
-        winner,
-        from_cache: false,
-        wall_millis: start.elapsed().as_secs_f64() * 1000.0,
-    }
 }
 
 /// Aggregate counts over a batch, for the CLI's totals line.

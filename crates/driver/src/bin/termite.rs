@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
+//! termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
+//!               [--max-inflight K] [--timeout-ms N]
 //! termite suite <name|all> [--engine E | --portfolio] [--jobs N] [--shard k/n]
 //!                          [--json FILE] [--cache FILE] [--timeout-ms N]
 //! termite merge-reports <out.json> <in1.json> <in2.json> [...]
@@ -10,7 +12,11 @@
 //! termite table1
 //! ```
 //!
-//! `analyze` proves one program of the mini-language; `suite` batch-analyses
+//! `analyze` proves one program of the mini-language; `serve` runs the
+//! long-lived NDJSON analysis service on stdin/stdout (see
+//! `termite_driver::serve` for the wire protocol: jobs in, per-job verdicts
+//! streamed back out of order the moment each lands, `{"cancel": id}`
+//! control messages, bounded in-flight window); `suite` batch-analyses
 //! a benchmark suite over the worker pool (optionally racing the engine
 //! portfolio per benchmark, optionally against a persistent result cache,
 //! optionally taking only every `n`-th benchmark by cache-key hash so a
@@ -30,8 +36,8 @@ use termite_bench::{format_table, prepare_suite, run_suite};
 use termite_core::{AnalysisOptions, CancelToken, Engine};
 use termite_driver::json::Json;
 use termite_driver::{
-    cache_key, report_to_json, run_batch, verdict_name, verdict_rank, AnalysisJob, BatchConfig,
-    BatchResult, BatchTotals, EngineSelection, ResultCache,
+    cache_key, parse_selection, report_to_json, run_batch, serve, verdict_name, verdict_rank,
+    AnalysisJob, BatchConfig, BatchResult, BatchTotals, EngineSelection, ResultCache, ServeConfig,
 };
 use termite_invariants::InvariantOptions;
 use termite_ir::parse_named_program;
@@ -39,6 +45,8 @@ use termite_suite::SuiteId;
 
 const USAGE: &str = "usage:
   termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
+  termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
+                [--max-inflight K] [--timeout-ms N]
   termite suite <polybench|sorts|termcomp|wtc|all> [--engine E | --portfolio]
                 [--jobs N] [--shard k/n] [--json FILE] [--cache FILE] [--timeout-ms N]
   termite merge-reports <out.json> <in1.json> <in2.json> [...]
@@ -70,16 +78,9 @@ struct Flags {
     /// `--shard k/n` (1-based `k`): keep only the benchmarks whose
     /// cache-key hash lands in shard `k` of `n`.
     shard: Option<(u64, u64)>,
-}
-
-fn parse_engine(name: &str) -> Result<Engine, String> {
-    match name {
-        "termite" => Ok(Engine::Termite),
-        "eager" => Ok(Engine::Eager),
-        "pr" | "podelski-rybalchenko" => Ok(Engine::PodelskiRybalchenko),
-        "heuristic" => Ok(Engine::Heuristic),
-        other => Err(format!("unknown engine `{other}`")),
-    }
+    /// `--max-inflight K` (serve only): bound on concurrently in-flight
+    /// jobs before intake blocks.
+    max_inflight: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -90,6 +91,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         cache_path: None,
         timeout: None,
         shard: None,
+        max_inflight: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -99,9 +101,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 .ok_or_else(|| format!("{name} needs a value"))
         };
         match arg.as_str() {
-            "--engine" => {
-                flags.selection = EngineSelection::single(parse_engine(&value("--engine")?)?)
-            }
+            // One name table for the CLI and the NDJSON wire: `--engine
+            // portfolio` is accepted as a synonym of `--portfolio`.
+            "--engine" => flags.selection = parse_selection(&value("--engine")?)?,
             "--portfolio" => flags.selection = EngineSelection::full_portfolio(),
             "--jobs" => {
                 flags.jobs = value("--jobs")?
@@ -128,6 +130,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.shard = Some((k, n));
             }
             "--cache" => flags.cache_path = Some(PathBuf::from(value("--cache")?)),
+            "--max-inflight" => {
+                flags.max_inflight = Some(
+                    value("--max-inflight")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--max-inflight needs a positive integer")?,
+                )
+            }
             "--timeout-ms" => {
                 let ms = value("--timeout-ms")?
                     .parse::<u64>()
@@ -154,11 +165,28 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if flags.shard.is_some() {
                 return Err("analyze does not support --shard (it runs one program)".to_string());
             }
+            if flags.max_inflight.is_some() {
+                return Err("analyze does not support --max-inflight (serve only)".to_string());
+            }
             analyze(file, flags)
+        }
+        Some("serve") => {
+            let flags = parse_flags(&args[1..])?;
+            if flags.json_path.is_some() {
+                return Err("serve does not support --json (responses are NDJSON)".to_string());
+            }
+            if flags.shard.is_some() {
+                return Err("serve does not support --shard".to_string());
+            }
+            serve_command(flags)
         }
         Some("suite") => {
             let name = args.get(1).ok_or("suite needs a suite name")?;
-            suite_command(name, parse_flags(&args[2..])?)
+            let flags = parse_flags(&args[2..])?;
+            if flags.max_inflight.is_some() {
+                return Err("suite does not support --max-inflight (serve only)".to_string());
+            }
+            suite_command(name, flags)
         }
         Some("merge-reports") => merge_reports(&args[1..]),
         Some("bench-diff") => bench_diff(&args[1..]),
@@ -198,6 +226,51 @@ fn analyze(file: &str, flags: Flags) -> Result<ExitCode, String> {
     } else {
         ExitCode::from(1)
     })
+}
+
+/// The long-lived NDJSON analysis service on stdin/stdout: reads job
+/// requests line by line, streams one response line per job the moment it
+/// lands (out of order, tagged by id), and exits once stdin closes and every
+/// accepted job has answered. On shutdown the cache (when given) is
+/// persisted and a one-line stats summary goes to stderr.
+fn serve_command(flags: Flags) -> Result<ExitCode, String> {
+    let cache = match &flags.cache_path {
+        Some(path) => Some(ResultCache::load(path)?),
+        None => None,
+    };
+    let config = ServeConfig {
+        workers: flags.jobs,
+        selection: flags.selection.clone(),
+        options: AnalysisOptions::default().with_cancel(CancelToken::new()),
+        job_timeout: flags.timeout,
+        // The one authoritative default lives in `ServeConfig::default()`.
+        max_inflight: flags
+            .max_inflight
+            .unwrap_or_else(|| ServeConfig::default().max_inflight),
+    };
+    eprintln!(
+        "termite serve: {} worker(s), window {}, reading NDJSON jobs from stdin ...",
+        config.workers, config.max_inflight
+    );
+    // `StdinLock` holds a `MutexGuard` and cannot move to the intake thread;
+    // the unlocked handle re-locks per read, which is fine at line granularity.
+    let stdin = std::io::BufReader::new(std::io::stdin());
+    let stdout = std::io::stdout();
+    let outcome = serve(stdin, stdout.lock(), &config, cache.as_ref());
+    // Persist the cache even when the session died on a broken output pipe:
+    // the results were computed either way, and losing them would make the
+    // most common failure mode (the consumer going away) also the most
+    // expensive one.
+    if let (Some(cache), Some(path)) = (&cache, &flags.cache_path) {
+        let bytes = cache.save(path)?;
+        eprintln!("cache: {}", cache.summary(bytes));
+    }
+    let summary = outcome?;
+    eprintln!(
+        "termite serve: {} ok, {} cancelled, {} errors",
+        summary.ok, summary.cancelled, summary.errors
+    );
+    Ok(ExitCode::SUCCESS)
 }
 
 fn parse_suites(name: &str) -> Result<Vec<SuiteId>, String> {

@@ -194,10 +194,10 @@ impl ResultCache {
         Ok(cache)
     }
 
-    /// Persists every entry as JSON (atomically: write-then-rename).
-    pub fn save(&self, path: &Path) -> Result<(), String> {
+    /// The whole cache as one on-disk JSON document.
+    fn to_json(&self) -> Json {
         let entries = self.entries.lock().unwrap();
-        let doc = Json::Object(
+        Json::Object(
             [
                 ("version".to_string(), Json::Number(FORMAT_VERSION)),
                 (
@@ -212,10 +212,43 @@ impl ResultCache {
             ]
             .into_iter()
             .collect(),
-        );
+        )
+    }
+
+    /// Size of the cache in its serialized (on-disk JSON) form, in bytes —
+    /// the sizing signal for the ROADMAP's "cache eviction & sizing" work
+    /// and the number the service logs at shutdown.
+    pub fn serialized_bytes(&self) -> usize {
+        self.to_json().to_string().len()
+    }
+
+    /// One-line human summary (entries, hit/miss counters, serialized size),
+    /// logged by long-lived consumers at shutdown. `serialized_bytes` is the
+    /// figure [`save`](Self::save) returns — pass it through rather than
+    /// re-measuring with [`serialized_bytes`](Self::serialized_bytes) when a
+    /// save just happened.
+    pub fn summary(&self, serialized_bytes: usize) -> String {
+        let stats = self.stats();
+        format!(
+            "{} entries, {} hits, {} misses, {} bytes serialized",
+            self.len(),
+            stats.hits,
+            stats.misses,
+            serialized_bytes
+        )
+    }
+
+    /// Persists every entry as JSON (atomically: write-then-rename) and
+    /// returns the number of bytes written (the
+    /// [`serialized_bytes`](Self::serialized_bytes) figure, measured for
+    /// free on the document just built).
+    pub fn save(&self, path: &Path) -> Result<usize, String> {
+        let text = self.to_json().to_string();
+        let bytes = text.len();
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, doc.to_string()).map_err(|e| format!("write {tmp:?}: {e}"))?;
-        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {path:?}: {e}"))
+        std::fs::write(&tmp, text).map_err(|e| format!("write {tmp:?}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("rename to {path:?}: {e}"))?;
+        Ok(bytes)
     }
 }
 

@@ -34,10 +34,16 @@
 //!   portfolio with first-proof-wins cancellation.
 //! * [`ResultCache`] / [`cache_key`] — content-addressed result store;
 //!   repeated batch runs and duplicate benchmarks are near-free.
-//! * [`run_batch`] — the worker pool tying the three together.
+//! * [`with_scheduler`] / [`serve`] — the **streaming scheduler** and its
+//!   NDJSON service front-end (`termite serve`): jobs are scheduled with no
+//!   batch barrier, results stream back the moment each lands, a bounded
+//!   in-flight window throttles intake and `{"cancel": id}` stops a job
+//!   mid-flight.
+//! * [`run_batch`] — batch mode as a thin client of the same scheduler
+//!   (submit all, collect, restore submission order).
 //! * [`json`] — a minimal self-contained JSON reader/writer (the build
-//!   environment has no serde), shared by the cache file and `--json`
-//!   reports.
+//!   environment has no serde), shared by the cache file, the `--json`
+//!   reports and the service wire protocol.
 //!
 //! # Example
 //!
@@ -59,11 +65,14 @@
 //! assert!(again.iter().all(|r| r.from_cache));
 //! ```
 
+#![deny(missing_docs)]
+
 mod batch;
 mod cache;
 mod job;
 pub mod json;
 mod portfolio;
+mod service;
 
 pub use batch::{run_batch, BatchConfig, BatchResult, BatchTotals};
 pub use cache::{
@@ -71,4 +80,8 @@ pub use cache::{
     verdict_name, verdict_rank, CacheStats, ResultCache,
 };
 pub use job::AnalysisJob;
-pub use portfolio::{run_selection, EngineSelection, PortfolioOutcome};
+pub use portfolio::{parse_selection, run_selection, EngineSelection, PortfolioOutcome};
+pub use service::{
+    serve, with_scheduler, SchedulerConfig, SchedulerHandle, ServeConfig, ServeSummary,
+    TaskOutcome, TaskSpec,
+};

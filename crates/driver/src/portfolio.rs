@@ -76,6 +76,21 @@ impl EngineSelection {
     }
 }
 
+/// Parses an engine-selection name as used on the CLI and the NDJSON wire:
+/// one of the engine names (`termite`, `eager`, `pr` /
+/// `podelski-rybalchenko`, `heuristic`) or `portfolio` for the full
+/// four-engine race.
+pub fn parse_selection(name: &str) -> Result<EngineSelection, String> {
+    match name {
+        "portfolio" => Ok(EngineSelection::full_portfolio()),
+        "termite" => Ok(EngineSelection::single(Engine::Termite)),
+        "eager" => Ok(EngineSelection::single(Engine::Eager)),
+        "pr" | "podelski-rybalchenko" => Ok(EngineSelection::single(Engine::PodelskiRybalchenko)),
+        "heuristic" => Ok(EngineSelection::single(Engine::Heuristic)),
+        other => Err(format!("unknown engine `{other}`")),
+    }
+}
+
 /// Stable textual form, used by the cache key derivation.
 impl fmt::Display for EngineSelection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -1,0 +1,1043 @@
+//! Streaming job scheduler and the NDJSON analysis service.
+//!
+//! The batch driver of PR 1 ran with a barrier: submit everything, wait for
+//! the pool to drain, collect results in submission order. That shape cannot
+//! serve a long-lived analysis service, where jobs arrive continuously and a
+//! caller wants each verdict the moment it lands. This module inverts the
+//! topology:
+//!
+//! ```text
+//!   intake ──────▶ queue ──▶ workers ──▶ reply callbacks (out of order)
+//!     │              ▲
+//!     └── bounded ───┘   backpressure: intake blocks while the number of
+//!         window         in-flight jobs is at the window limit
+//! ```
+//!
+//! * [`with_scheduler`] / [`SchedulerHandle`] — the barrier-free core: tasks
+//!   are submitted one at a time, each carrying its own reply callback and a
+//!   pre-issued [`CancelToken`], and complete in whatever order the workers
+//!   finish them. [`run_batch`](crate::run_batch) is now a thin client of
+//!   this scheduler (submit everything, collect from a channel, reorder).
+//! * [`serve`] — the NDJSON wire front-end: job requests are read line by
+//!   line from any [`BufRead`], responses stream back over any [`Write`] the
+//!   moment each job lands, tagged by the request `id`. A `{"cancel": id}`
+//!   control line cancels a queued or running job mid-flight. Exposed on
+//!   stdin/stdout as `termite serve`, so any transport — a socket wrapper, a
+//!   CI harness, an editor plugin — can drive the prover as a service.
+//!
+//! # Wire protocol
+//!
+//! One JSON document per line, in both directions.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"id": "job-1", "program": "var x; while (x > 0) { x = x - 1; }"}
+//! {"id": "job-2", "program": "...", "engine": "eager", "timeout_ms": 500}
+//! {"cancel": "job-2"}
+//! ```
+//!
+//! Responses (exactly one line per job, unordered):
+//!
+//! ```json
+//! {"id": "job-1", "status": "ok", "verdict": "terminates", "from_cache": false, ...}
+//! {"id": "job-2", "status": "cancelled"}
+//! {"id": "job-3", "status": "error", "error": "parse: ..."}
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use std::io::Cursor;
+//! use termite_driver::{serve, ServeConfig};
+//!
+//! let requests = concat!(
+//!     r#"{"id": "down", "program": "var x; while (x > 0) { x = x - 1; }"}"#, "\n",
+//!     r#"{"id": "up", "program": "var x; assume x >= 1; while (x > 0) { x = x + 1; }"}"#, "\n",
+//! );
+//! let mut responses = Vec::new();
+//! let summary = serve(
+//!     Cursor::new(requests),
+//!     &mut responses,
+//!     &ServeConfig::default(),
+//!     None,
+//! )
+//! .unwrap();
+//! assert_eq!(summary.ok, 2);
+//! let text = String::from_utf8(responses).unwrap();
+//! assert!(text.contains(r#""verdict":"terminates""#));
+//! assert!(text.contains(r#""verdict":"unknown""#));
+//! ```
+
+use crate::batch::BatchResult;
+use crate::cache::{cache_key, report_to_json, verdict_name, ResultCache};
+use crate::job::AnalysisJob;
+use crate::json::Json;
+use crate::portfolio::{run_selection, EngineSelection, PortfolioOutcome};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+use termite_core::{
+    AnalysisOptions, CancelToken, Engine, SynthesisStats, TerminationReport, UnknownReason, Verdict,
+};
+use termite_invariants::InvariantOptions;
+use termite_ir::parse_named_program;
+
+/// Configuration of a scheduler scope.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Number of worker threads (at least one is spawned).
+    pub workers: usize,
+    /// Default engine selection for tasks that do not override it.
+    pub selection: EngineSelection,
+    /// Base analysis options; `options.cancel` is the scheduler-wide token
+    /// (cancelling it stops every task, queued or running).
+    pub options: AnalysisOptions,
+    /// Default per-task wall-clock budget, measured from the moment a worker
+    /// starts the task (queue wait does not count against it).
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            workers: 1,
+            selection: EngineSelection::Single(Engine::Termite),
+            options: AnalysisOptions::default(),
+            job_timeout: None,
+        }
+    }
+}
+
+/// One unit of work submitted to the scheduler.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// Caller-chosen identifier, echoed in the [`TaskOutcome`].
+    pub id: String,
+    /// The prepared analysis job.
+    pub job: AnalysisJob,
+    /// Engine selection override; `None` uses the scheduler default.
+    pub selection: Option<EngineSelection>,
+    /// Wall-clock budget override; `None` uses the scheduler default.
+    pub timeout: Option<Duration>,
+}
+
+/// What the scheduler hands to a task's reply callback.
+#[derive(Clone, Debug)]
+pub struct TaskOutcome {
+    /// The submitting [`TaskSpec::id`].
+    pub id: String,
+    /// The analysis result (same shape as one batch row).
+    pub result: BatchResult,
+}
+
+/// A task's reply callback: invoked exactly once, on a worker thread, the
+/// moment the task lands.
+type Reply = Box<dyn FnOnce(TaskOutcome) + Send>;
+
+struct Task {
+    spec: TaskSpec,
+    cancel: CancelToken,
+    reply: Reply,
+}
+
+struct QueueState {
+    pending: VecDeque<Task>,
+    shutdown: bool,
+}
+
+struct SchedulerState {
+    queue: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+/// Submission handle of a running scheduler scope (see [`with_scheduler`]).
+///
+/// The handle is `Sync`: intake threads may share it to submit concurrently.
+pub struct SchedulerHandle<'a> {
+    state: &'a SchedulerState,
+    config: &'a SchedulerConfig,
+}
+
+impl SchedulerHandle<'_> {
+    /// A fresh cancellation token scoped under the scheduler-wide token:
+    /// cancelling it stops one task (pass it to [`submit`](Self::submit)),
+    /// while the scheduler token still stops everything.
+    pub fn child_token(&self) -> CancelToken {
+        self.config.options.cancel.child()
+    }
+
+    /// Submits a task. `cancel` must come from
+    /// [`child_token`](Self::child_token) (issuing it first lets the caller
+    /// index the token — e.g. under an id — *before* the task can complete,
+    /// closing the race between fast workers and bookkeeping). The `reply`
+    /// callback fires exactly once, on a worker thread, when the task lands —
+    /// results stream back in completion order, not submission order.
+    pub fn submit(
+        &self,
+        spec: TaskSpec,
+        cancel: CancelToken,
+        reply: impl FnOnce(TaskOutcome) + Send + 'static,
+    ) {
+        let mut queue = self.state.queue.lock().unwrap();
+        queue.pending.push_back(Task {
+            spec,
+            cancel,
+            reply: Box::new(reply),
+        });
+        drop(queue);
+        self.state.ready.notify_one();
+    }
+}
+
+/// Runs `body` against a live worker pool: `config.workers` threads pull
+/// tasks from a shared queue as [`SchedulerHandle::submit`] feeds it, with no
+/// barrier anywhere — a submitted task completes (and its reply callback
+/// fires) while `body` is still submitting others.
+///
+/// When `body` returns, the scope shuts down: tasks still queued are
+/// completed as cancelled (reply fired, zeroed stats, never run), running
+/// tasks finish, and the workers are joined before `with_scheduler` returns.
+///
+/// When `cache` is given, each task is first looked up by content-addressed
+/// key; fresh results are stored back unless their run was cancelled (a
+/// timeout's `Unknown` must not poison later, un-budgeted runs).
+pub fn with_scheduler<R>(
+    config: &SchedulerConfig,
+    cache: Option<&ResultCache>,
+    body: impl FnOnce(&SchedulerHandle<'_>) -> R,
+) -> R {
+    let state = SchedulerState {
+        queue: Mutex::new(QueueState {
+            pending: VecDeque::new(),
+            shutdown: false,
+        }),
+        ready: Condvar::new(),
+    };
+    // Shutdown must happen even when `body` unwinds: `thread::scope` joins
+    // the workers before propagating the panic, and a worker parked on the
+    // condvar with `shutdown` unset would make that join — and hence the
+    // whole process — wait forever.
+    struct ShutdownGuard<'a>(&'a SchedulerState);
+    impl Drop for ShutdownGuard<'_> {
+        fn drop(&mut self) {
+            self.0.queue.lock().unwrap().shutdown = true;
+            self.0.ready.notify_all();
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..config.workers.max(1) {
+            scope.spawn(|| worker_loop(&state, config, cache));
+        }
+        let handle = SchedulerHandle {
+            state: &state,
+            config,
+        };
+        let _shutdown = ShutdownGuard(&state);
+        body(&handle)
+    })
+}
+
+fn worker_loop(state: &SchedulerState, config: &SchedulerConfig, cache: Option<&ResultCache>) {
+    loop {
+        let (task, drain) = {
+            let mut queue = state.queue.lock().unwrap();
+            loop {
+                if let Some(task) = queue.pending.pop_front() {
+                    break (task, queue.shutdown);
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = state.ready.wait(queue).unwrap();
+            }
+        };
+        // A task still queued at shutdown is completed as cancelled rather
+        // than run: the scope is closing and nobody submits work they do not
+        // want, but every submitted task still gets exactly one reply.
+        let result = if drain || task.cancel.is_cancelled() {
+            cancelled_result(&task.spec.job)
+        } else {
+            execute_task(&task, config, cache)
+        };
+        (task.reply)(TaskOutcome {
+            id: task.spec.id,
+            result,
+        });
+    }
+}
+
+/// The result of a task that was cancelled before a worker ran it: `Unknown`
+/// with zeroed stats (cancellation is indistinguishable from "gave up",
+/// never from a proof).
+pub(crate) fn cancelled_result(job: &AnalysisJob) -> BatchResult {
+    BatchResult {
+        report: TerminationReport {
+            program: job.name.clone(),
+            verdict: Verdict::unknown(UnknownReason::Cancelled),
+            stats: SynthesisStats::default(),
+        },
+        name: job.name.clone(),
+        expected_terminating: job.expected_terminating,
+        winner: None,
+        from_cache: false,
+        wall_millis: 0.0,
+    }
+}
+
+/// Runs one task: cache lookup, engine selection (possibly a portfolio
+/// race) under a deadline-bearing child of the task token, cache store.
+fn execute_task(task: &Task, config: &SchedulerConfig, cache: Option<&ResultCache>) -> BatchResult {
+    let start = Instant::now();
+    let job = &task.spec.job;
+    let selection = task.spec.selection.as_ref().unwrap_or(&config.selection);
+    let key = cache.map(|_| cache_key(job, selection, &config.options));
+
+    if let (Some(cache), Some(key)) = (cache, &key) {
+        if let Some(mut report) = cache.lookup(key) {
+            // The key is content-addressed (it ignores program names), so the
+            // stored report may carry the first submitter's name; re-label it
+            // for this job.
+            report.program = job.name.clone();
+            return BatchResult {
+                name: job.name.clone(),
+                expected_terminating: job.expected_terminating,
+                report,
+                winner: None,
+                from_cache: true,
+                wall_millis: start.elapsed().as_secs_f64() * 1000.0,
+            };
+        }
+    }
+
+    // The deadline starts now, not at submission: queue wait under a loaded
+    // service must not eat a job's synthesis budget.
+    let run_token = match task.spec.timeout.or(config.job_timeout) {
+        Some(budget) => task.cancel.child_with_deadline(budget),
+        None => task.cancel.child(),
+    };
+    let options = config.options.clone().with_cancel(run_token.clone());
+    let PortfolioOutcome { report, winner, .. } = run_selection(job, selection, &options);
+
+    // A cancelled run's `Unknown` is an artefact of the budget, not a fact
+    // about the program; never persist it.
+    let genuine = report.proved() || !run_token.is_cancelled();
+    if let (Some(cache), Some(key), true) = (cache, key, genuine) {
+        cache.store(key, report.clone());
+    }
+
+    BatchResult {
+        name: job.name.clone(),
+        expected_terminating: job.expected_terminating,
+        report,
+        winner,
+        from_cache: false,
+        wall_millis: start.elapsed().as_secs_f64() * 1000.0,
+    }
+}
+
+/// Configuration of the NDJSON service front-end.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Default engine selection for requests without an `"engine"` field.
+    pub selection: EngineSelection,
+    /// Base analysis options; `options.cancel` stops the whole service.
+    pub options: AnalysisOptions,
+    /// Default per-job budget for requests without `"timeout_ms"`.
+    pub job_timeout: Option<Duration>,
+    /// Bound on concurrently in-flight (queued + running) jobs: intake
+    /// blocks — exerting backpressure on the transport — while the window is
+    /// full. At least 1.
+    pub max_inflight: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            selection: EngineSelection::Single(Engine::Termite),
+            options: AnalysisOptions::default(),
+            job_timeout: None,
+            max_inflight: 64,
+        }
+    }
+}
+
+/// Aggregate counts of one [`serve`] session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs answered with `"status": "ok"`.
+    pub ok: usize,
+    /// Jobs answered with `"status": "cancelled"`.
+    pub cancelled: usize,
+    /// Lines answered with `"status": "error"` (parse failures, unknown
+    /// cancel targets, duplicate ids).
+    pub errors: usize,
+}
+
+/// The bounded in-flight window: intake blocks in [`acquire`](Self::acquire)
+/// while `limit` jobs are queued or running.
+struct Window {
+    inflight: Mutex<usize>,
+    freed: Condvar,
+    limit: usize,
+}
+
+impl Window {
+    fn new(limit: usize) -> Self {
+        Window {
+            inflight: Mutex::new(0),
+            freed: Condvar::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    fn acquire(&self) {
+        let mut inflight = self.inflight.lock().unwrap();
+        while *inflight >= self.limit {
+            inflight = self.freed.wait(inflight).unwrap();
+        }
+        *inflight += 1;
+    }
+
+    fn release(&self) {
+        *self.inflight.lock().unwrap() -= 1;
+        self.freed.notify_one();
+    }
+}
+
+/// One event flowing from intake/workers to the response writer.
+enum Event {
+    /// A job landed (ok or cancelled — the writer decides which by id).
+    /// Boxed: an outcome (report + certificate) dwarfs a rejection line.
+    Done(Box<TaskOutcome>),
+    /// An intake line was rejected before becoming a job.
+    Reject { id: Option<String>, error: String },
+}
+
+/// A parsed request line.
+enum Request {
+    Job {
+        id: String,
+        source: String,
+        selection: Option<EngineSelection>,
+        timeout: Option<Duration>,
+    },
+    Cancel {
+        id: String,
+    },
+}
+
+/// The id field of a request: a JSON string, or a number. Numbers are
+/// stringified on intake — responses always carry the id as a JSON *string*
+/// (`{"id": 7}` is answered as `{"id": "7"}`), so clients comparing ids
+/// must compare textually.
+fn parse_id(json: &Json) -> Option<String> {
+    match json {
+        Json::String(s) => Some(s.clone()),
+        Json::Number(_) => Some(json.to_string()),
+        _ => None,
+    }
+}
+
+/// Parses one request line. A rejected line keeps its `id` whenever one was
+/// present and well-formed, so even a semantically invalid request still
+/// gets an id-tagged error response a client can correlate.
+fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
+    let fail = |id: Option<&str>, error: String| (id.map(str::to_string), error);
+    let doc = Json::parse(line).map_err(|e| fail(None, format!("bad request line: {e}")))?;
+    if let Some(target) = doc.get("cancel") {
+        let id = parse_id(target)
+            .ok_or_else(|| fail(None, "cancel: `cancel` must be a job id".to_string()))?;
+        return Ok(Request::Cancel { id });
+    }
+    let id = doc
+        .get("id")
+        .ok_or_else(|| fail(None, "request without `id`".to_string()))
+        .and_then(|id| {
+            parse_id(id)
+                .ok_or_else(|| fail(None, "request `id` must be a string or number".to_string()))
+        })?;
+    let source = doc
+        .get("program")
+        .and_then(Json::as_str)
+        .ok_or_else(|| fail(Some(&id), "request without a `program` string".to_string()))?
+        .to_string();
+    let selection = match doc.get("engine") {
+        None | Some(Json::Null) => None,
+        Some(engine) => {
+            let name = engine
+                .as_str()
+                .ok_or_else(|| fail(Some(&id), "`engine` must be a string".to_string()))?;
+            Some(crate::portfolio::parse_selection(name).map_err(|e| fail(Some(&id), e))?)
+        }
+    };
+    let timeout = match doc.get("timeout_ms") {
+        None | Some(Json::Null) => None,
+        Some(ms) => {
+            let ms = ms
+                .as_f64()
+                .filter(|ms| *ms >= 0.0 && ms.fract() == 0.0)
+                .ok_or_else(|| {
+                    fail(
+                        Some(&id),
+                        "`timeout_ms` must be a non-negative integer".to_string(),
+                    )
+                })?;
+            Some(Duration::from_millis(ms as u64))
+        }
+    };
+    Ok(Request::Job {
+        id,
+        source,
+        selection,
+        timeout,
+    })
+}
+
+/// The `"status": "ok"` response line of one landed job.
+fn ok_response(outcome: &TaskOutcome) -> Json {
+    let r = &outcome.result;
+    Json::object([
+        ("id", Json::String(outcome.id.clone())),
+        ("status", Json::String("ok".to_string())),
+        (
+            "verdict",
+            Json::String(verdict_name(&r.report.verdict).to_string()),
+        ),
+        // "Proved, possibly conditionally" — same semantics as the
+        // `terminating` field of `suite --json`. Unconditional-only clients
+        // must gate on `verdict == "terminates"`.
+        ("terminating", Json::Bool(r.proved())),
+        ("from_cache", Json::Bool(r.from_cache)),
+        (
+            "winner",
+            match r.winner {
+                Some(e) => Json::String(format!("{e:?}")),
+                None => Json::Null,
+            },
+        ),
+        ("wall_millis", Json::Number(r.wall_millis)),
+        ("report", report_to_json(&r.report)),
+    ])
+}
+
+fn error_response(id: Option<&str>, error: &str) -> Json {
+    let mut fields = vec![
+        ("status", Json::String("error".to_string())),
+        ("error", Json::String(error.to_string())),
+    ];
+    if let Some(id) = id {
+        fields.insert(0, ("id", Json::String(id.to_string())));
+    }
+    Json::object(fields)
+}
+
+/// Runs the NDJSON analysis service until `input` reaches end-of-file and
+/// every accepted job has been answered.
+///
+/// Requests are read line by line (one JSON document per line:
+/// `{"id", "program", "engine"?, "timeout_ms"?}` or `{"cancel": id}`),
+/// scheduled onto the worker pool with no batch barrier, and
+/// answered the moment each job lands — out of order, tagged by `id`, one
+/// response line per job, flushed per line so downstream pipes see every
+/// verdict immediately. A `{"cancel": id}` control line cancels the matching
+/// queued or running job; it produces no line of its own — the cancelled job
+/// answers with `"status": "cancelled"` (a cancel matching no in-flight job
+/// gets an error line). Intake blocks while
+/// [`max_inflight`](ServeConfig::max_inflight) jobs are in flight, so an
+/// overeager producer is throttled instead of ballooning the queue.
+///
+/// Ids must be unique among in-flight jobs; a duplicate is rejected with an
+/// error line (the id becomes reusable once its job answers).
+///
+/// Returns the session totals; `Err` only on a broken `output` (responses
+/// cannot be delivered — the service is dead either way).
+pub fn serve<R: BufRead + Send, W: Write>(
+    input: R,
+    mut output: W,
+    config: &ServeConfig,
+    cache: Option<&ResultCache>,
+) -> Result<ServeSummary, String> {
+    let scheduler_config = SchedulerConfig {
+        workers: config.workers,
+        selection: config.selection.clone(),
+        options: config.options.clone(),
+        job_timeout: config.job_timeout,
+    };
+    let (event_tx, event_rx) = std::sync::mpsc::channel::<Event>();
+    let window = Window::new(config.max_inflight);
+    // Tokens of in-flight jobs, by id: the cancel control message fires them.
+    let live: Mutex<HashMap<String, CancelToken>> = Mutex::new(HashMap::new());
+    // Ids cancelled by control message: their outcome becomes a
+    // `"status": "cancelled"` response rather than a result.
+    let cancelled: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
+
+    with_scheduler(&scheduler_config, cache, |scheduler| {
+        std::thread::scope(|scope| {
+            // Intake thread: owns the reader, feeds the scheduler.
+            let intake = {
+                let event_tx = event_tx.clone();
+                let service_token = &config.options.cancel;
+                let (window, live, cancelled) = (&window, &live, &cancelled);
+                scope.spawn(move || {
+                    intake_loop(
+                        input,
+                        scheduler,
+                        event_tx,
+                        service_token,
+                        window,
+                        live,
+                        cancelled,
+                    )
+                })
+            };
+            drop(event_tx);
+
+            // Writer loop: owns the output, streams one line per event.
+            let mut summary = ServeSummary::default();
+            let mut write_error: Option<String> = None;
+            for event in event_rx {
+                let line = match event {
+                    Event::Done(outcome) => {
+                        // All bookkeeping for this id is consumed *before*
+                        // the window slot is released: once release() runs,
+                        // intake may admit a new job reusing the id, and a
+                        // leftover `live`/`cancelled` entry would cross-wire
+                        // the old job's response with the new job's fate.
+                        live.lock().unwrap().remove(&outcome.id);
+                        let was_cancelled = cancelled.lock().unwrap().remove(&outcome.id);
+                        window.release();
+                        if was_cancelled {
+                            summary.cancelled += 1;
+                            Json::object([
+                                ("id", Json::String(outcome.id.clone())),
+                                ("status", Json::String("cancelled".to_string())),
+                            ])
+                        } else {
+                            summary.ok += 1;
+                            ok_response(&outcome)
+                        }
+                    }
+                    Event::Reject { id, error } => {
+                        summary.errors += 1;
+                        error_response(id.as_deref(), &error)
+                    }
+                };
+                if write_error.is_none() {
+                    write_error = writeln!(output, "{line}")
+                        .and_then(|()| output.flush())
+                        .err()
+                        .map(|e| format!("write response: {e}"));
+                    if write_error.is_some() {
+                        // The transport is gone: stop everything in flight so
+                        // the intake thread and the workers wind down instead
+                        // of proving programs nobody will hear about.
+                        config.options.cancel.cancel();
+                    }
+                }
+            }
+            intake.join().expect("intake thread must not panic");
+            match write_error {
+                Some(error) => Err(error),
+                None => Ok(summary),
+            }
+        })
+    })
+}
+
+/// Reads request lines until EOF, submitting jobs (under backpressure) and
+/// firing cancel tokens. Every accepted job eventually produces exactly one
+/// `Event::Done`; every rejected line produces exactly one `Event::Reject`.
+fn intake_loop<R: BufRead>(
+    input: R,
+    scheduler: &SchedulerHandle<'_>,
+    event_tx: std::sync::mpsc::Sender<Event>,
+    service_token: &CancelToken,
+    window: &Window,
+    live: &Mutex<HashMap<String, CancelToken>>,
+    cancelled: &Mutex<HashSet<String>>,
+) {
+    for line in input.lines() {
+        // The writer fires the service token when the output transport dies:
+        // stop consuming input instead of proving programs nobody will hear
+        // about. (A read blocked with no lines arriving cannot observe this
+        // until the next line — best effort, like any cooperative check.)
+        if service_token.is_cancelled() {
+            return;
+        }
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                let _ = event_tx.send(Event::Reject {
+                    id: None,
+                    error: format!("read request line: {e}"),
+                });
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match parse_request(&line) {
+            Ok(request) => request,
+            Err((id, error)) => {
+                let _ = event_tx.send(Event::Reject { id, error });
+                continue;
+            }
+        };
+        match request {
+            Request::Cancel { id } => {
+                // A cancel never waits on the window itself. It can still be
+                // *read* late when intake is blocked admitting an earlier job
+                // into a full window (one reader, one stream) — size
+                // `max_inflight` above the expected job/cancel interleave.
+                match live.lock().unwrap().get(&id) {
+                    Some(token) => {
+                        token.cancel();
+                        cancelled.lock().unwrap().insert(id);
+                    }
+                    None => {
+                        let _ = event_tx.send(Event::Reject {
+                            id: Some(id),
+                            error: "cancel: no such in-flight job".to_string(),
+                        });
+                    }
+                }
+            }
+            Request::Job {
+                id,
+                source,
+                selection,
+                timeout,
+            } => {
+                let program = match parse_named_program(&source, &id) {
+                    Ok(program) => program,
+                    Err(e) => {
+                        let _ = event_tx.send(Event::Reject {
+                            id: Some(id),
+                            error: format!("parse: {e}"),
+                        });
+                        continue;
+                    }
+                };
+                let job = AnalysisJob::from_program(&program, &InvariantOptions::default());
+                let token = scheduler.child_token();
+                // The window comes first: an id is only "in flight" (and
+                // only duplicate-checked) once admitted, so a resubmission
+                // waiting behind a full window is not a duplicate of the
+                // landing job it waited for.
+                window.acquire();
+                {
+                    let mut live = live.lock().unwrap();
+                    if live.contains_key(&id) {
+                        drop(live);
+                        window.release();
+                        let _ = event_tx.send(Event::Reject {
+                            id: Some(id),
+                            error: "duplicate in-flight id".to_string(),
+                        });
+                        continue;
+                    }
+                    // Registered before submission, so a cancel can never
+                    // race a fast worker to the bookkeeping.
+                    live.insert(id.clone(), token.clone());
+                }
+                let reply_tx = event_tx.clone();
+                scheduler.submit(
+                    TaskSpec {
+                        id,
+                        job,
+                        selection,
+                        timeout,
+                    },
+                    token,
+                    move |outcome| {
+                        let _ = reply_tx.send(Event::Done(Box::new(outcome)));
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use std::sync::mpsc;
+
+    fn spec(id: &str, src: &str) -> TaskSpec {
+        let program = parse_named_program(src, id).unwrap();
+        TaskSpec {
+            id: id.to_string(),
+            job: AnalysisJob::from_program(&program, &InvariantOptions::default()),
+            selection: None,
+            timeout: None,
+        }
+    }
+
+    #[test]
+    fn scheduler_streams_results_without_a_barrier() {
+        let config = SchedulerConfig {
+            workers: 2,
+            ..SchedulerConfig::default()
+        };
+        let (tx, rx) = mpsc::channel();
+        let received = with_scheduler(&config, None, |scheduler| {
+            // The first result must be observable from inside the submitting
+            // scope, before any "end of batch".
+            for id in ["a", "b", "c"] {
+                let tx = tx.clone();
+                let token = scheduler.child_token();
+                scheduler.submit(
+                    spec(id, "var x; while (x > 0) { x = x - 1; }"),
+                    token,
+                    move |outcome| {
+                        let _ = tx.send(outcome);
+                    },
+                );
+            }
+            let first = rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("a result streams back while the scope is still open");
+            assert!(first.result.proved());
+            let mut rest = vec![first.id];
+            for _ in 0..2 {
+                rest.push(rx.recv_timeout(Duration::from_secs(60)).unwrap().id);
+            }
+            rest.sort();
+            rest
+        });
+        assert_eq!(received, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn cancelling_a_queued_task_answers_without_running_it() {
+        // One worker, pre-cancelled task: the dequeue check must answer with
+        // zeroed stats instead of running the analysis.
+        let (tx, rx) = mpsc::channel();
+        with_scheduler(&SchedulerConfig::default(), None, |scheduler| {
+            let token = scheduler.child_token();
+            token.cancel();
+            let tx = tx.clone();
+            scheduler.submit(
+                spec("doomed", "var x; while (x > 0) { x = x - 1; }"),
+                token,
+                move |outcome| {
+                    let _ = tx.send(outcome);
+                },
+            );
+            let outcome = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+            assert!(!outcome.result.proved());
+            assert_eq!(outcome.result.report.stats.iterations, 0);
+        });
+    }
+
+    #[test]
+    fn scheduler_scope_propagates_body_panics_instead_of_hanging() {
+        // Regression: an unwinding body used to skip the shutdown flag, so
+        // `thread::scope` joined condvar-parked workers forever.
+        let result = std::panic::catch_unwind(|| {
+            with_scheduler(&SchedulerConfig::default(), None, |_| {
+                panic!("client bug");
+            })
+        });
+        assert!(result.is_err(), "the body's panic must propagate");
+    }
+
+    #[test]
+    fn semantically_invalid_requests_keep_their_id_in_the_error() {
+        // Regression: a JSON-parseable request with a bad field used to lose
+        // its id, leaving the client without a correlatable response.
+        let requests = concat!(
+            r#"{"id": "bad-program", "program": 42}"#,
+            "\n",
+            r#"{"id": "bad-engine", "program": "var x;", "engine": "nope"}"#,
+            "\n",
+            r#"{"id": "bad-timeout", "program": "var x;", "timeout_ms": -5}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(requests),
+            &mut out,
+            &ServeConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(summary.errors, 3);
+        let text = String::from_utf8(out).unwrap();
+        for id in ["bad-program", "bad-engine", "bad-timeout"] {
+            let line = text
+                .lines()
+                .find(|l| Json::parse(l).unwrap().get("id").and_then(Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("no id-tagged error for `{id}`: {text}"));
+            assert_eq!(
+                Json::parse(line)
+                    .unwrap()
+                    .get("status")
+                    .and_then(Json::as_str),
+                Some("error")
+            );
+        }
+    }
+
+    #[test]
+    fn serve_answers_every_line_and_tags_errors() {
+        let requests = concat!(
+            r#"{"id": "good", "program": "var x; while (x > 0) { x = x - 1; }"}"#,
+            "\n",
+            "this is not json\n",
+            r#"{"id": "bad", "program": "var x; while ("}"#,
+            "\n",
+            r#"{"cancel": "never-submitted"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(requests),
+            &mut out,
+            &ServeConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            summary,
+            ServeSummary {
+                ok: 1,
+                cancelled: 0,
+                errors: 3
+            }
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text.lines().count(),
+            4,
+            "one response line per line: {text}"
+        );
+        let status_of = |id: &str| -> String {
+            let line = text
+                .lines()
+                .find(|l| Json::parse(l).unwrap().get("id").and_then(Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("no response for `{id}`: {text}"));
+            Json::parse(line)
+                .unwrap()
+                .get("status")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(status_of("good"), "ok");
+        assert_eq!(status_of("bad"), "error");
+        assert_eq!(status_of("never-submitted"), "error");
+    }
+
+    #[test]
+    fn serve_engine_and_timeout_overrides_are_honoured() {
+        // A two-phase loop needs a 2-dimensional lexicographic ranking
+        // function: the default (Termite) engine proves it, the
+        // Podelski–Rybalchenko single-function baseline cannot — so the
+        // per-request engine override must change the verdict.
+        let two_phase = "var a, b; assume a >= 0 && b >= 0; \
+             while (a > 0 || b > 0) { choice { assume a > 0; a = a - 1; b = nondet(); assume b >= 0; } \
+             or { assume a <= 0 && b > 0; b = b - 1; } }";
+        let requests = format!(
+            "{}\n{}\n",
+            Json::object([
+                ("id", Json::String("default".into())),
+                ("program", Json::String(two_phase.into())),
+            ]),
+            Json::object([
+                ("id", Json::String("pr".into())),
+                ("program", Json::String(two_phase.into())),
+                ("engine", Json::String("pr".into())),
+            ]),
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(requests),
+            &mut out,
+            &ServeConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(summary.ok, 2);
+        let text = String::from_utf8(out).unwrap();
+        let verdict_of = |id: &str| -> String {
+            let line = text
+                .lines()
+                .find(|l| Json::parse(l).unwrap().get("id").and_then(Json::as_str) == Some(id))
+                .unwrap();
+            Json::parse(line)
+                .unwrap()
+                .get("verdict")
+                .and_then(Json::as_str)
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(verdict_of("default"), "terminates");
+        assert_eq!(verdict_of("pr"), "unknown");
+    }
+
+    #[test]
+    fn serve_rejects_duplicate_inflight_ids_but_allows_reuse_after_landing() {
+        // Sequential requests on one worker with max_inflight 1: the first
+        // "twice" lands before the second arrives, so the id is reusable; a
+        // genuinely concurrent duplicate is exercised via a pre-cancelled
+        // scheduler (both land as cancelled, second line rejected).
+        let requests = concat!(
+            r#"{"id": "twice", "program": "var x; while (x > 0) { x = x - 1; }"}"#,
+            "\n",
+            r#"{"id": "twice", "program": "var x; while (x > 0) { x = x - 1; }"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let config = ServeConfig {
+            max_inflight: 1,
+            ..ServeConfig::default()
+        };
+        let summary = serve(Cursor::new(requests), &mut out, &config, None).unwrap();
+        assert_eq!(summary.ok, 2, "the id is reusable once the first job lands");
+        assert_eq!(summary.errors, 0);
+    }
+
+    #[test]
+    fn serve_uses_the_cache_for_duplicate_programs() {
+        let requests = concat!(
+            r#"{"id": "first", "program": "var x; while (x > 0) { x = x - 1; }"}"#,
+            "\n",
+            r#"{"id": "second", "program": "var x; while (x > 0) { x = x - 1; }"}"#,
+            "\n",
+        );
+        let cache = ResultCache::new();
+        let mut out = Vec::new();
+        // One worker and a window of one: "second" is only submitted after
+        // "first" landed (and stored), so the hit is deterministic.
+        let config = ServeConfig {
+            max_inflight: 1,
+            ..ServeConfig::default()
+        };
+        let summary = serve(Cursor::new(requests), &mut out, &config, Some(&cache)).unwrap();
+        assert_eq!(summary.ok, 2);
+        assert_eq!(cache.stats().hits, 1);
+        let text = String::from_utf8(out).unwrap();
+        let second = text
+            .lines()
+            .find(|l| l.contains(r#""id":"second""#))
+            .unwrap();
+        let doc = Json::parse(second).unwrap();
+        assert_eq!(doc.get("from_cache").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            doc.get("report")
+                .and_then(|r| r.get("program"))
+                .and_then(Json::as_str),
+            Some("second"),
+            "a cache hit must be re-labelled with the requesting id"
+        );
+    }
+}

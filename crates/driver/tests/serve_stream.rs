@@ -1,0 +1,304 @@
+//! Integration test of the NDJSON analysis service (ISSUE 4 acceptance):
+//! 32 interleaved jobs with mixed engines, one cancelled mid-flight and
+//! duplicates hitting the cache must produce exactly one response per
+//! non-cancelled id, verdicts byte-identical to the batch path (`termite
+//! suite` runs `run_batch` on the same scheduler), and responses that
+//! demonstrably stream back *before* intake reaches end-of-file.
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use termite_driver::json::Json;
+use termite_driver::{
+    parse_selection, run_batch, serve, AnalysisJob, BatchConfig, ResultCache, ServeConfig,
+};
+use termite_invariants::InvariantOptions;
+use termite_ir::parse_named_program;
+
+/// A blocking line source: `serve`'s intake waits on the channel exactly the
+/// way it would wait on a socket, which lets the test hold the stream open
+/// while it watches responses arrive.
+struct ChannelReader {
+    rx: Receiver<String>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(mut line) => {
+                    line.push('\n');
+                    self.buf = line.into_bytes();
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0), // all senders dropped: EOF
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A writer the test can observe while `serve` is still running.
+#[derive(Clone, Default)]
+struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedWriter {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+
+    fn response_ids(&self) -> Vec<String> {
+        self.text()
+            .lines()
+            .filter_map(|l| Json::parse(l).ok())
+            .filter_map(|doc| doc.get("id").and_then(Json::as_str).map(str::to_string))
+            .collect()
+    }
+
+    fn wait_for_id(&self, id: &str) {
+        let start = Instant::now();
+        while !self.response_ids().iter().any(|seen| seen == id) {
+            assert!(
+                start.elapsed() < Duration::from_secs(120),
+                "no response for `{id}` within two minutes; stream so far: {}",
+                self.text()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// A lexicographic cascade with `phases` counters: seconds of synthesis work
+/// uncancelled, which gives the mid-flight cancel a wide, reliable window
+/// (the cooperative cancellation itself lands within milliseconds).
+fn heavy_source(phases: usize) -> String {
+    let decls: Vec<String> = (0..phases).map(|p| format!("c{p}")).collect();
+    let mut src = format!("var {};\n", decls.join(", "));
+    let assumes: Vec<String> = (0..phases).map(|p| format!("c{p} >= 0")).collect();
+    src.push_str(&format!("assume {};\n", assumes.join(" && ")));
+    let guards: Vec<String> = (0..phases).map(|p| format!("c{p} > 0")).collect();
+    src.push_str(&format!("while ({}) {{\nchoice {{\n", guards.join(" || ")));
+    let mut branches: Vec<String> = Vec::new();
+    for p in 0..phases {
+        let mut zeros: Vec<String> = (0..p).map(|q| format!("c{q} <= 0")).collect();
+        zeros.push(format!("c{p} > 0"));
+        let mut branch = format!("assume {};\nc{p} = c{p} - 1;\n", zeros.join(" && "));
+        for q in (p + 1)..phases {
+            branch.push_str(&format!("c{q} = nondet();\nassume c{q} >= 0;\n"));
+        }
+        branches.push(branch);
+    }
+    src.push_str(&branches.join("} or {\n"));
+    src.push_str("}\n}\n");
+    src
+}
+
+fn request(id: &str, source: &str, engine: Option<&str>) -> String {
+    let mut fields = vec![
+        ("id", Json::String(id.to_string())),
+        ("program", Json::String(source.to_string())),
+    ];
+    if let Some(engine) = engine {
+        fields.push(("engine", Json::String(engine.to_string())));
+    }
+    Json::object(fields).to_string()
+}
+
+#[test]
+fn serve_32_interleaved_jobs_streams_cancels_and_matches_batch() {
+    // A pool of small programs with a spread of verdicts (unconditional,
+    // conditional, unknown) and costs.
+    let countdown = "var x; while (x > 0) { x = x - 1; }";
+    let example1 = "var x, y; assume x == 5 && y == 10; while (true) { \
+         choice { assume x <= 10 && y >= 0; x = x + 1; y = y - 1; } \
+         or { assume x >= 0 && y >= 0; x = x - 1; y = y - 1; } }";
+    let diverging = "var x; assume x >= 1; while (x > 0) { x = x + 1; }";
+    let conditional = "var x, y; while (x > 0) { x = x + y; }";
+    let two_phase = "var a, b; assume a >= 0 && b >= 0; while (a > 0 || b > 0) { \
+         choice { assume a > 0; a = a - 1; b = nondet(); assume b >= 0; } \
+         or { assume a <= 0 && b > 0; b = b - 1; } }";
+    let nested = "var i, j, n; assume n >= 0; i = 0; while (i < n) { \
+         j = 0; while (j < n) { j = j + 1; } i = i + 1; }";
+
+    // 31 regular jobs (+1 heavy cancelled mid-flight = 32 total), mixed
+    // engines, with deliberate duplicates of (source, engine) pairs. Jobs
+    // after the EOF barrier index (16) are only sent once responses from the
+    // first half have been observed.
+    let pool: &[(&str, Option<&str>)] = &[
+        (countdown, None),
+        (example1, None),
+        (diverging, None),
+        (conditional, None),
+        (two_phase, None),
+        (nested, None),
+        (countdown, Some("eager")),
+        (example1, Some("eager")),
+        (two_phase, Some("pr")),
+        (countdown, Some("pr")),
+        (example1, Some("heuristic")),
+        (nested, Some("heuristic")),
+        (countdown, Some("portfolio")),
+        (nested, Some("portfolio")),
+    ];
+    let jobs: Vec<(String, String, Option<String>)> = (0..31)
+        .map(|i| {
+            let (source, engine) = pool[i % pool.len()];
+            (
+                format!("job-{i:02}"),
+                source.to_string(),
+                engine.map(str::to_string),
+            )
+        })
+        .collect();
+    let heavy = heavy_source(5);
+
+    let (line_tx, line_rx): (Sender<String>, Receiver<String>) = channel();
+    let reader = BufReader::new(ChannelReader {
+        rx: line_rx,
+        buf: Vec::new(),
+        pos: 0,
+    });
+    let out = SharedWriter::default();
+
+    let serve_out = out.clone();
+    let cache = Arc::new(ResultCache::new());
+    let serve_cache = Arc::clone(&cache);
+    let server = std::thread::spawn(move || {
+        let config = ServeConfig {
+            workers: 4,
+            max_inflight: 32,
+            ..ServeConfig::default()
+        };
+        serve(reader, serve_out, &config, Some(&serve_cache))
+    });
+
+    // First half of the intake: the heavy job, its mid-flight cancel, and
+    // jobs 0..16.
+    line_tx.send(request("heavy", &heavy, None)).unwrap();
+    line_tx.send(r#"{"cancel": "heavy"}"#.to_string()).unwrap();
+    for (id, source, engine) in &jobs[..16] {
+        line_tx
+            .send(request(id, source, engine.as_deref()))
+            .unwrap();
+    }
+
+    // Streaming: responses must land while the input stream is still open.
+    out.wait_for_id("job-00");
+    let streamed_before_eof = out.response_ids().len();
+    assert!(
+        streamed_before_eof >= 1,
+        "at least one response must stream back before intake EOF"
+    );
+
+    // job-28 duplicates job-00's (source, engine) pair and is only submitted
+    // now — after job-00's response was observed — so its cache hit is
+    // deterministic, not a scheduling accident.
+    assert_eq!(jobs[28].1, jobs[0].1);
+    assert_eq!(jobs[28].2, jobs[0].2);
+    for (id, source, engine) in &jobs[16..] {
+        line_tx
+            .send(request(id, source, engine.as_deref()))
+            .unwrap();
+    }
+    drop(line_tx); // EOF
+
+    let summary = server.join().unwrap().expect("serve must not fail");
+    assert_eq!(summary.ok, 31, "every non-cancelled job answers ok");
+    assert_eq!(summary.cancelled, 1, "the heavy job answers cancelled");
+    assert_eq!(summary.errors, 0);
+
+    // Exactly one response line per id, 32 in total.
+    let text = out.text();
+    let mut responses: BTreeMap<String, Json> = BTreeMap::new();
+    for line in text.lines() {
+        let doc = Json::parse(line).expect("every response line is one JSON document");
+        let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+        assert!(
+            responses.insert(id.clone(), doc).is_none(),
+            "duplicate response for `{id}`"
+        );
+    }
+    assert_eq!(responses.len(), 32, "one response per submitted id");
+    assert_eq!(
+        responses["heavy"].get("status").and_then(Json::as_str),
+        Some("cancelled"),
+        "the mid-flight cancel must be acknowledged"
+    );
+
+    // Duplicates hit the cache; the deterministic late duplicate must.
+    assert_eq!(
+        responses["job-28"]
+            .get("from_cache")
+            .and_then(Json::as_bool),
+        Some(true),
+        "a duplicate submitted after its twin landed must be served from cache"
+    );
+    assert!(cache.stats().hits >= 1);
+
+    // Byte-identical verdicts to the batch path (`termite suite` is
+    // `run_batch` over the same scheduler): group the jobs by engine
+    // selection, run each group as a batch, and compare the serialized
+    // verdict, precondition and ranking certificate of every job.
+    let mut by_engine: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    for (id, source, engine) in &jobs {
+        by_engine
+            .entry(engine.clone().unwrap_or_else(|| "termite".to_string()))
+            .or_default()
+            .push((id.clone(), source.clone()));
+    }
+    for (engine, group) in by_engine {
+        let batch_jobs: Vec<AnalysisJob> = group
+            .iter()
+            .map(|(id, source)| {
+                AnalysisJob::from_program(
+                    &parse_named_program(source, id).unwrap(),
+                    &InvariantOptions::default(),
+                )
+            })
+            .collect();
+        let config = BatchConfig {
+            workers: 2,
+            selection: parse_selection(&engine).unwrap(),
+            ..BatchConfig::default()
+        };
+        let batch = run_batch(batch_jobs, &config, None);
+        for ((id, _), batch_result) in group.iter().zip(&batch) {
+            let served = responses[id].get("report").unwrap();
+            let expected = termite_driver::report_to_json(&batch_result.report);
+            assert_eq!(
+                served.get("verdict").unwrap().to_string(),
+                expected.get("verdict").unwrap().to_string(),
+                "{id} ({engine}): serve and batch verdicts must be byte-identical"
+            );
+            // The certificate itself is deterministic for single engines; a
+            // portfolio's winning engine (and hence ranking shape) may vary
+            // by race, so only the verdict is pinned there.
+            if engine != "portfolio" {
+                for field in ["ranking", "precondition"] {
+                    assert_eq!(
+                        served.get(field).unwrap().to_string(),
+                        expected.get(field).unwrap().to_string(),
+                        "{id} ({engine}): serve and batch `{field}` must be byte-identical"
+                    );
+                }
+            }
+        }
+    }
+}

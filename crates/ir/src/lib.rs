@@ -46,6 +46,8 @@
 //! assert_eq!(cfg.loop_headers().len(), 1);
 //! ```
 
+#![deny(missing_docs)]
+
 mod affine;
 mod ast;
 mod block;

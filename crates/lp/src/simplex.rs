@@ -16,7 +16,7 @@ pub(crate) const INTERRUPT_POLL_PERIOD: usize = 64;
 /// `termite-lp` sits below the crate that owns the cancellation tokens, so
 /// the coupling is a plain closure: the caller wraps whatever flag it wants
 /// observed (a portfolio cancel token, a deadline, a test hook) and the
-/// solver polls it every [`INTERRUPT_POLL_PERIOD`] pivots. An interrupted
+/// solver polls it every `INTERRUPT_POLL_PERIOD` (64) pivots. An interrupted
 /// solve returns `None` — never a wrong answer.
 #[derive(Clone, Default)]
 pub struct Interrupt(Option<Arc<dyn Fn() -> bool + Send + Sync>>);

@@ -1,0 +1,76 @@
+//! A client of the NDJSON analysis service, in process: pipes two programs
+//! through [`termite::driver::serve`] and shows how a client re-associates
+//! the *unordered* response stream with its requests by id.
+//!
+//! The service streams each verdict the moment it lands. With two workers,
+//! the cheap countdown below routinely overtakes the 2⁶-path multipath loop
+//! submitted before it — a client must therefore never assume response order
+//! and always key on the `id` field. This example asserts exactly that
+//! discipline: both responses are collected into a map, and the assertions
+//! hold whichever order the lines arrived in.
+//!
+//! Run with `cargo run --release --example serve_client`.
+
+use std::io::Cursor;
+use termite::driver::json::Json;
+use termite::driver::{serve, ServeConfig};
+
+fn main() {
+    // 2^6 paths through the loop body: measurable work for the prover.
+    let mut multipath = String::from("var x;\nassume x >= 0;\nwhile (x >= 0) {\n");
+    for _ in 0..6 {
+        multipath.push_str("if (nondet()) { x = x - 1; } else { x = x - 2; }\n");
+    }
+    multipath.push('}');
+
+    let requests = format!(
+        "{}\n{}\n",
+        Json::object([
+            ("id", Json::String("slow-multipath".into())),
+            ("program", Json::String(multipath)),
+        ]),
+        Json::object([
+            ("id", Json::String("fast-countdown".into())),
+            (
+                "program",
+                Json::String("var x; while (x > 0) { x = x - 1; }".into()),
+            ),
+        ]),
+    );
+
+    let config = ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let mut responses = Vec::new();
+    let summary = serve(Cursor::new(requests), &mut responses, &config, None)
+        .expect("the in-memory transport cannot fail");
+    assert_eq!(summary.ok, 2, "every job answers exactly once");
+
+    // The client discipline: never index responses by arrival position —
+    // parse each line and key on `id`.
+    let text = String::from_utf8(responses).expect("responses are UTF-8 JSON lines");
+    let mut by_id = std::collections::BTreeMap::new();
+    for (position, line) in text.lines().enumerate() {
+        let doc = Json::parse(line).expect("every response line is one JSON document");
+        let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+        println!(
+            "arrival {position}: id={id} verdict={}",
+            doc.get("verdict").and_then(Json::as_str).unwrap_or("-")
+        );
+        assert!(
+            by_id.insert(id, doc).is_none(),
+            "ids are unique across the stream"
+        );
+    }
+    for id in ["slow-multipath", "fast-countdown"] {
+        let doc = by_id.get(id).expect("a response exists for every request");
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(
+            doc.get("verdict").and_then(Json::as_str),
+            Some("terminates"),
+            "{id} must be proved terminating"
+        );
+    }
+    println!("ok: both verdicts recovered regardless of arrival order");
+}

@@ -31,6 +31,7 @@
 //! assert!(report.proved());
 //! ```
 pub use termite_core as core;
+pub use termite_driver as driver;
 pub use termite_invariants as invariants;
 pub use termite_ir as ir;
 pub use termite_linalg as linalg;
