@@ -1,10 +1,15 @@
 //! Warm-started incremental LP vs from-scratch re-solves on the CEGIS
 //! pattern: the counterexample loop of Algorithm 1 grows `LP(C,
-//! Constraints(I))` by one δ variable and two rows per iteration. The
-//! incremental session must beat rebuilding the tableau every iteration.
+//! Constraints(I))` by one δ variable and two rows per iteration, and
+//! Algorithm 2 repeats the whole loop once per lexicographic level over a
+//! largely shared Farkas structure. The workspace must beat rebuilding the
+//! tableau every iteration *and* rebuilding the session every level.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use termite_core::{solve_lp_instance, LpInstanceSession, StackedConstraints, SynthesisStats};
+use termite_core::SynthesisStats;
+use termite_core::{
+    solve_lp_instance, FarkasMemo, LpReuse, StackedConstraints, SynthesisLpWorkspace,
+};
 use termite_linalg::QVector;
 use termite_lp::Interrupt;
 use termite_num::Rational;
@@ -31,7 +36,11 @@ fn invariant(n: usize) -> Polyhedron {
 }
 
 /// Deterministic pseudo-random counterexample directions (vertices of the
-/// difference polyhedron would come from the SMT solver in the real loop).
+/// difference polyhedron would come from the SMT solver in the real loop),
+/// in the homogenised stacked space: one location block of `n` variable
+/// entries plus the constant coordinate, which is 0 for a same-location
+/// step (the PR 3 homogenisation; the pre-PR 5 version of this bench still
+/// produced `n`-dimensional vectors and panicked on the constant read).
 /// Skewed positive: a quasi ranking function must be *non-increasing* on
 /// every counterexample, so directions spanning opposite pairs collapse the
 /// optimum to γ = 0; a mostly-positive pointed cone keeps Σδ non-trivial
@@ -39,41 +48,59 @@ fn invariant(n: usize) -> Polyhedron {
 fn counterexamples(n: usize, count: usize) -> Vec<QVector> {
     (0..count)
         .map(|j| {
-            let entries: Vec<i64> = (0..n)
+            let mut entries: Vec<i64> = (0..n)
                 .map(|i| {
                     let h = (j * 31 + i * 17 + 7) % 8;
                     h as i64 - 2
                 })
                 .collect();
+            entries.push(0); // homogeneous coordinate of the single block
             QVector::from_i64(&entries)
         })
         .filter(|u| !u.is_zero())
         .collect()
 }
 
+/// One full "lexicographic run": `levels` levels over the same invariants,
+/// each replaying the counterexample trace with a per-level offset (the
+/// first few vectors recur across levels, as they do in real syntheses).
+fn run_levels(
+    invs: &[Polyhedron],
+    cexs: &[QVector],
+    levels: usize,
+    reuse: LpReuse,
+    stats: &mut SynthesisStats,
+) -> Rational {
+    let mut memo = FarkasMemo::new();
+    let mut ws = SynthesisLpWorkspace::new(invs, Interrupt::never(), reuse, &mut memo);
+    let mut power = Rational::zero();
+    for level in 0..levels {
+        ws.begin_level(&vec![None; invs.len()], stats);
+        for u in cexs.iter().skip(level) {
+            ws.push_counterexample(u, stats);
+            power = ws.solve(stats).unwrap().delta.iter().sum();
+        }
+    }
+    power
+}
+
 fn lp_incremental(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp_incremental");
     group.sample_size(10);
-    println!("\n=== CEGIS LP growth: warm-started session vs from-scratch re-solves ===");
+    println!("\n=== CEGIS LP growth: warm-started workspace vs from-scratch re-solves ===");
     for &(n, count) in &[(4usize, 10usize), (6, 20), (8, 30)] {
         let inv = invariant(n);
-        let sc = StackedConstraints::from_invariants(&[inv]);
+        let invs = [inv];
+        let sc = StackedConstraints::from_invariants(&invs);
         let cexs = counterexamples(n, count);
 
         group.bench_with_input(
-            BenchmarkId::new("warm_session", format!("n{n}_c{count}")),
+            BenchmarkId::new("warm_workspace", format!("n{n}_c{count}")),
             &count,
             |b, _| {
                 b.iter(|| {
                     let mut stats = SynthesisStats::default();
-                    let mut session = LpInstanceSession::new(&sc, Interrupt::never());
-                    let mut power = Rational::zero();
-                    for u in &cexs {
-                        session.push_counterexample(u);
-                        let sol = session.solve(&mut stats).unwrap();
-                        power = sol.delta.iter().sum();
-                    }
-                    black_box(power)
+                    black_box(run_levels(&invs, &cexs, 1, LpReuse::CrossLevel, &mut stats))
                 })
             },
         );
@@ -95,15 +122,46 @@ fn lp_incremental(c: &mut Criterion) {
             },
         );
 
-        // Sanity + visibility: both strategies must reach the same optimum;
-        // report the pivot counts that explain the speedup.
+        // Cross-level reuse: the same workspace descends 4 levels (snapshot
+        // restore + Farkas memo) vs rebuilding the session per level.
+        const LEVELS: usize = 4;
+        group.bench_with_input(
+            BenchmarkId::new("cross_level", format!("n{n}_c{count}_l{LEVELS}")),
+            &count,
+            |b, _| {
+                b.iter(|| {
+                    let mut stats = SynthesisStats::default();
+                    black_box(run_levels(
+                        &invs,
+                        &cexs,
+                        LEVELS,
+                        LpReuse::CrossLevel,
+                        &mut stats,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_level", format!("n{n}_c{count}_l{LEVELS}")),
+            &count,
+            |b, _| {
+                b.iter(|| {
+                    let mut stats = SynthesisStats::default();
+                    black_box(run_levels(
+                        &invs,
+                        &cexs,
+                        LEVELS,
+                        LpReuse::PerLevel,
+                        &mut stats,
+                    ))
+                })
+            },
+        );
+
+        // Sanity + visibility: all strategies must reach the same optimum;
+        // report the pivot counts and reuse counters behind the speedups.
         let mut warm_stats = SynthesisStats::default();
-        let mut session = LpInstanceSession::new(&sc, Interrupt::never());
-        let mut warm_power = Rational::zero();
-        for u in &cexs {
-            session.push_counterexample(u);
-            warm_power = session.solve(&mut warm_stats).unwrap().delta.iter().sum();
-        }
+        let warm_power = run_levels(&invs, &cexs, 1, LpReuse::CrossLevel, &mut warm_stats);
         let mut scratch_stats = SynthesisStats::default();
         let mut so_far: Vec<QVector> = Vec::new();
         let mut scratch_power = Rational::zero();
@@ -115,11 +173,29 @@ fn lp_incremental(c: &mut Criterion) {
                 .sum();
         }
         assert_eq!(warm_power, scratch_power, "strategies must agree");
+        let mut cross_stats = SynthesisStats::default();
+        let cross_power = run_levels(&invs, &cexs, LEVELS, LpReuse::CrossLevel, &mut cross_stats);
+        let mut fresh_stats = SynthesisStats::default();
+        let fresh_power = run_levels(&invs, &cexs, LEVELS, LpReuse::PerLevel, &mut fresh_stats);
+        assert_eq!(cross_power, fresh_power, "level modes must agree");
+        assert_eq!(
+            cross_stats.lp_pivots, fresh_stats.lp_pivots,
+            "a restore reinstates exactly the fresh-build state"
+        );
         println!(
             "n={n} cexs={} : warm pivots {:>6}  scratch pivots {:>6}  (Σδ = {warm_power})",
             cexs.len(),
             warm_stats.lp_pivots,
             scratch_stats.lp_pivots,
+        );
+        println!(
+            "n={n} cexs={} levels={LEVELS}: basis reuses {:>2}  farkas memo hits {:>5}  \
+             warm LP solves {:>4}/{:<4}",
+            cexs.len(),
+            cross_stats.basis_reuses,
+            cross_stats.farkas_cache_hits,
+            cross_stats.lp_warm_hits,
+            cross_stats.lp_instances,
         );
     }
     group.finish();

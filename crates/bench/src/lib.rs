@@ -70,6 +70,12 @@ pub struct SuiteRow {
     pub lp_rows_avg: f64,
     /// Average LP instance columns (`c` of Table 1).
     pub lp_cols_avg: f64,
+    /// Total simplex pivots across the suite.
+    pub lp_pivots: usize,
+    /// LP solves served warm (out of `lp_instances` total solves).
+    pub lp_warm_hits: usize,
+    /// Total LP instances solved across the suite.
+    pub lp_instances: usize,
     /// Names of the benchmarks that could not be proved.
     pub unproved: Vec<String>,
 }
@@ -83,6 +89,9 @@ pub fn run_suite(id: SuiteId, prepared: &[PreparedBenchmark], engine: Engine) ->
     let mut rows = 0.0;
     let mut cols = 0.0;
     let mut lp_count = 0usize;
+    let mut lp_pivots = 0usize;
+    let mut lp_warm_hits = 0usize;
+    let mut lp_instances = 0usize;
     let mut unproved = Vec::new();
     for b in prepared {
         let report = prove_termination(&b.program, &options);
@@ -95,6 +104,9 @@ pub fn run_suite(id: SuiteId, prepared: &[PreparedBenchmark], engine: Engine) ->
             unproved.push(b.name.clone());
         }
         time += report.stats.synthesis_millis;
+        lp_pivots += report.stats.lp_pivots;
+        lp_warm_hits += report.stats.lp_warm_hits;
+        lp_instances += report.stats.lp_instances;
         if report.stats.lp_instances > 0 {
             rows += report.stats.lp_rows_avg;
             cols += report.stats.lp_cols_avg;
@@ -119,20 +131,25 @@ pub fn run_suite(id: SuiteId, prepared: &[PreparedBenchmark], engine: Engine) ->
         } else {
             0.0
         },
+        lp_pivots,
+        lp_warm_hits,
+        lp_instances,
         unproved,
     }
 }
 
-/// Formats a collection of rows as the Table 1 layout of the paper.
+/// Formats a collection of rows as the Table 1 layout of the paper,
+/// extended with the LP effort columns (`pivots`, and warm solves over
+/// total LP instances) behind the reproduction's warm-start architecture.
 pub fn format_table(rows: &[SuiteRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<10} {:<22} {:>5} {:>8} {:>6} {:>10} {:>8} {:>8}\n",
-        "Suite", "Engine", "#", "success", "cond", "time(ms)", "l", "c"
+        "{:<10} {:<22} {:>5} {:>8} {:>6} {:>10} {:>8} {:>8} {:>8} {:>11}\n",
+        "Suite", "Engine", "#", "success", "cond", "time(ms)", "l", "c", "pivots", "warm"
     ));
     for r in rows {
         out.push_str(&format!(
-            "{:<10} {:<22} {:>5} {:>8} {:>6} {:>10.1} {:>8.1} {:>8.1}\n",
+            "{:<10} {:<22} {:>5} {:>8} {:>6} {:>10.1} {:>8.1} {:>8.1} {:>8} {:>6}/{:<4}\n",
             r.suite,
             format!("{:?}", r.engine),
             r.total,
@@ -140,7 +157,10 @@ pub fn format_table(rows: &[SuiteRow]) -> String {
             r.conditional,
             r.time_millis,
             r.lp_rows_avg,
-            r.lp_cols_avg
+            r.lp_cols_avg,
+            r.lp_pivots,
+            r.lp_warm_hits,
+            r.lp_instances,
         ));
     }
     out

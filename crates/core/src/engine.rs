@@ -16,6 +16,7 @@ use crate::cancel::CancelToken;
 use crate::multidim::synthesize_lexicographic;
 use crate::regions::enabled_invariants;
 use crate::report::{RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict};
+use crate::workspace::{FarkasMemo, LpReuse};
 use std::time::Instant;
 use termite_invariants::{
     FixpointPipeline, InvariantOptions, InvariantPipeline, RefinementWitness,
@@ -59,6 +60,12 @@ pub struct AnalysisOptions {
     /// pipeline (`0` disables conditional verdicts; only the Termite engine
     /// produces refinement witnesses).
     pub max_refinements: usize,
+    /// How the Termite engine's LP workspace treats lexicographic level
+    /// transitions: restore the shared γ-basis snapshot (the default) or
+    /// rebuild per level. Both modes produce byte-identical verdicts,
+    /// ranking functions and preconditions; the per-level mode exists as the
+    /// reference side of that equivalence.
+    pub lp_reuse: LpReuse,
     /// Cooperative cancellation: the provers poll this token at every
     /// iteration / lexicographic level — and, via [`termite_lp::Interrupt`],
     /// inside every simplex pivot loop, including the ones under the SMT
@@ -76,6 +83,7 @@ impl Default for AnalysisOptions {
             max_iterations_per_dim: 120,
             max_eager_disjuncts: 4096,
             max_refinements: 3,
+            lp_reuse: LpReuse::default(),
             cancel: CancelToken::new(),
         }
     }
@@ -101,11 +109,14 @@ impl AnalysisOptions {
 /// a refinement witness.
 type Attempt = Result<RankingFunction, (UnknownReason, Option<(usize, QVector)>)>;
 
-/// Runs the selected engine once against a fixed set of invariants.
+/// Runs the selected engine once against a fixed set of invariants. `memo`
+/// is the analysis-wide Farkas memo: it outlives every attempt so a
+/// refinement retry re-uses the γ-coefficients of all unchanged rows.
 fn attempt(
     ts: &TransitionSystem,
     invariants: &[Polyhedron],
     options: &AnalysisOptions,
+    memo: &mut FarkasMemo,
     stats: &mut SynthesisStats,
 ) -> Attempt {
     if ts.num_locations() == 0 {
@@ -124,6 +135,8 @@ fn attempt(
                 ts,
                 invariants,
                 options.max_iterations_per_dim,
+                options.lp_reuse,
+                memo,
                 &options.cancel,
                 stats,
             );
@@ -189,7 +202,14 @@ pub fn prove_termination(program: &Program, options: &AnalysisOptions) -> Termin
     } else {
         0
     };
-    let mut pipeline = FixpointPipeline::new(program, &ts, &options.invariants, refinement_budget);
+    let cancel = options.cancel.clone();
+    let mut pipeline = FixpointPipeline::new(
+        program,
+        &ts,
+        &options.invariants,
+        refinement_budget,
+        termite_lp::Interrupt::new(move || cancel.is_cancelled()),
+    );
     prove_with_pipeline(&ts, &mut pipeline, options)
 }
 
@@ -201,11 +221,19 @@ pub fn prove_with_pipeline(
     pipeline: &mut dyn InvariantPipeline,
     options: &AnalysisOptions,
 ) -> TerminationReport {
+    // The pipeline's SMT loops poll the same token as the synthesis, so a
+    // cancel or deadline lands mid-refinement, not after the round.
+    let cancel = options.cancel.clone();
+    pipeline.set_interrupt(termite_lp::Interrupt::new(move || cancel.is_cancelled()));
     let mut stats = SynthesisStats::default();
     let start = Instant::now();
+    // One Farkas memo for the whole analysis: refinement rounds rebuild the
+    // LP workspace (the invariants changed), but content-interned
+    // γ-coefficients of unchanged rows keep hitting across retries.
+    let mut farkas_memo = FarkasMemo::new();
     let verdict = loop {
         let invariants = pipeline.invariants().to_vec();
-        match attempt(ts, &invariants, options, &mut stats) {
+        match attempt(ts, &invariants, options, &mut farkas_memo, &mut stats) {
             Ok(rf) => {
                 break match pipeline.precondition() {
                     None => Verdict::Terminates(rf),
@@ -229,7 +257,15 @@ pub fn prove_with_pipeline(
                     stats.refinements += 1;
                     continue;
                 }
-                break Verdict::unknown(reason);
+                // A refinement abandoned because the token fired is a
+                // cancellation, not a completed "no ranking function"
+                // search: report it as such so callers (the serve cancel
+                // protocol, portfolio losers) see the true cause.
+                break Verdict::unknown(if options.cancel.is_cancelled() {
+                    UnknownReason::Cancelled
+                } else {
+                    reason
+                });
             }
         }
     };
@@ -252,7 +288,7 @@ pub fn prove_transition_system(
 ) -> TerminationReport {
     let mut stats = SynthesisStats::default();
     let start = Instant::now();
-    let verdict = match attempt(ts, invariants, options, &mut stats) {
+    let verdict = match attempt(ts, invariants, options, &mut FarkasMemo::new(), &mut stats) {
         Ok(rf) => Verdict::Terminates(rf),
         Err((reason, _)) => Verdict::unknown(reason),
     };

@@ -71,6 +71,7 @@ mod monodim;
 mod multidim;
 mod regions;
 mod report;
+mod workspace;
 
 pub use baselines::{eager, heuristic, podelski_rybalchenko};
 pub use cancel::CancelToken;
@@ -78,10 +79,13 @@ pub use engine::{
     prove_termination, prove_transition_system, prove_with_pipeline, AnalysisOptions, Engine,
 };
 pub use lp_instance::{
-    solve_lp_instance, LpInstanceSession, LpInstanceSolution, LpInstanceStats, RankingTemplate,
-    StackedConstraints,
+    solve_lp_instance, LpInstanceSolution, LpInstanceStats, RankingTemplate, StackedConstraints,
 };
-pub use monodim::{MonodimInput, MonodimResult};
+pub use monodim::{monodim, MonodimInput, MonodimResult};
 pub use multidim::{synthesize_lexicographic, LexOutcome};
-pub use regions::{active_source_invariants, enabled_invariants, source_region_approx};
+pub use regions::{
+    active_source_invariants, active_source_regions, enabled_invariants, source_region_approx,
+    strengthen_with_regions,
+};
 pub use report::{RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict};
+pub use workspace::{FarkasMemo, LpReuse, SynthesisLpWorkspace};

@@ -9,9 +9,7 @@
 
 use crate::report::SynthesisStats;
 use termite_linalg::QVector;
-use termite_lp::{
-    Constraint as LpConstraint, IncrementalLp, Interrupt, LinearProgram, LpOutcome, Relation, VarId,
-};
+use termite_lp::{Constraint as LpConstraint, LinearProgram, LpOutcome, Relation, VarId};
 use termite_num::Rational;
 use termite_polyhedra::{ConstraintKind, Polyhedron};
 
@@ -91,8 +89,16 @@ impl StackedConstraints {
 
     /// The coefficient of the Farkas multiplier `γ_{k,i}` in the δ-row of a
     /// stacked counterexample `u`: `u_k · (a_i, −b_i)`, where `u_k` is the
-    /// `(n+1)`-wide block of `u` at location `k`.
-    fn gamma_coefficient(&self, u: &QVector, k: usize, a: &QVector, b: &Rational) -> Rational {
+    /// `(n+1)`-wide block of `u` at location `k`. The row `(a, b)` need not
+    /// be one of `self`'s own rows (the workspace also evaluates its
+    /// level-specific region rows through this).
+    pub(crate) fn gamma_coefficient(
+        &self,
+        u: &QVector,
+        k: usize,
+        a: &QVector,
+        b: &Rational,
+    ) -> Rational {
         let n = self.num_vars;
         let block = u.slice(k * (n + 1), n);
         let hom = &u[k * (n + 1) + n];
@@ -159,108 +165,6 @@ pub struct LpInstanceSolution {
     pub shape: LpInstanceStats,
 }
 
-/// A warm incremental `LP(C, Constraints(I))` session for one synthesis
-/// level (Definition 11, multi-location form of Section 6).
-///
-/// The counterexample loop of Algorithm 1 grows `C` by one or two vectors
-/// per iteration and re-solves; the session keeps the simplex basis of the
-/// previous optimum alive in a [`termite_lp::IncrementalLp`], so each
-/// iteration only pays for the pivots its new rows make necessary instead of
-/// a two-phase solve from an empty tableau.
-pub struct LpInstanceSession<'a> {
-    constraints: &'a StackedConstraints,
-    inc: IncrementalLp,
-    gamma_ids: Vec<Vec<VarId>>,
-    delta_ids: Vec<VarId>,
-}
-
-impl<'a> LpInstanceSession<'a> {
-    /// Opens a session: declares the `γ_{k,i} ≥ 0` Farkas multipliers (one
-    /// per invariant constraint row). `interrupt` is polled inside the
-    /// simplex pivot loop so a portfolio loser stops mid-solve.
-    pub fn new(constraints: &'a StackedConstraints, interrupt: Interrupt) -> Self {
-        let mut inc = IncrementalLp::new();
-        inc.set_interrupt(interrupt);
-        let mut gamma_ids: Vec<Vec<VarId>> = Vec::with_capacity(constraints.num_locations());
-        for k in 0..constraints.num_locations() {
-            let ids = (0..constraints.location(k).len())
-                .map(|i| inc.add_var(format!("gamma_{k}_{i}")))
-                .collect();
-            gamma_ids.push(ids);
-        }
-        LpInstanceSession {
-            constraints,
-            inc,
-            gamma_ids,
-            delta_ids: Vec::new(),
-        }
-    }
-
-    /// Number of counterexample vectors added so far.
-    pub fn num_counterexamples(&self) -> usize {
-        self.delta_ids.len()
-    }
-
-    /// Adds a counterexample vector `u` (a stacked vertex or ray in the
-    /// homogenised space): one fresh `δ_j ∈ [0, 1]` and the row
-    /// `Σ_{k,i} γ_{k,i} (u · e_k(a_i, −b_i)) − δ_j ≥ 0`.
-    pub fn push_counterexample(&mut self, u: &QVector) {
-        debug_assert_eq!(u.dim(), self.constraints.stacked_dim());
-        let j = self.delta_ids.len();
-        let d = self.inc.add_var(format!("delta_{j}"));
-        self.delta_ids.push(d);
-        self.inc.add_constraint(LpConstraint::new(
-            vec![(d, Rational::one())],
-            Relation::Le,
-            Rational::one(),
-        ));
-        let mut terms: Vec<(VarId, Rational)> = Vec::new();
-        for (k, gamma_k) in self.gamma_ids.iter().enumerate() {
-            for (i, (a, b)) in self.constraints.location(k).iter().enumerate() {
-                let coeff = self.constraints.gamma_coefficient(u, k, a, b);
-                if !coeff.is_zero() {
-                    terms.push((gamma_k[i], coeff));
-                }
-            }
-        }
-        terms.push((d, -Rational::one()));
-        self.inc
-            .add_constraint(LpConstraint::new(terms, Relation::Ge, Rational::zero()));
-    }
-
-    /// Re-optimizes `maximize Σ_j δ_j` over the current counterexample set,
-    /// warm-starting from the previous basis. Returns `None` when the solve
-    /// was interrupted mid-pivot.
-    pub fn solve(&mut self, stats: &mut SynthesisStats) -> Option<LpInstanceSolution> {
-        self.inc.maximize(
-            self.delta_ids
-                .iter()
-                .map(|&d| (d, Rational::one()))
-                .collect(),
-        );
-        let shape = LpInstanceStats {
-            rows: self.delta_ids.len(),
-            cols: self.constraints.total_rows() + self.delta_ids.len(),
-        };
-        stats.record_lp(shape.rows, shape.cols);
-
-        let solution = self.inc.solve()?;
-        stats.lp_pivots += solution.pivots;
-        let assignment = match solution.outcome {
-            LpOutcome::Optimal { assignment, .. } => assignment,
-            // Definition 11: the LP is always feasible (γ = δ = 0).
-            _ => vec![Rational::zero(); self.inc.num_vars()],
-        };
-        Some(reconstruct_solution(
-            self.constraints,
-            &assignment,
-            &self.gamma_ids,
-            &self.delta_ids,
-            shape,
-        ))
-    }
-}
-
 /// Reads the synthesised template off an optimal assignment:
 /// `λ_k = Σ_i γ_{k,i} a_i` and `λ_{k,0} = −Σ_i γ_{k,i} b_i`. Since each
 /// `a_i·x ≥ b_i` holds on `I_k`, the affine form `λ_k·x + λ_{k,0}` is then
@@ -299,8 +203,8 @@ fn reconstruct_solution(
 /// Builds and solves `LP(C, Constraints(I))` (Definition 11, multi-location
 /// form of Section 6) for the given counterexample vectors `C` (stacked
 /// `|W|·n`-dimensional vertices and rays), from scratch. The synthesis loop
-/// itself uses the warm [`LpInstanceSession`]; this one-shot form is the
-/// reference the session is tested against.
+/// itself uses the warm [`crate::SynthesisLpWorkspace`]; this one-shot form
+/// is the reference the workspace is tested against.
 pub fn solve_lp_instance(
     constraints: &StackedConstraints,
     counterexamples: &[QVector],
@@ -457,52 +361,6 @@ mod tests {
         // one side; the optimum makes exactly one of them 1.
         let ones = sol2.delta.iter().filter(|d| **d == q(1)).count();
         assert!(ones <= 1);
-    }
-
-    /// The warm session must agree with the from-scratch reference at every
-    /// step of a growing counterexample set (same Σδ, and the reconstructed
-    /// template must strictly decrease on every δ=1 counterexample).
-    #[test]
-    fn session_matches_scratch_on_growing_counterexample_set() {
-        let sc = StackedConstraints::from_invariants(&[example1_invariant()]);
-        let cexs = [step(&[-1, 1]), step(&[1, 1]), step(&[1, 0]), step(&[0, -1])];
-        let mut session_stats = SynthesisStats::default();
-        let mut session = LpInstanceSession::new(&sc, termite_lp::Interrupt::never());
-        let mut so_far: Vec<QVector> = Vec::new();
-        for u in &cexs {
-            session.push_counterexample(u);
-            so_far.push(u.clone());
-            let warm = session.solve(&mut session_stats).expect("not interrupted");
-            let mut scratch_stats = SynthesisStats::default();
-            let scratch = solve_lp_instance(&sc, &so_far, &mut scratch_stats);
-            // Σδ is the LP optimum: identical however the LP is solved.
-            let warm_power: Rational = warm.delta.iter().sum();
-            let scratch_power: Rational = scratch.delta.iter().sum();
-            assert_eq!(warm_power, scratch_power);
-            assert_eq!(warm.gamma_is_zero, scratch.gamma_is_zero);
-            assert_eq!(warm.shape, scratch.shape);
-            // Soundness of the warm template: λ·u ≥ δ_u on every vector.
-            for (j, u) in so_far.iter().enumerate() {
-                let lu = warm.template.lambda[0].dot(&u.slice(0, 2));
-                assert!(
-                    lu >= warm.delta[j],
-                    "λ·u = {lu} < δ = {} on counterexample {j}",
-                    warm.delta[j]
-                );
-            }
-        }
-        assert_eq!(session.num_counterexamples(), cexs.len());
-        assert!(session_stats.lp_instances >= 4);
-    }
-
-    /// A pre-raised interrupt stops the session without an answer.
-    #[test]
-    fn session_interrupt_returns_none() {
-        let sc = StackedConstraints::from_invariants(&[example1_invariant()]);
-        let mut stats = SynthesisStats::default();
-        let mut session = LpInstanceSession::new(&sc, termite_lp::Interrupt::new(|| true));
-        session.push_counterexample(&step(&[-1, 1]));
-        assert!(session.solve(&mut stats).is_none());
     }
 
     #[test]

@@ -2,8 +2,9 @@
 //! counterexamples, for one or several control points.
 
 use crate::cancel::CancelToken;
-use crate::lp_instance::{LpInstanceSession, RankingTemplate, StackedConstraints};
+use crate::lp_instance::RankingTemplate;
 use crate::report::SynthesisStats;
+use crate::workspace::SynthesisLpWorkspace;
 use termite_ir::TransitionSystem;
 use termite_linalg::{QVector, Subspace};
 use termite_num::Rational;
@@ -16,8 +17,6 @@ pub struct MonodimInput<'a> {
     pub ts: &'a TransitionSystem,
     /// Invariant of each cut point.
     pub invariants: &'a [Polyhedron],
-    /// Invariant constraints in stacked form (shared with the LP).
-    pub constraints: &'a StackedConstraints,
     /// Components synthesised at previous lexicographic levels: the search is
     /// restricted to transitions on which they all stay constant
     /// (`λ_{d'}·u = 0`, Algorithm 2).
@@ -189,8 +188,14 @@ pub(crate) fn previous_constant(
 }
 
 /// Runs the monodimensional synthesis (Algorithm 1, in its multi-control-point
-/// form of Algorithm 3).
-pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimResult {
+/// form of Algorithm 3) against an open level of the synthesis LP workspace
+/// (the caller pairs every `monodim` call with one
+/// [`SynthesisLpWorkspace::begin_level`]).
+pub fn monodim(
+    input: &MonodimInput<'_>,
+    ws: &mut SynthesisLpWorkspace,
+    stats: &mut SynthesisStats,
+) -> MonodimResult {
     let ts = input.ts;
     let num_locations = ts.num_locations().max(1);
     let n = ts.num_vars();
@@ -231,16 +236,6 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
     let mut iterations = 0usize;
     let mut witness: Option<(usize, QVector)> = None;
     let mut converged = false;
-
-    // One warm LP session per synthesis level: each iteration adds its new
-    // counterexample rows and re-optimizes from the previous basis. The
-    // cancel token reaches into the pivot loop, so cancellation latency is
-    // a few pivots, not a whole LP solve.
-    let cancel_in_lp = input.cancel.clone();
-    let mut session = LpInstanceSession::new(
-        input.constraints,
-        termite_lp::Interrupt::new(move || cancel_in_lp.is_cancelled()),
-    );
 
     while iterations < input.max_iterations {
         if input.cancel.is_cancelled() {
@@ -320,16 +315,16 @@ pub fn monodim(input: &MonodimInput<'_>, stats: &mut SynthesisStats) -> MonodimR
         witness = Some(seen_at);
 
         counterexamples.push(u.clone());
-        session.push_counterexample(&u);
+        ws.push_counterexample(&u, stats);
         let mut ray_added = false;
         if let Some(r) = ray {
-            session.push_counterexample(&r);
+            ws.push_counterexample(&r, stats);
             counterexamples.push(r);
             ray_added = true;
         }
         stats.counterexamples = counterexamples.len();
 
-        let Some(solution) = session.solve(stats) else {
+        let Some(solution) = ws.solve(stats) else {
             // Interrupted mid-pivot: report the cancellation, not an answer.
             return MonodimResult {
                 template,
@@ -406,11 +401,28 @@ fn zero_step_possible(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workspace::{FarkasMemo, LpReuse};
     use termite_ir::parse_program;
     use termite_polyhedra::Constraint;
 
     fn q(n: i64) -> Rational {
         Rational::from(n)
+    }
+
+    /// A workspace with one open level and no region strengthening.
+    fn open_workspace<'m>(
+        invariants: &[Polyhedron],
+        memo: &'m mut FarkasMemo,
+        stats: &mut SynthesisStats,
+    ) -> SynthesisLpWorkspace<'m> {
+        let mut ws = SynthesisLpWorkspace::new(
+            invariants,
+            termite_lp::Interrupt::never(),
+            LpReuse::CrossLevel,
+            memo,
+        );
+        ws.begin_level(&vec![None; invariants.len()], stats);
+        ws
     }
 
     fn example1_invariant() -> Polyhedron {
@@ -447,17 +459,18 @@ mod tests {
     fn paper_example_1_strict_ranking_function() {
         let ts = example1_system();
         let invariants = vec![example1_invariant()];
-        let constraints = StackedConstraints::from_invariants(&invariants);
         let mut stats = SynthesisStats::default();
+        let mut memo = FarkasMemo::new();
+        let mut ws = open_workspace(&invariants, &mut memo, &mut stats);
         let result = monodim(
             &MonodimInput {
                 ts: &ts,
                 invariants: &invariants,
-                constraints: &constraints,
                 previous: &[],
                 max_iterations: 50,
                 cancel: &CancelToken::new(),
             },
+            &mut ws,
             &mut stats,
         );
         assert!(
@@ -504,17 +517,18 @@ mod tests {
             3,
             vec![Constraint::ge(QVector::from_i64(&[1, 0, 0]), q(0))],
         )];
-        let constraints = StackedConstraints::from_invariants(&invariants);
         let mut stats = SynthesisStats::default();
+        let mut memo = FarkasMemo::new();
+        let mut ws = open_workspace(&invariants, &mut memo, &mut stats);
         let result = monodim(
             &MonodimInput {
                 ts: &ts,
                 invariants: &invariants,
-                constraints: &constraints,
                 previous: &[],
                 max_iterations: 60,
                 cancel: &CancelToken::new(),
             },
+            &mut ws,
             &mut stats,
         );
         // Termination of the synthesis itself is the point of this test; it
@@ -536,17 +550,18 @@ mod tests {
             .unwrap()
             .transition_system();
         let invariants = vec![Polyhedron::universe(1)];
-        let constraints = StackedConstraints::from_invariants(&invariants);
         let mut stats = SynthesisStats::default();
+        let mut memo = FarkasMemo::new();
+        let mut ws = open_workspace(&invariants, &mut memo, &mut stats);
         let result = monodim(
             &MonodimInput {
                 ts: &ts,
                 invariants: &invariants,
-                constraints: &constraints,
                 previous: &[],
                 max_iterations: 20,
                 cancel: &CancelToken::new(),
             },
+            &mut ws,
             &mut stats,
         );
         assert!(!result.strict);
@@ -561,17 +576,18 @@ mod tests {
             1,
             vec![Constraint::ge(QVector::from_i64(&[1]), q(0))],
         )];
-        let constraints = StackedConstraints::from_invariants(&invariants);
         let mut stats = SynthesisStats::default();
+        let mut memo = FarkasMemo::new();
+        let mut ws = open_workspace(&invariants, &mut memo, &mut stats);
         let result = monodim(
             &MonodimInput {
                 ts: &ts,
                 invariants: &invariants,
-                constraints: &constraints,
                 previous: &[],
                 max_iterations: 20,
                 cancel: &CancelToken::new(),
             },
+            &mut ws,
             &mut stats,
         );
         assert!(result.strict);

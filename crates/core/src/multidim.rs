@@ -2,10 +2,11 @@
 //! enabled-region strengthening (see `crate::regions` and DESIGN.md).
 
 use crate::cancel::CancelToken;
-use crate::lp_instance::{RankingTemplate, StackedConstraints};
+use crate::lp_instance::RankingTemplate;
 use crate::monodim::{invariant_formula, monodim, previous_constant, MonodimInput};
-use crate::regions::active_source_invariants;
+use crate::regions::{active_source_regions, strengthen_with_regions};
 use crate::report::SynthesisStats;
+use crate::workspace::{FarkasMemo, LpReuse, SynthesisLpWorkspace};
 use termite_ir::TransitionSystem;
 use termite_linalg::{QVector, Subspace};
 use termite_polyhedra::Polyhedron;
@@ -57,10 +58,20 @@ impl LexOutcome {
 /// The synthesis polls `cancel` before every lexicographic level and between
 /// counterexample-guided iterations; once the token fires the outcome has
 /// `cancelled: true` (cancellation is never mistaken for a proof).
+///
+/// All levels share one [`SynthesisLpWorkspace`]: the invariant-derived
+/// Farkas structure is built once and survives level transitions (`reuse`
+/// picks between restoring the γ-basis snapshot and the byte-identical
+/// rebuild-per-level reference mode). `memo` is the caller's
+/// [`FarkasMemo`]: the engine keeps one per analysis so γ-coefficients
+/// computed here are still hits when a refinement round re-runs the whole
+/// synthesis.
 pub fn synthesize_lexicographic(
     ts: &TransitionSystem,
     invariants: &[Polyhedron],
     max_iterations_per_dim: usize,
+    reuse: LpReuse,
+    memo: &mut FarkasMemo,
     cancel: &CancelToken,
     stats: &mut SynthesisStats,
 ) -> LexOutcome {
@@ -73,6 +84,13 @@ pub fn synthesize_lexicographic(
     ctx.set_interrupt(termite_lp::Interrupt::new(move || {
         cancel_in_smt.is_cancelled()
     }));
+    let cancel_in_lp = cancel.clone();
+    let mut ws = SynthesisLpWorkspace::new(
+        invariants,
+        termite_lp::Interrupt::new(move || cancel_in_lp.is_cancelled()),
+        reuse,
+        memo,
+    );
     let mut witness: Option<(usize, QVector)> = None;
 
     // At most |W|·(n+1) dimensions (Corollary 1: the stacked λ's are
@@ -120,17 +138,22 @@ pub fn synthesize_lexicographic(
                 exhausted: false,
             };
         }
-        let level_invariants = active_source_invariants(ts, invariants, &active);
-        let constraints = StackedConstraints::from_invariants(&level_invariants);
+        // The level's enabled regions feed both sides of the synthesis: the
+        // strengthened invariants go into the SMT transition formulas, and
+        // the region rows join the workspace's shared Farkas structure
+        // (level-specific γ multipliers on top of the per-run base).
+        let regions = active_source_regions(ts, &active);
+        let level_invariants = strengthen_with_regions(invariants, &regions);
+        ws.begin_level(&regions, stats);
         let result = monodim(
             &MonodimInput {
                 ts,
                 invariants: &level_invariants,
-                constraints: &constraints,
                 previous: &components,
                 max_iterations: max_iterations_per_dim,
                 cancel,
             },
+            &mut ws,
             stats,
         );
         if result.witness.is_some() {
@@ -214,8 +237,15 @@ mod tests {
             ],
         )];
         let mut stats = SynthesisStats::default();
-        let result =
-            synthesize_lexicographic(&ts, &invariants, 60, &CancelToken::new(), &mut stats);
+        let result = synthesize_lexicographic(
+            &ts,
+            &invariants,
+            60,
+            LpReuse::default(),
+            &mut FarkasMemo::new(),
+            &CancelToken::new(),
+            &mut stats,
+        );
         let components = result
             .components
             .expect("a lexicographic ranking function exists");
@@ -248,8 +278,15 @@ mod tests {
         let ts = program.transition_system();
         let invariants = location_invariants(&program, &InvariantOptions::default());
         let mut stats = SynthesisStats::default();
-        let result =
-            synthesize_lexicographic(&ts, &invariants, 80, &CancelToken::new(), &mut stats);
+        let result = synthesize_lexicographic(
+            &ts,
+            &invariants,
+            80,
+            LpReuse::default(),
+            &mut FarkasMemo::new(),
+            &CancelToken::new(),
+            &mut stats,
+        );
         // The synthesis must terminate and stay sound. With the current
         // stacked-vector encoding (no homogeneous constant coordinate),
         // decreases across different cut points that rely on constant offsets
@@ -271,8 +308,15 @@ mod tests {
             vec![Constraint::ge(QVector::from_i64(&[1]), q(0))],
         )];
         let mut stats = SynthesisStats::default();
-        let result =
-            synthesize_lexicographic(&ts, &invariants, 40, &CancelToken::new(), &mut stats);
+        let result = synthesize_lexicographic(
+            &ts,
+            &invariants,
+            40,
+            LpReuse::default(),
+            &mut FarkasMemo::new(),
+            &CancelToken::new(),
+            &mut stats,
+        );
         assert!(result.components.is_none());
         assert!(!result.cancelled);
     }

@@ -82,19 +82,18 @@ fn region_rec(formula: &Formula, n: usize) -> Polyhedron {
     }
 }
 
-/// Per-location invariants strengthened to the *enabled region*: location
-/// `k` keeps `I_k ⊓ join of the source regions of the transitions in
-/// `active` leaving `k``. Locations with no active outgoing transition keep
-/// `I_k` unchanged (their `ρ_k` needs no lower bound, but the Farkas form
-/// still has to express it).
-pub fn active_source_invariants(
-    ts: &TransitionSystem,
-    invariants: &[Polyhedron],
-    active: &[bool],
-) -> Vec<Polyhedron> {
+/// The per-location *enabled region* of one lexicographic level: the weak
+/// join of the source regions of the still-`active` transitions leaving each
+/// location. `None` marks a location with no active outgoing transition (its
+/// `ρ_k` needs no lower bound beyond the plain invariant).
+///
+/// This is the level-specific half of the bounded-from-below relaxation: the
+/// synthesis LP workspace appends these rows to the level-independent
+/// invariant rows instead of re-deriving a merged polyhedron per level, so
+/// the shared Farkas structure survives level transitions.
+pub fn active_source_regions(ts: &TransitionSystem, active: &[bool]) -> Vec<Option<Polyhedron>> {
     let n = ts.num_vars();
-    let num_locs = invariants.len();
-    let mut region: Vec<Option<Polyhedron>> = vec![None; num_locs];
+    let mut region: Vec<Option<Polyhedron>> = vec![None; ts.num_locations().max(1)];
     for (t, is_active) in ts.transitions().iter().zip(active) {
         if !is_active {
             continue;
@@ -105,14 +104,36 @@ pub fn active_source_invariants(
             Some(existing) => existing.weak_join(&src),
         });
     }
+    region
+}
+
+/// Conjoins per-location regions onto the invariants: location `k` becomes
+/// `I_k ⊓ region_k` (reduced), or keeps `I_k` where the region is `None`.
+pub fn strengthen_with_regions(
+    invariants: &[Polyhedron],
+    regions: &[Option<Polyhedron>],
+) -> Vec<Polyhedron> {
     invariants
         .iter()
-        .enumerate()
-        .map(|(k, inv)| match &region[k] {
+        .zip(regions)
+        .map(|(inv, region)| match region {
             None => inv.clone(),
             Some(r) => inv.intersection(r).light_reduce(),
         })
         .collect()
+}
+
+/// Per-location invariants strengthened to the *enabled region*: location
+/// `k` keeps `I_k ⊓ join of the source regions of the transitions in
+/// `active` leaving `k``. Locations with no active outgoing transition keep
+/// `I_k` unchanged (their `ρ_k` needs no lower bound, but the Farkas form
+/// still has to express it).
+pub fn active_source_invariants(
+    ts: &TransitionSystem,
+    invariants: &[Polyhedron],
+    active: &[bool],
+) -> Vec<Polyhedron> {
+    strengthen_with_regions(invariants, &active_source_regions(ts, active))
 }
 
 /// The level-1 enabled regions: every transition is active.

@@ -208,6 +208,16 @@ pub struct SynthesisStats {
     /// Total simplex pivots performed across all LP solves (both phases,
     /// including warm-started re-optimizations).
     pub lp_pivots: usize,
+    /// LP solves served by a live warm basis (dual feasibility restoration
+    /// plus primal re-optimization) instead of a from-scratch two-phase
+    /// solve.
+    pub lp_warm_hits: usize,
+    /// Lexicographic level transitions that reinstated the workspace's saved
+    /// γ-basis snapshot instead of rebuilding the LP session from scratch.
+    pub basis_reuses: usize,
+    /// Farkas row × counterexample dot products answered by the workspace
+    /// memo instead of being recomputed.
+    pub farkas_cache_hits: usize,
     /// Average number of rows (`l`) of the LP instances.
     pub lp_rows_avg: f64,
     /// Average number of columns (`c`) of the LP instances.

@@ -1,0 +1,120 @@
+//! Equivalence property of the cross-level LP workspace (ISSUE 5
+//! acceptance): synthesis with the γ-basis snapshot restored across
+//! lexicographic levels must produce **byte-identical** verdicts, ranking
+//! functions and preconditions to a cold run that rebuilds the LP session
+//! from scratch at every level (`LpReuse::PerLevel`).
+//!
+//! The equivalence is exact, not statistical: a snapshot restore reinstates
+//! precisely the tableau state a fresh build reaches, so the two modes pivot
+//! through identical sequences. Any divergence — a truncation bug, a stale
+//! basis, a Farkas memo entry aliasing two rows — shows up here as a
+//! verdict, template, pivot-count or LP-trace mismatch on some randomized
+//! multi-level program.
+
+use proptest::prelude::*;
+use termite_core::{prove_termination, AnalysisOptions, LpReuse, TerminationReport, Verdict};
+use termite_ir::parse_program;
+
+/// Randomized programs that need (or at least probe) *several*
+/// lexicographic levels, so the cross-level restore path is on the hot
+/// path: reset loops (Example 3 of the paper), nested and triangular loops,
+/// and a conditional-termination member that drives the refinement pipeline
+/// (precondition equality included in the property).
+fn template(which: usize, a: i64, b: i64, m: i64) -> String {
+    match which % 5 {
+        // Example 3: inner counter reset from an unbounded variable — the
+        // lexicographic pair (i, j) is required.
+        0 => format!(
+            "var i, j, N; assume i >= 0 && j >= 0 && N >= 0; \
+             while (i > 0) {{ choice {{ assume j > {a}; j = j - {b}; }} \
+             or {{ assume j <= {a}; i = i - 1; j = N; }} }}"
+        ),
+        // Nested loops with interacting guards.
+        1 => format!(
+            "var i, j; i = 0; while (i < {m}) {{ j = 0; \
+             while (i > {a} && j <= {m}) {{ j = j + 1; }} i = i + 1; }}"
+        ),
+        // Triangular iteration: the inner bound moves with the outer.
+        2 => format!(
+            "var i, j, n; assume n >= 0 && n <= {m}; i = 0; \
+             while (i < n) {{ j = i; while (j < n) {{ j = j + {b}; }} i = i + 1; }}"
+        ),
+        // Conditional termination: provable only under an inferred
+        // precondition on y, so the refinement pipeline (and its byte-equal
+        // precondition) is exercised.
+        3 => format!("var x, y; while (x > 0) {{ x = x + y; y = y - {b}; assume y <= {a}; }}"),
+        // Two sequential loops with a hand-off: the homogenised constant
+        // coordinate plus a second level carry the phase change.
+        _ => format!(
+            "var x, y; assume y >= 0; while (x > 0) {{ x = x - {b}; }} \
+             while (y > 0) {{ y = y - 1; x = x + {a}; }}"
+        ),
+    }
+}
+
+/// Everything the property compares: the full verdict (ranking function and
+/// precondition included — `Verdict` is `PartialEq` down to every rational
+/// coefficient) plus the deterministic halves of the statistics. Wall-clock
+/// is excluded; reuse counters are excluded because differing is their job.
+fn fingerprint(report: &TerminationReport) -> (Verdict, usize, usize, usize, usize, usize) {
+    (
+        report.verdict.clone(),
+        report.stats.iterations,
+        report.stats.lp_instances,
+        report.stats.lp_pivots,
+        report.stats.counterexamples,
+        report.stats.dimension,
+    )
+}
+
+proptest! {
+    /// Cross-level warm-started synthesis ≡ cold from-scratch synthesis,
+    /// byte for byte, on randomized multi-level programs.
+    #[test]
+    fn prop_cross_level_reuse_is_byte_identical_to_cold(
+        which in 0usize..5,
+        a in 0i64..4,
+        b in 1i64..4,
+        m in 2i64..6,
+    ) {
+        let src = template(which, a, b, m);
+        let program = parse_program(&src).unwrap();
+
+        let warm = prove_termination(&program, &AnalysisOptions::default());
+        let cold_options = AnalysisOptions {
+            lp_reuse: LpReuse::PerLevel,
+            ..AnalysisOptions::default()
+        };
+        let cold = prove_termination(&program, &cold_options);
+
+        prop_assert_eq!(
+            fingerprint(&warm),
+            fingerprint(&cold),
+            "{src}: cross-level reuse changed the result"
+        );
+        // The warm side must actually have warm-started: every one of its
+        // LP instances after the priming solve takes the warm path.
+        prop_assert_eq!(
+            warm.stats.lp_warm_hits,
+            warm.stats.lp_instances,
+            "{src}: a solve fell back to the cold two-phase path"
+        );
+    }
+}
+
+/// The multi-level members of the family really do restore the basis across
+/// levels (i.e. the property above does not pass vacuously with every
+/// program finishing in one level).
+#[test]
+fn corpus_exercises_cross_level_restores() {
+    let mut total_reuses = 0usize;
+    for (which, a, b, m) in [(0usize, 1i64, 1i64, 4i64), (1, 2, 1, 5), (2, 0, 1, 4)] {
+        let program = parse_program(&template(which, a, b, m)).unwrap();
+        let report = prove_termination(&program, &AnalysisOptions::default());
+        total_reuses += report.stats.basis_reuses;
+    }
+    assert!(
+        total_reuses > 0,
+        "no lexicographic descent restored the γ-basis snapshot"
+    );
+}

@@ -323,26 +323,31 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
     let wall = start.elapsed().as_secs_f64() * 1000.0;
 
     println!(
-        "{:<26} {:<10} {:>12} {:>5} {:>6} {:>10} {:>7}",
-        "benchmark", "suite", "verdict", "dim", "iters", "time(ms)", "cache"
+        "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>9} {:>10} {:>7}",
+        "benchmark", "suite", "verdict", "dim", "iters", "piv", "warm", "time(ms)", "cache"
     );
     for (result, suite) in results.iter().zip(&suite_of) {
         let verdict = match verdict_name(&result.report.verdict) {
             "terminates" => "TERMINATING",
             other => other,
         };
+        let s = &result.report.stats;
         println!(
-            "{:<26} {:<10} {:>12} {:>5} {:>6} {:>10.2} {:>7}",
+            "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>5}/{:<3} {:>10.2} {:>7}",
             result.name,
             suite,
             verdict,
-            result.report.stats.dimension,
-            result.report.stats.iterations,
-            result.report.stats.synthesis_millis,
+            s.dimension,
+            s.iterations,
+            s.lp_pivots,
+            s.lp_warm_hits,
+            s.lp_instances,
+            s.synthesis_millis,
             if result.from_cache { "hit" } else { "miss" },
         );
     }
     let totals = BatchTotals::of(&results);
+    let sum = |f: &dyn Fn(&BatchResult) -> usize| results.iter().map(f).sum::<usize>();
     println!(
         "\ntotals: {}/{} proved ({} conditional, {} expected), {} cache hits ({:.0}%), \
          synthesis {:.1} ms, batch wall {:.1} ms ({} workers)",
@@ -355,6 +360,14 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         totals.synthesis_millis,
         wall,
         flags.jobs,
+    );
+    println!(
+        "lp: {} pivots across {} instances ({} warm, {} basis reuses, {} farkas memo hits)",
+        sum(&|r| r.report.stats.lp_pivots),
+        sum(&|r| r.report.stats.lp_instances),
+        sum(&|r| r.report.stats.lp_warm_hits),
+        sum(&|r| r.report.stats.basis_reuses),
+        sum(&|r| r.report.stats.farkas_cache_hits),
     );
 
     if let Some(path) = &flags.json_path {
@@ -427,6 +440,18 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
                 ),
                 ("lp_pivots", Json::Number(r.report.stats.lp_pivots as f64)),
                 (
+                    "lp_warm_hits",
+                    Json::Number(r.report.stats.lp_warm_hits as f64),
+                ),
+                (
+                    "basis_reuses",
+                    Json::Number(r.report.stats.basis_reuses as f64),
+                ),
+                (
+                    "farkas_cache_hits",
+                    Json::Number(r.report.stats.farkas_cache_hits as f64),
+                ),
+                (
                     "synthesis_millis",
                     Json::Number(r.report.stats.synthesis_millis),
                 ),
@@ -460,10 +485,32 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
     ])
 }
 
-/// Reads the `(name, verdict, synthesis_millis, lp_pivots)` records of a
-/// `suite --json` report. Pre-verdict (v1) reports carry only the
-/// `terminating` boolean, which maps onto the lattice endpoints.
-fn load_report(path: &str) -> Result<Vec<(String, String, f64, f64)>, String> {
+/// One benchmark record of a `suite --json` report, as `bench-diff` and
+/// `check-verdicts` consume it.
+struct BenchRecord {
+    name: String,
+    verdict: String,
+    synthesis_millis: f64,
+    /// `None` for reports written before the pivot counter existed (v1 and
+    /// early v2). An absent count is *unknown*, never "0 pivots": treating
+    /// it as a measured zero would make every pre-pivot baseline look
+    /// infinitely regressed (or improved) in a diff.
+    lp_pivots: Option<f64>,
+}
+
+/// Renders an optional pivot count for the diff table (`n/a` when the
+/// report predates the counter).
+fn pivots_cell(pivots: Option<f64>) -> String {
+    match pivots {
+        Some(p) => format!("{p}"),
+        None => "n/a".to_string(),
+    }
+}
+
+/// Reads the benchmark records of a `suite --json` report. Pre-verdict (v1)
+/// reports carry only the `terminating` boolean, which maps onto the
+/// lattice endpoints.
+fn load_report(path: &str) -> Result<Vec<BenchRecord>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let doc = Json::parse(&text).map_err(|e| format!("parse {path}: {e}"))?;
     let benchmarks = doc
@@ -487,12 +534,17 @@ fn load_report(path: &str) -> Result<Vec<(String, String, f64, f64)>, String> {
                     if terminating { "terminates" } else { "unknown" }.to_string()
                 }
             };
-            let millis = b
+            let synthesis_millis = b
                 .get("synthesis_millis")
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("{path}: `{name}` without `synthesis_millis`"))?;
-            let pivots = b.get("lp_pivots").and_then(Json::as_f64).unwrap_or(0.0);
-            Ok((name.to_string(), verdict, millis, pivots))
+            let lp_pivots = b.get("lp_pivots").and_then(Json::as_f64);
+            Ok(BenchRecord {
+                name: name.to_string(),
+                verdict,
+                synthesis_millis,
+                lp_pivots,
+            })
         })
         .collect()
 }
@@ -500,16 +552,24 @@ fn load_report(path: &str) -> Result<Vec<(String, String, f64, f64)>, String> {
 /// Compares two `suite --json` trend files (`BENCH_<seq>.json`). Failures
 /// are *regressions only*: a verdict dropping on the
 /// `terminates ⊒ conditional ⊒ unknown` lattice, a benchmark missing from
-/// the new report, or a slowdown beyond `--max-ratio` (default 2x, ignoring
+/// the new report, a slowdown beyond `--max-ratio` (default 2x, ignoring
 /// benchmarks faster than `--min-millis`, default 5 ms, in both runs, where
-/// timer noise dominates). Verdict *improvements* are reported as notes —
-/// without this asymmetry, the conditional-termination pipeline's own
-/// improvements would break the trend gate.
+/// timer noise dominates), or an `lp_pivots` increase beyond the same
+/// `--max-ratio` (ignoring benchmarks below `--min-pivots`, default 16, in
+/// both runs — pivot counts are deterministic, so no noise allowance beyond
+/// the small-count floor is needed, and a pivot blow-up fails the gate even
+/// on a machine fast enough to hide it in wall-clock). Benchmarks whose
+/// reports predate the pivot counter print `n/a` and are never gated on
+/// pivots: an absent count is unknown, not a measured zero. Verdict
+/// *improvements* are reported as notes — without this asymmetry, the
+/// conditional-termination pipeline's own improvements would break the
+/// trend gate.
 fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
     let old_path = args.first().ok_or("bench-diff needs two JSON files")?;
     let new_path = args.get(1).ok_or("bench-diff needs two JSON files")?;
     let mut max_ratio = 2.0f64;
     let mut min_millis = 5.0f64;
+    let mut min_pivots = 16.0f64;
     let mut it = args[2..].iter();
     while let Some(arg) = it.next() {
         let mut value = |name: &str| {
@@ -532,14 +592,21 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
                     .filter(|m| *m >= 0.0)
                     .ok_or("--min-millis needs a non-negative number")?
             }
+            "--min-pivots" => {
+                min_pivots = value("--min-pivots")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|m| *m >= 0.0)
+                    .ok_or("--min-pivots needs a non-negative number")?
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
 
     let old = load_report(old_path)?;
     let new = load_report(new_path)?;
-    let new_by_name: std::collections::BTreeMap<&str, &(String, String, f64, f64)> =
-        new.iter().map(|b| (b.0.as_str(), b)).collect();
+    let new_by_name: std::collections::BTreeMap<&str, &BenchRecord> =
+        new.iter().map(|b| (b.name.as_str(), b)).collect();
 
     println!(
         "{:<26} {:>12} {:>12} {:>7} {:>10} {:>10}  status",
@@ -547,28 +614,46 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
     );
     let mut failures = 0usize;
     let mut improvements = 0usize;
-    for (name, old_verdict, old_ms, old_piv) in &old {
-        let Some((_, new_verdict, new_ms, new_piv)) = new_by_name.get(name.as_str()) else {
+    for record in &old {
+        let name = &record.name;
+        let Some(new_record) = new_by_name.get(name.as_str()) else {
             println!("{name:<26} {:>64}", "MISSING from new report");
             failures += 1;
             continue;
         };
-        let ratio = if *old_ms > 0.0 { new_ms / old_ms } else { 1.0 };
-        let (old_rank, new_rank) = (verdict_rank(old_verdict), verdict_rank(new_verdict));
+        let (old_ms, new_ms) = (record.synthesis_millis, new_record.synthesis_millis);
+        let ratio = if old_ms > 0.0 { new_ms / old_ms } else { 1.0 };
+        // The pivot gate only fires when both sides actually measured
+        // pivots and at least one count clears the small-count floor.
+        let pivot_regressed = match (record.lp_pivots, new_record.lp_pivots) {
+            (Some(old_piv), Some(new_piv)) => {
+                new_piv > max_ratio * old_piv && (old_piv >= min_pivots || new_piv >= min_pivots)
+            }
+            _ => false,
+        };
+        let (old_rank, new_rank) = (
+            verdict_rank(&record.verdict),
+            verdict_rank(&new_record.verdict),
+        );
         let status = if new_rank < old_rank {
             failures += 1;
             "VERDICT REGRESSED"
         } else if new_rank > old_rank {
             improvements += 1;
             "improved"
-        } else if ratio > max_ratio && (*new_ms > min_millis || *old_ms > min_millis) {
+        } else if pivot_regressed {
+            failures += 1;
+            "PIVOT REGRESSION"
+        } else if ratio > max_ratio && (new_ms > min_millis || old_ms > min_millis) {
             failures += 1;
             "REGRESSION"
         } else {
             "ok"
         };
         println!(
-            "{name:<26} {old_ms:>12.2} {new_ms:>12.2} {ratio:>6.2}x {old_piv:>10} {new_piv:>10}  {status}"
+            "{name:<26} {old_ms:>12.2} {new_ms:>12.2} {ratio:>6.2}x {:>10} {:>10}  {status}",
+            pivots_cell(record.lp_pivots),
+            pivots_cell(new_record.lp_pivots),
         );
     }
     if improvements > 0 {
@@ -701,7 +786,7 @@ fn check_verdicts(args: &[String]) -> Result<ExitCode, String> {
     let actual = load_report(actual_path)?;
     let actual_by_name: std::collections::BTreeMap<&str, &str> = actual
         .iter()
-        .map(|(name, verdict, _, _)| (name.as_str(), verdict.as_str()))
+        .map(|b| (b.name.as_str(), b.verdict.as_str()))
         .collect();
 
     let mut failures = 0usize;

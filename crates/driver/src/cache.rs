@@ -420,6 +420,12 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
                 ("iterations", Json::Number(s.iterations as f64)),
                 ("lp_instances", Json::Number(s.lp_instances as f64)),
                 ("lp_pivots", Json::Number(s.lp_pivots as f64)),
+                ("lp_warm_hits", Json::Number(s.lp_warm_hits as f64)),
+                ("basis_reuses", Json::Number(s.basis_reuses as f64)),
+                (
+                    "farkas_cache_hits",
+                    Json::Number(s.farkas_cache_hits as f64),
+                ),
                 ("lp_rows_avg", Json::Number(s.lp_rows_avg)),
                 ("lp_cols_avg", Json::Number(s.lp_cols_avg)),
                 ("lp_max_rows", Json::Number(s.lp_max.0 as f64)),
@@ -530,6 +536,10 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
         lp_instances: field("lp_instances")? as usize,
         // Absent in cache files written before the pivot counter existed.
         lp_pivots: field("lp_pivots").unwrap_or(0.0) as usize,
+        // Absent in cache files written before the cross-level LP workspace.
+        lp_warm_hits: field("lp_warm_hits").unwrap_or(0.0) as usize,
+        basis_reuses: field("basis_reuses").unwrap_or(0.0) as usize,
+        farkas_cache_hits: field("farkas_cache_hits").unwrap_or(0.0) as usize,
         lp_rows_avg: field("lp_rows_avg")?,
         lp_cols_avg: field("lp_cols_avg")?,
         lp_max: (

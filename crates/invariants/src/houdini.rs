@@ -15,8 +15,9 @@
 //! subset, which is sound to conjoin onto the header invariants.
 
 use termite_ir::{polyhedron_to_formula, Cfg, CfgOp, TransitionSystem};
+use termite_lp::Interrupt;
 use termite_polyhedra::{Constraint, ConstraintKind, Polyhedron};
-use termite_smt::{Formula, LinExpr, SmtContext};
+use termite_smt::{Formula, LinExpr, SmtContext, SmtResult};
 
 /// Candidate constraints for the strengthening: every linear guard appearing
 /// in the program (the same pool the widening thresholds draw from), split
@@ -58,11 +59,19 @@ fn negated_post(ts: &TransitionSystem, c: &Constraint) -> Formula {
 /// point) with every candidate that holds on `entry_reach[k]` and is
 /// preserved by all incoming block transitions. Returns `true` when at least
 /// one header was strengthened.
+///
+/// `interrupt` reaches into the SMT theory solver's pivot loops (the same
+/// handle the synthesis polls), so a cancellation or deadline arriving
+/// mid-strengthening lands within one query instead of after the whole
+/// fixpoint. An interrupted run conjoins nothing and reports `false` — the
+/// unstrengthened invariants stay sound, and the caller observes the
+/// cancellation through its own token.
 pub fn strengthen_inductive(
     ts: &TransitionSystem,
     entry_reach: &[Polyhedron],
     invariants: &mut [Polyhedron],
     candidates: &[Constraint],
+    interrupt: &Interrupt,
 ) -> bool {
     let num_locs = invariants.len();
     // Initial candidate sets: must hold where the header is first entered,
@@ -91,6 +100,7 @@ pub fn strengthen_inductive(
     }
 
     let mut ctx = SmtContext::new();
+    ctx.set_interrupt(interrupt.clone());
     let pre_formula = |inv: &Polyhedron, extra: &[Constraint]| -> Formula {
         let strengthened = Polyhedron::from_constraints(
             inv.dim(),
@@ -107,11 +117,15 @@ pub fn strengthen_inductive(
     // *current* candidate sets at every source (a candidate may assume
     // itself across a self-loop — that is Houdini's coinduction), so the
     // fixpoint is the greatest inductive subset.
+    let mut interrupted = false;
     loop {
         let snapshot = sets.clone();
         let mut changed = false;
         for (k, set) in sets.iter_mut().enumerate() {
             set.retain(|c| {
+                if interrupted {
+                    return false; // unwinding: the run conjoins nothing
+                }
                 for t in ts.transitions().iter().filter(|t| t.to == k) {
                     if invariants[t.from].is_empty() {
                         continue; // unreachable source
@@ -121,13 +135,26 @@ pub fn strengthen_inductive(
                         t.formula.clone(),
                         negated_post(ts, c),
                     ]);
-                    if ctx.solve(&query).is_sat() {
-                        changed = true;
-                        return false; // not preserved: drop
+                    match ctx.solve(&query) {
+                        SmtResult::Sat(_) => {
+                            changed = true;
+                            return false; // not preserved: drop
+                        }
+                        SmtResult::Unsat => {}
+                        // An unfinished preservation check proves nothing:
+                        // abandon the whole strengthening rather than keep a
+                        // candidate on the strength of an interrupted query.
+                        SmtResult::Interrupted => {
+                            interrupted = true;
+                            return false;
+                        }
                     }
                 }
                 true
             });
+        }
+        if interrupted {
+            return false;
         }
         if !changed {
             break;
@@ -185,10 +212,57 @@ mod tests {
             .map(|&h| reach.at_node(h).clone())
             .collect();
         let candidates = guard_candidates(&cfg);
-        let changed = strengthen_inductive(&ts, &reach_at_headers, &mut invs, &candidates);
+        let changed = strengthen_inductive(
+            &ts,
+            &reach_at_headers,
+            &mut invs,
+            &candidates,
+            &Interrupt::never(),
+        );
         assert!(changed);
         assert!(invs[0].entails(&Constraint::ge(QVector::from_i64(&[0, 1]), Rational::one())));
         assert!(invs[0].entails(&Constraint::ge(QVector::from_i64(&[1, 0]), Rational::one())));
+    }
+
+    #[test]
+    fn pre_raised_interrupt_strengthens_nothing() {
+        // Same setup as the gcd_like test, but with the interrupt already
+        // raised: the fixpoint must bail out without conjoining anything.
+        let p = parse_program(
+            "var a, b; assume a >= 1 && b >= 1; \
+             while (a != b) { if (a > b) { a = a - b; } else { b = b - a; } }",
+        )
+        .unwrap();
+        let cfg = p.to_cfg();
+        let ts = p.transition_system();
+        let mut invs = location_invariants(&p, &InvariantOptions::default());
+        let before = invs.clone();
+        let reach = entry_reach(
+            &cfg,
+            &termite_polyhedra::Polyhedron::universe(2),
+            &InvariantOptions::default(),
+        );
+        let reach_at_headers: Vec<_> = cfg
+            .loop_headers()
+            .iter()
+            .map(|&h| reach.at_node(h).clone())
+            .collect();
+        let changed = strengthen_inductive(
+            &ts,
+            &reach_at_headers,
+            &mut invs,
+            &guard_candidates(&cfg),
+            &Interrupt::new(|| true),
+        );
+        assert!(!changed, "an interrupted run reports no strengthening");
+        assert_eq!(
+            invs.len(),
+            before.len(),
+            "invariant vector shape is untouched"
+        );
+        for (a, b) in invs.iter().zip(&before) {
+            assert!(a.equal(b), "an interrupted run must conjoin nothing");
+        }
     }
 
     #[test]
@@ -209,7 +283,13 @@ mod tests {
             .iter()
             .map(|&h| reach.at_node(h).clone())
             .collect();
-        strengthen_inductive(&ts, &reach_at_headers, &mut invs, &guard_candidates(&cfg));
+        strengthen_inductive(
+            &ts,
+            &reach_at_headers,
+            &mut invs,
+            &guard_candidates(&cfg),
+            &Interrupt::never(),
+        );
         // x = 12 is reachable (0 → 3 → 6 → 9 → 12): it must stay inside.
         assert!(invs[0].contains_point(&QVector::from_i64(&[12])));
         assert!(invs[0].contains_point(&QVector::from_i64(&[0])));

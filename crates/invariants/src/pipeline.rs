@@ -18,6 +18,7 @@ use crate::{
 };
 use termite_ir::{polyhedron_to_formula, Cfg, Program, TransitionSystem};
 use termite_linalg::QVector;
+use termite_lp::Interrupt;
 use termite_num::Rational;
 use termite_polyhedra::{Constraint, Polyhedron};
 use termite_smt::{Formula, LinExpr, SmtContext};
@@ -49,6 +50,15 @@ pub trait InvariantPipeline {
     /// `true` when the invariants changed (the caller should retry) and
     /// `false` when the pipeline is out of ideas.
     fn refine(&mut self, witness: &RefinementWitness) -> bool;
+
+    /// Installs the caller's interruption source. The engines wrap their
+    /// cancellation token here so a `{"cancel": id}` or deadline arriving
+    /// *during* invariant refinement lands inside the pipeline's SMT loops
+    /// (Houdini strengthening, feasibility probes) instead of waiting for
+    /// the whole refinement round to finish. The default implementation
+    /// ignores the source (a pipeline without internal solvers has nothing
+    /// to interrupt).
+    fn set_interrupt(&mut self, _interrupt: Interrupt) {}
 }
 
 /// The default pipeline: Cousot–Halbwachs forward fixpoint, Houdini-style
@@ -63,16 +73,21 @@ pub struct FixpointPipeline<'ts> {
     precondition: Option<Polyhedron>,
     refinements_left: usize,
     tried: Vec<Polyhedron>,
+    interrupt: Interrupt,
 }
 
 impl<'ts> FixpointPipeline<'ts> {
     /// Builds the pipeline and runs the initial forward + strengthening
-    /// stages from the unconstrained entry.
+    /// stages from the unconstrained entry. `interrupt` is polled inside the
+    /// pipeline's SMT loops (strengthening and feasibility probes, in the
+    /// initial stages and in every refinement round), so a cancellation
+    /// lands mid-refinement instead of after it.
     pub fn new(
         program: &Program,
         ts: &'ts TransitionSystem,
         options: &InvariantOptions,
         max_refinements: usize,
+        interrupt: Interrupt,
     ) -> Self {
         let cfg = program.to_cfg();
         let candidates = guard_candidates(&cfg);
@@ -87,6 +102,7 @@ impl<'ts> FixpointPipeline<'ts> {
             precondition: None,
             refinements_left: max_refinements,
             tried: Vec::new(),
+            interrupt,
         };
         pipeline.invariants = pipeline.run_stages(&entry);
         pipeline
@@ -108,7 +124,13 @@ impl<'ts> FixpointPipeline<'ts> {
             .iter()
             .map(|&h| reach.at_node(h).clone())
             .collect();
-        houdini::strengthen_inductive(self.ts, &reach_at_headers, &mut invs, &self.candidates);
+        houdini::strengthen_inductive(
+            self.ts,
+            &reach_at_headers,
+            &mut invs,
+            &self.candidates,
+            &self.interrupt,
+        );
         invs
     }
 
@@ -118,6 +140,7 @@ impl<'ts> FixpointPipeline<'ts> {
     /// as conditional termination).
     fn some_transition_feasible(&self, invs: &[Polyhedron]) -> bool {
         let mut ctx = SmtContext::new();
+        ctx.set_interrupt(self.interrupt.clone());
         self.ts.transitions().iter().any(|t| {
             let inv = &invs[t.from];
             if inv.is_empty() {
@@ -158,12 +181,21 @@ impl InvariantPipeline for FixpointPipeline<'_> {
         self.precondition.as_ref()
     }
 
+    fn set_interrupt(&mut self, interrupt: Interrupt) {
+        self.interrupt = interrupt;
+    }
+
     fn refine(&mut self, witness: &RefinementWitness) -> bool {
         if self.refinements_left == 0 || witness.location >= self.cfg.loop_headers().len() {
             return false;
         }
         let header = self.cfg.loop_headers()[witness.location];
         for half_space in self.separating_half_spaces(witness) {
+            // A cancelled refinement is out of ideas by definition: the
+            // caller's token is the authority on *why* the retry stops.
+            if self.interrupt.is_raised() {
+                return false;
+            }
             // Seed: the part of the header invariant on the other side of
             // the separating half-space.
             let mut seed = self.invariants[witness.location].clone();
@@ -214,7 +246,8 @@ mod tests {
     fn initial_stages_match_location_invariants_plus_strengthening() {
         let p = parse_program("var x; x = 0; while (x < 10) { x = x + 1; }").unwrap();
         let ts = p.transition_system();
-        let pipeline = FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 2);
+        let pipeline =
+            FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 2, Interrupt::never());
         assert_eq!(pipeline.invariants().len(), 1);
         assert!(pipeline.precondition().is_none());
         assert!(pipeline.invariants()[0].contains_point(&QVector::from_i64(&[5])));
@@ -227,7 +260,8 @@ mod tests {
         // y = 0 should drive the pipeline to that precondition.
         let p = parse_program("var x, y; while (x > 0) { x = x + y; }").unwrap();
         let ts = p.transition_system();
-        let mut pipeline = FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 2);
+        let mut pipeline =
+            FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 2, Interrupt::never());
         let witness = RefinementWitness {
             location: 0,
             state: QVector::from_i64(&[1, 0]),
@@ -241,10 +275,29 @@ mod tests {
     }
 
     #[test]
+    fn raised_interrupt_stops_refinement_without_a_precondition() {
+        // Same witness as above, but the interrupt fires before the first
+        // separating half-space is explored: refine must bail out with
+        // `false` and adopt nothing.
+        let p = parse_program("var x, y; while (x > 0) { x = x + y; }").unwrap();
+        let ts = p.transition_system();
+        let mut pipeline =
+            FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 2, Interrupt::never());
+        pipeline.set_interrupt(Interrupt::new(|| true));
+        let witness = RefinementWitness {
+            location: 0,
+            state: QVector::from_i64(&[1, 0]),
+        };
+        assert!(!pipeline.refine(&witness));
+        assert!(pipeline.precondition().is_none());
+    }
+
+    #[test]
     fn refinement_budget_is_respected() {
         let p = parse_program("var x, y; while (x > 0) { x = x + y; }").unwrap();
         let ts = p.transition_system();
-        let mut pipeline = FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 0);
+        let mut pipeline =
+            FixpointPipeline::new(&p, &ts, &InvariantOptions::default(), 0, Interrupt::never());
         let witness = RefinementWitness {
             location: 0,
             state: QVector::from_i64(&[1, 0]),

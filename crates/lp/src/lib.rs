@@ -46,7 +46,7 @@
 mod incremental;
 mod simplex;
 
-pub use incremental::IncrementalLp;
+pub use incremental::{IncrementalLp, LpSnapshot, RowTag};
 pub use simplex::{
     feasible_point, Constraint, Interrupt, LinearProgram, LpOutcome, LpSolution, Relation, VarId,
 };

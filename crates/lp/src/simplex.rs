@@ -294,7 +294,10 @@ pub(crate) enum ColKind {
 /// The simplex tableau in canonical form: every basic column is a unit
 /// column. Rows hold only the coefficient part; the right-hand sides live in
 /// a parallel vector so appending a column (incremental variable growth) is
-/// one push per row instead of an insert.
+/// one push per row instead of an insert. `Clone` is what makes basis
+/// snapshots cheap relative to a re-solve: a snapshot is a deep copy of the
+/// rows, never a replay of the pivots that produced them.
+#[derive(Clone)]
 pub(crate) struct Tableau {
     /// Coefficient rows, `ncols` entries each.
     pub(crate) rows: Vec<QVector>,
