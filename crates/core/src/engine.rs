@@ -203,14 +203,21 @@ pub fn prove_termination(program: &Program, options: &AnalysisOptions) -> Termin
         0
     };
     let cancel = options.cancel.clone();
-    let mut pipeline = FixpointPipeline::new(
-        program,
-        &ts,
-        &options.invariants,
-        refinement_budget,
-        termite_lp::Interrupt::new(move || cancel.is_cancelled()),
-    );
-    prove_with_pipeline(&ts, &mut pipeline, options)
+    let invariant_start = Instant::now();
+    let mut pipeline = {
+        let _span = termite_obs::span!("invariant_init");
+        FixpointPipeline::new(
+            program,
+            &ts,
+            &options.invariants,
+            refinement_budget,
+            termite_lp::Interrupt::new(move || cancel.is_cancelled()),
+        )
+    };
+    let initial_invariant_millis = invariant_start.elapsed().as_secs_f64() * 1000.0;
+    let mut report = prove_with_pipeline(&ts, &mut pipeline, options);
+    report.stats.invariant_millis += initial_invariant_millis;
+    report
 }
 
 /// Proves termination of a transition system against an
@@ -246,10 +253,14 @@ pub fn prove_with_pipeline(
             Err((reason, witness)) => {
                 let retry = match (&witness, reason) {
                     (Some((location, state)), UnknownReason::NoRankingFunction) => {
-                        pipeline.refine(&RefinementWitness {
+                        let refine_start = Instant::now();
+                        let _span = termite_obs::span!("invariant_refine", location = *location);
+                        let retry = pipeline.refine(&RefinementWitness {
                             location: *location,
                             state: state.clone(),
-                        })
+                        });
+                        stats.invariant_millis += refine_start.elapsed().as_secs_f64() * 1000.0;
+                        retry
                     }
                     _ => false,
                 };

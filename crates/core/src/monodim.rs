@@ -5,6 +5,7 @@ use crate::cancel::CancelToken;
 use crate::lp_instance::RankingTemplate;
 use crate::report::SynthesisStats;
 use crate::workspace::SynthesisLpWorkspace;
+use std::time::Instant;
 use termite_ir::TransitionSystem;
 use termite_linalg::{QVector, Subspace};
 use termite_num::Rational;
@@ -250,6 +251,11 @@ pub fn monodim(
         }
         iterations += 1;
         stats.iterations += 1;
+        termite_obs::event!(
+            "cegis_iter",
+            iteration = iterations,
+            cex = counterexamples.len()
+        );
 
         // Search every transition for the most extremal counterexample: a
         // model minimising λ·u among those with λ·u ≤ 0 (or an unbounded ray).
@@ -264,7 +270,13 @@ pub fn monodim(
                 Formula::le(objective.clone(), LinExpr::constant(0)),
             ]);
             stats.smt_queries += 1;
-            match ctx.minimize(&query, &objective) {
+            let smt_start = Instant::now();
+            let outcome = {
+                let _span = termite_obs::span!("smt_minimize", from = t.from, to = t.to);
+                ctx.minimize(&query, &objective)
+            };
+            stats.smt_millis += smt_start.elapsed().as_secs_f64() * 1000.0;
+            match outcome {
                 OptResult::Unsat => continue,
                 OptResult::Interrupted => {
                     return MonodimResult {
@@ -388,10 +400,16 @@ fn zero_step_possible(
         );
         let query = Formula::and(vec![t.formula.clone(), all_zero]);
         stats.smt_queries += 1;
+        let smt_start = Instant::now();
+        let result = {
+            let _span = termite_obs::span!("smt_check", from = t.from, to = t.to);
+            ctx.solve(&query)
+        };
+        stats.smt_millis += smt_start.elapsed().as_secs_f64() * 1000.0;
         // Only a completed `Unsat` rules the null step out; an interrupted
         // query conservatively counts as "possible" (so the result is never
         // reported strict on the strength of an unfinished check).
-        if !ctx.solve(&query).is_unsat() {
+        if !result.is_unsat() {
             return true;
         }
     }

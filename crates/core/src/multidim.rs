@@ -115,7 +115,13 @@ pub fn synthesize_lexicographic(
                 previous_constant(ts, &components, t.from, t.to),
             ]);
             stats.smt_queries += 1;
-            match ctx.solve(&query) {
+            let smt_start = std::time::Instant::now();
+            let result = {
+                let _span = termite_obs::span!("smt_check", from = t.from, to = t.to);
+                ctx.solve(&query)
+            };
+            stats.smt_millis += smt_start.elapsed().as_secs_f64() * 1000.0;
+            match result {
                 termite_smt::SmtResult::Sat(_) => active.push(true),
                 termite_smt::SmtResult::Unsat => active.push(false),
                 // An interrupted liveness check must not masquerade as

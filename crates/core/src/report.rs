@@ -236,6 +236,17 @@ pub struct SynthesisStats {
     /// Wall-clock time of the synthesis (milliseconds), excluding parsing and
     /// invariant generation (as in the paper's Table 1).
     pub synthesis_millis: f64,
+    /// Wall-clock time spent inside SMT solves (milliseconds): the extremal
+    /// counterexample searches and the satisfiability probes.
+    pub smt_millis: f64,
+    /// Wall-clock time spent inside LP solves (milliseconds): the
+    /// `LP(C, Constraints(I))` optimizations, warm or cold.
+    pub lp_millis: f64,
+    /// Wall-clock time spent in invariant generation and backward
+    /// precondition refinement (milliseconds). Unlike `synthesis_millis`
+    /// this *includes* the initial fixpoint/Houdini stages, so the per-phase
+    /// breakdown accounts for the whole analysis.
+    pub invariant_millis: f64,
 }
 
 impl SynthesisStats {

@@ -223,6 +223,7 @@ impl<'m> SynthesisLpWorkspace<'m> {
                 );
                 if restored_basis && self.levels_started > 0 {
                     stats.basis_reuses += 1;
+                    termite_obs::event!("basis_restore", level = self.levels_started);
                 }
             }
             _ => self.init_base(),
@@ -358,10 +359,18 @@ impl<'m> SynthesisLpWorkspace<'m> {
         stats.record_lp(shape.rows, shape.cols);
 
         let warm_before = self.inc.warm_solves();
-        let solution = self.inc.solve()?;
-        if self.inc.warm_solves() > warm_before {
+        let lp_start = std::time::Instant::now();
+        let mut lp_span = termite_obs::span!("lp_solve", rows = shape.rows, cols = shape.cols);
+        let solution = self.inc.solve();
+        stats.lp_millis += lp_start.elapsed().as_secs_f64() * 1000.0;
+        let solution = solution?;
+        let warm = self.inc.warm_solves() > warm_before;
+        if warm {
             stats.lp_warm_hits += 1;
         }
+        lp_span.arg("pivots", solution.pivots);
+        lp_span.arg("warm", warm);
+        drop(lp_span);
         stats.lp_pivots += solution.pivots;
         let assignment = match solution.outcome {
             LpOutcome::Optimal { assignment, .. } => assignment,

@@ -11,8 +11,10 @@ use crate::cache::ResultCache;
 use crate::job::AnalysisJob;
 use crate::portfolio::EngineSelection;
 use crate::service::{with_scheduler, SchedulerConfig, TaskSpec};
+use std::sync::Arc;
 use std::time::Duration;
 use termite_core::{AnalysisOptions, Engine, TerminationReport};
+use termite_obs::Recorder;
 
 /// Configuration of one batch run.
 #[derive(Clone, Debug)]
@@ -28,6 +30,9 @@ pub struct BatchConfig {
     /// Optional per-job wall-clock budget, enforced through a child
     /// cancellation token.
     pub job_timeout: Option<Duration>,
+    /// Trace recorder installed on every worker thread when present (the
+    /// `--trace` flag): every job's spans and events land in its ring.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for BatchConfig {
@@ -37,6 +42,7 @@ impl Default for BatchConfig {
             selection: EngineSelection::Single(Engine::Termite),
             options: AnalysisOptions::default(),
             job_timeout: None,
+            recorder: None,
         }
     }
 }
@@ -87,6 +93,8 @@ pub fn run_batch(
         selection: config.selection.clone(),
         options: config.options.clone(),
         job_timeout: config.job_timeout,
+        metrics: None,
+        recorder: config.recorder.clone(),
     };
     let (tx, rx) = std::sync::mpsc::channel::<(usize, BatchResult)>();
     let mut slots: Vec<Option<BatchResult>> = (0..total).map(|_| None).collect();
@@ -100,6 +108,7 @@ pub fn run_batch(
                     job,
                     selection: None,
                     timeout: None,
+                    trace: false,
                 },
                 token,
                 move |outcome| {
@@ -139,6 +148,14 @@ pub struct BatchTotals {
     pub wall_millis: f64,
     /// Sum of the per-job synthesis times (milliseconds).
     pub synthesis_millis: f64,
+    /// Sum of the per-job SMT solver times (milliseconds).
+    pub smt_millis: f64,
+    /// Sum of the per-job LP solver times (milliseconds).
+    pub lp_millis: f64,
+    /// Sum of the per-job invariant-generation times (milliseconds).
+    pub invariant_millis: f64,
+    /// Sum of the driver wall-clock spent serving cache hits (milliseconds).
+    pub cache_millis: f64,
 }
 
 impl BatchTotals {
@@ -160,9 +177,13 @@ impl BatchTotals {
             }
             if r.from_cache {
                 totals.cache_hits += 1;
+                totals.cache_millis += r.wall_millis;
             }
             totals.wall_millis += r.wall_millis;
             totals.synthesis_millis += r.report.stats.synthesis_millis;
+            totals.smt_millis += r.report.stats.smt_millis;
+            totals.lp_millis += r.report.stats.lp_millis;
+            totals.invariant_millis += r.report.stats.invariant_millis;
         }
         totals
     }

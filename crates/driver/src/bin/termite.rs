@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
+//!                        [--trace FILE]
 //! termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
-//!               [--max-inflight K] [--timeout-ms N]
+//!               [--max-inflight K] [--timeout-ms N] [--stats-every N]
 //! termite suite <name|all> [--engine E | --portfolio] [--jobs N] [--shard k/n]
-//!                          [--json FILE] [--cache FILE] [--timeout-ms N]
+//!                          [--json FILE] [--cache FILE] [--timeout-ms N] [--trace FILE]
 //! termite merge-reports <out.json> <in1.json> <in2.json> [...]
 //! termite bench-diff <old.json> <new.json> [--max-ratio R] [--min-millis M]
 //! termite check-verdicts <expected.json> <actual.json>
@@ -45,10 +46,12 @@ use termite_suite::SuiteId;
 
 const USAGE: &str = "usage:
   termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
+                         [--trace FILE]
   termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
-                [--max-inflight K] [--timeout-ms N]
+                [--max-inflight K] [--timeout-ms N] [--stats-every N]
   termite suite <polybench|sorts|termcomp|wtc|all> [--engine E | --portfolio]
                 [--jobs N] [--shard k/n] [--json FILE] [--cache FILE] [--timeout-ms N]
+                [--trace FILE]
   termite merge-reports <out.json> <in1.json> <in2.json> [...]
   termite bench-diff <old.json> <new.json> [--max-ratio R] [--min-millis M]
   termite check-verdicts <expected.json> <actual.json>
@@ -81,6 +84,12 @@ struct Flags {
     /// `--max-inflight K` (serve only): bound on concurrently in-flight
     /// jobs before intake blocks.
     max_inflight: Option<usize>,
+    /// `--trace FILE` (analyze/suite): record a Chrome-trace of the whole
+    /// run and write it to FILE on completion.
+    trace_path: Option<PathBuf>,
+    /// `--stats-every N` (serve only): print a metrics summary line to
+    /// stderr every N seconds.
+    stats_every: Option<Duration>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -92,6 +101,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         timeout: None,
         shard: None,
         max_inflight: None,
+        trace_path: None,
+        stats_every: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -145,6 +156,15 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     .map_err(|_| "--timeout-ms needs an integer")?;
                 flags.timeout = Some(Duration::from_millis(ms));
             }
+            "--trace" => flags.trace_path = Some(PathBuf::from(value("--trace")?)),
+            "--stats-every" => {
+                let secs = value("--stats-every")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|n| *n >= 1)
+                    .ok_or("--stats-every needs a positive integer (seconds)")?;
+                flags.stats_every = Some(Duration::from_secs(secs));
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -168,6 +188,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if flags.max_inflight.is_some() {
                 return Err("analyze does not support --max-inflight (serve only)".to_string());
             }
+            if flags.stats_every.is_some() {
+                return Err("analyze does not support --stats-every (serve only)".to_string());
+            }
             analyze(file, flags)
         }
         Some("serve") => {
@@ -178,6 +201,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if flags.shard.is_some() {
                 return Err("serve does not support --shard".to_string());
             }
+            if flags.trace_path.is_some() {
+                return Err(
+                    "serve does not support --trace (request per-job traces with \
+                     `\"trace\": true`)"
+                        .to_string(),
+                );
+            }
             serve_command(flags)
         }
         Some("suite") => {
@@ -185,6 +215,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             let flags = parse_flags(&args[2..])?;
             if flags.max_inflight.is_some() {
                 return Err("suite does not support --max-inflight (serve only)".to_string());
+            }
+            if flags.stats_every.is_some() {
+                return Err("suite does not support --stats-every (serve only)".to_string());
             }
             suite_command(name, flags)
         }
@@ -247,6 +280,7 @@ fn serve_command(flags: Flags) -> Result<ExitCode, String> {
         max_inflight: flags
             .max_inflight
             .unwrap_or_else(|| ServeConfig::default().max_inflight),
+        stats_every: flags.stats_every,
     };
     eprintln!(
         "termite serve: {} worker(s), window {}, reading NDJSON jobs from stdin ...",
@@ -267,8 +301,8 @@ fn serve_command(flags: Flags) -> Result<ExitCode, String> {
     }
     let summary = outcome?;
     eprintln!(
-        "termite serve: {} ok, {} cancelled, {} errors",
-        summary.ok, summary.cancelled, summary.errors
+        "termite serve: {} ok, {} cancelled, {} errors, {} stats",
+        summary.ok, summary.cancelled, summary.errors, summary.stats
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -323,8 +357,19 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
     let wall = start.elapsed().as_secs_f64() * 1000.0;
 
     println!(
-        "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>9} {:>10} {:>7}",
-        "benchmark", "suite", "verdict", "dim", "iters", "piv", "warm", "time(ms)", "cache"
+        "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>9} {:>10} {:>8} {:>8} {:>8} {:>7}",
+        "benchmark",
+        "suite",
+        "verdict",
+        "dim",
+        "iters",
+        "piv",
+        "warm",
+        "time(ms)",
+        "smt(ms)",
+        "lp(ms)",
+        "inv(ms)",
+        "cache"
     );
     for (result, suite) in results.iter().zip(&suite_of) {
         let verdict = match verdict_name(&result.report.verdict) {
@@ -333,7 +378,7 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         };
         let s = &result.report.stats;
         println!(
-            "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>5}/{:<3} {:>10.2} {:>7}",
+            "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>5}/{:<3} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>7}",
             result.name,
             suite,
             verdict,
@@ -343,6 +388,9 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
             s.lp_warm_hits,
             s.lp_instances,
             s.synthesis_millis,
+            s.smt_millis,
+            s.lp_millis,
+            s.invariant_millis,
             if result.from_cache { "hit" } else { "miss" },
         );
     }
@@ -369,6 +417,16 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         sum(&|r| r.report.stats.basis_reuses),
         sum(&|r| r.report.stats.farkas_cache_hits),
     );
+    println!(
+        "phases: smt {:.1} ms, lp {:.1} ms, invariants {:.1} ms (within {:.1} ms synthesis); \
+         cache served {} hit(s) in {:.1} ms",
+        totals.smt_millis,
+        totals.lp_millis,
+        totals.invariant_millis,
+        totals.synthesis_millis,
+        totals.cache_hits,
+        totals.cache_millis,
+    );
 
     if let Some(path) = &flags.json_path {
         let doc = results_to_json(&results, &suite_of, &totals);
@@ -379,19 +437,39 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
 }
 
 /// Runs jobs through the batch driver, wiring up the optional persistent
-/// cache.
+/// cache and (for `--trace`) a run-wide trace recorder whose Chrome-trace
+/// JSON is written once the batch completes.
 fn run_jobs(jobs: Vec<AnalysisJob>, flags: &Flags) -> Result<Vec<BatchResult>, String> {
     let cache = match &flags.cache_path {
         Some(path) => Some(ResultCache::load(path)?),
         None => None,
     };
+    // The suite-sized ring: a whole-run trace holds every job's spans, not
+    // just one job's.
+    let recorder = flags
+        .trace_path
+        .as_ref()
+        .map(|_| std::sync::Arc::new(termite_obs::Recorder::new(termite_obs::SUITE_RING_CAPACITY)));
     let config = BatchConfig {
         workers: flags.jobs,
         selection: flags.selection.clone(),
         options: AnalysisOptions::default().with_cancel(CancelToken::new()),
         job_timeout: flags.timeout,
+        recorder: recorder.clone(),
     };
     let results = run_batch(jobs, &config, cache.as_ref());
+    if let (Some(recorder), Some(path)) = (&recorder, &flags.trace_path) {
+        let dropped = recorder.dropped();
+        let trace = termite_obs::chrome_trace_json(&recorder.drain(), dropped);
+        std::fs::write(path, trace).map_err(|e| format!("write {path:?}: {e}"))?;
+        if dropped > 0 {
+            eprintln!(
+                "trace: ring wrapped, {dropped} oldest event(s) dropped (see \
+                 `termite_dropped_events` in the file)"
+            );
+        }
+        eprintln!("wrote Chrome-trace JSON to {}", path.display());
+    }
     if let (Some(cache), Some(path)) = (&cache, &flags.cache_path) {
         cache.save(path)?;
         let stats = cache.stats();
@@ -455,6 +533,12 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
                     "synthesis_millis",
                     Json::Number(r.report.stats.synthesis_millis),
                 ),
+                ("smt_millis", Json::Number(r.report.stats.smt_millis)),
+                ("lp_millis", Json::Number(r.report.stats.lp_millis)),
+                (
+                    "invariant_millis",
+                    Json::Number(r.report.stats.invariant_millis),
+                ),
                 ("wall_millis", Json::Number(r.wall_millis)),
                 ("from_cache", Json::Bool(r.from_cache)),
                 (
@@ -479,6 +563,10 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
                 ("expected", Json::Number(totals.expected as f64)),
                 ("cache_hits", Json::Number(totals.cache_hits as f64)),
                 ("synthesis_millis", Json::Number(totals.synthesis_millis)),
+                ("smt_millis", Json::Number(totals.smt_millis)),
+                ("lp_millis", Json::Number(totals.lp_millis)),
+                ("invariant_millis", Json::Number(totals.invariant_millis)),
+                ("cache_millis", Json::Number(totals.cache_millis)),
                 ("wall_millis", Json::Number(totals.wall_millis)),
             ]),
         ),
@@ -496,6 +584,12 @@ struct BenchRecord {
     /// it as a measured zero would make every pre-pivot baseline look
     /// infinitely regressed (or improved) in a diff.
     lp_pivots: Option<f64>,
+    /// Per-phase wall times, `None` for reports written before the phase
+    /// breakdown existed. Same rule as `lp_pivots`: absent is *unknown*,
+    /// never "0 ms" — these are informational and never gated on.
+    smt_millis: Option<f64>,
+    lp_millis: Option<f64>,
+    invariant_millis: Option<f64>,
 }
 
 /// Renders an optional pivot count for the diff table (`n/a` when the
@@ -544,6 +638,9 @@ fn load_report(path: &str) -> Result<Vec<BenchRecord>, String> {
                 verdict,
                 synthesis_millis,
                 lp_pivots,
+                smt_millis: b.get("smt_millis").and_then(Json::as_f64),
+                lp_millis: b.get("lp_millis").and_then(Json::as_f64),
+                invariant_millis: b.get("invariant_millis").and_then(Json::as_f64),
             })
         })
         .collect()
@@ -659,6 +756,27 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
     if improvements > 0 {
         println!("bench-diff: note: {improvements} verdict improvement(s) (not failures)");
     }
+    // Informational phase-time totals, one line per side. A side whose
+    // report predates the phase breakdown prints `n/a` across the board —
+    // never 0 ms, and never a gate.
+    let phase_totals = |records: &[BenchRecord], label: &str| {
+        let total = |field: &dyn Fn(&BenchRecord) -> Option<f64>| -> String {
+            let measured: Vec<f64> = records.iter().filter_map(field).collect();
+            if measured.is_empty() {
+                "n/a".to_string()
+            } else {
+                format!("{:.1} ms", measured.iter().sum::<f64>())
+            }
+        };
+        println!(
+            "bench-diff: phases {label}: smt {}, lp {}, invariants {}",
+            total(&|r| r.smt_millis),
+            total(&|r| r.lp_millis),
+            total(&|r| r.invariant_millis),
+        );
+    };
+    phase_totals(&old, "old");
+    phase_totals(&new, "new");
     if failures > 0 {
         eprintln!("bench-diff: {failures} benchmark(s) regressed");
         Ok(ExitCode::from(1))
@@ -760,6 +878,23 @@ fn merge_reports(args: &[String]) -> Result<ExitCode, String> {
         ("synthesis_millis", Json::Number(sum_of("synthesis_millis"))),
         ("wall_millis", Json::Number(slowest_shard_wall)),
     ]);
+    // Phase breakdowns only exist in reports written since the observability
+    // work: sum them when at least one shard carries them, omit them
+    // otherwise — an absent measurement must not be re-exported as 0 ms.
+    let totals = {
+        let Json::Object(mut fields) = totals else {
+            unreachable!("totals is constructed as an object above")
+        };
+        for field in ["smt_millis", "lp_millis", "invariant_millis"] {
+            if benchmarks
+                .iter()
+                .any(|b| b.get(field).and_then(Json::as_f64).is_some())
+            {
+                fields.insert(field.to_string(), Json::Number(sum_of(field)));
+            }
+        }
+        Json::Object(fields)
+    };
     let doc = Json::object([("benchmarks", Json::Array(benchmarks)), ("totals", totals)]);
     std::fs::write(out_path, doc.to_string()).map_err(|e| format!("write {out_path}: {e}"))?;
     eprintln!("merged {} shard report(s) into {out_path}", args.len() - 1);

@@ -114,10 +114,38 @@ pub struct CacheStats {
     pub stores: usize,
 }
 
+/// One stored report plus its serialized footprint: `entry_bytes` is the
+/// exact number of bytes the entry contributes to the on-disk document
+/// (`"key":<report json>`, i.e. the quoted key, the colon, and the report),
+/// maintained so [`ResultCache::serialized_bytes`] is O(1) instead of a full
+/// serialization per probe.
+struct CacheEntry {
+    report: TerminationReport,
+    entry_bytes: usize,
+}
+
+/// Map plus the running sum of every entry's serialized footprint.
+#[derive(Default)]
+struct CacheMap {
+    entries: HashMap<String, CacheEntry>,
+    payload_bytes: usize,
+}
+
+/// Serialized size of the document envelope around the entries:
+/// `{"entries":{` + `},"version":2}` (the `Json::Object` is a `BTreeMap`, so
+/// `entries` always prints before `version`, and the integral version prints
+/// without a fraction). Pinned against the real serializer by a test.
+const ENVELOPE_BYTES: usize = r#"{"entries":{"#.len() + r#"},"version":2}"#.len();
+
+/// Exact serialized footprint of one entry (quoted key, colon, report JSON).
+fn entry_bytes(key: &str, report: &TerminationReport) -> usize {
+    key.len() + "\"\":".len() + report_to_json(report).to_string().len()
+}
+
 /// Thread-safe content-addressed store of [`TerminationReport`]s.
 #[derive(Default)]
 pub struct ResultCache {
-    entries: Mutex<HashMap<String, TerminationReport>>,
+    map: Mutex<CacheMap>,
     hits: AtomicUsize,
     misses: AtomicUsize,
     stores: AtomicUsize,
@@ -131,7 +159,13 @@ impl ResultCache {
 
     /// Looks up a key, counting a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<TerminationReport> {
-        let found = self.entries.lock().unwrap().get(key).cloned();
+        let found = self
+            .map
+            .lock()
+            .unwrap()
+            .entries
+            .get(key)
+            .map(|e| e.report.clone());
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -139,15 +173,28 @@ impl ResultCache {
         found
     }
 
-    /// Stores a report under a key.
+    /// Stores a report under a key. The entry's serialized footprint is
+    /// measured here, once per store, so size probes stay O(1).
     pub fn store(&self, key: String, report: TerminationReport) {
-        self.entries.lock().unwrap().insert(key, report);
+        let bytes = entry_bytes(&key, &report);
+        let mut map = self.map.lock().unwrap();
+        if let Some(old) = map.entries.insert(
+            key,
+            CacheEntry {
+                report,
+                entry_bytes: bytes,
+            },
+        ) {
+            map.payload_bytes -= old.entry_bytes;
+        }
+        map.payload_bytes += bytes;
+        drop(map);
         self.stores.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.map.lock().unwrap().entries.len()
     }
 
     /// `true` when no entry is stored.
@@ -186,9 +233,21 @@ impl ResultCache {
         let Some(Json::Object(entries)) = doc.get("entries") else {
             return Err(format!("{path:?}: missing `entries` object"));
         };
-        let mut map = cache.entries.lock().unwrap();
+        let mut map = cache.map.lock().unwrap();
         for (key, value) in entries {
-            map.insert(key.clone(), report_from_json(value)?);
+            let report = report_from_json(value)?;
+            // Footprints are measured in the *current* schema: a migrated v1
+            // entry accounts for what a re-save would write, not for the
+            // bytes it occupied on disk.
+            let bytes = entry_bytes(key, &report);
+            map.entries.insert(
+                key.clone(),
+                CacheEntry {
+                    report,
+                    entry_bytes: bytes,
+                },
+            );
+            map.payload_bytes += bytes;
         }
         drop(map);
         Ok(cache)
@@ -196,16 +255,16 @@ impl ResultCache {
 
     /// The whole cache as one on-disk JSON document.
     fn to_json(&self) -> Json {
-        let entries = self.entries.lock().unwrap();
+        let map = self.map.lock().unwrap();
         Json::Object(
             [
                 ("version".to_string(), Json::Number(FORMAT_VERSION)),
                 (
                     "entries".to_string(),
                     Json::Object(
-                        entries
+                        map.entries
                             .iter()
-                            .map(|(k, v)| (k.clone(), report_to_json(v)))
+                            .map(|(k, v)| (k.clone(), report_to_json(&v.report)))
                             .collect(),
                     ),
                 ),
@@ -216,10 +275,16 @@ impl ResultCache {
     }
 
     /// Size of the cache in its serialized (on-disk JSON) form, in bytes —
-    /// the sizing signal for the ROADMAP's "cache eviction & sizing" work
-    /// and the number the service logs at shutdown.
+    /// the sizing signal for the ROADMAP's "cache eviction & sizing" work,
+    /// the number the service logs at shutdown, and (since the live stats
+    /// surface) a field of every `{"stats": true}` snapshot. Computed in
+    /// O(1) from per-entry footprints maintained at store/load time — a
+    /// probe never re-serializes the cache. Pinned byte-exact against the
+    /// real serializer by a test.
     pub fn serialized_bytes(&self) -> usize {
-        self.to_json().to_string().len()
+        let map = self.map.lock().unwrap();
+        let commas = map.entries.len().saturating_sub(1);
+        ENVELOPE_BYTES + map.payload_bytes + commas
     }
 
     /// One-line human summary (entries, hit/miss counters, serialized size),
@@ -435,6 +500,9 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
                 ("dimension", Json::Number(s.dimension as f64)),
                 ("refinements", Json::Number(s.refinements as f64)),
                 ("synthesis_millis", Json::Number(s.synthesis_millis)),
+                ("smt_millis", Json::Number(s.smt_millis)),
+                ("lp_millis", Json::Number(s.lp_millis)),
+                ("invariant_millis", Json::Number(s.invariant_millis)),
             ]),
         ),
     ])
@@ -552,6 +620,10 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
         // Absent in v1 cache files (no refinement pipeline yet).
         refinements: field("refinements").unwrap_or(0.0) as usize,
         synthesis_millis: field("synthesis_millis")?,
+        // Absent in cache files written before the per-phase breakdown.
+        smt_millis: field("smt_millis").unwrap_or(0.0),
+        lp_millis: field("lp_millis").unwrap_or(0.0),
+        invariant_millis: field("invariant_millis").unwrap_or(0.0),
     };
     Ok(TerminationReport {
         program,
@@ -762,6 +834,59 @@ mod tests {
         let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(doc.get("version").and_then(Json::as_f64), Some(2.0));
         assert!(ResultCache::load(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn incremental_serialized_bytes_matches_full_serialization() {
+        let cache = ResultCache::new();
+        // Empty cache: just the envelope.
+        assert_eq!(
+            cache.serialized_bytes(),
+            cache.to_json().to_string().len(),
+            "empty cache"
+        );
+
+        let opts = AnalysisOptions::default();
+        let sel = EngineSelection::single(Engine::Termite);
+        let sources = [
+            "var x; while (x > 0) { x = x - 1; }",
+            "var x; assume x >= 1; while (x > 0) { x = x + 1; }",
+            "var x, y; assume x >= 0 && y >= 0; while (x > 0 && y > 0) { choice { x = x - 1; } or { y = y - 1; } }",
+        ];
+        for src in sources {
+            let j = job(src);
+            let report = prove_transition_system(&j.ts, &j.invariants, &opts);
+            cache.store(cache_key(&j, &sel, &opts), report);
+            assert_eq!(
+                cache.serialized_bytes(),
+                cache.to_json().to_string().len(),
+                "after storing {src}"
+            );
+        }
+
+        // Overwriting an existing key must subtract the old footprint.
+        let j = job(sources[0]);
+        let replacement =
+            prove_transition_system(&job(sources[1]).ts, &job(sources[1]).invariants, &opts);
+        cache.store(cache_key(&j, &sel, &opts), replacement);
+        assert_eq!(
+            cache.len(),
+            sources.len(),
+            "overwrite must not grow the map"
+        );
+        assert_eq!(
+            cache.serialized_bytes(),
+            cache.to_json().to_string().len(),
+            "after overwriting an entry"
+        );
+
+        // A reloaded cache rebuilds the same footprint, and save() returns it.
+        let path = std::env::temp_dir().join("termite-driver-incremental-bytes.json");
+        let saved = cache.save(&path).unwrap();
+        assert_eq!(saved, cache.serialized_bytes());
+        let reloaded = ResultCache::load(&path).unwrap();
+        assert_eq!(reloaded.serialized_bytes(), cache.serialized_bytes());
         let _ = std::fs::remove_file(&path);
     }
 

@@ -168,6 +168,9 @@ fn race(job: &AnalysisJob, engines: &[Engine], options: &AnalysisOptions) -> Por
     let race_token = options.cancel.child();
     let winner: Mutex<Option<(Engine, TerminationReport)>> = Mutex::new(None);
     let mut per_engine: Vec<TerminationReport> = Vec::new();
+    // The trace recorder is installed per-thread: propagate the caller's into
+    // each engine thread so a race's spans land in the same ring.
+    let recorder = termite_obs::installed();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(engines.len());
@@ -179,7 +182,9 @@ fn race(job: &AnalysisJob, engines: &[Engine], options: &AnalysisOptions) -> Por
             .with_cancel(race_token.clone());
             let race_token = &race_token;
             let winner = &winner;
+            let recorder = recorder.clone();
             handles.push(scope.spawn(move || {
+                let _recorder_guard = recorder.map(termite_obs::install);
                 let report = prove_job(job, &opts);
                 if report.proved() {
                     let mut slot = winner.lock().unwrap();

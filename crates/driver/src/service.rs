@@ -34,7 +34,9 @@
 //! ```json
 //! {"id": "job-1", "program": "var x; while (x > 0) { x = x - 1; }"}
 //! {"id": "job-2", "program": "...", "engine": "eager", "timeout_ms": 500}
+//! {"id": "job-4", "program": "...", "trace": true}
 //! {"cancel": "job-2"}
+//! {"stats": true}
 //! ```
 //!
 //! Responses (exactly one line per job, unordered):
@@ -43,7 +45,17 @@
 //! {"id": "job-1", "status": "ok", "verdict": "terminates", "from_cache": false, ...}
 //! {"id": "job-2", "status": "cancelled"}
 //! {"id": "job-3", "status": "error", "error": "parse: ..."}
+//! {"id": "job-4", "status": "ok", ..., "trace": {"traceEvents": [...]}}
+//! {"status": "stats", "jobs": {...}, "synthesis": {...}, "cache": {...}}
 //! ```
+//!
+//! `{"stats": true}` (optionally with an `"id"` to correlate) is a control
+//! verb like cancel: it bypasses the in-flight window, so a live snapshot of
+//! the [`MetricsRegistry`] — job counts, in-flight depth, queue wait,
+//! synthesis/SMT/LP/invariant phase totals, cache occupancy — comes back
+//! immediately even while the window is full of long-running jobs.
+//! `"trace": true` on a job request runs it under a fresh per-job trace
+//! recorder and attaches the Chrome-trace events to its response line.
 //!
 //! # Example
 //!
@@ -76,13 +88,16 @@ use crate::json::Json;
 use crate::portfolio::{run_selection, EngineSelection, PortfolioOutcome};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{BufRead, Write};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 use termite_core::{
     AnalysisOptions, CancelToken, Engine, SynthesisStats, TerminationReport, UnknownReason, Verdict,
 };
 use termite_invariants::InvariantOptions;
 use termite_ir::parse_named_program;
+use termite_obs::{
+    ArgValue, EventKind, JobMetrics, MetricsRegistry, MetricsSnapshot, Recorder, TraceEvent,
+};
 
 /// Configuration of a scheduler scope.
 #[derive(Clone, Debug)]
@@ -97,6 +112,13 @@ pub struct SchedulerConfig {
     /// Default per-task wall-clock budget, measured from the moment a worker
     /// starts the task (queue wait does not count against it).
     pub job_timeout: Option<Duration>,
+    /// Metrics sink: submissions, queue waits, and every landed job's
+    /// synthesis totals are merged here when present.
+    pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Trace recorder installed on every worker thread when present (the
+    /// `--trace` flag); per-job opt-in traces via [`TaskSpec::trace`] shadow
+    /// it for the duration of their job.
+    pub recorder: Option<Arc<Recorder>>,
 }
 
 impl Default for SchedulerConfig {
@@ -106,6 +128,8 @@ impl Default for SchedulerConfig {
             selection: EngineSelection::Single(Engine::Termite),
             options: AnalysisOptions::default(),
             job_timeout: None,
+            metrics: None,
+            recorder: None,
         }
     }
 }
@@ -121,6 +145,10 @@ pub struct TaskSpec {
     pub selection: Option<EngineSelection>,
     /// Wall-clock budget override; `None` uses the scheduler default.
     pub timeout: Option<Duration>,
+    /// When `true`, the task runs under a fresh per-job trace recorder and
+    /// its events come back in [`TaskOutcome::trace`] (the serve protocol's
+    /// `"trace": true` request field).
+    pub trace: bool,
 }
 
 /// What the scheduler hands to a task's reply callback.
@@ -130,6 +158,8 @@ pub struct TaskOutcome {
     pub id: String,
     /// The analysis result (same shape as one batch row).
     pub result: BatchResult,
+    /// The job's trace events, when [`TaskSpec::trace`] asked for them.
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 /// A task's reply callback: invoked exactly once, on a worker thread, the
@@ -140,6 +170,7 @@ struct Task {
     spec: TaskSpec,
     cancel: CancelToken,
     reply: Reply,
+    queued_at: Instant,
 }
 
 struct QueueState {
@@ -180,11 +211,21 @@ impl SchedulerHandle<'_> {
         cancel: CancelToken,
         reply: impl FnOnce(TaskOutcome) + Send + 'static,
     ) {
+        if let Some(metrics) = &self.config.metrics {
+            metrics.job_submitted();
+        }
+        if let Some(recorder) = &self.config.recorder {
+            recorder.record_event(
+                "task_submit",
+                vec![("id", termite_obs::ArgValue::from(spec.id.as_str()))],
+            );
+        }
         let mut queue = self.state.queue.lock().unwrap();
         queue.pending.push_back(Task {
             spec,
             cancel,
             reply: Box::new(reply),
+            queued_at: Instant::now(),
         });
         drop(queue);
         self.state.ready.notify_one();
@@ -241,6 +282,12 @@ pub fn with_scheduler<R>(
 }
 
 fn worker_loop(state: &SchedulerState, config: &SchedulerConfig, cache: Option<&ResultCache>) {
+    // A scheduler-wide recorder (`--trace`) covers every task this worker
+    // runs; per-job recorders installed in `execute_task` shadow it.
+    let _recorder_guard = config
+        .recorder
+        .as_ref()
+        .map(|recorder| termite_obs::install(Arc::clone(recorder)));
     loop {
         let (task, drain) = {
             let mut queue = state.queue.lock().unwrap();
@@ -254,18 +301,58 @@ fn worker_loop(state: &SchedulerState, config: &SchedulerConfig, cache: Option<&
                 queue = state.ready.wait(queue).unwrap();
             }
         };
+        if let Some(metrics) = &config.metrics {
+            metrics.queue_wait_micros(
+                u64::try_from(task.queued_at.elapsed().as_micros()).unwrap_or(u64::MAX),
+            );
+        }
         // A task still queued at shutdown is completed as cancelled rather
         // than run: the scope is closing and nobody submits work they do not
         // want, but every submitted task still gets exactly one reply.
-        let result = if drain || task.cancel.is_cancelled() {
-            cancelled_result(&task.spec.job)
+        let (result, trace) = if drain || task.cancel.is_cancelled() {
+            (cancelled_result(&task.spec.job), None)
         } else {
             execute_task(&task, config, cache)
         };
+        if let Some(metrics) = &config.metrics {
+            let cancelled = matches!(
+                result.report.verdict,
+                Verdict::Unknown {
+                    reason: UnknownReason::Cancelled
+                }
+            );
+            metrics.job_finished(
+                &stats_to_job_metrics(&result.report.stats),
+                result.from_cache,
+                cancelled,
+            );
+        }
+        termite_obs::event!("task_land", id = task.spec.id.as_str());
         (task.reply)(TaskOutcome {
             id: task.spec.id,
             result,
+            trace,
         });
+    }
+}
+
+/// Flattens a report's [`SynthesisStats`] into the registry's plain-number
+/// job record.
+fn stats_to_job_metrics(stats: &SynthesisStats) -> JobMetrics {
+    JobMetrics {
+        iterations: stats.iterations as u64,
+        lp_instances: stats.lp_instances as u64,
+        lp_pivots: stats.lp_pivots as u64,
+        lp_warm_hits: stats.lp_warm_hits as u64,
+        basis_reuses: stats.basis_reuses as u64,
+        farkas_cache_hits: stats.farkas_cache_hits as u64,
+        smt_queries: stats.smt_queries as u64,
+        counterexamples: stats.counterexamples as u64,
+        refinements: stats.refinements as u64,
+        synthesis_millis: stats.synthesis_millis,
+        smt_millis: stats.smt_millis,
+        lp_millis: stats.lp_millis,
+        invariant_millis: stats.invariant_millis,
     }
 }
 
@@ -289,14 +376,38 @@ pub(crate) fn cancelled_result(job: &AnalysisJob) -> BatchResult {
 
 /// Runs one task: cache lookup, engine selection (possibly a portfolio
 /// race) under a deadline-bearing child of the task token, cache store.
-fn execute_task(task: &Task, config: &SchedulerConfig, cache: Option<&ResultCache>) -> BatchResult {
+/// Returns the result plus the drained per-job trace when the spec opted in.
+fn execute_task(
+    task: &Task,
+    config: &SchedulerConfig,
+    cache: Option<&ResultCache>,
+) -> (BatchResult, Option<Vec<TraceEvent>>) {
+    // A per-job trace gets its own recorder (timestamps start at 0 for this
+    // job), shadowing any scheduler-wide recorder for the duration.
+    let job_recorder = task
+        .spec
+        .trace
+        .then(|| Arc::new(Recorder::new(termite_obs::DEFAULT_RING_CAPACITY)));
+    let recorder_guard = job_recorder
+        .as_ref()
+        .map(|recorder| termite_obs::install(Arc::clone(recorder)));
+    let result = run_task(task, config, cache);
+    drop(recorder_guard);
+    let trace = job_recorder.map(|recorder| recorder.drain());
+    (result, trace)
+}
+
+fn run_task(task: &Task, config: &SchedulerConfig, cache: Option<&ResultCache>) -> BatchResult {
     let start = Instant::now();
     let job = &task.spec.job;
+    let _job_span = termite_obs::span!("job", id = task.spec.id.as_str());
     let selection = task.spec.selection.as_ref().unwrap_or(&config.selection);
     let key = cache.map(|_| cache_key(job, selection, &config.options));
 
     if let (Some(cache), Some(key)) = (cache, &key) {
-        if let Some(mut report) = cache.lookup(key) {
+        let found = cache.lookup(key);
+        termite_obs::event!("cache_probe", hit = found.is_some());
+        if let Some(mut report) = found {
             // The key is content-addressed (it ignores program names), so the
             // stored report may carry the first submitter's name; re-label it
             // for this job.
@@ -353,6 +464,9 @@ pub struct ServeConfig {
     /// blocks — exerting backpressure on the transport — while the window is
     /// full. At least 1.
     pub max_inflight: usize,
+    /// When set, a one-line metrics summary is printed to stderr at this
+    /// interval for the lifetime of the session (the `--stats-every` flag).
+    pub stats_every: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -363,6 +477,7 @@ impl Default for ServeConfig {
             options: AnalysisOptions::default(),
             job_timeout: None,
             max_inflight: 64,
+            stats_every: None,
         }
     }
 }
@@ -377,6 +492,8 @@ pub struct ServeSummary {
     /// Lines answered with `"status": "error"` (parse failures, unknown
     /// cancel targets, duplicate ids).
     pub errors: usize,
+    /// Lines answered with `"status": "stats"`.
+    pub stats: usize,
 }
 
 /// The bounded in-flight window: intake blocks in [`acquire`](Self::acquire)
@@ -408,6 +525,12 @@ impl Window {
         *self.inflight.lock().unwrap() -= 1;
         self.freed.notify_one();
     }
+
+    /// The number of jobs currently queued or running (the live in-flight
+    /// depth reported by the stats verb).
+    fn depth(&self) -> usize {
+        *self.inflight.lock().unwrap()
+    }
 }
 
 /// One event flowing from intake/workers to the response writer.
@@ -417,6 +540,9 @@ enum Event {
     Done(Box<TaskOutcome>),
     /// An intake line was rejected before becoming a job.
     Reject { id: Option<String>, error: String },
+    /// A `{"stats": true}` control line: the writer (which holds the
+    /// registry, the window, and the cache) composes the snapshot.
+    Stats { id: Option<String> },
 }
 
 /// A parsed request line.
@@ -426,9 +552,13 @@ enum Request {
         source: String,
         selection: Option<EngineSelection>,
         timeout: Option<Duration>,
+        trace: bool,
     },
     Cancel {
         id: String,
+    },
+    Stats {
+        id: Option<String>,
     },
 }
 
@@ -454,6 +584,18 @@ fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
         let id = parse_id(target)
             .ok_or_else(|| fail(None, "cancel: `cancel` must be a job id".to_string()))?;
         return Ok(Request::Cancel { id });
+    }
+    if let Some(flag) = doc.get("stats") {
+        // An optional id is echoed back so a client multiplexing verbs can
+        // correlate the snapshot line.
+        let id = doc.get("id").and_then(parse_id);
+        return match flag {
+            Json::Bool(true) => Ok(Request::Stats { id }),
+            _ => Err(fail(
+                id.as_deref(),
+                "stats: `stats` must be `true`".to_string(),
+            )),
+        };
     }
     let id = doc
         .get("id")
@@ -491,18 +633,71 @@ fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
             Some(Duration::from_millis(ms as u64))
         }
     };
+    let trace = match doc.get("trace") {
+        None | Some(Json::Null) => false,
+        Some(Json::Bool(b)) => *b,
+        Some(_) => {
+            return Err(fail(Some(&id), "`trace` must be a boolean".to_string()));
+        }
+    };
     Ok(Request::Job {
         id,
         source,
         selection,
         timeout,
+        trace,
     })
+}
+
+/// A drained per-job trace as an embeddable Chrome-trace document
+/// (`{"traceEvents": [...]}`), mirroring [`termite_obs::chrome_trace_json`]
+/// in the driver's own JSON type so it nests inside a response line.
+fn trace_events_to_json(events: &[TraceEvent]) -> Json {
+    let arg_to_json = |arg: &ArgValue| -> Json {
+        match arg {
+            ArgValue::Int(i) => Json::Number(*i as f64),
+            ArgValue::Float(f) if f.is_finite() => Json::Number(*f),
+            ArgValue::Float(f) => Json::String(f.to_string()),
+            ArgValue::Bool(b) => Json::Bool(*b),
+            ArgValue::Str(s) => Json::String(s.clone()),
+        }
+    };
+    let event_to_json = |e: &TraceEvent| -> Json {
+        let mut fields = vec![
+            ("name", Json::String(e.name.to_string())),
+            ("cat", Json::String("termite".to_string())),
+            ("pid", Json::Number(1.0)),
+            ("tid", Json::Number(e.tid as f64)),
+            ("ts", Json::Number(e.ts_us as f64)),
+        ];
+        match e.kind {
+            EventKind::Span { dur_us } => {
+                fields.push(("ph", Json::String("X".to_string())));
+                fields.push(("dur", Json::Number(dur_us as f64)));
+            }
+            EventKind::Instant => {
+                fields.push(("ph", Json::String("i".to_string())));
+                fields.push(("s", Json::String("t".to_string())));
+            }
+        }
+        if !e.args.is_empty() {
+            fields.push((
+                "args",
+                Json::object(e.args.iter().map(|(k, v)| (*k, arg_to_json(v)))),
+            ));
+        }
+        Json::object(fields)
+    };
+    Json::object([(
+        "traceEvents",
+        Json::Array(events.iter().map(event_to_json).collect()),
+    )])
 }
 
 /// The `"status": "ok"` response line of one landed job.
 fn ok_response(outcome: &TaskOutcome) -> Json {
     let r = &outcome.result;
-    Json::object([
+    let mut fields = vec![
         ("id", Json::String(outcome.id.clone())),
         ("status", Json::String("ok".to_string())),
         (
@@ -523,7 +718,81 @@ fn ok_response(outcome: &TaskOutcome) -> Json {
         ),
         ("wall_millis", Json::Number(r.wall_millis)),
         ("report", report_to_json(&r.report)),
-    ])
+    ];
+    if let Some(trace) = &outcome.trace {
+        fields.push(("trace", trace_events_to_json(trace)));
+    }
+    Json::object(fields)
+}
+
+/// The `"status": "stats"` response line: a live snapshot of the session's
+/// metrics registry, the window's in-flight depth, and (when a cache is
+/// wired) the result cache's occupancy.
+fn stats_response(
+    id: Option<&str>,
+    snapshot: &MetricsSnapshot,
+    in_flight: usize,
+    cache: Option<&ResultCache>,
+) -> Json {
+    let t = &snapshot.totals;
+    let count = |n: u64| Json::Number(n as f64);
+    let mut fields = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id", Json::String(id.to_string())));
+    }
+    fields.push(("status", Json::String("stats".to_string())));
+    fields.push((
+        "jobs",
+        Json::object([
+            ("submitted", count(snapshot.jobs_submitted)),
+            ("completed", count(snapshot.jobs_completed)),
+            ("cancelled", count(snapshot.jobs_cancelled)),
+            ("from_cache", count(snapshot.jobs_from_cache)),
+            ("in_flight", Json::Number(in_flight as f64)),
+            (
+                "queue_wait_millis",
+                Json::Number(snapshot.queue_wait_millis),
+            ),
+        ]),
+    ));
+    fields.push((
+        "synthesis",
+        Json::object([
+            ("iterations", count(t.iterations)),
+            ("lp_instances", count(t.lp_instances)),
+            ("lp_pivots", count(t.lp_pivots)),
+            ("lp_warm_hits", count(t.lp_warm_hits)),
+            ("basis_reuses", count(t.basis_reuses)),
+            ("farkas_cache_hits", count(t.farkas_cache_hits)),
+            ("smt_queries", count(t.smt_queries)),
+            ("counterexamples", count(t.counterexamples)),
+            ("refinements", count(t.refinements)),
+            ("synthesis_millis", Json::Number(t.synthesis_millis)),
+            ("smt_millis", Json::Number(t.smt_millis)),
+            ("lp_millis", Json::Number(t.lp_millis)),
+            ("invariant_millis", Json::Number(t.invariant_millis)),
+        ]),
+    ));
+    fields.push((
+        "cache",
+        match cache {
+            Some(cache) => {
+                let stats = cache.stats();
+                Json::object([
+                    ("entries", Json::Number(cache.len() as f64)),
+                    ("hits", Json::Number(stats.hits as f64)),
+                    ("misses", Json::Number(stats.misses as f64)),
+                    ("stores", Json::Number(stats.stores as f64)),
+                    (
+                        "serialized_bytes",
+                        Json::Number(cache.serialized_bytes() as f64),
+                    ),
+                ])
+            }
+            None => Json::Null,
+        },
+    ));
+    Json::object(fields)
 }
 
 fn error_response(id: Option<&str>, error: &str) -> Json {
@@ -563,14 +832,21 @@ pub fn serve<R: BufRead + Send, W: Write>(
     config: &ServeConfig,
     cache: Option<&ResultCache>,
 ) -> Result<ServeSummary, String> {
+    let registry = Arc::new(MetricsRegistry::new());
     let scheduler_config = SchedulerConfig {
         workers: config.workers,
         selection: config.selection.clone(),
         options: config.options.clone(),
         job_timeout: config.job_timeout,
+        metrics: Some(Arc::clone(&registry)),
+        recorder: None,
     };
     let (event_tx, event_rx) = std::sync::mpsc::channel::<Event>();
     let window = Window::new(config.max_inflight);
+    // Stop signal for the periodic stderr reporter: flipped (under the mutex)
+    // when the writer loop finishes, so the ticker thread exits promptly
+    // instead of sleeping out its last interval.
+    let ticker_stop = (Mutex::new(false), Condvar::new());
     // Tokens of in-flight jobs, by id: the cancel control message fires them.
     let live: Mutex<HashMap<String, CancelToken>> = Mutex::new(HashMap::new());
     // Ids cancelled by control message: their outcome becomes a
@@ -597,6 +873,40 @@ pub fn serve<R: BufRead + Send, W: Write>(
                 })
             };
             drop(event_tx);
+
+            // Periodic stderr metrics line (`--stats-every`): observational
+            // only, never touches the response stream.
+            if let Some(every) = config.stats_every {
+                let (registry, window, ticker_stop) = (&registry, &window, &ticker_stop);
+                scope.spawn(move || {
+                    let (stop, stopped) = ticker_stop;
+                    let mut guard = stop.lock().unwrap();
+                    loop {
+                        let (next, timeout) = stopped.wait_timeout(guard, every).unwrap();
+                        guard = next;
+                        if *guard {
+                            return;
+                        }
+                        if timeout.timed_out() {
+                            let s = registry.snapshot();
+                            eprintln!(
+                                "termite serve: {} submitted, {} completed ({} cached, {} \
+                                 cancelled), {} in flight; synthesis {:.1} ms, smt {:.1} ms, \
+                                 lp {:.1} ms, invariants {:.1} ms",
+                                s.jobs_submitted,
+                                s.jobs_completed,
+                                s.jobs_from_cache,
+                                s.jobs_cancelled,
+                                window.depth(),
+                                s.totals.synthesis_millis,
+                                s.totals.smt_millis,
+                                s.totals.lp_millis,
+                                s.totals.invariant_millis,
+                            );
+                        }
+                    }
+                });
+            }
 
             // Writer loop: owns the output, streams one line per event.
             let mut summary = ServeSummary::default();
@@ -627,6 +937,10 @@ pub fn serve<R: BufRead + Send, W: Write>(
                         summary.errors += 1;
                         error_response(id.as_deref(), &error)
                     }
+                    Event::Stats { id } => {
+                        summary.stats += 1;
+                        stats_response(id.as_deref(), &registry.snapshot(), window.depth(), cache)
+                    }
                 };
                 if write_error.is_none() {
                     write_error = writeln!(output, "{line}")
@@ -642,6 +956,8 @@ pub fn serve<R: BufRead + Send, W: Write>(
                 }
             }
             intake.join().expect("intake thread must not panic");
+            *ticker_stop.0.lock().unwrap() = true;
+            ticker_stop.1.notify_all();
             match write_error {
                 Some(error) => Err(error),
                 None => Ok(summary),
@@ -653,6 +969,11 @@ pub fn serve<R: BufRead + Send, W: Write>(
 /// Reads request lines until EOF, submitting jobs (under backpressure) and
 /// firing cancel tokens. Every accepted job eventually produces exactly one
 /// `Event::Done`; every rejected line produces exactly one `Event::Reject`.
+///
+/// A malformed line is additionally diagnosed on stderr with its 1-based
+/// line number (and the request id when one could be recovered), so an
+/// operator tailing the service log can locate the offending line in the
+/// input stream without correlating response ids by hand.
 fn intake_loop<R: BufRead>(
     input: R,
     scheduler: &SchedulerHandle<'_>,
@@ -662,7 +983,9 @@ fn intake_loop<R: BufRead>(
     live: &Mutex<HashMap<String, CancelToken>>,
     cancelled: &Mutex<HashSet<String>>,
 ) {
+    let mut line_no = 0usize;
     for line in input.lines() {
+        line_no += 1;
         // The writer fires the service token when the output transport dies:
         // stop consuming input instead of proving programs nobody will hear
         // about. (A read blocked with no lines arriving cannot observe this
@@ -686,11 +1009,22 @@ fn intake_loop<R: BufRead>(
         let request = match parse_request(&line) {
             Ok(request) => request,
             Err((id, error)) => {
+                match &id {
+                    Some(id) => {
+                        eprintln!("termite serve: request line {line_no} (id `{id}`): {error}");
+                    }
+                    None => eprintln!("termite serve: request line {line_no}: {error}"),
+                }
                 let _ = event_tx.send(Event::Reject { id, error });
                 continue;
             }
         };
         match request {
+            Request::Stats { id } => {
+                // Like cancel, stats never waits on the window: the snapshot
+                // must come back while long jobs hold every slot.
+                let _ = event_tx.send(Event::Stats { id });
+            }
             Request::Cancel { id } => {
                 // A cancel never waits on the window itself. It can still be
                 // *read* late when intake is blocked admitting an earlier job
@@ -714,6 +1048,7 @@ fn intake_loop<R: BufRead>(
                 source,
                 selection,
                 timeout,
+                trace,
             } => {
                 let program = match parse_named_program(&source, &id) {
                     Ok(program) => program,
@@ -754,6 +1089,7 @@ fn intake_loop<R: BufRead>(
                         job,
                         selection,
                         timeout,
+                        trace,
                     },
                     token,
                     move |outcome| {
@@ -778,6 +1114,7 @@ mod tests {
             job: AnalysisJob::from_program(&program, &InvariantOptions::default()),
             selection: None,
             timeout: None,
+            trace: false,
         }
     }
 
@@ -911,7 +1248,8 @@ mod tests {
             ServeSummary {
                 ok: 1,
                 cancelled: 0,
-                errors: 3
+                errors: 3,
+                stats: 0
             }
         );
         let text = String::from_utf8(out).unwrap();

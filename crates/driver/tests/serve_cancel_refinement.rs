@@ -129,6 +129,7 @@ fn cancel_lands_mid_refinement_not_after_it() {
         options: AnalysisOptions::with_engine(Engine::Termite).with_cancel(CancelToken::new()),
         job_timeout: None,
         max_inflight: 4,
+        stats_every: None,
     };
 
     let serve_thread =

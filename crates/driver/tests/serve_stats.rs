@@ -1,0 +1,265 @@
+//! Integration test of the live `{"stats": true}` verb (ISSUE 6
+//! acceptance): a stats request must be answered while a long-running job
+//! holds the whole in-flight window — the verb bypasses the window like
+//! cancel does — and successive snapshots must show monotone counters, the
+//! correct in-flight depth, and the cache section once a cache is wired.
+//! The same session exercises the per-job `"trace": true` opt-in.
+
+use std::io::{BufReader, Read, Write};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use termite_driver::json::Json;
+use termite_driver::{serve, ResultCache, ServeConfig};
+
+/// A blocking line source: `serve`'s intake waits on the channel exactly the
+/// way it would wait on a socket, which lets the test hold the stream open
+/// while it watches responses arrive.
+struct ChannelReader {
+    rx: Receiver<String>,
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Read for ChannelReader {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.buf.len() {
+            match self.rx.recv() {
+                Ok(mut line) => {
+                    line.push('\n');
+                    self.buf = line.into_bytes();
+                    self.pos = 0;
+                }
+                Err(_) => return Ok(0), // all senders dropped: EOF
+            }
+        }
+        let n = (self.buf.len() - self.pos).min(out.len());
+        out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// A writer the test can observe while `serve` is still running.
+#[derive(Clone, Default)]
+struct SharedWriter(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedWriter {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+
+    fn response(&self, id: &str) -> Option<Json> {
+        self.text()
+            .lines()
+            .filter_map(|l| Json::parse(l).ok())
+            .find(|doc| doc.get("id").and_then(Json::as_str) == Some(id))
+    }
+
+    fn wait_for_id(&self, id: &str) -> Json {
+        let start = Instant::now();
+        loop {
+            if let Some(doc) = self.response(id) {
+                return doc;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(120),
+                "no response for `{id}` within two minutes; stream so far: {}",
+                self.text()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+/// A lexicographic cascade with `phases` counters: seconds of synthesis work
+/// uncancelled, which keeps the in-flight window reliably full while the
+/// stats requests go through.
+fn heavy_source(phases: usize) -> String {
+    let decls: Vec<String> = (0..phases).map(|p| format!("c{p}")).collect();
+    let mut src = format!("var {};\n", decls.join(", "));
+    let assumes: Vec<String> = (0..phases).map(|p| format!("c{p} >= 0")).collect();
+    src.push_str(&format!("assume {};\n", assumes.join(" && ")));
+    let guards: Vec<String> = (0..phases).map(|p| format!("c{p} > 0")).collect();
+    src.push_str(&format!("while ({}) {{\nchoice {{\n", guards.join(" || ")));
+    let mut branches: Vec<String> = Vec::new();
+    for p in 0..phases {
+        let mut zeros: Vec<String> = (0..p).map(|q| format!("c{q} <= 0")).collect();
+        zeros.push(format!("c{p} > 0"));
+        let mut branch = format!("assume {};\nc{p} = c{p} - 1;\n", zeros.join(" && "));
+        for q in (p + 1)..phases {
+            branch.push_str(&format!("c{q} = nondet();\nassume c{q} >= 0;\n"));
+        }
+        branches.push(branch);
+    }
+    src.push_str(&branches.join("} or {\n"));
+    src.push_str("}\n}\n");
+    src
+}
+
+fn jobs_field(doc: &Json, field: &str) -> f64 {
+    doc.get("jobs")
+        .and_then(|j| j.get(field))
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("stats response without jobs.{field}: {doc}"))
+}
+
+#[test]
+fn stats_verb_answers_live_and_bypasses_the_window() {
+    let (line_tx, line_rx): (Sender<String>, Receiver<String>) = channel();
+    let reader = BufReader::new(ChannelReader {
+        rx: line_rx,
+        buf: Vec::new(),
+        pos: 0,
+    });
+    let out = SharedWriter::default();
+
+    let serve_out = out.clone();
+    let cache = Arc::new(ResultCache::new());
+    let serve_cache = Arc::clone(&cache);
+    let server = std::thread::spawn(move || {
+        // One worker and a window of one: the heavy job fills the window
+        // completely, so anything answered before it lands demonstrably
+        // bypassed the window.
+        let config = ServeConfig {
+            workers: 1,
+            max_inflight: 1,
+            ..ServeConfig::default()
+        };
+        serve(reader, serve_out, &config, Some(&serve_cache))
+    });
+
+    // The heavy job takes the only window slot; the stats request right
+    // behind it must be answered while the job is still running.
+    let heavy = Json::object([
+        ("id", Json::String("heavy".to_string())),
+        ("program", Json::String(heavy_source(5))),
+    ]);
+    line_tx.send(heavy.to_string()).unwrap();
+    line_tx
+        .send(r#"{"stats": true, "id": "s1"}"#.to_string())
+        .unwrap();
+
+    let s1 = out.wait_for_id("s1");
+    assert_eq!(s1.get("status").and_then(Json::as_str), Some("stats"));
+    assert_eq!(jobs_field(&s1, "submitted"), 1.0);
+    assert_eq!(jobs_field(&s1, "completed"), 0.0);
+    assert_eq!(
+        jobs_field(&s1, "in_flight"),
+        1.0,
+        "the heavy job holds the window while the snapshot is taken"
+    );
+    assert!(
+        out.response("heavy").is_none(),
+        "the snapshot must land before the window-filling job does"
+    );
+    assert!(
+        s1.get("synthesis")
+            .and_then(|s| s.get("iterations"))
+            .is_some(),
+        "stats must carry the synthesis counter section: {s1}"
+    );
+    assert!(
+        s1.get("cache").and_then(|c| c.get("entries")).is_some(),
+        "stats must carry the cache section when a cache is wired: {s1}"
+    );
+
+    // Unblock the window: cancel the heavy job mid-flight.
+    line_tx.send(r#"{"cancel": "heavy"}"#.to_string()).unwrap();
+    let heavy_response = out.wait_for_id("heavy");
+    assert_eq!(
+        heavy_response.get("status").and_then(Json::as_str),
+        Some("cancelled")
+    );
+
+    // A quick traced job: its response must embed its own Chrome-trace
+    // events, and its result must populate the cache.
+    let quick = Json::object([
+        ("id", Json::String("quick".to_string())),
+        (
+            "program",
+            Json::String("var x; while (x > 0) { x = x - 1; }".to_string()),
+        ),
+        ("trace", Json::Bool(true)),
+    ]);
+    line_tx.send(quick.to_string()).unwrap();
+    let quick_response = out.wait_for_id("quick");
+    assert_eq!(
+        quick_response.get("status").and_then(Json::as_str),
+        Some("ok")
+    );
+    let trace_events = quick_response
+        .get("trace")
+        .and_then(|t| t.get("traceEvents"))
+        .and_then(Json::as_array)
+        .expect("a traced job's response embeds trace.traceEvents");
+    assert!(!trace_events.is_empty());
+    let names: Vec<&str> = trace_events
+        .iter()
+        .filter_map(|e| e.get("name").and_then(Json::as_str))
+        .collect();
+    assert!(
+        names.contains(&"job"),
+        "the per-job trace carries the job span: {names:?}"
+    );
+
+    // Second snapshot: counters are monotone, the window has drained, and
+    // the quick job's store shows up in the cache section.
+    line_tx
+        .send(r#"{"stats": true, "id": "s2"}"#.to_string())
+        .unwrap();
+    let s2 = out.wait_for_id("s2");
+    assert_eq!(jobs_field(&s2, "submitted"), 2.0);
+    assert_eq!(jobs_field(&s2, "completed"), 2.0);
+    assert_eq!(jobs_field(&s2, "cancelled"), 1.0);
+    assert_eq!(jobs_field(&s2, "in_flight"), 0.0);
+    for field in ["submitted", "completed", "cancelled", "from_cache"] {
+        assert!(
+            jobs_field(&s2, field) >= jobs_field(&s1, field),
+            "jobs.{field} must be monotone across snapshots"
+        );
+    }
+    let iterations = |doc: &Json| {
+        doc.get("synthesis")
+            .and_then(|s| s.get("iterations"))
+            .and_then(Json::as_f64)
+            .unwrap()
+    };
+    assert!(iterations(&s2) >= iterations(&s1));
+    assert!(
+        iterations(&s2) >= 1.0,
+        "the quick job's CEGIS iterations land in the registry"
+    );
+    assert_eq!(
+        s2.get("cache")
+            .and_then(|c| c.get("entries"))
+            .and_then(Json::as_f64),
+        Some(1.0),
+        "the quick job's result is stored: {s2}"
+    );
+    assert!(
+        s2.get("cache")
+            .and_then(|c| c.get("serialized_bytes"))
+            .and_then(Json::as_f64)
+            .unwrap()
+            > 0.0
+    );
+
+    drop(line_tx); // EOF
+
+    let summary = server.join().unwrap().expect("serve must not fail");
+    assert_eq!(summary.ok, 1);
+    assert_eq!(summary.cancelled, 1);
+    assert_eq!(summary.errors, 0);
+    assert_eq!(summary.stats, 2);
+}

@@ -118,7 +118,14 @@ pub fn strengthen_inductive(
     // itself across a self-loop — that is Houdini's coinduction), so the
     // fixpoint is the greatest inductive subset.
     let mut interrupted = false;
+    let mut rounds = 0usize;
     loop {
+        rounds += 1;
+        termite_obs::event!(
+            "houdini_round",
+            round = rounds,
+            candidates = sets.iter().map(Vec::len).sum::<usize>()
+        );
         let snapshot = sets.clone();
         let mut changed = false;
         for (k, set) in sets.iter_mut().enumerate() {

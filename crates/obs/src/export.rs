@@ -1,0 +1,148 @@
+//! Chrome-trace (a.k.a. Trace Event Format) JSON export.
+//!
+//! The output is the object form `{"traceEvents": [...]}` understood by
+//! `chrome://tracing`, Perfetto, and Speedscope. Spans become complete
+//! (`"ph": "X"`) events with microsecond `ts`/`dur`; instantaneous events
+//! become thread-scoped instants (`"ph": "i"`). All events share `pid: 1`
+//! (one analyser process) and carry the recording thread's small integer id
+//! as `tid`, so a suite run renders as one flame-style timeline per worker.
+
+use crate::trace::{ArgValue, EventKind, TraceEvent};
+
+/// Serializes events into Chrome-trace JSON (`{"traceEvents": [...]}`).
+///
+/// `dropped` is the recorder's drop count; when non-zero it is surfaced as
+/// metadata (`"termite_dropped_events"`) so a truncated timeline is visibly
+/// truncated rather than silently short.
+pub fn chrome_trace_json(events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for event in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        write_event(&mut out, event);
+    }
+    out.push(']');
+    if dropped > 0 {
+        out.push_str(&format!(",\"termite_dropped_events\":{dropped}"));
+    }
+    out.push('}');
+    out
+}
+
+fn write_event(out: &mut String, event: &TraceEvent) {
+    out.push_str("{\"name\":");
+    write_json_string(out, event.name);
+    out.push_str(",\"cat\":\"termite\",\"pid\":1,\"tid\":");
+    out.push_str(&event.tid.to_string());
+    out.push_str(",\"ts\":");
+    out.push_str(&event.ts_us.to_string());
+    match event.kind {
+        EventKind::Span { dur_us } => {
+            out.push_str(",\"ph\":\"X\",\"dur\":");
+            out.push_str(&dur_us.to_string());
+        }
+        EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+    }
+    if !event.args.is_empty() {
+        out.push_str(",\"args\":{");
+        for (i, (key, value)) in event.args.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, key);
+            out.push(':');
+            write_arg(out, value);
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn write_arg(out: &mut String, value: &ArgValue) {
+    match value {
+        ArgValue::Int(v) => out.push_str(&v.to_string()),
+        ArgValue::Float(v) => {
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                // JSON has no Inf/NaN; stringify rather than emit garbage.
+                write_json_string(out, &v.to_string());
+            }
+        }
+        ArgValue::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        ArgValue::Str(v) => write_json_string(out, v),
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, ts: u64, dur: u64) -> TraceEvent {
+        TraceEvent {
+            name,
+            kind: EventKind::Span { dur_us: dur },
+            ts_us: ts,
+            tid: 2,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn empty_trace_is_the_bare_envelope() {
+        assert_eq!(chrome_trace_json(&[], 0), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn span_and_instant_events_serialize_with_expected_phases() {
+        let mut instant = TraceEvent {
+            name: "cegis_iter",
+            kind: EventKind::Instant,
+            ts_us: 7,
+            tid: 3,
+            args: vec![("iteration", ArgValue::Int(4))],
+        };
+        let json = chrome_trace_json(&[span("lp_solve", 10, 25), instant.clone()], 0);
+        assert!(json.contains("\"name\":\"lp_solve\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":25"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"args\":{\"iteration\":4}"));
+
+        instant.args = vec![
+            ("label", ArgValue::Str("he said \"hi\"\n".to_string())),
+            ("ratio", ArgValue::Float(1.5)),
+            ("warm", ArgValue::Bool(true)),
+        ];
+        let json = chrome_trace_json(&[instant], 0);
+        assert!(json.contains("\\\"hi\\\"\\n"));
+        assert!(json.contains("\"ratio\":1.5"));
+        assert!(json.contains("\"warm\":true"));
+    }
+
+    #[test]
+    fn dropped_events_are_surfaced_as_metadata() {
+        let json = chrome_trace_json(&[], 12);
+        assert!(json.contains("\"termite_dropped_events\":12"));
+    }
+}

@@ -1,0 +1,247 @@
+//! The unified metrics registry.
+//!
+//! One process-wide (or per-server) [`MetricsRegistry`] gathers what used to
+//! be scattered across `SynthesisStats` fields, the result cache's shutdown
+//! summary, and the scheduler's private in-flight bookkeeping: every counter
+//! is a relaxed atomic, so recording from worker threads is wait-free and a
+//! [`MetricsRegistry::snapshot`] taken mid-run is cheap and always coherent
+//! enough for monitoring (each counter is individually exact; the set is
+//! read without a global lock). Durations are accumulated in integer
+//! microseconds to keep the hot path free of float atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-job synthesis totals, in plain numbers, as merged into the registry
+/// after a job lands. Mirrors the counter subset of the core crate's
+/// `SynthesisStats` without depending on it (this crate sits below core).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JobMetrics {
+    /// CEGIS iterations across all levels.
+    pub iterations: u64,
+    /// LP instances created.
+    pub lp_instances: u64,
+    /// Simplex pivots performed.
+    pub lp_pivots: u64,
+    /// LP solves answered from a warm basis.
+    pub lp_warm_hits: u64,
+    /// Level restarts that restored a snapshot basis.
+    pub basis_reuses: u64,
+    /// Farkas-row memo hits.
+    pub farkas_cache_hits: u64,
+    /// SMT queries issued.
+    pub smt_queries: u64,
+    /// Extremal counterexamples generated.
+    pub counterexamples: u64,
+    /// Invariant-refinement rounds taken.
+    pub refinements: u64,
+    /// Total synthesis wall time, milliseconds.
+    pub synthesis_millis: f64,
+    /// Wall time inside SMT solves, milliseconds.
+    pub smt_millis: f64,
+    /// Wall time inside LP solves, milliseconds.
+    pub lp_millis: f64,
+    /// Wall time inside invariant generation/refinement, milliseconds.
+    pub invariant_millis: f64,
+}
+
+/// A coherent read of the registry at one point in time.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Jobs submitted to the scheduler.
+    pub jobs_submitted: u64,
+    /// Jobs that produced a result (any verdict, including cancelled).
+    pub jobs_completed: u64,
+    /// Completed jobs whose run was cancelled (explicitly or by deadline).
+    pub jobs_cancelled: u64,
+    /// Completed jobs answered from the result cache.
+    pub jobs_from_cache: u64,
+    /// Total time jobs spent queued before a worker picked them up,
+    /// milliseconds.
+    pub queue_wait_millis: f64,
+    /// Synthesis totals accumulated over all completed jobs.
+    pub totals: JobMetrics,
+}
+
+/// Wait-free accumulation of scheduler and synthesis counters.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_cancelled: AtomicU64,
+    jobs_from_cache: AtomicU64,
+    queue_wait_us: AtomicU64,
+    iterations: AtomicU64,
+    lp_instances: AtomicU64,
+    lp_pivots: AtomicU64,
+    lp_warm_hits: AtomicU64,
+    basis_reuses: AtomicU64,
+    farkas_cache_hits: AtomicU64,
+    smt_queries: AtomicU64,
+    counterexamples: AtomicU64,
+    refinements: AtomicU64,
+    synthesis_us: AtomicU64,
+    smt_us: AtomicU64,
+    lp_us: AtomicU64,
+    invariant_us: AtomicU64,
+}
+
+fn millis_to_us(millis: f64) -> u64 {
+    if millis.is_finite() && millis > 0.0 {
+        (millis * 1000.0) as u64
+    } else {
+        0
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Records one job entering the scheduler queue.
+    pub fn job_submitted(&self) {
+        self.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the queue wait of a job a worker just picked up.
+    pub fn queue_wait_micros(&self, micros: u64) {
+        self.queue_wait_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Merges a landed job's synthesis totals into the registry.
+    pub fn job_finished(&self, metrics: &JobMetrics, from_cache: bool, cancelled: bool) {
+        self.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        if cancelled {
+            self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        if from_cache {
+            self.jobs_from_cache.fetch_add(1, Ordering::Relaxed);
+        }
+        self.iterations
+            .fetch_add(metrics.iterations, Ordering::Relaxed);
+        self.lp_instances
+            .fetch_add(metrics.lp_instances, Ordering::Relaxed);
+        self.lp_pivots
+            .fetch_add(metrics.lp_pivots, Ordering::Relaxed);
+        self.lp_warm_hits
+            .fetch_add(metrics.lp_warm_hits, Ordering::Relaxed);
+        self.basis_reuses
+            .fetch_add(metrics.basis_reuses, Ordering::Relaxed);
+        self.farkas_cache_hits
+            .fetch_add(metrics.farkas_cache_hits, Ordering::Relaxed);
+        self.smt_queries
+            .fetch_add(metrics.smt_queries, Ordering::Relaxed);
+        self.counterexamples
+            .fetch_add(metrics.counterexamples, Ordering::Relaxed);
+        self.refinements
+            .fetch_add(metrics.refinements, Ordering::Relaxed);
+        self.synthesis_us
+            .fetch_add(millis_to_us(metrics.synthesis_millis), Ordering::Relaxed);
+        self.smt_us
+            .fetch_add(millis_to_us(metrics.smt_millis), Ordering::Relaxed);
+        self.lp_us
+            .fetch_add(millis_to_us(metrics.lp_millis), Ordering::Relaxed);
+        self.invariant_us
+            .fetch_add(millis_to_us(metrics.invariant_millis), Ordering::Relaxed);
+    }
+
+    /// Reads every counter. Individually exact; taken without a global lock.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            jobs_from_cache: self.jobs_from_cache.load(Ordering::Relaxed),
+            queue_wait_millis: self.queue_wait_us.load(Ordering::Relaxed) as f64 / 1000.0,
+            totals: JobMetrics {
+                iterations: self.iterations.load(Ordering::Relaxed),
+                lp_instances: self.lp_instances.load(Ordering::Relaxed),
+                lp_pivots: self.lp_pivots.load(Ordering::Relaxed),
+                lp_warm_hits: self.lp_warm_hits.load(Ordering::Relaxed),
+                basis_reuses: self.basis_reuses.load(Ordering::Relaxed),
+                farkas_cache_hits: self.farkas_cache_hits.load(Ordering::Relaxed),
+                smt_queries: self.smt_queries.load(Ordering::Relaxed),
+                counterexamples: self.counterexamples.load(Ordering::Relaxed),
+                refinements: self.refinements.load(Ordering::Relaxed),
+                synthesis_millis: self.synthesis_us.load(Ordering::Relaxed) as f64 / 1000.0,
+                smt_millis: self.smt_us.load(Ordering::Relaxed) as f64 / 1000.0,
+                lp_millis: self.lp_us.load(Ordering::Relaxed) as f64 / 1000.0,
+                invariant_millis: self.invariant_us.load(Ordering::Relaxed) as f64 / 1000.0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_merged_jobs() {
+        let registry = MetricsRegistry::new();
+        registry.job_submitted();
+        registry.job_submitted();
+        registry.queue_wait_micros(1_500);
+        registry.job_finished(
+            &JobMetrics {
+                iterations: 3,
+                lp_pivots: 40,
+                smt_queries: 7,
+                synthesis_millis: 12.5,
+                smt_millis: 4.25,
+                lp_millis: 2.0,
+                ..JobMetrics::default()
+            },
+            false,
+            false,
+        );
+        registry.job_finished(
+            &JobMetrics {
+                iterations: 1,
+                ..JobMetrics::default()
+            },
+            true,
+            true,
+        );
+        let snap = registry.snapshot();
+        assert_eq!(snap.jobs_submitted, 2);
+        assert_eq!(snap.jobs_completed, 2);
+        assert_eq!(snap.jobs_cancelled, 1);
+        assert_eq!(snap.jobs_from_cache, 1);
+        assert_eq!(snap.totals.iterations, 4);
+        assert_eq!(snap.totals.lp_pivots, 40);
+        assert_eq!(snap.totals.smt_queries, 7);
+        assert!((snap.queue_wait_millis - 1.5).abs() < 1e-9);
+        assert!((snap.totals.synthesis_millis - 12.5).abs() < 1e-3);
+        assert!((snap.totals.smt_millis - 4.25).abs() < 1e-3);
+        assert!((snap.totals.lp_millis - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn counters_are_monotone_under_concurrent_merges() {
+        let registry = std::sync::Arc::new(MetricsRegistry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let registry = std::sync::Arc::clone(&registry);
+                scope.spawn(move || {
+                    for _ in 0..250 {
+                        registry.job_submitted();
+                        registry.job_finished(
+                            &JobMetrics {
+                                iterations: 2,
+                                ..JobMetrics::default()
+                            },
+                            false,
+                            false,
+                        );
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        assert_eq!(snap.jobs_submitted, 1000);
+        assert_eq!(snap.jobs_completed, 1000);
+        assert_eq!(snap.totals.iterations, 2000);
+    }
+}

@@ -1,0 +1,209 @@
+//! A bounded lock-free ring buffer for trace events.
+//!
+//! Writers from any thread claim a position with one `fetch_add` and publish
+//! into the slot at `position % capacity`; when the buffer wraps, the oldest
+//! events are overwritten, so the ring always retains the most recent
+//! `capacity` events plus an exact count of how many were dropped. Each slot
+//! carries a sequence atomic whose value is either `EMPTY`, the `WRITING`
+//! claim marker, or `position + 1` of the completed write — the classic
+//! Vyukov per-slot handshake, adapted to overwrite-on-wrap semantics: a
+//! writer that laps a slot *while another writer is still mid-publish there*
+//! (which needs `capacity` intervening pushes within one publish, i.e. a
+//! pathological stall) drops its event rather than corrupting the slot.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::trace::TraceEvent;
+
+/// Slot sequence value meaning "never written".
+const EMPTY: u64 = 0;
+/// Slot sequence value meaning "a writer holds this slot".
+const WRITING: u64 = u64::MAX;
+
+struct Slot {
+    /// `EMPTY`, `WRITING`, or `position + 1` of the last completed write.
+    seq: AtomicU64,
+    payload: UnsafeCell<Option<TraceEvent>>,
+}
+
+/// Bounded multi-producer ring buffer that keeps the most recent events.
+pub struct RingBuffer {
+    slots: Box<[Slot]>,
+    /// Total number of positions ever claimed by writers.
+    head: AtomicU64,
+    /// Pushes abandoned because the claimed slot was still being written by
+    /// a lapped writer (distinct from ordinary overwrites, which are counted
+    /// arithmetically from `head`).
+    collisions: AtomicU64,
+}
+
+// SAFETY: the per-slot `seq` protocol grants exclusive access to `payload`:
+// a writer owns it between `swap(WRITING)` and the release store of
+// `pos + 1`; `drain` owns it between a successful CAS to `WRITING` and the
+// release store of `EMPTY`. No two owners can hold the same slot at once.
+unsafe impl Sync for RingBuffer {}
+
+impl RingBuffer {
+    /// Creates a ring holding at most `capacity` events (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                seq: AtomicU64::new(EMPTY),
+                payload: UnsafeCell::new(None),
+            })
+            .collect();
+        RingBuffer {
+            slots,
+            head: AtomicU64::new(0),
+            collisions: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of events the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total number of pushes ever attempted.
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Number of events no longer retrievable: overwritten on wrap, or
+    /// abandoned on a (pathological) writer collision.
+    pub fn dropped(&self) -> u64 {
+        let pushed = self.pushed();
+        let overwritten = pushed.saturating_sub(self.slots.len() as u64);
+        overwritten + self.collisions.load(Ordering::Relaxed)
+    }
+
+    /// Appends an event; on wrap the oldest retained event is overwritten.
+    pub fn push(&self, event: TraceEvent) {
+        let pos = self.head.fetch_add(1, Ordering::AcqRel);
+        let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+        let prev = slot.seq.swap(WRITING, Ordering::Acquire);
+        if prev == WRITING {
+            // A lapped writer is still publishing into this slot: back off
+            // and drop our event. The other writer's trailing store will
+            // restore a coherent sequence value.
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        // SAFETY: the WRITING swap above granted exclusive slot access.
+        unsafe {
+            *slot.payload.get() = Some(event);
+        }
+        slot.seq.store(pos + 1, Ordering::Release);
+    }
+
+    /// Takes the retained events in push order (oldest first) and empties
+    /// the ring. Intended for a single consumer at a quiescent point (end of
+    /// a job or a suite run); concurrent pushes are memory-safe but may be
+    /// missed by the drain that races them.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let head = self.pushed();
+        let cap = self.slots.len() as u64;
+        let start = head.saturating_sub(cap);
+        let mut out = Vec::with_capacity((head - start) as usize);
+        for pos in start..head {
+            let slot = &self.slots[(pos % cap) as usize];
+            if slot
+                .seq
+                .compare_exchange(pos + 1, WRITING, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                // SAFETY: the successful CAS granted exclusive slot access.
+                let payload = unsafe { (*slot.payload.get()).take() };
+                slot.seq.store(EMPTY, Ordering::Release);
+                if let Some(event) = payload {
+                    out.push(event);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EventKind, TraceEvent};
+
+    fn event(ts: u64) -> TraceEvent {
+        TraceEvent {
+            name: "e",
+            kind: EventKind::Instant,
+            ts_us: ts,
+            tid: 1,
+            args: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn retains_everything_under_capacity() {
+        let ring = RingBuffer::new(8);
+        for i in 0..5 {
+            ring.push(event(i));
+        }
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 5);
+        assert_eq!(ring.dropped(), 0);
+        assert_eq!(
+            drained.iter().map(|e| e.ts_us).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn wraparound_keeps_the_most_recent_n_and_counts_drops() {
+        let n = 16;
+        let ring = RingBuffer::new(n);
+        for i in 0..(2 * n as u64) {
+            ring.push(event(i));
+        }
+        assert_eq!(ring.dropped(), n as u64);
+        let drained = ring.drain();
+        assert_eq!(drained.len(), n);
+        // The survivors are exactly the second half, in push order.
+        assert_eq!(
+            drained.iter().map(|e| e.ts_us).collect::<Vec<_>>(),
+            (n as u64..2 * n as u64).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn drain_empties_the_ring() {
+        let ring = RingBuffer::new(4);
+        ring.push(event(0));
+        assert_eq!(ring.drain().len(), 1);
+        assert!(ring.drain().is_empty());
+        // New pushes after a drain are retained again.
+        ring.push(event(9));
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].ts_us, 9);
+    }
+
+    #[test]
+    fn concurrent_pushes_are_all_accounted_for() {
+        let ring = std::sync::Arc::new(RingBuffer::new(1024));
+        let threads = 8;
+        let per_thread = 1000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let ring = std::sync::Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        ring.push(event(t * per_thread + i));
+                    }
+                });
+            }
+        });
+        assert_eq!(ring.pushed(), threads * per_thread);
+        let retained = ring.drain().len() as u64;
+        assert_eq!(retained + ring.dropped(), threads * per_thread);
+        assert!(retained <= 1024);
+    }
+}

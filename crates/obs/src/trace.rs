@@ -1,0 +1,425 @@
+//! The recorder, span lifecycle, and thread-local handle.
+//!
+//! Instrumentation sites call [`crate::start_span`] / [`crate::record_event`]
+//! (usually through the [`crate::span!`] / [`crate::event!`] macros). Both
+//! first consult a thread-local `Option<Arc<Recorder>>`; when no recorder is
+//! installed the call is a branch on a null handle — no clock read, no
+//! allocation, no argument formatting (the macros only evaluate their
+//! arguments behind [`crate::enabled`]). Installing a recorder is scoped:
+//! [`install`] returns a guard that restores the previous handle on drop, so
+//! a per-job recorder can temporarily shadow a suite-wide one on the same
+//! worker thread.
+
+use std::cell::{Cell, RefCell};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::ring::RingBuffer;
+
+/// Default ring capacity for a per-job recorder: enough for every CEGIS /
+/// LP / SMT event of a typical benchmark with room to spare, small enough
+/// (a few MiB) to allocate per traced serve job.
+pub const DEFAULT_RING_CAPACITY: usize = 16 * 1024;
+
+/// Ring capacity suited to one recorder spanning a whole suite run.
+pub const SUITE_RING_CAPACITY: usize = 256 * 1024;
+
+/// A typed argument value attached to a span or event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Signed integer argument.
+    Int(i64),
+    /// Floating-point argument.
+    Float(f64),
+    /// Boolean argument.
+    Bool(bool),
+    /// String argument (job ids, engine names).
+    Str(String),
+}
+
+impl From<i64> for ArgValue {
+    fn from(v: i64) -> Self {
+        ArgValue::Int(v)
+    }
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::Int(i64::try_from(v).unwrap_or(i64::MAX))
+    }
+}
+
+impl From<u32> for ArgValue {
+    fn from(v: u32) -> Self {
+        ArgValue::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::Float(v)
+    }
+}
+
+impl From<bool> for ArgValue {
+    fn from(v: bool) -> Self {
+        ArgValue::Bool(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// Whether a recorded event is a closed span or an instantaneous mark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span that completed with the given duration.
+    Span {
+        /// Duration in microseconds.
+        dur_us: u64,
+    },
+    /// A point-in-time event.
+    Instant,
+}
+
+/// One recorded trace event. Timestamps are microseconds since the owning
+/// recorder's epoch; `tid` is a process-unique small integer assigned to
+/// each recording thread on first use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Static event name (`"lp_solve"`, `"cegis_iter"`, ...).
+    pub name: &'static str,
+    /// Span-with-duration or instantaneous.
+    pub kind: EventKind,
+    /// Start timestamp, microseconds since the recorder epoch.
+    pub ts_us: u64,
+    /// Recording thread's id (small, process-unique, assigned on first use).
+    pub tid: u64,
+    /// Named argument values.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Collects trace events from any number of threads into a bounded ring.
+pub struct Recorder {
+    ring: RingBuffer,
+    epoch: Instant,
+}
+
+impl fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Recorder")
+            .field("capacity", &self.ring.capacity())
+            .field("pushed", &self.ring.pushed())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Recorder {
+    /// Creates a recorder whose ring retains at most `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Recorder {
+            ring: RingBuffer::new(capacity),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since this recorder was created.
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Records an instantaneous event directly on this recorder (used by
+    /// callers that hold a handle instead of going through the thread-local
+    /// slot, e.g. the scheduler's submit path).
+    pub fn record_event(&self, name: &'static str, args: Vec<(&'static str, ArgValue)>) {
+        self.ring.push(TraceEvent {
+            name,
+            kind: EventKind::Instant,
+            ts_us: self.now_us(),
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    fn record_span(
+        &self,
+        name: &'static str,
+        ts_us: u64,
+        dur_us: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.ring.push(TraceEvent {
+            name,
+            kind: EventKind::Span { dur_us },
+            ts_us,
+            tid: current_tid(),
+            args,
+        });
+    }
+
+    /// Takes the retained events (oldest first) and empties the ring.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.ring.drain()
+    }
+
+    /// Number of events lost to the bounded ring (overwritten on wrap).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: Cell<u64> = const { Cell::new(0) };
+    static CURRENT: RefCell<Option<Arc<Recorder>>> = const { RefCell::new(None) };
+}
+
+fn current_tid() -> u64 {
+    TID.with(|tid| {
+        if tid.get() == 0 {
+            tid.set(NEXT_TID.fetch_add(1, Ordering::Relaxed));
+        }
+        tid.get()
+    })
+}
+
+/// Restores the previously installed recorder when dropped.
+#[must_use = "dropping the guard immediately uninstalls the recorder"]
+pub struct InstallGuard {
+    previous: Option<Arc<Recorder>>,
+}
+
+impl fmt::Debug for InstallGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstallGuard").finish_non_exhaustive()
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|current| {
+            *current.borrow_mut() = self.previous.take();
+        });
+    }
+}
+
+/// Installs `recorder` as this thread's active recorder until the returned
+/// guard is dropped (the previous recorder, if any, is restored).
+pub fn install(recorder: Arc<Recorder>) -> InstallGuard {
+    CURRENT.with(|current| InstallGuard {
+        previous: current.borrow_mut().replace(recorder),
+    })
+}
+
+/// The recorder installed on this thread, if any. Use this to propagate the
+/// active recorder into threads spawned mid-job (e.g. a portfolio race).
+pub fn installed() -> Option<Arc<Recorder>> {
+    CURRENT.with(|current| current.borrow().clone())
+}
+
+/// `true` when a recorder is installed on this thread. The macros check
+/// this before evaluating their arguments, so a disabled call site costs a
+/// thread-local read and a branch.
+pub fn enabled() -> bool {
+    CURRENT.with(|current| current.borrow().is_some())
+}
+
+/// An open span; records a [`EventKind::Span`] event on drop. When tracing
+/// is disabled the span is inert and drop does nothing.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span(Option<SpanInner>);
+
+struct SpanInner {
+    recorder: Arc<Recorder>,
+    name: &'static str,
+    start_us: u64,
+    args: Vec<(&'static str, ArgValue)>,
+}
+
+impl fmt::Debug for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Span")
+            .field("enabled", &self.0.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Span {
+    /// The inert span returned when no recorder is installed.
+    pub fn disabled() -> Span {
+        Span(None)
+    }
+
+    /// `true` when this span will record on drop.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Attaches an argument discovered mid-span (e.g. the pivot count once
+    /// an LP solve returns). No-op on a disabled span.
+    pub fn arg(&mut self, name: &'static str, value: impl Into<ArgValue>) {
+        if let Some(inner) = &mut self.0 {
+            inner.args.push((name, value.into()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.0.take() {
+            let dur_us = inner.recorder.now_us().saturating_sub(inner.start_us);
+            inner
+                .recorder
+                .record_span(inner.name, inner.start_us, dur_us, inner.args);
+        }
+    }
+}
+
+/// Opens a span against this thread's recorder; inert when none is
+/// installed. Prefer the [`crate::span!`] macro, which skips argument
+/// evaluation entirely on the disabled path.
+pub fn start_span(name: &'static str, args: Vec<(&'static str, ArgValue)>) -> Span {
+    match installed() {
+        Some(recorder) => {
+            let start_us = recorder.now_us();
+            Span(Some(SpanInner {
+                recorder,
+                name,
+                start_us,
+                args,
+            }))
+        }
+        None => Span(None),
+    }
+}
+
+/// Records an instantaneous event against this thread's recorder; no-op when
+/// none is installed. Prefer the [`crate::event!`] macro.
+pub fn record_event(name: &'static str, args: Vec<(&'static str, ArgValue)>) {
+    if let Some(recorder) = installed() {
+        recorder.record_event(name, args);
+    }
+}
+
+/// Opens a span named `$name`, with optional `key = value` arguments. The
+/// arguments are only evaluated when a recorder is installed; the disabled
+/// path is a thread-local read and a branch.
+#[macro_export]
+macro_rules! span {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::start_span(
+                $name,
+                vec![$((stringify!($key), $crate::ArgValue::from($value))),*],
+            )
+        } else {
+            $crate::Span::disabled()
+        }
+    };
+}
+
+/// Records an instantaneous event named `$name`, with optional `key = value`
+/// arguments. The arguments are only evaluated when a recorder is installed.
+#[macro_export]
+macro_rules! event {
+    ($name:literal $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::record_event(
+                $name,
+                vec![$((stringify!($key), $crate::ArgValue::from($value))),*],
+            );
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_path_records_nothing_and_costs_no_recorder() {
+        assert!(!enabled());
+        let mut span = span!("noop", ignored = 1i64);
+        span.arg("late", 2i64);
+        drop(span);
+        event!("noop_event", x = 3i64);
+        assert!(installed().is_none());
+    }
+
+    #[test]
+    fn install_guard_scopes_and_restores() {
+        let outer = Arc::new(Recorder::new(64));
+        let inner = Arc::new(Recorder::new(64));
+        {
+            let _g1 = install(Arc::clone(&outer));
+            assert!(enabled());
+            {
+                let _g2 = install(Arc::clone(&inner));
+                event!("inner_event");
+            }
+            // The outer recorder is restored after the inner guard drops.
+            event!("outer_event");
+        }
+        assert!(!enabled());
+        let inner_events = inner.drain();
+        assert_eq!(inner_events.len(), 1);
+        assert_eq!(inner_events[0].name, "inner_event");
+        let outer_events = outer.drain();
+        assert_eq!(outer_events.len(), 1);
+        assert_eq!(outer_events[0].name, "outer_event");
+    }
+
+    #[test]
+    fn span_records_duration_and_late_args() {
+        let recorder = Arc::new(Recorder::new(64));
+        let _guard = install(Arc::clone(&recorder));
+        {
+            let mut span = span!("work", rows = 3usize);
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            span.arg("pivots", 17usize);
+        }
+        let events = recorder.drain();
+        assert_eq!(events.len(), 1);
+        let event = &events[0];
+        assert_eq!(event.name, "work");
+        match event.kind {
+            EventKind::Span { dur_us } => assert!(dur_us >= 1_000, "slept 2ms, got {dur_us}us"),
+            EventKind::Instant => panic!("span must record a Span event"),
+        }
+        assert_eq!(
+            event.args,
+            vec![("rows", ArgValue::Int(3)), ("pivots", ArgValue::Int(17)),]
+        );
+    }
+
+    #[test]
+    fn events_interleave_in_timestamp_order_per_thread() {
+        let recorder = Arc::new(Recorder::new(64));
+        let _guard = install(Arc::clone(&recorder));
+        event!("a");
+        event!("b", flag = true);
+        let events = recorder.drain();
+        assert_eq!(events.len(), 2);
+        assert!(events[0].ts_us <= events[1].ts_us);
+        assert_eq!(events[1].args, vec![("flag", ArgValue::Bool(true))]);
+        assert_eq!(events[0].tid, events[1].tid);
+    }
+}

@@ -37,6 +37,7 @@ pub use termite_ir as ir;
 pub use termite_linalg as linalg;
 pub use termite_lp as lp;
 pub use termite_num as num;
+pub use termite_obs as obs;
 pub use termite_polyhedra as polyhedra;
 pub use termite_sat as sat;
 pub use termite_smt as smt;
