@@ -137,6 +137,10 @@ pub enum UnknownReason {
     /// A resource budget (counterexample iterations, DNF disjuncts) was
     /// exhausted before the search completed.
     ResourceBudget,
+    /// The engine itself failed (a worker-thread panic caught at the
+    /// scheduler's isolation boundary). Says nothing about the program; the
+    /// same job may succeed on a retry or another engine.
+    EngineFailure,
 }
 
 impl fmt::Display for UnknownReason {
@@ -145,6 +149,7 @@ impl fmt::Display for UnknownReason {
             UnknownReason::NoRankingFunction => write!(f, "no ranking function"),
             UnknownReason::Cancelled => write!(f, "cancelled"),
             UnknownReason::ResourceBudget => write!(f, "resource budget exhausted"),
+            UnknownReason::EngineFailure => write!(f, "engine failure"),
         }
     }
 }

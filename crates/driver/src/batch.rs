@@ -105,6 +105,7 @@ pub fn run_batch(
             scheduler.submit(
                 TaskSpec {
                     id: index.to_string(),
+                    client: 0,
                     job,
                     selection: None,
                     timeout: None,

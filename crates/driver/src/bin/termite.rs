@@ -5,6 +5,7 @@
 //!                        [--trace FILE]
 //! termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
 //!               [--max-inflight K] [--timeout-ms N] [--stats-every N]
+//!               [--listen ADDR:PORT] [--drain-ms N]
 //! termite suite <name|all> [--engine E | --portfolio] [--jobs N] [--shard k/n]
 //!                          [--json FILE] [--cache FILE] [--timeout-ms N] [--trace FILE]
 //! termite merge-reports <out.json> <in1.json> <in2.json> [...]
@@ -14,7 +15,9 @@
 //! ```
 //!
 //! `analyze` proves one program of the mini-language; `serve` runs the
-//! long-lived NDJSON analysis service on stdin/stdout (see
+//! long-lived NDJSON analysis service on stdin/stdout — or, with
+//! `--listen addr:port`, as a fault-tolerant multi-tenant TCP daemon that
+//! drains gracefully on SIGTERM or the `{"shutdown": true}` verb (see
 //! `termite_driver::serve` for the wire protocol: jobs in, per-job verdicts
 //! streamed back out of order the moment each lands, `{"cancel": id}`
 //! control messages, bounded in-flight window); `suite` batch-analyses
@@ -37,8 +40,9 @@ use termite_bench::{format_table, prepare_suite, run_suite};
 use termite_core::{AnalysisOptions, CancelToken, Engine};
 use termite_driver::json::Json;
 use termite_driver::{
-    cache_key, parse_selection, report_to_json, run_batch, serve, verdict_name, verdict_rank,
-    AnalysisJob, BatchConfig, BatchResult, BatchTotals, EngineSelection, ResultCache, ServeConfig,
+    cache_key, install_sigterm_handler, parse_selection, report_to_json, run_batch, serve,
+    serve_tcp, verdict_name, verdict_rank, AnalysisJob, BatchConfig, BatchResult, BatchTotals,
+    EngineSelection, ResultCache, ServeConfig,
 };
 use termite_invariants::InvariantOptions;
 use termite_ir::parse_named_program;
@@ -49,6 +53,7 @@ const USAGE: &str = "usage:
                          [--trace FILE]
   termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
                 [--max-inflight K] [--timeout-ms N] [--stats-every N]
+                [--listen ADDR:PORT] [--drain-ms N]
   termite suite <polybench|sorts|termcomp|wtc|all> [--engine E | --portfolio]
                 [--jobs N] [--shard k/n] [--json FILE] [--cache FILE] [--timeout-ms N]
                 [--trace FILE]
@@ -60,6 +65,13 @@ const USAGE: &str = "usage:
 engines: termite (default), eager, pr, heuristic";
 
 fn main() -> ExitCode {
+    // `TERMITE_FAULTS` arms deterministic failure points (worker panics,
+    // stalls, torn cache writes, dropped connections) for chaos testing;
+    // unset, this is a no-op and the fault checks stay on their fast path.
+    if let Err(message) = termite_driver::faults::arm_from_env() {
+        eprintln!("termite: TERMITE_FAULTS: {message}");
+        return ExitCode::from(2);
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(code) => code,
@@ -90,6 +102,13 @@ struct Flags {
     /// `--stats-every N` (serve only): print a metrics summary line to
     /// stderr every N seconds.
     stats_every: Option<Duration>,
+    /// `--listen ADDR:PORT` (serve only): accept NDJSON sessions over TCP
+    /// instead of stdin/stdout, multiplexing any number of clients onto one
+    /// scheduler.
+    listen: Option<String>,
+    /// `--drain-ms N` (serve only): how long a graceful shutdown waits for
+    /// in-flight jobs before cancelling the stragglers.
+    drain_ms: Option<u64>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -103,6 +122,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         max_inflight: None,
         trace_path: None,
         stats_every: None,
+        listen: None,
+        drain_ms: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -157,6 +178,13 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.timeout = Some(Duration::from_millis(ms));
             }
             "--trace" => flags.trace_path = Some(PathBuf::from(value("--trace")?)),
+            "--listen" => flags.listen = Some(value("--listen")?),
+            "--drain-ms" => {
+                let ms = value("--drain-ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "--drain-ms needs an integer (milliseconds)")?;
+                flags.drain_ms = Some(ms);
+            }
             "--stats-every" => {
                 let secs = value("--stats-every")?
                     .parse::<u64>()
@@ -191,6 +219,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             if flags.stats_every.is_some() {
                 return Err("analyze does not support --stats-every (serve only)".to_string());
             }
+            if flags.listen.is_some() {
+                return Err("analyze does not support --listen (serve only)".to_string());
+            }
+            if flags.drain_ms.is_some() {
+                return Err("analyze does not support --drain-ms (serve only)".to_string());
+            }
             analyze(file, flags)
         }
         Some("serve") => {
@@ -218,6 +252,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             }
             if flags.stats_every.is_some() {
                 return Err("suite does not support --stats-every (serve only)".to_string());
+            }
+            if flags.listen.is_some() {
+                return Err("suite does not support --listen (serve only)".to_string());
+            }
+            if flags.drain_ms.is_some() {
+                return Err("suite does not support --drain-ms (serve only)".to_string());
             }
             suite_command(name, flags)
         }
@@ -261,36 +301,65 @@ fn analyze(file: &str, flags: Flags) -> Result<ExitCode, String> {
     })
 }
 
-/// The long-lived NDJSON analysis service on stdin/stdout: reads job
+/// The long-lived NDJSON analysis service: on stdin/stdout it reads job
 /// requests line by line, streams one response line per job the moment it
 /// lands (out of order, tagged by id), and exits once stdin closes and every
-/// accepted job has answered. On shutdown the cache (when given) is
+/// accepted job has answered; with `--listen` it serves the same protocol to
+/// any number of concurrent TCP clients until a graceful shutdown (SIGTERM
+/// or the `{"shutdown": true}` verb). On shutdown the cache (when given) is
 /// persisted and a one-line stats summary goes to stderr.
 fn serve_command(flags: Flags) -> Result<ExitCode, String> {
-    let cache = match &flags.cache_path {
-        Some(path) => Some(ResultCache::load(path)?),
-        None => None,
-    };
+    // A daemon must come up even if a crash left the cache file torn:
+    // quarantine-and-warn, never die on load.
+    let cache = flags
+        .cache_path
+        .as_deref()
+        .map(ResultCache::load_or_quarantine);
+    // The one authoritative defaults live in `ServeConfig::default()`.
+    let defaults = ServeConfig::default();
     let config = ServeConfig {
         workers: flags.jobs,
         selection: flags.selection.clone(),
         options: AnalysisOptions::default().with_cancel(CancelToken::new()),
         job_timeout: flags.timeout,
-        // The one authoritative default lives in `ServeConfig::default()`.
-        max_inflight: flags
-            .max_inflight
-            .unwrap_or_else(|| ServeConfig::default().max_inflight),
+        max_inflight: flags.max_inflight.unwrap_or(defaults.max_inflight),
         stats_every: flags.stats_every,
+        drain_timeout: flags
+            .drain_ms
+            .map(Duration::from_millis)
+            .unwrap_or(defaults.drain_timeout),
+        // SIGTERM only drives the TCP daemon: a stdin session ends when its
+        // pipe closes, and std retries interrupted stdin reads, so a handler
+        // would only stop plain `kill` from working there.
+        shutdown_flag: flags.listen.as_ref().map(|_| install_sigterm_handler()),
     };
-    eprintln!(
-        "termite serve: {} worker(s), window {}, reading NDJSON jobs from stdin ...",
-        config.workers, config.max_inflight
-    );
-    // `StdinLock` holds a `MutexGuard` and cannot move to the intake thread;
-    // the unlocked handle re-locks per read, which is fine at line granularity.
-    let stdin = std::io::BufReader::new(std::io::stdin());
-    let stdout = std::io::stdout();
-    let outcome = serve(stdin, stdout.lock(), &config, cache.as_ref());
+    let outcome = match &flags.listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr.as_str())
+                .map_err(|e| format!("listen on {addr}: {e}"))?;
+            let local = listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| addr.clone());
+            eprintln!(
+                "termite serve: {} worker(s), window {} per client, listening on {local} ...",
+                config.workers, config.max_inflight
+            );
+            serve_tcp(listener, &config, cache.as_ref())
+        }
+        None => {
+            eprintln!(
+                "termite serve: {} worker(s), window {}, reading NDJSON jobs from stdin ...",
+                config.workers, config.max_inflight
+            );
+            // `StdinLock` holds a `MutexGuard` and cannot move to the intake
+            // thread; the unlocked handle re-locks per read, which is fine at
+            // line granularity.
+            let stdin = std::io::BufReader::new(std::io::stdin());
+            let stdout = std::io::stdout();
+            serve(stdin, stdout.lock(), &config, cache.as_ref())
+        }
+    };
     // Persist the cache even when the session died on a broken output pipe:
     // the results were computed either way, and losing them would make the
     // most common failure mode (the consumer going away) also the most
@@ -301,8 +370,13 @@ fn serve_command(flags: Flags) -> Result<ExitCode, String> {
     }
     let summary = outcome?;
     eprintln!(
-        "termite serve: {} ok, {} cancelled, {} errors, {} stats",
-        summary.ok, summary.cancelled, summary.errors, summary.stats
+        "termite serve: {} ok, {} cancelled, {} errors ({} worker panics), {} stats, {} shutdowns",
+        summary.ok,
+        summary.cancelled,
+        summary.errors,
+        summary.panicked,
+        summary.stats,
+        summary.shutdowns
     );
     Ok(ExitCode::SUCCESS)
 }

@@ -12,14 +12,18 @@
 //!
 //! The store is an in-memory map behind a mutex, optionally persisted to a
 //! JSON file ([`ResultCache::load`] / [`ResultCache::save`]) so cache state
-//! survives across `termite` CLI invocations.
+//! survives across `termite` CLI invocations. Saves are atomic
+//! (write-then-rename), and long-lived consumers recover from a corrupt
+//! file via [`ResultCache::load_or_quarantine`] — the damaged file is moved
+//! aside and the service starts with an empty cache instead of dying.
 
 use crate::job::AnalysisJob;
 use crate::json::Json;
+use crate::lock;
 use crate::portfolio::EngineSelection;
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use termite_core::{
@@ -159,13 +163,7 @@ impl ResultCache {
 
     /// Looks up a key, counting a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<TerminationReport> {
-        let found = self
-            .map
-            .lock()
-            .unwrap()
-            .entries
-            .get(key)
-            .map(|e| e.report.clone());
+        let found = lock(&self.map).entries.get(key).map(|e| e.report.clone());
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -177,7 +175,7 @@ impl ResultCache {
     /// measured here, once per store, so size probes stay O(1).
     pub fn store(&self, key: String, report: TerminationReport) {
         let bytes = entry_bytes(&key, &report);
-        let mut map = self.map.lock().unwrap();
+        let mut map = lock(&self.map);
         if let Some(old) = map.entries.insert(
             key,
             CacheEntry {
@@ -194,7 +192,7 @@ impl ResultCache {
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().entries.len()
+        lock(&self.map).entries.len()
     }
 
     /// `true` when no entry is stored.
@@ -233,7 +231,7 @@ impl ResultCache {
         let Some(Json::Object(entries)) = doc.get("entries") else {
             return Err(format!("{path:?}: missing `entries` object"));
         };
-        let mut map = cache.map.lock().unwrap();
+        let mut map = lock(&cache.map);
         for (key, value) in entries {
             let report = report_from_json(value)?;
             // Footprints are measured in the *current* schema: a migrated v1
@@ -253,9 +251,35 @@ impl ResultCache {
         Ok(cache)
     }
 
+    /// [`load`](Self::load) for long-lived consumers: a corrupt or
+    /// unreadable cache file is *quarantined* — renamed to `<path>.corrupt`
+    /// with a stderr warning — and an empty cache is returned, so the
+    /// service starts degraded instead of dying on a torn write left by a
+    /// crash. `load` itself stays strict: a batch run asked to use a
+    /// specific cache file should fail loudly, not silently recompute.
+    pub fn load_or_quarantine(path: &Path) -> Self {
+        let error = match ResultCache::load(path) {
+            Ok(cache) => return cache,
+            Err(error) => error,
+        };
+        let mut quarantine = PathBuf::from(path.as_os_str().to_os_string());
+        quarantine.as_mut_os_string().push(".corrupt");
+        match std::fs::rename(path, &quarantine) {
+            Ok(()) => eprintln!(
+                "termite: cache {path:?} is unusable ({error}); quarantined to {quarantine:?}, \
+                 starting with an empty cache"
+            ),
+            Err(rename_error) => eprintln!(
+                "termite: cache {path:?} is unusable ({error}) and could not be quarantined \
+                 ({rename_error}); starting with an empty cache"
+            ),
+        }
+        ResultCache::new()
+    }
+
     /// The whole cache as one on-disk JSON document.
     fn to_json(&self) -> Json {
-        let map = self.map.lock().unwrap();
+        let map = lock(&self.map);
         Json::Object(
             [
                 ("version".to_string(), Json::Number(FORMAT_VERSION)),
@@ -282,7 +306,7 @@ impl ResultCache {
     /// probe never re-serializes the cache. Pinned byte-exact against the
     /// real serializer by a test.
     pub fn serialized_bytes(&self) -> usize {
-        let map = self.map.lock().unwrap();
+        let map = lock(&self.map);
         let commas = map.entries.len().saturating_sub(1);
         ENVELOPE_BYTES + map.payload_bytes + commas
     }
@@ -310,6 +334,16 @@ impl ResultCache {
     pub fn save(&self, path: &Path) -> Result<usize, String> {
         let text = self.to_json().to_string();
         let bytes = text.len();
+        // The `cache_torn_write` fault simulates a crash mid-save: half the
+        // document lands *directly at the destination*, skipping the
+        // write-then-rename discipline — exactly the corruption the rename
+        // exists to prevent and `load_or_quarantine` exists to survive.
+        // (Byte slicing is safe: the torn file is meant to be garbage.)
+        if crate::faults::cache_torn_write(&path.to_string_lossy()) {
+            let torn = &text.as_bytes()[..bytes / 2];
+            std::fs::write(path, torn).map_err(|e| format!("write {path:?}: {e}"))?;
+            return Ok(bytes / 2);
+        }
         let tmp = path.with_extension("tmp");
         std::fs::write(&tmp, text).map_err(|e| format!("write {tmp:?}: {e}"))?;
         std::fs::rename(&tmp, path).map_err(|e| format!("rename to {path:?}: {e}"))?;
@@ -458,6 +492,7 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
                 UnknownReason::NoRankingFunction => "no-ranking-function",
                 UnknownReason::Cancelled => "cancelled",
                 UnknownReason::ResourceBudget => "resource-budget",
+                UnknownReason::EngineFailure => "engine-failure",
             }
             .to_string(),
         ),
@@ -567,6 +602,7 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
     let unknown_reason = || match json.get("unknown_reason").and_then(Json::as_str) {
         Some("cancelled") => UnknownReason::Cancelled,
         Some("resource-budget") => UnknownReason::ResourceBudget,
+        Some("engine-failure") => UnknownReason::EngineFailure,
         // v1 records (and v2 "no-ranking-function") land here.
         _ => UnknownReason::NoRankingFunction,
     };
@@ -914,5 +950,66 @@ mod tests {
         std::fs::write(&garbage, "{\"version\": 99}").unwrap();
         assert!(ResultCache::load(&garbage).is_err());
         let _ = std::fs::remove_file(&garbage);
+    }
+
+    #[test]
+    fn corrupt_cache_is_quarantined_not_fatal() {
+        let path = std::env::temp_dir().join("termite-driver-quarantine-cache.json");
+        let quarantine = std::env::temp_dir().join("termite-driver-quarantine-cache.json.corrupt");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantine);
+
+        // A healthy file survives load_or_quarantine untouched.
+        ResultCache::new().save(&path).unwrap();
+        assert!(ResultCache::load_or_quarantine(&path).is_empty());
+        assert!(path.exists());
+        assert!(!quarantine.exists());
+
+        // A torn file is moved aside and an empty cache comes back.
+        std::fs::write(&path, "{\"version\": 2, \"entri").unwrap();
+        let cache = ResultCache::load_or_quarantine(&path);
+        assert!(cache.is_empty());
+        assert!(!path.exists(), "the corrupt file must be moved away");
+        assert!(quarantine.exists(), "the corrupt file must be preserved");
+
+        // With the corruption quarantined, the path is usable again.
+        cache.save(&path).unwrap();
+        assert!(ResultCache::load(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantine);
+    }
+
+    #[test]
+    fn torn_write_fault_produces_a_file_quarantine_recovers_from() {
+        let path = std::env::temp_dir().join("termite-driver-torn-write-cache.json");
+        let _ = std::fs::remove_file(&path);
+        let quarantine = std::env::temp_dir().join("termite-driver-torn-write-cache.json.corrupt");
+        let _ = std::fs::remove_file(&quarantine);
+
+        let cache = ResultCache::new();
+        let j = job("var x; while (x > 0) { x = x - 1; }");
+        let report = prove_transition_system(&j.ts, &j.invariants, &AnalysisOptions::default());
+        cache.store("00000000000000cc".to_string(), report);
+        let full_bytes = cache.serialized_bytes();
+
+        {
+            // Path-scoped: a concurrently running test saving its own cache
+            // file must not consume this point.
+            let _faults = crate::faults::arm("cache_torn_write=torn-write-cache").unwrap();
+            let written = cache.save(&path).unwrap();
+            assert_eq!(written, full_bytes / 2, "the save must be truncated");
+        }
+        assert!(
+            ResultCache::load(&path).is_err(),
+            "a torn file must not parse"
+        );
+        assert!(ResultCache::load_or_quarantine(&path).is_empty());
+        assert!(quarantine.exists());
+
+        // Disarmed, the same save is atomic again and round-trips.
+        assert_eq!(cache.save(&path).unwrap(), full_bytes);
+        assert_eq!(ResultCache::load(&path).unwrap().len(), 1);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&quarantine);
     }
 }

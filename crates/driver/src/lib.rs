@@ -69,8 +69,10 @@
 
 mod batch;
 mod cache;
+pub mod faults;
 mod job;
 pub mod json;
+mod net;
 mod portfolio;
 mod service;
 
@@ -80,8 +82,20 @@ pub use cache::{
     verdict_name, verdict_rank, CacheStats, ResultCache,
 };
 pub use job::AnalysisJob;
+pub use net::{install_sigterm_handler, serve_tcp};
 pub use portfolio::{parse_selection, run_selection, EngineSelection, PortfolioOutcome};
 pub use service::{
-    serve, with_scheduler, SchedulerConfig, SchedulerHandle, ServeConfig, ServeSummary,
-    TaskOutcome, TaskSpec,
+    parse_request, serve, with_scheduler, Request, SchedulerConfig, SchedulerHandle, ServeConfig,
+    ServeSummary, TaskOutcome, TaskSpec,
 };
+
+/// Locks a mutex, recovering the guard from a poisoned lock. With worker
+/// panics caught at the scheduler's isolation boundary, a poisoned mutex
+/// means a panic unwound *through* a critical section; the protected data is
+/// bookkeeping (counters, id maps) whose worst case after such an unwind is
+/// one already-failed job, so recovering beats wedging the whole service.
+pub(crate) fn lock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}

@@ -1,0 +1,283 @@
+//! TCP transport for the NDJSON analysis service.
+//!
+//! [`serve`](crate::serve) speaks the wire protocol over one
+//! `BufRead`/`Write` pair; this module runs the *same* session machinery
+//! behind a listening socket instead: an accept loop hands each connection
+//! its own intake/egress pair, all feeding the one shared scheduler — the
+//! daemon shape of `termite serve --listen addr:port`.
+//!
+//! ```text
+//!             ┌─ conn 1: intake ─┐             ┌─ conn 1: egress
+//!   accept ───┼─ conn 2: intake ─┼─▶ scheduler ┼─ conn 2: egress
+//!             └─ conn 3: intake ─┘  (shared,   └─ conn 3: egress
+//!                                   fair queue)
+//! ```
+//!
+//! Isolation properties (the whole point of the daemon shape):
+//!
+//! * each connection has its own in-flight window (per-tenant quota), id
+//!   namespace, and cancel scope;
+//! * tasks are dequeued round-robin across connections, so one client
+//!   flooding its window cannot starve the others;
+//! * a client disconnecting (read error, failed response write) has its
+//!   in-flight jobs cancelled and its window slots freed — everyone else is
+//!   undisturbed;
+//! * a half-close (clean EOF on the read side) is *not* a disconnect: the
+//!   client stops submitting but still receives every pending response;
+//! * SIGTERM (via [`install_sigterm_handler`]) and the `{"shutdown": true}`
+//!   verb both begin the same graceful drain: intake stops everywhere,
+//!   in-flight jobs land under the drain deadline, stragglers past it are
+//!   cancelled.
+
+use crate::cache::ResultCache;
+use crate::service::{
+    run_client, ticker_loop, with_scheduler, ClientState, LineRead, LineSource, SchedulerHandle,
+    ServeConfig, ServeShared, ServeSummary,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a blocked connection read waits before re-checking the stop
+/// predicate (shutdown, disconnect). Short enough that drains feel prompt,
+/// long enough to cost nothing.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(25);
+
+/// [`LineSource`] over a [`TcpStream`]: a read timeout turns the blocking
+/// read into a poll, so shutdown and disconnect are observed within
+/// [`READ_POLL`] even when the client sends nothing. Bytes of a partial
+/// line survive across polls.
+struct TcpLineSource {
+    stream: TcpStream,
+    pending: Vec<u8>,
+}
+
+impl TcpLineSource {
+    fn new(stream: TcpStream) -> std::io::Result<Self> {
+        stream.set_read_timeout(Some(READ_POLL))?;
+        Ok(TcpLineSource {
+            stream,
+            pending: Vec::new(),
+        })
+    }
+
+    /// Splits the first complete line off `pending` (terminator stripped,
+    /// invalid UTF-8 replaced).
+    fn take_line(&mut self, newline_at: usize) -> LineRead {
+        let mut line: Vec<u8> = self.pending.drain(..=newline_at).collect();
+        line.pop();
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        LineRead::Line(String::from_utf8_lossy(&line).into_owned())
+    }
+}
+
+impl LineSource for TcpLineSource {
+    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> LineRead {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(at) = self.pending.iter().position(|b| *b == b'\n') {
+                return self.take_line(at);
+            }
+            if stop() {
+                return LineRead::Stopped;
+            }
+            match self.stream.read(&mut buf) {
+                // Clean EOF: the peer half-closed its send side. A final
+                // unterminated line is still delivered first.
+                Ok(0) => {
+                    if self.pending.is_empty() {
+                        return LineRead::Eof;
+                    }
+                    let mut line = std::mem::take(&mut self.pending);
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return LineRead::Line(String::from_utf8_lossy(&line).into_owned());
+                }
+                Ok(n) => self.pending.extend_from_slice(&buf[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue;
+                }
+                Err(e) => return LineRead::Failed(format!("read request line: {e}")),
+            }
+        }
+    }
+}
+
+/// Serves the NDJSON protocol to any number of concurrent TCP clients until
+/// a shutdown — the `{"shutdown": true}` verb from any client, or the
+/// external [`ServeConfig::shutdown_flag`] — drains the session.
+///
+/// Every connection shares one scheduler (and the optional result cache);
+/// see the module docs for the isolation properties. Returns the summed
+/// totals of all connections; unlike [`serve`](crate::serve), a broken
+/// client transport is *not* an error — that client's jobs are cancelled
+/// and the daemon keeps serving the rest.
+pub fn serve_tcp(
+    listener: TcpListener,
+    config: &ServeConfig,
+    cache: Option<&ResultCache>,
+) -> Result<ServeSummary, String> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("listener: {e}"))?;
+    let shared = ServeShared::new(config, cache);
+    let scheduler_config = shared.scheduler_config();
+    let ticker_stop = (Mutex::new(false), Condvar::new());
+    let totals = Mutex::new(ServeSummary::default());
+    let mut clients_served: u64 = 0;
+
+    let summary = with_scheduler(&scheduler_config, cache, |scheduler| {
+        std::thread::scope(|scope| {
+            let shared_ref = &shared;
+            let ticker_stop = &ticker_stop;
+            let totals = &totals;
+            scope.spawn(move || shared_ref.watchdog());
+            if let Some(every) = config.stats_every {
+                let registry = std::sync::Arc::clone(shared_ref.registry());
+                scope.spawn(move || ticker_loop(&registry, every, ticker_stop));
+            }
+
+            let mut connections = Vec::new();
+            loop {
+                shared_ref.poll_external();
+                if shared_ref.shutting_down() || config.options.cancel.is_cancelled() {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, peer)) => {
+                        clients_served += 1;
+                        let client = clients_served;
+                        eprintln!("termite serve: client {client} connected ({peer})");
+                        connections.push((
+                            client,
+                            scope.spawn(move || {
+                                handle_connection(client, stream, scheduler, shared_ref)
+                            }),
+                        ));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) => {
+                        eprintln!("termite serve: accept failed: {e}");
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                }
+            }
+
+            // Joined explicitly, *before* the watchdog is released: the
+            // scope's implicit join would deadlock — the watchdog only exits
+            // once `finish()` runs, and `finish()` must not run while
+            // connections are still draining.
+            for (client, handle) in connections {
+                match handle.join() {
+                    Ok(summary) => crate::lock(totals).merge(&summary),
+                    Err(_) => {
+                        eprintln!("termite serve: client {client}: session thread panicked");
+                    }
+                }
+            }
+            shared_ref.finish();
+            *crate::lock(&ticker_stop.0) = true;
+            ticker_stop.1.notify_all();
+        });
+        *crate::lock(&totals)
+    });
+
+    let s = shared.registry().snapshot();
+    eprintln!(
+        "termite serve: shutdown complete: {clients_served} clients served; {} submitted, {} \
+         completed ({} cached, {} cancelled, {} panicked)",
+        s.jobs_submitted, s.jobs_completed, s.jobs_from_cache, s.jobs_cancelled, s.jobs_panicked,
+    );
+    Ok(summary)
+}
+
+/// One connection's session: wraps the socket in a line source (reads) and
+/// writes responses straight back to the same socket, with
+/// `disconnect_cancels` semantics — this client's death frees its jobs and
+/// nothing else.
+fn handle_connection(
+    client: u64,
+    stream: TcpStream,
+    scheduler: &SchedulerHandle<'_>,
+    shared: &ServeShared<'_>,
+) -> ServeSummary {
+    let state = ClientState::new(client, shared.max_inflight());
+    let mut source = match stream.try_clone().and_then(TcpLineSource::new) {
+        Ok(source) => source,
+        Err(e) => {
+            eprintln!("termite serve: client {client}: socket setup failed: {e}");
+            return ServeSummary::default();
+        }
+    };
+    let (summary, _write_error) = run_client(
+        &mut source,
+        WriteHalf(&stream),
+        scheduler,
+        shared,
+        &state,
+        true,
+    );
+    let _ = stream.shutdown(Shutdown::Both);
+    eprintln!(
+        "termite serve: client {client} session ended ({} ok, {} cancelled, {} errors)",
+        summary.ok, summary.cancelled, summary.errors
+    );
+    summary
+}
+
+/// The write half of a connection (`&TcpStream` implements [`Write`], but a
+/// newtype keeps the borrow explicit next to the reading clone).
+struct WriteHalf<'a>(&'a TcpStream);
+
+impl Write for WriteHalf<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
+    }
+}
+
+/// The process-wide SIGTERM flag [`install_sigterm_handler`] flips. Static
+/// because a C signal handler cannot capture state.
+static SIGTERM: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGTERM handler that flips a flag suitable for
+/// [`ServeConfig::shutdown_flag`]: on SIGTERM the daemon begins the same
+/// graceful drain as the `{"shutdown": true}` verb. Returns the flag.
+///
+/// Only async-signal-safe work happens in the handler (one atomic store);
+/// the serve loops poll the flag. On non-Unix targets this returns the flag
+/// without installing anything.
+pub fn install_sigterm_handler() -> &'static AtomicBool {
+    #[cfg(unix)]
+    {
+        const SIGTERM_NUM: i32 = 15;
+        extern "C" fn on_sigterm(_signum: i32) {
+            SIGTERM.store(true, Ordering::SeqCst);
+        }
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        unsafe {
+            signal(SIGTERM_NUM, on_sigterm as *const () as usize);
+        }
+    }
+    &SIGTERM
+}

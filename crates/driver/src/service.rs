@@ -37,6 +37,7 @@
 //! {"id": "job-4", "program": "...", "trace": true}
 //! {"cancel": "job-2"}
 //! {"stats": true}
+//! {"shutdown": true}
 //! ```
 //!
 //! Responses (exactly one line per job, unordered):
@@ -47,7 +48,16 @@
 //! {"id": "job-3", "status": "error", "error": "parse: ..."}
 //! {"id": "job-4", "status": "ok", ..., "trace": {"traceEvents": [...]}}
 //! {"status": "stats", "jobs": {...}, "synthesis": {...}, "cache": {...}}
+//! {"status": "shutdown", "draining": 2}
 //! ```
+//!
+//! The service is **fault-tolerant and multi-tenant**: tasks carry a client
+//! number dequeued round-robin (one flooding client cannot starve others,
+//! see [`TaskSpec::client`]), a panicking engine is caught at the worker
+//! boundary and answered as an error instead of killing the service, and
+//! `{"shutdown": true}` (or SIGTERM via [`ServeConfig::shutdown_flag`])
+//! drains in-flight jobs under a deadline. The TCP front-end over the same
+//! machinery lives in [`crate::serve_tcp`].
 //!
 //! `{"stats": true}` (optionally with an `"id"` to correlate) is a control
 //! verb like cancel: it bypasses the in-flight window, so a live snapshot of
@@ -85,10 +95,12 @@ use crate::batch::BatchResult;
 use crate::cache::{cache_key, report_to_json, verdict_name, ResultCache};
 use crate::job::AnalysisJob;
 use crate::json::Json;
+use crate::lock;
 use crate::portfolio::{run_selection, EngineSelection, PortfolioOutcome};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::io::{BufRead, Write};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use termite_core::{
     AnalysisOptions, CancelToken, Engine, SynthesisStats, TerminationReport, UnknownReason, Verdict,
@@ -139,6 +151,10 @@ impl Default for SchedulerConfig {
 pub struct TaskSpec {
     /// Caller-chosen identifier, echoed in the [`TaskOutcome`].
     pub id: String,
+    /// The submitting tenant: tasks are dequeued round-robin across client
+    /// numbers, so one client flooding the queue cannot starve the others.
+    /// Single-tenant callers (batch mode) use `0`.
+    pub client: u64,
     /// The prepared analysis job.
     pub job: AnalysisJob,
     /// Engine selection override; `None` uses the scheduler default.
@@ -160,6 +176,11 @@ pub struct TaskOutcome {
     pub result: BatchResult,
     /// The job's trace events, when [`TaskSpec::trace`] asked for them.
     pub trace: Option<Vec<TraceEvent>>,
+    /// The panic message, when the worker running this task panicked and the
+    /// scheduler's isolation boundary caught it. [`TaskOutcome::result`] then
+    /// carries `Unknown` with [`UnknownReason::EngineFailure`] and zeroed
+    /// stats — the failure says nothing about the program.
+    pub panic: Option<String>,
 }
 
 /// A task's reply callback: invoked exactly once, on a worker thread, the
@@ -173,9 +194,45 @@ struct Task {
     queued_at: Instant,
 }
 
+/// The scheduler queue: one FIFO lane per client, dequeued round-robin.
+///
+/// A single shared FIFO would let one tenant with a deep backlog starve
+/// everyone behind it; per-client lanes with a rotating cursor give each
+/// client with pending work one task per round, while a lone client still
+/// sees plain FIFO order.
 struct QueueState {
-    pending: VecDeque<Task>,
+    lanes: BTreeMap<u64, VecDeque<Task>>,
+    /// The next client number the round-robin cursor will serve (clients at
+    /// or above it are preferred; the cursor wraps past the largest).
+    cursor: u64,
     shutdown: bool,
+}
+
+impl QueueState {
+    fn push(&mut self, task: Task) {
+        self.lanes
+            .entry(task.spec.client)
+            .or_default()
+            .push_back(task);
+    }
+
+    /// Pops the oldest task of the first client at or after the cursor
+    /// (wrapping), then advances the cursor past that client.
+    fn pop_fair(&mut self) -> Option<Task> {
+        let client = self
+            .lanes
+            .range(self.cursor..)
+            .next()
+            .or_else(|| self.lanes.range(..).next())
+            .map(|(client, _)| *client)?;
+        let lane = self.lanes.get_mut(&client).expect("the chosen lane exists");
+        let task = lane.pop_front().expect("lanes are never left empty");
+        if lane.is_empty() {
+            self.lanes.remove(&client);
+        }
+        self.cursor = client.wrapping_add(1);
+        Some(task)
+    }
 }
 
 struct SchedulerState {
@@ -220,8 +277,8 @@ impl SchedulerHandle<'_> {
                 vec![("id", termite_obs::ArgValue::from(spec.id.as_str()))],
             );
         }
-        let mut queue = self.state.queue.lock().unwrap();
-        queue.pending.push_back(Task {
+        let mut queue = lock(&self.state.queue);
+        queue.push(Task {
             spec,
             cancel,
             reply: Box::new(reply),
@@ -251,7 +308,8 @@ pub fn with_scheduler<R>(
 ) -> R {
     let state = SchedulerState {
         queue: Mutex::new(QueueState {
-            pending: VecDeque::new(),
+            lanes: BTreeMap::new(),
+            cursor: 0,
             shutdown: false,
         }),
         ready: Condvar::new(),
@@ -263,7 +321,7 @@ pub fn with_scheduler<R>(
     struct ShutdownGuard<'a>(&'a SchedulerState);
     impl Drop for ShutdownGuard<'_> {
         fn drop(&mut self) {
-            self.0.queue.lock().unwrap().shutdown = true;
+            lock(&self.0.queue).shutdown = true;
             self.0.ready.notify_all();
         }
     }
@@ -290,15 +348,18 @@ fn worker_loop(state: &SchedulerState, config: &SchedulerConfig, cache: Option<&
         .map(|recorder| termite_obs::install(Arc::clone(recorder)));
     loop {
         let (task, drain) = {
-            let mut queue = state.queue.lock().unwrap();
+            let mut queue = lock(&state.queue);
             loop {
-                if let Some(task) = queue.pending.pop_front() {
+                if let Some(task) = queue.pop_fair() {
                     break (task, queue.shutdown);
                 }
                 if queue.shutdown {
                     return;
                 }
-                queue = state.ready.wait(queue).unwrap();
+                queue = state
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         if let Some(metrics) = &config.metrics {
@@ -309,10 +370,36 @@ fn worker_loop(state: &SchedulerState, config: &SchedulerConfig, cache: Option<&
         // A task still queued at shutdown is completed as cancelled rather
         // than run: the scope is closing and nobody submits work they do not
         // want, but every submitted task still gets exactly one reply.
-        let (result, trace) = if drain || task.cancel.is_cancelled() {
-            (cancelled_result(&task.spec.job), None)
+        //
+        // `catch_unwind` is the service's panic isolation boundary: a
+        // panicking engine yields an `EngineFailure` result instead of a
+        // dead worker, a poisoned mutex, and a client hung forever on a
+        // missing response. The worker returns to the pool.
+        let (result, trace, panic) = if drain || task.cancel.is_cancelled() {
+            (cancelled_result(&task.spec.job), None, None)
         } else {
-            execute_task(&task, config, cache)
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                execute_task(&task, config, cache)
+            })) {
+                Ok((result, trace)) => (result, trace, None),
+                Err(payload) => {
+                    let message = panic_message(payload.as_ref());
+                    termite_obs::event!(
+                        "task_panic",
+                        id = task.spec.id.as_str(),
+                        message = message.as_str()
+                    );
+                    if let Some(metrics) = &config.metrics {
+                        metrics.job_panicked();
+                    }
+                    eprintln!(
+                        "termite: worker panicked running job `{}`: {message} (worker \
+                         recovered; job answered as engine failure)",
+                        task.spec.id
+                    );
+                    (panicked_result(&task.spec.job), None, Some(message))
+                }
+            }
         };
         if let Some(metrics) = &config.metrics {
             let cancelled = matches!(
@@ -332,7 +419,20 @@ fn worker_loop(state: &SchedulerState, config: &SchedulerConfig, cache: Option<&
             id: task.spec.id,
             result,
             trace,
+            panic,
         });
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (the `&str` and
+/// `String` payloads `panic!` produces; anything else is summarized).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -374,6 +474,24 @@ pub(crate) fn cancelled_result(job: &AnalysisJob) -> BatchResult {
     }
 }
 
+/// The result of a task whose worker panicked (caught at the scheduler's
+/// isolation boundary): `Unknown` with [`UnknownReason::EngineFailure`] and
+/// zeroed stats — the failure says nothing about the program.
+pub(crate) fn panicked_result(job: &AnalysisJob) -> BatchResult {
+    BatchResult {
+        report: TerminationReport {
+            program: job.name.clone(),
+            verdict: Verdict::unknown(UnknownReason::EngineFailure),
+            stats: SynthesisStats::default(),
+        },
+        name: job.name.clone(),
+        expected_terminating: job.expected_terminating,
+        winner: None,
+        from_cache: false,
+        wall_millis: 0.0,
+    }
+}
+
 /// Runs one task: cache lookup, engine selection (possibly a portfolio
 /// race) under a deadline-bearing child of the task token, cache store.
 /// Returns the result plus the drained per-job trace when the spec opted in.
@@ -401,6 +519,21 @@ fn run_task(task: &Task, config: &SchedulerConfig, cache: Option<&ResultCache>) 
     let start = Instant::now();
     let job = &task.spec.job;
     let _job_span = termite_obs::span!("job", id = task.spec.id.as_str());
+    // Fault injection (no-op unless a plan is armed, see `crate::faults`):
+    // the stall observes cancellation like a real engine would, and the
+    // injected panic exercises the `catch_unwind` boundary in `worker_loop`.
+    if crate::faults::armed() {
+        let ordinal = crate::faults::next_execution();
+        if let Some(millis) = crate::faults::slow_job_millis(&task.spec.id, ordinal) {
+            let deadline = Instant::now() + Duration::from_millis(millis);
+            while Instant::now() < deadline && !task.cancel.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        if crate::faults::worker_panic(&task.spec.id, ordinal) {
+            panic!("injected fault: worker_panic (job `{}`)", task.spec.id);
+        }
+    }
     let selection = task.spec.selection.as_ref().unwrap_or(&config.selection);
     let key = cache.map(|_| cache_key(job, selection, &config.options));
 
@@ -467,6 +600,16 @@ pub struct ServeConfig {
     /// When set, a one-line metrics summary is printed to stderr at this
     /// interval for the lifetime of the session (the `--stats-every` flag).
     pub stats_every: Option<Duration>,
+    /// How long a graceful shutdown — the `{"shutdown": true}` verb, or the
+    /// external [`shutdown_flag`](Self::shutdown_flag) — waits for in-flight
+    /// jobs to land before cancelling the stragglers (the `--drain-ms`
+    /// flag).
+    pub drain_timeout: Duration,
+    /// External shutdown request: when the flag flips to `true` (a SIGTERM
+    /// handler, a test), intake stops and the service drains exactly as if a
+    /// client had sent the shutdown verb. `'static` because a Unix signal
+    /// handler cannot capture state.
+    pub shutdown_flag: Option<&'static AtomicBool>,
 }
 
 impl Default for ServeConfig {
@@ -478,6 +621,8 @@ impl Default for ServeConfig {
             job_timeout: None,
             max_inflight: 64,
             stats_every: None,
+            drain_timeout: Duration::from_secs(10),
+            shutdown_flag: None,
         }
     }
 }
@@ -490,10 +635,27 @@ pub struct ServeSummary {
     /// Jobs answered with `"status": "cancelled"`.
     pub cancelled: usize,
     /// Lines answered with `"status": "error"` (parse failures, unknown
-    /// cancel targets, duplicate ids).
+    /// cancel targets, duplicate ids, worker panics).
     pub errors: usize,
     /// Lines answered with `"status": "stats"`.
     pub stats: usize,
+    /// Jobs whose worker panicked (a subset of [`errors`](Self::errors)).
+    pub panicked: usize,
+    /// `{"shutdown": true}` verbs acknowledged.
+    pub shutdowns: usize,
+}
+
+impl ServeSummary {
+    /// Accumulates another summary into this one (the TCP front-end sums one
+    /// summary per connection).
+    pub fn merge(&mut self, other: &ServeSummary) {
+        self.ok += other.ok;
+        self.cancelled += other.cancelled;
+        self.errors += other.errors;
+        self.stats += other.stats;
+        self.panicked += other.panicked;
+        self.shutdowns += other.shutdowns;
+    }
 }
 
 /// The bounded in-flight window: intake blocks in [`acquire`](Self::acquire)
@@ -513,23 +675,34 @@ impl Window {
         }
     }
 
-    fn acquire(&self) {
-        let mut inflight = self.inflight.lock().unwrap();
+    /// Blocks until a slot frees (returning `true`) or `abort()` reports the
+    /// wait is pointless — shutdown began, the client disconnected —
+    /// returning `false` without a slot. `abort` is polled between waits.
+    fn acquire(&self, abort: &dyn Fn() -> bool) -> bool {
+        let mut inflight = lock(&self.inflight);
         while *inflight >= self.limit {
-            inflight = self.freed.wait(inflight).unwrap();
+            if abort() {
+                return false;
+            }
+            let (next, _) = self
+                .freed
+                .wait_timeout(inflight, Duration::from_millis(50))
+                .unwrap_or_else(PoisonError::into_inner);
+            inflight = next;
         }
         *inflight += 1;
+        true
     }
 
     fn release(&self) {
-        *self.inflight.lock().unwrap() -= 1;
+        *lock(&self.inflight) -= 1;
         self.freed.notify_one();
     }
 
     /// The number of jobs currently queued or running (the live in-flight
     /// depth reported by the stats verb).
     fn depth(&self) -> usize {
-        *self.inflight.lock().unwrap()
+        *lock(&self.inflight)
     }
 }
 
@@ -543,21 +716,40 @@ enum Event {
     /// A `{"stats": true}` control line: the writer (which holds the
     /// registry, the window, and the cache) composes the snapshot.
     Stats { id: Option<String> },
+    /// A `{"shutdown": true}` control line was accepted: the writer emits
+    /// the acknowledgement after everything already queued ahead of it.
+    ShutdownAck { id: Option<String> },
 }
 
-/// A parsed request line.
-enum Request {
+/// A parsed request line of the serve wire protocol (see [`serve`]).
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// An analysis job request (`{"id", "program", ...}`).
     Job {
+        /// Caller-chosen id, echoed in the response line.
         id: String,
+        /// The program text to analyse.
         source: String,
+        /// Engine override from the `"engine"` field.
         selection: Option<EngineSelection>,
+        /// Per-job budget override from `"timeout_ms"`.
         timeout: Option<Duration>,
+        /// Whether `"trace": true` asked for a per-job trace.
         trace: bool,
     },
+    /// `{"cancel": id}` — cancel a queued or running job.
     Cancel {
+        /// The id of the job to cancel.
         id: String,
     },
+    /// `{"stats": true}` — snapshot the session metrics.
     Stats {
+        /// Optional id echoed back to correlate the snapshot line.
+        id: Option<String>,
+    },
+    /// `{"shutdown": true}` — stop intake and drain the whole service.
+    Shutdown {
+        /// Optional id echoed back to correlate the acknowledgement line.
         id: Option<String>,
     },
 }
@@ -574,16 +766,27 @@ fn parse_id(json: &Json) -> Option<String> {
     }
 }
 
-/// Parses one request line. A rejected line keeps its `id` whenever one was
-/// present and well-formed, so even a semantically invalid request still
-/// gets an id-tagged error response a client can correlate.
-fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
+/// Parses one request line of the serve wire protocol. A rejected line
+/// (`Err((id, error))`) keeps its `id` whenever one was present and
+/// well-formed, so even a semantically invalid request still gets an
+/// id-tagged error response a client can correlate.
+pub fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
     let fail = |id: Option<&str>, error: String| (id.map(str::to_string), error);
     let doc = Json::parse(line).map_err(|e| fail(None, format!("bad request line: {e}")))?;
     if let Some(target) = doc.get("cancel") {
         let id = parse_id(target)
             .ok_or_else(|| fail(None, "cancel: `cancel` must be a job id".to_string()))?;
         return Ok(Request::Cancel { id });
+    }
+    if let Some(flag) = doc.get("shutdown") {
+        let id = doc.get("id").and_then(parse_id);
+        return match flag {
+            Json::Bool(true) => Ok(Request::Shutdown { id }),
+            _ => Err(fail(
+                id.as_deref(),
+                "shutdown: `shutdown` must be `true`".to_string(),
+            )),
+        };
     }
     if let Some(flag) = doc.get("stats") {
         // An optional id is echoed back so a client multiplexing verbs can
@@ -748,6 +951,7 @@ fn stats_response(
             ("completed", count(snapshot.jobs_completed)),
             ("cancelled", count(snapshot.jobs_cancelled)),
             ("from_cache", count(snapshot.jobs_from_cache)),
+            ("panicked", count(snapshot.jobs_panicked)),
             ("in_flight", Json::Number(in_flight as f64)),
             (
                 "queue_wait_millis",
@@ -806,203 +1010,310 @@ fn error_response(id: Option<&str>, error: &str) -> Json {
     Json::object(fields)
 }
 
-/// Runs the NDJSON analysis service until `input` reaches end-of-file and
-/// every accepted job has been answered.
-///
-/// Requests are read line by line (one JSON document per line:
-/// `{"id", "program", "engine"?, "timeout_ms"?}` or `{"cancel": id}`),
-/// scheduled onto the worker pool with no batch barrier, and
-/// answered the moment each job lands — out of order, tagged by `id`, one
-/// response line per job, flushed per line so downstream pipes see every
-/// verdict immediately. A `{"cancel": id}` control line cancels the matching
-/// queued or running job; it produces no line of its own — the cancelled job
-/// answers with `"status": "cancelled"` (a cancel matching no in-flight job
-/// gets an error line). Intake blocks while
-/// [`max_inflight`](ServeConfig::max_inflight) jobs are in flight, so an
-/// overeager producer is throttled instead of ballooning the queue.
-///
-/// Ids must be unique among in-flight jobs; a duplicate is rejected with an
-/// error line (the id becomes reusable once its job answers).
-///
-/// Returns the session totals; `Err` only on a broken `output` (responses
-/// cannot be delivered — the service is dead either way).
-pub fn serve<R: BufRead + Send, W: Write>(
-    input: R,
-    mut output: W,
-    config: &ServeConfig,
-    cache: Option<&ResultCache>,
-) -> Result<ServeSummary, String> {
-    let registry = Arc::new(MetricsRegistry::new());
-    let scheduler_config = SchedulerConfig {
-        workers: config.workers,
-        selection: config.selection.clone(),
-        options: config.options.clone(),
-        job_timeout: config.job_timeout,
-        metrics: Some(Arc::clone(&registry)),
-        recorder: None,
-    };
-    let (event_tx, event_rx) = std::sync::mpsc::channel::<Event>();
-    let window = Window::new(config.max_inflight);
-    // Stop signal for the periodic stderr reporter: flipped (under the mutex)
-    // when the writer loop finishes, so the ticker thread exits promptly
-    // instead of sleeping out its last interval.
-    let ticker_stop = (Mutex::new(false), Condvar::new());
-    // Tokens of in-flight jobs, by id: the cancel control message fires them.
-    let live: Mutex<HashMap<String, CancelToken>> = Mutex::new(HashMap::new());
-    // Ids cancelled by control message: their outcome becomes a
-    // `"status": "cancelled"` response rather than a result.
-    let cancelled: Mutex<HashSet<String>> = Mutex::new(HashSet::new());
-
-    with_scheduler(&scheduler_config, cache, |scheduler| {
-        std::thread::scope(|scope| {
-            // Intake thread: owns the reader, feeds the scheduler.
-            let intake = {
-                let event_tx = event_tx.clone();
-                let service_token = &config.options.cancel;
-                let (window, live, cancelled) = (&window, &live, &cancelled);
-                scope.spawn(move || {
-                    intake_loop(
-                        input,
-                        scheduler,
-                        event_tx,
-                        service_token,
-                        window,
-                        live,
-                        cancelled,
-                    )
-                })
-            };
-            drop(event_tx);
-
-            // Periodic stderr metrics line (`--stats-every`): observational
-            // only, never touches the response stream.
-            if let Some(every) = config.stats_every {
-                let (registry, window, ticker_stop) = (&registry, &window, &ticker_stop);
-                scope.spawn(move || {
-                    let (stop, stopped) = ticker_stop;
-                    let mut guard = stop.lock().unwrap();
-                    loop {
-                        let (next, timeout) = stopped.wait_timeout(guard, every).unwrap();
-                        guard = next;
-                        if *guard {
-                            return;
-                        }
-                        if timeout.timed_out() {
-                            let s = registry.snapshot();
-                            eprintln!(
-                                "termite serve: {} submitted, {} completed ({} cached, {} \
-                                 cancelled), {} in flight; synthesis {:.1} ms, smt {:.1} ms, \
-                                 lp {:.1} ms, invariants {:.1} ms",
-                                s.jobs_submitted,
-                                s.jobs_completed,
-                                s.jobs_from_cache,
-                                s.jobs_cancelled,
-                                window.depth(),
-                                s.totals.synthesis_millis,
-                                s.totals.smt_millis,
-                                s.totals.lp_millis,
-                                s.totals.invariant_millis,
-                            );
-                        }
-                    }
-                });
-            }
-
-            // Writer loop: owns the output, streams one line per event.
-            let mut summary = ServeSummary::default();
-            let mut write_error: Option<String> = None;
-            for event in event_rx {
-                let line = match event {
-                    Event::Done(outcome) => {
-                        // All bookkeeping for this id is consumed *before*
-                        // the window slot is released: once release() runs,
-                        // intake may admit a new job reusing the id, and a
-                        // leftover `live`/`cancelled` entry would cross-wire
-                        // the old job's response with the new job's fate.
-                        live.lock().unwrap().remove(&outcome.id);
-                        let was_cancelled = cancelled.lock().unwrap().remove(&outcome.id);
-                        window.release();
-                        if was_cancelled {
-                            summary.cancelled += 1;
-                            Json::object([
-                                ("id", Json::String(outcome.id.clone())),
-                                ("status", Json::String("cancelled".to_string())),
-                            ])
-                        } else {
-                            summary.ok += 1;
-                            ok_response(&outcome)
-                        }
-                    }
-                    Event::Reject { id, error } => {
-                        summary.errors += 1;
-                        error_response(id.as_deref(), &error)
-                    }
-                    Event::Stats { id } => {
-                        summary.stats += 1;
-                        stats_response(id.as_deref(), &registry.snapshot(), window.depth(), cache)
-                    }
-                };
-                if write_error.is_none() {
-                    write_error = writeln!(output, "{line}")
-                        .and_then(|()| output.flush())
-                        .err()
-                        .map(|e| format!("write response: {e}"));
-                    if write_error.is_some() {
-                        // The transport is gone: stop everything in flight so
-                        // the intake thread and the workers wind down instead
-                        // of proving programs nobody will hear about.
-                        config.options.cancel.cancel();
-                    }
-                }
-            }
-            intake.join().expect("intake thread must not panic");
-            *ticker_stop.0.lock().unwrap() = true;
-            ticker_stop.1.notify_all();
-            match write_error {
-                Some(error) => Err(error),
-                None => Ok(summary),
-            }
-        })
-    })
+/// How one intake read ended.
+pub(crate) enum LineRead {
+    /// A complete line (without its terminator).
+    Line(String),
+    /// Clean end of input (EOF, or the peer half-closed its send side).
+    Eof,
+    /// The stop predicate fired while waiting for input.
+    Stopped,
+    /// The transport failed mid-read.
+    Failed(String),
 }
 
-/// Reads request lines until EOF, submitting jobs (under backpressure) and
-/// firing cancel tokens. Every accepted job eventually produces exactly one
-/// `Event::Done`; every rejected line produces exactly one `Event::Reject`.
-///
-/// A malformed line is additionally diagnosed on stderr with its 1-based
-/// line number (and the request id when one could be recovered), so an
-/// operator tailing the service log can locate the offending line in the
-/// input stream without correlating response ids by hand.
-fn intake_loop<R: BufRead>(
-    input: R,
-    scheduler: &SchedulerHandle<'_>,
-    event_tx: std::sync::mpsc::Sender<Event>,
-    service_token: &CancelToken,
-    window: &Window,
-    live: &Mutex<HashMap<String, CancelToken>>,
-    cancelled: &Mutex<HashSet<String>>,
-) {
-    let mut line_no = 0usize;
-    for line in input.lines() {
-        line_no += 1;
-        // The writer fires the service token when the output transport dies:
-        // stop consuming input instead of proving programs nobody will hear
-        // about. (A read blocked with no lines arriving cannot observe this
-        // until the next line — best effort, like any cooperative check.)
-        if service_token.is_cancelled() {
+/// A blocking, stoppable source of request lines. The transports differ —
+/// stdin cannot time out, a socket can — so each wraps its own read loop;
+/// `stop` is polled whenever the implementation gets the chance (at minimum
+/// between lines).
+pub(crate) trait LineSource {
+    /// Blocks for the next line, the end of input, or a stop/failure.
+    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> LineRead;
+}
+
+/// [`LineSource`] over any [`BufRead`] (stdin, a cursor, a pipe). The
+/// underlying read blocks uninterruptibly, so `stop` is only observed
+/// between lines — best effort, like any cooperative check. Invalid UTF-8
+/// is replaced rather than fatal: one mangled line must not kill the whole
+/// session (it gets a parse-error response like any other bad line).
+pub(crate) struct BufReadSource<R: BufRead>(pub R);
+
+impl<R: BufRead> LineSource for BufReadSource<R> {
+    fn next_line(&mut self, stop: &dyn Fn() -> bool) -> LineRead {
+        if stop() {
+            return LineRead::Stopped;
+        }
+        let mut bytes = Vec::new();
+        match self.0.read_until(b'\n', &mut bytes) {
+            Ok(0) => LineRead::Eof,
+            Ok(_) => {
+                if bytes.last() == Some(&b'\n') {
+                    bytes.pop();
+                    if bytes.last() == Some(&b'\r') {
+                        bytes.pop();
+                    }
+                }
+                LineRead::Line(String::from_utf8_lossy(&bytes).into_owned())
+            }
+            Err(e) => LineRead::Failed(format!("read request line: {e}")),
+        }
+    }
+}
+
+/// Per-client session state, shared between a client's intake and egress
+/// halves. Each client gets its own in-flight window (the per-tenant quota),
+/// its own id namespace, and its own disconnect fate — one client vanishing
+/// never disturbs another's jobs.
+pub(crate) struct ClientState {
+    /// The client number: the queue lane (fair dequeue) and the log label.
+    client: u64,
+    /// This client's bounded in-flight window.
+    window: Window,
+    /// Tokens of this client's in-flight jobs, by id: the cancel control
+    /// message (and a disconnect) fires them.
+    live: Mutex<HashMap<String, CancelToken>>,
+    /// Ids cancelled by control message: their outcome becomes a
+    /// `"status": "cancelled"` response rather than a result.
+    cancelled: Mutex<HashSet<String>>,
+    /// Flipped when the connection is gone (read error, failed write):
+    /// intake stops, response writes are dropped, in-flight jobs cancelled.
+    gone: AtomicBool,
+}
+
+impl ClientState {
+    pub(crate) fn new(client: u64, max_inflight: usize) -> Self {
+        ClientState {
+            client,
+            window: Window::new(max_inflight),
+            live: Mutex::new(HashMap::new()),
+            cancelled: Mutex::new(HashSet::new()),
+            gone: AtomicBool::new(false),
+        }
+    }
+
+    fn is_gone(&self) -> bool {
+        self.gone.load(Ordering::SeqCst)
+    }
+
+    /// Cancels every in-flight job of this client — disconnect semantics:
+    /// nobody is left to hear the answers, so free the workers (and this
+    /// client's window slots) for the clients still connected.
+    fn cancel_live(&self) {
+        for token in lock(&self.live).values() {
+            token.cancel();
+        }
+    }
+}
+
+/// State shared by every connection of one serve session: the configuration,
+/// the metrics registry, and the graceful-shutdown machinery.
+pub(crate) struct ServeShared<'a> {
+    config: &'a ServeConfig,
+    registry: Arc<MetricsRegistry>,
+    cache: Option<&'a ResultCache>,
+    /// Set once shutdown begins (the verb, the external flag, or a dead
+    /// stdio transport): intake stops admitting jobs everywhere.
+    shutdown: AtomicBool,
+    drain: Mutex<DrainState>,
+    drain_cv: Condvar,
+}
+
+struct DrainState {
+    /// Armed when shutdown begins: past this instant the watchdog cancels
+    /// outstanding work so a wedged job cannot hold shutdown hostage.
+    deadline: Option<Instant>,
+    /// The session finished (every egress loop returned): watchdog exits.
+    finished: bool,
+}
+
+impl<'a> ServeShared<'a> {
+    pub(crate) fn new(config: &'a ServeConfig, cache: Option<&'a ResultCache>) -> Self {
+        ServeShared {
+            config,
+            registry: Arc::new(MetricsRegistry::new()),
+            cache,
+            shutdown: AtomicBool::new(false),
+            drain: Mutex::new(DrainState {
+                deadline: None,
+                finished: false,
+            }),
+            drain_cv: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn scheduler_config(&self) -> SchedulerConfig {
+        SchedulerConfig {
+            workers: self.config.workers,
+            selection: self.config.selection.clone(),
+            options: self.config.options.clone(),
+            job_timeout: self.config.job_timeout,
+            metrics: Some(Arc::clone(&self.registry)),
+            recorder: None,
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
+    }
+
+    /// The per-client in-flight quota (each connection gets its own window
+    /// of this size).
+    pub(crate) fn max_inflight(&self) -> usize {
+        self.config.max_inflight
+    }
+
+    pub(crate) fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful shutdown (idempotent): intake stops, and the drain
+    /// watchdog arms its deadline.
+    pub(crate) fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        let line = match line {
-            Ok(line) => line,
-            Err(e) => {
-                let _ = event_tx.send(Event::Reject {
-                    id: None,
-                    error: format!("read request line: {e}"),
-                });
+        lock(&self.drain).deadline = Some(Instant::now() + self.config.drain_timeout);
+        self.drain_cv.notify_all();
+    }
+
+    /// Promotes an external shutdown request ([`ServeConfig::shutdown_flag`],
+    /// typically a SIGTERM handler) into a graceful shutdown. Polled from
+    /// the intake and accept loops.
+    pub(crate) fn poll_external(&self) {
+        if let Some(flag) = self.config.shutdown_flag {
+            if flag.load(Ordering::SeqCst) && !self.shutting_down() {
+                eprintln!("termite serve: shutdown signal received; draining");
+                self.begin_shutdown();
+            }
+        }
+    }
+
+    /// Marks the session finished, releasing the drain watchdog.
+    pub(crate) fn finish(&self) {
+        lock(&self.drain).finished = true;
+        self.drain_cv.notify_all();
+    }
+
+    /// Blocks until the session finishes; if a drain deadline arms and
+    /// passes first, cancels all outstanding work (via the service-wide
+    /// token) and then waits for the session to wind down.
+    pub(crate) fn watchdog(&self) {
+        let mut drain = lock(&self.drain);
+        loop {
+            if drain.finished {
+                return;
+            }
+            match drain.deadline {
+                None => {
+                    drain = self
+                        .drain_cv
+                        .wait(drain)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let (next, _) = self
+                        .drain_cv
+                        .wait_timeout(drain, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    drain = next;
+                }
+            }
+        }
+        drop(drain);
+        eprintln!(
+            "termite serve: drain deadline ({} ms) passed; cancelling outstanding jobs",
+            self.config.drain_timeout.as_millis()
+        );
+        self.config.options.cancel.cancel();
+        let mut drain = lock(&self.drain);
+        while !drain.finished {
+            drain = self
+                .drain_cv
+                .wait(drain)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// The periodic stderr metrics line (`--stats-every`): observational only,
+/// never touches any response stream. `stop` is flipped (under its mutex)
+/// when the session ends, so the ticker exits promptly instead of sleeping
+/// out its last interval.
+pub(crate) fn ticker_loop(
+    registry: &MetricsRegistry,
+    every: Duration,
+    stop: &(Mutex<bool>, Condvar),
+) {
+    let (flag, stopped) = stop;
+    let mut guard = lock(flag);
+    loop {
+        let (next, timeout) = stopped
+            .wait_timeout(guard, every)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard = next;
+        if *guard {
+            return;
+        }
+        if timeout.timed_out() {
+            let s = registry.snapshot();
+            eprintln!(
+                "termite serve: {} submitted, {} completed ({} cached, {} cancelled, {} \
+                 panicked), {} in flight; synthesis {:.1} ms, smt {:.1} ms, lp {:.1} ms, \
+                 invariants {:.1} ms",
+                s.jobs_submitted,
+                s.jobs_completed,
+                s.jobs_from_cache,
+                s.jobs_cancelled,
+                s.jobs_panicked,
+                s.jobs_submitted.saturating_sub(s.jobs_completed),
+                s.totals.synthesis_millis,
+                s.totals.smt_millis,
+                s.totals.lp_millis,
+                s.totals.invariant_millis,
+            );
+        }
+    }
+}
+
+/// Reads one client's request lines until EOF, shutdown, or disconnect,
+/// submitting jobs (under that client's window) and firing cancel tokens.
+/// Every accepted job eventually produces exactly one `Event::Done`; every
+/// rejected line exactly one `Event::Reject`.
+///
+/// A malformed line is additionally diagnosed on stderr with the client
+/// number and its 1-based line number, so an operator tailing the service
+/// log can locate the offending line without correlating response ids.
+fn client_intake(
+    source: &mut dyn LineSource,
+    scheduler: &SchedulerHandle<'_>,
+    event_tx: std::sync::mpsc::Sender<Event>,
+    shared: &ServeShared<'_>,
+    state: &ClientState,
+) {
+    let mut line_no = 0usize;
+    let stop = || {
+        shared.poll_external();
+        shared.shutting_down() || state.is_gone() || shared.config.options.cancel.is_cancelled()
+    };
+    loop {
+        let line = match source.next_line(&stop) {
+            LineRead::Line(line) => line,
+            LineRead::Eof | LineRead::Stopped => return,
+            LineRead::Failed(error) => {
+                eprintln!(
+                    "termite serve: client {}: {error}; cancelling its in-flight jobs",
+                    state.client
+                );
+                state.gone.store(true, Ordering::SeqCst);
+                state.cancel_live();
                 return;
             }
         };
+        line_no += 1;
         if line.trim().is_empty() {
             continue;
         }
@@ -1010,16 +1321,29 @@ fn intake_loop<R: BufRead>(
             Ok(request) => request,
             Err((id, error)) => {
                 match &id {
-                    Some(id) => {
-                        eprintln!("termite serve: request line {line_no} (id `{id}`): {error}");
-                    }
-                    None => eprintln!("termite serve: request line {line_no}: {error}"),
+                    Some(id) => eprintln!(
+                        "termite serve: client {} line {line_no} (id `{id}`): {error}",
+                        state.client
+                    ),
+                    None => eprintln!(
+                        "termite serve: client {} line {line_no}: {error}",
+                        state.client
+                    ),
                 }
                 let _ = event_tx.send(Event::Reject { id, error });
                 continue;
             }
         };
         match request {
+            Request::Shutdown { id } => {
+                eprintln!(
+                    "termite serve: shutdown requested by client {}; draining",
+                    state.client
+                );
+                shared.begin_shutdown();
+                let _ = event_tx.send(Event::ShutdownAck { id });
+                return;
+            }
             Request::Stats { id } => {
                 // Like cancel, stats never waits on the window: the snapshot
                 // must come back while long jobs hold every slot.
@@ -1030,10 +1354,10 @@ fn intake_loop<R: BufRead>(
                 // *read* late when intake is blocked admitting an earlier job
                 // into a full window (one reader, one stream) — size
                 // `max_inflight` above the expected job/cancel interleave.
-                match live.lock().unwrap().get(&id) {
+                match lock(&state.live).get(&id) {
                     Some(token) => {
                         token.cancel();
-                        cancelled.lock().unwrap().insert(id);
+                        lock(&state.cancelled).insert(id);
                     }
                     None => {
                         let _ = event_tx.send(Event::Reject {
@@ -1045,12 +1369,19 @@ fn intake_loop<R: BufRead>(
             }
             Request::Job {
                 id,
-                source,
+                source: program_text,
                 selection,
                 timeout,
                 trace,
             } => {
-                let program = match parse_named_program(&source, &id) {
+                if shared.shutting_down() {
+                    let _ = event_tx.send(Event::Reject {
+                        id: Some(id),
+                        error: "service is shutting down".to_string(),
+                    });
+                    continue;
+                }
+                let program = match parse_named_program(&program_text, &id) {
                     Ok(program) => program,
                     Err(e) => {
                         let _ = event_tx.send(Event::Reject {
@@ -1066,12 +1397,18 @@ fn intake_loop<R: BufRead>(
                 // only duplicate-checked) once admitted, so a resubmission
                 // waiting behind a full window is not a duplicate of the
                 // landing job it waited for.
-                window.acquire();
+                if !state.window.acquire(&stop) {
+                    let _ = event_tx.send(Event::Reject {
+                        id: Some(id),
+                        error: "service is shutting down".to_string(),
+                    });
+                    return;
+                }
                 {
-                    let mut live = live.lock().unwrap();
+                    let mut live = lock(&state.live);
                     if live.contains_key(&id) {
                         drop(live);
-                        window.release();
+                        state.window.release();
                         let _ = event_tx.send(Event::Reject {
                             id: Some(id),
                             error: "duplicate in-flight id".to_string(),
@@ -1086,6 +1423,7 @@ fn intake_loop<R: BufRead>(
                 scheduler.submit(
                     TaskSpec {
                         id,
+                        client: state.client,
                         job,
                         selection,
                         timeout,
@@ -1101,6 +1439,229 @@ fn intake_loop<R: BufRead>(
     }
 }
 
+/// Drains one client's event stream, writing one response line per event.
+/// Returns the client's totals plus the first write error, if any. Keeps
+/// draining after a write failure — every in-flight job must still land and
+/// release its window slot and bookkeeping, answers or no answers.
+///
+/// `disconnect_cancels` selects the failed-write policy: a TCP connection
+/// cancels only its own client's jobs (the daemon keeps serving everyone
+/// else), while the stdio transport stops the whole service — there is
+/// nobody left to serve when stdout is gone.
+fn client_egress<W: Write>(
+    mut output: W,
+    event_rx: std::sync::mpsc::Receiver<Event>,
+    shared: &ServeShared<'_>,
+    state: &ClientState,
+    disconnect_cancels: bool,
+) -> (ServeSummary, Option<String>) {
+    let mut summary = ServeSummary::default();
+    let mut write_error: Option<String> = None;
+    for event in event_rx {
+        let (line, response_id) = match event {
+            Event::Done(outcome) => {
+                // All bookkeeping for this id is consumed *before* the
+                // window slot is released: once release() runs, intake may
+                // admit a new job reusing the id, and a leftover
+                // `live`/`cancelled` entry would cross-wire the old job's
+                // response with the new job's fate.
+                lock(&state.live).remove(&outcome.id);
+                let was_cancelled = lock(&state.cancelled).remove(&outcome.id);
+                state.window.release();
+                let id = outcome.id.clone();
+                let line = if let Some(message) = &outcome.panic {
+                    summary.errors += 1;
+                    summary.panicked += 1;
+                    Json::object([
+                        ("id", Json::String(outcome.id.clone())),
+                        ("status", Json::String("error".to_string())),
+                        ("error", Json::String(format!("worker panic: {message}"))),
+                        ("reason", Json::String("worker-panic".to_string())),
+                    ])
+                } else if was_cancelled {
+                    summary.cancelled += 1;
+                    Json::object([
+                        ("id", Json::String(outcome.id.clone())),
+                        ("status", Json::String("cancelled".to_string())),
+                    ])
+                } else {
+                    summary.ok += 1;
+                    ok_response(&outcome)
+                };
+                (line, Some(id))
+            }
+            Event::Reject { id, error } => {
+                summary.errors += 1;
+                (error_response(id.as_deref(), &error), id)
+            }
+            Event::Stats { id } => {
+                summary.stats += 1;
+                let line = stats_response(
+                    id.as_deref(),
+                    &shared.registry.snapshot(),
+                    state.window.depth(),
+                    shared.cache,
+                );
+                (line, id)
+            }
+            Event::ShutdownAck { id } => {
+                summary.shutdowns += 1;
+                let snapshot = shared.registry.snapshot();
+                let draining = snapshot
+                    .jobs_submitted
+                    .saturating_sub(snapshot.jobs_completed);
+                let mut fields = vec![
+                    ("status", Json::String("shutdown".to_string())),
+                    ("draining", Json::Number(draining as f64)),
+                ];
+                if let Some(id) = &id {
+                    fields.insert(0, ("id", Json::String(id.clone())));
+                }
+                (Json::object(fields), id)
+            }
+        };
+        if write_error.is_some() || state.is_gone() {
+            continue;
+        }
+        // The `conn_drop` fault simulates the peer resetting the connection
+        // exactly when this response goes out — deterministically, where a
+        // real reset is a race against the kernel's buffers.
+        let wrote = if crate::faults::armed()
+            && response_id.as_deref().is_some_and(crate::faults::conn_drop)
+        {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                "injected fault: conn_drop",
+            ))
+        } else {
+            writeln!(output, "{line}").and_then(|()| output.flush())
+        };
+        if let Err(e) = wrote {
+            let error = format!("write response: {e}");
+            if disconnect_cancels {
+                eprintln!(
+                    "termite serve: client {}: {error}; cancelling its in-flight jobs",
+                    state.client
+                );
+                state.gone.store(true, Ordering::SeqCst);
+                state.cancel_live();
+            } else {
+                // The transport is gone and it was the only one: stop
+                // everything in flight so intake and the workers wind down
+                // instead of proving programs nobody will hear about.
+                eprintln!("termite serve: {error}; stopping the service");
+                shared.config.options.cancel.cancel();
+            }
+            write_error = Some(error);
+        }
+    }
+    (summary, write_error)
+}
+
+/// Runs one client session: an intake half (its own thread) feeding the
+/// scheduler, an egress half (this thread) streaming responses. Returns
+/// when the client's input is exhausted — EOF, shutdown, disconnect — and
+/// every job it submitted has landed.
+pub(crate) fn run_client<W: Write>(
+    source: &mut (dyn LineSource + Send),
+    output: W,
+    scheduler: &SchedulerHandle<'_>,
+    shared: &ServeShared<'_>,
+    state: &ClientState,
+    disconnect_cancels: bool,
+) -> (ServeSummary, Option<String>) {
+    let (event_tx, event_rx) = std::sync::mpsc::channel::<Event>();
+    std::thread::scope(|scope| {
+        // The channel closes (ending egress) once intake returns *and* every
+        // in-flight reply callback has fired: exactly the drain condition.
+        let intake = scope.spawn(|| client_intake(source, scheduler, event_tx, shared, state));
+        let result = client_egress(output, event_rx, shared, state, disconnect_cancels);
+        intake.join().expect("intake must not panic");
+        result
+    })
+}
+
+/// Runs the NDJSON analysis service until `input` reaches end-of-file (or a
+/// `{"shutdown": true}` verb drains it) and every accepted job has been
+/// answered.
+///
+/// Requests are read line by line (one JSON document per line:
+/// `{"id", "program", "engine"?, "timeout_ms"?}` or a control verb),
+/// scheduled onto the worker pool with no batch barrier, and
+/// answered the moment each job lands — out of order, tagged by `id`, one
+/// response line per job, flushed per line so downstream pipes see every
+/// verdict immediately. A `{"cancel": id}` control line cancels the matching
+/// queued or running job; it produces no line of its own — the cancelled job
+/// answers with `"status": "cancelled"` (a cancel matching no in-flight job
+/// gets an error line). Intake blocks while
+/// [`max_inflight`](ServeConfig::max_inflight) jobs are in flight, so an
+/// overeager producer is throttled instead of ballooning the queue.
+///
+/// `{"shutdown": true}` stops intake, is acknowledged with a
+/// `"status": "shutdown"` line, and the in-flight jobs drain under
+/// [`drain_timeout`](ServeConfig::drain_timeout) — past the deadline the
+/// stragglers are cancelled (answering `"status": "ok"` with a cancelled
+/// verdict) rather than holding shutdown hostage.
+///
+/// A worker panicking inside an engine is caught at the scheduler's
+/// isolation boundary: the job answers `{"status": "error", "reason":
+/// "worker-panic"}` and the service keeps running.
+///
+/// Ids must be unique among in-flight jobs; a duplicate is rejected with an
+/// error line (the id becomes reusable once its job answers).
+///
+/// Returns the session totals; `Err` only on a broken `output` (responses
+/// cannot be delivered — the service is dead either way). For the
+/// multi-client TCP front-end over the same machinery, see
+/// [`serve_tcp`](crate::serve_tcp).
+pub fn serve<R: BufRead + Send, W: Write>(
+    input: R,
+    output: W,
+    config: &ServeConfig,
+    cache: Option<&ResultCache>,
+) -> Result<ServeSummary, String> {
+    let shared = ServeShared::new(config, cache);
+    let scheduler_config = shared.scheduler_config();
+    let ticker_stop = (Mutex::new(false), Condvar::new());
+    with_scheduler(&scheduler_config, cache, |scheduler| {
+        std::thread::scope(|scope| {
+            let shared_ref = &shared;
+            let ticker_stop = &ticker_stop;
+            scope.spawn(move || shared_ref.watchdog());
+            if let Some(every) = config.stats_every {
+                let registry = Arc::clone(shared_ref.registry());
+                scope.spawn(move || ticker_loop(&registry, every, ticker_stop));
+            }
+            // Even when the session body panics, the watchdog and the
+            // ticker must be released — `thread::scope` joins them before
+            // propagating, and both park on condvars otherwise.
+            struct EndGuard<'s, 'c> {
+                shared: &'s ServeShared<'c>,
+                ticker_stop: &'s (Mutex<bool>, Condvar),
+            }
+            impl Drop for EndGuard<'_, '_> {
+                fn drop(&mut self) {
+                    self.shared.finish();
+                    *lock(&self.ticker_stop.0) = true;
+                    self.ticker_stop.1.notify_all();
+                }
+            }
+            let _end = EndGuard {
+                shared: shared_ref,
+                ticker_stop,
+            };
+            let state = ClientState::new(0, config.max_inflight);
+            let mut source = BufReadSource(input);
+            let (summary, write_error) =
+                run_client(&mut source, output, scheduler, shared_ref, &state, false);
+            match write_error {
+                Some(error) => Err(error),
+                None => Ok(summary),
+            }
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1108,9 +1669,14 @@ mod tests {
     use std::sync::mpsc;
 
     fn spec(id: &str, src: &str) -> TaskSpec {
+        spec_for_client(id, 0, src)
+    }
+
+    fn spec_for_client(id: &str, client: u64, src: &str) -> TaskSpec {
         let program = parse_named_program(src, id).unwrap();
         TaskSpec {
             id: id.to_string(),
+            client,
             job: AnalysisJob::from_program(&program, &InvariantOptions::default()),
             selection: None,
             timeout: None,
@@ -1249,7 +1815,9 @@ mod tests {
                 ok: 1,
                 cancelled: 0,
                 errors: 3,
-                stats: 0
+                stats: 0,
+                panicked: 0,
+                shutdowns: 0
             }
         );
         let text = String::from_utf8(out).unwrap();
@@ -1377,5 +1945,131 @@ mod tests {
             Some("second"),
             "a cache hit must be re-labelled with the requesting id"
         );
+    }
+
+    #[test]
+    fn fair_dequeue_interleaves_clients_round_robin() {
+        // One worker; client 1's first task stalls while its other two plus
+        // client 2's single task queue up. A plain FIFO would answer
+        // t1,t2,t3,u1 — fair dequeue must serve client 2 after the stall.
+        let _faults = crate::faults::arm("slow_job=fair-t1:400").unwrap();
+        let (tx, rx) = mpsc::channel();
+        let order = with_scheduler(&SchedulerConfig::default(), None, |scheduler| {
+            for (id, client) in [
+                ("fair-t1", 1),
+                ("fair-t2", 1),
+                ("fair-t3", 1),
+                ("fair-u1", 2),
+            ] {
+                let tx = tx.clone();
+                let token = scheduler.child_token();
+                scheduler.submit(
+                    spec_for_client(id, client, "var x; while (x > 0) { x = x - 1; }"),
+                    token,
+                    move |outcome| {
+                        let _ = tx.send(outcome.id);
+                    },
+                );
+            }
+            (0..4)
+                .map(|_| rx.recv_timeout(Duration::from_secs(60)).unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(order, ["fair-t1", "fair-u1", "fair-t2", "fair-t3"]);
+    }
+
+    #[test]
+    fn a_panicking_worker_answers_the_job_and_survives() {
+        let _faults = crate::faults::arm("worker_panic=isolate-boom").unwrap();
+        let (tx, rx) = mpsc::channel();
+        // One worker: the follow-up job proves the panicking worker returned
+        // to the pool rather than dying with its job.
+        with_scheduler(&SchedulerConfig::default(), None, |scheduler| {
+            for id in ["isolate-boom", "isolate-after"] {
+                let tx = tx.clone();
+                let token = scheduler.child_token();
+                scheduler.submit(
+                    spec(id, "var x; while (x > 0) { x = x - 1; }"),
+                    token,
+                    move |outcome| {
+                        let _ = tx.send(outcome);
+                    },
+                );
+            }
+            let boomed = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+            assert_eq!(boomed.id, "isolate-boom");
+            assert!(boomed.panic.as_deref().unwrap().contains("worker_panic"));
+            assert_eq!(
+                boomed.result.report.verdict,
+                Verdict::unknown(UnknownReason::EngineFailure)
+            );
+            let after = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+            assert_eq!(after.id, "isolate-after");
+            assert!(after.panic.is_none());
+            assert!(after.result.proved(), "the worker survived the panic");
+        });
+    }
+
+    #[test]
+    fn shutdown_verb_acknowledges_and_stops_intake() {
+        // The third line is valid but must never be read: the shutdown verb
+        // ends intake, and the session answers what was already in flight.
+        let requests = concat!(
+            r#"{"id": "pre-shutdown", "program": "var x; while (x > 0) { x = x - 1; }"}"#,
+            "\n",
+            r#"{"id": "verb", "shutdown": true}"#,
+            "\n",
+            r#"{"id": "post-shutdown", "program": "var x; while (x > 0) { x = x - 1; }"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(requests),
+            &mut out,
+            &ServeConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.shutdowns, 1);
+        assert_eq!(summary.errors, 0);
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            !text.contains("post-shutdown"),
+            "no line after the shutdown verb may be answered: {text}"
+        );
+        let ack = text
+            .lines()
+            .find(|l| l.contains(r#""status":"shutdown""#))
+            .unwrap_or_else(|| panic!("no shutdown acknowledgement: {text}"));
+        let doc = Json::parse(ack).unwrap();
+        assert_eq!(doc.get("id").and_then(Json::as_str), Some("verb"));
+        assert!(doc.get("draining").is_some());
+    }
+
+    #[test]
+    fn intake_survives_invalid_utf8_lines() {
+        // `BufRead::lines()` would kill intake on the first invalid UTF-8
+        // byte; the lossy line source must answer it as a parse error and
+        // keep serving.
+        let mut requests = Vec::new();
+        requests.extend_from_slice(b"\xff\xfe garbage bytes \x80\n");
+        requests.extend_from_slice(
+            br#"{"id": "after-garbage", "program": "var x; while (x > 0) { x = x - 1; }"}"#,
+        );
+        requests.push(b'\n');
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(requests),
+            &mut out,
+            &ServeConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.errors, 1);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains(r#""id":"after-garbage""#));
+        assert!(text.contains(r#""verdict":"terminates""#));
     }
 }

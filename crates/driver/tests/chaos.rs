@@ -1,0 +1,207 @@
+//! The chaos acceptance suite: one daemon run with every fault armed at
+//! once — a corrupted cache file at startup, a worker panic, a client
+//! connection dropped mid-response, and a torn cache write at shutdown —
+//! must leave the surviving clients with verdicts *byte-identical* to a
+//! fault-free baseline, answer `{"status": "error"}` for exactly the
+//! panicked job, and recover the cache by quarantine on the next start.
+//!
+//! Everything here is deterministic: faults fire by job id / path
+//! substring via [`faults::arm`], never by chance.
+
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::time::Duration;
+use termite_driver::json::Json;
+use termite_driver::{faults, serve, serve_tcp, ResultCache, ServeConfig};
+
+/// The surviving client's workload: three programs across the verdict
+/// lattice (unconditional proof, conditional proof, unknown), so the
+/// byte-identical check covers ranking functions and preconditions, not
+/// just the verdict word.
+const SURVIVOR_JOBS: [(&str, &str); 3] = [
+    ("c-1", "var x; while (x > 0) { x = x - 1; }"),
+    (
+        "c-2",
+        "var x, y; while (x > 0) { x = x + y; y = y - 1; assume y <= 0; }",
+    ),
+    ("c-3", "var x, y; while (x > 0) { x = x + y; }"),
+];
+
+/// The deterministic part of one job response: verdict, ranking function,
+/// and precondition, re-serialized — everything except wall-clock noise.
+fn fingerprint(response: &Json) -> String {
+    let report = response.get("report").expect("response without report");
+    let part = |name: &str| report.get(name).cloned().unwrap_or(Json::Null);
+    Json::object([
+        ("verdict", part("verdict")),
+        ("terminating", part("terminating")),
+        ("unknown_reason", part("unknown_reason")),
+        ("precondition", part("precondition")),
+        ("ranking", part("ranking")),
+    ])
+    .to_string()
+}
+
+fn job_line(id: &str, program: &str) -> String {
+    Json::object([
+        ("id", Json::String(id.to_string())),
+        ("program", Json::String(program.to_string())),
+    ])
+    .to_string()
+}
+
+/// Runs the survivor's jobs through a plain fault-free stdio session and
+/// fingerprints each response by id.
+fn baseline_fingerprints() -> BTreeMap<String, String> {
+    let mut input = String::new();
+    for (id, program) in SURVIVOR_JOBS {
+        input.push_str(&job_line(id, program));
+        input.push('\n');
+    }
+    let config = ServeConfig {
+        workers: 2,
+        max_inflight: 4,
+        ..ServeConfig::default()
+    };
+    let mut out = Vec::new();
+    let summary = serve(Cursor::new(input.into_bytes()), &mut out, &config, None).unwrap();
+    assert_eq!(summary.ok, SURVIVOR_JOBS.len(), "baseline must be clean");
+    String::from_utf8(out)
+        .unwrap()
+        .lines()
+        .map(|line| {
+            let doc = Json::parse(line).unwrap();
+            let id = doc.get("id").and_then(Json::as_str).unwrap().to_string();
+            (id, fingerprint(&doc))
+        })
+        .collect()
+}
+
+struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        let reader = BufReader::new(stream.try_clone().unwrap());
+        Client { stream, reader }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.stream.write_all(line.as_bytes()).unwrap();
+        self.stream.write_all(b"\n").unwrap();
+        self.stream.flush().unwrap();
+    }
+
+    fn read_response(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).unwrap();
+        assert!(n > 0, "server closed the connection before answering");
+        Json::parse(line.trim_end()).unwrap()
+    }
+}
+
+fn str_field<'a>(doc: &'a Json, name: &str) -> &'a str {
+    doc.get(name)
+        .and_then(Json::as_str)
+        .unwrap_or_else(|| panic!("no string field `{name}` in {doc}"))
+}
+
+#[test]
+fn the_daemon_survives_panic_disconnect_and_cache_corruption() {
+    let baseline = baseline_fingerprints();
+
+    // A crash before this run left the cache file torn: startup must
+    // quarantine it and come up empty instead of dying.
+    let cache_path = std::env::temp_dir().join("termite-chaos-cache.json");
+    let quarantine_path = std::env::temp_dir().join("termite-chaos-cache.json.corrupt");
+    let _ = std::fs::remove_file(&cache_path);
+    let _ = std::fs::remove_file(&quarantine_path);
+    std::fs::write(&cache_path, "{\"version\": 2, \"entries\": [tor").unwrap();
+    let cache = ResultCache::load_or_quarantine(&cache_path);
+    assert!(cache.is_empty());
+    assert!(quarantine_path.exists(), "startup must quarantine the file");
+
+    // All faults of this scenario, armed at once, each firing exactly once:
+    // `boom` panics its worker, `b-quick`'s response write hits a simulated
+    // connection reset, and the first save of this cache file is torn.
+    let _faults =
+        faults::arm("worker_panic=boom; conn_drop=b-quick; cache_torn_write=chaos-cache").unwrap();
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let config = ServeConfig {
+        workers: 2,
+        max_inflight: 4,
+        ..ServeConfig::default()
+    };
+
+    let summary = std::thread::scope(|scope| {
+        let server = scope.spawn(|| serve_tcp(listener, &config, Some(&cache)));
+
+        // Client A: its first job panics the worker; exactly that job
+        // answers as an error, and the *same connection* keeps working.
+        let mut a = Client::connect(addr);
+        a.send(&job_line("boom", SURVIVOR_JOBS[0].1));
+        let crashed = a.read_response();
+        assert_eq!(str_field(&crashed, "id"), "boom");
+        assert_eq!(str_field(&crashed, "status"), "error");
+        assert_eq!(str_field(&crashed, "reason"), "worker-panic");
+        assert!(str_field(&crashed, "error").contains("worker panic"));
+        a.send(&job_line("a-after", SURVIVOR_JOBS[0].1));
+        let after = a.read_response();
+        assert_eq!(str_field(&after, "status"), "ok");
+
+        // Client B: the daemon's write of its response fails (injected
+        // connection reset) — B's session dies, nobody else notices.
+        let mut b = Client::connect(addr);
+        b.send(&job_line("b-quick", SURVIVOR_JOBS[0].1));
+
+        // Client C, the survivor: its three verdicts must be byte-identical
+        // to the fault-free baseline, then its shutdown verb drains the
+        // daemon.
+        let mut c = Client::connect(addr);
+        for (id, program) in SURVIVOR_JOBS {
+            c.send(&job_line(id, program));
+        }
+        let mut seen = BTreeMap::new();
+        for _ in SURVIVOR_JOBS {
+            let doc = c.read_response();
+            assert_eq!(str_field(&doc, "status"), "ok");
+            seen.insert(str_field(&doc, "id").to_string(), fingerprint(&doc));
+        }
+        assert_eq!(seen, baseline, "survivor verdicts must match fault-free");
+
+        c.send(r#"{"id": "done", "shutdown": true}"#);
+        let ack = c.read_response();
+        assert_eq!(str_field(&ack, "status"), "shutdown");
+
+        server.join().unwrap().unwrap()
+    });
+
+    // One panicked job, counted once; B's answer was produced (and counted)
+    // even though its delivery failed.
+    assert_eq!(summary.panicked, 1);
+    assert_eq!(summary.errors, 1, "only the panicked job errors");
+    assert_eq!(summary.shutdowns, 1);
+    assert_eq!(summary.ok, 2 + SURVIVOR_JOBS.len());
+
+    // Shutdown persists the cache — through the armed torn-write, leaving
+    // exactly the corruption the next startup must quarantine again.
+    cache.save(&cache_path).unwrap();
+    assert!(
+        ResultCache::load(&cache_path).is_err(),
+        "the torn save must not parse"
+    );
+    let recovered = ResultCache::load_or_quarantine(&cache_path);
+    assert!(recovered.is_empty());
+    assert!(quarantine_path.exists());
+    let _ = std::fs::remove_file(&cache_path);
+    let _ = std::fs::remove_file(&quarantine_path);
+}

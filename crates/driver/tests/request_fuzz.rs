@@ -1,0 +1,116 @@
+//! Property tests over the NDJSON request parser and the serve intake loop:
+//! arbitrary byte garbage must never panic the service, and every nonblank
+//! input line must produce exactly one response or diagnostic line.
+//!
+//! The counting property uses [`parse_request`] itself as the oracle for the
+//! two verbs that break the one-line-per-line rule: a `{"cancel": id}` for a
+//! job that is not in flight answers with one error line (and the fuzz
+//! corpus never cancels a live id — cancel targets live in their own id
+//! namespace), and a `{"shutdown": true}` answers with one ack and then
+//! stops intake, leaving later lines unanswered by design.
+
+use proptest::prelude::*;
+use std::io::Cursor;
+use termite_driver::json::Json;
+use termite_driver::{parse_request, serve, Request, ServeConfig};
+
+/// A terminating one-variable countdown: the only program in the corpus
+/// that actually reaches an engine, to keep 128 cases fast.
+const QUICK: &str = "var x; while (x > 0) { x = x - 1; }";
+
+/// Arbitrary bytes as one request line: newlines (which would split the
+/// line) and carriage returns (which intake strips) become spaces, and the
+/// rest goes through the same lossy UTF-8 decoding intake applies.
+fn garbage_line() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u8>(), 0..40).prop_map(|bytes| {
+        let sanitized: Vec<u8> = bytes
+            .into_iter()
+            .map(|b| if b == b'\n' || b == b'\r' { b' ' } else { b })
+            .collect();
+        String::from_utf8_lossy(&sanitized).into_owned()
+    })
+}
+
+/// A structurally valid job request whose program text may be garbage (an
+/// engine-side parse error is still exactly one response line). Ids may
+/// collide across lines — a duplicate in-flight id is one error line.
+fn job_line() -> impl Strategy<Value = String> {
+    let program = prop_oneof![Just(QUICK.to_string()), garbage_line()];
+    ((0u32..8), program).prop_map(|(id, program)| {
+        Json::object([
+            ("id", Json::String(format!("job-{id}"))),
+            ("program", Json::String(program)),
+        ])
+        .to_string()
+    })
+}
+
+/// One line of the fuzz corpus: mostly garbage, sometimes a well-formed
+/// job, stats, or cancel-of-nothing (its target namespace is disjoint from
+/// `job_line` ids, so it always answers with one error line).
+fn corpus_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        garbage_line(),
+        garbage_line(),
+        job_line(),
+        Just(r#"{"stats": true}"#.to_string()),
+        (0u32..4).prop_map(|n| format!(r#"{{"cancel": "missing-{n}"}}"#)),
+    ]
+}
+
+proptest! {
+    /// The parser itself never panics, whatever bytes a client sends.
+    #[test]
+    fn parse_request_never_panics(line in garbage_line()) {
+        let _ = parse_request(&line);
+    }
+
+    /// Exactly one response line per nonblank request line, every response
+    /// a JSON object with a `status`, no matter how hostile the intake. The
+    /// expected count comes from replaying the corpus against
+    /// [`parse_request`]: a cancel of a live job would answer zero lines
+    /// (the corpus has none), shutdown answers one ack and stops intake.
+    #[test]
+    fn serve_answers_exactly_one_line_per_nonblank_line(
+        lines in prop::collection::vec(corpus_line(), 0..6),
+    ) {
+        let mut expected = 0usize;
+        for line in &lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_request(line) {
+                Ok(Request::Shutdown { .. }) => {
+                    expected += 1;
+                    break;
+                }
+                _ => expected += 1,
+            }
+        }
+
+        let input = lines.iter().fold(String::new(), |mut buf, line| {
+            buf.push_str(line);
+            buf.push('\n');
+            buf
+        });
+        let config = ServeConfig {
+            workers: 1,
+            max_inflight: 4,
+            ..ServeConfig::default()
+        };
+        let mut out = Vec::new();
+        serve(Cursor::new(input.into_bytes()), &mut out, &config, None).unwrap();
+
+        let text = String::from_utf8(out).unwrap();
+        let responses: Vec<&str> = text.lines().collect();
+        prop_assert_eq!(responses.len(), expected, "corpus: {:?}", lines);
+        for response in responses {
+            let doc = Json::parse(response).unwrap();
+            prop_assert!(
+                doc.get("status").and_then(Json::as_str).is_some(),
+                "response without a status: {}",
+                response
+            );
+        }
+    }
+}

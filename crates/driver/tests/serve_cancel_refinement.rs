@@ -130,6 +130,7 @@ fn cancel_lands_mid_refinement_not_after_it() {
         job_timeout: None,
         max_inflight: 4,
         stats_every: None,
+        ..ServeConfig::default()
     };
 
     let serve_thread =

@@ -55,6 +55,10 @@ pub struct MetricsSnapshot {
     pub jobs_cancelled: u64,
     /// Completed jobs answered from the result cache.
     pub jobs_from_cache: u64,
+    /// Completed jobs whose worker panicked (caught at the scheduler's
+    /// isolation boundary; the worker survived and the job answered with an
+    /// error).
+    pub jobs_panicked: u64,
     /// Total time jobs spent queued before a worker picked them up,
     /// milliseconds.
     pub queue_wait_millis: f64,
@@ -69,6 +73,7 @@ pub struct MetricsRegistry {
     jobs_completed: AtomicU64,
     jobs_cancelled: AtomicU64,
     jobs_from_cache: AtomicU64,
+    jobs_panicked: AtomicU64,
     queue_wait_us: AtomicU64,
     iterations: AtomicU64,
     lp_instances: AtomicU64,
@@ -107,6 +112,13 @@ impl MetricsRegistry {
     /// Records the queue wait of a job a worker just picked up.
     pub fn queue_wait_micros(&self, micros: u64) {
         self.queue_wait_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Records a worker panic caught at the scheduler's isolation boundary
+    /// (the job still counts as completed via
+    /// [`job_finished`](Self::job_finished)).
+    pub fn job_panicked(&self) {
+        self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Merges a landed job's synthesis totals into the registry.
@@ -153,6 +165,7 @@ impl MetricsRegistry {
             jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
             jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
             jobs_from_cache: self.jobs_from_cache.load(Ordering::Relaxed),
+            jobs_panicked: self.jobs_panicked.load(Ordering::Relaxed),
             queue_wait_millis: self.queue_wait_us.load(Ordering::Relaxed) as f64 / 1000.0,
             totals: JobMetrics {
                 iterations: self.iterations.load(Ordering::Relaxed),
