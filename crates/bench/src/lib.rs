@@ -9,7 +9,7 @@
 
 use termite_core::{prove_termination, AnalysisOptions, Engine};
 use termite_invariants::{location_invariants, InvariantOptions};
-use termite_ir::{Program, TransitionSystem};
+use termite_ir::{optimize, OptStats, Program, Provenance, TransitionSystem};
 use termite_polyhedra::Polyhedron;
 use termite_suite::{suite, Benchmark, SuiteId};
 
@@ -23,25 +23,51 @@ pub struct PreparedBenchmark {
     pub name: String,
     /// Whether the benchmark is expected to be proved terminating.
     pub expected_terminating: bool,
-    /// The program itself (for the refinement pipeline).
+    /// The program itself (for the refinement pipeline). Optimized
+    /// preparations carry the *optimized* program, consistent with
+    /// `ts`/`invariants`.
     pub program: Program,
     /// Cut-point transition system.
     pub ts: TransitionSystem,
     /// Invariants at the cut points.
     pub invariants: Vec<Polyhedron>,
+    /// Source-variable translation map when the IR pre-optimizer ran.
+    pub provenance: Option<Provenance>,
+    /// Shrink counters when the IR pre-optimizer ran.
+    pub opt_stats: Option<OptStats>,
 }
 
-/// Prepares a benchmark (front-end + invariant generation).
-pub fn prepare(benchmark: &Benchmark) -> PreparedBenchmark {
-    let ts = benchmark.program.transition_system();
-    let invariants = location_invariants(&benchmark.program, &InvariantOptions::default());
+/// Prepares a benchmark (front-end + invariant generation), optionally
+/// running the IR shrinking pipeline first so every engine downstream sees
+/// the reduced dimensions.
+pub fn prepare_with(benchmark: &Benchmark, optimize_ir: bool) -> PreparedBenchmark {
+    let (program, provenance, opt_stats) = if optimize_ir {
+        let optimized = optimize(&benchmark.program);
+        (
+            optimized.program,
+            Some(optimized.provenance),
+            Some(optimized.stats),
+        )
+    } else {
+        (benchmark.program.clone(), None, None)
+    };
+    let ts = program.transition_system();
+    let invariants = location_invariants(&program, &InvariantOptions::default());
     PreparedBenchmark {
-        name: benchmark.program.name.clone(),
+        name: program.name.clone(),
         expected_terminating: benchmark.expected_terminating,
-        program: benchmark.program.clone(),
+        program,
         ts,
         invariants,
+        provenance,
+        opt_stats,
     }
+}
+
+/// Prepares a benchmark without pre-optimization (the raw, paper-faithful
+/// preparation the timing benches use).
+pub fn prepare(benchmark: &Benchmark) -> PreparedBenchmark {
+    prepare_with(benchmark, false)
 }
 
 /// Prepares every benchmark of a suite.

@@ -252,6 +252,18 @@ pub struct SynthesisStats {
     /// this *includes* the initial fixpoint/Houdini stages, so the per-phase
     /// breakdown accounts for the whole analysis.
     pub invariant_millis: f64,
+    /// CFG nodes of the program before IR pre-optimization (0 when the
+    /// driver ran with optimization off or analysed a raw transition
+    /// system).
+    pub ir_nodes_before: usize,
+    /// CFG nodes actually analysed, after IR pre-optimization.
+    pub ir_nodes_after: usize,
+    /// Declared program variables before IR pre-optimization (0 when off).
+    pub ir_vars_before: usize,
+    /// Variables actually analysed — every one of these is an LP column
+    /// per cut point and an SMT dimension, which is what the optimizer
+    /// shrinks.
+    pub ir_vars_after: usize,
 }
 
 impl SynthesisStats {

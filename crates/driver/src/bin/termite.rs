@@ -50,19 +50,21 @@ use termite_suite::SuiteId;
 
 const USAGE: &str = "usage:
   termite analyze <file> [--engine E | --portfolio] [--timeout-ms N] [--cache FILE]
-                         [--trace FILE]
+                         [--cache-max-bytes N] [--trace FILE] [--no-optimize]
   termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
-                [--max-inflight K] [--timeout-ms N] [--stats-every N]
-                [--listen ADDR:PORT] [--drain-ms N]
-  termite suite <polybench|sorts|termcomp|wtc|all> [--engine E | --portfolio]
-                [--jobs N] [--shard k/n] [--json FILE] [--cache FILE] [--timeout-ms N]
-                [--trace FILE]
+                [--cache-max-bytes N] [--max-inflight K] [--timeout-ms N]
+                [--stats-every N] [--listen ADDR:PORT] [--drain-ms N] [--no-optimize]
+  termite suite <polybench|sorts|termcomp|wtc|bloated|all> [--engine E | --portfolio]
+                [--jobs N] [--shard k/n] [--json FILE] [--cache FILE]
+                [--cache-max-bytes N] [--timeout-ms N] [--trace FILE] [--no-optimize]
   termite merge-reports <out.json> <in1.json> <in2.json> [...]
   termite bench-diff <old.json> <new.json> [--max-ratio R] [--min-millis M]
   termite check-verdicts <expected.json> <actual.json>
   termite table1
 
-engines: termite (default), eager, pr, heuristic";
+engines: termite (default), eager, pr, heuristic
+--no-optimize analyses programs as written, skipping the IR shrinking pipeline
+(constant propagation, dead-variable elimination) that runs by default";
 
 fn main() -> ExitCode {
     // `TERMITE_FAULTS` arms deterministic failure points (worker panics,
@@ -109,6 +111,12 @@ struct Flags {
     /// `--drain-ms N` (serve only): how long a graceful shutdown waits for
     /// in-flight jobs before cancelling the stragglers.
     drain_ms: Option<u64>,
+    /// `--no-optimize`: skip the IR pre-optimization pipeline and analyse
+    /// programs as written (the pipeline is on by default).
+    no_optimize: bool,
+    /// `--cache-max-bytes N`: LRU-evict cache entries whenever the cache's
+    /// serialized size exceeds N bytes.
+    cache_max_bytes: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -124,6 +132,8 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         stats_every: None,
         listen: None,
         drain_ms: None,
+        no_optimize: false,
+        cache_max_bytes: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -162,6 +172,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 flags.shard = Some((k, n));
             }
             "--cache" => flags.cache_path = Some(PathBuf::from(value("--cache")?)),
+            "--cache-max-bytes" => {
+                flags.cache_max_bytes = Some(
+                    value("--cache-max-bytes")?
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|n| *n >= 1)
+                        .ok_or("--cache-max-bytes needs a positive integer")?,
+                )
+            }
+            "--no-optimize" => flags.no_optimize = true,
             "--max-inflight" => {
                 flags.max_inflight = Some(
                     value("--max-inflight")?
@@ -283,7 +303,8 @@ fn analyze(file: &str, flags: Flags) -> Result<ExitCode, String> {
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| file.to_string());
     let program = parse_named_program(&source, &name).map_err(|e| format!("parse {file}: {e}"))?;
-    let job = AnalysisJob::from_program(&program, &InvariantOptions::default());
+    let job =
+        AnalysisJob::from_program_with(&program, &InvariantOptions::default(), !flags.no_optimize);
 
     let results = run_jobs(vec![job], &flags)?;
     let result = &results[0];
@@ -314,7 +335,7 @@ fn serve_command(flags: Flags) -> Result<ExitCode, String> {
     let cache = flags
         .cache_path
         .as_deref()
-        .map(ResultCache::load_or_quarantine);
+        .map(|p| ResultCache::load_or_quarantine(p).with_max_bytes(flags.cache_max_bytes));
     // The one authoritative defaults live in `ServeConfig::default()`.
     let defaults = ServeConfig::default();
     let config = ServeConfig {
@@ -332,6 +353,7 @@ fn serve_command(flags: Flags) -> Result<ExitCode, String> {
         // pipe closes, and std retries interrupted stdin reads, so a handler
         // would only stop plain `kill` from working there.
         shutdown_flag: flags.listen.as_ref().map(|_| install_sigterm_handler()),
+        optimize: !flags.no_optimize,
     };
     let outcome = match &flags.listen {
         Some(addr) => {
@@ -387,6 +409,7 @@ fn parse_suites(name: &str) -> Result<Vec<SuiteId>, String> {
         "sorts" => Ok(vec![SuiteId::Sorts]),
         "termcomp" => Ok(vec![SuiteId::TermComp]),
         "wtc" => Ok(vec![SuiteId::Wtc]),
+        "bloated" => Ok(vec![SuiteId::Bloated]),
         "all" => Ok(SuiteId::all().to_vec()),
         other => Err(format!("unknown suite `{other}`")),
     }
@@ -401,7 +424,7 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
     let mut jobs = Vec::new();
     let mut suite_of: Vec<&'static str> = Vec::new();
     for s in &suites {
-        let suite_jobs = AnalysisJob::from_suite(*s);
+        let suite_jobs = AnalysisJob::from_suite_with(*s, !flags.no_optimize);
         suite_of.extend(std::iter::repeat_n(s.name(), suite_jobs.len()));
         jobs.extend(suite_jobs);
     }
@@ -431,7 +454,7 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
     let wall = start.elapsed().as_secs_f64() * 1000.0;
 
     println!(
-        "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>9} {:>10} {:>8} {:>8} {:>8} {:>7}",
+        "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>9} {:>8} {:>7} {:>10} {:>8} {:>8} {:>8} {:>7}",
         "benchmark",
         "suite",
         "verdict",
@@ -439,12 +462,24 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         "iters",
         "piv",
         "warm",
+        "nodes",
+        "vars",
         "time(ms)",
         "smt(ms)",
         "lp(ms)",
         "inv(ms)",
         "cache"
     );
+    // "12→9" when the IR pre-optimizer ran, "-" otherwise (a report with no
+    // `ir_*` counters — `--no-optimize`, or an entry cached before the
+    // optimizer existed — must not render as a measured "0→0").
+    let shrink = |before: usize, after: usize| {
+        if before == 0 {
+            "-".to_string()
+        } else {
+            format!("{before}\u{2192}{after}")
+        }
+    };
     for (result, suite) in results.iter().zip(&suite_of) {
         let verdict = match verdict_name(&result.report.verdict) {
             "terminates" => "TERMINATING",
@@ -452,7 +487,7 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         };
         let s = &result.report.stats;
         println!(
-            "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>5}/{:<3} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>7}",
+            "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>5}/{:<3} {:>8} {:>7} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>7}",
             result.name,
             suite,
             verdict,
@@ -461,6 +496,8 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
             s.lp_pivots,
             s.lp_warm_hits,
             s.lp_instances,
+            shrink(s.ir_nodes_before, s.ir_nodes_after),
+            shrink(s.ir_vars_before, s.ir_vars_after),
             s.synthesis_millis,
             s.smt_millis,
             s.lp_millis,
@@ -501,6 +538,20 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         totals.cache_hits,
         totals.cache_millis,
     );
+    let optimized = results
+        .iter()
+        .filter(|r| r.report.stats.ir_nodes_before > 0)
+        .count();
+    if optimized > 0 {
+        println!(
+            "ir: {} benchmark(s) pre-optimized, nodes {}\u{2192}{}, vars {}\u{2192}{}",
+            optimized,
+            sum(&|r| r.report.stats.ir_nodes_before),
+            sum(&|r| r.report.stats.ir_nodes_after),
+            sum(&|r| r.report.stats.ir_vars_before),
+            sum(&|r| r.report.stats.ir_vars_after),
+        );
+    }
 
     if let Some(path) = &flags.json_path {
         let doc = results_to_json(&results, &suite_of, &totals);
@@ -515,7 +566,7 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
 /// JSON is written once the batch completes.
 fn run_jobs(jobs: Vec<AnalysisJob>, flags: &Flags) -> Result<Vec<BatchResult>, String> {
     let cache = match &flags.cache_path {
-        Some(path) => Some(ResultCache::load(path)?),
+        Some(path) => Some(ResultCache::load(path)?.with_max_bytes(flags.cache_max_bytes)),
         None => None,
     };
     // The suite-sized ring: a whole-run trace holds every job's spans, not
@@ -548,9 +599,10 @@ fn run_jobs(jobs: Vec<AnalysisJob>, flags: &Flags) -> Result<Vec<BatchResult>, S
         cache.save(path)?;
         let stats = cache.stats();
         eprintln!(
-            "cache: {} hits, {} misses, {} entries persisted to {}",
+            "cache: {} hits, {} misses, {} evicted, {} entries persisted to {}",
             stats.hits,
             stats.misses,
+            stats.evictions,
             cache.len(),
             path.display()
         );
@@ -613,6 +665,22 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
                     "invariant_millis",
                     Json::Number(r.report.stats.invariant_millis),
                 ),
+                (
+                    "ir_nodes_before",
+                    Json::Number(r.report.stats.ir_nodes_before as f64),
+                ),
+                (
+                    "ir_nodes_after",
+                    Json::Number(r.report.stats.ir_nodes_after as f64),
+                ),
+                (
+                    "ir_vars_before",
+                    Json::Number(r.report.stats.ir_vars_before as f64),
+                ),
+                (
+                    "ir_vars_after",
+                    Json::Number(r.report.stats.ir_vars_after as f64),
+                ),
                 ("wall_millis", Json::Number(r.wall_millis)),
                 ("from_cache", Json::Bool(r.from_cache)),
                 (
@@ -664,6 +732,13 @@ struct BenchRecord {
     smt_millis: Option<f64>,
     lp_millis: Option<f64>,
     invariant_millis: Option<f64>,
+    /// IR shrink counters, `None` for reports written before the
+    /// pre-optimizer existed (or with it bypassed). Informational only —
+    /// reported as totals, never gated on.
+    ir_nodes_before: Option<f64>,
+    ir_nodes_after: Option<f64>,
+    ir_vars_before: Option<f64>,
+    ir_vars_after: Option<f64>,
 }
 
 /// Renders an optional pivot count for the diff table (`n/a` when the
@@ -715,6 +790,10 @@ fn load_report(path: &str) -> Result<Vec<BenchRecord>, String> {
                 smt_millis: b.get("smt_millis").and_then(Json::as_f64),
                 lp_millis: b.get("lp_millis").and_then(Json::as_f64),
                 invariant_millis: b.get("invariant_millis").and_then(Json::as_f64),
+                ir_nodes_before: b.get("ir_nodes_before").and_then(Json::as_f64),
+                ir_nodes_after: b.get("ir_nodes_after").and_then(Json::as_f64),
+                ir_vars_before: b.get("ir_vars_before").and_then(Json::as_f64),
+                ir_vars_after: b.get("ir_vars_after").and_then(Json::as_f64),
             })
         })
         .collect()
@@ -851,6 +930,36 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
     };
     phase_totals(&old, "old");
     phase_totals(&new, "new");
+    // Informational IR shrink totals per side, same absent-is-unknown rule
+    // as the phases — a side that never ran the pre-optimizer prints `n/a`,
+    // and the diff never gates on these.
+    let ir_totals = |records: &[BenchRecord], label: &str| {
+        let total = |field: &dyn Fn(&BenchRecord) -> Option<f64>| -> Option<f64> {
+            let measured: Vec<f64> = records
+                .iter()
+                .filter(|r| r.ir_nodes_before.unwrap_or(0.0) > 0.0)
+                .filter_map(field)
+                .collect();
+            if measured.is_empty() {
+                None
+            } else {
+                Some(measured.iter().sum())
+            }
+        };
+        let pair = |before: Option<f64>, after: Option<f64>| -> String {
+            match (before, after) {
+                (Some(b), Some(a)) => format!("{b}\u{2192}{a}"),
+                _ => "n/a".to_string(),
+            }
+        };
+        println!(
+            "bench-diff: ir {label}: nodes {}, vars {}",
+            pair(total(&|r| r.ir_nodes_before), total(&|r| r.ir_nodes_after)),
+            pair(total(&|r| r.ir_vars_before), total(&|r| r.ir_vars_after)),
+        );
+    };
+    ir_totals(&old, "old");
+    ir_totals(&new, "new");
     if failures > 0 {
         eprintln!("bench-diff: {failures} benchmark(s) regressed");
         Ok(ExitCode::from(1))

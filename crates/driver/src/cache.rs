@@ -84,6 +84,18 @@ pub fn cache_key(
         "opts:iters={},disjuncts={},inv={:?};",
         options.max_iterations_per_dim, options.max_eager_disjuncts, options.invariants
     );
+    // The pre-optimizer rewrites the transition system the engines see, so an
+    // optimized job and its raw twin must never share an entry (their stats
+    // differ even when the verdicts agree), and any change to the pass
+    // pipeline (`OPT_PIPELINE_VERSION`) invalidates optimized entries.
+    match &job.provenance {
+        Some(_) => {
+            let _ = write!(text, "opt:{};", termite_ir::OPT_PIPELINE_VERSION);
+        }
+        None => {
+            let _ = write!(text, "opt:off;");
+        }
+    }
     // Conditional termination changes what a verdict can be: the refinement
     // pipeline re-derives everything from the program CFG, so two different
     // programs can share a cut-point transition system and one-shot
@@ -116,6 +128,8 @@ pub struct CacheStats {
     pub misses: usize,
     /// Reports inserted.
     pub stores: usize,
+    /// Entries dropped by the size budget (least-recently-used first).
+    pub evictions: usize,
 }
 
 /// One stored report plus its serialized footprint: `entry_bytes` is the
@@ -126,6 +140,9 @@ pub struct CacheStats {
 struct CacheEntry {
     report: TerminationReport,
     entry_bytes: usize,
+    /// Logical timestamp of the last lookup or store that touched this
+    /// entry; the eviction loop drops the smallest first.
+    last_used: u64,
 }
 
 /// Map plus the running sum of every entry's serialized footprint.
@@ -133,6 +150,22 @@ struct CacheEntry {
 struct CacheMap {
     entries: HashMap<String, CacheEntry>,
     payload_bytes: usize,
+    /// Monotonic counter handing out `last_used` stamps.
+    tick: u64,
+}
+
+impl CacheMap {
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Serialized document size, computed under the lock the caller already
+    /// holds (the public [`ResultCache::serialized_bytes`] takes the lock
+    /// itself and must not be called from the store path).
+    fn serialized_bytes(&self) -> usize {
+        ENVELOPE_BYTES + self.payload_bytes + self.entries.len().saturating_sub(1)
+    }
 }
 
 /// Serialized size of the document envelope around the entries:
@@ -153,6 +186,9 @@ pub struct ResultCache {
     hits: AtomicUsize,
     misses: AtomicUsize,
     stores: AtomicUsize,
+    evictions: AtomicUsize,
+    /// Serialized-size budget; `None` means unbounded (the default).
+    max_bytes: Option<usize>,
 }
 
 impl ResultCache {
@@ -161,9 +197,27 @@ impl ResultCache {
         ResultCache::default()
     }
 
-    /// Looks up a key, counting a hit or a miss.
+    /// Caps the cache's serialized size: whenever a store pushes
+    /// [`serialized_bytes`](Self::serialized_bytes) past the budget, the
+    /// least-recently-used entries (lookups count as use) are dropped until
+    /// it fits. The entry just stored is never evicted — a budget smaller
+    /// than a single report degrades to caching exactly one entry rather
+    /// than silently caching nothing. `None` removes the cap.
+    pub fn with_max_bytes(mut self, max_bytes: Option<usize>) -> Self {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Looks up a key, counting a hit or a miss. A hit freshens the entry's
+    /// LRU stamp.
     pub fn lookup(&self, key: &str) -> Option<TerminationReport> {
-        let found = lock(&self.map).entries.get(key).map(|e| e.report.clone());
+        let mut map = lock(&self.map);
+        let tick = map.next_tick();
+        let found = map.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            e.report.clone()
+        });
+        drop(map);
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -171,23 +225,45 @@ impl ResultCache {
         found
     }
 
-    /// Stores a report under a key. The entry's serialized footprint is
-    /// measured here, once per store, so size probes stay O(1).
+    /// Stores a report under a key, then enforces the size budget (if one is
+    /// set) by evicting least-recently-used entries. The entry's serialized
+    /// footprint is measured here, once per store, so size probes stay O(1).
     pub fn store(&self, key: String, report: TerminationReport) {
         let bytes = entry_bytes(&key, &report);
         let mut map = lock(&self.map);
+        let tick = map.next_tick();
         if let Some(old) = map.entries.insert(
-            key,
+            key.clone(),
             CacheEntry {
                 report,
                 entry_bytes: bytes,
+                last_used: tick,
             },
         ) {
             map.payload_bytes -= old.entry_bytes;
         }
         map.payload_bytes += bytes;
+        let mut evicted = 0usize;
+        if let Some(budget) = self.max_bytes {
+            while map.serialized_bytes() > budget && map.entries.len() > 1 {
+                let victim = map
+                    .entries
+                    .iter()
+                    .filter(|(k, _)| **k != key)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone());
+                let Some(victim) = victim else { break };
+                if let Some(old) = map.entries.remove(&victim) {
+                    map.payload_bytes -= old.entry_bytes;
+                    evicted += 1;
+                }
+            }
+        }
         drop(map);
         self.stores.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
     }
 
     /// Number of stored entries.
@@ -206,6 +282,7 @@ impl ResultCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -238,11 +315,13 @@ impl ResultCache {
             // entry accounts for what a re-save would write, not for the
             // bytes it occupied on disk.
             let bytes = entry_bytes(key, &report);
+            let tick = map.next_tick();
             map.entries.insert(
                 key.clone(),
                 CacheEntry {
                     report,
                     entry_bytes: bytes,
+                    last_used: tick,
                 },
             );
             map.payload_bytes += bytes;
@@ -306,9 +385,7 @@ impl ResultCache {
     /// probe never re-serializes the cache. Pinned byte-exact against the
     /// real serializer by a test.
     pub fn serialized_bytes(&self) -> usize {
-        let map = lock(&self.map);
-        let commas = map.entries.len().saturating_sub(1);
-        ENVELOPE_BYTES + map.payload_bytes + commas
+        lock(&self.map).serialized_bytes()
     }
 
     /// One-line human summary (entries, hit/miss counters, serialized size),
@@ -319,10 +396,11 @@ impl ResultCache {
     pub fn summary(&self, serialized_bytes: usize) -> String {
         let stats = self.stats();
         format!(
-            "{} entries, {} hits, {} misses, {} bytes serialized",
+            "{} entries, {} hits, {} misses, {} evicted, {} bytes serialized",
             self.len(),
             stats.hits,
             stats.misses,
+            stats.evictions,
             serialized_bytes
         )
     }
@@ -538,6 +616,10 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
                 ("smt_millis", Json::Number(s.smt_millis)),
                 ("lp_millis", Json::Number(s.lp_millis)),
                 ("invariant_millis", Json::Number(s.invariant_millis)),
+                ("ir_nodes_before", Json::Number(s.ir_nodes_before as f64)),
+                ("ir_nodes_after", Json::Number(s.ir_nodes_after as f64)),
+                ("ir_vars_before", Json::Number(s.ir_vars_before as f64)),
+                ("ir_vars_after", Json::Number(s.ir_vars_after as f64)),
             ]),
         ),
     ])
@@ -660,6 +742,11 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
         smt_millis: field("smt_millis").unwrap_or(0.0),
         lp_millis: field("lp_millis").unwrap_or(0.0),
         invariant_millis: field("invariant_millis").unwrap_or(0.0),
+        // Absent in cache files written before the IR pre-optimizer.
+        ir_nodes_before: field("ir_nodes_before").unwrap_or(0.0) as usize,
+        ir_nodes_after: field("ir_nodes_after").unwrap_or(0.0) as usize,
+        ir_vars_before: field("ir_vars_before").unwrap_or(0.0) as usize,
+        ir_vars_after: field("ir_vars_after").unwrap_or(0.0) as usize,
     };
     Ok(TerminationReport {
         program,
@@ -760,7 +847,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                stores: 1
+                stores: 1,
+                evictions: 0
             }
         );
     }
@@ -1011,5 +1099,86 @@ mod tests {
         assert_eq!(ResultCache::load(&path).unwrap().len(), 1);
         let _ = std::fs::remove_file(&path);
         let _ = std::fs::remove_file(&quarantine);
+    }
+
+    #[test]
+    fn optimized_and_raw_jobs_never_share_a_key() {
+        // Flipping the optimize switch must miss: the engines see different
+        // transition systems and the stats differ even when verdicts agree.
+        let opts = AnalysisOptions::default();
+        let sel = EngineSelection::single(Engine::Termite);
+        let src = "var x, d; assume x >= 0; while (x > 0) { x = x - 1; d = x + 1; }";
+        let p = parse_program(src).unwrap();
+        let raw = AnalysisJob::from_program_with(&p, &InvariantOptions::default(), false);
+        let optimized = AnalysisJob::from_program_with(&p, &InvariantOptions::default(), true);
+        assert!(raw.provenance.is_none());
+        assert!(optimized.provenance.is_some());
+        assert_ne!(
+            cache_key(&raw, &sel, &opts),
+            cache_key(&optimized, &sel, &opts),
+            "the optimize boundary must not be crossed by cache hits"
+        );
+        // Both keys are stable across reconstruction (content-addressing).
+        let again = AnalysisJob::from_program_with(&p, &InvariantOptions::default(), true);
+        assert_eq!(
+            cache_key(&optimized, &sel, &opts),
+            cache_key(&again, &sel, &opts)
+        );
+    }
+
+    fn report_for(src: &str) -> TerminationReport {
+        let j = job(src);
+        prove_transition_system(&j.ts, &j.invariants, &AnalysisOptions::default())
+    }
+
+    #[test]
+    fn size_budget_evicts_least_recently_used_first() {
+        let r = report_for("var x; while (x > 0) { x = x - 1; }");
+        let one = entry_bytes("a", &r);
+        // Room for two entries (plus envelope and one comma), not three.
+        let budget = ENVELOPE_BYTES + 2 * one + 1;
+        let cache = ResultCache::new().with_max_bytes(Some(budget));
+        cache.store("a".to_string(), r.clone());
+        cache.store("b".to_string(), r.clone());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 0);
+
+        // Freshen `a`, then overflow: `b` is now the least recently used.
+        assert!(cache.lookup("a").is_some());
+        cache.store("c".to_string(), r.clone());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert!(cache.lookup("a").is_some(), "freshened entry must survive");
+        assert!(cache.lookup("b").is_none(), "LRU entry must be evicted");
+        assert!(
+            cache.lookup("c").is_some(),
+            "just-stored entry must survive"
+        );
+        assert!(cache.serialized_bytes() <= budget);
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_caching_the_newest_entry() {
+        let r = report_for("var x; while (x > 0) { x = x - 1; }");
+        // Smaller than a single entry: each store evicts everything else but
+        // keeps itself, so the cache still serves repeats of the last job.
+        let cache = ResultCache::new().with_max_bytes(Some(1));
+        cache.store("a".to_string(), r.clone());
+        cache.store("b".to_string(), r.clone());
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup("b").is_some());
+        assert!(cache.lookup("a").is_none());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let r = report_for("var x; while (x > 0) { x = x - 1; }");
+        let cache = ResultCache::new();
+        for i in 0..16 {
+            cache.store(format!("{i:016x}"), r.clone());
+        }
+        assert_eq!(cache.len(), 16);
+        assert_eq!(cache.stats().evictions, 0);
     }
 }

@@ -13,8 +13,11 @@ use crate::job::AnalysisJob;
 use std::fmt;
 use std::sync::Mutex;
 use termite_core::{
-    prove_termination, prove_transition_system, AnalysisOptions, Engine, TerminationReport,
+    prove_termination, prove_transition_system, AnalysisOptions, Engine, RankingFunction,
+    TerminationReport, UnknownReason, Verdict,
 };
+use termite_ir::Provenance;
+use termite_polyhedra::{Constraint, Polyhedron};
 
 /// Runs one engine on a job: through the full refinement pipeline when the
 /// program source is available (conditional termination), through the
@@ -27,13 +30,80 @@ use termite_core::{
 /// shared behind a lock. That redundancy is bounded by the invariant
 /// generator's cost (milliseconds per job) and buys lock-free racing; the
 /// prepared fields still serve transition-system-only jobs.
+///
+/// Pre-optimized jobs get their verdict translated back to source variables
+/// *here*, before anything downstream (cache, NDJSON response, suite table)
+/// sees the report — a cached report is therefore always in source terms.
 fn prove_job(job: &AnalysisJob, options: &AnalysisOptions) -> TerminationReport {
     let mut report = match &job.program {
         Some(program) => prove_termination(program, options),
         None => prove_transition_system(&job.ts, &job.invariants, options),
     };
     report.program = job.name.clone();
+    if let Some(prov) = &job.provenance {
+        translate_verdict(&mut report.verdict, prov);
+    }
+    if let Some(os) = job.opt_stats {
+        report.stats.ir_nodes_before = os.nodes_before;
+        report.stats.ir_nodes_after = os.nodes_after;
+        report.stats.ir_vars_before = os.vars_before;
+        report.stats.ir_vars_after = os.vars_after;
+    }
     report
+}
+
+/// Rewrites a verdict over the optimized variable space into the original
+/// one: ranking rows and precondition constraints get `0` coefficients at
+/// every eliminated index. The scattered certificate is a genuine
+/// certificate of the original program, because the optimizer only removes
+/// variables no guard can observe.
+fn translate_verdict(verdict: &mut Verdict, prov: &Provenance) {
+    if prov.is_identity() {
+        return;
+    }
+    let owned = std::mem::replace(verdict, Verdict::unknown(UnknownReason::NoRankingFunction));
+    *verdict = match owned {
+        Verdict::Terminates(rf) => Verdict::Terminates(scatter_ranking(&rf, prov)),
+        Verdict::TerminatesIf {
+            precondition,
+            ranking,
+        } => Verdict::TerminatesIf {
+            precondition: scatter_polyhedron(&precondition, prov),
+            ranking: scatter_ranking(&ranking, prov),
+        },
+        unknown => unknown,
+    };
+}
+
+fn scatter_ranking(rf: &RankingFunction, prov: &Provenance) -> RankingFunction {
+    let components = (0..rf.dimension())
+        .map(|d| {
+            (0..rf.num_locations())
+                .map(|k| {
+                    let (lambda, lambda0) = rf.component(d, k);
+                    (prov.scatter(lambda), lambda0.clone())
+                })
+                .collect()
+        })
+        .collect();
+    RankingFunction::new(
+        prov.num_original_vars(),
+        prov.original_var_names().to_vec(),
+        components,
+    )
+}
+
+fn scatter_polyhedron(p: &Polyhedron, prov: &Provenance) -> Polyhedron {
+    let constraints = p
+        .constraints()
+        .iter()
+        .map(|c| Constraint {
+            coeffs: prov.scatter(&c.coeffs),
+            rhs: c.rhs.clone(),
+            kind: c.kind,
+        })
+        .collect();
+    Polyhedron::from_constraints(prov.num_original_vars(), constraints)
 }
 
 /// Which engines a job runs: one, or a racing portfolio.
@@ -258,6 +328,35 @@ mod tests {
             &EngineSelection::Portfolio(Vec::new()),
             &AnalysisOptions::default(),
         );
+    }
+
+    #[test]
+    fn optimized_jobs_report_in_source_variables() {
+        let src = "var d0, x, d1; assume x >= 0; d0 = 3; d1 = d0 + x; \
+                   while (x > 0) { x = x - 1; }";
+        let p = parse_program(src).unwrap();
+        let j = AnalysisJob::from_program_with(&p, &InvariantOptions::default(), true);
+        assert_eq!(j.ts.var_names(), &["x".to_string()]);
+        let out = run_selection(
+            &j,
+            &EngineSelection::single(Engine::Termite),
+            &AnalysisOptions::default(),
+        );
+        assert!(out.report.proved());
+        let rf = out.report.ranking_function().unwrap();
+        assert_eq!(rf.num_vars(), 3, "ranking must live in the source space");
+        assert_eq!(
+            rf.var_names(),
+            &["d0".to_string(), "x".to_string(), "d1".to_string()]
+        );
+        for d in 0..rf.dimension() {
+            for k in 0..rf.num_locations() {
+                let (lambda, _) = rf.component(d, k);
+                assert!(lambda.entries()[0].is_zero() && lambda.entries()[2].is_zero());
+            }
+        }
+        assert_eq!(out.report.stats.ir_vars_before, 3);
+        assert_eq!(out.report.stats.ir_vars_after, 1);
     }
 
     #[test]

@@ -610,6 +610,10 @@ pub struct ServeConfig {
     /// client had sent the shutdown verb. `'static` because a Unix signal
     /// handler cannot capture state.
     pub shutdown_flag: Option<&'static AtomicBool>,
+    /// Whether to run the IR pre-optimization pipeline on submitted
+    /// programs (the session default; a job's `"optimize"` field overrides
+    /// it per request). Defaults to `true`.
+    pub optimize: bool,
 }
 
 impl Default for ServeConfig {
@@ -623,6 +627,7 @@ impl Default for ServeConfig {
             stats_every: None,
             drain_timeout: Duration::from_secs(10),
             shutdown_flag: None,
+            optimize: true,
         }
     }
 }
@@ -736,6 +741,9 @@ pub enum Request {
         timeout: Option<Duration>,
         /// Whether `"trace": true` asked for a per-job trace.
         trace: bool,
+        /// Per-job override of the session's IR pre-optimization default
+        /// (`"optimize": false` analyses the program as written).
+        optimize: Option<bool>,
     },
     /// `{"cancel": id}` — cancel a queued or running job.
     Cancel {
@@ -843,12 +851,20 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<String>, String)> {
             return Err(fail(Some(&id), "`trace` must be a boolean".to_string()));
         }
     };
+    let optimize = match doc.get("optimize") {
+        None | Some(Json::Null) => None,
+        Some(Json::Bool(b)) => Some(*b),
+        Some(_) => {
+            return Err(fail(Some(&id), "`optimize` must be a boolean".to_string()));
+        }
+    };
     Ok(Request::Job {
         id,
         source,
         selection,
         timeout,
         trace,
+        optimize,
     })
 }
 
@@ -1373,6 +1389,7 @@ fn client_intake(
                 selection,
                 timeout,
                 trace,
+                optimize,
             } => {
                 if shared.shutting_down() {
                     let _ = event_tx.send(Event::Reject {
@@ -1391,7 +1408,11 @@ fn client_intake(
                         continue;
                     }
                 };
-                let job = AnalysisJob::from_program(&program, &InvariantOptions::default());
+                let job = AnalysisJob::from_program_with(
+                    &program,
+                    &InvariantOptions::default(),
+                    optimize.unwrap_or(shared.config.optimize),
+                );
                 let token = scheduler.child_token();
                 // The window comes first: an id is only "in flight" (and
                 // only duplicate-checked) once admitted, so a resubmission
@@ -2071,5 +2092,48 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains(r#""id":"after-garbage""#));
         assert!(text.contains(r#""verdict":"terminates""#));
+    }
+
+    #[test]
+    fn job_optimize_field_bypasses_the_pre_optimizer() {
+        // The same padded program three ways: session default (optimize on),
+        // explicit `"optimize": false`, and explicit `"optimize": true`. The
+        // raw job must reach the engines with every padding variable intact
+        // (no ir_* shrink recorded), and all three must agree on the verdict.
+        let padded = "var x, d0, d1; assume x >= 0; \
+                      while (x > 0) { x = x - 1; d0 = x + 1; d1 = d0 + d0; }";
+        let requests = format!(
+            "{}\n{}\n{}\n",
+            format_args!(r#"{{"id": "default", "program": "{padded}"}}"#),
+            format_args!(r#"{{"id": "raw", "program": "{padded}", "optimize": false}}"#),
+            format_args!(r#"{{"id": "opt", "program": "{padded}", "optimize": true}}"#),
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(requests),
+            &mut out,
+            &ServeConfig::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(summary.ok, 3);
+        let text = String::from_utf8(out).unwrap();
+        let stats_of = |id: &str| {
+            let line = text
+                .lines()
+                .find(|l| Json::parse(l).unwrap().get("id").and_then(Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("no response for `{id}`: {text}"));
+            let doc = Json::parse(line).unwrap();
+            assert_eq!(
+                doc.get("verdict").and_then(Json::as_str),
+                Some("terminates")
+            );
+            let stats = doc.get("report").and_then(|r| r.get("stats")).unwrap();
+            let field = |name: &str| stats.get(name).and_then(Json::as_usize).unwrap();
+            (field("ir_vars_before"), field("ir_vars_after"))
+        };
+        assert_eq!(stats_of("default"), (3, 1), "session default optimizes");
+        assert_eq!(stats_of("opt"), (3, 1));
+        assert_eq!(stats_of("raw"), (0, 0), "optimize:false must not shrink");
     }
 }

@@ -111,6 +111,8 @@ fn portfolio_race_loser_never_wins() {
         // One-shot job: the hand-written invariants stay authoritative (no
         // refinement pipeline re-deriving them).
         program: None,
+        provenance: None,
+        opt_stats: None,
     };
     let selection = EngineSelection::portfolio(vec![Engine::Termite, Engine::PodelskiRybalchenko]);
     let out = run_selection(&j, &selection, &AnalysisOptions::default());

@@ -1,0 +1,136 @@
+//! The IR pre-optimizer must be invisible in everything except cost: the
+//! verdict an engine reaches on the optimized program, scattered back through
+//! the provenance map, has to certify the original program.
+//!
+//! Two layers of cross-checking:
+//!
+//! - a property test over the parametric padded-countdown family (the
+//!   workload the optimizer exists for) compares verdict *strength* both
+//!   ways — the raw LP is free to put weight on padding variables, so only
+//!   the rank is comparable, plus the source-variable shape of the
+//!   optimized certificate;
+//! - the whole benchmark suite (all five families, 46 programs) runs both
+//!   ways and must agree on every verdict; benchmarks the optimizer leaves
+//!   untouched must produce byte-identical verdict/precondition/ranking
+//!   JSON, pinning "default-on changes nothing" for the legacy corpus.
+
+use proptest::prelude::*;
+use termite_core::{AnalysisOptions, Engine, TerminationReport};
+use termite_driver::{
+    report_to_json, run_selection, verdict_name, verdict_rank, AnalysisJob, EngineSelection,
+};
+use termite_invariants::InvariantOptions;
+use termite_suite::generators::padded_countdown;
+use termite_suite::SuiteId;
+
+fn prove(job: &AnalysisJob) -> TerminationReport {
+    run_selection(
+        job,
+        &EngineSelection::single(Engine::Termite),
+        &AnalysisOptions::default(),
+    )
+    .report
+}
+
+/// The comparable (cost-independent) part of a report: everything except
+/// the stats object, rendered to a string.
+fn semantic_json(report: &TerminationReport) -> String {
+    let doc = report_to_json(report);
+    [
+        "verdict",
+        "terminating",
+        "unknown_reason",
+        "precondition",
+        "ranking",
+    ]
+    .iter()
+    .map(|k| format!("{k}={}", doc.get(k).unwrap()))
+    .collect::<Vec<_>>()
+    .join(";")
+}
+
+proptest! {
+    #[test]
+    fn padded_countdowns_prove_equally_both_ways(pad in 0usize..7, slack in 0i64..3) {
+        // `slack` widens the initial assume without changing termination, so
+        // the corpus is not a single program repeated 128 times.
+        let mut program = padded_countdown(pad);
+        program.body.insert(
+            0,
+            termite_ir::Stmt::Assume(termite_ir::Cond::Cmp(
+                termite_ir::Expr::Var(0),
+                termite_ir::CmpOp::Ge,
+                termite_ir::Expr::Const(-slack),
+            )),
+        );
+        let inv = InvariantOptions::default();
+        let raw = AnalysisJob::from_program_with(&program, &inv, false);
+        let optimized = AnalysisJob::from_program_with(&program, &inv, true);
+        prop_assert!(optimized.ts.var_names().len() <= raw.ts.var_names().len());
+
+        let raw_report = prove(&raw);
+        let opt_report = prove(&optimized);
+        prop_assert_eq!(
+            verdict_rank(verdict_name(&opt_report.verdict)),
+            verdict_rank(verdict_name(&raw_report.verdict)),
+            "pad {} slack {}: optimization changed the verdict strength",
+            pad,
+            slack
+        );
+        // The scattered certificate speaks the source vocabulary.
+        if let Some(rf) = opt_report.ranking_function() {
+            prop_assert_eq!(rf.num_vars(), program.num_vars());
+            prop_assert_eq!(rf.var_names(), &program.vars[..]);
+        }
+    }
+}
+
+#[test]
+fn full_suite_verdicts_agree_with_and_without_optimization() {
+    for id in SuiteId::all() {
+        let optimized = AnalysisJob::from_suite_with(id, true);
+        let raw = AnalysisJob::from_suite_with(id, false);
+        assert_eq!(optimized.len(), raw.len());
+        for (opt_job, raw_job) in optimized.iter().zip(raw.iter()) {
+            assert_eq!(opt_job.name, raw_job.name);
+            let opt_report = prove(opt_job);
+            let raw_report = prove(raw_job);
+            assert_eq!(
+                verdict_rank(verdict_name(&opt_report.verdict)),
+                verdict_rank(verdict_name(&raw_report.verdict)),
+                "{}: optimization changed the verdict strength",
+                opt_job.name
+            );
+            // Certificates from optimized runs are in source variables.
+            if let Some(rf) = opt_report.ranking_function() {
+                assert_eq!(
+                    rf.var_names(),
+                    raw_job.ts.var_names(),
+                    "{}: certificate not in source vocabulary",
+                    opt_job.name
+                );
+            }
+            // Where the optimizer was a no-op the engines saw the very same
+            // transition system, so the whole semantic payload must match
+            // byte for byte — this is the "default-on changes nothing"
+            // guarantee for programs with nothing to shrink.
+            let untouched = opt_job
+                .opt_stats
+                .map(|s| s.nodes_before == s.nodes_after && s.vars_before == s.vars_after)
+                .unwrap_or(false)
+                && opt_job
+                    .provenance
+                    .as_ref()
+                    .map(|p| p.is_identity())
+                    .unwrap_or(false);
+            if untouched {
+                assert_eq!(
+                    semantic_json(&opt_report),
+                    semantic_json(&raw_report),
+                    "{}: no-op optimization still perturbed the report",
+                    opt_job.name
+                );
+            }
+        }
+    }
+}

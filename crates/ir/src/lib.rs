@@ -17,7 +17,11 @@
 //!   formula (with `∧`, `∨` and auxiliary existential variables) describing
 //!   all paths between them that avoid other cut points. Its size is linear
 //!   in the program size even when the number of paths is exponential
-//!   (Listing 1 / §10 of the paper).
+//!   (Listing 1 / §10 of the paper);
+//! * [`opt`] / [`optimize`] — the pre-analysis shrinking pipeline
+//!   (unreachable-code elimination, block merging, constant propagation,
+//!   dead-variable elimination) with a [`Provenance`] map that translates
+//!   results back to source variables.
 //!
 //! # Example
 //!
@@ -52,6 +56,7 @@ mod affine;
 mod ast;
 mod block;
 mod cfg;
+pub mod opt;
 mod parser;
 
 pub use affine::{
@@ -61,4 +66,5 @@ pub use affine::{
 pub use ast::{CmpOp, Cond, Expr, Program, Stmt, VarId};
 pub use block::{BlockTransition, TransitionSystem};
 pub use cfg::{Cfg, CfgEdge, CfgOp, NodeId};
+pub use opt::{optimize, OptStats, Optimized, Provenance, OPT_PIPELINE_VERSION};
 pub use parser::{parse_named_program, parse_program, ParseError};

@@ -1,0 +1,231 @@
+//! Forward constant propagation of affine assignments.
+//!
+//! A variable assigned a literal (`x := c`) stays that literal until a
+//! havoc (`x := nondet()`), a non-constant assignment, or a loop join can
+//! change it; every use it reaches folds to the literal, after which the
+//! defining assignment is dead and [`super::liveness`] removes it.
+//!
+//! Constants are learned **only from assignments**, never from `assume`d
+//! equalities: an `assume x == 5` constrains the state space (and is the
+//! idiom the benchmark suites use to set up symbolic inputs), but rewriting
+//! its uses would change the guard structure the LP and invariant engines
+//! see for no dimension win — the variable stays live either way.
+//!
+//! Loops are handled conservatively: at a loop header every variable
+//! assigned anywhere in the body (nested loops included) is forgotten,
+//! which is exactly the join over the entry and back edges.
+
+use super::merge::{fold_cond, fold_expr};
+use crate::ast::{Cond, Expr, Program, Stmt, VarId};
+
+/// One forward propagation sweep; returns whether anything was rewritten.
+pub fn propagate(program: &mut Program) -> bool {
+    let mut env: Vec<Option<i64>> = vec![None; program.num_vars()];
+    let mut changed = false;
+    prop_stmts(&mut program.body, &mut env, &mut changed);
+    changed
+}
+
+fn subst_expr(e: &Expr, env: &[Option<i64>]) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Nondet => e.clone(),
+        Expr::Var(v) => match env[*v] {
+            Some(c) => Expr::Const(c),
+            None => e.clone(),
+        },
+        Expr::Add(a, b) => Expr::Add(Box::new(subst_expr(a, env)), Box::new(subst_expr(b, env))),
+        Expr::Sub(a, b) => Expr::Sub(Box::new(subst_expr(a, env)), Box::new(subst_expr(b, env))),
+        Expr::Mul(a, b) => Expr::Mul(Box::new(subst_expr(a, env)), Box::new(subst_expr(b, env))),
+        Expr::Neg(a) => Expr::Neg(Box::new(subst_expr(a, env))),
+    }
+}
+
+fn subst_cond(c: &Cond, env: &[Option<i64>]) -> Cond {
+    match c {
+        Cond::True | Cond::False | Cond::Nondet => c.clone(),
+        Cond::Cmp(a, op, b) => Cond::Cmp(subst_expr(a, env), *op, subst_expr(b, env)),
+        Cond::And(cs) => Cond::And(cs.iter().map(|c| subst_cond(c, env)).collect()),
+        Cond::Or(cs) => Cond::Or(cs.iter().map(|c| subst_cond(c, env)).collect()),
+        Cond::Not(inner) => Cond::Not(Box::new(subst_cond(inner, env))),
+    }
+}
+
+/// Variables assigned (or havocked) anywhere in the statement list,
+/// including nested constructs.
+fn collect_assigned(stmts: &[Stmt], out: &mut Vec<VarId>) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(v, _) => out.push(*v),
+            Stmt::Skip | Stmt::Assume(_) => {}
+            Stmt::If(_, a, b) => {
+                collect_assigned(a, out);
+                collect_assigned(b, out);
+            }
+            Stmt::Choice(branches) => branches.iter().for_each(|b| collect_assigned(b, out)),
+            Stmt::While(_, body) => collect_assigned(body, out),
+        }
+    }
+}
+
+fn join_env(a: &[Option<i64>], b: &[Option<i64>]) -> Vec<Option<i64>> {
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| if x == y { *x } else { None })
+        .collect()
+}
+
+fn rewrite_cond(c: &mut Cond, env: &[Option<i64>], changed: &mut bool) {
+    let folded = fold_cond(subst_cond(c, env));
+    if folded != *c {
+        *changed = true;
+        *c = folded;
+    }
+}
+
+fn prop_stmts(stmts: &mut [Stmt], env: &mut Vec<Option<i64>>, changed: &mut bool) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Skip => {}
+            Stmt::Assign(v, e) => {
+                let folded = fold_expr(subst_expr(e, env));
+                if folded != *e {
+                    *changed = true;
+                    *e = folded;
+                }
+                env[*v] = match e {
+                    Expr::Const(k) => Some(*k),
+                    _ => None,
+                };
+            }
+            Stmt::Assume(c) => rewrite_cond(c, env, changed),
+            Stmt::If(c, a, b) => {
+                rewrite_cond(c, env, changed);
+                let mut env_a = env.clone();
+                let mut env_b = env.clone();
+                prop_stmts(a, &mut env_a, changed);
+                prop_stmts(b, &mut env_b, changed);
+                *env = match c {
+                    Cond::True => env_a,
+                    Cond::False => env_b,
+                    _ => join_env(&env_a, &env_b),
+                };
+            }
+            Stmt::Choice(branches) => {
+                let mut joined: Option<Vec<Option<i64>>> = None;
+                for branch in branches.iter_mut() {
+                    let mut env_b = env.clone();
+                    prop_stmts(branch, &mut env_b, changed);
+                    joined = Some(match joined {
+                        None => env_b,
+                        Some(j) => join_env(&j, &env_b),
+                    });
+                }
+                if let Some(j) = joined {
+                    *env = j;
+                }
+            }
+            Stmt::While(c, body) => {
+                // Header join: anything the body can write is unknown both
+                // at the guard and after the loop.
+                let mut assigned = Vec::new();
+                collect_assigned(body, &mut assigned);
+                for v in assigned {
+                    env[v] = None;
+                }
+                rewrite_cond(c, env, changed);
+                let mut env_body = env.clone();
+                prop_stmts(body, &mut env_body, changed);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn propagated(src: &str) -> Program {
+        let mut p = parse_program(src).unwrap();
+        propagate(&mut p);
+        p
+    }
+
+    #[test]
+    fn literal_reaches_use_and_folds() {
+        let p = propagated("var x, c; c = 2; while (x > 0) { x = x - c; }");
+        let Stmt::While(_, body) = &p.body[1] else {
+            panic!("{:?}", p.body);
+        };
+        assert_eq!(
+            body[0],
+            Stmt::Assign(
+                0,
+                Expr::Sub(Box::new(Expr::Var(0)), Box::new(Expr::Const(2)))
+            )
+        );
+    }
+
+    #[test]
+    fn loop_join_forgets_loop_written_variables() {
+        let src = "var i, n; i = 0; while (i < n) { i = i + 1; }";
+        let p = propagated(src);
+        // `i` is written in the body, so the guard must not fold `i` to 0.
+        assert_eq!(p, parse_program(src).unwrap());
+    }
+
+    #[test]
+    fn assumes_never_teach_constants() {
+        let src = "var x, y; assume x == 5; y = x + 1; while (y > 0) { y = y - 1; }";
+        let p = propagated(src);
+        assert_eq!(p, parse_program(src).unwrap());
+    }
+
+    #[test]
+    fn havoc_kills_the_constant() {
+        let src = "var x, c; c = 1; c = nondet(); while (x > 0) { x = x - c; }";
+        let p = propagated(src);
+        assert_eq!(p, parse_program(src).unwrap());
+    }
+
+    #[test]
+    fn branch_join_keeps_only_agreeing_constants() {
+        let p = propagated(
+            "var x, a, b; \
+             if (nondet()) { a = 1; b = 1; } else { a = 1; b = 2; } \
+             x = a; x = b;",
+        );
+        // `a` is 1 on both arms and folds; `b` disagrees and must not.
+        assert_eq!(p.body[1], Stmt::Assign(0, Expr::Const(1)));
+        assert_eq!(p.body[2], Stmt::Assign(0, Expr::Var(2)));
+    }
+
+    #[test]
+    fn constants_fold_into_branch_guards() {
+        let p = propagated(
+            "var x, c; c = 3; \
+             if (c > 10) { x = x + 1; } else { x = x - 1; } ",
+        );
+        // The guard folded to a constant; merge::simplify will splice it.
+        assert_eq!(
+            p.body[1],
+            Stmt::If(
+                Cond::False,
+                vec![Stmt::Assign(
+                    0,
+                    Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Const(1)))
+                )],
+                vec![Stmt::Assign(
+                    0,
+                    Expr::Sub(Box::new(Expr::Var(0)), Box::new(Expr::Const(1)))
+                )],
+            )
+        );
+    }
+
+    #[test]
+    fn transitive_chains_fold_in_one_sweep() {
+        let p = propagated("var x, a, b; a = 2; b = a + 3; x = b + b;");
+        assert_eq!(p.body[2], Stmt::Assign(0, Expr::Const(10)));
+    }
+}

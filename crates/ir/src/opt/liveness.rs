@@ -1,0 +1,308 @@
+//! Backward liveness analysis and dead-variable elimination.
+//!
+//! Termination of a run depends only on the guards it evaluates — a
+//! variable whose value can never reach a guard cannot influence whether
+//! any loop exits. Liveness is therefore seeded **empty at program exit**
+//! (no "return value" keeps anything alive) and flows backward from guard
+//! uses: it is relative to the cut-point guards, not to exit values. An
+//! assignment whose target is dead at that point is deleted outright
+//! (expressions in this language have no side effects), which cascades —
+//! deleting `d2 = d1 + d0` can make `d1`'s defining assignment dead in the
+//! next sweep, so [`eliminate_dead`] iterates to a fixpoint.
+//!
+//! Two views of the same dataflow are provided: [`eliminate_dead`] works on
+//! the structured AST (where statements can actually be deleted), and
+//! [`live_at_nodes`] runs the classic per-node backward fixpoint over the
+//! lowered [`Cfg`] — used by tests to cross-check the structured sweep and
+//! by diagnostics to report per-cut-point liveness.
+
+use crate::ast::{Cond, Expr, Program, Stmt};
+use crate::cfg::{Cfg, CfgOp};
+
+/// A set of variables, densely indexed.
+type VarSet = Vec<bool>;
+
+fn uses_expr(e: &Expr, set: &mut VarSet) {
+    match e {
+        Expr::Const(_) | Expr::Nondet => {}
+        Expr::Var(v) => set[*v] = true,
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            uses_expr(a, set);
+            uses_expr(b, set);
+        }
+        Expr::Neg(a) => uses_expr(a, set),
+    }
+}
+
+fn uses_cond(c: &Cond, set: &mut VarSet) {
+    match c {
+        Cond::True | Cond::False | Cond::Nondet => {}
+        Cond::Cmp(a, _, b) => {
+            uses_expr(a, set);
+            uses_expr(b, set);
+        }
+        Cond::And(cs) | Cond::Or(cs) => cs.iter().for_each(|c| uses_cond(c, set)),
+        Cond::Not(c) => uses_cond(c, set),
+    }
+}
+
+fn union_into(dst: &mut VarSet, src: &VarSet) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d |= *s;
+    }
+}
+
+/// Pure backward analysis of a statement list: the live set before the
+/// list, given the live set after it. Never mutates.
+fn live_through(stmts: &[Stmt], after: &VarSet) -> VarSet {
+    let mut live = after.clone();
+    for s in stmts.iter().rev() {
+        live = live_through_stmt(s, &live);
+    }
+    live
+}
+
+fn live_through_stmt(s: &Stmt, after: &VarSet) -> VarSet {
+    match s {
+        Stmt::Skip => after.clone(),
+        Stmt::Assign(v, e) => {
+            if !after[*v] {
+                // Dead target: the statement contributes nothing.
+                return after.clone();
+            }
+            let mut live = after.clone();
+            live[*v] = false;
+            uses_expr(e, &mut live);
+            live
+        }
+        Stmt::Assume(c) => {
+            let mut live = after.clone();
+            uses_cond(c, &mut live);
+            live
+        }
+        Stmt::If(c, a, b) => {
+            let mut live = live_through(a, after);
+            union_into(&mut live, &live_through(b, after));
+            uses_cond(c, &mut live);
+            live
+        }
+        Stmt::Choice(branches) => {
+            let mut live = after.clone();
+            for b in branches {
+                union_into(&mut live, &live_through(b, after));
+            }
+            live
+        }
+        Stmt::While(c, body) => loop_header_live(c, body, after),
+    }
+}
+
+/// The live set at a loop header: the least fixpoint of
+/// `L = uses(guard) ∪ after ∪ live_through(body, L)`.
+fn loop_header_live(c: &Cond, body: &[Stmt], after: &VarSet) -> VarSet {
+    let mut live = after.clone();
+    uses_cond(c, &mut live);
+    loop {
+        let mut next = live.clone();
+        union_into(&mut next, &live_through(body, &live));
+        if next == live {
+            return live;
+        }
+        live = next;
+    }
+}
+
+/// One backward sweep deleting assignments to dead variables; returns
+/// `(live before the list, whether anything was deleted)`.
+fn sweep(stmts: &mut Vec<Stmt>, after: &VarSet, changed: &mut bool) -> VarSet {
+    let mut live = after.clone();
+    let mut kept: Vec<Stmt> = Vec::with_capacity(stmts.len());
+    for mut s in std::mem::take(stmts).into_iter().rev() {
+        match &mut s {
+            Stmt::Assign(v, _) if !live[*v] => {
+                *changed = true;
+                continue;
+            }
+            Stmt::If(c, a, b) => {
+                let after_branch = live.clone();
+                let mut before = sweep(a, &after_branch, changed);
+                union_into(&mut before, &sweep(b, &after_branch, changed));
+                uses_cond(c, &mut before);
+                live = before;
+                kept.push(s);
+                continue;
+            }
+            Stmt::Choice(branches) => {
+                let after_branch = live.clone();
+                let mut before = after_branch.clone();
+                for branch in branches.iter_mut() {
+                    union_into(&mut before, &sweep(branch, &after_branch, changed));
+                }
+                live = before;
+                kept.push(s);
+                continue;
+            }
+            Stmt::While(c, body) => {
+                // Deletion decisions inside the body must use the header
+                // fixpoint, not the post-loop set: a value written by one
+                // iteration can be read by the next.
+                let header = loop_header_live(c, body, &live);
+                sweep(body, &header, changed);
+                live = header;
+                kept.push(s);
+                continue;
+            }
+            _ => {}
+        }
+        live = live_through_stmt(&s, &live);
+        kept.push(s);
+    }
+    kept.reverse();
+    *stmts = kept;
+    live
+}
+
+/// Deletes every assignment whose target is dead, iterating until no more
+/// statements die; returns whether anything changed.
+pub fn eliminate_dead(program: &mut Program) -> bool {
+    let n = program.num_vars();
+    let mut changed_any = false;
+    loop {
+        let mut changed = false;
+        let exit = vec![false; n];
+        sweep(&mut program.body, &exit, &mut changed);
+        if !changed {
+            return changed_any;
+        }
+        changed_any = true;
+    }
+}
+
+/// Classic backward liveness over the lowered CFG: `live[node][var]` is
+/// `true` when some path from `node` reads `var` before writing it. The
+/// exit node starts empty (termination analysis observes no final values).
+pub fn live_at_nodes(cfg: &Cfg) -> Vec<Vec<bool>> {
+    let n = cfg.num_vars();
+    let mut live: Vec<Vec<bool>> = vec![vec![false; n]; cfg.num_nodes()];
+    loop {
+        let mut changed = false;
+        for node in (0..cfg.num_nodes()).rev() {
+            let mut out = live[node].clone();
+            for edge in cfg.successors(node) {
+                let mut inflow = live[edge.to].clone();
+                match &edge.op {
+                    CfgOp::Guard(constraints) => {
+                        for c in constraints {
+                            for (v, coeff) in c.coeffs.iter().enumerate() {
+                                if !coeff.is_zero() {
+                                    inflow[v] = true;
+                                }
+                            }
+                        }
+                    }
+                    CfgOp::Assign(v, e) => {
+                        inflow[*v] = false;
+                        for (u, coeff) in e.coeffs.iter().enumerate() {
+                            if !coeff.is_zero() {
+                                inflow[u] = true;
+                            }
+                        }
+                    }
+                    CfgOp::Havoc(v) => inflow[*v] = false,
+                }
+                union_into(&mut out, &inflow);
+            }
+            if out != live[node] {
+                live[node] = out;
+                changed = true;
+            }
+        }
+        if !changed {
+            return live;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn eliminated(src: &str) -> Program {
+        let mut p = parse_program(src).unwrap();
+        eliminate_dead(&mut p);
+        p
+    }
+
+    #[test]
+    fn dead_tail_assignment_dies() {
+        let p = eliminated("var x, d; while (x > 0) { x = x - 1; } d = x + 1;");
+        assert_eq!(p.body.len(), 1, "{:?}", p.body);
+    }
+
+    #[test]
+    fn loop_carried_value_stays_alive() {
+        // `d` is written in one iteration and read by the guard-feeding
+        // assume of the next; the header fixpoint must keep it.
+        let src = "var x, d; while (x > 0) { assume d >= 0; x = x - 1; d = d + x; }";
+        let p = eliminated(src);
+        assert_eq!(p, parse_program(src).unwrap());
+    }
+
+    #[test]
+    fn transitive_deadness_needs_and_gets_iteration() {
+        let p = eliminated("var x, d0, d1; while (x > 0) { x = x - 1; d0 = x; d1 = d0 + 1; }");
+        let Stmt::While(_, body) = &p.body[0] else {
+            panic!("{:?}", p.body);
+        };
+        assert_eq!(body.len(), 1, "{:?}", body);
+    }
+
+    #[test]
+    fn branch_uses_keep_values_alive() {
+        let src =
+            "var x, d; d = 5; while (x > 0) { if (nondet()) { x = x - d; } else { x = x - 1; } }";
+        let p = eliminated(src);
+        assert_eq!(p, parse_program(src).unwrap());
+    }
+
+    #[test]
+    fn choice_branch_assignments_respect_liveness() {
+        let p = eliminated(
+            "var x, d; while (x > 0) { choice { x = x - 1; d = 1; } or { x = x - 2; d = 2; } }",
+        );
+        let Stmt::While(_, body) = &p.body[0] else {
+            panic!("{:?}", p.body);
+        };
+        let Stmt::Choice(branches) = &body[0] else {
+            panic!("{:?}", body);
+        };
+        assert!(branches.iter().all(|b| b.len() == 1), "{branches:?}");
+    }
+
+    #[test]
+    fn cfg_liveness_agrees_with_structured_sweep() {
+        // Padding that is dead at the header without transitive chains in
+        // the loop (a self-referencing dead store like `d0 = d0 + 1` is
+        // live under classic CFG liveness — only the iterated structured
+        // sweep can remove it, which is the point of eliminate_dead's
+        // fixpoint loop).
+        let src = "var x, d0, d1, c0; assume x >= 0; \
+                   c0 = 7; d0 = c0 + x; d1 = d0 + d0; \
+                   while (x > 0) { x = x - 1; d0 = x + 1; }";
+        let p = parse_program(src).unwrap();
+        let cfg = p.to_cfg();
+        let live = live_at_nodes(&cfg);
+        // x is live at the loop header; the padding never is.
+        for &header in cfg.loop_headers() {
+            assert!(live[header][0], "x must be live at the header");
+            assert!(!live[header][1] && !live[header][2] && !live[header][3]);
+        }
+        // The structured elimination deletes exactly the padding stores.
+        let mut q = p.clone();
+        eliminate_dead(&mut q);
+        let mut used = vec![false; q.num_vars()];
+        super::super::mark_stmts(&q.body, &mut used);
+        assert_eq!(used, vec![true, false, false, false]);
+    }
+}

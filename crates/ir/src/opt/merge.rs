@@ -1,0 +1,341 @@
+//! Unreachable-code elimination and straight-line block merging.
+//!
+//! Structured programs have no free-floating basic blocks, so "merge
+//! straight-line blocks" takes the AST form: fold conditions that are
+//! constant, splice the surviving arm of an `if` whose condition folded (or
+//! whose arms are identical), delete `skip`s, self-assignments and no-op
+//! branch constructs, merge adjacent `assume`s into one conjunction, and
+//! drop everything unreachable after an `assume false` or a `while (true)`
+//! (the lowering emits no exit edge for a `true` guard, so the trailing
+//! nodes were dead weight in both the invariant CFG and the block
+//! encoding). Every rewrite removes CFG nodes or merge temporaries that the
+//! downstream LP/SMT encodings would otherwise pay for.
+
+use crate::ast::{CmpOp, Cond, Expr, Program, Stmt};
+
+/// Applies the structural simplifications until the statement tree is
+/// stable for this pass; returns whether anything changed.
+pub fn simplify(program: &mut Program) -> bool {
+    let mut changed = false;
+    if let Some(init) = program.init.take() {
+        let folded = fold_cond(init.clone());
+        if folded != init {
+            changed = true;
+        }
+        // `assume true` at the entry is no assumption at all.
+        if folded == Cond::True {
+            changed = true;
+        } else {
+            program.init = Some(folded);
+        }
+    }
+    simplify_stmts(&mut program.body, &mut changed);
+    changed
+}
+
+/// Constant-folds an expression (checked arithmetic: on i64 overflow the
+/// node is left as-is rather than folded wrongly).
+pub fn fold_expr(e: Expr) -> Expr {
+    match e {
+        Expr::Const(_) | Expr::Var(_) | Expr::Nondet => e,
+        Expr::Add(a, b) => {
+            let (a, b) = (fold_expr(*a), fold_expr(*b));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => match x.checked_add(*y) {
+                    Some(v) => Expr::Const(v),
+                    None => Expr::Add(Box::new(a), Box::new(b)),
+                },
+                _ => Expr::Add(Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Sub(a, b) => {
+            let (a, b) = (fold_expr(*a), fold_expr(*b));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => match x.checked_sub(*y) {
+                    Some(v) => Expr::Const(v),
+                    None => Expr::Sub(Box::new(a), Box::new(b)),
+                },
+                _ => Expr::Sub(Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Mul(a, b) => {
+            let (a, b) = (fold_expr(*a), fold_expr(*b));
+            match (&a, &b) {
+                (Expr::Const(x), Expr::Const(y)) => match x.checked_mul(*y) {
+                    Some(v) => Expr::Const(v),
+                    None => Expr::Mul(Box::new(a), Box::new(b)),
+                },
+                _ => Expr::Mul(Box::new(a), Box::new(b)),
+            }
+        }
+        Expr::Neg(a) => {
+            let a = fold_expr(*a);
+            match &a {
+                Expr::Const(x) => match x.checked_neg() {
+                    Some(v) => Expr::Const(v),
+                    None => Expr::Neg(Box::new(a)),
+                },
+                _ => Expr::Neg(Box::new(a)),
+            }
+        }
+    }
+}
+
+/// Constant-folds a condition down to `True`/`False` where possible.
+pub fn fold_cond(c: Cond) -> Cond {
+    match c {
+        Cond::True | Cond::False | Cond::Nondet => c,
+        Cond::Cmp(a, op, b) => {
+            let (a, b) = (fold_expr(a), fold_expr(b));
+            if let (Expr::Const(x), Expr::Const(y)) = (&a, &b) {
+                let holds = match op {
+                    CmpOp::Eq => x == y,
+                    CmpOp::Ne => x != y,
+                    CmpOp::Le => x <= y,
+                    CmpOp::Lt => x < y,
+                    CmpOp::Ge => x >= y,
+                    CmpOp::Gt => x > y,
+                };
+                return if holds { Cond::True } else { Cond::False };
+            }
+            Cond::Cmp(a, op, b)
+        }
+        Cond::And(cs) => {
+            let mut out = Vec::with_capacity(cs.len());
+            for c in cs {
+                match fold_cond(c) {
+                    Cond::True => {}
+                    Cond::False => return Cond::False,
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Cond::True,
+                1 => out.pop().unwrap(),
+                _ => Cond::And(out),
+            }
+        }
+        Cond::Or(cs) => {
+            let mut out = Vec::with_capacity(cs.len());
+            for c in cs {
+                match fold_cond(c) {
+                    Cond::False => {}
+                    Cond::True => return Cond::True,
+                    other => out.push(other),
+                }
+            }
+            match out.len() {
+                0 => Cond::False,
+                1 => out.pop().unwrap(),
+                _ => Cond::Or(out),
+            }
+        }
+        Cond::Not(inner) => match fold_cond(*inner) {
+            Cond::True => Cond::False,
+            Cond::False => Cond::True,
+            Cond::Nondet => Cond::Nondet,
+            Cond::Not(c) => *c,
+            other => Cond::Not(Box::new(other)),
+        },
+    }
+}
+
+fn simplify_stmts(stmts: &mut Vec<Stmt>, changed: &mut bool) {
+    let input = std::mem::take(stmts);
+    let mut out: Vec<Stmt> = Vec::with_capacity(input.len());
+    let mut iter = input.into_iter();
+    while let Some(stmt) = iter.next() {
+        match stmt {
+            Stmt::Skip => *changed = true,
+            Stmt::Assign(v, e) => {
+                let folded = fold_expr(e.clone());
+                if folded != e {
+                    *changed = true;
+                }
+                if folded == Expr::Var(v) {
+                    // Self-assignment: a pure no-op node.
+                    *changed = true;
+                } else {
+                    out.push(Stmt::Assign(v, folded));
+                }
+            }
+            Stmt::Assume(c) => {
+                let folded = fold_cond(c.clone());
+                if folded != c {
+                    *changed = true;
+                }
+                match folded {
+                    Cond::True => *changed = true,
+                    Cond::False => {
+                        // Nothing after an `assume false` ever runs.
+                        out.push(Stmt::Assume(Cond::False));
+                        if iter.next().is_some() {
+                            *changed = true;
+                        }
+                        break;
+                    }
+                    folded => {
+                        if let Some(Stmt::Assume(prev)) = out.last_mut() {
+                            // Adjacent assumes merge into one guard node.
+                            let merged =
+                                Cond::And(vec![std::mem::replace(prev, Cond::True), folded]);
+                            *prev = merged;
+                            *changed = true;
+                        } else {
+                            out.push(Stmt::Assume(folded));
+                        }
+                    }
+                }
+            }
+            Stmt::If(c, mut a, mut b) => {
+                let folded = fold_cond(c.clone());
+                if folded != c {
+                    *changed = true;
+                }
+                simplify_stmts(&mut a, changed);
+                simplify_stmts(&mut b, changed);
+                match folded {
+                    Cond::True => {
+                        *changed = true;
+                        out.extend(a);
+                    }
+                    Cond::False => {
+                        *changed = true;
+                        out.extend(b);
+                    }
+                    folded => {
+                        if a == b {
+                            // Identical arms: the branch (and its merge
+                            // temporaries in the block encoding) is a no-op.
+                            *changed = true;
+                            out.extend(a);
+                        } else {
+                            out.push(Stmt::If(folded, a, b));
+                        }
+                    }
+                }
+            }
+            Stmt::Choice(mut branches) => {
+                for b in &mut branches {
+                    simplify_stmts(b, changed);
+                }
+                if branches.len() == 1 {
+                    *changed = true;
+                    out.extend(branches.pop().unwrap());
+                } else if branches.iter().all(|b| b.is_empty()) {
+                    *changed = true;
+                } else if branches.windows(2).all(|w| w[0] == w[1]) {
+                    // All branches identical: no nondeterminism left.
+                    *changed = true;
+                    out.extend(branches.pop().unwrap());
+                } else {
+                    out.push(Stmt::Choice(branches));
+                }
+            }
+            Stmt::While(c, mut body) => {
+                let folded = fold_cond(c.clone());
+                if folded != c {
+                    *changed = true;
+                }
+                simplify_stmts(&mut body, changed);
+                match folded {
+                    Cond::False => *changed = true, // the body never runs
+                    Cond::True => {
+                        out.push(Stmt::While(Cond::True, body));
+                        // The lowering emits no exit edge for a `true`
+                        // guard: everything after is unreachable.
+                        if iter.next().is_some() {
+                            *changed = true;
+                        }
+                        break;
+                    }
+                    folded => out.push(Stmt::While(folded, body)),
+                }
+            }
+        }
+    }
+    *stmts = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn simplified(src: &str) -> Program {
+        let mut p = parse_program(src).unwrap();
+        simplify(&mut p);
+        p
+    }
+
+    #[test]
+    fn skips_and_self_assignments_vanish() {
+        let p = simplified("var x; skip; x = x; while (x > 0) { skip; x = x - 1; skip; }");
+        let Stmt::While(_, body) = &p.body[0] else {
+            panic!("{:?}", p.body);
+        };
+        assert_eq!(p.body.len(), 1);
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn constant_branches_fold_away() {
+        let p = simplified(
+            "var x; assume x >= 0; \
+             if (3 > 10) { x = x + 1; } else { skip; } \
+             while (x > 0) { x = x - 1; }",
+        );
+        assert_eq!(p.body.len(), 2, "{:?}", p.body);
+        assert!(matches!(p.body[1], Stmt::While(_, _)));
+    }
+
+    #[test]
+    fn false_loop_disappears_and_true_loop_truncates_tail() {
+        let p = simplified(
+            "var x; while (false) { x = x + 1; } \
+             while (true) { assume x > 0; x = x - 1; } \
+             x = 99;",
+        );
+        assert_eq!(p.body.len(), 1, "{:?}", p.body);
+        assert!(matches!(&p.body[0], Stmt::While(Cond::True, _)));
+    }
+
+    #[test]
+    fn adjacent_assumes_merge() {
+        let p = simplified("var x, y; assume x >= 0; assume y >= x; while (x > 0) { x = x - 1; }");
+        assert_eq!(p.body.len(), 2, "{:?}", p.body);
+        assert!(matches!(&p.body[0], Stmt::Assume(Cond::And(cs)) if cs.len() == 2));
+    }
+
+    #[test]
+    fn assume_false_truncates() {
+        let p = simplified("var x; assume false; while (x > 0) { x = x - 1; }");
+        assert_eq!(p.body, vec![Stmt::Assume(Cond::False)]);
+    }
+
+    #[test]
+    fn identical_if_arms_collapse() {
+        let p = simplified("var x, y; if (y > 0) { x = x - 1; } else { x = x - 1; } skip;");
+        assert_eq!(p.body, vec![Stmt::Assign(0, fold_expr(parse_rhs()))]);
+        fn parse_rhs() -> Expr {
+            Expr::Sub(Box::new(Expr::Var(0)), Box::new(Expr::Const(1)))
+        }
+    }
+
+    #[test]
+    fn folding_is_overflow_safe() {
+        let e = Expr::Add(
+            Box::new(Expr::Const(i64::MAX)),
+            Box::new(Expr::Const(i64::MAX)),
+        );
+        assert_eq!(fold_expr(e.clone()), e, "overflowing add must not fold");
+    }
+
+    #[test]
+    fn untouched_program_reports_no_change() {
+        let src = "var i, n; assume n >= 0; i = 0; while (i < n) { i = i + 1; }";
+        let mut p = parse_program(src).unwrap();
+        assert!(!simplify(&mut p));
+        assert_eq!(p, parse_program(src).unwrap());
+    }
+}

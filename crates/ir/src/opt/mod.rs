@@ -1,0 +1,377 @@
+//! IR pre-optimization: shrink the program before any engine runs.
+//!
+//! Analysis cost is driven by CFG size and variable count — every program
+//! variable is an LP column per cut point in the Farkas encoding, an SMT
+//! dimension in the extremal counterexample search, and one fresh merge
+//! temporary per branching construct in the large-block encoding. This
+//! module rewrites a parsed [`Program`] once, upstream of every engine, so
+//! that no CEGIS iteration of any racing engine pays for dead dimensions:
+//!
+//! 1. [`merge`] — unreachable-code elimination and straight-line block
+//!    merging (constant condition folding, `skip`/no-op removal, merging of
+//!    adjacent `assume` statements, collapse of branch constructs with a
+//!    single live branch);
+//! 2. [`constprop`] — forward constant propagation of affine assignments:
+//!    `x := c` reaching a use with no intervening havoc or loop join folds
+//!    into guards and updates, then dies;
+//! 3. [`liveness`] — backward liveness with dead-variable elimination:
+//!    assignments to variables that no later guard can observe are deleted
+//!    (termination only depends on the guards a run evaluates, so exit
+//!    liveness is empty — liveness is relative to the cut-point guards, not
+//!    to program exit values);
+//! 4. compaction — variables that survive no retained statement or guard
+//!    are projected out and the remainder renumbered densely (CFG nodes are
+//!    renumbered implicitly: both the [`crate::Cfg`] and the
+//!    [`crate::TransitionSystem`] are rebuilt from the optimized AST).
+//!
+//! Every run records a [`Provenance`] map from optimized variable indices
+//! back to the original declaration, so rankings, preconditions and
+//! counterexamples can be translated back to source terms before they reach
+//! user-visible reports.
+//!
+//! The passes only ever *remove* behavior-irrelevant structure: a deleted
+//! assignment targets a variable no subsequent guard can observe, and a
+//! folded condition is constant on every reachable state. Any retained
+//! statement or guard refers only to retained variables, so the optimized
+//! program is the exact projection of the original onto the kept variables
+//! and the two terminate on exactly the same inputs.
+
+use crate::ast::{Cond, Expr, Program, Stmt, VarId};
+use termite_linalg::QVector;
+
+pub mod constprop;
+pub mod liveness;
+pub mod merge;
+
+/// Version fingerprint of the pass pipeline. Cache keys incorporate this
+/// string (see `termite-driver`), so cached verdicts computed under one
+/// pipeline are never served across pass changes. Bump it whenever a pass
+/// is added, removed, reordered or changes its rewrite behavior.
+pub const OPT_PIPELINE_VERSION: &str = "ir-opt-1";
+
+/// Upper bound on simplify→propagate→eliminate rounds; each round either
+/// shrinks the program or is the last, so this is a safety net, not a
+/// tuning knob.
+const MAX_ROUNDS: usize = 8;
+
+/// Map from the optimized program's variables back to the original ones.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Provenance {
+    /// Variable names of the *original* program, by original index.
+    original_vars: Vec<String>,
+    /// `kept[new_index] = original_index`, strictly increasing.
+    kept: Vec<VarId>,
+}
+
+impl Provenance {
+    /// The identity map over the given variable list (what a no-op
+    /// optimization run produces).
+    pub fn identity(vars: &[String]) -> Provenance {
+        Provenance {
+            original_vars: vars.to_vec(),
+            kept: (0..vars.len()).collect(),
+        }
+    }
+
+    /// Number of variables of the original program.
+    pub fn num_original_vars(&self) -> usize {
+        self.original_vars.len()
+    }
+
+    /// Variable names of the original program.
+    pub fn original_var_names(&self) -> &[String] {
+        &self.original_vars
+    }
+
+    /// The original index of optimized variable `new`.
+    pub fn original_of(&self, new: VarId) -> VarId {
+        self.kept[new]
+    }
+
+    /// The retained original indices, in optimized order.
+    pub fn kept(&self) -> &[VarId] {
+        &self.kept
+    }
+
+    /// `true` when optimization kept every variable in place (translation
+    /// back to source terms is then a no-op).
+    pub fn is_identity(&self) -> bool {
+        self.kept.len() == self.original_vars.len()
+    }
+
+    /// Scatters a coefficient vector over the optimized variables into the
+    /// original variable space, placing `0` at every eliminated index — the
+    /// translation applied to ranking-function rows, precondition
+    /// constraints and counterexample vectors before they reach reports.
+    pub fn scatter(&self, coeffs: &QVector) -> QVector {
+        debug_assert_eq!(coeffs.dim(), self.kept.len());
+        let mut out = vec![termite_num::Rational::from(0); self.original_vars.len()];
+        for (new, &old) in self.kept.iter().enumerate() {
+            out[old] = coeffs.entries()[new].clone();
+        }
+        QVector::from_vec(out)
+    }
+}
+
+/// Size counters of one optimization run, reported through
+/// `SynthesisStats` as `ir_nodes_before/after` and `ir_vars_before/after`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// CFG nodes of the program as parsed.
+    pub nodes_before: usize,
+    /// CFG nodes after the pipeline.
+    pub nodes_after: usize,
+    /// Declared variables as parsed.
+    pub vars_before: usize,
+    /// Variables after dead-variable elimination and compaction.
+    pub vars_after: usize,
+}
+
+/// Result of [`optimize`]: the rewritten program, the provenance map back
+/// to source variables, and the size counters.
+#[derive(Clone, Debug)]
+pub struct Optimized {
+    /// The optimized program (same name as the input).
+    pub program: Program,
+    /// Optimized-variable ↔ original-variable map.
+    pub provenance: Provenance,
+    /// Before/after size counters.
+    pub stats: OptStats,
+}
+
+/// Runs the full pass pipeline on a program.
+pub fn optimize(program: &Program) -> Optimized {
+    let nodes_before = program.to_cfg().num_nodes();
+    let vars_before = program.num_vars();
+    let mut p = program.clone();
+    for _ in 0..MAX_ROUNDS {
+        let mut changed = merge::simplify(&mut p);
+        changed |= constprop::propagate(&mut p);
+        // Propagation can expose new constant conditions; fold them before
+        // liveness so a whole `if (5 > 10) …` arm dies in the same round.
+        changed |= merge::simplify(&mut p);
+        changed |= liveness::eliminate_dead(&mut p);
+        if !changed {
+            break;
+        }
+    }
+    let provenance = compact(&mut p);
+    let stats = OptStats {
+        nodes_before,
+        nodes_after: p.to_cfg().num_nodes(),
+        vars_before,
+        vars_after: p.num_vars(),
+    };
+    Optimized {
+        program: p,
+        provenance,
+        stats,
+    }
+}
+
+/// Drops variables no retained statement or guard mentions and renumbers
+/// the survivors densely, returning the provenance map.
+fn compact(program: &mut Program) -> Provenance {
+    let n = program.num_vars();
+    let mut used = vec![false; n];
+    if let Some(init) = &program.init {
+        mark_cond(init, &mut used);
+    }
+    mark_stmts(&program.body, &mut used);
+    let kept: Vec<VarId> = (0..n).filter(|&v| used[v]).collect();
+    let provenance = Provenance {
+        original_vars: program.vars.clone(),
+        kept: kept.clone(),
+    };
+    if provenance.is_identity() {
+        return provenance;
+    }
+    let mut renumber = vec![usize::MAX; n];
+    for (new, &old) in kept.iter().enumerate() {
+        renumber[old] = new;
+    }
+    program.vars = kept.iter().map(|&v| program.vars[v].clone()).collect();
+    if let Some(init) = &mut program.init {
+        renumber_cond(init, &renumber);
+    }
+    renumber_stmts(&mut program.body, &renumber);
+    provenance
+}
+
+fn mark_expr(e: &Expr, used: &mut [bool]) {
+    match e {
+        Expr::Const(_) | Expr::Nondet => {}
+        Expr::Var(v) => used[*v] = true,
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            mark_expr(a, used);
+            mark_expr(b, used);
+        }
+        Expr::Neg(a) => mark_expr(a, used),
+    }
+}
+
+fn mark_cond(c: &Cond, used: &mut [bool]) {
+    match c {
+        Cond::True | Cond::False | Cond::Nondet => {}
+        Cond::Cmp(a, _, b) => {
+            mark_expr(a, used);
+            mark_expr(b, used);
+        }
+        Cond::And(cs) | Cond::Or(cs) => cs.iter().for_each(|c| mark_cond(c, used)),
+        Cond::Not(c) => mark_cond(c, used),
+    }
+}
+
+fn mark_stmts(stmts: &[Stmt], used: &mut [bool]) {
+    for s in stmts {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Assign(v, e) => {
+                used[*v] = true;
+                mark_expr(e, used);
+            }
+            Stmt::Assume(c) => mark_cond(c, used),
+            Stmt::If(c, a, b) => {
+                mark_cond(c, used);
+                mark_stmts(a, used);
+                mark_stmts(b, used);
+            }
+            Stmt::Choice(branches) => branches.iter().for_each(|b| mark_stmts(b, used)),
+            Stmt::While(c, body) => {
+                mark_cond(c, used);
+                mark_stmts(body, used);
+            }
+        }
+    }
+}
+
+fn renumber_expr(e: &mut Expr, map: &[usize]) {
+    match e {
+        Expr::Const(_) | Expr::Nondet => {}
+        Expr::Var(v) => *v = map[*v],
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) => {
+            renumber_expr(a, map);
+            renumber_expr(b, map);
+        }
+        Expr::Neg(a) => renumber_expr(a, map),
+    }
+}
+
+fn renumber_cond(c: &mut Cond, map: &[usize]) {
+    match c {
+        Cond::True | Cond::False | Cond::Nondet => {}
+        Cond::Cmp(a, _, b) => {
+            renumber_expr(a, map);
+            renumber_expr(b, map);
+        }
+        Cond::And(cs) | Cond::Or(cs) => cs.iter_mut().for_each(|c| renumber_cond(c, map)),
+        Cond::Not(c) => renumber_cond(c, map),
+    }
+}
+
+fn renumber_stmts(stmts: &mut [Stmt], map: &[usize]) {
+    for s in stmts {
+        match s {
+            Stmt::Skip => {}
+            Stmt::Assign(v, e) => {
+                *v = map[*v];
+                renumber_expr(e, map);
+            }
+            Stmt::Assume(c) => renumber_cond(c, map),
+            Stmt::If(c, a, b) => {
+                renumber_cond(c, map);
+                renumber_stmts(a, map);
+                renumber_stmts(b, map);
+            }
+            Stmt::Choice(branches) => branches.iter_mut().for_each(|b| renumber_stmts(b, map)),
+            Stmt::While(c, body) => {
+                renumber_cond(c, map);
+                renumber_stmts(body, map);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn opt(src: &str) -> Optimized {
+        optimize(&parse_program(src).unwrap())
+    }
+
+    #[test]
+    fn dead_padding_is_projected_out() {
+        let o = opt("var x, d0, d1, c0; assume x >= 0; \
+             c0 = 7; d0 = c0 + x; d1 = d0 + d0; \
+             while (x > 0) { x = x - 1; d0 = d0 + 1; }");
+        assert_eq!(o.program.vars, vec!["x".to_string()]);
+        assert_eq!(o.stats.vars_before, 4);
+        assert_eq!(o.stats.vars_after, 1);
+        assert!(o.stats.nodes_after < o.stats.nodes_before);
+        assert_eq!(o.provenance.kept(), &[0]);
+        assert_eq!(o.provenance.original_var_names().len(), 4);
+    }
+
+    #[test]
+    fn live_variables_survive_untouched() {
+        let src = "var i, n; assume n >= 0; i = 0; while (i < n) { i = i + 1; }";
+        let original = parse_program(src).unwrap();
+        let o = opt(src);
+        assert_eq!(o.program, original, "nothing to optimize must be a no-op");
+        assert!(o.provenance.is_identity());
+        assert_eq!(o.stats.nodes_before, o.stats.nodes_after);
+    }
+
+    #[test]
+    fn transitively_dead_chains_die() {
+        // d2 is dead, which kills d1's only use, which kills d0's.
+        let o = opt("var x, d0, d1, d2; assume x >= 0; \
+             while (x > 0) { x = x - 1; d0 = x; d1 = d0 + 1; d2 = d1 + d0; }");
+        assert_eq!(o.program.vars, vec!["x".to_string()]);
+    }
+
+    #[test]
+    fn constant_temporaries_fold_into_guards_and_die() {
+        let o = opt("var x, c; assume x >= 0; c = 2; \
+             while (x > 0) { x = x - c; }");
+        assert_eq!(o.program.vars, vec!["x".to_string()]);
+        // The loop body must now subtract the literal 2.
+        let Stmt::While(_, body) = &o.program.body[1] else {
+            panic!("expected the while to survive: {:?}", o.program.body);
+        };
+        assert_eq!(
+            body[0],
+            Stmt::Assign(
+                0,
+                Expr::Sub(Box::new(Expr::Var(0)), Box::new(Expr::Const(2)))
+            )
+        );
+    }
+
+    #[test]
+    fn scatter_translates_back_to_source_indices() {
+        let o = opt("var d, x, e, y; assume x >= 0 && y >= 0; \
+             d = 1; e = 2; \
+             while (x > 0) { x = x - 1; y = y + 1; }");
+        assert_eq!(o.provenance.kept(), &[1, 3]);
+        let small = QVector::from_i64(&[-1, 5]);
+        let big = o.provenance.scatter(&small);
+        assert_eq!(big, QVector::from_i64(&[0, -1, 0, 5]));
+    }
+
+    #[test]
+    fn guard_uses_keep_variables_alive() {
+        // d feeds a guard, so it (and its whole def chain) must survive.
+        let o = opt("var x, d; assume x >= 0; \
+             while (x > 0) { d = x; assume d >= 0; x = x - 1; }");
+        assert_eq!(o.program.vars.len(), 2);
+        assert!(o.provenance.is_identity());
+    }
+
+    #[test]
+    fn version_fingerprint_is_stable_and_nonempty() {
+        assert!(!OPT_PIPELINE_VERSION.is_empty());
+    }
+}

@@ -68,6 +68,30 @@ pub fn phase_cascade(phases: usize) -> Program {
     parse_named_program(&src, &format!("phase_cascade_{phases}")).expect("generated program parses")
 }
 
+/// A countdown loop padded with `pad` dead observer variables, each updated
+/// every iteration but never read by any guard — the parametric version of
+/// the `Bloated` suite's workload. Without IR pre-optimization every padding
+/// variable is an LP column per cut point and an SMT dimension; with it the
+/// program collapses to the 1-variable countdown.
+pub fn padded_countdown(pad: usize) -> Program {
+    let mut src = String::from("var x");
+    for d in 0..pad {
+        src.push_str(&format!(", d{d}"));
+    }
+    src.push_str(";\nassume x >= 0;\nwhile (x > 0) {\nx = x - 1;\n");
+    for d in 0..pad {
+        // Each padding store reads only live-or-earlier values, so the whole
+        // chain is removable back-to-front by the iterated liveness sweep.
+        if d == 0 {
+            src.push_str("d0 = x + 1;\n");
+        } else {
+            src.push_str(&format!("d{d} = d{} + x;\n", d - 1));
+        }
+    }
+    src.push_str("}\n");
+    parse_named_program(&src, &format!("padded_countdown_{pad}")).expect("generated program parses")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +119,17 @@ mod tests {
             assert_eq!(p.num_loops(), depth);
             let ts = p.transition_system();
             assert_eq!(ts.num_locations(), depth);
+        }
+    }
+
+    #[test]
+    fn padded_countdown_optimizes_to_one_variable() {
+        for pad in [0usize, 3, 8] {
+            let p = padded_countdown(pad);
+            assert_eq!(p.num_vars(), pad + 1);
+            let optimized = termite_ir::optimize(&p);
+            assert_eq!(optimized.program.num_vars(), 1, "pad {pad}");
+            assert_eq!(optimized.provenance.kept(), &[0]);
         }
     }
 
