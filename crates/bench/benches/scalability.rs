@@ -6,7 +6,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use termite_core::{prove_transition_system, AnalysisOptions, Engine};
 use termite_invariants::{location_invariants, InvariantOptions};
-use termite_suite::generators::{multipath_loop, nested_counted_loops, phase_cascade};
+use termite_suite::generators::{
+    multipath_loop, multiphase_drift, nested_counted_loops, phase_cascade,
+};
 
 fn multipath(c: &mut Criterion) {
     let mut group = c.benchmark_group("multipath_2_to_t_paths");
@@ -71,5 +73,46 @@ fn nesting_and_dimension(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, multipath, nesting_and_dimension);
+/// Scaling in the number of *phases*: the multiphase drift family has no
+/// lexicographic linear certificate at any depth, so the classic engines are
+/// useless on it — the nested-template `lasso` engine proves it with one
+/// warm incremental LP per depth, and the complete LRF test refutes the
+/// depth-1 template in a single solve. The workload is to the new engines
+/// what `multipath_loop` is to the eager baselines.
+fn multiphase_depth(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiphase_drift_phases");
+    group.sample_size(10);
+    for phases in [1usize, 2, 3] {
+        let program = multiphase_drift(phases);
+        let ts = program.transition_system();
+        let invariants = location_invariants(&program, &InvariantOptions::default());
+        group.bench_with_input(BenchmarkId::new("Lasso", phases), &phases, |b, _| {
+            b.iter(|| {
+                prove_transition_system(
+                    &ts,
+                    &invariants,
+                    &AnalysisOptions::with_engine(Engine::Lasso),
+                )
+                .proved()
+            })
+        });
+        // The complete test's answer here is the *refutation* (no plain LRF
+        // exists for 2+ phases): its cost is the baseline the lasso engine's
+        // deepening loop is measured against.
+        group.bench_with_input(BenchmarkId::new("CompleteLrf", phases), &phases, |b, _| {
+            b.iter(|| {
+                prove_transition_system(
+                    &ts,
+                    &invariants,
+                    &AnalysisOptions::with_engine(Engine::CompleteLrf),
+                )
+                .verdict
+                .rank()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multipath, nesting_and_dimension, multiphase_depth);
 criterion_main!(benches);

@@ -42,6 +42,15 @@ pub enum Engine {
     /// ranking expressions from the loop guards and verify them with single
     /// SMT queries.
     Heuristic,
+    /// Multiphase (nested) ranking templates for single-location lasso
+    /// programs, after Leike & Heizmann: one warm-started Farkas feasibility
+    /// LP per nesting depth, deepening up to [`crate::lasso::MAX_PHASES`].
+    Lasso,
+    /// Complete linear-ranking-function existence test for single-location
+    /// loops, after Bagnara et al.: one Farkas LP whose infeasibility
+    /// *definitively* refutes linear ranking functions. Cheap enough to be
+    /// the portfolio's first racer.
+    CompleteLrf,
 }
 
 /// Options of the termination analysis.
@@ -174,6 +183,8 @@ fn attempt(
                 Engine::Heuristic => {
                     baselines::heuristic::prove(ts, &enabled, &options.cancel, stats)
                 }
+                Engine::Lasso => crate::lasso::prove(ts, &enabled, options, stats),
+                Engine::CompleteLrf => crate::complete::prove(ts, &enabled, options, stats),
                 Engine::Termite => unreachable!("handled above"),
             };
             match verdict {

@@ -65,7 +65,9 @@
 
 mod baselines;
 mod cancel;
+pub mod complete;
 mod engine;
+pub mod lasso;
 mod lp_instance;
 mod monodim;
 mod multidim;

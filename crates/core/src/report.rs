@@ -264,6 +264,11 @@ pub struct SynthesisStats {
     /// per cut point and an SMT dimension, which is what the optimizer
     /// shrinks.
     pub ir_vars_after: usize,
+    /// Name of the engine whose answer this report carries, when a
+    /// portfolio race picked one (`None` for single-engine runs and for
+    /// races that ended without any proof). The driver sets this; the
+    /// engines themselves never do.
+    pub engine_won: Option<String>,
 }
 
 impl SynthesisStats {

@@ -54,15 +54,18 @@ const USAGE: &str = "usage:
   termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
                 [--cache-max-bytes N] [--max-inflight K] [--timeout-ms N]
                 [--stats-every N] [--listen ADDR:PORT] [--drain-ms N] [--no-optimize]
-  termite suite <polybench|sorts|termcomp|wtc|bloated|all> [--engine E | --portfolio]
-                [--jobs N] [--shard k/n] [--json FILE] [--cache FILE]
-                [--cache-max-bytes N] [--timeout-ms N] [--trace FILE] [--no-optimize]
+  termite suite <polybench|sorts|termcomp|wtc|bloated|multiphase|lasso|all>
+                [--engine E | --portfolio] [--jobs N] [--shard k/n] [--json FILE]
+                [--cache FILE] [--cache-max-bytes N] [--timeout-ms N] [--trace FILE]
+                [--no-optimize]
   termite merge-reports <out.json> <in1.json> <in2.json> [...]
   termite bench-diff <old.json> <new.json> [--max-ratio R] [--min-millis M]
   termite check-verdicts <expected.json> <actual.json>
   termite table1
 
-engines: termite (default), eager, pr, heuristic
+engines: termite (default), eager, pr, heuristic, lasso, complete-lrf
+--portfolio races every engine (complete-lrf and lasso first) and keeps the
+strongest verdict; the report's `engine_won` names the engine that produced it
 --no-optimize analyses programs as written, skipping the IR shrinking pipeline
 (constant propagation, dead-variable elimination) that runs by default";
 
@@ -410,6 +413,8 @@ fn parse_suites(name: &str) -> Result<Vec<SuiteId>, String> {
         "termcomp" => Ok(vec![SuiteId::TermComp]),
         "wtc" => Ok(vec![SuiteId::Wtc]),
         "bloated" => Ok(vec![SuiteId::Bloated]),
+        "multiphase" => Ok(vec![SuiteId::Multiphase]),
+        "lasso" => Ok(vec![SuiteId::Lasso]),
         "all" => Ok(SuiteId::all().to_vec()),
         other => Err(format!("unknown suite `{other}`")),
     }
@@ -454,9 +459,10 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
     let wall = start.elapsed().as_secs_f64() * 1000.0;
 
     println!(
-        "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>9} {:>8} {:>7} {:>10} {:>8} {:>8} {:>8} {:>7}",
+        "{:<26} {:<10} {:<12} {:>12} {:>5} {:>6} {:>6} {:>9} {:>8} {:>7} {:>10} {:>8} {:>8} {:>8} {:>7}",
         "benchmark",
         "suite",
+        "engine",
         "verdict",
         "dim",
         "iters",
@@ -487,9 +493,10 @@ fn suite_command(name: &str, flags: Flags) -> Result<ExitCode, String> {
         };
         let s = &result.report.stats;
         println!(
-            "{:<26} {:<10} {:>12} {:>5} {:>6} {:>6} {:>5}/{:<3} {:>8} {:>7} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>7}",
+            "{:<26} {:<10} {:<12} {:>12} {:>5} {:>6} {:>6} {:>5}/{:<3} {:>8} {:>7} {:>10.2} {:>8.2} {:>8.2} {:>8.2} {:>7}",
             result.name,
             suite,
+            engine_cell(s.engine_won.as_deref()),
             verdict,
             s.dimension,
             s.iterations,
@@ -690,6 +697,16 @@ fn results_to_json(results: &[BatchResult], suites: &[&'static str], totals: &Ba
                         None => Json::Null,
                     },
                 ),
+                // `winner` is the live race's pick and is Null on cache
+                // hits; `engine_won` rides in the report's stats, so it
+                // survives the cache round trip. Consumers should prefer it.
+                (
+                    "engine_won",
+                    match &r.report.stats.engine_won {
+                        Some(e) => Json::String(e.clone()),
+                        None => Json::Null,
+                    },
+                ),
                 ("report", report_to_json(&r.report)),
             ])
         })
@@ -739,6 +756,11 @@ struct BenchRecord {
     ir_nodes_after: Option<f64>,
     ir_vars_before: Option<f64>,
     ir_vars_after: Option<f64>,
+    /// The portfolio engine whose answer the report carries, `None` for
+    /// single-engine runs, no-proof races, and reports written before the
+    /// field existed. Informational only — engines may legitimately trade
+    /// wins between runs, so the diff never gates on this.
+    engine_won: Option<String>,
 }
 
 /// Renders an optional pivot count for the diff table (`n/a` when the
@@ -747,6 +769,23 @@ fn pivots_cell(pivots: Option<f64>) -> String {
     match pivots {
         Some(p) => format!("{p}"),
         None => "n/a".to_string(),
+    }
+}
+
+/// Renders a report's `engine_won` for the suite and diff tables, folding
+/// the `Engine` debug names back onto the `--engine` spellings. `-` means
+/// no portfolio race picked a winner (single-engine run, no-proof race, or
+/// a report written before the field existed).
+fn engine_cell(engine_won: Option<&str>) -> String {
+    match engine_won {
+        None => "-".to_string(),
+        Some("Termite") => "termite".to_string(),
+        Some("Eager") => "eager".to_string(),
+        Some("PodelskiRybalchenko") => "pr".to_string(),
+        Some("Heuristic") => "heuristic".to_string(),
+        Some("Lasso") => "lasso".to_string(),
+        Some("CompleteLrf") => "complete-lrf".to_string(),
+        Some(other) => other.to_string(),
     }
 }
 
@@ -794,6 +833,15 @@ fn load_report(path: &str) -> Result<Vec<BenchRecord>, String> {
                 ir_nodes_after: b.get("ir_nodes_after").and_then(Json::as_f64),
                 ir_vars_before: b.get("ir_vars_before").and_then(Json::as_f64),
                 ir_vars_after: b.get("ir_vars_after").and_then(Json::as_f64),
+                // Older portfolio reports carry only the live race's
+                // `winner` (same engine names); fall back to it so the
+                // same-engine pivot rule below still sees pre-`engine_won`
+                // trend files.
+                engine_won: b
+                    .get("engine_won")
+                    .and_then(Json::as_str)
+                    .or_else(|| b.get("winner").and_then(Json::as_str))
+                    .map(String::from),
             })
         })
         .collect()
@@ -808,7 +856,11 @@ fn load_report(path: &str) -> Result<Vec<BenchRecord>, String> {
 /// `--max-ratio` (ignoring benchmarks below `--min-pivots`, default 16, in
 /// both runs — pivot counts are deterministic, so no noise allowance beyond
 /// the small-count floor is needed, and a pivot blow-up fails the gate even
-/// on a machine fast enough to hide it in wall-clock). Benchmarks whose
+/// on a machine fast enough to hide it in wall-clock). The pivot gate is
+/// suspended when the two reports name *different* winning engines
+/// (`engine_won`, falling back to the older `winner` field): pivot counts
+/// are only comparable within one engine, and the portfolio re-assigning a
+/// benchmark is a race outcome judged by wall time alone. Benchmarks whose
 /// reports predate the pivot counter print `n/a` and are never gated on
 /// pivots: an absent count is unknown, not a measured zero. Verdict
 /// *improvements* are reported as notes — without this asymmetry, the
@@ -859,8 +911,8 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
         new.iter().map(|b| (b.name.as_str(), b)).collect();
 
     println!(
-        "{:<26} {:>12} {:>12} {:>7} {:>10} {:>10}  status",
-        "benchmark", "old(ms)", "new(ms)", "ratio", "old piv", "new piv"
+        "{:<26} {:>12} {:>12} {:>7} {:>10} {:>10} {:>12}  status",
+        "benchmark", "old(ms)", "new(ms)", "ratio", "old piv", "new piv", "engine"
     );
     let mut failures = 0usize;
     let mut improvements = 0usize;
@@ -873,14 +925,27 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
         };
         let (old_ms, new_ms) = (record.synthesis_millis, new_record.synthesis_millis);
         let ratio = if old_ms > 0.0 { new_ms / old_ms } else { 1.0 };
+        // Pivot counts are engine-relative: an SMT-driven engine's report
+        // carries a handful of pivots where an LP-saturating one's carries
+        // hundreds, at a fraction of the wall time. So the pivot gate only
+        // fires when both sides were won by the *same* engine (or when
+        // neither report names one — pre-portfolio trend files); a
+        // portfolio handing a benchmark to a different engine is a race
+        // outcome, not a solver regression, and stays gated on wall time.
+        let same_engine = match (&record.engine_won, &new_record.engine_won) {
+            (Some(old_engine), Some(new_engine)) => old_engine == new_engine,
+            _ => true,
+        };
         // The pivot gate only fires when both sides actually measured
         // pivots and at least one count clears the small-count floor.
-        let pivot_regressed = match (record.lp_pivots, new_record.lp_pivots) {
-            (Some(old_piv), Some(new_piv)) => {
-                new_piv > max_ratio * old_piv && (old_piv >= min_pivots || new_piv >= min_pivots)
-            }
-            _ => false,
-        };
+        let pivot_regressed = same_engine
+            && match (record.lp_pivots, new_record.lp_pivots) {
+                (Some(old_piv), Some(new_piv)) => {
+                    new_piv > max_ratio * old_piv
+                        && (old_piv >= min_pivots || new_piv >= min_pivots)
+                }
+                _ => false,
+            };
         let (old_rank, new_rank) = (
             verdict_rank(&record.verdict),
             verdict_rank(&new_record.verdict),
@@ -900,8 +965,24 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
         } else {
             "ok"
         };
+        // The winning engine; `old→new` when the portfolio handed the
+        // benchmark to a different engine (which also suspends the pivot
+        // gate), `n/a` when the report predates the field or no race picked
+        // one. Informational — never itself a gate.
+        let engine = match (
+            record.engine_won.as_deref(),
+            new_record.engine_won.as_deref(),
+        ) {
+            (Some(old_engine), Some(new_engine)) if old_engine != new_engine => format!(
+                "{}\u{2192}{}",
+                engine_cell(Some(old_engine)),
+                engine_cell(Some(new_engine))
+            ),
+            (_, Some(new_engine)) => engine_cell(Some(new_engine)),
+            (_, None) => "n/a".to_string(),
+        };
         println!(
-            "{name:<26} {old_ms:>12.2} {new_ms:>12.2} {ratio:>6.2}x {:>10} {:>10}  {status}",
+            "{name:<26} {old_ms:>12.2} {new_ms:>12.2} {ratio:>6.2}x {:>10} {:>10} {engine:>12}  {status}",
             pivots_cell(record.lp_pivots),
             pivots_cell(new_record.lp_pivots),
         );
@@ -1075,6 +1156,24 @@ fn merge_reports(args: &[String]) -> Result<ExitCode, String> {
             {
                 fields.insert(field.to_string(), Json::Number(sum_of(field)));
             }
+        }
+        // Per-engine win tally across shards, only when some shard raced a
+        // portfolio — same absent-is-unknown rule as the phase times.
+        let mut wins: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+        for b in &benchmarks {
+            if let Some(engine) = b.get("engine_won").and_then(Json::as_str) {
+                *wins.entry(engine.to_string()).or_default() += 1;
+            }
+        }
+        if !wins.is_empty() {
+            fields.insert(
+                "engine_wins".to_string(),
+                Json::Object(
+                    wins.into_iter()
+                        .map(|(engine, n)| (engine, Json::Number(n as f64)))
+                        .collect(),
+                ),
+            );
         }
         Json::Object(fields)
     };

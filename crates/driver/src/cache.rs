@@ -620,6 +620,13 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
                 ("ir_nodes_after", Json::Number(s.ir_nodes_after as f64)),
                 ("ir_vars_before", Json::Number(s.ir_vars_before as f64)),
                 ("ir_vars_after", Json::Number(s.ir_vars_after as f64)),
+                (
+                    "engine_won",
+                    match &s.engine_won {
+                        Some(e) => Json::String(e.clone()),
+                        None => Json::Null,
+                    },
+                ),
             ]),
         ),
     ])
@@ -747,6 +754,12 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
         ir_nodes_after: field("ir_nodes_after").unwrap_or(0.0) as usize,
         ir_vars_before: field("ir_vars_before").unwrap_or(0.0) as usize,
         ir_vars_after: field("ir_vars_after").unwrap_or(0.0) as usize,
+        // Absent in cache files written before portfolio winners were
+        // recorded (and null outside portfolio races).
+        engine_won: stats_json
+            .get("engine_won")
+            .and_then(Json::as_str)
+            .map(String::from),
     };
     Ok(TerminationReport {
         program,

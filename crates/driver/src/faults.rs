@@ -18,6 +18,15 @@
 //!                             or inside the N-th executed job (0-based)
 //! slow_job=<id|#N>:<millis>   stall that job for <millis> ms (the stall
 //!                             observes cancellation, like a real engine)
+//! slow_engine=<name>:<millis> stall one engine of the next portfolio race
+//!                             by <millis> ms before it starts proving;
+//!                             <name> is the CLI spelling (`termite`,
+//!                             `eager`, `pr`, `heuristic`, `lasso`,
+//!                             `complete-lrf`). The stall observes the
+//!                             race's cancellation token, so a cancelled
+//!                             loser wakes up promptly — this is the lever
+//!                             the race-determinism tests pull to hand every
+//!                             engine in turn the scheduling disadvantage
 //! cache_torn_write=<1|substr> truncate the next cache save halfway and skip
 //!                             the atomic rename (simulates a crash
 //!                             mid-write); `1` fires on any save, anything
@@ -72,6 +81,8 @@ impl JobMatch {
 struct FaultPlan {
     worker_panic: Vec<JobMatch>,
     slow_job: Vec<(JobMatch, u64)>,
+    /// Engine CLI name → stall, for the portfolio race's fault point.
+    slow_engine: Vec<(String, u64)>,
     /// `Some("")` fires on any cache save; `Some(substr)` only on saves
     /// whose path contains the substring.
     cache_torn_write: Option<String>,
@@ -100,6 +111,18 @@ impl FaultPlan {
                         .parse::<u64>()
                         .map_err(|_| format!("slow_job `{arg}`: bad millis"))?;
                     plan.slow_job.push((JobMatch::parse(target)?, millis));
+                }
+                "slow_engine" => {
+                    let (engine, millis) = arg
+                        .rsplit_once(':')
+                        .ok_or_else(|| format!("slow_engine `{arg}` is not `<name>:<millis>`"))?;
+                    if engine.is_empty() {
+                        return Err("slow_engine needs an engine name".to_string());
+                    }
+                    let millis = millis
+                        .parse::<u64>()
+                        .map_err(|_| format!("slow_engine `{arg}`: bad millis"))?;
+                    plan.slow_engine.push((engine.to_string(), millis));
                 }
                 "cache_torn_write" => match arg {
                     "" => {
@@ -235,6 +258,21 @@ pub(crate) fn slow_job_millis(id: &str, ordinal: u64) -> Option<u64> {
     Some(plan.slow_job.remove(index).1)
 }
 
+/// The stall a `slow_engine` point injects for this engine of a portfolio
+/// race, if one fires (consumed on fire). `engine` is the CLI spelling.
+pub(crate) fn slow_engine_millis(engine: &str) -> Option<u64> {
+    if !armed() {
+        return None;
+    }
+    let mut slot = lock(plan_slot());
+    let plan = slot.as_mut()?;
+    let index = plan
+        .slow_engine
+        .iter()
+        .position(|(name, _)| name == engine)?;
+    Some(plan.slow_engine.remove(index).1)
+}
+
 /// Whether the `cache_torn_write` point fires for a save to this path
 /// (consumed on fire).
 pub(crate) fn cache_torn_write(path: &str) -> bool {
@@ -281,7 +319,7 @@ mod tests {
     fn spec_grammar_round_trips() {
         let plan = FaultPlan::parse(
             "worker_panic=boom; slow_job=#2:250, conn_drop=a:b, cache_torn_write=1; \
-             slow_job=stall:1000",
+             slow_job=stall:1000; slow_engine=complete-lrf:50",
         )
         .unwrap();
         assert_eq!(plan.worker_panic, vec![JobMatch::Id("boom".to_string())]);
@@ -294,6 +332,7 @@ mod tests {
         );
         assert_eq!(plan.cache_torn_write, Some(String::new()));
         assert_eq!(plan.conn_drop, vec!["a:b".to_string()]);
+        assert_eq!(plan.slow_engine, vec![("complete-lrf".to_string(), 50)]);
 
         let scoped = FaultPlan::parse("cache_torn_write=my-test.json").unwrap();
         assert_eq!(scoped.cache_torn_write, Some("my-test.json".to_string()));
@@ -317,6 +356,9 @@ mod tests {
             "worker_panic=#x",
             "slow_job=abc",
             "slow_job=abc:fast",
+            "slow_engine=lasso",
+            "slow_engine=:100",
+            "slow_engine=lasso:soon",
             "cache_torn_write=",
             "conn_drop=",
             "explode=now",
@@ -333,7 +375,7 @@ mod tests {
         {
             let _guard = arm(
                 "worker_panic=__faults_unit; cache_torn_write=__faults_unit.json; \
-                 conn_drop=__faults_unit_x",
+                 conn_drop=__faults_unit_x; slow_engine=__faults_unit_e:7",
             )
             .unwrap();
             assert!(armed());
@@ -345,6 +387,8 @@ mod tests {
             assert!(!cache_torn_write("/tmp/__faults_unit.json"), "consumed");
             assert!(conn_drop("__faults_unit_x"));
             assert!(!conn_drop("__faults_unit_x"), "consumed on fire");
+            assert_eq!(slow_engine_millis("__faults_unit_e"), Some(7));
+            assert_eq!(slow_engine_millis("__faults_unit_e"), None, "consumed");
         }
         assert!(!armed(), "the guard disarms on drop");
         assert!(!worker_panic("__faults_unit", 0));

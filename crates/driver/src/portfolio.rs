@@ -127,9 +127,16 @@ impl EngineSelection {
         EngineSelection::Portfolio(engines)
     }
 
-    /// The full four-engine portfolio of the paper's evaluation.
+    /// The full default portfolio: the complete LRF existence test first
+    /// (cheap, and definitive on single-path loops), then the multiphase
+    /// lasso templates, then the paper's four engines. The order is the
+    /// *preference* order used to break ties between equally-ranked answers
+    /// (see `race`'s confluence contract), not a scheduling order — all
+    /// engines start simultaneously.
     pub fn full_portfolio() -> Self {
         EngineSelection::Portfolio(vec![
+            Engine::CompleteLrf,
+            Engine::Lasso,
             Engine::Termite,
             Engine::Eager,
             Engine::PodelskiRybalchenko,
@@ -148,8 +155,8 @@ impl EngineSelection {
 
 /// Parses an engine-selection name as used on the CLI and the NDJSON wire:
 /// one of the engine names (`termite`, `eager`, `pr` /
-/// `podelski-rybalchenko`, `heuristic`) or `portfolio` for the full
-/// four-engine race.
+/// `podelski-rybalchenko`, `heuristic`, `lasso`, `complete-lrf`) or
+/// `portfolio` for the full six-engine race.
 pub fn parse_selection(name: &str) -> Result<EngineSelection, String> {
     match name {
         "portfolio" => Ok(EngineSelection::full_portfolio()),
@@ -157,7 +164,23 @@ pub fn parse_selection(name: &str) -> Result<EngineSelection, String> {
         "eager" => Ok(EngineSelection::single(Engine::Eager)),
         "pr" | "podelski-rybalchenko" => Ok(EngineSelection::single(Engine::PodelskiRybalchenko)),
         "heuristic" => Ok(EngineSelection::single(Engine::Heuristic)),
+        "lasso" => Ok(EngineSelection::single(Engine::Lasso)),
+        "complete-lrf" => Ok(EngineSelection::single(Engine::CompleteLrf)),
         other => Err(format!("unknown engine `{other}`")),
+    }
+}
+
+/// The CLI spelling of an engine — the inverse of [`parse_selection`]'s
+/// single-engine names, and the spelling the `slow_engine` fault point
+/// targets.
+fn engine_cli_name(engine: Engine) -> &'static str {
+    match engine {
+        Engine::Termite => "termite",
+        Engine::Eager => "eager",
+        Engine::PodelskiRybalchenko => "pr",
+        Engine::Heuristic => "heuristic",
+        Engine::Lasso => "lasso",
+        Engine::CompleteLrf => "complete-lrf",
     }
 }
 
@@ -186,7 +209,9 @@ pub struct PortfolioOutcome {
     /// The report returned to the caller: the winner's on a proof, the
     /// preferred (first-listed) engine's otherwise.
     pub report: TerminationReport,
-    /// The engine that proved termination first, when one did.
+    /// The engine whose answer the report carries, when that answer is a
+    /// proof: the first engine to prove *unconditionally*, or the
+    /// best-ranked finisher otherwise.
     pub winner: Option<Engine>,
     /// Raced engines that ended without a proof once a winner existed —
     /// typically because the winner cancelled them, though an engine that
@@ -228,13 +253,35 @@ pub fn run_selection(
                 unproved_losers: 0,
             }
         }
-        EngineSelection::Portfolio(engines) => race(job, engines, options),
+        EngineSelection::Portfolio(engines) => {
+            let mut out = race(job, engines, options);
+            // Name the winning engine in the report itself, so the answer
+            // survives the cache round trip and reaches `suite table`,
+            // `merge-reports` and `bench-diff` (single-engine runs keep
+            // `None`: there was no race to win).
+            out.report.stats.engine_won = out.winner.map(|e| format!("{e:?}"));
+            out
+        }
     }
 }
 
+/// Races the engines under the **verdict-confluence invariant**: the rank of
+/// the returned verdict (`Terminates` ⊐ `TerminatesIf` ⊐ `Unknown`) does not
+/// depend on thread scheduling.
+///
+/// Only an *unconditional* proof claims the winner slot and cancels its
+/// siblings — an unconditional proof is already the top of the verdict
+/// lattice, so no still-running engine could improve on it. A conditional
+/// proof must instead let the race run to completion: cancelling on it would
+/// make the verdict rank depend on whether a sibling's unconditional proof
+/// was a microsecond ahead or behind. When no engine claims the slot, every
+/// engine finishes on its own and the best answer wins, ties broken by
+/// engine-list position — a fully deterministic pick. The certificate (and
+/// the winner's identity) may still vary between runs *only* when several
+/// engines race to equally-ranked unconditional proofs.
 fn race(job: &AnalysisJob, engines: &[Engine], options: &AnalysisOptions) -> PortfolioOutcome {
-    // One shared child token: the first proof cancels every sibling, the
-    // caller's token still cancels everyone.
+    // One shared child token: the first unconditional proof cancels every
+    // sibling, the caller's token still cancels everyone.
     let race_token = options.cancel.child();
     let winner: Mutex<Option<(Engine, TerminationReport)>> = Mutex::new(None);
     let mut per_engine: Vec<TerminationReport> = Vec::new();
@@ -255,12 +302,26 @@ fn race(job: &AnalysisJob, engines: &[Engine], options: &AnalysisOptions) -> Por
             let recorder = recorder.clone();
             handles.push(scope.spawn(move || {
                 let _recorder_guard = recorder.map(termite_obs::install);
+                // The `slow_engine` fault point: hand this engine an
+                // arbitrary scheduling disadvantage before it starts. The
+                // stall observes the race token so a cancelled loser still
+                // wakes up promptly — exactly like a real engine that lost.
+                if crate::faults::armed() {
+                    if let Some(millis) = crate::faults::slow_engine_millis(engine_cli_name(engine))
+                    {
+                        let deadline =
+                            std::time::Instant::now() + std::time::Duration::from_millis(millis);
+                        while std::time::Instant::now() < deadline && !opts.cancel.is_cancelled() {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                    }
+                }
                 let report = prove_job(job, &opts);
-                if report.proved() {
+                if report.proved_unconditionally() {
                     let mut slot = winner.lock().unwrap();
                     if slot.is_none() {
                         *slot = Some((engine, report.clone()));
-                        // First proof: stop the siblings.
+                        // First unconditional proof: stop the siblings.
                         race_token.cancel();
                     }
                 }
@@ -278,33 +339,35 @@ fn race(job: &AnalysisJob, engines: &[Engine], options: &AnalysisOptions) -> Por
     });
 
     let first_proof = winner.into_inner().unwrap();
-    let unproved_losers = per_engine
-        .iter()
-        .zip(engines)
-        .filter(|(report, e)| match &first_proof {
-            Some((winning_engine, _)) => !report.proved() && *e != winning_engine,
-            None => false,
-        })
-        .count();
-    match first_proof {
-        Some((engine, report)) => PortfolioOutcome {
-            report,
-            winner: Some(engine),
-            unproved_losers,
-        },
+    let (winning_engine, report) = match first_proof {
+        Some((engine, report)) => (Some(engine), report),
         None => {
-            // No engine proved: return the preferred engine's full report
-            // (deterministic regardless of completion order).
-            let report = per_engine
-                .into_iter()
-                .next()
+            // No unconditional proof: every engine completed on its own.
+            // Pick the best verdict; among equals, the first-listed engine —
+            // deterministic regardless of completion order.
+            let best = per_engine
+                .iter()
+                .enumerate()
+                .max_by_key(|(i, r)| (r.verdict.rank(), std::cmp::Reverse(*i)))
+                .map(|(i, _)| i)
                 .expect("a portfolio has at least one engine");
-            PortfolioOutcome {
-                report,
-                winner: None,
-                unproved_losers: 0,
-            }
+            let report = per_engine[best].clone();
+            let winner = report.proved().then_some(engines[best]);
+            (winner, report)
         }
+    };
+    let unproved_losers = match winning_engine {
+        Some(w) => per_engine
+            .iter()
+            .zip(engines)
+            .filter(|(r, e)| !r.proved() && **e != w)
+            .count(),
+        None => 0,
+    };
+    PortfolioOutcome {
+        report,
+        winner: winning_engine,
+        unproved_losers,
     }
 }
 
@@ -367,7 +430,7 @@ mod tests {
         );
         assert_eq!(
             EngineSelection::full_portfolio().to_string(),
-            "portfolio:Termite+Eager+PodelskiRybalchenko+Heuristic"
+            "portfolio:CompleteLrf+Lasso+Termite+Eager+PodelskiRybalchenko+Heuristic"
         );
     }
 
@@ -413,5 +476,68 @@ mod tests {
         assert!(!out.report.proved());
         // Deterministic fallback: the preferred engine's report.
         assert_eq!(out.report.program, diverging.name);
+        assert_eq!(out.report.stats.engine_won, None);
+    }
+
+    #[test]
+    fn portfolio_report_names_the_winning_engine() {
+        let j = job("var x; assume x >= 0; while (x > 0) { x = x - 1; }");
+        let out = run_selection(
+            &j,
+            &EngineSelection::full_portfolio(),
+            &AnalysisOptions::default(),
+        );
+        assert!(out.report.proved());
+        assert_eq!(
+            out.report.stats.engine_won,
+            out.winner.map(|e| format!("{e:?}")),
+            "the report must carry the winner's name"
+        );
+        // A single-engine run has no race to win.
+        let single = run_selection(
+            &j,
+            &EngineSelection::single(Engine::Termite),
+            &AnalysisOptions::default(),
+        );
+        assert_eq!(single.report.stats.engine_won, None);
+    }
+
+    #[test]
+    fn unconditional_proof_outranks_a_conditional_one() {
+        // Terminates from *every* state (two-phase drift), but Termite only
+        // proves it conditionally while the lasso engine has an unconditional
+        // depth-2 certificate. The race must return the unconditional
+        // verdict no matter how threads interleave.
+        let j = job("var x, y; while (x > 0) { x = x + y; y = y - 1; }");
+        for _ in 0..4 {
+            let out = run_selection(
+                &j,
+                &EngineSelection::full_portfolio(),
+                &AnalysisOptions::default(),
+            );
+            assert!(
+                out.report.proved_unconditionally(),
+                "conditional proofs must not pre-empt an unconditional one: {:?}",
+                out.report.verdict
+            );
+            assert_eq!(out.winner, Some(Engine::Lasso));
+        }
+    }
+
+    #[test]
+    fn conditional_proof_still_wins_when_nothing_outranks_it() {
+        // Terminates only from y ≤ −1: no engine can prove it
+        // unconditionally, so the race runs to completion and returns
+        // Termite's conditional verdict deterministically.
+        let j = job("var x, y; while (x > 0) { x = x + y; }");
+        let out = run_selection(
+            &j,
+            &EngineSelection::full_portfolio(),
+            &AnalysisOptions::default(),
+        );
+        assert!(out.report.proved());
+        assert!(!out.report.proved_unconditionally());
+        assert_eq!(out.winner, Some(Engine::Termite));
+        assert_eq!(out.report.stats.engine_won, Some("Termite".to_string()));
     }
 }

@@ -68,6 +68,23 @@ pub fn phase_cascade(phases: usize) -> Program {
     parse_named_program(&src, &format!("phase_cascade_{phases}")).expect("generated program parses")
 }
 
+/// A `phases`-deep drift loop: `x1` grows by `x2` while `x2` grows by `x3`,
+/// …, and `x_phases` alone counts down. Universally terminating, but the
+/// only certificate in the linear-template zoo is a nested (multiphase)
+/// ranking function of exactly `phases` phases — the parametric workload of
+/// the `lasso` engine, the way [`multipath_loop`] is the eager baselines'.
+pub fn multiphase_drift(phases: usize) -> Program {
+    assert!(phases >= 1);
+    let decls: Vec<String> = (1..=phases).map(|p| format!("x{p}")).collect();
+    let mut src = format!("var {};\nwhile (x1 > 0) {{\n", decls.join(", "));
+    for p in 1..phases {
+        src.push_str(&format!("x{p} = x{p} + x{};\n", p + 1));
+    }
+    src.push_str(&format!("x{phases} = x{phases} - 1;\n}}\n"));
+    parse_named_program(&src, &format!("multiphase_drift_{phases}"))
+        .expect("generated program parses")
+}
+
 /// A countdown loop padded with `pad` dead observer variables, each updated
 /// every iteration but never read by any guard — the parametric version of
 /// the `Bloated` suite's workload. Without IR pre-optimization every padding
@@ -131,6 +148,18 @@ mod tests {
             assert_eq!(optimized.program.num_vars(), 1, "pad {pad}");
             assert_eq!(optimized.provenance.kept(), &[0]);
         }
+    }
+
+    #[test]
+    fn multiphase_drift_is_a_single_path_lasso() {
+        for phases in 1..=4 {
+            let p = multiphase_drift(phases);
+            assert_eq!(p.num_vars(), phases);
+            let ts = p.transition_system();
+            assert_eq!(ts.num_locations(), 1);
+        }
+        // Depth 1 degenerates to the plain countdown.
+        assert_eq!(multiphase_drift(1).num_loops(), 1);
     }
 
     #[test]

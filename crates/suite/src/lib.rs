@@ -54,6 +54,16 @@ pub enum SuiteId {
     /// naive C front-end would emit them. The family that the IR
     /// pre-optimization pipeline is measured on.
     Bloated,
+    /// Phase-structured single loops (`x += y; y -= 1` and friends) whose
+    /// termination argument needs a multiphase (nested) ranking function:
+    /// the family the `lasso` engine is measured on — no lexicographic
+    /// linear certificate over the single cut point exists for most of them.
+    Multiphase,
+    /// Stem-plus-loop (lasso) programs exercising the `complete-lrf`
+    /// engine: loops with a cheap linear ranking function, one loop whose
+    /// linear-RF *non*-existence the engine must answer definitively, and a
+    /// rationally-nonterminating oscillator.
+    Lasso,
 }
 
 impl SuiteId {
@@ -65,18 +75,22 @@ impl SuiteId {
             SuiteId::TermComp => "TermComp",
             SuiteId::Wtc => "WTC",
             SuiteId::Bloated => "Bloated",
+            SuiteId::Multiphase => "Multiphase",
+            SuiteId::Lasso => "Lasso",
         }
     }
 
     /// All suites: the four of Table 1, in the paper's order, then the
     /// reproduction's own additions.
-    pub fn all() -> [SuiteId; 5] {
+    pub fn all() -> [SuiteId; 7] {
         [
             SuiteId::PolyBench,
             SuiteId::Sorts,
             SuiteId::TermComp,
             SuiteId::Wtc,
             SuiteId::Bloated,
+            SuiteId::Multiphase,
+            SuiteId::Lasso,
         ]
     }
 }
@@ -771,6 +785,145 @@ pub fn bloated() -> Vec<Benchmark> {
     ]
 }
 
+/// The Multiphase suite: single-location loops whose variables drift through
+/// phases (`x` grows while `y` is positive, then shrinks forever). Most have
+/// *no* lexicographic linear ranking function over their one cut point —
+/// Termite at best proves them conditionally after refinement — but all are
+/// universally terminating with a depth-2/3 nested certificate, which is
+/// exactly what the `lasso` engine synthesises.
+pub fn multiphase() -> Vec<Benchmark> {
+    use SuiteId::Multiphase as S;
+    // The two canonical drifts come from the parametric generator the
+    // scalability experiments use, pinned here at depths 2 and 3.
+    let drift = |name: &str, phases: usize| {
+        let mut program = generators::multiphase_drift(phases);
+        program.name = name.to_string();
+        Benchmark {
+            program,
+            suite: S,
+            expected_terminating: true,
+        }
+    };
+    vec![
+        drift("mp_two_phase_drift", 2),
+        drift("mp_three_phase_cascade", 3),
+        bench(
+            S,
+            "mp_counter_race",
+            true,
+            r#"
+            var x, y;
+            while (x > 0) { y = y - 1; x = x + y; }
+        "#,
+        ),
+        bench(
+            S,
+            "mp_guarded_drift",
+            true,
+            r#"
+            var x, y;
+            assume y <= 5;
+            while (x > 0) { x = x + y; y = y - 1; }
+        "#,
+        ),
+        bench(
+            S,
+            "mp_double_step_drift",
+            true,
+            r#"
+            var x, y;
+            while (x > 0) { x = x + y; y = y - 2; }
+        "#,
+        ),
+        bench(
+            S,
+            "mp_sum_drift",
+            true,
+            r#"
+            var x, y, z;
+            while (x > 0) { x = x + y + z; y = y - 1; z = z - 1; }
+        "#,
+        ),
+    ]
+}
+
+/// The Lasso suite: stem-plus-loop programs in the shape the linear-lasso
+/// literature studies. The terminating ones have a cheap linear ranking
+/// function (`complete-lrf`'s fast path) — except `lasso_reset_no_lrf`,
+/// where the engine's job is the definitive *negative* answer while the
+/// lexicographic engines find the proof. The oscillator is non-terminating
+/// (it has a rational fixpoint), which the complete test also refutes
+/// definitively.
+pub fn lasso() -> Vec<Benchmark> {
+    use SuiteId::Lasso as S;
+    vec![
+        bench(
+            S,
+            "lasso_stem_countdown",
+            true,
+            r#"
+            var x, n;
+            assume n >= 0;
+            x = n;
+            while (x > 0) { x = x - 1; }
+        "#,
+        ),
+        bench(
+            S,
+            "lasso_bounded_stride",
+            true,
+            r#"
+            var i, n;
+            assume n >= 0;
+            i = 0;
+            while (i < n) { i = i + 2; }
+        "#,
+        ),
+        bench(
+            S,
+            "lasso_multipath_lrf",
+            true,
+            r#"
+            var x, y;
+            assume y >= 0;
+            while (x > 0) {
+                choice {
+                    x = x - 1;
+                } or {
+                    x = x - 2; y = y + 1;
+                }
+            }
+        "#,
+        ),
+        bench(
+            S,
+            "lasso_reset_no_lrf",
+            true,
+            r#"
+            var i, j, n;
+            assume i >= 0 && j >= 0 && n >= 0;
+            while (i > 0) {
+                choice {
+                    assume j > 0; j = j - 1;
+                } or {
+                    assume j <= 0; i = i - 1; j = n + 1;
+                }
+            }
+        "#,
+        ),
+        bench(
+            S,
+            "lasso_nonterm_pendulum",
+            false,
+            r#"
+            var x;
+            assume x >= 2;
+            while (x > 0) { x = 3 - x; }
+        "#,
+        ),
+    ]
+}
+
 /// All benchmarks of a suite.
 pub fn suite(id: SuiteId) -> Vec<Benchmark> {
     match id {
@@ -779,6 +932,8 @@ pub fn suite(id: SuiteId) -> Vec<Benchmark> {
         SuiteId::TermComp => termcomp(),
         SuiteId::Wtc => wtc(),
         SuiteId::Bloated => bloated(),
+        SuiteId::Multiphase => multiphase(),
+        SuiteId::Lasso => lasso(),
     }
 }
 
