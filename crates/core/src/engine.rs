@@ -15,7 +15,9 @@ use crate::baselines;
 use crate::cancel::CancelToken;
 use crate::multidim::synthesize_lexicographic;
 use crate::regions::enabled_invariants;
-use crate::report::{RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict};
+use crate::report::{
+    Precondition, RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict,
+};
 use crate::workspace::{FarkasMemo, LpReuse};
 use std::time::Instant;
 use termite_invariants::{
@@ -51,6 +53,12 @@ pub enum Engine {
     /// *definitively* refutes linear ranking functions. Cheap enough to be
     /// the portfolio's first racer.
     CompleteLrf,
+    /// Piecewise ranking functions over a learned segment lattice, after
+    /// Kura, Unno & Hasuo: split the state space on predicates harvested
+    /// from the DNF path guards, synthesise one affine ranking function per
+    /// segment in a single Farkas LP, and emit the segments as a DNF
+    /// conditional certificate (see [`crate::piecewise`]).
+    Piecewise,
 }
 
 /// Options of the termination analysis.
@@ -114,9 +122,10 @@ impl AnalysisOptions {
     }
 }
 
-/// One synthesis attempt: either a certificate or a reason plus (possibly)
-/// a refinement witness.
-type Attempt = Result<RankingFunction, (UnknownReason, Option<(usize, QVector)>)>;
+/// One synthesis attempt: either a proof verdict (`Terminates`, or a
+/// DNF `TerminatesIf` from the piecewise engine) or a reason plus
+/// (possibly) a refinement witness.
+type Attempt = Result<Verdict, (UnknownReason, Option<(usize, QVector)>)>;
 
 /// Runs the selected engine once against a fixed set of invariants. `memo`
 /// is the analysis-wide Farkas memo: it outlives every attempt so a
@@ -130,11 +139,11 @@ fn attempt(
 ) -> Attempt {
     if ts.num_locations() == 0 {
         // No loop: trivially terminating.
-        return Ok(RankingFunction::new(
+        return Ok(Verdict::Terminates(RankingFunction::new(
             ts.num_vars(),
             ts.var_names().to_vec(),
             Vec::new(),
-        ));
+        )));
     }
     match options.engine {
         Engine::Termite => {
@@ -150,14 +159,14 @@ fn attempt(
                 stats,
             );
             match outcome.components {
-                Some(components) => Ok(RankingFunction::new(
+                Some(components) => Ok(Verdict::Terminates(RankingFunction::new(
                     ts.num_vars(),
                     ts.var_names().to_vec(),
                     components
                         .into_iter()
                         .map(|t| t.lambda.into_iter().zip(t.lambda0).collect())
                         .collect(),
-                )),
+                ))),
                 None => {
                     let reason = if outcome.cancelled {
                         UnknownReason::Cancelled
@@ -185,12 +194,12 @@ fn attempt(
                 }
                 Engine::Lasso => crate::lasso::prove(ts, &enabled, options, stats),
                 Engine::CompleteLrf => crate::complete::prove(ts, &enabled, options, stats),
+                Engine::Piecewise => crate::piecewise::prove(ts, &enabled, options, stats),
                 Engine::Termite => unreachable!("handled above"),
             };
             match verdict {
-                Verdict::Terminates(rf) => Ok(rf),
-                Verdict::TerminatesIf { ranking, .. } => Ok(ranking),
                 Verdict::Unknown { reason } => Err((reason, None)),
+                proof => Ok(proof),
             }
         }
     }
@@ -228,7 +237,53 @@ pub fn prove_termination(program: &Program, options: &AnalysisOptions) -> Termin
     let initial_invariant_millis = invariant_start.elapsed().as_secs_f64() * 1000.0;
     let mut report = prove_with_pipeline(&ts, &mut pipeline, options);
     report.stats.invariant_millis += initial_invariant_millis;
+    verify_pending_disjuncts(program, &ts, &pipeline, options, &mut report);
     report
+}
+
+/// Tries to promote the pipeline's pending `¬g` disjuncts into the
+/// conditional verdict: each candidate region is re-verified by a fresh,
+/// entry-seeded analysis (no refinement), and joins the DNF — with its own
+/// ranking function — only when that analysis proves termination from it.
+/// Unverified candidates are silently dropped, keeping the reported
+/// precondition a sound under-approximation.
+fn verify_pending_disjuncts(
+    program: &Program,
+    ts: &TransitionSystem,
+    pipeline: &FixpointPipeline<'_>,
+    options: &AnalysisOptions,
+    report: &mut TerminationReport,
+) {
+    let Verdict::TerminatesIf { disjuncts, .. } = &mut report.verdict else {
+        return;
+    };
+    for candidate in pipeline.pending_disjuncts() {
+        if options.cancel.is_cancelled() {
+            return;
+        }
+        if disjuncts.iter().any(|d| candidate.is_subset_of(&d.clause)) {
+            continue;
+        }
+        let cancel = options.cancel.clone();
+        let mut sub = FixpointPipeline::with_entry(
+            program,
+            ts,
+            &options.invariants,
+            0,
+            termite_lp::Interrupt::new(move || cancel.is_cancelled()),
+            candidate.clone(),
+        );
+        let verified = prove_with_pipeline(ts, &mut sub, options);
+        report.stats.lp_instances += verified.stats.lp_instances;
+        report.stats.lp_pivots += verified.stats.lp_pivots;
+        report.stats.smt_queries += verified.stats.smt_queries;
+        report.stats.smt_millis += verified.stats.smt_millis;
+        report.stats.lp_millis += verified.stats.lp_millis;
+        report.stats.invariant_millis += verified.stats.invariant_millis;
+        if let Verdict::Terminates(rf) = verified.verdict {
+            disjuncts.push(Precondition::with_ranking(candidate.clone(), rf));
+        }
+    }
 }
 
 /// Proves termination of a transition system against an
@@ -252,14 +307,27 @@ pub fn prove_with_pipeline(
     let verdict = loop {
         let invariants = pipeline.invariants().to_vec();
         match attempt(ts, &invariants, options, &mut farkas_memo, &mut stats) {
-            Ok(rf) => {
-                break match pipeline.precondition() {
-                    None => Verdict::Terminates(rf),
-                    Some(p) => Verdict::TerminatesIf {
-                        precondition: p.clone(),
-                        ranking: rf,
-                    },
-                }
+            Ok(proof) => {
+                break match (pipeline.precondition(), proof) {
+                    (None, proof) => proof,
+                    (Some(p), Verdict::Terminates(rf)) => Verdict::terminates_if(p.clone(), rf),
+                    // An engine-level DNF proof under a pipeline-narrowed
+                    // entry: both conditions must hold, so conjoin the
+                    // pipeline precondition onto every disjunct.
+                    (Some(p), Verdict::TerminatesIf { disjuncts, ranking }) => {
+                        Verdict::TerminatesIf {
+                            disjuncts: disjuncts
+                                .into_iter()
+                                .map(|d| Precondition {
+                                    clause: d.clause.intersection(p).minimize(),
+                                    ranking: d.ranking,
+                                })
+                                .collect(),
+                            ranking,
+                        }
+                    }
+                    (_, unknown) => unknown,
+                };
             }
             Err((reason, witness)) => {
                 let retry = match (&witness, reason) {
@@ -311,7 +379,7 @@ pub fn prove_transition_system(
     let mut stats = SynthesisStats::default();
     let start = Instant::now();
     let verdict = match attempt(ts, invariants, options, &mut FarkasMemo::new(), &mut stats) {
-        Ok(rf) => Verdict::Terminates(rf),
+        Ok(proof) => proof,
         Err((reason, _)) => Verdict::unknown(reason),
     };
     stats.synthesis_millis = start.elapsed().as_secs_f64() * 1000.0;
@@ -379,15 +447,54 @@ mod tests {
         let p = parse_program("var x, y; while (x > 0) { x = x + y; }").unwrap();
         let report = prove_termination(&p, &AnalysisOptions::default());
         match &report.verdict {
-            Verdict::TerminatesIf { precondition, .. } => {
+            Verdict::TerminatesIf { disjuncts, .. } => {
                 use termite_linalg::QVector;
                 assert!(
-                    !precondition.contains_point(&QVector::from_i64(&[5, 0])),
-                    "the precondition must exclude non-terminating starts: {precondition}"
+                    disjuncts
+                        .iter()
+                        .all(|d| !d.clause.contains_point(&QVector::from_i64(&[5, 0]))),
+                    "every disjunct must exclude non-terminating starts: {disjuncts:?}"
                 );
                 assert!(report.stats.refinements >= 1);
             }
             other => panic!("expected a conditional verdict, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disjunctive_precondition_keeps_the_verified_not_g_branch() {
+        // True precondition (y <= -1) ∨ (x >= 5): the then-branch resets y
+        // to -1, so large-x entries terminate whatever their initial y. The
+        // pipeline's primary (convex) candidate is y <= -1; the ¬g disjunct
+        // x >= 5 must survive the backward walk, be re-verified by an
+        // entry-seeded analysis, and join the DNF verdict with its own
+        // ranking.
+        use termite_linalg::QVector;
+        let p = parse_program(
+            "var x, y; if (x >= 5) { y = 0 - 1; } else { y = y; } \
+             while (x > 0) { x = x + y; }",
+        )
+        .unwrap();
+        let report = prove_termination(&p, &AnalysisOptions::default());
+        match &report.verdict {
+            Verdict::TerminatesIf { disjuncts, .. } => {
+                let covers = |x: i64, y: i64| {
+                    disjuncts
+                        .iter()
+                        .any(|d| d.clause.contains_point(&QVector::from_i64(&[x, y])))
+                };
+                assert!(covers(7, -2), "the primary disjunct carries y <= -1");
+                assert!(
+                    covers(9, 3),
+                    "the ¬g disjunct x >= 5 must be kept: {disjuncts:?}"
+                );
+                assert!(!covers(3, 0), "x = 3, y = 0 diverges and must be excluded");
+                assert!(
+                    disjuncts.len() >= 2 && disjuncts[1].ranking.is_some(),
+                    "verified extra disjuncts carry their own certificate"
+                );
+            }
+            other => panic!("expected a disjunctive conditional verdict, got {other:?}"),
         }
     }
 

@@ -80,9 +80,10 @@ fn add_eq(inc: &mut IncrementalLp, terms: Vec<(VarId, Rational)>, rhs: Rational,
 
 /// Adds the Farkas rows certifying `∀v ∈ P(atoms) : target(v) ≥ rhs` with
 /// fresh multipliers, tagging every row (and implicitly scoping the
-/// multiplier columns) with `tag`.
+/// multiplier columns) with `tag`. Shared with the piecewise engine
+/// ([`crate::piecewise`]), which emits the same row shape per segment pair.
 #[allow(clippy::too_many_arguments)]
-fn farkas_rows(
+pub(crate) fn farkas_rows(
     inc: &mut IncrementalLp,
     path: &PathTransition,
     n: usize,

@@ -71,6 +71,7 @@ pub mod lasso;
 mod lp_instance;
 mod monodim;
 mod multidim;
+pub mod piecewise;
 mod regions;
 mod report;
 mod workspace;
@@ -89,5 +90,7 @@ pub use regions::{
     active_source_invariants, active_source_regions, enabled_invariants, source_region_approx,
     strengthen_with_regions,
 };
-pub use report::{RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict};
+pub use report::{
+    Precondition, RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict,
+};
 pub use workspace::{FarkasMemo, LpReuse, SynthesisLpWorkspace};

@@ -154,6 +154,37 @@ impl fmt::Display for UnknownReason {
     }
 }
 
+/// One disjunct of a DNF precondition: a conjunctive region of entry
+/// states, optionally carrying the ranking function that certifies
+/// termination from exactly that region (piecewise certificates attach one
+/// per segment; backward-analysis disjuncts reuse the verdict's primary
+/// ranking and leave this `None`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Precondition {
+    /// The conjunctive clause (a convex polyhedron over the entry state).
+    pub clause: Polyhedron,
+    /// Segment-local certificate, when one exists for this clause alone.
+    pub ranking: Option<RankingFunction>,
+}
+
+impl Precondition {
+    /// A disjunct without a segment-local certificate.
+    pub fn new(clause: Polyhedron) -> Self {
+        Precondition {
+            clause,
+            ranking: None,
+        }
+    }
+
+    /// A disjunct carrying its own segment ranking function.
+    pub fn with_ranking(clause: Polyhedron, ranking: RankingFunction) -> Self {
+        Precondition {
+            clause,
+            ranking: Some(ranking),
+        }
+    }
+}
+
 /// The verdict of a termination analysis — a three-point lattice
 /// `Terminates ⊒ TerminatesIf ⊒ Unknown` (see DESIGN.md).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -162,12 +193,19 @@ pub enum Verdict {
     /// lexicographic linear ranking function as the certificate.
     Terminates(RankingFunction),
     /// Conditional termination: every execution whose initial state satisfies
-    /// `precondition` terminates, certified by `ranking` (synthesised under
-    /// the invariants of the precondition-seeded forward analysis).
+    /// the *disjunction* of the `disjuncts` clauses terminates. `ranking` is
+    /// the primary certificate (valid on the first disjunct); disjuncts may
+    /// carry their own segment-local rankings (see [`Precondition`]).
+    ///
+    /// Within rank 1 of the verdict lattice, DNF preconditions are ordered
+    /// by implication: a verdict is at least as strong as another iff every
+    /// clause of the other is contained in some clause of it. `bench-diff`
+    /// uses exactly this sufficient check.
     TerminatesIf {
-        /// Inferred entry-state precondition.
-        precondition: Polyhedron,
-        /// The certificate valid under the precondition.
+        /// Inferred entry-state precondition, in disjunctive normal form.
+        /// Never empty: at least one disjunct is always present.
+        disjuncts: Vec<Precondition>,
+        /// The primary certificate, valid under the first disjunct.
         ranking: RankingFunction,
     },
     /// No proof; `reason` says why the search stopped.
@@ -181,6 +219,15 @@ impl Verdict {
     /// Shorthand for an unknown verdict with the given reason.
     pub fn unknown(reason: UnknownReason) -> Verdict {
         Verdict::Unknown { reason }
+    }
+
+    /// Shorthand for a single-disjunct (conjunctive) conditional verdict —
+    /// the shape every pre-DNF call site produced.
+    pub fn terminates_if(precondition: Polyhedron, ranking: RankingFunction) -> Verdict {
+        Verdict::TerminatesIf {
+            disjuncts: vec![Precondition::new(precondition)],
+            ranking,
+        }
     }
 
     /// `true` for any proof (unconditional or conditional).
@@ -318,11 +365,22 @@ impl TerminationReport {
         }
     }
 
-    /// The inferred precondition, for conditional proofs.
+    /// The first (primary) disjunct of the inferred precondition, for
+    /// conditional proofs. Callers that understand disjunction should use
+    /// [`TerminationReport::preconditions`] instead.
     pub fn precondition(&self) -> Option<&Polyhedron> {
         match &self.verdict {
-            Verdict::TerminatesIf { precondition, .. } => Some(precondition),
+            Verdict::TerminatesIf { disjuncts, .. } => disjuncts.first().map(|d| &d.clause),
             _ => None,
+        }
+    }
+
+    /// The full DNF precondition, for conditional proofs: one
+    /// [`Precondition`] per disjunct (empty slice otherwise).
+    pub fn preconditions(&self) -> &[Precondition] {
+        match &self.verdict {
+            Verdict::TerminatesIf { disjuncts, .. } => disjuncts,
+            _ => &[],
         }
     }
 }
@@ -381,14 +439,22 @@ impl fmt::Display for TerminationReport {
                 )?;
                 write!(f, "{rf}")
             }
-            Verdict::TerminatesIf {
-                precondition,
-                ranking,
-            } => {
+            Verdict::TerminatesIf { disjuncts, ranking } => {
                 write!(f, "{}: TERMINATES IF ", self.program)?;
-                write_precondition(f, precondition, ranking.var_names())?;
+                for (i, d) in disjuncts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write_precondition(f, &d.clause, ranking.var_names())?;
+                }
                 writeln!(f, " (dimension {})", ranking.dimension())?;
-                write!(f, "{ranking}")
+                write!(f, "{ranking}")?;
+                for d in disjuncts.iter().skip(1) {
+                    if let Some(rf) = &d.ranking {
+                        write!(f, "{rf}")?;
+                    }
+                }
+                Ok(())
             }
             Verdict::Unknown { reason } => writeln!(f, "{}: UNKNOWN ({reason})", self.program),
         }
@@ -434,10 +500,7 @@ mod tests {
     fn verdict_lattice_ranks() {
         let rf = RankingFunction::new(1, vec!["x".into()], Vec::new());
         let terminates = Verdict::Terminates(rf.clone());
-        let conditional = Verdict::TerminatesIf {
-            precondition: Polyhedron::universe(1),
-            ranking: rf,
-        };
+        let conditional = Verdict::terminates_if(Polyhedron::universe(1), rf);
         let unknown = Verdict::unknown(UnknownReason::NoRankingFunction);
         assert!(terminates.rank() > conditional.rank());
         assert!(conditional.rank() > unknown.rank());
@@ -461,13 +524,11 @@ mod tests {
         assert!(report.ranking_function().is_some());
         assert!(report.precondition().is_none());
 
-        report.verdict = Verdict::TerminatesIf {
-            precondition: Polyhedron::universe(1),
-            ranking: rf,
-        };
+        report.verdict = Verdict::terminates_if(Polyhedron::universe(1), rf);
         assert!(report.proved() && !report.proved_unconditionally());
         assert!(report.ranking_function().is_some());
         assert!(report.precondition().is_some());
+        assert_eq!(report.preconditions().len(), 1);
         assert!(report.to_string().contains("TERMINATES IF"));
 
         report.verdict = Verdict::unknown(UnknownReason::Cancelled);

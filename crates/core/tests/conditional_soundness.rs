@@ -117,13 +117,14 @@ fn template(which: usize, a: i64, k: i64, c: i64) -> String {
 }
 
 /// Every engine of the portfolio, for the differential harness.
-const ALL_ENGINES: [Engine; 6] = [
+const ALL_ENGINES: [Engine; 7] = [
     Engine::CompleteLrf,
     Engine::Lasso,
     Engine::Termite,
     Engine::Eager,
     Engine::PodelskiRybalchenko,
     Engine::Heuristic,
+    Engine::Piecewise,
 ];
 
 /// Fuel for the differential zoo: its programs are deterministic (no havoc,
@@ -262,7 +263,77 @@ fn complete_lrf_refutation_branch_is_reachable() {
     );
 }
 
+/// One program of the randomized case-split family for the completeness
+/// canary: a walk whose *sum* `x + y` steps toward zero by 1 per iteration,
+/// but whose individual variables jump by `±k` / `∓(k−1)`. No convex linear
+/// certificate exists (the ranking must be `|x + y|`), and for `k ≥ 2` the
+/// per-variable jumps defeat the refinement pipeline's axis-aligned
+/// narrowing, so every non-piecewise engine is stuck at `Unknown`.
+fn case_split_src(k: i64, swap: bool) -> String {
+    let (pos, neg) = (
+        format!("x = x - {k}; y = y + {};", k - 1),
+        format!("x = x + {k}; y = y - {};", k - 1),
+    );
+    let (a, b) = if swap { (neg, pos) } else { (pos, neg) };
+    let (ga, gb) = if swap {
+        ("x + y <= 0 - 1", "x + y >= 1")
+    } else {
+        ("x + y >= 1", "x + y <= 0 - 1")
+    };
+    format!(
+        "var x, y; while (x + y != 0) {{ \
+         choice {{ assume {ga}; {a} }} or {{ assume {gb}; {b} }} }}"
+    )
+}
+
 proptest! {
+    /// The completeness canary: on the randomized case-split family every
+    /// engine except `piecewise` answers `Unknown`, and `piecewise` proves
+    /// it — so the seventh portfolio lane is never vacuous, and a
+    /// regression in any direction (a baseline suddenly proving the family,
+    /// or piecewise losing it) fails loudly. The piecewise claim itself is
+    /// replayed disjunct-by-disjunct under the demonic simulator.
+    #[test]
+    fn prop_piecewise_proves_what_the_other_six_cannot(
+        k in 2i64..5,
+        swap in 0usize..2,
+        samples in prop::collection::vec(prop::collection::vec(-6i64..7, 2), 8),
+    ) {
+        let src = case_split_src(k, swap == 1);
+        let program = parse_program(&src).unwrap();
+        for engine in ALL_ENGINES {
+            if engine == Engine::Piecewise {
+                continue;
+            }
+            let options = AnalysisOptions { engine, ..AnalysisOptions::default() };
+            let report = prove_termination(&program, &options);
+            prop_assert!(
+                matches!(report.verdict, Verdict::Unknown { .. }),
+                "{engine:?} unexpectedly answered {:?} on {src}: the canary \
+                 family no longer separates piecewise from the baselines",
+                report.verdict
+            );
+        }
+        let options = AnalysisOptions { engine: Engine::Piecewise, ..AnalysisOptions::default() };
+        let report = prove_termination(&program, &options);
+        let Verdict::TerminatesIf { disjuncts, .. } = &report.verdict else {
+            panic!("piecewise must prove the case-split family, got {:?} on {src}", report.verdict);
+        };
+        prop_assert!(disjuncts.len() >= 2, "{src}: expected a genuine case split");
+        let cfg = program.to_cfg();
+        for s in &samples {
+            let state = QVector::from_i64(s);
+            if !disjuncts.iter().any(|d| d.clause.contains_point(&state)) {
+                continue;
+            }
+            prop_assert!(
+                halts(&cfg, cfg.entry(), &state, DIFF_FUEL),
+                "{src}: piecewise claimed termination from {state:?}, but \
+                 bounded simulation diverges"
+            );
+        }
+    }
+
     /// The differential soundness harness: every engine of the portfolio
     /// runs on every program of the randomized multiphase/lasso zoo, and
     ///
@@ -293,12 +364,17 @@ proptest! {
                 ..AnalysisOptions::default()
             };
             let report = prove_termination(&program, &options);
-            let claimed: Option<Polyhedron> = match &report.verdict {
+            // A conditional verdict claims the *union* of its disjunct
+            // clauses: each disjunct is replayed independently — a state in
+            // any one of them must halt.
+            let claimed: Option<Vec<Polyhedron>> = match &report.verdict {
                 Verdict::Terminates(_) => {
                     unconditional.push(engine);
                     None
                 }
-                Verdict::TerminatesIf { precondition, .. } => Some(precondition.clone()),
+                Verdict::TerminatesIf { disjuncts, .. } => {
+                    Some(disjuncts.iter().map(|d| d.clause.clone()).collect())
+                }
                 Verdict::Unknown { .. } => continue,
             };
             prop_assert!(
@@ -308,7 +384,10 @@ proptest! {
             );
             for s in &samples {
                 let state = QVector::from_i64(&s[..program.num_vars()]);
-                if claimed.as_ref().is_some_and(|p| !p.contains_point(&state)) {
+                if claimed
+                    .as_ref()
+                    .is_some_and(|ps| !ps.iter().any(|p| p.contains_point(&state)))
+                {
                     continue;
                 }
                 prop_assert!(
@@ -388,14 +467,19 @@ proptest! {
         // Every template family member is provable (the probe matrix in this
         // PR covered the full constant ranges) — a verdict decay to Unknown
         // is itself a regression worth failing on.
-        let claimed: Option<&Polyhedron> = match &report.verdict {
+        let claimed: Option<Vec<Polyhedron>> = match &report.verdict {
             Verdict::Terminates(_) => None,
-            Verdict::TerminatesIf { precondition, .. } => Some(precondition),
+            Verdict::TerminatesIf { disjuncts, .. } => {
+                Some(disjuncts.iter().map(|d| d.clause.clone()).collect())
+            }
             Verdict::Unknown { reason } => panic!("{src}: expected a proof, got Unknown ({reason})"),
         };
         for s in &samples {
             let state = QVector::from_i64(&s[..program.num_vars()]);
-            if claimed.is_some_and(|p| !p.contains_point(&state)) {
+            if claimed
+                .as_ref()
+                .is_some_and(|ps| !ps.iter().any(|p| p.contains_point(&state)))
+            {
                 continue;
             }
             prop_assert!(

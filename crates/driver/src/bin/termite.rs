@@ -54,7 +54,7 @@ const USAGE: &str = "usage:
   termite serve [--engine E | --portfolio] [--jobs N] [--cache FILE]
                 [--cache-max-bytes N] [--max-inflight K] [--timeout-ms N]
                 [--stats-every N] [--listen ADDR:PORT] [--drain-ms N] [--no-optimize]
-  termite suite <polybench|sorts|termcomp|wtc|bloated|multiphase|lasso|all>
+  termite suite <polybench|sorts|termcomp|wtc|bloated|multiphase|lasso|piecewise|all>
                 [--engine E | --portfolio] [--jobs N] [--shard k/n] [--json FILE]
                 [--cache FILE] [--cache-max-bytes N] [--timeout-ms N] [--trace FILE]
                 [--no-optimize]
@@ -63,7 +63,7 @@ const USAGE: &str = "usage:
   termite check-verdicts <expected.json> <actual.json>
   termite table1
 
-engines: termite (default), eager, pr, heuristic, lasso, complete-lrf
+engines: termite (default), eager, pr, heuristic, lasso, complete-lrf, piecewise
 --portfolio races every engine (complete-lrf and lasso first) and keeps the
 strongest verdict; the report's `engine_won` names the engine that produced it
 --no-optimize analyses programs as written, skipping the IR shrinking pipeline
@@ -415,6 +415,7 @@ fn parse_suites(name: &str) -> Result<Vec<SuiteId>, String> {
         "bloated" => Ok(vec![SuiteId::Bloated]),
         "multiphase" => Ok(vec![SuiteId::Multiphase]),
         "lasso" => Ok(vec![SuiteId::Lasso]),
+        "piecewise" => Ok(vec![SuiteId::Piecewise]),
         "all" => Ok(SuiteId::all().to_vec()),
         other => Err(format!("unknown suite `{other}`")),
     }
@@ -761,6 +762,30 @@ struct BenchRecord {
     /// field existed. Informational only — engines may legitimately trade
     /// wins between runs, so the diff never gates on this.
     engine_won: Option<String>,
+    /// The disjunct clauses of a conditional verdict, parsed from the
+    /// embedded report (the v3 `preconditions` array, or the v2 single
+    /// `precondition` as a one-clause DNF). `None` when the record carries
+    /// no embedded report or is not conditional — the DNF gate then stays
+    /// silent, same absent-is-unknown rule as `lp_pivots`.
+    disjuncts: Option<Vec<termite_polyhedra::Polyhedron>>,
+}
+
+/// Extracts the disjunct clauses of a benchmark's conditional verdict from
+/// its embedded `report` object. Best-effort: anything missing or
+/// malformed yields `None` rather than failing the whole diff.
+fn record_disjuncts(bench: &Json) -> Option<Vec<termite_polyhedra::Polyhedron>> {
+    let report = bench.get("report")?;
+    if let Some(array) = report.get("preconditions").and_then(Json::as_array) {
+        return array
+            .iter()
+            .map(|d| termite_driver::polyhedron_from_json(d.get("clause")?).ok())
+            .collect();
+    }
+    let single = report.get("precondition")?;
+    if matches!(single, Json::Null) {
+        return None;
+    }
+    Some(vec![termite_driver::polyhedron_from_json(single).ok()?])
 }
 
 /// Renders an optional pivot count for the diff table (`n/a` when the
@@ -785,6 +810,7 @@ fn engine_cell(engine_won: Option<&str>) -> String {
         Some("Heuristic") => "heuristic".to_string(),
         Some("Lasso") => "lasso".to_string(),
         Some("CompleteLrf") => "complete-lrf".to_string(),
+        Some("Piecewise") => "piecewise".to_string(),
         Some(other) => other.to_string(),
     }
 }
@@ -842,6 +868,7 @@ fn load_report(path: &str) -> Result<Vec<BenchRecord>, String> {
                     .and_then(Json::as_str)
                     .or_else(|| b.get("winner").and_then(Json::as_str))
                     .map(String::from),
+                disjuncts: record_disjuncts(b),
             })
         })
         .collect()
@@ -950,12 +977,39 @@ fn bench_diff(args: &[String]) -> Result<ExitCode, String> {
             verdict_rank(&record.verdict),
             verdict_rank(&new_record.verdict),
         );
+        // Within rank 1 the lattice is refined by DNF subsumption: the new
+        // disjunction must cover the old one (every old clause inside some
+        // new clause), or the precondition got strictly weaker — a verdict
+        // regression the rank alone cannot see. Extra uncovered new
+        // disjuncts are an improvement note. Records without embedded
+        // clauses (older trend files) leave the gate silent.
+        let (dnf_weakened, dnf_widened) = match (
+            old_rank == 1 && new_rank == 1,
+            &record.disjuncts,
+            &new_record.disjuncts,
+        ) {
+            (true, Some(old_dnf), Some(new_dnf)) => (
+                old_dnf
+                    .iter()
+                    .any(|c| !new_dnf.iter().any(|d| c.is_subset_of(d))),
+                new_dnf
+                    .iter()
+                    .any(|d| !old_dnf.iter().any(|c| d.is_subset_of(c))),
+            ),
+            _ => (false, false),
+        };
         let status = if new_rank < old_rank {
             failures += 1;
             "VERDICT REGRESSED"
         } else if new_rank > old_rank {
             improvements += 1;
             "improved"
+        } else if dnf_weakened {
+            failures += 1;
+            "PRECONDITION WEAKENED"
+        } else if dnf_widened {
+            improvements += 1;
+            "precond widened"
         } else if pivot_regressed {
             failures += 1;
             "PIVOT REGRESSION"

@@ -27,7 +27,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use termite_core::{
-    AnalysisOptions, RankingFunction, SynthesisStats, TerminationReport, UnknownReason, Verdict,
+    AnalysisOptions, Precondition, RankingFunction, SynthesisStats, TerminationReport,
+    UnknownReason, Verdict,
 };
 use termite_linalg::QVector;
 use termite_num::Rational;
@@ -35,11 +36,14 @@ use termite_polyhedra::{Constraint, ConstraintKind, Polyhedron};
 
 /// Version stamp of the on-disk format: bump it whenever the schema changes.
 /// Version 2 added the structured verdict (`terminates` / `conditional` /
-/// `unknown` with a reason, plus the inferred precondition); version-1 files
-/// are still accepted and migrated entry-by-entry on read (a v1 `ranking`
+/// `unknown` with a reason, plus the inferred precondition); version 3
+/// widened conditional verdicts to a disjunctive `preconditions` array (each
+/// disjunct a clause plus an optional per-disjunct ranking). Older files are
+/// still accepted and migrated entry-by-entry on read: a v1 `ranking`
 /// becomes an unconditional proof, a v1 `null` an
-/// `Unknown(NoRankingFunction)`).
-const FORMAT_VERSION: f64 = 2.0;
+/// `Unknown(NoRankingFunction)`, and a v2 single `precondition` a
+/// one-disjunct DNF.
+const FORMAT_VERSION: f64 = 3.0;
 
 /// Oldest on-disk version [`ResultCache::load`] can migrate.
 const OLDEST_READABLE_VERSION: f64 = 1.0;
@@ -169,10 +173,10 @@ impl CacheMap {
 }
 
 /// Serialized size of the document envelope around the entries:
-/// `{"entries":{` + `},"version":2}` (the `Json::Object` is a `BTreeMap`, so
+/// `{"entries":{` + `},"version":3}` (the `Json::Object` is a `BTreeMap`, so
 /// `entries` always prints before `version`, and the integral version prints
 /// without a fraction). Pinned against the real serializer by a test.
-const ENVELOPE_BYTES: usize = r#"{"entries":{"#.len() + r#"},"version":2}"#.len();
+const ENVELOPE_BYTES: usize = r#"{"entries":{"#.len() + r#"},"version":3}"#.len();
 
 /// Exact serialized footprint of one entry (quoted key, colon, report JSON).
 fn entry_bytes(key: &str, report: &TerminationReport) -> usize {
@@ -406,11 +410,33 @@ impl ResultCache {
     }
 
     /// Persists every entry as JSON (atomically: write-then-rename) and
-    /// returns the number of bytes written (the
+    /// returns the number of bytes written. When no usable file exists at
+    /// `path` this is exactly the
     /// [`serialized_bytes`](Self::serialized_bytes) figure, measured for
-    /// free on the document just built).
+    /// free on the document just built.
+    ///
+    /// A save **merges** with the file already at `path`: entries on disk
+    /// but not in memory (evicted under the byte budget, or written by an
+    /// earlier run with a different workload) are preserved, migrated to
+    /// the current schema on the way through. The merge is abandoned — the
+    /// file is **compacted** to just the live entries — when the merged
+    /// document would exceed twice the live footprint: past that point the
+    /// preserved tail is mostly dead weight, and carrying it forward on
+    /// every save would grow the file without bound.
     pub fn save(&self, path: &Path) -> Result<usize, String> {
-        let text = self.to_json().to_string();
+        let live_bytes = self.serialized_bytes();
+        let live_doc = self.to_json();
+        let text = match merged_document(path, &live_doc) {
+            Some(merged) => {
+                let merged_text = merged.to_string();
+                if merged_text.len() > 2 * live_bytes {
+                    live_doc.to_string()
+                } else {
+                    merged_text
+                }
+            }
+            None => live_doc.to_string(),
+        };
         let bytes = text.len();
         // The `cache_torn_write` fault simulates a crash mid-save: half the
         // document lands *directly at the destination*, skipping the
@@ -427,6 +453,48 @@ impl ResultCache {
         std::fs::rename(&tmp, path).map_err(|e| format!("rename to {path:?}: {e}"))?;
         Ok(bytes)
     }
+}
+
+/// The live document plus every entry already at `path` that the live
+/// cache does not supersede, migrated to the current schema entry by
+/// entry. `None` when the disk file is missing, unreadable,
+/// version-incompatible, or adds nothing — the save then just writes the
+/// live document. Individually malformed disk entries are dropped rather
+/// than failing the save: preserving stale entries is best-effort.
+fn merged_document(path: &Path, live_doc: &Json) -> Option<Json> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let disk = Json::parse(&text).ok()?;
+    let version = disk.get("version").and_then(Json::as_f64)?;
+    if !(OLDEST_READABLE_VERSION..=FORMAT_VERSION).contains(&version) {
+        return None;
+    }
+    let Some(Json::Object(disk_entries)) = disk.get("entries") else {
+        return None;
+    };
+    let Json::Object(top) = live_doc else {
+        return None;
+    };
+    let Some(Json::Object(live_entries)) = top.get("entries") else {
+        return None;
+    };
+    let mut merged = live_entries.clone();
+    let mut added = false;
+    for (key, value) in disk_entries {
+        if merged.contains_key(key) {
+            continue;
+        }
+        let Ok(report) = report_from_json(value) else {
+            continue;
+        };
+        merged.insert(key.clone(), report_to_json(&report));
+        added = true;
+    }
+    if !added {
+        return None;
+    }
+    let mut doc = top.clone();
+    doc.insert("entries".to_string(), Json::Object(merged));
+    Some(Json::Object(doc))
 }
 
 /// Serializes a polyhedron as its constraint list.
@@ -519,49 +587,70 @@ pub fn verdict_rank(name: &str) -> u8 {
     }
 }
 
-/// Serializes a report (verdict, ranking function, precondition,
-/// statistics).
+/// Serializes a ranking function (shared by the report-level `ranking`
+/// field and the per-disjunct rankings of a conditional verdict).
+fn ranking_to_json(rf: &RankingFunction) -> Json {
+    let components: Vec<Json> = (0..rf.dimension())
+        .map(|d| {
+            Json::Array(
+                (0..rf.num_locations())
+                    .map(|k| {
+                        let (lambda, lambda0) = rf.component(d, k);
+                        Json::object([
+                            (
+                                "lambda",
+                                Json::Array(
+                                    lambda.iter().map(|c| Json::String(c.to_string())).collect(),
+                                ),
+                            ),
+                            ("lambda0", Json::String(lambda0.to_string())),
+                        ])
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::object([
+        ("num_vars", Json::Number(rf.num_vars() as f64)),
+        (
+            "var_names",
+            Json::Array(
+                rf.var_names()
+                    .iter()
+                    .map(|n| Json::String(n.clone()))
+                    .collect(),
+            ),
+        ),
+        ("components", Json::Array(components)),
+    ])
+}
+
+/// Serializes a report (verdict, ranking function, disjunctive
+/// preconditions, statistics).
 pub fn report_to_json(report: &TerminationReport) -> Json {
     let ranking = match report.ranking_function() {
         None => Json::Null,
-        Some(rf) => {
-            let components: Vec<Json> = (0..rf.dimension())
+        Some(rf) => ranking_to_json(rf),
+    };
+    let preconditions = match &report.verdict {
+        Verdict::TerminatesIf { disjuncts, .. } => Json::Array(
+            disjuncts
+                .iter()
                 .map(|d| {
-                    Json::Array(
-                        (0..rf.num_locations())
-                            .map(|k| {
-                                let (lambda, lambda0) = rf.component(d, k);
-                                Json::object([
-                                    (
-                                        "lambda",
-                                        Json::Array(
-                                            lambda
-                                                .iter()
-                                                .map(|c| Json::String(c.to_string()))
-                                                .collect(),
-                                        ),
-                                    ),
-                                    ("lambda0", Json::String(lambda0.to_string())),
-                                ])
-                            })
-                            .collect(),
-                    )
+                    Json::object([
+                        ("clause", polyhedron_to_json(&d.clause)),
+                        (
+                            "ranking",
+                            match &d.ranking {
+                                Some(rf) => ranking_to_json(rf),
+                                None => Json::Null,
+                            },
+                        ),
+                    ])
                 })
-                .collect();
-            Json::object([
-                ("num_vars", Json::Number(rf.num_vars() as f64)),
-                (
-                    "var_names",
-                    Json::Array(
-                        rf.var_names()
-                            .iter()
-                            .map(|n| Json::String(n.clone()))
-                            .collect(),
-                    ),
-                ),
-                ("components", Json::Array(components)),
-            ])
-        }
+                .collect(),
+        ),
+        _ => Json::Null,
     };
     let s = &report.stats;
     let unknown_reason = match &report.verdict {
@@ -584,13 +673,7 @@ pub fn report_to_json(report: &TerminationReport) -> Json {
         ),
         ("terminating", Json::Bool(report.proved())),
         ("unknown_reason", unknown_reason),
-        (
-            "precondition",
-            match report.precondition() {
-                Some(p) => polyhedron_to_json(p),
-                None => Json::Null,
-            },
-        ),
+        ("preconditions", preconditions),
         ("ranking", ranking),
         (
             "stats",
@@ -639,6 +722,77 @@ fn rational(json: &Json) -> Result<Rational, String> {
         .map_err(|e| format!("bad rational: {e:?}"))
 }
 
+/// Deserializes a non-null ranking function written by [`ranking_to_json`].
+fn ranking_from_json(rf: &Json) -> Result<RankingFunction, String> {
+    let num_vars = rf
+        .get("num_vars")
+        .and_then(Json::as_usize)
+        .ok_or("missing num_vars")?;
+    let var_names = rf
+        .get("var_names")
+        .and_then(Json::as_array)
+        .ok_or("missing var_names")?
+        .iter()
+        .map(|n| n.as_str().map(String::from).ok_or("bad var name"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let components = rf
+        .get("components")
+        .and_then(Json::as_array)
+        .ok_or("missing components")?
+        .iter()
+        .map(|per_loc| {
+            per_loc
+                .as_array()
+                .ok_or_else(|| "bad component".to_string())?
+                .iter()
+                .map(|c| {
+                    let lambda = c
+                        .get("lambda")
+                        .and_then(Json::as_array)
+                        .ok_or("missing lambda")?
+                        .iter()
+                        .map(rational)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    let lambda0 = rational(c.get("lambda0").ok_or("missing lambda0")?)?;
+                    Ok::<_, String>((QVector::from_vec(lambda), lambda0))
+                })
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RankingFunction::new(num_vars, var_names, components))
+}
+
+/// Deserializes the disjuncts of a conditional verdict: the version-3
+/// `preconditions` array, or — for version-2 records — the single
+/// `precondition` polyhedron, migrated to a one-disjunct DNF.
+fn preconditions_from_json(json: &Json) -> Result<Vec<Precondition>, String> {
+    if let Some(array) = json.get("preconditions").and_then(Json::as_array) {
+        let disjuncts = array
+            .iter()
+            .map(|d| {
+                let clause =
+                    polyhedron_from_json(d.get("clause").ok_or("precondition without `clause`")?)?;
+                let ranking = match d.get("ranking") {
+                    None | Some(Json::Null) => None,
+                    Some(rf) => Some(ranking_from_json(rf)?),
+                };
+                Ok::<_, String>(Precondition { clause, ranking })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if disjuncts.is_empty() {
+            return Err("`conditional` verdict with an empty `preconditions` array".to_string());
+        }
+        return Ok(disjuncts);
+    }
+    // v2 migration: a single conjunctive precondition becomes the sole
+    // disjunct (its ranking is the report-level one, so it carries none).
+    let clause = polyhedron_from_json(
+        json.get("precondition")
+            .ok_or("`conditional` verdict without `preconditions`")?,
+    )?;
+    Ok(vec![Precondition::new(clause)])
+}
+
 /// Deserializes a report written by [`report_to_json`], migrating
 /// version-1 records (which had no `verdict` field) on the fly.
 pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
@@ -649,44 +803,7 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
         .to_string();
     let ranking = match json.get("ranking") {
         None | Some(Json::Null) => None,
-        Some(rf) => {
-            let num_vars = rf
-                .get("num_vars")
-                .and_then(Json::as_usize)
-                .ok_or("missing num_vars")?;
-            let var_names = rf
-                .get("var_names")
-                .and_then(Json::as_array)
-                .ok_or("missing var_names")?
-                .iter()
-                .map(|n| n.as_str().map(String::from).ok_or("bad var name"))
-                .collect::<Result<Vec<_>, _>>()?;
-            let components = rf
-                .get("components")
-                .and_then(Json::as_array)
-                .ok_or("missing components")?
-                .iter()
-                .map(|per_loc| {
-                    per_loc
-                        .as_array()
-                        .ok_or_else(|| "bad component".to_string())?
-                        .iter()
-                        .map(|c| {
-                            let lambda = c
-                                .get("lambda")
-                                .and_then(Json::as_array)
-                                .ok_or("missing lambda")?
-                                .iter()
-                                .map(rational)
-                                .collect::<Result<Vec<_>, _>>()?;
-                            let lambda0 = rational(c.get("lambda0").ok_or("missing lambda0")?)?;
-                            Ok::<_, String>((QVector::from_vec(lambda), lambda0))
-                        })
-                        .collect::<Result<Vec<_>, _>>()
-                })
-                .collect::<Result<Vec<_>, String>>()?;
-            Some(RankingFunction::new(num_vars, var_names, components))
-        }
+        Some(rf) => Some(ranking_from_json(rf)?),
     };
     let unknown_reason = || match json.get("unknown_reason").and_then(Json::as_str) {
         Some("cancelled") => UnknownReason::Cancelled,
@@ -701,10 +818,7 @@ pub fn report_from_json(json: &Json) -> Result<TerminationReport, String> {
             Verdict::Terminates(ranking.ok_or("`terminates` verdict without `ranking`")?)
         }
         Some("conditional") => Verdict::TerminatesIf {
-            precondition: polyhedron_from_json(
-                json.get("precondition")
-                    .ok_or("`conditional` verdict without `precondition`")?,
-            )?,
+            disjuncts: preconditions_from_json(json)?,
             ranking: ranking.ok_or("`conditional` verdict without `ranking`")?,
         },
         Some("unknown") => Verdict::Unknown {
@@ -831,10 +945,7 @@ mod tests {
         let ranking = RankingFunction::new(1, vec!["x".into()], Vec::new());
         let verdicts = [
             Verdict::Terminates(ranking.clone()),
-            Verdict::TerminatesIf {
-                precondition: termite_polyhedra::Polyhedron::universe(1),
-                ranking,
-            },
+            Verdict::terminates_if(termite_polyhedra::Polyhedron::universe(1), ranking),
             Verdict::unknown(UnknownReason::NoRankingFunction),
         ];
         for v in &verdicts {
@@ -966,11 +1077,123 @@ mod tests {
                 reason: UnknownReason::NoRankingFunction
             }
         ));
-        // Re-persisting writes the current (v2) schema, which reloads too.
+        // Re-persisting writes the current (v3) schema, which reloads too.
         cache.save(&path).unwrap();
         let doc = Json::parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
-        assert_eq!(doc.get("version").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(doc.get("version").and_then(Json::as_f64), Some(3.0));
         assert!(ResultCache::load(&path).is_ok());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_2_conditional_entries_become_single_disjunct_dnfs() {
+        // A hand-written v2 record: one conjunctive `precondition`, no
+        // `preconditions` array.
+        let v2 = r#"{
+          "version": 2,
+          "entries": {
+            "00000000000000cc": {
+              "program": "old_conditional",
+              "verdict": "conditional",
+              "terminating": true,
+              "unknown_reason": null,
+              "precondition": {
+                "dim": 1,
+                "constraints": [{"coeffs": ["-1"], "rhs": "0", "kind": "ge"}]
+              },
+              "ranking": {
+                "num_vars": 1,
+                "var_names": ["x"],
+                "components": [[{"lambda": ["1"], "lambda0": "0"}]]
+              },
+              "stats": {
+                "iterations": 2, "lp_instances": 2, "lp_rows_avg": 1.0,
+                "lp_cols_avg": 2.0, "lp_max_rows": 1, "lp_max_cols": 2,
+                "smt_queries": 3, "counterexamples": 1, "dimension": 1,
+                "synthesis_millis": 0.5
+              }
+            }
+          }
+        }"#;
+        let path = std::env::temp_dir().join("termite-driver-v2-cache.json");
+        std::fs::write(&path, v2).unwrap();
+        let cache = ResultCache::load(&path).unwrap();
+        let report = cache.lookup("00000000000000cc").unwrap();
+        let Verdict::TerminatesIf { disjuncts, .. } = &report.verdict else {
+            panic!("v2 conditional must stay conditional, got {report:?}");
+        };
+        assert_eq!(disjuncts.len(), 1, "one conjunctive clause, one disjunct");
+        assert!(
+            disjuncts[0].ranking.is_none(),
+            "the ranking stays top-level"
+        );
+        // Re-persisting writes the v3 `preconditions` array.
+        cache.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"preconditions\""), "re-save must upgrade");
+        assert!(!text.contains("\"precondition\":"), "legacy field is gone");
+        let reread = ResultCache::load(&path).unwrap();
+        assert_eq!(reread.lookup("00000000000000cc").unwrap(), report);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_merges_with_disk_and_compacts_when_stale_bytes_dominate() {
+        let dir = std::env::temp_dir().join("termite-driver-cache-merge-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        let _ = std::fs::remove_file(&path);
+
+        let opts = AnalysisOptions::default();
+        let sel = EngineSelection::single(Engine::Termite);
+        let keyed = |src: &str| {
+            let j = job(src);
+            let report = prove_transition_system(&j.ts, &j.invariants, &opts);
+            (cache_key(&j, &sel, &opts), report)
+        };
+        let (old_key, old_report) = keyed("var x; while (x > 0) { x = x - 1; }");
+        let fresh = [
+            keyed("var x; while (x > 2) { x = x - 2; }"),
+            keyed("var x; while (x > 3) { x = x - 3; }"),
+            keyed("var x, y; assume x >= 0 && y >= 0; while (x > 0 && y > 0) { choice { x = x - 1; } or { y = y - 1; } }"),
+        ];
+
+        // Seed the disk with one entry, then save a cache that does not
+        // contain it: the merge must preserve the disk entry because the
+        // union is well under twice the (three-entry) live footprint.
+        let seed = ResultCache::new();
+        seed.store(old_key.clone(), old_report.clone());
+        seed.save(&path).unwrap();
+        let live = ResultCache::new();
+        for (k, r) in &fresh {
+            live.store(k.clone(), r.clone());
+        }
+        live.save(&path).unwrap();
+        let merged = ResultCache::load(&path).unwrap();
+        assert_eq!(merged.len(), 4, "merge must preserve the stale entry");
+        assert_eq!(merged.lookup(&old_key), Some(old_report.clone()));
+
+        // Now save a single-entry cache over the four-entry file: the
+        // union would exceed twice the live footprint, so the save
+        // compacts to live-only.
+        let small = ResultCache::new();
+        small.store(old_key.clone(), old_report.clone());
+        let written = small.save(&path).unwrap();
+        assert_eq!(
+            written,
+            small.serialized_bytes(),
+            "a compacted save writes exactly the live document"
+        );
+        let compacted = ResultCache::load(&path).unwrap();
+        assert_eq!(compacted.len(), 1, "stale entries must be dropped");
+        assert_eq!(compacted.lookup(&old_key), Some(old_report));
+
+        // Byte-identical reload: re-saving what was just loaded must
+        // reproduce the compacted file exactly.
+        let first = std::fs::read_to_string(&path).unwrap();
+        compacted.save(&path).unwrap();
+        let second = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(first, second, "compacted file must round-trip by byte");
         let _ = std::fs::remove_file(&path);
     }
 

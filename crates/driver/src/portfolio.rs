@@ -13,8 +13,8 @@ use crate::job::AnalysisJob;
 use std::fmt;
 use std::sync::Mutex;
 use termite_core::{
-    prove_termination, prove_transition_system, AnalysisOptions, Engine, RankingFunction,
-    TerminationReport, UnknownReason, Verdict,
+    prove_termination, prove_transition_system, AnalysisOptions, Engine, Precondition,
+    RankingFunction, TerminationReport, UnknownReason, Verdict,
 };
 use termite_ir::Provenance;
 use termite_polyhedra::{Constraint, Polyhedron};
@@ -64,11 +64,14 @@ fn translate_verdict(verdict: &mut Verdict, prov: &Provenance) {
     let owned = std::mem::replace(verdict, Verdict::unknown(UnknownReason::NoRankingFunction));
     *verdict = match owned {
         Verdict::Terminates(rf) => Verdict::Terminates(scatter_ranking(&rf, prov)),
-        Verdict::TerminatesIf {
-            precondition,
-            ranking,
-        } => Verdict::TerminatesIf {
-            precondition: scatter_polyhedron(&precondition, prov),
+        Verdict::TerminatesIf { disjuncts, ranking } => Verdict::TerminatesIf {
+            disjuncts: disjuncts
+                .into_iter()
+                .map(|d| Precondition {
+                    clause: scatter_polyhedron(&d.clause, prov),
+                    ranking: d.ranking.map(|rf| scatter_ranking(&rf, prov)),
+                })
+                .collect(),
             ranking: scatter_ranking(&ranking, prov),
         },
         unknown => unknown,
@@ -141,6 +144,7 @@ impl EngineSelection {
             Engine::Eager,
             Engine::PodelskiRybalchenko,
             Engine::Heuristic,
+            Engine::Piecewise,
         ])
     }
 
@@ -155,8 +159,8 @@ impl EngineSelection {
 
 /// Parses an engine-selection name as used on the CLI and the NDJSON wire:
 /// one of the engine names (`termite`, `eager`, `pr` /
-/// `podelski-rybalchenko`, `heuristic`, `lasso`, `complete-lrf`) or
-/// `portfolio` for the full six-engine race.
+/// `podelski-rybalchenko`, `heuristic`, `lasso`, `complete-lrf`,
+/// `piecewise`) or `portfolio` for the full seven-engine race.
 pub fn parse_selection(name: &str) -> Result<EngineSelection, String> {
     match name {
         "portfolio" => Ok(EngineSelection::full_portfolio()),
@@ -166,6 +170,7 @@ pub fn parse_selection(name: &str) -> Result<EngineSelection, String> {
         "heuristic" => Ok(EngineSelection::single(Engine::Heuristic)),
         "lasso" => Ok(EngineSelection::single(Engine::Lasso)),
         "complete-lrf" => Ok(EngineSelection::single(Engine::CompleteLrf)),
+        "piecewise" => Ok(EngineSelection::single(Engine::Piecewise)),
         other => Err(format!("unknown engine `{other}`")),
     }
 }
@@ -181,6 +186,7 @@ fn engine_cli_name(engine: Engine) -> &'static str {
         Engine::Heuristic => "heuristic",
         Engine::Lasso => "lasso",
         Engine::CompleteLrf => "complete-lrf",
+        Engine::Piecewise => "piecewise",
     }
 }
 
@@ -430,7 +436,7 @@ mod tests {
         );
         assert_eq!(
             EngineSelection::full_portfolio().to_string(),
-            "portfolio:CompleteLrf+Lasso+Termite+Eager+PodelskiRybalchenko+Heuristic"
+            "portfolio:CompleteLrf+Lasso+Termite+Eager+PodelskiRybalchenko+Heuristic+Piecewise"
         );
     }
 

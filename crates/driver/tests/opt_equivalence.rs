@@ -40,7 +40,7 @@ fn semantic_json(report: &TerminationReport) -> String {
         "verdict",
         "terminating",
         "unknown_reason",
-        "precondition",
+        "preconditions",
         "ranking",
     ]
     .iter()

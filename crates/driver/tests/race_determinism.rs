@@ -13,6 +13,8 @@
 //! - a conditionally terminating loop where `termite`'s `TerminatesIf` is
 //!   the best answer — the no-slot path (everyone completes, rank + list
 //!   position pick the winner);
+//! - a case-split loop only the last-listed `piecewise` lane proves (its
+//!   disjunctive `TerminatesIf` is the sole non-Unknown answer);
 //! - a non-terminating loop nobody proves — the all-Unknown tie, broken by
 //!   list position.
 //!
@@ -27,7 +29,7 @@ use termite_invariants::InvariantOptions;
 use termite_ir::parse_program;
 
 /// The three lattice programs and the `engine_won` each race must report.
-const PROGRAMS: [(&str, &str, Option<&str>); 3] = [
+const PROGRAMS: [(&str, &str, Option<&str>); 4] = [
     (
         "unique-unconditional",
         "var x, y; while (x > 0) { x = x + y; y = y - 1; }",
@@ -39,6 +41,13 @@ const PROGRAMS: [(&str, &str, Option<&str>); 3] = [
         Some("Termite"),
     ),
     (
+        "piecewise-only",
+        "var x, y; while (x + y != 0) { \
+         choice { assume x + y >= 1; x = x - 2; y = y + 1; } \
+         or { assume x + y <= 0 - 1; x = x + 2; y = y - 1; } }",
+        Some("Piecewise"),
+    ),
+    (
         "no-proof",
         "var x; assume x >= 2; while (x > 0) { x = 3 - x; }",
         None,
@@ -47,13 +56,14 @@ const PROGRAMS: [(&str, &str, Option<&str>); 3] = [
 
 /// Every engine of the full portfolio, in its `--engine` spelling — the
 /// names the `slow_engine` fault point targets.
-const ENGINE_NAMES: [&str; 6] = [
+const ENGINE_NAMES: [&str; 7] = [
     "complete-lrf",
     "lasso",
     "termite",
     "eager",
     "pr",
     "heuristic",
+    "piecewise",
 ];
 
 fn job(src: &str) -> AnalysisJob {

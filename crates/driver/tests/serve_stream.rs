@@ -291,7 +291,7 @@ fn serve_32_interleaved_jobs_streams_cancels_and_matches_batch() {
             // portfolio's winning engine (and hence ranking shape) may vary
             // by race, so only the verdict is pinned there.
             if engine != "portfolio" {
-                for field in ["ranking", "precondition"] {
+                for field in ["ranking", "preconditions"] {
                     assert_eq!(
                         served.get(field).unwrap().to_string(),
                         expected.get(field).unwrap().to_string(),

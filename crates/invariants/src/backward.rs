@@ -11,18 +11,27 @@
 //! * assignment: exact [`Polyhedron::affine_preimage`];
 //! * havoc: the demonic [`Polyhedron::havoc_preimage`] (`∀` co-transfer) —
 //!   every choice of the havocked value must stay inside the target;
-//! * guard: the target itself (a convex under-approximation of `¬g ∨ W`, the
-//!   true weakest precondition of a guarded edge);
-//! * branching: intersection over the successors (all paths must land well).
+//! * guard: the true weakest precondition of a guarded edge is `¬g ∨ W`.
+//!   The convex walk ([`entry_precondition`]) keeps only `W`; the DNF walk
+//!   ([`entry_precondition_dnf`]) keeps the `¬g` branch as additional
+//!   disjuncts (one per negated guard conjunct, integer-tightened);
+//! * branching: intersection over the successors (all paths must land
+//!   well); the DNF walk distributes it over the disjuncts.
 //!
-//! Every step under-approximates, so `P` is *sufficient*, never complete.
-//! The caller (`FixpointPipeline`) additionally re-verifies any candidate by
-//! re-running the forward analysis and the synthesis from `P`, so a sound
-//! final verdict never rests on this module alone.
+//! Every step under-approximates, so each disjunct of `P` is *sufficient*,
+//! never complete. The caller (`FixpointPipeline`) additionally re-verifies
+//! any candidate by re-running the forward analysis and the synthesis from
+//! it, so a sound final verdict never rests on this module alone.
 
 use std::collections::HashMap;
-use termite_ir::{Cfg, CfgOp, NodeId};
-use termite_polyhedra::Polyhedron;
+use termite_ir::{Cfg, CfgOp, LinearConstraint, NodeId};
+use termite_num::Rational;
+use termite_polyhedra::{Constraint, Polyhedron};
+
+/// Upper bound on the number of disjuncts the DNF walk keeps. The first
+/// disjunct always matches the convex walk's result, so the cap only trims
+/// the extra `¬g` branches.
+pub const MAX_WP_DISJUNCTS: usize = 8;
 
 /// Propagates `seed` (a polyhedron at `target_header`, a loop-header node of
 /// `cfg`) backward to the program entry. Headers other than the target
@@ -35,6 +44,107 @@ pub fn entry_precondition(cfg: &Cfg, target_header: NodeId, seed: &Polyhedron) -
     let mut memo: HashMap<NodeId, Polyhedron> = HashMap::new();
     let result = weakest(cfg, cfg.entry(), target_header, seed, &mut memo, 0);
     result.minimize()
+}
+
+/// The DNF variant of [`entry_precondition`]: guard edges keep the `¬g`
+/// branch of the weakest precondition as extra disjuncts instead of
+/// discarding it. Returns a (possibly empty) list of convex disjuncts whose
+/// *union* is a sufficient entry precondition; the first entry, when the
+/// convex walk's result is non-empty, is exactly that result, so callers
+/// can treat `dnf[0]` as the primary (backward-compatible) candidate.
+pub fn entry_precondition_dnf(
+    cfg: &Cfg,
+    target_header: NodeId,
+    seed: &Polyhedron,
+) -> Vec<Polyhedron> {
+    let n = cfg.num_vars();
+    assert_eq!(seed.dim(), n, "seed dimension mismatch");
+    let mut memo: HashMap<NodeId, Vec<Polyhedron>> = HashMap::new();
+    let disjuncts = weakest_dnf(cfg, cfg.entry(), target_header, seed, &mut memo, 0);
+    disjuncts.into_iter().map(|p| p.minimize()).collect()
+}
+
+/// `¬(c_1 ∧ … ∧ c_m)` as a union of convex cells: one disjunct per negated
+/// conjunct. Each `coeffs·x ≥ rhs` negates to the integer-tightened
+/// `coeffs·x ≤ ⌈rhs⌉ − 1`.
+fn negate_guard(constraints: &[LinearConstraint], n: usize) -> Vec<Polyhedron> {
+    constraints
+        .iter()
+        .map(|c| {
+            let bound = Rational::from_int(c.rhs.ceil()) - Rational::one();
+            Polyhedron::from_constraints(n, vec![Constraint::le(c.coeffs.clone(), bound)])
+        })
+        .collect()
+}
+
+/// Appends `extra` to `out`, skipping empty cells and cells already
+/// subsumed by a kept disjunct, up to [`MAX_WP_DISJUNCTS`].
+fn push_disjuncts(out: &mut Vec<Polyhedron>, extra: impl IntoIterator<Item = Polyhedron>) {
+    for p in extra {
+        if out.len() >= MAX_WP_DISJUNCTS {
+            return;
+        }
+        if p.is_empty() || out.iter().any(|kept| p.is_subset_of(kept)) {
+            continue;
+        }
+        out.push(p);
+    }
+}
+
+fn weakest_dnf(
+    cfg: &Cfg,
+    node: NodeId,
+    target: NodeId,
+    seed: &Polyhedron,
+    memo: &mut HashMap<NodeId, Vec<Polyhedron>>,
+    depth: usize,
+) -> Vec<Polyhedron> {
+    let n = cfg.num_vars();
+    if node == target {
+        return vec![seed.clone()];
+    }
+    if cfg.loop_headers().contains(&node) {
+        // A different loop: no requirement from here (see module docs).
+        return vec![Polyhedron::universe(n)];
+    }
+    if let Some(hit) = memo.get(&node) {
+        return hit.clone();
+    }
+    if depth > cfg.num_nodes() {
+        return vec![Polyhedron::universe(n)];
+    }
+    let mut out = vec![Polyhedron::universe(n)];
+    for edge in cfg.successors(node) {
+        let w_succ = weakest_dnf(cfg, edge.to, target, seed, memo, depth + 1);
+        // The successor's disjuncts come first so the head of the list
+        // stays aligned with the convex walk; `¬g` cells follow.
+        let wp: Vec<Polyhedron> = match &edge.op {
+            CfgOp::Guard(cs) => {
+                let mut v = w_succ;
+                v.extend(negate_guard(cs, n));
+                v
+            }
+            CfgOp::Assign(v, e) => w_succ
+                .into_iter()
+                .map(|w| w.affine_preimage(*v, &e.coeffs, &e.constant))
+                .collect(),
+            CfgOp::Havoc(v) => w_succ.into_iter().map(|w| w.havoc_preimage(*v)).collect(),
+        };
+        // Distribute the all-successors intersection over the disjuncts.
+        let mut next: Vec<Polyhedron> = Vec::new();
+        for a in &out {
+            push_disjuncts(
+                &mut next,
+                wp.iter().map(|b| a.intersection(b).light_reduce()),
+            );
+        }
+        out = next;
+        if out.is_empty() {
+            break;
+        }
+    }
+    memo.insert(node, out.clone());
+    out
 }
 
 fn weakest(
@@ -133,6 +243,42 @@ mod tests {
         let pre_x = entry_precondition(&cfg, cfg.loop_headers()[0], &seed_x);
         assert!(pre_x.contains_point(&QVector::from_i64(&[3, 99])));
         assert!(!pre_x.contains_point(&QVector::from_i64(&[4, 0])));
+    }
+
+    #[test]
+    fn guard_negation_contributes_extra_disjuncts() {
+        // The then-branch forces y = -1, so entries with x >= 5 discharge
+        // the seed y <= -1 regardless of their initial y: the true weakest
+        // precondition is (y <= -1) ∨ (x >= 5), genuinely disjunctive. The
+        // convex walk keeps only y <= -1; the DNF walk must keep the ¬g
+        // branch.
+        let p = parse_program(
+            "var x, y; if (x >= 5) { y = 0 - 1; } else { y = y; } \
+             while (x > 0) { x = x + y; }",
+        )
+        .unwrap();
+        let cfg = p.to_cfg();
+        let seed = Polyhedron::from_constraints(
+            2,
+            vec![Constraint::le(QVector::from_i64(&[0, 1]), q(-1))],
+        );
+        let convex = entry_precondition(&cfg, cfg.loop_headers()[0], &seed);
+        assert!(!convex.contains_point(&QVector::from_i64(&[9, 3])));
+        let dnf = entry_precondition_dnf(&cfg, cfg.loop_headers()[0], &seed);
+        assert!(
+            dnf[0].equal(&convex),
+            "the first disjunct must be the convex walk's result"
+        );
+        assert!(
+            dnf.iter()
+                .any(|d| d.contains_point(&QVector::from_i64(&[9, 3]))),
+            "the ¬g disjunct x >= 5 must be kept: {dnf:?}"
+        );
+        assert!(
+            !dnf.iter()
+                .any(|d| d.contains_point(&QVector::from_i64(&[3, 0]))),
+            "x = 3, y = 0 satisfies neither disjunct: {dnf:?}"
+        );
     }
 
     #[test]

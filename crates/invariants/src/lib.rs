@@ -43,7 +43,7 @@ mod backward;
 mod houdini;
 mod pipeline;
 
-pub use backward::entry_precondition;
+pub use backward::{entry_precondition, entry_precondition_dnf, MAX_WP_DISJUNCTS};
 pub use houdini::{guard_candidates, strengthen_inductive};
 pub use pipeline::{FixpointPipeline, InvariantPipeline, RefinementWitness};
 

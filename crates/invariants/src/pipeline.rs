@@ -14,7 +14,8 @@
 //! verdict `TerminatesIf(P)` in `termite-core`.
 
 use crate::{
-    analyze_cfg_from, entry_precondition, entry_reach, guard_candidates, houdini, InvariantOptions,
+    analyze_cfg_from, entry_precondition_dnf, entry_reach, guard_candidates, houdini,
+    InvariantOptions,
 };
 use termite_ir::{polyhedron_to_formula, Cfg, Program, TransitionSystem};
 use termite_linalg::QVector;
@@ -71,6 +72,7 @@ pub struct FixpointPipeline<'ts> {
     entry: Polyhedron,
     invariants: Vec<Polyhedron>,
     precondition: Option<Polyhedron>,
+    pending: Vec<Polyhedron>,
     refinements_left: usize,
     tried: Vec<Polyhedron>,
     interrupt: Interrupt,
@@ -89,9 +91,24 @@ impl<'ts> FixpointPipeline<'ts> {
         max_refinements: usize,
         interrupt: Interrupt,
     ) -> Self {
+        let entry = Polyhedron::universe(program.num_vars());
+        Self::with_entry(program, ts, options, max_refinements, interrupt, entry)
+    }
+
+    /// Like [`FixpointPipeline::new`], but with the initial states narrowed
+    /// to `entry`. Used to re-verify an individual disjunct of a DNF
+    /// precondition candidate: a proof found through such a pipeline is
+    /// valid for exactly the entry states in `entry`.
+    pub fn with_entry(
+        program: &Program,
+        ts: &'ts TransitionSystem,
+        options: &InvariantOptions,
+        max_refinements: usize,
+        interrupt: Interrupt,
+        entry: Polyhedron,
+    ) -> Self {
         let cfg = program.to_cfg();
         let candidates = guard_candidates(&cfg);
-        let entry = Polyhedron::universe(program.num_vars());
         let mut pipeline = FixpointPipeline {
             cfg,
             ts,
@@ -100,12 +117,22 @@ impl<'ts> FixpointPipeline<'ts> {
             entry: entry.clone(),
             invariants: Vec::new(),
             precondition: None,
+            pending: Vec::new(),
             refinements_left: max_refinements,
             tried: Vec::new(),
             interrupt,
         };
         pipeline.invariants = pipeline.run_stages(&entry);
         pipeline
+    }
+
+    /// Unverified extra disjuncts of the adopted precondition: the `¬g`
+    /// branches the DNF backward walk kept. Each is a *candidate* — the
+    /// caller must re-verify it (e.g. through
+    /// [`FixpointPipeline::with_entry`]) before reporting it as part of a
+    /// conditional verdict.
+    pub fn pending_disjuncts(&self) -> &[Polyhedron] {
+        &self.pending
     }
 
     /// Forward fixpoint from `entry`, then Houdini strengthening.
@@ -203,11 +230,11 @@ impl InvariantPipeline for FixpointPipeline<'_> {
             if seed.is_empty() {
                 continue;
             }
-            let candidate = entry_precondition(&self.cfg, header, &seed);
-            if candidate.is_empty() {
+            let dnf = entry_precondition_dnf(&self.cfg, header, &seed);
+            let Some(candidate) = dnf.first().filter(|c| !c.is_empty()) else {
                 continue;
-            }
-            let new_entry = self.entry.intersection(&candidate).minimize();
+            };
+            let new_entry = self.entry.intersection(candidate).minimize();
             if new_entry.is_empty() || self.tried.iter().any(|t| t.equal(&new_entry)) {
                 continue;
             }
@@ -229,6 +256,17 @@ impl InvariantPipeline for FixpointPipeline<'_> {
             }
             self.entry = new_entry.clone();
             self.invariants = new_invs;
+            // The adopted candidate's `¬g` siblings stay pending for the
+            // caller to verify independently; their backward-walk
+            // justification is self-contained, so they accumulate across
+            // refinement rounds.
+            for extra in dnf.into_iter().skip(1) {
+                let already = extra.is_subset_of(&new_entry)
+                    || self.pending.iter().any(|p| extra.is_subset_of(p));
+                if !already && self.pending.len() < crate::MAX_WP_DISJUNCTS {
+                    self.pending.push(extra);
+                }
+            }
             self.precondition = Some(new_entry);
             self.refinements_left -= 1;
             return true;

@@ -109,6 +109,26 @@ pub fn padded_countdown(pad: usize) -> Program {
     parse_named_program(&src, &format!("padded_countdown_{pad}")).expect("generated program parses")
 }
 
+/// A two-sided walk on the sign of `x + y`: while the sum is nonzero, the
+/// positive side steps `x` down by `k` and `y` up by `k − 1`, the negative
+/// side mirrors it — so the *sum* moves toward zero by exactly 1 per
+/// iteration while the individual variables jump by `±k`. Universally
+/// terminating with ranking `|x + y|`, but no convex linear certificate
+/// exists, and for `k ≥ 2` the per-variable jumps defeat axis-aligned
+/// precondition refinement too: the parametric workload of the `piecewise`
+/// engine, the way [`multiphase_drift`] is the `lasso` engine's.
+pub fn case_split_walk(k: i64) -> Program {
+    assert!(k >= 1);
+    let src = format!(
+        "var x, y;\nwhile (x + y != 0) {{\nchoice {{\n\
+         assume x + y >= 1;\nx = x - {k};\ny = y + {};\n}} or {{\n\
+         assume x + y <= 0 - 1;\nx = x + {k};\ny = y - {};\n}}\n}}\n",
+        k - 1,
+        k - 1,
+    );
+    parse_named_program(&src, &format!("case_split_walk_{k}")).expect("generated program parses")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +180,18 @@ mod tests {
         }
         // Depth 1 degenerates to the plain countdown.
         assert_eq!(multiphase_drift(1).num_loops(), 1);
+    }
+
+    #[test]
+    fn case_split_walk_is_a_single_location_multipath_loop() {
+        for k in 1..=4 {
+            let p = case_split_walk(k);
+            assert_eq!(p.num_vars(), 2);
+            let ts = p.transition_system();
+            assert_eq!(ts.num_locations(), 1);
+            // `!=` guard × two choice branches: several paths, one header.
+            assert!(!ts.transitions().is_empty());
+        }
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub enum SuiteId {
     /// linear-RF *non*-existence the engine must answer definitively, and a
     /// rationally-nonterminating oscillator.
     Lasso,
+    /// Case-split loops whose termination argument changes with the sign of
+    /// a linear expression (`|x|`, `|x + y|`-style rankings): no convex
+    /// linear certificate exists, so the family is provable — conditionally,
+    /// as a disjunction of per-segment preconditions — only by the
+    /// `piecewise` engine.
+    Piecewise,
 }
 
 impl SuiteId {
@@ -77,12 +83,13 @@ impl SuiteId {
             SuiteId::Bloated => "Bloated",
             SuiteId::Multiphase => "Multiphase",
             SuiteId::Lasso => "Lasso",
+            SuiteId::Piecewise => "Piecewise",
         }
     }
 
     /// All suites: the four of Table 1, in the paper's order, then the
     /// reproduction's own additions.
-    pub fn all() -> [SuiteId; 7] {
+    pub fn all() -> [SuiteId; 8] {
         [
             SuiteId::PolyBench,
             SuiteId::Sorts,
@@ -91,6 +98,7 @@ impl SuiteId {
             SuiteId::Bloated,
             SuiteId::Multiphase,
             SuiteId::Lasso,
+            SuiteId::Piecewise,
         ]
     }
 }
@@ -924,6 +932,80 @@ pub fn lasso() -> Vec<Benchmark> {
     ]
 }
 
+/// The Piecewise suite: loops that case-split on the sign of a linear
+/// expression, so the only ranking in the linear zoo is piecewise
+/// (`|x + y|`-style) and the best achievable verdict is a *disjunction* of
+/// per-segment preconditions. The `k ≥ 2` walks and the three-variable split
+/// defeat every convex-certificate engine — including Termite's axis-aligned
+/// refinement — and are provable only by the `piecewise` engine; the unit
+/// sign-split is the easy member the rest of the portfolio already handles
+/// conditionally, and the double hop is the non-terminating control (its
+/// `±2` steps cycle `1 → −1 → 1`, and parity is outside the polyhedral
+/// vocabulary, so no sound conditional claim can cover any odd start).
+pub fn piecewise() -> Vec<Benchmark> {
+    use SuiteId::Piecewise as S;
+    // The canonical walks come from the parametric generator the scalability
+    // experiments use, pinned here at jump sizes 2 and 3.
+    let walk = |name: &str, k: i64| {
+        let mut program = generators::case_split_walk(k);
+        program.name = name.to_string();
+        Benchmark {
+            program,
+            suite: S,
+            expected_terminating: true,
+        }
+    };
+    vec![
+        walk("pw_sum_walk_two", 2),
+        walk("pw_sum_walk_three", 3),
+        bench(
+            S,
+            "pw_triple_sum_split",
+            true,
+            r#"
+            var x, y, z;
+            while (x + y + z != 0) {
+                choice {
+                    assume x + y + z >= 1; x = x - 1;
+                } or {
+                    assume x + y + z <= 0 - 1; z = z + 1;
+                }
+            }
+        "#,
+        ),
+        bench(
+            S,
+            "pw_sign_split_unit",
+            true,
+            r#"
+            var x;
+            while (x != 0) {
+                choice {
+                    assume x >= 1; x = x - 1;
+                } or {
+                    assume x <= 0 - 1; x = x + 1;
+                }
+            }
+        "#,
+        ),
+        bench(
+            S,
+            "pw_nonterm_double_hop",
+            false,
+            r#"
+            var x;
+            while (x != 0) {
+                choice {
+                    assume x >= 1; x = x - 2;
+                } or {
+                    assume x <= 0 - 1; x = x + 2;
+                }
+            }
+        "#,
+        ),
+    ]
+}
+
 /// All benchmarks of a suite.
 pub fn suite(id: SuiteId) -> Vec<Benchmark> {
     match id {
@@ -934,6 +1016,7 @@ pub fn suite(id: SuiteId) -> Vec<Benchmark> {
         SuiteId::Bloated => bloated(),
         SuiteId::Multiphase => multiphase(),
         SuiteId::Lasso => lasso(),
+        SuiteId::Piecewise => piecewise(),
     }
 }
 
